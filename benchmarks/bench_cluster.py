@@ -1,0 +1,205 @@
+"""Experiment P2 — scheduler/distributor behaviour on the paper's 4×16 grid.
+
+Ablates the scheduling policy (FIFO vs priority vs EASY backfill) on a
+mixed sequential/parallel workload and reports mean/95p queue wait and
+utilisation.  Absolute numbers are synthetic; the *ordering* (backfill
+≤ FIFO mean wait; priority favours high-priority jobs) is the claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BackfillScheduler,
+    ClusterSpec,
+    FIFOScheduler,
+    Grid,
+    JobDistributor,
+    JobKind,
+    JobRequest,
+    PriorityScheduler,
+    SimulatedBackend,
+)
+from repro.desim import Simulator
+
+N_JOBS = 400
+
+
+def make_workload(seed=42):
+    """A mixed stream: 70% sequential, 30% parallel (2-16 tasks)."""
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(N_JOBS):
+        parallel = rng.random() < 0.3
+        n_tasks = int(rng.integers(2, 17)) if parallel else 1
+        duration = float(rng.lognormal(1.0, 0.8))
+        jobs.append(
+            JobRequest(
+                name=f"j{i}",
+                kind=JobKind.PARALLEL if parallel else JobKind.SEQUENTIAL,
+                n_tasks=n_tasks,
+                sim_duration=duration,
+                est_runtime_s=duration * float(rng.uniform(1.0, 1.5)),
+                priority=int(rng.integers(0, 3)),
+            )
+        )
+    return jobs
+
+
+def run_policy(scheduler):
+    sim = Simulator()
+    grid = Grid(ClusterSpec.uhd_default())
+    dist = JobDistributor(grid, SimulatedBackend(sim), scheduler, now_fn=lambda: sim.now)
+    for request in make_workload():
+        dist.submit(request)
+    sim.run()
+    summary = dist.monitor.summary()
+    assert summary["by_state"] == {"completed": N_JOBS}
+    return summary
+
+
+@pytest.mark.parametrize("scheduler_cls", [FIFOScheduler, PriorityScheduler, BackfillScheduler])
+def test_p2_policy_throughput(benchmark, scheduler_cls):
+    summary = benchmark.pedantic(lambda: run_policy(scheduler_cls()), rounds=1, iterations=1)
+    assert summary["jobs_finished"] == N_JOBS
+
+
+def test_p2_policy_ablation_table(benchmark, report):
+    rows = ["P2 scheduling-policy ablation (400 jobs, 4x16 grid)",
+            f"{'policy':<10} {'mean wait':>10} {'p95 wait':>10} {'core-s':>10}"]
+    def sweep():
+        out = {}
+        for scheduler in (FIFOScheduler(), PriorityScheduler(), BackfillScheduler()):
+            out[scheduler.name] = run_policy(scheduler)
+        return out
+
+    summaries = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, s in summaries.items():
+        rows.append(
+            f"{name:<10} {s['mean_wait_s']:>10.2f} {s['p95_wait_s']:>10.2f} "
+            f"{s['core_seconds']:>10.0f}"
+        )
+    report("p2_policies", "\n".join(rows))
+    # Backfill must not be worse than FIFO on mean wait (EASY guarantees
+    # the head is never delayed, so queue time can only improve).
+    assert summaries["backfill"]["mean_wait_s"] <= summaries["fifo"]["mean_wait_s"] + 1e-9
+
+
+def test_p2_priority_favours_high_priority(benchmark, report):
+    def run():
+        sim = Simulator()
+        grid = Grid(ClusterSpec.small(segments=1, slaves=2, cores=2))
+        dist = JobDistributor(grid, SimulatedBackend(sim), PriorityScheduler(), now_fn=lambda: sim.now)
+        rng = np.random.default_rng(1)
+        jobs = []
+        for i in range(60):
+            jobs.append(
+                dist.submit(
+                    JobRequest(name=f"j{i}", sim_duration=float(rng.uniform(1, 4)),
+                               priority=i % 2)  # alternate low/high
+                )
+            )
+        sim.run()
+        return jobs
+
+    jobs = benchmark.pedantic(run, rounds=1, iterations=1)
+    high = np.mean([j.wait_s for j in jobs if j.request.priority == 1])
+    low = np.mean([j.wait_s for j in jobs if j.request.priority == 0])
+    report("p2_priority", f"P2 priority ablation: high-prio mean wait {high:.2f}s, low-prio {low:.2f}s")
+    assert high < low
+
+
+def test_p2_locality_preference(benchmark, report):
+    """Parallel jobs pack into one segment when they fit."""
+    def run():
+        sim = Simulator()
+        grid = Grid(ClusterSpec.uhd_default())
+        dist = JobDistributor(grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        job = dist.submit(
+            JobRequest(name="p", kind=JobKind.PARALLEL, n_tasks=8, sim_duration=1.0)
+        )
+        sim.run()
+        return job
+
+    job = benchmark.pedantic(run, rounds=1, iterations=1)
+    segments = {name.rsplit("-n", 1)[0] for name in job.placement}
+    report("p2_locality", f"P2 8-task job placed on segments: {sorted(segments)}")
+    assert len(segments) == 1
+
+
+def test_p2_utilisation_under_saturation(benchmark, report):
+    def run():
+        sim = Simulator()
+        grid = Grid(ClusterSpec.uhd_default())
+        dist = JobDistributor(grid, SimulatedBackend(sim), BackfillScheduler(), now_fn=lambda: sim.now)
+        # Saturating stream of single-core jobs.
+        for i in range(1000):
+            dist.submit(JobRequest(name=f"j{i}", sim_duration=2.0, est_runtime_s=2.0))
+        sim.run()
+        return dist.monitor.mean_load()
+
+    mean_load = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("p2_utilisation", f"P2 mean sampled load under saturation: {mean_load:.0%}")
+    assert mean_load > 0.5
+
+
+def test_p2_queueing_curve(benchmark, report):
+    """Mean wait vs offered load: the classic hockey-stick, on our grid."""
+    from repro.cluster.workloads import WorkloadSpec, run_workload
+
+    def sweep():
+        out = {}
+        for rate in (1.0, 3.0, 6.0, 12.0):
+            sim = Simulator()
+            dist = JobDistributor(
+                Grid(ClusterSpec.uhd_default()), SimulatedBackend(sim),
+                BackfillScheduler(), now_fn=lambda: sim.now,
+            )
+            spec = WorkloadSpec(n_jobs=300, arrival_rate_per_s=rate)
+            out[rate] = run_workload(dist, sim, spec, seed=7)
+        return out
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = ["P2 queueing curve (300 Poisson jobs, EASY backfill)",
+            f"{'rate/s':>7} {'offered core-s/s':>17} {'mean wait':>10} {'p95 wait':>10}"]
+    for rate, s in curves.items():
+        rows.append(
+            f"{rate:>7.1f} {s['offered_load_core_s_per_s']:>17.1f} "
+            f"{s['mean_wait_s']:>9.2f}s {s['p95_wait_s']:>9.2f}s"
+        )
+    report("p2_queueing", "\n".join(rows))
+    waits = [s["mean_wait_s"] for s in curves.values()]
+    assert waits == sorted(waits), "wait must be monotone in offered load"
+    assert waits[-1] > waits[0], "saturation must hurt"
+
+
+def test_p2_priority_aging_prevents_starvation(benchmark, report):
+    """Ablation: pure priority starves; aging bounds the worst wait."""
+    from repro.cluster.workloads import WorkloadSpec, run_workload
+
+    def sweep():
+        out = {}
+        for rate in (0.0, 0.5, 2.0):
+            sim = Simulator()
+            dist = JobDistributor(
+                Grid(ClusterSpec.small(segments=2, slaves=4, cores=2)),
+                SimulatedBackend(sim), PriorityScheduler(aging_rate=rate),
+                now_fn=lambda: sim.now,
+            )
+            spec = WorkloadSpec(n_jobs=200, arrival_rate_per_s=6.0, priority_levels=3)
+            summary = run_workload(dist, sim, spec, seed=11)
+            # Worst wait among the lowest-priority jobs is the starvation metric.
+            low_waits = [
+                j.wait_s for j in dist.jobs.values()
+                if j.request.priority == 0 and j.wait_s is not None
+            ]
+            out[rate] = {"max_low_wait": max(low_waits), "mean_wait": summary["mean_wait_s"]}
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = ["P2 priority-aging ablation (200 jobs, 3 priority levels)",
+            f"{'aging':>6} {'worst low-prio wait':>20} {'mean wait':>10}"]
+    for rate, r in results.items():
+        rows.append(f"{rate:>6.1f} {r['max_low_wait']:>19.2f}s {r['mean_wait']:>9.2f}s")
+    report("p2_aging", "\n".join(rows))
+    assert results[2.0]["max_low_wait"] <= results[0.0]["max_low_wait"]

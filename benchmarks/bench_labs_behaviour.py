@@ -1,0 +1,129 @@
+"""Experiments L1–L7 — the labs' load-bearing behavioural claims.
+
+Each bench reproduces one unnumbered but essential observation from
+Section III.B and times the underlying simulation.
+"""
+
+import numpy as np
+
+from repro.labs import get_lab
+from repro.labs.lab3_numa import measure_mpi, measure_threads
+from repro.labs.lab5_bank import EXPECTED, run_all_steps
+from repro.labs.lab6_philosophers import explore_fixed, find_deadlock_witness
+
+
+def test_l1_synchronized_counter(benchmark, report):
+    """Lab 1: the erroneous program loses updates; synchronized does not."""
+    lab = get_lab("lab1")
+    broken = [lab.run("broken", s) for s in range(10)]
+    fixed = benchmark(lambda: lab.run("fixed", 3))
+    lost = [r.observations["lost_updates"] for r in broken]
+    report(
+        "l1_sync",
+        f"L1 lost updates over 10 seeds: {lost}\n"
+        f"fixed final count: {fixed.observations['final_count']} / {fixed.observations['expected']}",
+    )
+    assert any(l > 0 for l in lost)
+    assert fixed.passed
+
+
+def test_l2_tas_vs_ttas_invalidations(benchmark, report):
+    """Lab 2: TAS spinning causes an invalidation storm; TTAS tames it."""
+    lab = get_lab("lab2")
+    tas = benchmark(lambda: lab.run("fixed", 1))
+    ttas = lab.run("fixed_ttas", 1)
+    ratio = tas.observations["invalidations"] / max(1, ttas.observations["invalidations"])
+    report(
+        "l2_coherence",
+        "L2 coherence traffic (4 cores x 15 increments)\n"
+        f"  TAS : {tas.observations['invalidations']} invalidations, "
+        f"{tas.observations['bus_transactions']} bus transactions\n"
+        f"  TTAS: {ttas.observations['invalidations']} invalidations, "
+        f"{ttas.observations['bus_transactions']} bus transactions\n"
+        f"  TAS/TTAS invalidation ratio: {ratio:.2f}x",
+    )
+    assert tas.passed and ttas.passed
+    assert ratio > 1.2
+
+
+def test_l3_uma_numa_latency_gap(benchmark, report):
+    """Lab 3: remote memory is measurably slower, in both measurement modes."""
+    threads = benchmark(measure_threads)
+    mpi = measure_mpi()
+    report(
+        "l3_numa",
+        "L3 UMA vs NUMA access times\n"
+        f"  threads: local {threads['uma_mean_ns']:.0f} ns, remote {threads['numa_mean_ns']:.0f} ns "
+        f"(x{threads['numa_penalty']:.2f})\n"
+        f"  MPI:     intra-segment RTT {mpi['near_rtt_us']:.2f} us, "
+        f"inter-segment RTT {mpi['far_rtt_us']:.2f} us (x{mpi['remote_penalty']:.2f})",
+    )
+    assert threads["numa_penalty"] > 1.5
+    assert mpi["remote_penalty"] > 1.0
+
+
+def test_l4_producer_consumer_files(benchmark, report):
+    """Lab 4: the unsynchronised pipeline corrupts the copied file."""
+    lab = get_lab("lab4")
+    outcomes = [lab.run("broken", s).observations["faithful_copy"] for s in range(8)]
+    fixed = benchmark(lambda: lab.run("fixed", 0))
+    report(
+        "l4_prodcons",
+        f"L4 faithful copies (broken, 8 seeds): {outcomes}\nfixed copy faithful: "
+        f"{fixed.observations['faithful_copy']}",
+    )
+    assert not all(outcomes)
+    assert fixed.passed
+
+
+def test_l5_bank_account_steps(benchmark, report):
+    """Lab 5: steps i/iv/vi give 900; step v varies run to run."""
+    steps = benchmark(lambda: run_all_steps(seed=1))
+    v_values = {run_all_steps(seed=s)["v_concurrent"] for s in range(10)}
+    report(
+        "l5_bank",
+        f"L5 balances: {steps}\nstep v across 10 runs: {sorted(v_values)} (expected {EXPECTED})",
+    )
+    assert steps["i_sequential"] == steps["iv_joined"] == steps["vi_mutex"] == EXPECTED
+    assert len(v_values) > 1
+
+
+def test_l6_philosophers_deadlock_and_fix(benchmark, report):
+    """Lab 6: the naive program deadlocks; the ordered one never does."""
+    witness = find_deadlock_witness()
+    exploration = benchmark.pedantic(lambda: explore_fixed(max_schedules=800), rounds=1, iterations=1)
+    report(
+        "l6_philosophers",
+        f"L6 naive program: deadlock witness at seed {witness}\n"
+        f"ordered program: {exploration.summary()}",
+    )
+    assert witness is not None
+    assert exploration.clean
+
+
+def test_l7_bounded_buffer_fixes(benchmark, report):
+    """Lab 7: the handed-out buffer is wrong; both required fixes work."""
+    lab = get_lab("lab7")
+    broken_ok = [lab.run("broken", s).passed for s in range(8)]
+    mutex_fix = benchmark(lambda: lab.run("fixed", 1))
+    sem_fix = lab.run("fixed_semaphore", 1)
+    report(
+        "l7_bounded",
+        f"L7 broken passes across 8 seeds: {broken_ok}\n"
+        f"mutex+condition fix: {mutex_fix.passed}; semaphore fix: {sem_fix.passed}",
+    )
+    assert not all(broken_ok)
+    assert mutex_fix.passed and sem_fix.passed
+
+
+def test_l8_store_buffer_litmus(benchmark, report):
+    """Memory-consistency module: SC forbids (0,0); TSO allows it."""
+    from repro.memsim import run_store_buffer_litmus
+
+    results = benchmark(run_store_buffer_litmus)
+    report(
+        "l8_litmus",
+        f"{results['SC']}\n{results['TSO']}",
+    )
+    assert not results["SC"].allows_both_zero
+    assert results["TSO"].allows_both_zero

@@ -1,0 +1,124 @@
+"""Experiment P3 — minimpi collective costs across topology and scale.
+
+The Computer Organization module teaches "topology, latency, and
+routing"; this bench makes the lessons quantitative: virtual-time cost
+of collectives vs world size and message size, and topology's effect on
+the same traffic pattern.
+"""
+
+import numpy as np
+import pytest
+
+from repro.minimpi import NetworkModel, Topology, run_mpi
+
+
+def collective_cost(collective: str, size: int, payload: int, topology=Topology.FLAT):
+    net = NetworkModel(topology=topology)
+
+    def program(comm):
+        data = b"x" * payload
+        if collective == "bcast":
+            comm.bcast(data if comm.rank == 0 else None)
+        elif collective == "allreduce":
+            comm.allreduce(comm.rank)
+        elif collective == "allgather":
+            comm.allgather(data)
+        elif collective == "barrier":
+            comm.barrier()
+        return comm.virtual_time_us()
+
+    values = run_mpi(program, size, network=net)
+    return max(values)  # completion time = slowest rank
+
+
+@pytest.mark.parametrize("collective", ["bcast", "allreduce", "allgather", "barrier"])
+def test_p3_collective_wallclock(benchmark, collective):
+    cost = benchmark.pedantic(
+        lambda: collective_cost(collective, size=8, payload=1024), rounds=3, iterations=1
+    )
+    assert cost > 0
+
+
+def test_p3_bcast_scales_logarithmically(benchmark, report):
+    """Binomial bcast: virtual cost grows ~log2(p), far below linear."""
+    costs = benchmark.pedantic(
+        lambda: {p: collective_cost("bcast", p, payload=1024) for p in (2, 4, 8, 16)},
+        rounds=1, iterations=1,
+    )
+    rows = "\n".join(f"  p={p:<3} cost={c:8.1f} us" for p, c in costs.items())
+    report("p3_bcast_scaling", "P3 bcast cost vs world size (binomial tree)\n" + rows)
+    # Doubling p must cost far less than doubling the time (log growth).
+    assert costs[16] < costs[2] * 8
+    assert costs[16] > costs[2]
+
+
+def test_p3_allgather_scales_linearly(benchmark, report):
+    """Ring allgather: p−1 steps — cost roughly linear in p."""
+    costs = benchmark.pedantic(
+        lambda: {p: collective_cost("allgather", p, payload=1024) for p in (2, 4, 8, 16)},
+        rounds=1, iterations=1,
+    )
+    rows = "\n".join(f"  p={p:<3} cost={c:8.1f} us" for p, c in costs.items())
+    report("p3_allgather_scaling", "P3 allgather cost vs world size (ring)\n" + rows)
+    assert costs[16] > costs[8] > costs[4]
+    # Ratio p=16 / p=4 should be near 15/3 = 5 for a ring (±2x slack).
+    ratio = costs[16] / costs[4]
+    assert 2.0 < ratio < 10.0
+
+
+def test_p3_message_size_dominates_at_scale(benchmark, report):
+    costs = benchmark.pedantic(
+        lambda: {n: collective_cost("bcast", 8, payload=n) for n in (100, 10_000, 1_000_000)},
+        rounds=1, iterations=1,
+    )
+    rows = "\n".join(f"  {n:>9} B: {c:10.1f} us" for n, c in costs.items())
+    report("p3_payload", "P3 bcast cost vs payload (8 ranks)\n" + rows)
+    assert costs[1_000_000] > costs[100] * 20
+
+
+def test_p3_topology_ablation(benchmark, report):
+    """Same alltoall traffic, different wires."""
+    def alltoall_cost(topology):
+        net = NetworkModel(topology=topology, segment_size=4)
+
+        def program(comm):
+            comm.alltoall([b"x" * 512] * comm.size)
+            return comm.virtual_time_us()
+
+        return max(run_mpi(program, 8, network=net))
+
+    costs = benchmark.pedantic(
+        lambda: {t.value: alltoall_cost(t) for t in (Topology.FLAT, Topology.RING, Topology.SEGMENTED, Topology.HYPERCUBE)},
+        rounds=1, iterations=1,
+    )
+    rows = "\n".join(f"  {name:<10} {cost:8.1f} us" for name, cost in costs.items())
+    report("p3_topology", "P3 alltoall (8 ranks, 512B) by topology\n" + rows)
+    # A flat crossbar beats a ring for all-to-all traffic; the segmented
+    # cluster sits above flat because 3-hop inter-segment routes dominate.
+    assert costs["flat"] <= costs["ring"]
+    assert costs["segmented"] >= costs["flat"]
+
+
+def test_p3_parallel_pi_speedup_model(benchmark, report):
+    """The classic cpi.py example: compute model + comm cost vs ranks."""
+    N = 100_000
+
+    def program(comm):
+        # Model computation: each rank integrates N/p slices at 0.01 us each.
+        slices = N // comm.size
+        comm.charge_compute_us(slices * 0.01)
+        local = sum(
+            4.0 / (1.0 + ((i + 0.5) / N) ** 2) for i in range(comm.rank, N, comm.size * 997)
+        )  # sparse sample keeps the real loop cheap
+        comm.allreduce(local)
+        return comm.virtual_time_us()
+
+    times = benchmark.pedantic(
+        lambda: {p: max(run_mpi(program, p)) for p in (1, 2, 4, 8)},
+        rounds=1, iterations=1,
+    )
+    speedups = {p: times[1] / t for p, t in times.items()}
+    rows = "\n".join(f"  p={p:<3} t={t:9.1f} us  speedup={speedups[p]:.2f}x" for p, t in times.items())
+    report("p3_pi_speedup", "P3 parallel-pi virtual-time speedup\n" + rows)
+    assert speedups[8] > 4  # decent but sub-linear (comm overhead)
+    assert speedups[8] < 8.5

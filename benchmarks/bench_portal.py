@@ -1,0 +1,81 @@
+"""Experiment P1 — portal round-trip latency and throughput.
+
+Section II's claim is architectural: the portal mediates the full
+login → upload → compile → dispatch → execute → monitor path.  The bench
+measures that path end-to-end (in-process WSGI, real gcc when present,
+simulated toolchain otherwise), plus the cheap read endpoints.
+"""
+
+import tempfile
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.portal import PortalClient, make_default_app
+
+C_SOURCE = '#include <stdio.h>\nint main(void){ printf("bench\\n"); return 0; }\n'
+
+
+@pytest.fixture(scope="module")
+def bench_portal():
+    root = tempfile.mkdtemp(prefix="bench_portal_")
+    app = make_default_app(root, cluster_spec=ClusterSpec.small(segments=2, slaves=4))
+    admin = PortalClient(app=app)
+    admin.login("admin", "admin-pass")
+    admin.create_user("bench", "bench-pass")
+    client = PortalClient(app=app)
+    client.login("bench", "bench-pass")
+    client.write_file("prog.c", C_SOURCE)
+    return app, client
+
+
+def test_p1_login_roundtrip(benchmark, bench_portal):
+    app, _ = bench_portal
+
+    def login():
+        c = PortalClient(app=app)
+        c.login("bench", "bench-pass")
+        return c.whoami()
+
+    result = benchmark(login)
+    assert result["username"] == "bench"
+
+
+def test_p1_file_write_read(benchmark, bench_portal):
+    _, client = bench_portal
+
+    def roundtrip():
+        client.write_file("scratch.txt", "x" * 1024)
+        return client.read_file("scratch.txt")
+
+    assert len(benchmark(roundtrip)) == 1024
+
+
+def test_p1_compile_endpoint(benchmark, bench_portal):
+    _, client = bench_portal
+    result = benchmark(lambda: client.compile("prog.c"))
+    assert result["ok"]
+
+
+def test_p1_full_submit_run_monitor(benchmark, bench_portal, report):
+    _, client = bench_portal
+
+    def round_trip():
+        resp = client.submit_job("prog.c")
+        desc = client.wait_for_job(resp["job"]["id"], timeout=60)
+        out = client.job_output(resp["job"]["id"])
+        return desc, out
+
+    desc, out = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    report(
+        "p1_portal",
+        f"P1 submit→run→monitor: state={desc['state']} stdout={out['stdout']}",
+    )
+    assert desc["state"] == "completed"
+    assert out["stdout"] == ["bench"]
+
+
+def test_p1_cluster_status_under_job_history(benchmark, bench_portal):
+    _, client = bench_portal
+    status = benchmark(client.cluster_status)
+    assert status["grid"]["cores_total"] == 16

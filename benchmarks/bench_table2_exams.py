@@ -1,0 +1,38 @@
+"""Experiment T2 — Table 2: multicore exam-question passing rates.
+
+Paper: midterm 17 % (all) / 33 % (course passers), final 22 % / 80 %.
+The signature shape — modest cohort-wide movement but a dramatic jump
+among course passers — is what the bench asserts.
+"""
+
+from repro.education import SemesterSimulation
+from repro.education.exams import PAPER_EXAM_RATES
+from repro.education.semester import DEFAULT_SEED
+
+
+def test_table2_exam_passing_rates(benchmark, report):
+    result = benchmark.pedantic(lambda: SemesterSimulation(DEFAULT_SEED).run(), rounds=1, iterations=1)
+    rates = result.exam_rates
+    report("table2_exams", result.table2())
+
+    # Qualitative claims the paper makes:
+    assert rates.midterm_all < 0.35, "midterm multicore questions are hard for everyone"
+    assert rates.final_all >= rates.midterm_all, "cohort improves by the final"
+    assert rates.final_passers >= 0.6, "course passers master the material by the final"
+    assert rates.final_passers > rates.midterm_passers + 0.2, "passers improve drastically"
+    assert rates.midterm_passers > rates.midterm_all, "passers outperform the class"
+
+
+def test_table2_expected_rates_over_replications(benchmark, report):
+    def run():
+        return SemesterSimulation(2012).run_replications(10)
+
+    avg = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = "\n".join(
+        f"  {k}: paper {PAPER_EXAM_RATES[k]:.0%}  expected {avg['table2'][k]:.0%}"
+        for k in PAPER_EXAM_RATES
+    )
+    report("table2_replications", "Table 2 expected rates (10 cohorts)\n" + rows)
+    assert abs(avg["table2"]["midterm_all"] - PAPER_EXAM_RATES["midterm_all"]) < 0.10
+    assert abs(avg["table2"]["final_all"] - PAPER_EXAM_RATES["final_all"]) < 0.10
+    assert avg["table2"]["final_passers"] > 0.55

@@ -1,0 +1,44 @@
+"""Experiment T3 — Table 3: entrance/exit survey means (Q1–Q6).
+
+Paper means: Q1 3.00→2.00, Q2 2.56→2.38, Q3 1.33→1.29, Q4 1.44→1.38,
+Q5 2.00→2.75, Q6 2.22→3.00.  The bench checks every mean within half a
+Likert point and the qualitative directions the paper reads off the
+table (knowledge items improve; attitude items barely move).
+"""
+
+from repro.education import SemesterSimulation
+from repro.education.semester import DEFAULT_SEED
+from repro.education.survey import PAPER_SURVEY_MEANS
+
+
+def test_table3_survey_means(benchmark, report):
+    result = benchmark.pedantic(lambda: SemesterSimulation(DEFAULT_SEED).run(), rounds=1, iterations=1)
+    report("table3_survey", result.table3())
+    agreement = result.agreement()["table3"]
+    assert agreement["all_within_tolerance"]
+
+    means = result.survey_means
+    # Q1 (inverse scale): self-assessed ignorance decreases.
+    assert means["Q1"][1] < means["Q1"][0]
+    # Q5/Q6 (direct scales): knowledge self-ratings increase.
+    assert means["Q5"][1] > means["Q5"][0]
+    assert means["Q6"][1] > means["Q6"][0]
+    # Attitude items move less than half a point (the paper calls the
+    # shifts possibly "due to randomness").
+    for q in ("Q2", "Q3", "Q4"):
+        assert abs(means[q][1] - means[q][0]) < 0.5
+
+
+def test_table3_paper_deltas_have_matching_signs(benchmark, report):
+    result = benchmark.pedantic(lambda: SemesterSimulation(DEFAULT_SEED).run(), rounds=1, iterations=1)
+    rows = []
+    sign_matches = 0
+    for qid, (p_in, p_out) in PAPER_SURVEY_MEANS.items():
+        m_in, m_out = result.survey_means[qid]
+        paper_delta = p_out - p_in
+        ours_delta = m_out - m_in
+        same = (paper_delta == 0) or (paper_delta * ours_delta >= 0)
+        sign_matches += same
+        rows.append(f"  {qid}: paper Δ{paper_delta:+.2f}  measured Δ{ours_delta:+.2f}  {'✓' if same else '✗'}")
+    report("table3_deltas", "Survey entrance→exit deltas\n" + "\n".join(rows))
+    assert sign_matches >= 5  # at least 5 of 6 move the paper's way

@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Every bench prints its paper-vs-measured table through :func:`report`,
+which also appends to ``benchmarks/results/<name>.txt`` so the tables
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Emit a named result block to stderr and ``benchmarks/results/``."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n", file=sys.stderr)
+
+    return _report

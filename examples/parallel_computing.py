@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Parallel programming with minimpi on the simulated cluster.
+
+Three classic SPMD programs from the PDC curriculum, run with the
+mpi4py-style API and the segmented-cluster network model, plus the
+Lab-3 UMA/NUMA measurement:
+
+* parallel pi (reduce),
+* distributed matrix–vector product (allgather),
+* 1-D heat diffusion with halo exchange (Cartesian topology).
+
+Run:  python examples/parallel_computing.py
+"""
+
+import numpy as np
+
+from repro.labs.lab3_numa import measure_mpi, measure_threads
+from repro.minimpi import SUM, NetworkModel, Topology, dims_create, run_mpi
+
+
+def parallel_pi(comm, n_slices: int):
+    """Each rank integrates a slice stride; reduce sums the estimates."""
+    h = 1.0 / n_slices
+    local = 0.0
+    for i in range(comm.rank, n_slices, comm.size):
+        x = h * (i + 0.5)
+        local += 4.0 / (1.0 + x * x)
+    pi = comm.allreduce(local * h, SUM)
+    return pi
+
+
+def matvec(comm, n: int):
+    """Row-block matrix-vector product: A (n x n) times x, allgather x."""
+    rows = n // comm.size
+    rng = np.random.default_rng(1234)  # same seed: same global A, x everywhere
+    a_full = rng.random((n, n))
+    x_full = rng.random(n)
+    my_rows = a_full[comm.rank * rows : (comm.rank + 1) * rows]
+    # Each rank owns a block of x; allgather reassembles it.
+    my_x = x_full[comm.rank * rows : (comm.rank + 1) * rows]
+    gathered = comm.allgather(my_x)
+    x = np.concatenate(gathered)
+    y_local = my_rows @ x
+    y = comm.gather(y_local, root=0)
+    if comm.rank == 0:
+        full = np.concatenate(y)
+        expected = a_full @ x_full
+        return float(np.abs(full - expected).max())
+    return None
+
+
+def heat_1d(comm, cells_per_rank: int, steps: int):
+    """Explicit 1-D diffusion with halo exchange on a Cartesian line."""
+    cart = comm.create_cart(dims_create(comm.size, 1), periods=[False])
+    left, right = cart.shift(0, 1)
+    # Hot left edge on rank 0, cold elsewhere.
+    u = np.zeros(cells_per_rank + 2)
+    if comm.rank == 0:
+        u[0] = 100.0
+    for _ in range(steps):
+        if right is not None:
+            comm.send(float(u[-2]), right, tag=1)
+        if left is not None:
+            comm.send(float(u[1]), left, tag=2)
+        if left is not None:
+            u[0] = comm.recv(left, tag=1)
+        if right is not None:
+            u[-1] = comm.recv(right, tag=2)
+        if comm.rank == 0:
+            u[0] = 100.0  # boundary condition
+        u[1:-1] = u[1:-1] + 0.25 * (u[:-2] - 2 * u[1:-1] + u[2:])
+    return float(u[1:-1].mean())
+
+
+def main() -> None:
+    net = NetworkModel(topology=Topology.SEGMENTED, segment_size=16)
+
+    print("== Parallel pi (8 ranks, segmented network) ==")
+    values = run_mpi(parallel_pi, 8, args=(200_000,), network=net)
+    print(f"   pi ~= {values[0]:.8f} (error {abs(values[0] - np.pi):.2e})")
+
+    print("\n== Distributed matvec (4 ranks, 128x128) ==")
+    values = run_mpi(matvec, 4, args=(128,), network=net)
+    print(f"   max |error| vs serial: {values[0]:.2e}")
+
+    print("\n== 1-D heat diffusion with halo exchange (4 ranks) ==")
+    values = run_mpi(heat_1d, 4, args=(32, 50), network=net)
+    means = [f"{v:.3f}" for v in values]
+    print(f"   per-rank mean temperature after 50 steps: {means}")
+    assert values[0] > values[-1], "heat should decay away from the hot edge"
+
+    print("\n== Lab 3: UMA vs NUMA access times ==")
+    threads = measure_threads()
+    print(f"   threads: local {threads['uma_mean_ns']:.0f} ns vs remote "
+          f"{threads['numa_mean_ns']:.0f} ns  (x{threads['numa_penalty']:.2f})")
+    mpi = measure_mpi()
+    print(f"   MPI RTT: intra-segment {mpi['near_rtt_us']:.2f} us vs inter-segment "
+          f"{mpi['far_rtt_us']:.2f} us  (x{mpi['remote_penalty']:.2f})")
+
+    print("\n== Virtual-time speedup of parallel pi ==")
+    def timed_pi(comm):
+        comm.charge_compute_us((200_000 // comm.size) * 0.01)
+        parallel_pi(comm, 2_000)
+        return comm.virtual_time_us()
+
+    base = max(run_mpi(timed_pi, 1, network=net))
+    for p in (2, 4, 8, 16):
+        t = max(run_mpi(timed_pi, p, network=net))
+        print(f"   p={p:<3} virtual time {t:9.1f} us   speedup {base / t:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Package metadata.
+
+This project deliberately ships a classic ``setup.py`` (and no
+``pyproject.toml``): the reproduction environment is fully offline and has
+no ``wheel`` package, so PEP 517/660 builds — which pip would select if a
+``pyproject.toml`` were present — cannot run. The legacy path
+(``pip install -e .`` → ``setup.py develop``) works everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Cluster computing portal and PDC teaching-lab platform "
+        "(reproduction of Lin, IPPS 2013)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.23"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "scipy", "networkx"],
+    },
+)

@@ -1,0 +1,36 @@
+"""repro — a cluster computing portal for teaching parallel & distributed computing.
+
+A complete, self-contained reproduction of Hong Lin, *"Teaching Parallel
+and Distributed Computing Using a Cluster Computing Portal"* (IPDPS
+Workshops / IPPS, 2013): the web portal, the simulated 4×16-node cluster
+behind it, the message-passing and shared-memory substrates the course
+labs need, the seven labs themselves, and the assessment pipeline that
+regenerates every table in the paper's evaluation.
+
+Subpackages
+-----------
+``repro.portal``      the WSGI portal: auth, file manager, compile & run
+``repro.cluster``     nodes/segments/grid, schedulers, job distributor
+``repro.toolchain``   C/C++/Java compilation (real gcc/javac or simulated)
+``repro.minimpi``     mpi4py-style message passing with a network cost model
+``repro.interleave``  deterministic virtual-thread sandbox (races, deadlocks)
+``repro.memsim``      MESI coherence, UMA/NUMA timing, consistency litmus
+``repro.desim``       discrete-event simulation kernel
+``repro.labs``        the seven course labs (broken + fixed variants)
+``repro.education``   cohort model, grading, exams, surveys → Tables 1–3
+``repro.core``        high-level façade (PortalWorkflow, Classroom)
+
+Quickstart
+----------
+>>> from repro.portal import make_default_app, PortalClient
+>>> app = make_default_app("/tmp/portal-home")
+>>> client = PortalClient(app=app)
+>>> _ = client.login("admin", "admin-pass")
+>>> _ = client.write_file("hello.c", 'int main(void){return 0;}')
+"""
+
+from repro._errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

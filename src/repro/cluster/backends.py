@@ -1,0 +1,343 @@
+"""Execution backends: how an allocated job actually runs.
+
+Three interchangeable backends behind one interface:
+
+* :class:`SubprocessBackend` — real OS processes (the portal's compiled
+  C/C++/Java programs).  Parallel jobs launch one process per task with
+  ``REPRO_RANK``/``REPRO_SIZE``/``REPRO_NODE`` in the environment.
+* :class:`CallableBackend` — Python callables on worker threads;
+  parallel callables run under :func:`repro.minimpi.run_mpi` with the
+  comm as first argument.  Hermetic: used by most tests and labs.
+* :class:`SimulatedBackend` — no real work at all: completion after the
+  job's ``sim_duration`` of *virtual* time on a
+  :class:`~repro.desim.kernel.Simulator`.  Used for scheduling studies
+  where thousands of jobs must flow through the queue in milliseconds.
+
+A backend's ``launch`` returns an :class:`ExecutionHandle`; completion is
+reported through the handle's callback, which the distributor uses to
+free resources.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import threading
+import time
+from typing import Callable, Optional
+
+from repro._errors import JobError
+from repro.cluster.job import Job, JobKind
+from repro.desim.kernel import Simulator
+
+__all__ = [
+    "ExecutionHandle",
+    "ExecutionBackend",
+    "SubprocessBackend",
+    "CallableBackend",
+    "SimulatedBackend",
+]
+
+
+class ExecutionHandle:
+    """Running-job control: cancellation + completion signalling."""
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+        self._on_done: list[Callable[[Job], None]] = []
+
+    def request_cancel(self) -> None:
+        """Ask the execution to stop (best effort)."""
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def on_done(self, cb: Callable[[Job], None]) -> None:
+        """Register a completion callback (fires immediately if done)."""
+        if self._done.is_set():
+            cb(self.job)
+        else:
+            self._on_done.append(cb)
+
+    def _mark_done(self) -> None:
+        self._done.set()
+        for cb in self._on_done:
+            cb(self.job)
+        self._on_done.clear()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the execution finished; returns success."""
+        return self._done.wait(timeout)
+
+
+class ExecutionBackend:
+    """Interface: turn an allocated job into running work."""
+
+    def launch(self, job: Job) -> ExecutionHandle:
+        """Start ``job`` (placement already recorded on the job)."""
+        raise NotImplementedError
+
+
+def _finish(job: Job, handle: ExecutionHandle, exit_code: int, error: str | None = None) -> None:
+    """Common completion path used by the real backends."""
+    from repro.cluster.job import JobState
+
+    job.exit_code = exit_code
+    job.error = error
+    job.stdout.close()
+    job.stderr.close()
+    if job.state is JobState.RUNNING:
+        if handle.cancel_requested:
+            job.try_transition(JobState.CANCELLED)
+        elif error == "timeout":
+            job.try_transition(JobState.TIMEOUT)
+        elif exit_code == 0:
+            job.try_transition(JobState.COMPLETED)
+        else:
+            job.try_transition(JobState.FAILED)
+    handle._mark_done()
+
+
+class SubprocessBackend(ExecutionBackend):
+    """Run ``job.request.argv`` as real OS process(es).
+
+    Two I/O modes:
+
+    * ``stream=True`` (default) — *live* streams: stdout/stderr lines
+      land in the job's :class:`~repro.cluster.streams.StreamCapture`
+      as the process emits them, and text written to the job's stdin
+      channel (the portal's input box) is piped in while it runs.  This
+      is the paper's "monitor the standard streams, and even provide
+      input" behaviour.  Used for sequential/interactive jobs.
+    * batch — ``communicate()`` once at exit; used for parallel jobs
+      (per-rank output is interleaved deterministically with rank
+      prefixes at the end).
+    """
+
+    def __init__(self, stream: bool = True) -> None:
+        self.stream = stream
+
+    def launch(self, job: Job) -> ExecutionHandle:
+        if job.request.argv is None:
+            raise JobError(f"job {job.id} has no argv; SubprocessBackend cannot run it")
+        handle = ExecutionHandle(job)
+        use_stream = self.stream and job.request.n_tasks == 1
+        target = self._run_streaming if use_stream else self._run
+        t = threading.Thread(target=target, args=(job, handle), daemon=True,
+                             name=f"exec-{job.id}")
+        t.start()
+        return handle
+
+    # -- streaming mode (single task) -----------------------------------
+    def _run_streaming(self, job: Job, handle: ExecutionHandle) -> None:
+        env = dict(os.environ)
+        env.update(job.request.env)
+        env.update({"REPRO_RANK": "0", "REPRO_SIZE": "1",
+                    "REPRO_NODE": next(iter(job.placement), "node-0")})
+        try:
+            proc = subprocess.Popen(
+                job.request.argv,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                bufsize=1,  # line buffered
+                env=env,
+                cwd=job.request.workdir,
+            )
+        except OSError as exc:
+            _finish(job, handle, exit_code=127, error=f"launch failed: {exc}")
+            return
+
+        def pump(pipe, capture) -> None:
+            for line in pipe:
+                capture.write_line(line)
+            pipe.close()
+
+        pumps = [
+            threading.Thread(target=pump, args=(proc.stdout, job.stdout), daemon=True),
+            threading.Thread(target=pump, args=(proc.stderr, job.stderr), daemon=True),
+        ]
+        for t in pumps:
+            t.start()
+        threading.Thread(target=self._stdin_loop, args=(job, proc), daemon=True).start()
+
+        # Wait in short slices so cancellation and timeout both bite fast.
+        deadline = (
+            time.monotonic() + job.request.timeout_s
+            if job.request.timeout_s is not None
+            else None
+        )
+        timed_out = False
+        while proc.poll() is None:
+            if handle.cancel_requested:
+                proc.kill()
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                timed_out = True
+                proc.kill()
+                break
+            try:
+                proc.wait(timeout=0.05)
+            except subprocess.TimeoutExpired:
+                continue
+        proc.wait()
+        for t in pumps:
+            t.join(5.0)
+        if not job.stdin.closed:
+            job.stdin.close()
+        if timed_out:
+            _finish(job, handle, exit_code=-1, error="timeout")
+        else:
+            _finish(job, handle, exit_code=proc.returncode)
+
+    @staticmethod
+    def _stdin_loop(job: Job, proc: subprocess.Popen) -> None:
+        """Forward the interactive channel into the process until EOF."""
+        while proc.poll() is None:
+            try:
+                line = job.stdin.read_line(timeout=0.2)
+            except TimeoutError:
+                continue
+            if line is None:
+                break
+            try:
+                proc.stdin.write(line + "\n")
+                proc.stdin.flush()
+            except (BrokenPipeError, ValueError, OSError):
+                break
+        try:
+            proc.stdin.close()
+        except (OSError, ValueError):
+            pass
+
+    # -- batch mode (parallel jobs) ---------------------------------------
+    def _run(self, job: Job, handle: ExecutionHandle) -> None:
+        procs: list[subprocess.Popen] = []
+        tasks = list(self._task_placements(job))
+        try:
+            for rank, node_name in enumerate(tasks):
+                env = dict(os.environ)
+                env.update(job.request.env)
+                env["REPRO_RANK"] = str(rank)
+                env["REPRO_SIZE"] = str(len(tasks))
+                env["REPRO_NODE"] = node_name
+                procs.append(
+                    subprocess.Popen(
+                        job.request.argv,
+                        stdin=subprocess.PIPE,
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                        env=env,
+                        cwd=job.request.workdir,
+                    )
+                )
+        except OSError as exc:
+            for p in procs:
+                p.kill()
+            _finish(job, handle, exit_code=127, error=f"launch failed: {exc}")
+            return
+
+        # Feed queued stdin to rank 0 (interactive protocol).
+        stdin_text = job.stdin.drain()
+        try:
+            timeout = job.request.timeout_s
+            outs: list[tuple[str, str, int]] = []
+            for p in procs:
+                out, err = p.communicate(stdin_text if p is procs[0] else None, timeout=timeout)
+                outs.append((out, err, p.returncode))
+        except subprocess.TimeoutExpired:
+            for p in procs:
+                p.kill()
+            for p in procs:
+                p.wait()
+            _finish(job, handle, exit_code=-1, error="timeout")
+            return
+
+        for rank, (out, err, rc) in enumerate(outs):
+            prefix = f"[rank {rank}] " if len(outs) > 1 else ""
+            for line in out.splitlines():
+                job.stdout.write_line(prefix + line)
+            for line in err.splitlines():
+                job.stderr.write_line(prefix + line)
+        worst = max(rc for _, _, rc in outs)
+        _finish(job, handle, exit_code=worst)
+
+    @staticmethod
+    def _task_placements(job: Job) -> list[str]:
+        """Expand the per-node placement into a per-task node list."""
+        out: list[str] = []
+        per_task = job.request.cores_per_task
+        for node_name, cores in sorted(job.placement.items()):
+            out.extend([node_name] * (cores // per_task))
+        # Guard against placement/tasks mismatch (should not happen).
+        return out[: job.request.n_tasks] or [next(iter(job.placement), "node-0")]
+
+
+class CallableBackend(ExecutionBackend):
+    """Run Python callables — sequential or as minimpi parallel programs."""
+
+    def __init__(self, network=None) -> None:
+        self.network = network  # forwarded to run_mpi for parallel jobs
+
+    def launch(self, job: Job) -> ExecutionHandle:
+        if job.request.callable is None:
+            raise JobError(f"job {job.id} has no callable; CallableBackend cannot run it")
+        handle = ExecutionHandle(job)
+        t = threading.Thread(target=self._run, args=(job, handle), daemon=True,
+                             name=f"exec-{job.id}")
+        t.start()
+        return handle
+
+    def _run(self, job: Job, handle: ExecutionHandle) -> None:
+        fn = job.request.callable
+        try:
+            if job.request.kind is JobKind.PARALLEL:
+                from repro.minimpi import run_mpi
+
+                job.result = run_mpi(
+                    fn,
+                    job.request.n_tasks,
+                    network=self.network,
+                    timeout=job.request.timeout_s or 120.0,
+                )
+            else:
+                job.result = fn(job)
+            _finish(job, handle, exit_code=0)
+        except BaseException as exc:  # noqa: BLE001 - user code
+            job.stderr.write_text(f"{type(exc).__name__}: {exc}")
+            _finish(job, handle, exit_code=1, error=str(exc))
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Advance a DES clock instead of doing work.
+
+    ``launch`` schedules a completion event ``sim_duration`` virtual
+    seconds ahead on the supplied :class:`Simulator`; the caller drives
+    ``sim.run()``.  Used by the scheduling benchmarks (thousands of jobs,
+    zero real work).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    def launch(self, job: Job) -> ExecutionHandle:
+        if job.request.sim_duration is None:
+            raise JobError(f"job {job.id} has no sim_duration; SimulatedBackend cannot run it")
+        handle = ExecutionHandle(job)
+        ev = self.sim.timeout(float(job.request.sim_duration))
+
+        def complete(_ev) -> None:
+            if handle.cancel_requested:
+                _finish(job, handle, exit_code=-1)
+            else:
+                job.stdout.write_line(f"simulated job {job.id} ran {job.request.sim_duration}s")
+                _finish(job, handle, exit_code=0)
+
+        self.sim._subscribe(ev, complete)
+        return handle

@@ -1,0 +1,247 @@
+"""The job distributor (the paper's backend workhorse).
+
+Section II: the web interface "creates a compilation and/or executor
+object, which in turn upon success contacts a job distributor to
+allocate resources on the cluster and finally dispatch the job onto
+those resources".  :class:`JobDistributor` is that component:
+
+* :meth:`submit` accepts a :class:`~repro.cluster.job.JobRequest`,
+  queues it and immediately attempts dispatch;
+* dispatch asks the configured scheduling policy for placements,
+  reserves cores/memory on the chosen nodes, and hands the job to the
+  execution backend;
+* completion callbacks free the resources and re-trigger dispatch, so
+  the queue drains as capacity appears.
+
+The distributor is time-source agnostic: pass ``now_fn=lambda: sim.now``
+with a :class:`SimulatedBackend` and the whole pipeline runs on virtual
+time; with the default wall clock it serves the live portal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro._errors import JobError, SchedulingError
+from repro.cluster.backends import ExecutionBackend, ExecutionHandle
+from repro.cluster.grid import Grid
+from repro.cluster.job import Job, JobRequest, JobState
+from repro.cluster.monitor import ClusterMonitor
+from repro.cluster.queue import JobQueue
+from repro.cluster.scheduler import Allocation, FIFOScheduler, Scheduler
+
+__all__ = ["JobDistributor"]
+
+
+class JobDistributor:
+    """Allocate → dispatch → free, under a pluggable scheduling policy."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        backend: ExecutionBackend,
+        scheduler: Scheduler | None = None,
+        now_fn: Callable[[], float] | None = None,
+        monitor: ClusterMonitor | None = None,
+    ) -> None:
+        self.grid = grid
+        self.backend = backend
+        self.scheduler = scheduler or FIFOScheduler()
+        self.now_fn = now_fn or time.monotonic
+        self.monitor = monitor or ClusterMonitor()
+        self.queue = JobQueue()
+        self.jobs: dict[str, Job] = {}
+        self._handles: dict[str, ExecutionHandle] = {}
+        self._lock = threading.RLock()
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Accept a request; returns the queued (or already running) Job."""
+        self._validate(request)
+        job = Job(request)
+        with self._lock:
+            self.jobs[job.id] = job
+            job.submitted_at = self.now_fn()
+            job.transition(JobState.QUEUED)
+            self.queue.push(job)
+        self.dispatch()
+        return job
+
+    def _validate(self, request: JobRequest) -> None:
+        """Reject shapes the machine can never satisfy."""
+        for dep in request.after:
+            if dep not in self.jobs:
+                raise JobError(f"dependency {dep!r} is not a known job id")
+        per_node_max = max((n.spec.cores for n in self.grid.compute_nodes()), default=0)
+        if request.cores_per_task > per_node_max:
+            raise SchedulingError(
+                f"a task needs {request.cores_per_task} cores but the largest node has {per_node_max}"
+            )
+        if request.total_cores > self.grid.cores_total:
+            raise SchedulingError(
+                f"job needs {request.total_cores} cores; the whole grid has {self.grid.cores_total}"
+            )
+        if request.need_gpu and not self.grid.gpu_nodes():
+            raise SchedulingError("job needs a GPU but the grid has no GPU nodes")
+
+    # -- dispatch ------------------------------------------------------------
+    def _dependency_state(self, job: Job) -> str:
+        """'ready' | 'held' | 'doomed' for a queued job's dependencies."""
+        doomed = False
+        for dep_id in job.request.after:
+            dep = self.jobs.get(dep_id)
+            if dep is None or not dep.terminal:
+                return "held"
+            if job.request.after_ok and dep.state is not JobState.COMPLETED:
+                doomed = True
+        return "doomed" if doomed else "ready"
+
+    def dispatch(self) -> int:
+        """Run one scheduling round; returns how many jobs were started."""
+        started = 0
+        with self._lock:
+            # Dependency gating: held jobs are invisible to the policy (so
+            # they never head-block FIFO); jobs whose required-success
+            # dependency failed are cancelled.
+            eligible = []
+            for job in self.queue.snapshot():
+                state = self._dependency_state(job)
+                if state == "ready":
+                    eligible.append(job)
+                elif state == "doomed":
+                    self.queue.remove(job)
+                    job.error = "dependency failed"
+                    job.try_transition(JobState.CANCELLED)
+                    job.finished_at = self.now_fn()
+                    self.monitor.record_job(job)
+            running = self._running_estimates()
+            picks = self.scheduler.select(
+                eligible, self.grid, now=self.now_fn(), running=running
+            )
+            for job, alloc in picks:
+                if not self.queue.remove(job):
+                    continue  # raced with a cancel
+                try:
+                    self._reserve(job, alloc)
+                except Exception:
+                    # Placement raced with a node failure: requeue.
+                    self.queue.push(job)
+                    continue
+                job.transition(JobState.RUNNING)
+                job.started_at = self.now_fn()
+                handle = self.backend.launch(job)
+                self._handles[job.id] = handle
+                handle.on_done(self._on_finished)
+                started += 1
+            self.monitor.sample(self.grid, self.now_fn(), queued=len(self.queue))
+        return started
+
+    def _reserve(self, job: Job, alloc: Allocation) -> None:
+        done: list[str] = []
+        try:
+            for node_name, cores in alloc.placement:
+                self.grid.node(node_name).allocate(
+                    job.id, cores,
+                    memory_mb=job.request.memory_mb_per_task * (cores // job.request.cores_per_task),
+                )
+                done.append(node_name)
+        except Exception:
+            for node_name in done:
+                self.grid.node(node_name).free(job.id)
+            raise
+        job.placement = alloc.as_dict()
+
+    def _running_estimates(self) -> list[tuple[float, int]]:
+        """(estimated end, cores) for running jobs — feeds backfill."""
+        out = []
+        for job in self.jobs.values():
+            if job.state is not JobState.RUNNING or job.started_at is None:
+                continue
+            est = job.request.est_runtime_s
+            if est is None:
+                est = job.request.sim_duration
+            if est is None:
+                continue
+            out.append((job.started_at + est, job.request.total_cores))
+        return out
+
+    # -- completion -----------------------------------------------------------
+    def _on_finished(self, job: Job) -> None:
+        with self._lock:
+            job.finished_at = self.now_fn()
+            for node_name in list(job.placement):
+                node = self.grid.node(node_name)
+                if node.holds(job.id):
+                    node.free(job.id)
+            self._handles.pop(job.id, None)
+            self.monitor.record_job(job)
+        self.dispatch()
+
+    def submit_array(self, request: JobRequest, count: int) -> list[Job]:
+        """Submit ``count`` clones of ``request`` (a job array).
+
+        Each element gets a ``name[k]`` suffix; elements are independent
+        (no implied ordering).  Returns them in index order.
+        """
+        if count < 1:
+            raise JobError(f"array count must be >= 1, got {count}")
+        import dataclasses
+
+        return [
+            self.submit(dataclasses.replace(request, name=f"{request.name}[{k}]"))
+            for k in range(count)
+        ]
+
+    # -- control ---------------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job in any non-terminal state. Returns success."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            if job.terminal:
+                return False
+            if job.state in (JobState.PENDING, JobState.QUEUED):
+                self.queue.remove(job)
+                job.try_transition(JobState.CANCELLED)
+                return True
+            handle = self._handles.get(job_id)
+        if handle is not None:
+            handle.request_cancel()
+            return True
+        return False
+
+    def job(self, job_id: str) -> Job:
+        """Look up a job by id."""
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise JobError(f"unknown job {job_id!r}") from None
+
+    def wait_all(self, timeout: float = 60.0) -> bool:
+        """Block until no job is queued or running (wall-clock backends)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = len(self.queue) or any(
+                    j.state is JobState.RUNNING for j in self.jobs.values()
+                )
+            if not busy:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def stats(self) -> dict:
+        """Queue/running/terminal counts plus grid utilisation."""
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for j in self.jobs.values():
+                by_state[j.state.value] = by_state.get(j.state.value, 0) + 1
+            return {
+                "jobs": dict(by_state),
+                "queued": len(self.queue),
+                "grid": self.grid.snapshot(),
+                "policy": self.scheduler.name,
+            }

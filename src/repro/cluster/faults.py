@@ -1,0 +1,113 @@
+"""Node failure/recovery injection.
+
+Failure-injection tests use this to verify the distributor's behaviour
+when nodes vanish mid-run: running jobs on the dead node fail (and may
+be resubmitted), queued work reroutes to surviving nodes, and a
+recovered node rejoins the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._errors import ResourceError
+from repro.cluster.distributor import JobDistributor
+from repro.cluster.job import JobState
+from repro.cluster.node import NodeState
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Kill and revive nodes of a distributor's grid."""
+
+    def __init__(self, distributor: JobDistributor, seed: int = 0) -> None:
+        self.distributor = distributor
+        self._rng = np.random.default_rng(seed)
+        self.killed: list[str] = []
+        self.victim_jobs: list[str] = []
+
+    def kill_node(self, node_name: str, resubmit: bool = False) -> list[str]:
+        """Take one node down; fail (or resubmit) the jobs running on it.
+
+        Returns ids of affected jobs.
+        """
+        node = self.distributor.grid.node(node_name)
+        if node.state is NodeState.DOWN:
+            raise ResourceError(f"node {node_name} is already down")
+        victims = node.mark_down()
+        self.killed.append(node_name)
+        affected = []
+        for job_id in victims:
+            job = self.distributor.jobs.get(job_id)
+            if job is None:
+                continue
+            affected.append(job_id)
+            self.victim_jobs.append(job_id)
+            # The node lost the allocation; scrub it from the job and
+            # mark the job failed (its processes died with the node).
+            job.placement.pop(node_name, None)
+            handle = self.distributor._handles.get(job_id)
+            if handle is not None:
+                handle.request_cancel()
+            if job.state is JobState.RUNNING:
+                job.error = f"node {node_name} failed"
+                job.try_transition(JobState.FAILED)
+                job.finished_at = self.distributor.now_fn()
+                # Free whatever the job still holds elsewhere.
+                for other in list(job.placement):
+                    n = self.distributor.grid.node(other)
+                    if n.holds(job_id):
+                        n.free(job_id)
+                job.placement.clear()
+            if resubmit:
+                self.distributor.submit(job.request)
+        self.distributor.dispatch()
+        return affected
+
+    def kill_random_node(self, resubmit: bool = False) -> tuple[str, list[str]]:
+        """Kill a uniformly-chosen up node. Returns (name, affected jobs)."""
+        up = self.distributor.grid.up_compute_nodes()
+        if not up:
+            raise ResourceError("no up nodes left to kill")
+        node = up[int(self._rng.integers(0, len(up)))]
+        return node.name, self.kill_node(node.name, resubmit=resubmit)
+
+    def revive_node(self, node_name: str) -> None:
+        """Bring a dead node back (empty) and re-run dispatch."""
+        node = self.distributor.grid.node(node_name)
+        if node.state is not NodeState.DOWN:
+            raise ResourceError(f"node {node_name} is not down")
+        node.mark_up()
+        if node_name in self.killed:
+            self.killed.remove(node_name)
+        self.distributor.dispatch()
+
+    def revive_all(self) -> None:
+        """Revive every node this injector killed."""
+        for name in list(self.killed):
+            self.revive_node(name)
+
+    # -- planned maintenance ------------------------------------------------
+    def drain_node(self, node_name: str) -> tuple[str, ...]:
+        """Put a node into DRAINING: running jobs finish, nothing new lands.
+
+        Returns the ids of the jobs still running there.  Once they
+        complete, call :meth:`maintenance_done` (or ``kill_node``) to
+        take it down, and ``revive_node`` after the maintenance window.
+        """
+        node = self.distributor.grid.node(node_name)
+        node.drain()
+        return node.running_jobs
+
+    def maintenance_done(self, node_name: str) -> None:
+        """Return a drained (now idle) node to service."""
+        node = self.distributor.grid.node(node_name)
+        if node.running_jobs:
+            raise ResourceError(
+                f"node {node_name} still runs {list(node.running_jobs)}; wait for drain"
+            )
+        node.mark_up()
+        self.distributor.dispatch()

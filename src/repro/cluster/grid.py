@@ -1,0 +1,102 @@
+"""The grid: a master server connecting all segments."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro._errors import ResourceError
+from repro.cluster.node import Node
+from repro.cluster.segment import Segment
+from repro.cluster.spec import ClusterSpec
+
+__all__ = ["Grid"]
+
+
+class Grid:
+    """The full machine: master server + segments (the paper's Section II).
+
+    Provides node lookup and free-capacity queries; scheduling policy
+    lives in :mod:`repro.cluster.scheduler`, which operates *on* a grid.
+    """
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = spec or ClusterSpec.uhd_default()
+        self.master_server = Node("grid-master", self.spec.master_server_spec, segment="grid")
+        self.segments = [Segment(s) for s in self.spec.segments]
+        self._by_name: dict[str, Node] = {self.master_server.name: self.master_server}
+        for seg in self.segments:
+            self._by_name[seg.master.name] = seg.master
+            for n in seg.slaves:
+                self._by_name[n.name] = n
+
+    # -- lookup ------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Node by name; raises :class:`ResourceError` if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ResourceError(f"unknown node {name!r}") from None
+
+    def segment(self, name: str) -> Segment:
+        """Segment by name."""
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise ResourceError(f"unknown segment {name!r}")
+
+    def compute_nodes(self) -> Iterator[Node]:
+        """All slave nodes (the only nodes jobs may run on)."""
+        for seg in self.segments:
+            yield from seg.slaves
+
+    def up_compute_nodes(self) -> list[Node]:
+        """Slave nodes currently accepting work."""
+        from repro.cluster.node import NodeState
+
+        return [n for n in self.compute_nodes() if n.state is NodeState.UP]
+
+    def gpu_nodes(self) -> list[Node]:
+        """Slaves carrying a GPU."""
+        return [n for n in self.compute_nodes() if n.spec.has_gpu]
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def cores_free(self) -> int:
+        return sum(n.cores_free for n in self.compute_nodes())
+
+    @property
+    def cores_total(self) -> int:
+        return sum(n.spec.cores for n in self.compute_nodes())
+
+    @property
+    def load(self) -> float:
+        """Fraction of all slave cores in use."""
+        total = self.cores_total
+        return (total - self.cores_free) / total if total else 0.0
+
+    def find_node_for(self, cores: int, memory_mb: int = 0, need_gpu: bool = False) -> Optional[Node]:
+        """First-fit slave for a single-node allocation (segment order)."""
+        for n in self.compute_nodes():
+            if n.can_fit(cores, memory_mb, need_gpu):
+                return n
+        return None
+
+    def snapshot(self) -> dict:
+        """Utilisation snapshot for the monitor page."""
+        return {
+            "cores_total": self.cores_total,
+            "cores_free": self.cores_free,
+            "load": self.load,
+            "segments": {
+                seg.name: {
+                    "cores_total": seg.cores_total,
+                    "cores_free": seg.cores_free,
+                    "load": seg.load,
+                    "nodes_up": len(seg.up_slaves()),
+                }
+                for seg in self.segments
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Grid {len(self.segments)} segments, {self.cores_free}/{self.cores_total} cores free>"

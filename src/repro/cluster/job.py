@@ -1,0 +1,204 @@
+"""Job model: what users submit and how it moves through its lifecycle.
+
+The portal's Section-II contract: a job is *sequential* (one task on one
+node), *parallel* (``n_tasks`` ranks spread over nodes) or *interactive*
+(sequential + an open stdin channel).  Lifecycle::
+
+    PENDING -> QUEUED -> RUNNING -> {COMPLETED, FAILED, TIMEOUT}
+         \\-> CANCELLED (from PENDING/QUEUED/RUNNING)
+
+Transitions are validated; illegal moves raise :class:`JobError` — an
+invariant the property tests exercise heavily.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro._errors import JobError
+from repro.cluster.streams import InteractiveChannel, StreamCapture
+
+__all__ = ["JobKind", "JobState", "JobRequest", "Job"]
+
+_job_counter = itertools.count(1)
+
+
+class JobKind(enum.Enum):
+    """Execution shape of a job."""
+
+    SEQUENTIAL = "sequential"
+    PARALLEL = "parallel"
+    INTERACTIVE = "interactive"
+
+
+class JobState(enum.Enum):
+    """Lifecycle states."""
+
+    PENDING = "pending"      # created, not yet accepted by the distributor
+    QUEUED = "queued"        # waiting for resources
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+
+_TERMINAL = {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT}
+
+_ALLOWED: dict[JobState, set[JobState]] = {
+    JobState.PENDING: {JobState.QUEUED, JobState.CANCELLED},
+    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT},
+}
+
+
+@dataclass
+class JobRequest:
+    """Everything a user specifies when submitting.
+
+    Exactly one of ``argv`` (command line for the subprocess backend),
+    ``callable`` (Python function) or ``sim_duration`` (virtual seconds
+    for the DES backend) describes *what* to run; the rest describes the
+    resource shape and policy knobs.
+    """
+
+    name: str = "job"
+    owner: str = ""
+    kind: JobKind = JobKind.SEQUENTIAL
+    argv: Optional[list[str]] = None
+    callable: Optional[Callable[..., Any]] = None
+    sim_duration: Optional[float] = None
+    n_tasks: int = 1
+    cores_per_task: int = 1
+    memory_mb_per_task: int = 0
+    need_gpu: bool = False
+    priority: int = 0
+    timeout_s: Optional[float] = None
+    est_runtime_s: Optional[float] = None
+    """User-supplied runtime estimate; enables EASY backfilling."""
+    after: tuple[str, ...] = ()
+    """Job ids that must reach a terminal state before this job may start.
+
+    ``after_ok`` additionally requires them to have COMPLETED; a failed
+    dependency then cancels this job instead of running it.
+    """
+    after_ok: bool = False
+    stdin_data: str = ""
+    env: dict[str, str] = field(default_factory=dict)
+    workdir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1 or self.cores_per_task < 1:
+            raise JobError(
+                f"job shape must be >= 1 task x >= 1 core, got "
+                f"{self.n_tasks} x {self.cores_per_task}"
+            )
+        if self.memory_mb_per_task < 0:
+            raise JobError("memory_mb_per_task must be >= 0")
+        specified = [x is not None for x in (self.argv, self.callable, self.sim_duration)]
+        if sum(specified) != 1:
+            raise JobError(
+                "exactly one of argv / callable / sim_duration must be given "
+                f"(got {sum(specified)})"
+            )
+        if self.kind is JobKind.SEQUENTIAL and self.n_tasks != 1:
+            raise JobError("sequential jobs have exactly one task; use kind=PARALLEL")
+        if self.kind is JobKind.INTERACTIVE and self.n_tasks != 1:
+            raise JobError("interactive jobs have exactly one task")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_tasks * self.cores_per_task
+
+
+class Job:
+    """A submitted job: request + state + placement + captured streams."""
+
+    def __init__(self, request: JobRequest, job_id: str | None = None) -> None:
+        self.request = request
+        self.id = job_id or f"job-{next(_job_counter):06d}"
+        self._state = JobState.PENDING
+        self._lock = threading.Lock()
+        self.stdout = StreamCapture(f"{self.id}.stdout")
+        self.stderr = StreamCapture(f"{self.id}.stderr")
+        self.stdin = InteractiveChannel(f"{self.id}.stdin")
+        if request.stdin_data:
+            self.stdin.write(request.stdin_data)
+        if request.kind is not JobKind.INTERACTIVE:
+            self.stdin.close()
+        self.exit_code: Optional[int] = None
+        self.error: Optional[str] = None
+        self.result: Any = None
+        #: node name -> cores held there (set by the distributor)
+        self.placement: dict[str, int] = {}
+        self.submitted_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -- state machine -------------------------------------------------------
+    @property
+    def state(self) -> JobState:
+        return self._state
+
+    @property
+    def terminal(self) -> bool:
+        """``True`` once the job can change no further."""
+        return self._state in _TERMINAL
+
+    def transition(self, to: JobState) -> None:
+        """Move to ``to``; raises :class:`JobError` on an illegal edge."""
+        with self._lock:
+            allowed = _ALLOWED.get(self._state, set())
+            if to not in allowed:
+                raise JobError(
+                    f"job {self.id}: illegal transition {self._state.value} -> {to.value}"
+                )
+            self._state = to
+
+    def try_transition(self, to: JobState) -> bool:
+        """Like :meth:`transition` but returns False instead of raising."""
+        try:
+            self.transition(to)
+            return True
+        except JobError:
+            return False
+
+    # -- convenience -----------------------------------------------------------
+    @property
+    def runtime_s(self) -> Optional[float]:
+        """Wall (or virtual) runtime, when both timestamps exist."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        """Queue wait time, when known."""
+        if self.submitted_at is None or self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def describe(self) -> dict:
+        """JSON-ready summary (what the portal's job page shows)."""
+        return {
+            "id": self.id,
+            "name": self.request.name,
+            "owner": self.request.owner,
+            "kind": self.request.kind.value,
+            "state": self._state.value,
+            "n_tasks": self.request.n_tasks,
+            "cores_per_task": self.request.cores_per_task,
+            "priority": self.request.priority,
+            "placement": dict(self.placement),
+            "exit_code": self.exit_code,
+            "error": self.error,
+            "runtime_s": self.runtime_s,
+            "wait_s": self.wait_s,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Job {self.id} {self.request.name!r} {self._state.value}>"

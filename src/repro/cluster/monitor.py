@@ -1,0 +1,116 @@
+"""Utilisation sampling and per-job accounting."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.grid import Grid
+from repro.cluster.job import Job
+
+__all__ = ["AccountingRecord", "UtilisationSample", "ClusterMonitor"]
+
+
+@dataclass(frozen=True)
+class AccountingRecord:
+    """One finished job's accounting line."""
+
+    job_id: str
+    name: str
+    owner: str
+    state: str
+    total_cores: int
+    wait_s: Optional[float]
+    runtime_s: Optional[float]
+
+    @property
+    def core_seconds(self) -> Optional[float]:
+        if self.runtime_s is None:
+            return None
+        return self.runtime_s * self.total_cores
+
+
+@dataclass(frozen=True)
+class UtilisationSample:
+    """Grid load at one instant."""
+
+    t: float
+    load: float
+    cores_free: int
+    queued: int
+
+
+class ClusterMonitor:
+    """Collects utilisation samples and accounting records.
+
+    The portal's monitor page and the scheduling benchmarks both read
+    from here; everything is thread-safe and append-only.
+    """
+
+    def __init__(self, max_samples: int = 100_000) -> None:
+        self.max_samples = max_samples
+        self._samples: list[UtilisationSample] = []
+        self._records: list[AccountingRecord] = []
+        self._lock = threading.Lock()
+
+    def sample(self, grid: Grid, t: float, queued: int = 0) -> None:
+        """Record the grid's load at time ``t``."""
+        s = UtilisationSample(t=t, load=grid.load, cores_free=grid.cores_free, queued=queued)
+        with self._lock:
+            self._samples.append(s)
+            if len(self._samples) > self.max_samples:
+                self._samples = self._samples[-self.max_samples :]
+
+    def record_job(self, job: Job) -> None:
+        """Append the accounting line for a finished job."""
+        rec = AccountingRecord(
+            job_id=job.id,
+            name=job.request.name,
+            owner=job.request.owner,
+            state=job.state.value,
+            total_cores=job.request.total_cores,
+            wait_s=job.wait_s,
+            runtime_s=job.runtime_s,
+        )
+        with self._lock:
+            self._records.append(rec)
+
+    # -- reads ------------------------------------------------------------
+    @property
+    def records(self) -> list[AccountingRecord]:
+        with self._lock:
+            return list(self._records)
+
+    @property
+    def samples(self) -> list[UtilisationSample]:
+        with self._lock:
+            return list(self._samples)
+
+    def summary(self) -> dict:
+        """Aggregate statistics over all accounting records."""
+        recs = self.records
+        waits = np.array([r.wait_s for r in recs if r.wait_s is not None], dtype=float)
+        runs = np.array([r.runtime_s for r in recs if r.runtime_s is not None], dtype=float)
+        by_state: dict[str, int] = {}
+        for r in recs:
+            by_state[r.state] = by_state.get(r.state, 0) + 1
+        return {
+            "jobs_finished": len(recs),
+            "by_state": by_state,
+            "mean_wait_s": float(waits.mean()) if waits.size else 0.0,
+            "p95_wait_s": float(np.percentile(waits, 95)) if waits.size else 0.0,
+            "mean_runtime_s": float(runs.mean()) if runs.size else 0.0,
+            "core_seconds": float(
+                sum(r.core_seconds for r in recs if r.core_seconds is not None)
+            ),
+        }
+
+    def mean_load(self) -> float:
+        """Time-unweighted mean of sampled loads."""
+        samples = self.samples
+        if not samples:
+            return 0.0
+        return float(np.mean([s.load for s in samples]))

@@ -1,0 +1,67 @@
+"""The pending-job queue."""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro._errors import SchedulingError
+from repro.cluster.job import Job, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Ordered collection of queued jobs.
+
+    Keeps submission order; scheduling *policies* decide which entry to
+    pull (FIFO takes the head, priority scans, backfill peeks deeper), so
+    the queue exposes ordered iteration and positional removal rather
+    than a single ``pop``.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: list[Job] = []
+        self._lock = threading.Lock()
+
+    def push(self, job: Job) -> None:
+        """Append a job (must be QUEUED)."""
+        if job.state is not JobState.QUEUED:
+            raise SchedulingError(
+                f"only QUEUED jobs enter the queue; {job.id} is {job.state.value}"
+            )
+        with self._lock:
+            self._jobs.append(job)
+
+    def remove(self, job: Job) -> bool:
+        """Remove a specific job (e.g. on cancel). Returns success."""
+        with self._lock:
+            try:
+                self._jobs.remove(job)
+                return True
+            except ValueError:
+                return False
+
+    def snapshot(self) -> list[Job]:
+        """Copy of the current queue in submission order."""
+        with self._lock:
+            return list(self._jobs)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.snapshot())
+
+    def head(self) -> Optional[Job]:
+        """Oldest queued job, or None."""
+        with self._lock:
+            return self._jobs[0] if self._jobs else None
+
+    def purge_terminal(self) -> int:
+        """Drop cancelled/finished jobs that are still lingering; count them."""
+        with self._lock:
+            before = len(self._jobs)
+            self._jobs = [j for j in self._jobs if not j.terminal]
+            return before - len(self._jobs)

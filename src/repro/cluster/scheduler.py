@@ -1,0 +1,293 @@
+"""Scheduling policies: who runs next, and where.
+
+A policy's :meth:`Scheduler.select` examines the queue and the grid and
+returns the jobs to start *now*, each with a concrete
+:class:`Allocation` (node → cores).  Placement prefers locality: a
+parallel job is packed into the emptiest single segment that can hold it
+before being allowed to straddle segments (inter-segment traffic costs
+3 hops in the network model, so the preference is measurable).
+
+Three policies, ablated in ``benchmarks/bench_cluster.py``:
+
+* :class:`FIFOScheduler` — strict arrival order; the head blocks the queue.
+* :class:`PriorityScheduler` — highest priority first; never blocks
+  (skips unplaceable jobs), so small high-priority jobs can starve a
+  wide job — the classic trade-off.
+* :class:`BackfillScheduler` — FIFO head reservation + EASY backfill:
+  while the head waits, later jobs may jump ahead only if (by runtime
+  estimates) they cannot delay the head's reserved start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.cluster.grid import Grid
+from repro.cluster.job import Job, JobRequest
+
+__all__ = ["Allocation", "Scheduler", "FIFOScheduler", "PriorityScheduler", "BackfillScheduler"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A concrete placement plan for one job."""
+
+    job_id: str
+    placement: tuple[tuple[str, int], ...]  # ((node_name, cores), ...)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(c for _, c in self.placement)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.placement)
+
+
+class _Shadow:
+    """Free-capacity view that accounts for picks made earlier this round."""
+
+    def __init__(self, grid: Grid) -> None:
+        self.cores: dict[str, int] = {}
+        self.memory: dict[str, int] = {}
+        for n in grid.up_compute_nodes():
+            self.cores[n.name] = n.cores_free
+            self.memory[n.name] = n.memory_free_mb
+
+    def fits(self, node, cores: int, memory_mb: int, need_gpu: bool) -> bool:
+        if need_gpu and not node.spec.has_gpu:
+            return False
+        return (
+            self.cores.get(node.name, 0) >= cores
+            and self.memory.get(node.name, 0) >= memory_mb
+        )
+
+    def take(self, node_name: str, cores: int, memory_mb: int) -> None:
+        self.cores[node_name] -= cores
+        self.memory[node_name] -= memory_mb
+
+    @property
+    def total_free_cores(self) -> int:
+        return sum(self.cores.values())
+
+
+def place_request(grid: Grid, request: JobRequest, shadow: _Shadow) -> Optional[list[tuple[str, int]]]:
+    """Find nodes for every task of ``request`` against ``shadow``.
+
+    Returns ``[(node_name, cores), ...]`` — one entry per task — or
+    ``None`` when the job cannot start now.  Does *not* mutate the
+    shadow; the caller commits with :func:`commit_placement` once it
+    decides to take the plan.
+    """
+    cores = request.cores_per_task
+    mem = request.memory_mb_per_task
+    tasks = request.n_tasks
+
+    def pack(nodes) -> Optional[list[tuple[str, int]]]:
+        plan: list[tuple[str, int]] = []
+        avail = {n.name: shadow.cores.get(n.name, 0) for n in nodes}
+        avail_mem = {n.name: shadow.memory.get(n.name, 0) for n in nodes}
+        for _ in range(tasks):
+            chosen = None
+            for n in nodes:
+                if request.need_gpu and not n.spec.has_gpu:
+                    continue
+                if avail[n.name] >= cores and avail_mem[n.name] >= mem:
+                    chosen = n
+                    break
+            if chosen is None:
+                return None
+            avail[chosen.name] -= cores
+            avail_mem[chosen.name] -= mem
+            plan.append((chosen.name, cores))
+        return plan
+
+    # 1. Try to pack the whole job inside one segment (most-free first).
+    segments = sorted(grid.segments, key=lambda s: -s.cores_free)
+    for seg in segments:
+        plan = pack(seg.up_slaves())
+        if plan is not None:
+            return plan
+    # 2. Fall back to the whole grid.
+    return pack(grid.up_compute_nodes())
+
+
+def commit_placement(shadow: _Shadow, plan: list[tuple[str, int]], request: JobRequest) -> None:
+    """Deduct a accepted plan from the shadow."""
+    for node_name, cores in plan:
+        shadow.take(node_name, cores, request.memory_mb_per_task)
+
+
+def _merge_plan(plan: list[tuple[str, int]]) -> tuple[tuple[str, int], ...]:
+    """Collapse per-task entries into per-node totals."""
+    merged: dict[str, int] = {}
+    for node_name, cores in plan:
+        merged[node_name] = merged.get(node_name, 0) + cores
+    return tuple(sorted(merged.items()))
+
+
+class Scheduler:
+    """Base policy. Subclasses implement :meth:`select`."""
+
+    name = "base"
+
+    def select(
+        self,
+        queue: Sequence[Job],
+        grid: Grid,
+        now: float = 0.0,
+        running: Iterable[tuple[float, int]] = (),
+    ) -> list[tuple[Job, Allocation]]:
+        """Jobs to start now.
+
+        Parameters
+        ----------
+        queue:
+            Queued jobs in submission order.
+        grid:
+            The machine (read-only here; the distributor commits).
+        now:
+            Current (virtual or wall) time — used by backfill.
+        running:
+            ``(estimated_end_time, total_cores)`` of running jobs — used
+            by backfill's reservation computation.
+        """
+        raise NotImplementedError
+
+
+class FIFOScheduler(Scheduler):
+    """Strict arrival order; an unplaceable head blocks everyone behind it."""
+
+    name = "fifo"
+
+    def select(self, queue, grid, now=0.0, running=()):
+        shadow = _Shadow(grid)
+        picks: list[tuple[Job, Allocation]] = []
+        for job in queue:
+            plan = place_request(grid, job.request, shadow)
+            if plan is None:
+                break  # head-of-line blocking is the point of FIFO
+            commit_placement(shadow, plan, job.request)
+            picks.append((job, Allocation(job.id, _merge_plan(plan))))
+        return picks
+
+
+class PriorityScheduler(Scheduler):
+    """Highest priority first (ties: submission order); skips blocked jobs.
+
+    Pure priority scheduling starves low-priority work under a steady
+    high-priority stream — the classic OS-course pitfall.  ``aging_rate``
+    applies the textbook fix: a job's *effective* priority grows by
+    ``aging_rate`` per unit of queue wait, so everything eventually
+    rises to the top.  ``aging_rate=0`` (default) is the pure policy.
+    """
+
+    name = "priority"
+
+    def __init__(self, aging_rate: float = 0.0) -> None:
+        if aging_rate < 0:
+            raise ValueError(f"aging_rate must be >= 0, got {aging_rate}")
+        self.aging_rate = aging_rate
+
+    def effective_priority(self, job: Job, now: float) -> float:
+        """Static priority plus accrued age."""
+        # NB: `submitted_at or now` would treat a t=0.0 submission as
+        # "not submitted" — compare against None explicitly.
+        submitted = job.submitted_at if job.submitted_at is not None else now
+        waited = max(0.0, now - submitted)
+        return job.request.priority + self.aging_rate * waited
+
+    def select(self, queue, grid, now=0.0, running=()):
+        shadow = _Shadow(grid)
+        picks: list[tuple[Job, Allocation]] = []
+        ordered = sorted(
+            enumerate(queue),
+            key=lambda p: (-self.effective_priority(p[1], now), p[0]),
+        )
+        for _, job in ordered:
+            plan = place_request(grid, job.request, shadow)
+            if plan is not None:
+                commit_placement(shadow, plan, job.request)
+                picks.append((job, Allocation(job.id, _merge_plan(plan))))
+        return picks
+
+
+class BackfillScheduler(Scheduler):
+    """EASY backfill: FIFO with a reservation for the blocked head.
+
+    When the head job cannot start, we compute its *reserved start time*
+    (the earliest moment enough cores will be free, by the running jobs'
+    estimated end times) and let later jobs start only if their own
+    estimated runtime finishes before that reservation, or they fit in
+    cores the head will not need.  Jobs without a runtime estimate are
+    never backfilled (conservative).
+    """
+
+    name = "backfill"
+
+    #: default estimate (seconds) for jobs that carry none — None disables
+    #: backfilling such jobs entirely.
+    def __init__(self) -> None:
+        pass
+
+    def select(self, queue, grid, now=0.0, running=()):
+        shadow = _Shadow(grid)
+        picks: list[tuple[Job, Allocation]] = []
+        queue = list(queue)
+
+        # Start as many head-of-queue jobs as fit (pure FIFO part).
+        while queue:
+            job = queue[0]
+            plan = place_request(grid, job.request, shadow)
+            if plan is None:
+                break
+            commit_placement(shadow, plan, job.request)
+            picks.append((job, Allocation(job.id, _merge_plan(plan))))
+            queue.pop(0)
+
+        if not queue:
+            return picks
+
+        head = queue[0]
+        head_need = head.request.total_cores
+        reservation = self._reserved_start(head_need, shadow.total_free_cores, now, running)
+        # Cores free at the reservation instant (current free + everything
+        # that drains by then).  A candidate that still runs at that point
+        # is harmless iff it fits in the slack beyond the head's need.
+        if reservation is not None:
+            drained = sum(c for end, c in running if end <= reservation)
+            free_at_reservation = shadow.total_free_cores + drained
+        else:
+            free_at_reservation = 0
+
+        for job in queue[1:]:
+            est = getattr(job.request, "est_runtime_s", None)
+            if est is None:
+                continue
+            harmless = (
+                reservation is not None
+                and job.request.total_cores <= free_at_reservation - head_need
+            )
+            finishes_in_time = reservation is not None and now + est <= reservation
+            if not (harmless or finishes_in_time):
+                continue
+            plan = place_request(grid, job.request, shadow)
+            if plan is None:
+                continue
+            commit_placement(shadow, plan, job.request)
+            picks.append((job, Allocation(job.id, _merge_plan(plan))))
+        return picks
+
+    @staticmethod
+    def _reserved_start(
+        need: int, free_now: int, now: float, running: Iterable[tuple[float, int]]
+    ) -> Optional[float]:
+        """Earliest time cumulative free cores reach ``need``."""
+        free = free_now
+        if free >= need:
+            return now
+        for end, cores in sorted(running):
+            free += cores
+            if free >= need:
+                return max(end, now)
+        return None  # not satisfiable even when everything drains

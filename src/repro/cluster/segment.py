@@ -1,0 +1,57 @@
+"""A cluster segment: one master node fronting its slave nodes."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cluster.node import Node
+from repro.cluster.spec import SegmentSpec
+
+__all__ = ["Segment"]
+
+
+class Segment:
+    """Sixteen (by default) slaves behind a segment master.
+
+    The master node exists in the inventory (it runs the segment's
+    services) but is never handed out for job execution — jobs run on
+    slaves only, as on the real machine.
+    """
+
+    def __init__(self, spec: SegmentSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.master = Node(f"{spec.name}-master", spec.master_spec, segment=spec.name)
+        self.slaves = [
+            Node(f"{spec.name}-n{i:02d}", spec.slave_spec, segment=spec.name)
+            for i in range(spec.n_slaves)
+        ]
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.slaves)
+
+    def __len__(self) -> int:
+        return len(self.slaves)
+
+    @property
+    def cores_free(self) -> int:
+        return sum(n.cores_free for n in self.slaves)
+
+    @property
+    def cores_total(self) -> int:
+        return sum(n.spec.cores for n in self.slaves)
+
+    @property
+    def load(self) -> float:
+        """Fraction of the segment's slave cores in use."""
+        total = self.cores_total
+        return (total - self.cores_free) / total if total else 0.0
+
+    def up_slaves(self) -> list[Node]:
+        """Slaves currently accepting work."""
+        from repro.cluster.node import NodeState
+
+        return [n for n in self.slaves if n.state is NodeState.UP]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Segment {self.name} {len(self.slaves)} slaves, {self.cores_free} cores free>"

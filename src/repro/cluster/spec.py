@@ -1,0 +1,101 @@
+"""Hardware inventory descriptions.
+
+The paper's cluster: "four segments, each having sixteen slave nodes and
+a master node. A master server node connects all the clusters together",
+with "duo-core and quad-core machines and a GPU machine".
+:meth:`ClusterSpec.uhd_default` reproduces that shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NodeSpec", "SegmentSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Capabilities of one machine."""
+
+    cores: int = 2
+    memory_mb: int = 2048
+    has_gpu: bool = False
+    cpu_ghz: float = 2.4
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"node must have >= 1 core, got {self.cores}")
+        if self.memory_mb < 1:
+            raise ValueError(f"node must have >= 1 MB memory, got {self.memory_mb}")
+        if self.cpu_ghz <= 0:
+            raise ValueError(f"cpu_ghz must be positive, got {self.cpu_ghz}")
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One cluster segment: a master fronting identical slaves."""
+
+    name: str
+    n_slaves: int = 16
+    slave_spec: NodeSpec = field(default_factory=NodeSpec)
+    master_spec: NodeSpec = field(default_factory=lambda: NodeSpec(cores=4, memory_mb=8192))
+
+    def __post_init__(self) -> None:
+        if self.n_slaves < 1:
+            raise ValueError(f"segment needs >= 1 slave, got {self.n_slaves}")
+
+    @property
+    def total_slave_cores(self) -> int:
+        return self.n_slaves * self.slave_spec.cores
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The whole grid: a master server over several segments."""
+
+    segments: tuple[SegmentSpec, ...]
+    master_server_spec: NodeSpec = field(default_factory=lambda: NodeSpec(cores=8, memory_mb=16384))
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a cluster needs at least one segment")
+        names = [s.name for s in self.segments]
+        if len(set(names)) != len(names):
+            raise ValueError(f"segment names must be unique, got {names}")
+
+    @property
+    def total_slave_cores(self) -> int:
+        return sum(s.total_slave_cores for s in self.segments)
+
+    @property
+    def total_slaves(self) -> int:
+        return sum(s.n_slaves for s in self.segments)
+
+    @classmethod
+    def uhd_default(cls) -> "ClusterSpec":
+        """The paper's machine: 4 segments × 16 slaves.
+
+        Segments were "composed of different types of computers acquired
+        in different times": two duo-core segments, one quad-core
+        segment, and one quad-core segment whose last node carries a GPU.
+        """
+        duo = NodeSpec(cores=2, memory_mb=2048, cpu_ghz=2.0)
+        quad = NodeSpec(cores=4, memory_mb=4096, cpu_ghz=2.6)
+        return cls(
+            segments=(
+                SegmentSpec("seg-a", 16, duo),
+                SegmentSpec("seg-b", 16, duo),
+                SegmentSpec("seg-c", 16, quad),
+                SegmentSpec("seg-d", 16, NodeSpec(cores=4, memory_mb=4096, has_gpu=True, cpu_ghz=2.6)),
+            )
+        )
+
+    @classmethod
+    def small(cls, segments: int = 1, slaves: int = 4, cores: int = 2) -> "ClusterSpec":
+        """A small cluster for tests and quick demos."""
+        return cls(
+            segments=tuple(
+                SegmentSpec(f"seg-{i}", slaves, NodeSpec(cores=cores))
+                for i in range(segments)
+            )
+        )

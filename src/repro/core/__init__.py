@@ -1,0 +1,15 @@
+"""High-level façade: the paper's two workflows in a few calls.
+
+* :class:`~repro.core.portal_session.PortalWorkflow` — the research
+  user's loop: log in → upload source → compile → run on the cluster →
+  watch the output.
+* :class:`~repro.core.classroom.Classroom` — the teaching loop: an
+  instructor account, a roster of students, closed-lab sessions run
+  through the portal, and the semester evaluation that regenerates the
+  paper's tables.
+"""
+
+from repro.core.portal_session import PortalWorkflow, RunOutcome
+from repro.core.classroom import Classroom, LabSessionReport
+
+__all__ = ["PortalWorkflow", "RunOutcome", "Classroom", "LabSessionReport"]

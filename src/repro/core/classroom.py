@@ -1,0 +1,136 @@
+"""The teaching loop: portal + labs + semester evaluation, together.
+
+A :class:`Classroom` owns a portal instance with an instructor account
+and a student roster.  It can run a *closed lab session* — every student
+account uploads the lab's program through the portal, runs it on the
+cluster, and the observed behaviour is collected (the paper's "closed
+labs ... students have the access to the Linux computer cluster") — and
+it renders the TCPP integration plan and the semester evaluation.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.portal_session import PortalWorkflow
+from repro.education.course import COURSE_PLAN, topics_covered_by_labs
+from repro.education.semester import SemesterReport, SemesterSimulation
+from repro.labs import get_lab, lab_ids
+from repro.portal.app import PortalApp, make_default_app
+from repro.portal.client import PortalClient
+
+__all__ = ["LabSessionReport", "Classroom"]
+
+#: A tiny C program per lab used for the *portal* leg of a closed lab —
+#: what the student compiles and runs on the cluster; the concurrency
+#: behaviour itself is exercised by the lab's simulator variant.
+_LAB_PORTAL_SOURCES = {
+    lab_id: (
+        f"{lab_id}_demo.c",
+        '#include <stdio.h>\n'
+        f'int main(void) {{ printf("{lab_id} demo executed on the cluster\\n"); return 0; }}\n',
+    )
+    for lab_id in ("lab1", "lab2", "lab3", "lab4", "lab5", "lab6", "lab7")
+}
+
+
+@dataclass
+class LabSessionReport:
+    """What one closed-lab session produced."""
+
+    lab_id: str
+    title: str
+    students: int
+    portal_runs_ok: int
+    broken_demo_passed: bool
+    fixed_demo_passed: bool
+    observations: dict = field(default_factory=dict)
+
+
+class Classroom:
+    """Instructor + roster + portal + labs."""
+
+    def __init__(
+        self,
+        n_students: int = 19,
+        root_dir: str | None = None,
+        cluster_spec: ClusterSpec | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.root_dir = root_dir or tempfile.mkdtemp(prefix="classroom_")
+        self.app: PortalApp = make_default_app(
+            self.root_dir, cluster_spec=cluster_spec or ClusterSpec.small(segments=2, slaves=4)
+        )
+        admin = PortalClient(app=self.app)
+        admin.login("admin", "admin-pass")
+        admin.create_user("instructor", "teach-pass", role="instructor", full_name="Course Instructor")
+        self.roster = [f"student{i:02d}" for i in range(n_students)]
+        for name in self.roster:
+            admin.create_user(name, f"{name}-pass", full_name=name.capitalize())
+        admin.logout()
+        self.seed = seed
+        self._semester: SemesterReport | None = None
+
+    # -- closed-lab sessions ----------------------------------------------------
+    def run_lab_session(self, lab_id: str, sample_students: int = 5) -> LabSessionReport:
+        """One closed lab: portal runs by students + behaviour demos.
+
+        ``sample_students`` caps how many roster accounts actually push
+        the program through the portal (uploads + real compilation are
+        the slow part; the behaviour demos are the pedagogical payload).
+        """
+        lab = get_lab(lab_id)
+        filename, source = _LAB_PORTAL_SOURCES[lab_id]
+        runs_ok = 0
+        for name in self.roster[:sample_students]:
+            client = PortalClient(app=self.app)
+            client.login(name, f"{name}-pass")
+            outcome = PortalWorkflow(client).develop_and_run(filename, source)
+            if outcome.ok:
+                runs_ok += 1
+            client.logout()
+        broken = lab.run("broken", seed=2)
+        fixed = lab.run("fixed", seed=2)
+        return LabSessionReport(
+            lab_id=lab_id,
+            title=lab.title,
+            students=sample_students,
+            portal_runs_ok=runs_ok,
+            broken_demo_passed=broken.passed,
+            fixed_demo_passed=fixed.passed,
+            observations={"broken": broken.observations, "fixed": fixed.observations},
+        )
+
+    def run_all_labs(self, sample_students: int = 3) -> list[LabSessionReport]:
+        """Every lab in course order."""
+        return [self.run_lab_session(lab_id, sample_students) for lab_id in lab_ids()]
+
+    # -- evaluation ----------------------------------------------------------------
+    def semester_report(self) -> SemesterReport:
+        """The paper's evaluation (Tables 1–3) for this class size."""
+        if self._semester is None:
+            sim = (
+                SemesterSimulation(self.seed, n_students=len(self.roster))
+                if self.seed is not None
+                else SemesterSimulation(n_students=len(self.roster))
+            )
+            self._semester = sim.run()
+        return self._semester
+
+    # -- curriculum rendering ----------------------------------------------------
+    @staticmethod
+    def integration_plan() -> str:
+        """The TCPP topic-integration plan as a text table (Section III.A)."""
+        lines = ["TCPP Core Curriculum integration into CS 4315", "=" * 46]
+        covered = topics_covered_by_labs()
+        for module in COURSE_PLAN:
+            lines.append(f"\n{module.name}")
+            lines.append("-" * len(module.name))
+            for topic in module.topics:
+                status = "existing" if topic.preexisting else "ADDED"
+                labs = f" [{', '.join(topic.labs)}]" if topic.labs else ""
+                lines.append(f"  {topic.name:<38} {status:>8}{labs}")
+        lines.append(f"\nLabs exercising added topics: {', '.join(sorted(covered))}")
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""One-call user workflows over the portal API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.portal.client import PortalClient
+
+__all__ = ["RunOutcome", "PortalWorkflow"]
+
+
+@dataclass
+class RunOutcome:
+    """Everything a develop-and-run round trip produced."""
+
+    compiled: bool
+    diagnostics: str
+    job_id: str | None = None
+    state: str | None = None
+    exit_code: int | None = None
+    stdout: list[str] = field(default_factory=list)
+    stderr: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Compiled, ran, and exited zero."""
+        return self.compiled and self.state == "completed" and self.exit_code == 0
+
+
+class PortalWorkflow:
+    """The paper's user story, scripted.
+
+    Usage (with a logged-in :class:`PortalClient`)::
+
+        flow = PortalWorkflow(client)
+        outcome = flow.develop_and_run("pi.c", source_code)
+        outcome.ok, outcome.stdout
+    """
+
+    def __init__(self, client: PortalClient) -> None:
+        self.client = client
+
+    def develop_and_run(
+        self,
+        filename: str,
+        source: str,
+        kind: str = "sequential",
+        n_tasks: int = 1,
+        stdin: str = "",
+        args: tuple = (),
+        timeout: float = 60.0,
+    ) -> RunOutcome:
+        """Upload → compile+submit → wait → collect output."""
+        self.client.write_file(filename, source)
+        try:
+            resp = self.client.submit_job(
+                filename, kind=kind, n_tasks=n_tasks, stdin=stdin, args=list(args)
+            )
+        except Exception as exc:  # compile failures surface as 400s
+            return RunOutcome(compiled=False, diagnostics=str(exc))
+        job = resp["job"]
+        desc = self.client.wait_for_job(job["id"], timeout=timeout)
+        out = self.client.job_output(job["id"])
+        return RunOutcome(
+            compiled=True,
+            diagnostics=resp["compile"]["diagnostics"],
+            job_id=job["id"],
+            state=desc["state"],
+            exit_code=desc["exit_code"],
+            stdout=out["stdout"],
+            stderr=out["stderr_tail"],
+        )
+
+    def edit_compile_loop(self, filename: str, versions: list[str]) -> list[RunOutcome]:
+        """Simulate a student's iterative fix cycle: one outcome per version."""
+        return [self.develop_and_run(filename, src) for src in versions]

@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel.
+
+``repro.desim`` is the substrate under every simulated component of the
+reproduction: the simulated cluster backend, the minimpi network cost
+model, and the UMA/NUMA memory-timing experiments all advance a shared
+virtual clock through this kernel.
+
+The design is a deliberately small, dependency-free take on the
+generator-process style popularised by SimPy:
+
+* :class:`~repro.desim.kernel.Simulator` owns the virtual clock and the
+  event queue.
+* :class:`~repro.desim.process.Process` wraps a Python generator; the
+  generator ``yield``s *waitables* (timeouts, events, other processes,
+  store operations) and is resumed when they fire.
+* :mod:`~repro.desim.resources` provides queuing resources: FIFO
+  :class:`~repro.desim.resources.Store`, counted
+  :class:`~repro.desim.resources.Resource` and
+  :class:`~repro.desim.resources.Container`.
+
+Everything is deterministic given a seed; no wall-clock time is consulted
+anywhere in the simulated path.
+"""
+
+from repro.desim.kernel import Event, Simulator
+from repro.desim.process import Process, ProcessKilled
+from repro.desim.resources import Container, Resource, Store
+from repro.desim.rng import SeedSequenceSplitter, substream
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "ProcessKilled",
+    "Store",
+    "Resource",
+    "Container",
+    "SeedSequenceSplitter",
+    "substream",
+]

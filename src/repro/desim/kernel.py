@@ -1,0 +1,284 @@
+"""Virtual clock, events and the simulation event loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+from repro._errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, becomes *triggered* once given a value (or
+    an exception) and a firing time, and is *processed* after its
+    callbacks have run.  Processes wait on events by ``yield``-ing them.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_exc", "_triggered", "_processed", "callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        self.callbacks: list[Callable[["Event"], None]] = []
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been given a value or exception."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have been dispatched."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when triggered successfully (no exception attached)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value. Raises if the event failed or is pending."""
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._push(delay, self)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire carrying exception ``exc``."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._push(delay, self)
+        return self
+
+    def _dispatch(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        label = self.name or hex(id(self))
+        return f"<Event {label} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    The simulator keeps a priority queue of triggered events keyed by
+    ``(time, sequence)``; ties at equal times dispatch in trigger order,
+    which keeps runs reproducible.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(3)
+    ...     out.append(sim.now)
+    >>> _ = sim.process(proc(sim))
+    >>> sim.run()
+    >>> out
+    [3.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._processed_events = 0
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Count of events dispatched so far (for tests / stats)."""
+        return self._processed_events
+
+    # -- event construction --------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` time units from now.
+
+        ``delay`` must be non-negative; zero-delay timeouts fire in FIFO
+        order after already-queued same-time events.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        ev = Event(self, f"timeout({delay})")
+        ev.succeed(value, delay=delay)
+        return ev
+
+    def process(self, generator) -> "Process":
+        """Start a generator as a simulated process. See :class:`Process`."""
+        from repro.desim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event firing when *all* of ``events`` have fired.
+
+        The value is the list of individual values in input order. Fails
+        fast with the first failure.
+        """
+        events = list(events)
+        done = self.event("all_of")
+        remaining = len(events)
+        if remaining == 0:
+            return done.succeed([])
+        values: list[Any] = [None] * remaining
+
+        def make_cb(i: int):
+            def cb(ev: Event) -> None:
+                nonlocal remaining
+                if done.triggered:
+                    return
+                if not ev.ok:
+                    done.fail(ev._exc)  # propagate failure
+                    return
+                values[i] = ev._value
+                remaining -= 1
+                if remaining == 0:
+                    done.succeed(list(values))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            self._subscribe(ev, make_cb(i))
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event firing when *any* of ``events`` fires, valued ``(index, value)``."""
+        events = list(events)
+        if not events:
+            raise SimulationError("any_of() requires at least one event")
+        done = self.event("any_of")
+
+        def make_cb(i: int):
+            def cb(ev: Event) -> None:
+                if done.triggered:
+                    return
+                if not ev.ok:
+                    done.fail(ev._exc)
+                else:
+                    done.succeed((i, ev._value))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            self._subscribe(ev, make_cb(i))
+        return done
+
+    # -- internals -------------------------------------------------------
+    def _subscribe(self, ev: Event, cb: Callable[[Event], None]) -> None:
+        """Attach ``cb`` to ``ev``, calling immediately if already processed."""
+        if ev.processed:
+            cb(ev)
+        else:
+            ev.callbacks.append(cb)
+
+    def _push(self, delay: float, ev: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), ev))
+
+    # -- running -------------------------------------------------------
+    def step(self) -> None:
+        """Dispatch the single next event. Raises on an empty queue."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        t, _, ev = heapq.heappop(self._queue)
+        if t < self._now:  # pragma: no cover - guarded by _push
+            raise SimulationError("event queue time went backwards")
+        self._now = t
+        self._processed_events += 1
+        ev._dispatch()
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``float('inf')`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | Event | None = None, max_events: int | None = None) -> Any:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            ``None``     — run to queue exhaustion.
+            ``float``    — run until the clock would pass this time, then
+            set ``now`` to it.
+            ``Event``    — run until this event is processed and return
+            its value (re-raising its failure).
+        max_events:
+            Optional safety valve for tests: raise
+            :class:`SimulationError` after this many dispatches.
+        """
+        stop_at: float | None = None
+        stop_event: Event | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(f"run(until={stop_at}) is in the past (now={self._now})")
+
+        dispatched = 0
+        while self._queue:
+            if stop_at is not None and self._queue[0][0] > stop_at:
+                break
+            self.step()
+            dispatched += 1
+            if stop_event is not None and stop_event.processed:
+                break
+            if max_events is not None and dispatched >= max_events:
+                if stop_event is not None and not stop_event.processed:
+                    raise SimulationError(f"max_events={max_events} exhausted before event fired")
+                break
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError("event queue exhausted before awaited event fired (deadlock?)")
+            return stop_event.value
+        if stop_at is not None:
+            self._now = max(self._now, stop_at)
+        return None

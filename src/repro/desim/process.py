@@ -1,0 +1,122 @@
+"""Generator-based simulated processes.
+
+A *process* is a Python generator driven by the simulator.  The generator
+``yield``s waitables and is resumed with the waitable's value once it
+fires:
+
+* ``yield sim.timeout(d)``          — sleep ``d`` virtual time units;
+* ``yield some_event``              — wait for an event, receive its value;
+* ``yield other_process``           — join another process, receive its
+  return value;
+* ``yield store.get()`` / ``put()`` — queue operations from
+  :mod:`repro.desim.resources`.
+
+A process is itself an :class:`~repro.desim.kernel.Event` that fires with
+the generator's return value, so processes compose (``all_of`` over
+processes, processes joining processes, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro._errors import SimulationError
+from repro.desim.kernel import Event, Simulator
+
+__all__ = ["Process", "ProcessKilled"]
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process generator by :meth:`Process.kill`."""
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "process killed")
+        self.reason = reason
+
+
+class Process(Event):
+    """A running simulated process.
+
+    Do not instantiate directly — use :meth:`Simulator.process`.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_alive")
+
+    def __init__(self, sim: Simulator, generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Simulator.process() needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        self._alive = True
+        # Bootstrap: resume on the next zero-delay tick so the creator
+        # finishes its own time step first.
+        boot = sim.timeout(0.0)
+        self.sim._subscribe(boot, self._resume)
+
+    # -- public --------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return self._alive
+
+    def kill(self, reason: str = "") -> None:
+        """Throw :class:`ProcessKilled` into the process at its wait point.
+
+        The process may catch it to clean up; if it does not, the process
+        event *fails* with the :class:`ProcessKilled`.
+        """
+        if not self._alive:
+            return
+        self._step(ProcessKilled(reason), is_exc=True)
+
+    # -- driving -------------------------------------------------------
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev._exc is not None:
+            self._step(ev._exc, is_exc=True)
+        else:
+            self._step(ev._value, is_exc=False)
+
+    def _step(self, payload: Any, is_exc: bool) -> None:
+        if not self._alive:
+            return
+        try:
+            if is_exc:
+                target = self.generator.throw(payload)
+            else:
+                target = self.generator.send(payload)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except ProcessKilled as pk:
+            self._finish(exc=pk)
+            return
+        except BaseException as exc:
+            self._finish(exc=exc)
+            return
+
+        if not isinstance(target, Event):
+            self._finish(
+                exc=SimulationError(
+                    f"process {self.name!r} yielded {target!r}; expected an Event/Process/operation"
+                )
+            )
+            return
+        self._waiting_on = target
+        self.sim._subscribe(target, self._resume)
+
+    def _finish(self, value: Any = None, exc: BaseException | None = None) -> None:
+        self._alive = False
+        if self.triggered:  # pragma: no cover - defensive
+            return
+        if exc is not None:
+            self.fail(exc)
+        else:
+            self.succeed(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"

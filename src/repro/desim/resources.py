@@ -1,0 +1,237 @@
+"""Queuing resources for simulated processes.
+
+Three classic shapes:
+
+* :class:`Store`     — FIFO buffer of discrete items (optionally bounded);
+* :class:`Resource`  — counted resource with ``request``/``release``
+  (think: CPU cores on a node);
+* :class:`Container` — continuous level with ``put``/``get`` amounts
+  (think: memory bytes).
+
+All operations return :class:`~repro.desim.kernel.Event` objects to be
+``yield``-ed from process generators; they fire when the operation
+completes.  Waiters are served strictly FIFO, which keeps simulations
+deterministic and starvation-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro._errors import ResourceError, SimulationError
+from repro.desim.kernel import Event, Simulator
+
+__all__ = ["Store", "Resource", "Container"]
+
+
+class Store:
+    """FIFO item buffer.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Maximum items held; ``put`` blocks when full.  ``None`` means
+        unbounded.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int | None = None, name: str = "store") -> None:
+        if capacity is not None and capacity < 1:
+            raise ResourceError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    # -- operations ------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once it is buffered."""
+        ev = self.sim.event(f"{self.name}.put")
+        self._putters.append((ev, item))
+        self._drain()
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event fires valued with the item."""
+        ev = self.sim.event(f"{self.name}.get")
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items and not self._getters:
+            item = self._items.popleft()
+            self._drain()
+            return True, item
+        return False, None
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit puts while there is room.
+            while self._putters and (self.capacity is None or len(self._items) < self.capacity):
+                ev, item = self._putters.popleft()
+                self._items.append(item)
+                ev.succeed()
+                progressed = True
+            # Serve gets while there are items.
+            while self._getters and self._items:
+                ev = self._getters.popleft()
+                ev.succeed(self._items.popleft())
+                progressed = True
+
+
+class Resource:
+    """Counted resource with FIFO request queue.
+
+    >>> sim = Simulator()
+    >>> cores = Resource(sim, capacity=2)
+
+    Inside a process::
+
+        yield cores.request()
+        try:
+            yield sim.timeout(work)
+        finally:
+            cores.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ResourceError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[tuple[Event, int]] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units free right now."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting."""
+        return len(self._waiters)
+
+    def request(self, units: int = 1) -> Event:
+        """Acquire ``units``; event fires when granted."""
+        if units < 1 or units > self.capacity:
+            raise ResourceError(
+                f"cannot request {units} units of {self.name!r} (capacity {self.capacity})"
+            )
+        ev = self.sim.event(f"{self.name}.request")
+        self._waiters.append((ev, units))
+        self._grant()
+        return ev
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units``; immediately grants queued requests that fit."""
+        if units < 1:
+            raise ResourceError(f"release units must be >= 1, got {units}")
+        if units > self._in_use:
+            raise ResourceError(
+                f"double release on {self.name!r}: releasing {units}, only {self._in_use} in use"
+            )
+        self._in_use -= units
+        self._grant()
+
+    def _grant(self) -> None:
+        # Strict FIFO: the head request blocks later smaller ones so a
+        # wide parallel job cannot starve behind a stream of narrow jobs.
+        while self._waiters:
+            ev, units = self._waiters[0]
+            if self._in_use + units > self.capacity:
+                break
+            self._waiters.popleft()
+            self._in_use += units
+            ev.succeed(units)
+
+
+class Container:
+    """Continuous-level resource (e.g. bytes of memory).
+
+    ``get`` blocks until the requested amount is available; ``put`` blocks
+    while it would overflow ``capacity``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        init: float = 0.0,
+        name: str = "container",
+    ) -> None:
+        if capacity <= 0:
+            raise ResourceError(f"container capacity must be > 0, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ResourceError(f"init level {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.name = name
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Withdraw ``amount``; event fires when satisfied."""
+        if amount <= 0 or amount > self.capacity:
+            raise ResourceError(f"invalid get amount {amount} for {self.name!r}")
+        ev = self.sim.event(f"{self.name}.get")
+        self._getters.append((ev, amount))
+        self._drain()
+        return ev
+
+    def put(self, amount: float) -> Event:
+        """Deposit ``amount``; event fires when it fits."""
+        if amount <= 0 or amount > self.capacity:
+            raise ResourceError(f"invalid put amount {amount} for {self.name!r}")
+        ev = self.sim.event(f"{self.name}.put")
+        self._putters.append((ev, amount))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed()
+                    progressed = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed(amount)
+                    progressed = True

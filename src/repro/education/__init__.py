@@ -1,0 +1,55 @@
+"""Course and assessment model (Section III.C of the paper).
+
+The paper evaluates teaching effectiveness on a Spring-2012 cohort of 19
+students via three instruments, each reproduced here against a
+*synthetic cohort* (the substitution DESIGN.md documents):
+
+* **Table 1** — lab/assignment passing rates (pass = score ≥ 70/100).
+  :mod:`~repro.education.grading` grades each synthetic student by
+  *actually running* the lab code from :mod:`repro.labs`: students whose
+  modelled submission is correct run the ``fixed`` variant, the rest run
+  the ``broken`` variant through the instructor's multi-seed grading
+  harness.
+* **Table 2** — passing rates on the exams' multicore questions, overall
+  and among students who passed the course
+  (:mod:`~repro.education.exams`).
+* **Table 3** — entrance/exit survey means for six questions
+  (:mod:`~repro.education.survey`).
+
+:class:`~repro.education.semester.SemesterSimulation` runs the whole
+pipeline end-to-end and prints each table next to the paper's numbers.
+Student ability follows a probit item-response model whose difficulty
+parameters are calibrated analytically from the paper's reported rates
+(see :mod:`~repro.education.students`), so the reproduction needs no
+hand-tuned magic constants.
+"""
+
+from repro.education.students import Cohort, Student
+from repro.education.course import COURSE_PLAN, CourseModule, TCPPTopic
+from repro.education.grading import GradeBook, LabGrader
+from repro.education.exams import ExamModel, ExamOutcome
+from repro.education.survey import SURVEY_QUESTIONS, SurveyModel, SurveyQuestion
+from repro.education.semester import PAPER_TABLES, SemesterSimulation
+from repro.education.analytics import format_comparison_table, passing_rate
+from repro.education.reports import gradebook_csv, instructor_report
+
+__all__ = [
+    "Student",
+    "Cohort",
+    "CourseModule",
+    "TCPPTopic",
+    "COURSE_PLAN",
+    "LabGrader",
+    "GradeBook",
+    "ExamModel",
+    "ExamOutcome",
+    "SurveyModel",
+    "SurveyQuestion",
+    "SURVEY_QUESTIONS",
+    "SemesterSimulation",
+    "PAPER_TABLES",
+    "passing_rate",
+    "gradebook_csv",
+    "instructor_report",
+    "format_comparison_table",
+]

@@ -1,0 +1,77 @@
+"""Assessment analytics and paper-vs-measured table formatting."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["passing_rate", "format_comparison_table", "shape_agreement"]
+
+
+def passing_rate(scores: Iterable[float], threshold: float = 70.0) -> float:
+    """Fraction of scores at or above ``threshold`` (the paper's 70/100)."""
+    values = np.asarray(list(scores), dtype=float)
+    if values.size == 0:
+        raise ValueError("passing_rate of an empty score list")
+    return float((values >= threshold).mean())
+
+
+def format_comparison_table(
+    title: str,
+    rows: Sequence[tuple[str, float, float]],
+    paper_label: str = "paper",
+    measured_label: str = "measured",
+    as_percent: bool = True,
+) -> str:
+    """Render ``(name, paper_value, measured_value)`` rows as fixed-width text.
+
+    This is the output format of every bench harness: the paper's number
+    next to ours, plus the delta.
+    """
+    name_w = max(len(r[0]) for r in rows) if rows else 10
+    name_w = max(name_w, 12)
+    fmt = "{:.0%}" if as_percent else "{:.2f}"
+    lines = [
+        title,
+        "=" * len(title),
+        f"{'':{name_w}}  {paper_label:>9}  {measured_label:>9}  {'delta':>7}",
+    ]
+    for name, paper, measured in rows:
+        delta = measured - paper
+        lines.append(
+            f"{name:{name_w}}  {fmt.format(paper):>9}  {fmt.format(measured):>9}  "
+            f"{'+' if delta >= 0 else ''}{fmt.format(delta) if as_percent else f'{delta:.2f}':>6}"
+        )
+    return "\n".join(lines)
+
+
+def shape_agreement(
+    paper: Sequence[float], measured: Sequence[float], tolerance: float = 0.15
+) -> dict:
+    """Quantify paper-vs-measured agreement.
+
+    Reports the max absolute deviation, whether every row lands within
+    ``tolerance``, and whether the *ordering* of rows (who is hardest /
+    easiest) is preserved — the reproduction criterion DESIGN.md sets.
+    """
+    p = np.asarray(paper, dtype=float)
+    m = np.asarray(measured, dtype=float)
+    if p.shape != m.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {m.shape}")
+    deviations = np.abs(p - m)
+    rank_match = bool((np.argsort(np.argsort(p)) == np.argsort(np.argsort(m))).all())
+    # Spearman-style rank correlation without scipy dependency here:
+    pr = np.argsort(np.argsort(p)).astype(float)
+    mr = np.argsort(np.argsort(m)).astype(float)
+    if pr.std() > 0 and mr.std() > 0:
+        rank_corr = float(np.corrcoef(pr, mr)[0, 1])
+    else:
+        rank_corr = 1.0
+    return {
+        "max_abs_deviation": float(deviations.max()),
+        "mean_abs_deviation": float(deviations.mean()),
+        "all_within_tolerance": bool((deviations <= tolerance).all()),
+        "exact_rank_match": rank_match,
+        "rank_correlation": rank_corr,
+    }

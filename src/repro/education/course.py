@@ -1,0 +1,93 @@
+"""The course plan: TCPP topic integration into CS 4315 (Section III.A).
+
+A data model of the paper's integration plan — which TCPP Core
+Curriculum topics were woven into which existing course modules, and
+which lab exercises exercise them.  The classroom report
+(:mod:`repro.core.classroom`) renders this, and tests assert the plan
+covers every lab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TCPPTopic", "CourseModule", "COURSE_PLAN", "topics_covered_by_labs"]
+
+
+@dataclass(frozen=True)
+class TCPPTopic:
+    """One topic from the NSF/IEEE-TCPP core curriculum."""
+
+    name: str
+    area: str            # "Architecture" | "Programming" | "Algorithms" | "Crosscutting"
+    preexisting: bool    # already in CS 4315 before the integration?
+    labs: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CourseModule:
+    """One module of the operating-systems course."""
+
+    name: str
+    topics: tuple[TCPPTopic, ...]
+
+    def added_topics(self) -> list[TCPPTopic]:
+        """Topics newly introduced by the TCPP integration."""
+        return [t for t in self.topics if not t.preexisting]
+
+
+COURSE_PLAN: tuple[CourseModule, ...] = (
+    CourseModule(
+        name="Computer Organization",
+        topics=(
+            TCPPTopic("Pipeline", "Architecture", True),
+            TCPPTopic("SIMD", "Architecture", True),
+            TCPPTopic("MIMD", "Architecture", True),
+            TCPPTopic("Spin lock / test-and-set", "Architecture", False, ("lab2",)),
+            TCPPTopic("Deadlock", "Crosscutting", True, ("lab6",)),
+            TCPPTopic("Message passing: topology", "Architecture", False, ("lab3",)),
+            TCPPTopic("Message passing: latency", "Architecture", False, ("lab3",)),
+            TCPPTopic("Message passing: routing", "Architecture", False, ("lab3",)),
+        ),
+    ),
+    CourseModule(
+        name="Operating System Organization",
+        topics=(
+            TCPPTopic("Multithreading", "Programming", True, ("lab1", "lab4")),
+            TCPPTopic("Simultaneous multithreading (SMT)", "Architecture", False),
+            TCPPTopic("SMT vs multicore", "Architecture", False),
+        ),
+    ),
+    CourseModule(
+        name="Memory Management",
+        topics=(
+            TCPPTopic("Memory hierarchy / cache", "Architecture", False, ("lab2",)),
+            TCPPTopic("Consistency", "Architecture", False),
+            TCPPTopic("Coherence", "Architecture", False, ("lab2",)),
+            TCPPTopic("Impact on software", "Crosscutting", False, ("lab2", "lab3")),
+            TCPPTopic("UMA", "Architecture", False, ("lab3",)),
+            TCPPTopic("NUMA", "Architecture", False, ("lab3",)),
+        ),
+    ),
+    CourseModule(
+        name="Programming Topics",
+        topics=(
+            TCPPTopic("Shared memory", "Programming", True, ("lab1", "lab2", "lab5", "lab7")),
+            TCPPTopic("Task/thread spawning", "Programming", True, ("lab4",)),
+            TCPPTopic("Distributed memory", "Programming", False, ("lab3",)),
+            TCPPTopic("Hybrid", "Programming", False, ("lab3",)),
+            TCPPTopic("SPMD", "Programming", False, ("lab3",)),
+            TCPPTopic("Data parallel", "Programming", False),
+        ),
+    ),
+)
+
+
+def topics_covered_by_labs() -> dict[str, list[str]]:
+    """Map ``lab_id -> [topic names]`` — used to check lab coverage."""
+    out: dict[str, list[str]] = {}
+    for module in COURSE_PLAN:
+        for topic in module.topics:
+            for lab in topic.labs:
+                out.setdefault(lab, []).append(topic.name)
+    return out

@@ -1,0 +1,76 @@
+"""Instructor-facing exports: gradebook CSV and the end-of-term report.
+
+The companion to the portal's teaching use: once the semester (real or
+simulated) is graded, the instructor exports scores for the registrar
+and reads one consolidated text report covering every instrument.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.education.semester import SemesterReport
+from repro.education.students import Cohort
+from repro.labs import get_lab
+
+__all__ = ["gradebook_csv", "instructor_report"]
+
+
+def gradebook_csv(cohort: Cohort) -> str:
+    """CSV with one row per student: labs, exams, course points, outcome.
+
+    Requires the semester pipeline to have populated the students'
+    scores (run :class:`~repro.education.semester.SemesterSimulation`
+    first).
+    """
+    lab_ids = sorted({lab_id for s in cohort for lab_id in s.lab_scores})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["student_id", *lab_ids, "midterm", "final", "course_points", "passed_course"]
+    )
+    for student in cohort:
+        writer.writerow(
+            [
+                student.student_id,
+                *(f"{student.lab_scores.get(l, float('nan')):.1f}" for l in lab_ids),
+                f"{student.midterm_score:.1f}",
+                f"{student.final_score:.1f}",
+                f"{student.course_points:.1f}",
+                "yes" if student.passed_course else "no",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def instructor_report(report: SemesterReport) -> str:
+    """The consolidated end-of-term text report (all three tables +
+    per-lab difficulty commentary)."""
+    lines = [
+        "END-OF-TERM REPORT — CS 4315 with TCPP PDC modules",
+        "=" * 52,
+        f"enrolled: {report.cohort_size}   "
+        f"C-or-better: {report.course_pass_rate:.0%}",
+        "",
+        report.table1(),
+        "",
+    ]
+    hardest = min(report.lab_rates, key=report.lab_rates.get)
+    easiest = max(report.lab_rates, key=report.lab_rates.get)
+    lines.append(
+        f"hardest assignment: {get_lab(hardest).title} "
+        f"({report.lab_rates[hardest]:.0%} passing)"
+    )
+    lines.append(
+        f"most accessible:    {get_lab(easiest).title} "
+        f"({report.lab_rates[easiest]:.0%} passing)"
+    )
+    lines += ["", report.table2(), "", report.table3(), ""]
+    rates = report.exam_rates
+    delta = rates.final_passers - rates.midterm_passers
+    lines.append(
+        f"course passers improved {delta:+.0%} on multicore questions "
+        "between midterm and final."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Entrance/exit surveys (the paper's six questions, Table 3).
+
+Each :class:`SurveyQuestion` carries its scale, polarity and the
+generative link to the student model:
+
+* *knowledge self-ratings* (Q1, Q5, Q6) move with the student's prior
+  PDC knowledge at entrance and with realised learning gain at exit;
+* *attitude items* (Q2, Q3, Q4) are driven by stable opinions and move
+  only slightly — the paper itself notes the entrance/exit means are
+  "very close" and the small shifts "might be due to randomness".
+
+Responses are discrete (clipped rounding of a latent continuous value),
+exactly like a real Likert instrument, and means are compared to the
+paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.desim.rng import substream
+from repro.education.students import GAIN_MEAN, Cohort, Student
+
+__all__ = ["SurveyQuestion", "SURVEY_QUESTIONS", "PAPER_SURVEY_MEANS", "SurveyModel"]
+
+
+@dataclass(frozen=True)
+class SurveyQuestion:
+    """One Likert item."""
+
+    qid: str
+    text: str
+    scale_min: int
+    scale_max: int
+    kind: str                 # "knowledge-inverse" | "attitude" | "knowledge-direct"
+    entrance_mean: float      # paper's entrance mean (drives the latent baseline)
+    exit_mean: float          # paper's exit mean
+
+    def clip_round(self, latent: np.ndarray) -> np.ndarray:
+        """Discretise a latent response onto the scale."""
+        return np.clip(np.rint(latent), self.scale_min, self.scale_max)
+
+
+#: The six questions (Section III.C), with the paper's Table-3 means.
+SURVEY_QUESTIONS: tuple[SurveyQuestion, ...] = (
+    SurveyQuestion(
+        "Q1", "How much do you think you know about PDC technology? (1=a lot .. 4=not at all)",
+        1, 4, "knowledge-inverse", 3.00, 2.00,
+    ),
+    SurveyQuestion(
+        "Q2", "Does the traditional single-processor OS course still suffice? (1=yes .. 3=no)",
+        1, 3, "attitude", 2.56, 2.38,
+    ),
+    SurveyQuestion(
+        "Q3", "Relevance of multi-core topics in the curriculum (1=highly important .. 3=not)",
+        1, 3, "attitude", 1.33, 1.29,
+    ),
+    SurveyQuestion(
+        "Q4", "Usefulness of multi-core programming skills for careers (1=very .. 3=not)",
+        1, 3, "attitude", 1.44, 1.38,
+    ),
+    SurveyQuestion(
+        "Q5", "Rate your knowledge of message-passing computing (1..5, 5=full)",
+        1, 5, "knowledge-direct", 2.00, 2.75,
+    ),
+    SurveyQuestion(
+        "Q6", "Rate your knowledge of multi-threading with Pthread (1..5, 5=full)",
+        1, 5, "knowledge-direct", 2.22, 3.00,
+    ),
+)
+
+#: Table 3 as {qid: (entrance, exit)}.
+PAPER_SURVEY_MEANS = {q.qid: (q.entrance_mean, q.exit_mean) for q in SURVEY_QUESTIONS}
+
+_RESPONSE_NOISE_SD = 0.45
+
+
+class SurveyModel:
+    """Generates entrance and exit responses for a cohort."""
+
+    def __init__(self, seed: int = 2012) -> None:
+        self.seed = seed
+
+    # -- latent response construction ------------------------------------------
+    def _latent(self, q: SurveyQuestion, student: Student, moment: str) -> float:
+        """Latent (continuous) response centred on the paper's mean.
+
+        Knowledge items shift with the student's prior knowledge
+        (entrance) or realised learning (exit); attitude items only
+        carry stable personal variation around the reported mean.
+        """
+        base = q.entrance_mean if moment == "entrance" else q.exit_mean
+        if q.kind == "attitude":
+            personal = 0.25 * student.prior_pdc
+            return base + personal
+        if q.kind == "knowledge-inverse":
+            # More knowledge -> *lower* response.
+            knowledge = student.prior_pdc if moment == "entrance" else (
+                student.prior_pdc + student.learning_gain - GAIN_MEAN  # centred gain
+            )
+            return base - 0.35 * knowledge
+        # knowledge-direct: more knowledge -> higher response.
+        knowledge = student.prior_pdc if moment == "entrance" else (
+            student.prior_pdc + student.learning_gain - GAIN_MEAN
+        )
+        return base + 0.45 * knowledge
+
+    def respond(self, cohort: Cohort, moment: str) -> dict[str, np.ndarray]:
+        """All students answer all questions at ``moment``.
+
+        Returns ``{qid: responses array}`` (one entry per student).
+        """
+        if moment not in ("entrance", "exit"):
+            raise ValueError(f"moment must be 'entrance' or 'exit', got {moment!r}")
+        out: dict[str, np.ndarray] = {}
+        for q in SURVEY_QUESTIONS:
+            responses = []
+            for student in cohort:
+                rng = substream(self.seed, f"survey:{moment}:{q.qid}:{student.student_id}")
+                latent = self._latent(q, student, moment) + rng.normal(0.0, _RESPONSE_NOISE_SD)
+                responses.append(latent)
+            out[q.qid] = q.clip_round(np.array(responses))
+        return out
+
+    def means(self, cohort: Cohort) -> dict[str, tuple[float, float]]:
+        """Table 3: ``{qid: (entrance mean, exit mean)}``."""
+        entrance = self.respond(cohort, "entrance")
+        exit_ = self.respond(cohort, "exit")
+        return {
+            q.qid: (float(entrance[q.qid].mean()), float(exit_[q.qid].mean()))
+            for q in SURVEY_QUESTIONS
+        }

@@ -1,0 +1,95 @@
+"""Deterministic concurrency sandbox (virtual threads).
+
+The paper's labs teach students to *observe* concurrency bugs — lost
+updates, deadlocks, incorrect bank balances — and then fix them.  On real
+hardware those observations are probabilistic; here they are reproducible.
+
+Lab programs are written as Python generator functions ("virtual
+threads") that ``yield`` an operation object at every shared-memory or
+synchronisation step.  The :class:`~repro.interleave.scheduler.Scheduler`
+interprets the operations and decides which thread runs next, under a
+pluggable policy:
+
+* :class:`~repro.interleave.scheduler.RandomPolicy` — seeded pseudo-random
+  preemption (reproduces the classroom experience deterministically);
+* :class:`~repro.interleave.scheduler.RoundRobinPolicy` — fair rotation;
+* :class:`~repro.interleave.scheduler.FixedPolicy` — replay an explicit
+  schedule (used by the systematic explorer).
+
+On top of the scheduler sit:
+
+* Eraser-style lockset *race detection*
+  (:mod:`~repro.interleave.detector`),
+* wait-for-graph *deadlock detection* with cycle extraction,
+* bounded systematic *schedule exploration*
+  (:mod:`~repro.interleave.explorer`) that proves "this program can lose
+  an update" or "philosopher ordering removes the deadlock for every
+  schedule up to the bound".
+
+Example
+-------
+>>> from repro.interleave import Scheduler, SharedVar, VMutex
+>>> def incrementer(var, lock, n):
+...     for _ in range(n):
+...         yield lock.acquire()
+...         v = yield var.read()
+...         yield var.write(v + 1)
+...         yield lock.release()
+>>> sched = Scheduler(seed=1)
+>>> var, lock = SharedVar("counter", 0), VMutex("lock")
+>>> for i in range(2):
+...     _ = sched.spawn(incrementer(var, lock, 50), name=f"t{i}")
+>>> result = sched.run()
+>>> var.value
+100
+"""
+
+from repro.interleave.ops import (
+    Acquire,
+    FetchAdd,
+    Join,
+    LockAnnounce,
+    Nop,
+    NotifyAll,
+    NotifyOne,
+    Read,
+    Release,
+    SemP,
+    SemV,
+    Tas,
+    Wait,
+    Write,
+)
+from repro.interleave.state import SharedArray, SharedVar
+from repro.interleave.primitives import (
+    TASLock,
+    TTASLock,
+    VBarrier,
+    VCondition,
+    VMutex,
+    VRWLock,
+    VSemaphore,
+)
+from repro.interleave.scheduler import (
+    FixedPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    RunResult,
+    Scheduler,
+)
+from repro.interleave.detector import RaceReport
+from repro.interleave.explorer import ExplorationResult, explore
+
+__all__ = [
+    # ops
+    "Read", "Write", "Tas", "FetchAdd", "Acquire", "Release",
+    "SemP", "SemV", "Wait", "NotifyOne", "NotifyAll", "Join", "Nop", "LockAnnounce",
+    # state
+    "SharedVar", "SharedArray",
+    # primitives
+    "VMutex", "VSemaphore", "VCondition", "VBarrier", "TASLock", "TTASLock", "VRWLock",
+    # scheduler
+    "Scheduler", "RunResult", "RandomPolicy", "RoundRobinPolicy", "FixedPolicy",
+    # analysis
+    "RaceReport", "explore", "ExplorationResult",
+]

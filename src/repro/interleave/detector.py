@@ -1,0 +1,118 @@
+"""Eraser-style lockset data-race detection.
+
+The classic lockset algorithm (Savage et al., *Eraser*, SOSP 1997),
+adapted to the virtual-thread sandbox:
+
+* each shared variable carries a *candidate lockset* ``C(v)``, initially
+  "all locks";
+* on every access, ``C(v)`` is intersected with the locks the accessing
+  thread currently holds;
+* a variable written by two or more distinct threads whose candidate
+  lockset has become empty is reported as a race.
+
+Atomic RMW operations (TAS, fetch-add) are exempt — they are the
+hardware-provided escape hatch the spin-lock labs rely on.  A small
+state machine suppresses false alarms for variables only ever touched by
+one thread or only read after an initialising write (the standard Eraser
+refinements).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.interleave.scheduler import VThread
+    from repro.interleave.state import SharedVar
+
+__all__ = ["RaceReport", "LocksetDetector"]
+
+
+class _VarState(enum.Enum):
+    VIRGIN = "virgin"            # never accessed
+    EXCLUSIVE = "exclusive"      # single thread so far
+    SHARED = "shared"            # many threads, reads only since sharing
+    SHARED_MODIFIED = "shared-modified"  # many threads with writes: lockset live
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One detected (potential) data race."""
+
+    var_name: str
+    threads: tuple[str, ...]
+    """Names of threads that touched the variable unprotected."""
+    first_unprotected_writer: str
+    """Thread whose write emptied the candidate lockset."""
+
+    def __str__(self) -> str:
+        who = ", ".join(self.threads)
+        return (
+            f"data race on {self.var_name!r}: accessed by [{who}] with no consistent lock; "
+            f"first unprotected write by {self.first_unprotected_writer!r}"
+        )
+
+
+@dataclass
+class _Tracking:
+    state: _VarState = _VarState.VIRGIN
+    owner: str | None = None
+    lockset: frozenset | None = None  # None == "all locks" (top)
+    accessors: set[str] = field(default_factory=set)
+    reported: bool = False
+
+
+class LocksetDetector:
+    """Per-run lockset race detector fed by the scheduler."""
+
+    def __init__(self) -> None:
+        self._track: dict[int, _Tracking] = {}
+        self._names: dict[int, str] = {}
+        self._reports: list[RaceReport] = []
+
+    def record(self, thread: "VThread", var: "SharedVar", is_write: bool, atomic: bool = False) -> None:
+        """Observe one access. Called by the scheduler on every Read/Write/RMW."""
+        if atomic or getattr(var, "sync", False):
+            return  # hardware-atomic ops / sync flags cannot race
+        key = id(var)
+        tr = self._track.get(key)
+        if tr is None:
+            tr = self._track[key] = _Tracking()
+            self._names[key] = var.name
+        tr.accessors.add(thread.name)
+
+        held = frozenset(m.name for m in thread.held_mutexes) | frozenset(
+            thread.held_annotations
+        )
+
+        if tr.state is _VarState.VIRGIN:
+            tr.state = _VarState.EXCLUSIVE
+            tr.owner = thread.name
+            return
+        if tr.state is _VarState.EXCLUSIVE:
+            if thread.name == tr.owner:
+                return
+            # Second thread arrives: start lockset tracking.
+            tr.lockset = held
+            tr.state = _VarState.SHARED_MODIFIED if is_write else _VarState.SHARED
+        else:
+            assert tr.lockset is not None
+            tr.lockset = tr.lockset & held
+            if is_write:
+                tr.state = _VarState.SHARED_MODIFIED
+
+        if tr.state is _VarState.SHARED_MODIFIED and not tr.lockset and not tr.reported:
+            tr.reported = True
+            self._reports.append(
+                RaceReport(
+                    var_name=self._names[key],
+                    threads=tuple(sorted(tr.accessors)),
+                    first_unprotected_writer=thread.name if is_write else tr.owner or thread.name,
+                )
+            )
+
+    def reports(self) -> list[RaceReport]:
+        """All races detected so far, in detection order."""
+        return list(self._reports)

@@ -1,0 +1,158 @@
+"""Operation descriptors yielded by virtual threads.
+
+Each dataclass below is a *request* to the scheduler.  Virtual threads
+never touch shared state directly; they yield one of these objects and
+receive the operation's result via ``send``.  That single discipline is
+what makes every interleaving observable, replayable and explorable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.interleave.primitives import VCondition, VMutex, VSemaphore
+    from repro.interleave.scheduler import VThread
+    from repro.interleave.state import SharedVar
+
+__all__ = [
+    "Op",
+    "Read",
+    "LockAnnounce",
+    "Write",
+    "Tas",
+    "FetchAdd",
+    "Acquire",
+    "Release",
+    "SemP",
+    "SemV",
+    "Wait",
+    "NotifyOne",
+    "NotifyAll",
+    "Join",
+    "Nop",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for scheduler operations."""
+
+
+@dataclass(frozen=True)
+class Read(Op):
+    """Read a :class:`SharedVar`; result is its current value."""
+
+    var: "SharedVar"
+
+
+@dataclass(frozen=True)
+class Write(Op):
+    """Write ``value`` into a :class:`SharedVar`; result is ``value``."""
+
+    var: "SharedVar"
+    value: Any
+
+
+@dataclass(frozen=True)
+class Tas(Op):
+    """Atomic test-and-set: set the var to ``set_to``; result is the *old* value.
+
+    This is the instruction the paper's Multicore Lab 2 builds its TAS
+    spin lock from.
+    """
+
+    var: "SharedVar"
+    set_to: Any = True
+
+
+@dataclass(frozen=True)
+class FetchAdd(Op):
+    """Atomic fetch-and-add; result is the value *before* the add."""
+
+    var: "SharedVar"
+    delta: Any = 1
+
+
+@dataclass(frozen=True)
+class Acquire(Op):
+    """Block until the mutex is free, then take it."""
+
+    mutex: "VMutex"
+
+
+@dataclass(frozen=True)
+class Release(Op):
+    """Release a held mutex. Raises if the thread does not hold it."""
+
+    mutex: "VMutex"
+
+
+@dataclass(frozen=True)
+class SemP(Op):
+    """Semaphore P/wait/down: block until the count is positive, decrement."""
+
+    sem: "VSemaphore"
+
+
+@dataclass(frozen=True)
+class SemV(Op):
+    """Semaphore V/signal/up: increment, waking one waiter if any."""
+
+    sem: "VSemaphore"
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """Condition wait: atomically release ``cond.mutex`` and sleep until
+    notified, then re-acquire the mutex before resuming."""
+
+    cond: "VCondition"
+
+
+@dataclass(frozen=True)
+class NotifyOne(Op):
+    """Wake one thread waiting on the condition (no-op when none wait)."""
+
+    cond: "VCondition"
+
+
+@dataclass(frozen=True)
+class NotifyAll(Op):
+    """Wake every thread waiting on the condition."""
+
+    cond: "VCondition"
+
+
+@dataclass(frozen=True)
+class Join(Op):
+    """Block until ``thread`` finishes; result is its return value."""
+
+    thread: "VThread"
+
+
+@dataclass(frozen=True)
+class LockAnnounce(Op):
+    """Tell the race detector a homegrown lock was acquired/released.
+
+    Composite spin locks (TAS/TTAS) provide real mutual exclusion that
+    the Eraser lockset algorithm cannot infer on its own; they yield this
+    op after a successful acquire and before the releasing store so data
+    they protect is not misreported as racy.
+    """
+
+    lock: Any
+    acquired: bool
+
+
+@dataclass(frozen=True)
+class Nop(Op):
+    """Pure yield point: give the scheduler a chance to preempt.
+
+    Used to model 'local computation' between shared accesses, widening
+    the windows in which races can manifest — exactly what the labs need
+    students to see.
+    """
+
+    label: str = ""

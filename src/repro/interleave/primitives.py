@@ -1,0 +1,350 @@
+"""Synchronisation primitives for virtual threads.
+
+Two families:
+
+* **Scheduler-native** primitives (:class:`VMutex`, :class:`VSemaphore`,
+  :class:`VCondition`): blocking is handled by the scheduler, mirroring
+  ``pthread_mutex_*``, POSIX semaphores and ``pthread_cond_*`` from the
+  paper's labs.
+
+* **Composite** primitives built from raw shared-memory atomics
+  (:class:`TASLock`, :class:`TTASLock`, :class:`VBarrier`): these are
+  *generator helpers* used with ``yield from``, so every spin iteration
+  is a real scheduling step — which is precisely what makes the lab 2
+  cache-coherence traffic observable.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.interleave.ops import (
+    Acquire,
+    LockAnnounce,
+    NotifyAll,
+    NotifyOne,
+    Release,
+    SemP,
+    SemV,
+    Wait,
+)
+from repro.interleave.state import SharedVar
+
+__all__ = ["VMutex", "VSemaphore", "VCondition", "VBarrier", "TASLock", "TTASLock", "VRWLock"]
+
+
+class VMutex:
+    """A pthread-style mutual-exclusion lock.
+
+    Yield ``mutex.acquire()`` / ``mutex.release()`` from a virtual thread.
+    Non-recursive: re-acquiring while held deadlocks (as a default
+    pthread mutex does), and releasing a mutex you do not hold raises.
+    """
+
+    __slots__ = ("name", "owner", "waiters", "acquisitions", "contended_acquisitions")
+
+    def __init__(self, name: str = "mutex") -> None:
+        self.name = name
+        self.owner = None  # VThread | None
+        self.waiters: list = []
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def acquire(self) -> Acquire:
+        """Op: block until free, then hold."""
+        return Acquire(self)
+
+    def release(self) -> Release:
+        """Op: release; raises in the owning thread if not held by it."""
+        return Release(self)
+
+    @property
+    def locked(self) -> bool:
+        """``True`` while some thread holds the mutex."""
+        return self.owner is not None
+
+    def reset(self) -> None:
+        """Clear state between explored schedules."""
+        self.owner = None
+        self.waiters.clear()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        o = self.owner.name if self.owner is not None else None
+        return f"<VMutex {self.name} owner={o} waiters={len(self.waiters)}>"
+
+
+class VSemaphore:
+    """A counting semaphore with FIFO wakeup.
+
+    ``sem.p()`` (wait/down) and ``sem.v()`` (signal/up) — the names the
+    course labs use.  Aliases ``wait()``/``post()`` match POSIX.
+    """
+
+    __slots__ = ("name", "count", "initial", "waiters")
+
+    def __init__(self, name: str = "sem", initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError(f"semaphore initial count must be >= 0, got {initial}")
+        self.name = name
+        self.count = initial
+        self.initial = initial
+        self.waiters: list = []
+
+    def p(self) -> SemP:
+        """Op: wait/down — block until count > 0, then decrement."""
+        return SemP(self)
+
+    def v(self) -> SemV:
+        """Op: signal/up — increment (waking one waiter)."""
+        return SemV(self)
+
+    # POSIX-flavoured aliases
+    wait = p
+    post = v
+
+    def reset(self) -> None:
+        """Restore the initial count between explored schedules."""
+        self.count = self.initial
+        self.waiters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VSemaphore {self.name} count={self.count} waiters={len(self.waiters)}>"
+
+
+class VCondition:
+    """A pthread-style condition variable bound to a :class:`VMutex`.
+
+    ``yield cond.wait()`` atomically releases the mutex and sleeps; on
+    wakeup the mutex is re-acquired before the thread resumes — so the
+    usual ``while predicate: yield cond.wait()`` idiom is safe.
+    """
+
+    __slots__ = ("name", "mutex", "waiters")
+
+    def __init__(self, mutex: VMutex, name: str = "cond") -> None:
+        self.name = name
+        self.mutex = mutex
+        self.waiters: list = []
+
+    def wait(self) -> Wait:
+        """Op: release the bound mutex and sleep until notified."""
+        return Wait(self)
+
+    def notify_one(self) -> NotifyOne:
+        """Op: wake one waiter (FIFO)."""
+        return NotifyOne(self)
+
+    def notify_all(self) -> NotifyAll:
+        """Op: wake every waiter."""
+        return NotifyAll(self)
+
+    def reset(self) -> None:
+        """Clear waiters between explored schedules."""
+        self.waiters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VCondition {self.name} waiters={len(self.waiters)}>"
+
+
+class TASLock:
+    """Test-and-set spin lock (Multicore Lab 2).
+
+    Every spin issues an atomic TAS on the flag, which — when bridged to
+    :mod:`repro.memsim` — generates a coherence invalidation per spin.
+    Use with ``yield from``::
+
+        yield from lock.acquire()
+        ...
+        yield from lock.release()
+    """
+
+    def __init__(self, name: str = "taslock") -> None:
+        self.name = name
+        self.flag = SharedVar(f"{name}.flag", False, sync=True)
+        self.total_spins = 0
+        self.acquisitions = 0
+
+    def acquire(self) -> Generator:
+        """Spin with TAS until the flag flips from False to True for us."""
+        while True:
+            old = yield self.flag.tas(True)
+            if not old:
+                self.acquisitions += 1
+                yield LockAnnounce(self, True)
+                return
+            self.total_spins += 1
+
+    def release(self) -> Generator:
+        """Clear the flag."""
+        yield LockAnnounce(self, False)
+        yield self.flag.write(False)
+
+    def reset(self) -> None:
+        """Clear state between explored schedules."""
+        self.flag.reset()
+        self.total_spins = 0
+        self.acquisitions = 0
+
+
+class TTASLock:
+    """Test-and-test-and-set spin lock.
+
+    Spins *reading* the flag (cache-local once the line is Shared) and
+    only attempts the TAS when it observes the lock free — the classic
+    fix for TAS invalidation storms that lab 2 asks students to discover.
+    """
+
+    def __init__(self, name: str = "ttaslock") -> None:
+        self.name = name
+        self.flag = SharedVar(f"{name}.flag", False, sync=True)
+        self.total_spins = 0
+        self.tas_attempts = 0
+        self.acquisitions = 0
+
+    def acquire(self) -> Generator:
+        """Read-spin, then TAS only when the flag looks free."""
+        while True:
+            while True:
+                held = yield self.flag.read()
+                if not held:
+                    break
+                self.total_spins += 1
+            self.tas_attempts += 1
+            old = yield self.flag.tas(True)
+            if not old:
+                self.acquisitions += 1
+                yield LockAnnounce(self, True)
+                return
+            self.total_spins += 1
+
+    def release(self) -> Generator:
+        """Clear the flag."""
+        yield LockAnnounce(self, False)
+        yield self.flag.write(False)
+
+    def reset(self) -> None:
+        """Clear state between explored schedules."""
+        self.flag.reset()
+        self.total_spins = 0
+        self.tas_attempts = 0
+        self.acquisitions = 0
+
+
+class VBarrier:
+    """A reusable cyclic barrier for ``parties`` virtual threads.
+
+    Built compositely from a mutex + condition so that barrier waits are
+    themselves observable scheduling events.  Use with ``yield from``::
+
+        yield from barrier.wait()
+    """
+
+    def __init__(self, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise ValueError(f"barrier parties must be >= 1, got {parties}")
+        self.name = name
+        self.parties = parties
+        self._mutex = VMutex(f"{name}.mutex")
+        self._cond = VCondition(self._mutex, f"{name}.cond")
+        self._arrived = 0
+        self._generation = 0
+
+    def wait(self) -> Generator:
+        """Block until ``parties`` threads have arrived, then release all."""
+        yield self._mutex.acquire()
+        gen = self._generation
+        self._arrived += 1
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self._generation += 1
+            yield self._cond.notify_all()
+            yield self._mutex.release()
+            return
+        while self._generation == gen:
+            yield self._cond.wait()
+        yield self._mutex.release()
+
+    def reset(self) -> None:
+        """Clear state between explored schedules."""
+        self._mutex.reset()
+        self._cond.reset()
+        self._arrived = 0
+        self._generation = 0
+
+
+class VRWLock:
+    """A writer-preference readers-writer lock (composite primitive).
+
+    The other classic of the course's Basic Synchronization chapter:
+    any number of concurrent readers *or* one writer.  Writer preference
+    (arriving writers block new readers) avoids writer starvation, at
+    the price of reader convoys — both behaviours are observable in the
+    sandbox.  Use with ``yield from``::
+
+        yield from rw.acquire_read()
+        ...
+        yield from rw.release_read()
+    """
+
+    def __init__(self, name: str = "rwlock") -> None:
+        self.name = name
+        self._mutex = VMutex(f"{name}.mutex")
+        self._readers_ok = VCondition(self._mutex, f"{name}.readers_ok")
+        self._writers_ok = VCondition(self._mutex, f"{name}.writers_ok")
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+        self.max_concurrent_readers = 0
+
+    def acquire_read(self) -> Generator:
+        """Block while a writer is active or waiting (writer preference)."""
+        yield self._mutex.acquire()
+        while self._active_writer or self._waiting_writers:
+            yield self._readers_ok.wait()
+        self._active_readers += 1
+        self.max_concurrent_readers = max(self.max_concurrent_readers, self._active_readers)
+        yield LockAnnounce(self, True)
+        yield self._mutex.release()
+
+    def release_read(self) -> Generator:
+        """Last reader out wakes one waiting writer."""
+        yield self._mutex.acquire()
+        self._active_readers -= 1
+        if self._active_readers == 0:
+            yield self._writers_ok.notify_one()
+        yield LockAnnounce(self, False)
+        yield self._mutex.release()
+
+    def acquire_write(self) -> Generator:
+        """Block until no readers and no writer are active."""
+        yield self._mutex.acquire()
+        self._waiting_writers += 1
+        while self._active_writer or self._active_readers:
+            yield self._writers_ok.wait()
+        self._waiting_writers -= 1
+        self._active_writer = True
+        yield LockAnnounce(self, True)
+        yield self._mutex.release()
+
+    def release_write(self) -> Generator:
+        """Prefer a queued writer; otherwise release the reader flock."""
+        yield self._mutex.acquire()
+        self._active_writer = False
+        if self._waiting_writers:
+            yield self._writers_ok.notify_one()
+        else:
+            yield self._readers_ok.notify_all()
+        yield LockAnnounce(self, False)
+        yield self._mutex.release()
+
+    def reset(self) -> None:
+        """Clear state between explored schedules."""
+        self._mutex.reset()
+        self._readers_ok.reset()
+        self._writers_ok.reset()
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+        self.max_concurrent_readers = 0

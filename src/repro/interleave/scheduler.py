@@ -1,0 +1,467 @@
+"""The virtual-thread scheduler: one op per step, pluggable interleaving.
+
+The scheduler is the heart of the sandbox.  Each *step* it (1) asks its
+policy to pick one runnable thread, (2) resumes that thread's generator,
+(3) interprets the single operation the thread yields, possibly blocking
+or waking threads.  Because every shared access is one step, the policy
+fully determines the interleaving — so a seed reproduces a classroom
+race demo exactly, and an explicit choice list replays any schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro._errors import DeadlockError, SimulationError
+from repro.interleave import ops as O
+from repro.interleave.detector import LocksetDetector, RaceReport
+
+__all__ = [
+    "ThreadState",
+    "VThread",
+    "Policy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "FixedPolicy",
+    "RunResult",
+    "Scheduler",
+]
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of a virtual thread."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class VThread:
+    """A virtual thread wrapping a generator body.
+
+    Created via :meth:`Scheduler.spawn`; not instantiated directly.
+    """
+
+    __slots__ = (
+        "name", "tid", "gen", "state", "result", "exc",
+        "_send_value", "_throw_exc", "blocked_on", "held_mutexes",
+        "held_annotations", "joiners", "steps",
+    )
+
+    def __init__(self, tid: int, name: str, gen: Generator) -> None:
+        self.tid = tid
+        self.name = name
+        self.gen = gen
+        self.state = ThreadState.RUNNABLE
+        self.result: Any = None
+        self.exc: Optional[BaseException] = None
+        self._send_value: Any = None
+        self._throw_exc: Optional[BaseException] = None
+        self.blocked_on: Any = None  # VMutex | VSemaphore | VCondition | VThread
+        self.held_mutexes: set = set()
+        self.held_annotations: set[str] = set()  # homegrown-lock names (LockAnnounce)
+        self.joiners: list["VThread"] = []
+        self.steps = 0
+
+    @property
+    def finished(self) -> bool:
+        """``True`` once the body has returned or raised."""
+        return self.state in (ThreadState.DONE, ThreadState.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VThread {self.name} {self.state.value}>"
+
+
+class Policy:
+    """Strategy choosing which runnable thread steps next."""
+
+    def choose(self, runnable: list[VThread], step: int) -> int:
+        """Return an index into ``runnable`` (which is spawn-ordered)."""
+        raise NotImplementedError
+
+
+class RandomPolicy(Policy):
+    """Seeded uniform choice — the default 'noisy classroom machine'."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, runnable: list[VThread], step: int) -> int:
+        return int(self._rng.integers(0, len(runnable)))
+
+
+class RoundRobinPolicy(Policy):
+    """Cycle fairly through runnable threads."""
+
+    def __init__(self) -> None:
+        self._last_tid = -1
+
+    def choose(self, runnable: list[VThread], step: int) -> int:
+        for i, t in enumerate(runnable):
+            if t.tid > self._last_tid:
+                self._last_tid = t.tid
+                return i
+        self._last_tid = runnable[0].tid
+        return 0
+
+
+class FixedPolicy(Policy):
+    """Replay an explicit schedule; past its end, always pick index 0.
+
+    Used by the systematic explorer: a prefix of recorded choices pins
+    the schedule up to a decision point, after which the run proceeds
+    deterministically.
+    """
+
+    def __init__(self, choices: list[int]) -> None:
+        self.choices = list(choices)
+
+    def choose(self, runnable: list[VThread], step: int) -> int:
+        if step < len(self.choices):
+            return min(self.choices[step], len(runnable) - 1)
+        return 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scheduler run."""
+
+    steps: int
+    completed: bool
+    deadlock: Optional[DeadlockError] = None
+    bounded: bool = False
+    races: list[RaceReport] = field(default_factory=list)
+    returns: dict[str, Any] = field(default_factory=dict)
+    failures: dict[str, BaseException] = field(default_factory=dict)
+    choice_trace: list[tuple[int, int]] = field(default_factory=list)
+    """``(n_runnable, chosen_index)`` per step — fuels the explorer."""
+
+    @property
+    def deadlocked(self) -> bool:
+        """``True`` when the run ended in a global deadlock."""
+        return self.deadlock is not None
+
+    @property
+    def ok(self) -> bool:
+        """All threads returned; no deadlock, failures or bound hit."""
+        return self.completed and not self.failures and self.deadlock is None
+
+
+class Scheduler:
+    """Cooperative scheduler over virtual threads.
+
+    Parameters
+    ----------
+    seed:
+        Convenience: ``Scheduler(seed=7)`` is ``Scheduler(policy=RandomPolicy(7))``.
+    policy:
+        Explicit :class:`Policy`; overrides ``seed``.
+    max_steps:
+        Safety bound; hitting it sets ``RunResult.bounded``.
+    detect_races:
+        Run the Eraser-style lockset detector alongside execution.
+    """
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        policy: Policy | None = None,
+        max_steps: int = 1_000_000,
+        detect_races: bool = True,
+    ) -> None:
+        if policy is None:
+            policy = RandomPolicy(seed if seed is not None else 0)
+        self.policy = policy
+        self.max_steps = max_steps
+        self.threads: list[VThread] = []
+        self._detector = LocksetDetector() if detect_races else None
+        self.access_hooks: list[Callable[[VThread, O.Op], None]] = []
+        self._step_count = 0
+
+    # -- construction ----------------------------------------------------
+    def spawn(self, gen: Generator, name: str | None = None) -> VThread:
+        """Register a generator as a new runnable virtual thread."""
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator (did you call the thread function?), got {type(gen).__name__}"
+            )
+        tid = len(self.threads)
+        t = VThread(tid, name or f"thread-{tid}", gen)
+        self.threads.append(t)
+        return t
+
+    # -- running ----------------------------------------------------------
+    def run(self, raise_on_deadlock: bool = False) -> RunResult:
+        """Run all spawned threads to completion, deadlock, or the bound."""
+        result = RunResult(steps=0, completed=False)
+        while True:
+            runnable = [t for t in self.threads if t.state is ThreadState.RUNNABLE]
+            if not runnable:
+                blocked = [t for t in self.threads if t.state is ThreadState.BLOCKED]
+                if blocked:
+                    dl = self._diagnose_deadlock(blocked)
+                    result.deadlock = dl
+                    if raise_on_deadlock:
+                        raise dl
+                else:
+                    result.completed = True
+                break
+            if self._step_count >= self.max_steps:
+                result.bounded = True
+                break
+            idx = self.policy.choose(runnable, self._step_count)
+            if not 0 <= idx < len(runnable):
+                raise SimulationError(
+                    f"policy chose index {idx} among {len(runnable)} runnable threads"
+                )
+            result.choice_trace.append((len(runnable), idx))
+            self._step_count += 1
+            self._step(runnable[idx])
+
+        result.steps = self._step_count
+        for t in self.threads:
+            if t.state is ThreadState.DONE:
+                result.returns[t.name] = t.result
+            elif t.state is ThreadState.FAILED:
+                result.failures[t.name] = t.exc
+        if self._detector is not None:
+            result.races = self._detector.reports()
+        return result
+
+    # -- single step -------------------------------------------------------
+    def _step(self, t: VThread) -> None:
+        t.steps += 1
+        try:
+            if t._throw_exc is not None:
+                exc, t._throw_exc = t._throw_exc, None
+                op = t.gen.throw(exc)
+            else:
+                val, t._send_value = t._send_value, None
+                op = t.gen.send(val)
+        except StopIteration as stop:
+            self._finish(t, value=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - student code may raise anything
+            self._finish(t, exc=exc)
+            return
+
+        if not isinstance(op, O.Op):
+            self._finish(
+                t,
+                exc=SimulationError(
+                    f"thread {t.name!r} yielded {op!r}; expected an interleave op "
+                    "(did you forget `yield from` on a composite primitive?)"
+                ),
+            )
+            return
+
+        for hook in self.access_hooks:
+            hook(t, op)
+        self._interpret(t, op)
+
+    def _interpret(self, t: VThread, op: O.Op) -> None:
+        if isinstance(op, O.Read):
+            self._record(t, op.var, is_write=False)
+            t._send_value = op.var._value
+        elif isinstance(op, O.Write):
+            self._record(t, op.var, is_write=True)
+            op.var._value = op.value
+            t._send_value = op.value
+        elif isinstance(op, O.Tas):
+            # Atomic read-modify-write: counts as a write for racing purposes
+            # but is never itself racy (hardware atomicity) — the detector
+            # treats RMW ops as lock-free-safe accesses.
+            self._record(t, op.var, is_write=True, atomic=True)
+            old = op.var._value
+            op.var._value = op.set_to
+            t._send_value = old
+        elif isinstance(op, O.FetchAdd):
+            self._record(t, op.var, is_write=True, atomic=True)
+            old = op.var._value
+            op.var._value = old + op.delta
+            t._send_value = old
+        elif isinstance(op, O.Acquire):
+            m = op.mutex
+            if m.owner is None:
+                m.owner = t
+                m.acquisitions += 1
+                t.held_mutexes.add(m)
+                t._send_value = None
+            else:
+                if m.owner is t:
+                    self._finish(
+                        t,
+                        exc=DeadlockError(
+                            f"thread {t.name!r} re-acquired non-recursive mutex {m.name!r}",
+                            cycle=[(t.name, m.name)],
+                        ),
+                    )
+                    return
+                m.contended_acquisitions += 1
+                m.waiters.append(t)
+                self._block(t, m)
+        elif isinstance(op, O.Release):
+            m = op.mutex
+            if m.owner is not t:
+                t._throw_exc = SimulationError(
+                    f"thread {t.name!r} released mutex {m.name!r} it does not hold"
+                )
+                return
+            self._release_mutex(t, m)
+            t._send_value = None
+        elif isinstance(op, O.SemP):
+            s = op.sem
+            if s.count > 0:
+                s.count -= 1
+                t._send_value = None
+            else:
+                s.waiters.append(t)
+                self._block(t, s)
+        elif isinstance(op, O.SemV):
+            s = op.sem
+            if s.waiters:
+                w = s.waiters.pop(0)
+                self._unblock(w, value=None)
+            else:
+                s.count += 1
+            t._send_value = None
+        elif isinstance(op, O.Wait):
+            c = op.cond
+            if c.mutex.owner is not t:
+                t._throw_exc = SimulationError(
+                    f"thread {t.name!r} waited on {c.name!r} without holding {c.mutex.name!r}"
+                )
+                return
+            self._release_mutex(t, c.mutex)
+            c.waiters.append(t)
+            self._block(t, c)
+        elif isinstance(op, O.NotifyOne):
+            c = op.cond
+            if c.waiters:
+                self._requeue_on_mutex(c.waiters.pop(0), c.mutex)
+            t._send_value = None
+        elif isinstance(op, O.NotifyAll):
+            c = op.cond
+            waiters, c.waiters = c.waiters[:], []
+            for w in waiters:
+                self._requeue_on_mutex(w, c.mutex)
+            t._send_value = None
+        elif isinstance(op, O.Join):
+            target = op.thread
+            if target.finished:
+                self._deliver_join(t, target)
+            else:
+                target.joiners.append(t)
+                self._block(t, target)
+        elif isinstance(op, O.LockAnnounce):
+            if op.acquired:
+                t.held_annotations.add(op.lock.name)
+            else:
+                t.held_annotations.discard(op.lock.name)
+            t._send_value = None
+        elif isinstance(op, O.Nop):
+            t._send_value = None
+        else:  # pragma: no cover - exhaustive over ops module
+            self._finish(t, exc=SimulationError(f"unknown op {op!r}"))
+
+    # -- helpers -----------------------------------------------------------
+    def _record(self, t: VThread, var, is_write: bool, atomic: bool = False) -> None:
+        if self._detector is not None:
+            self._detector.record(t, var, is_write=is_write, atomic=atomic)
+
+    def _block(self, t: VThread, on: Any) -> None:
+        t.state = ThreadState.BLOCKED
+        t.blocked_on = on
+
+    def _unblock(self, t: VThread, value: Any = None) -> None:
+        t.state = ThreadState.RUNNABLE
+        t.blocked_on = None
+        t._send_value = value
+
+    def _release_mutex(self, t: VThread, m) -> None:
+        t.held_mutexes.discard(m)
+        if m.waiters:
+            w = m.waiters.pop(0)
+            m.owner = w
+            m.acquisitions += 1
+            w.held_mutexes.add(m)
+            self._unblock(w, value=None)
+        else:
+            m.owner = None
+
+    def _requeue_on_mutex(self, w: VThread, m) -> None:
+        """A notified condition-waiter must re-acquire the mutex."""
+        if m.owner is None:
+            m.owner = w
+            m.acquisitions += 1
+            w.held_mutexes.add(m)
+            self._unblock(w, value=None)
+        else:
+            m.waiters.append(w)
+            w.blocked_on = m  # still blocked, but now on the mutex
+
+    def _deliver_join(self, joiner: VThread, target: VThread) -> None:
+        if target.state is ThreadState.FAILED:
+            joiner._throw_exc = target.exc
+        else:
+            joiner._send_value = target.result
+
+    def _finish(self, t: VThread, value: Any = None, exc: BaseException | None = None) -> None:
+        if exc is not None:
+            t.state = ThreadState.FAILED
+            t.exc = exc
+        else:
+            t.state = ThreadState.DONE
+            t.result = value
+        # A dying thread must not take mutexes to the grave silently:
+        # release them (pthreads would leave them locked; for teaching we
+        # release and surface the problem via the exception itself).
+        for m in list(t.held_mutexes):
+            self._release_mutex(t, m)
+        for j in t.joiners:
+            self._deliver_join(j, t)
+            self._unblock_join(j)
+        t.joiners.clear()
+
+    def _unblock_join(self, j: VThread) -> None:
+        j.state = ThreadState.RUNNABLE
+        j.blocked_on = None
+
+    # -- deadlock diagnosis --------------------------------------------------
+    def _diagnose_deadlock(self, blocked: list[VThread]) -> DeadlockError:
+        from repro.interleave.primitives import VMutex
+
+        # Wait-for graph over mutexes: t -> owner(mutex t waits on).
+        edges: dict[str, tuple[str, str]] = {}
+        for t in blocked:
+            if isinstance(t.blocked_on, VMutex) and t.blocked_on.owner is not None:
+                edges[t.name] = (t.blocked_on.owner.name, t.blocked_on.name)
+
+        cycle = self._find_cycle(edges)
+        names = ", ".join(sorted(t.name for t in blocked))
+        if cycle:
+            path = " -> ".join(f"{a}[{r}]" for a, r in cycle)
+            msg = f"deadlock: all {len(blocked)} blocked thread(s) ({names}); hold-and-wait cycle {path}"
+        else:
+            msg = f"deadlock: all {len(blocked)} blocked thread(s) stalled ({names}); no mutex cycle (lost signal?)"
+        return DeadlockError(msg, cycle=cycle)
+
+    @staticmethod
+    def _find_cycle(edges: dict[str, tuple[str, str]]) -> list[tuple[str, str]]:
+        for start in edges:
+            seen: list[str] = []
+            cur = start
+            while cur in edges and cur not in seen:
+                seen.append(cur)
+                cur = edges[cur][0]
+            if cur in seen:
+                # cycle from first occurrence of cur
+                idx = seen.index(cur)
+                return [(n, edges[n][1]) for n in seen[idx:]]
+        return []

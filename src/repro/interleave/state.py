@@ -1,0 +1,108 @@
+"""Shared state visible to virtual threads.
+
+A :class:`SharedVar` is the unit of observable shared memory.  Threads
+must go through the scheduler (by yielding the op objects the accessor
+methods return) — direct mutation from a thread body would bypass race
+detection and the coherence hooks, so the value attribute is kept
+read-only from the outside.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.interleave.ops import FetchAdd, Read, Tas, Write
+
+__all__ = ["SharedVar", "SharedArray"]
+
+
+class SharedVar:
+    """A single shared memory cell.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label; also used by the memsim bridge to map the
+        variable onto a cache line.
+    initial:
+        Starting value.
+
+    The accessor methods return *op descriptors* for a virtual thread to
+    yield::
+
+        v = yield counter.read()
+        yield counter.write(v + 1)
+    """
+
+    __slots__ = ("name", "_value", "initial", "sync")
+
+    def __init__(self, name: str, initial: Any = None, sync: bool = False) -> None:
+        self.name = name
+        self.initial = initial
+        self._value = initial
+        #: ``True`` marks a variable that *implements* synchronisation
+        #: (e.g. a spin-lock flag); the race detector skips such vars.
+        self.sync = sync
+
+    # -- op builders (used inside virtual threads) -----------------------
+    def read(self) -> Read:
+        """Op: read the current value."""
+        return Read(self)
+
+    def write(self, value: Any) -> Write:
+        """Op: overwrite with ``value``."""
+        return Write(self, value)
+
+    def tas(self, set_to: Any = True) -> Tas:
+        """Op: atomic test-and-set (returns the old value)."""
+        return Tas(self, set_to)
+
+    def fetch_add(self, delta: Any = 1) -> FetchAdd:
+        """Op: atomic fetch-and-add (returns the pre-add value)."""
+        return FetchAdd(self, delta)
+
+    # -- host-side access (setup / assertions, not thread bodies) --------
+    @property
+    def value(self) -> Any:
+        """Current value — for test assertions and program setup only."""
+        return self._value
+
+    def reset(self) -> None:
+        """Restore the initial value (used between explored schedules)."""
+        self._value = self.initial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SharedVar {self.name}={self._value!r}>"
+
+
+class SharedArray:
+    """A fixed-length array of :class:`SharedVar` cells.
+
+    Models the lab 4 number buffer and lab 7 bounded buffer: each slot is
+    an independently-tracked shared location, so races on different slots
+    are distinguished from races on the same slot.
+    """
+
+    def __init__(self, name: str, length: int, fill: Any = None) -> None:
+        if length < 1:
+            raise ValueError(f"SharedArray length must be >= 1, got {length}")
+        self.name = name
+        self._cells = [SharedVar(f"{name}[{i}]", fill) for i in range(length)]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __getitem__(self, index: int) -> SharedVar:
+        return self._cells[index]
+
+    def __iter__(self) -> Iterator[SharedVar]:
+        return iter(self._cells)
+
+    def snapshot(self) -> list:
+        """Host-side copy of all cell values."""
+        return [c.value for c in self._cells]
+
+    def reset(self) -> None:
+        """Restore every cell's initial value."""
+        for c in self._cells:
+            c.reset()

@@ -1,0 +1,40 @@
+"""The course's seven hands-on labs (Section III.B of the paper).
+
+Each lab module provides a *broken* and a *fixed* variant of the
+program the students were given, runnable on the deterministic
+substrates of this library — so every classroom observation the paper
+describes ("check the incorrect output", "run the program several
+times. Do you see different result?", "observe that the deadlock will
+never occur") is reproducible and assertable:
+
+====  ==============================================  ====================
+Lab   Paper title                                      Substrate
+====  ==============================================  ====================
+1     Synchronization with Java                        interleave
+2     Spin Lock and Cache Coherence                    interleave + memsim
+3     UMA and NUMA Access                              memsim.numa + minimpi
+4     Process and Thread Management (ch. 6)            interleave + real files
+5     Basic Synchronization Methods (ch. 8)            interleave
+6     Deadlock (ch. 10) — dining philosophers          interleave + explorer
+7     Bounded Buffer (Programming Assignment 3)        interleave
+====  ==============================================  ====================
+
+All labs share the :class:`~repro.labs.common.Lab` interface:
+``run(variant, seed)`` executes one variant and returns a
+:class:`~repro.labs.common.LabResult` whose ``passed`` flag says whether
+the observed behaviour is correct.  The education package grades
+synthetic students by *actually running* these labs.
+"""
+
+from repro.labs.common import Lab, LabResult, get_lab, lab_ids, registry
+from repro.labs import (  # noqa: F401 - imported for registration side effects
+    lab1_sync,
+    lab2_tas,
+    lab3_numa,
+    lab4_prodcons,
+    lab5_bank,
+    lab6_philosophers,
+    lab7_bounded,
+)
+
+__all__ = ["Lab", "LabResult", "registry", "get_lab", "lab_ids"]

@@ -1,0 +1,81 @@
+"""Shared lab harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+from repro._errors import LabError
+
+__all__ = ["LabResult", "Lab", "registry", "get_lab", "lab_ids"]
+
+
+@dataclass
+class LabResult:
+    """Outcome of running one lab variant once."""
+
+    lab_id: str
+    variant: str              # "broken" | "fixed" (labs may add more, e.g. "fixed_semaphore")
+    passed: bool
+    """Did the observed behaviour meet the lab's correctness criterion?"""
+    observations: Dict[str, Any] = field(default_factory=dict)
+    """Lab-specific measurements (final counts, invalidations, latencies...)."""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{self.lab_id}/{self.variant}] {status} {self.observations}"
+
+
+@dataclass(frozen=True)
+class Lab:
+    """One lab: metadata + variant runners.
+
+    ``variants`` maps a variant name to a callable ``(seed) -> LabResult``.
+    Convention: ``broken`` is the program as handed to students,
+    ``fixed`` the reference solution; a correct lab setup has the broken
+    variant *failing* for some seed and the fixed variant passing for all.
+    """
+
+    lab_id: str
+    title: str
+    chapter: str
+    variants: Dict[str, Callable[[int], LabResult]]
+    description: str = ""
+
+    def run(self, variant: str = "fixed", seed: int = 0) -> LabResult:
+        """Execute one variant under one scheduling seed."""
+        fn = self.variants.get(variant)
+        if fn is None:
+            raise LabError(
+                f"lab {self.lab_id} has no variant {variant!r} "
+                f"(available: {', '.join(sorted(self.variants))})"
+            )
+        return fn(seed)
+
+    def demonstrate(self, seeds: range = range(8)) -> dict[str, list[LabResult]]:
+        """Run every variant across several seeds (the classroom demo)."""
+        return {v: [self.run(v, s) for s in seeds] for v in sorted(self.variants)}
+
+
+registry: Dict[str, Lab] = {}
+
+
+def register(lab: Lab) -> Lab:
+    """Add a lab to the global registry (module import side effect)."""
+    if lab.lab_id in registry:
+        raise LabError(f"duplicate lab id {lab.lab_id!r}")
+    registry[lab.lab_id] = lab
+    return lab
+
+
+def get_lab(lab_id: str) -> Lab:
+    """Lab by id, e.g. ``'lab1'``."""
+    try:
+        return registry[lab_id]
+    except KeyError:
+        raise LabError(f"unknown lab {lab_id!r} (known: {', '.join(sorted(registry))})") from None
+
+
+def lab_ids() -> list[str]:
+    """All registered lab ids in course order."""
+    return sorted(registry)

@@ -1,0 +1,95 @@
+"""Multicore Lab 1 — Synchronization with Java.
+
+Paper: "Using Java Synchronized method to ensure timely access to a
+counter shared by two threads. ... A pre-written Java program was given
+to the students with the code for synchronization missing. Students
+experimented with the given erroneous program and checked the incorrect
+output of the program."
+
+Here the ``broken`` variant is that erroneous program: two threads each
+increment a shared counter ``N`` times with an unprotected
+read-modify-write, losing updates under interleaving.  The ``fixed``
+variant wraps the increment in a mutex — Java's ``synchronized`` —
+and always lands on exactly ``2N``.
+"""
+
+from __future__ import annotations
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedVar, VMutex
+from repro.labs.common import Lab, LabResult, register
+
+__all__ = ["ITERATIONS", "run_broken", "run_fixed", "LAB1"]
+
+ITERATIONS = 40
+THREADS = 2
+
+
+def _unsynchronized(counter: SharedVar, n: int):
+    """The erroneous increment loop handed to students."""
+    for _ in range(n):
+        value = yield counter.read()
+        yield Nop("compute new value")  # the window where updates get lost
+        yield counter.write(value + 1)
+
+
+def _synchronized(counter: SharedVar, lock: VMutex, n: int):
+    """The reference solution: increments inside `synchronized`."""
+    for _ in range(n):
+        yield lock.acquire()
+        value = yield counter.read()
+        yield counter.write(value + 1)
+        yield lock.release()
+
+
+def run_broken(seed: int = 0, iterations: int = ITERATIONS) -> LabResult:
+    """Run the unsynchronized program; report whether the count survived."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    counter = SharedVar("counter", 0)
+    for i in range(THREADS):
+        sched.spawn(_unsynchronized(counter, iterations), name=f"worker-{i}")
+    run = sched.run()
+    expected = THREADS * iterations
+    return LabResult(
+        lab_id="lab1",
+        variant="broken",
+        passed=(counter.value == expected and run.ok),
+        observations={
+            "final_count": counter.value,
+            "expected": expected,
+            "lost_updates": expected - counter.value,
+            "races_detected": len(run.races),
+        },
+    )
+
+
+def run_fixed(seed: int = 0, iterations: int = ITERATIONS) -> LabResult:
+    """Run the synchronized program; it must hit the exact count."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    counter = SharedVar("counter", 0)
+    lock = VMutex("synchronized")
+    for i in range(THREADS):
+        sched.spawn(_synchronized(counter, lock, iterations), name=f"worker-{i}")
+    run = sched.run()
+    expected = THREADS * iterations
+    return LabResult(
+        lab_id="lab1",
+        variant="fixed",
+        passed=(counter.value == expected and run.ok and not run.races),
+        observations={
+            "final_count": counter.value,
+            "expected": expected,
+            "races_detected": len(run.races),
+            "contended_acquisitions": lock.contended_acquisitions,
+        },
+    )
+
+
+LAB1 = register(
+    Lab(
+        lab_id="lab1",
+        title="Multicore Lab 1 — Synchronization with Java",
+        chapter="Computer Organization (multicore add-on)",
+        variants={"broken": run_broken, "fixed": run_fixed},
+        description=__doc__ or "",
+    )
+)

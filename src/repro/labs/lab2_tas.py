@@ -1,0 +1,98 @@
+"""Multicore Lab 2 — Spin Lock and Cache Coherence.
+
+Paper: "Simulate cache invalidation and updating using TAS Lock ...
+A shared variable was used to simulate the main copy of the shared data
+in the main memory and each thread has a local copy of the shared
+variable, which represents the copy in the local cache. TAS lock
+methods were provided in a class package. Students need to use the TAS
+lock methods to correctly implement the cache invalidation and update
+operations."
+
+Variants:
+
+* ``broken`` — threads update the shared datum without taking the TAS
+  lock: lost updates and a detected race (their "local copies" go
+  stale).
+* ``fixed`` — the TAS lock guards the update; the count is exact, and
+  the attached MESI simulator shows the invalidation traffic the lock
+  itself generates.
+* ``fixed_ttas`` — the test-and-test-and-set refinement; same
+  correctness, visibly fewer invalidations (the lab's take-away).
+"""
+
+from __future__ import annotations
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedVar, TASLock, TTASLock
+from repro.memsim import CoherenceBridge
+from repro.labs.common import Lab, LabResult, register
+
+__all__ = ["run_broken", "run_fixed", "run_fixed_ttas", "LAB2"]
+
+ITERATIONS = 15
+THREADS = 4
+
+
+def _unlocked_update(data: SharedVar, n: int):
+    for _ in range(n):
+        local_copy = yield data.read()       # read into "local cache"
+        yield Nop("work on stale local copy")
+        yield data.write(local_copy + 1)     # write back — may clobber
+
+
+def _locked_update(data: SharedVar, lock, n: int):
+    for _ in range(n):
+        yield from lock.acquire()
+        local_copy = yield data.read()
+        yield data.write(local_copy + 1)
+        yield from lock.release()
+
+
+def _run(variant: str, lock_factory, seed: int) -> LabResult:
+    sched = Scheduler(policy=RandomPolicy(seed))
+    bridge = CoherenceBridge(n_cores=THREADS).attach(sched)
+    data = SharedVar("shared_data", 0)
+    lock = lock_factory() if lock_factory else None
+    for i in range(THREADS):
+        body = _locked_update(data, lock, ITERATIONS) if lock else _unlocked_update(data, ITERATIONS)
+        sched.spawn(body, name=f"core-{i}")
+    run = sched.run()
+    expected = THREADS * ITERATIONS
+    report = bridge.system.report()
+    obs = {
+        "final_count": data.value,
+        "expected": expected,
+        "races_detected": len(run.races),
+        "invalidations": report["invalidations"],
+        "bus_transactions": report["total_transactions"],
+        "coherence_cycles": report["cycles"],
+    }
+    if lock is not None:
+        obs["spins"] = lock.total_spins
+    passed = data.value == expected and run.ok and (lock is None or not run.races)
+    return LabResult(lab_id="lab2", variant=variant, passed=passed, observations=obs)
+
+
+def run_broken(seed: int = 0) -> LabResult:
+    """No lock: stale local copies clobber each other."""
+    return _run("broken", None, seed)
+
+
+def run_fixed(seed: int = 0) -> LabResult:
+    """TAS lock: correct, at the cost of invalidation-heavy spinning."""
+    return _run("fixed", lambda: TASLock("tas"), seed)
+
+
+def run_fixed_ttas(seed: int = 0) -> LabResult:
+    """TTAS lock: correct, with read-mostly spinning (fewer invalidations)."""
+    return _run("fixed_ttas", lambda: TTASLock("ttas"), seed)
+
+
+LAB2 = register(
+    Lab(
+        lab_id="lab2",
+        title="Multicore Lab 2 — Spin Lock and Cache Coherence",
+        chapter="Memory Management (multicore add-on)",
+        variants={"broken": run_broken, "fixed": run_fixed, "fixed_ttas": run_fixed_ttas},
+        description=__doc__ or "",
+    )
+)

@@ -1,0 +1,134 @@
+"""Multicore Lab 3 — UMA and NUMA Access.
+
+Paper: "Using Pthread and MPI to simulate and evaluate the access times
+to local shared memory and the access times to remote memory. ... UMA
+mode is used among threads that run on multi-cores of the same
+processor, while NUMA mode is used when a process needs to read data
+located in a remote processor. This lab allows the students to measure
+the timing features of UMA and NUMA read/write operations."
+
+Two measurements, mirroring the lab's two tools:
+
+* **pthread-style** (:func:`measure_threads`) — cores of one socket vs
+  cores of different sockets accessing the same pages on a
+  :class:`~repro.memsim.numa.NumaMachine`;
+* **MPI-style** (:func:`measure_mpi`) — minimpi ranks exchanging data
+  within one cluster segment vs across segments on the
+  :data:`~repro.minimpi.network.Topology.SEGMENTED` network.
+
+The ``fixed`` lab variant verifies the expected ordering
+(remote latency > local latency in both modes); the ``broken`` variant
+models the common student mistake — measuring with *remote* page
+placement while believing it is local — so the numbers contradict the
+expectation and the check fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memsim import NumaConfig, NumaMachine, PagePlacement
+from repro.minimpi import NetworkModel, Topology, run_mpi
+from repro.labs.common import Lab, LabResult, register
+
+__all__ = ["measure_threads", "measure_mpi", "run_fixed", "run_broken", "LAB3"]
+
+N_ACCESSES = 20_000
+PAYLOAD_BYTES = 8192
+
+
+def measure_threads(seed: int = 0, n_accesses: int = N_ACCESSES) -> dict:
+    """UMA (local pages) vs NUMA (remote pages) thread access timing."""
+    rng = np.random.default_rng(seed)
+    cfg = NumaConfig(n_sockets=2, cores_per_socket=4, n_pages=1024)
+    pages = rng.integers(0, cfg.n_pages, size=n_accesses)
+
+    local = NumaMachine(cfg, PagePlacement.LOCAL)
+    remote = NumaMachine(cfg, PagePlacement.REMOTE)
+    local_lat = float(local.access_block(core=0, pages=pages).mean())
+    remote_lat = float(remote.access_block(core=0, pages=pages).mean())
+    return {
+        "uma_mean_ns": local_lat,
+        "numa_mean_ns": remote_lat,
+        "numa_penalty": remote_lat / local_lat,
+    }
+
+
+def _mpi_program(comm, payload_bytes: int):
+    """Rank 0 pings an intra-segment and an inter-segment peer."""
+    rank = comm.Get_rank()
+    size = comm.Get_size()
+    data = b"x" * payload_bytes
+    near, far = 1, size - 1
+    if rank == 0:
+        t0 = comm.virtual_time_us()
+        comm.send(data, near, tag=1)
+        comm.recv(near, tag=2)
+        t_near = comm.virtual_time_us() - t0
+        t0 = comm.virtual_time_us()
+        comm.send(data, far, tag=3)
+        comm.recv(far, tag=4)
+        t_far = comm.virtual_time_us() - t0
+        return {"near_rtt_us": t_near, "far_rtt_us": t_far}
+    if rank == near:
+        comm.recv(0, tag=1)
+        comm.send(data, 0, tag=2)
+    elif rank == far:
+        comm.recv(0, tag=3)
+        comm.send(data, 0, tag=4)
+    return None
+
+
+def measure_mpi(payload_bytes: int = PAYLOAD_BYTES, segment_size: int = 4) -> dict:
+    """Round-trip times within vs across cluster segments (minimpi)."""
+    net = NetworkModel(topology=Topology.SEGMENTED, segment_size=segment_size)
+    values = run_mpi(_mpi_program, 2 * segment_size, args=(payload_bytes,), network=net)
+    result = values[0]
+    result["remote_penalty"] = result["far_rtt_us"] / result["near_rtt_us"]
+    return result
+
+
+def run_fixed(seed: int = 0) -> LabResult:
+    """Correct measurement: remote must cost more than local in both modes."""
+    threads = measure_threads(seed)
+    mpi = measure_mpi()
+    passed = threads["numa_penalty"] > 1.0 and mpi["remote_penalty"] > 1.0
+    return LabResult(
+        lab_id="lab3",
+        variant="fixed",
+        passed=passed,
+        observations={**threads, **mpi},
+    )
+
+
+def run_broken(seed: int = 0) -> LabResult:
+    """The common mistake: both measurements accidentally hit remote pages.
+
+    The student "local" run uses REMOTE placement, so local ≈ remote and
+    the expected penalty vanishes — the check (penalty > 1) fails.
+    """
+    rng = np.random.default_rng(seed)
+    cfg = NumaConfig(n_sockets=2, cores_per_socket=4, n_pages=1024)
+    pages = rng.integers(0, cfg.n_pages, size=N_ACCESSES)
+    believed_local = NumaMachine(cfg, PagePlacement.REMOTE)  # oops
+    remote = NumaMachine(cfg, PagePlacement.REMOTE)
+    l = float(believed_local.access_block(0, pages).mean())
+    r = float(remote.access_block(0, pages).mean())
+    penalty = r / l
+    return LabResult(
+        lab_id="lab3",
+        variant="broken",
+        passed=penalty > 1.0,  # fails: both runs were remote
+        observations={"uma_mean_ns": l, "numa_mean_ns": r, "numa_penalty": penalty},
+    )
+
+
+LAB3 = register(
+    Lab(
+        lab_id="lab3",
+        title="Multicore Lab 3 — UMA and NUMA Access",
+        chapter="Memory Management (multicore add-on)",
+        variants={"broken": run_broken, "fixed": run_fixed},
+        description=__doc__ or "",
+    )
+)

@@ -1,0 +1,155 @@
+"""Lab for Process and Thread Management (Chapter 6).
+
+Paper: "students are asked to write a program that creates two threads,
+one reading a text file that contains a series of none-zero numbers
+ended by a special number -1 and stores the numbers, including the
+ending -1, into an array, while the other thread write[s] the numbers in
+the array to a newly created text file in the same directory.
+Synchronization must be imposed to make sure the thread that writes the
+numbers to the file [does not] come back to read the array until -1 is
+encountered, if the writing is faster than the reading."
+
+The reader fills a shared array and publishes a shared ``count``; the
+writer drains the array into the output file.  The ``broken`` variant
+has the writer poll ``count`` without synchronisation and spin-read
+slots that may not be filled yet; the ``fixed`` variant uses a counting
+semaphore as the "items available" signal — the reference solution.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.interleave import (
+    Nop,
+    RandomPolicy,
+    Scheduler,
+    SharedArray,
+    SharedVar,
+    VSemaphore,
+)
+from repro.labs.common import Lab, LabResult, register
+
+__all__ = ["make_input_file", "run_broken", "run_fixed", "LAB4"]
+
+DEFAULT_NUMBERS = [17, 4, 99, 23, 8, 42, 7, 64, 3, 11]
+
+
+def make_input_file(directory: Path | None = None, numbers=None) -> Path:
+    """Write the lab's input file: non-zero numbers terminated by -1."""
+    numbers = list(numbers if numbers is not None else DEFAULT_NUMBERS)
+    directory = directory or Path(tempfile.mkdtemp(prefix="lab4_"))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "numbers.txt"
+    path.write_text("\n".join(str(n) for n in numbers + [-1]) + "\n")
+    return path
+
+
+def _reader(in_path: Path, array: SharedArray, count: SharedVar, items: VSemaphore | None):
+    """Read numbers (including the final -1) into the shared array."""
+    numbers = [int(tok) for tok in in_path.read_text().split()]
+    for i, n in enumerate(numbers):
+        yield Nop("parse line")  # file I/O latency: a preemption point
+        yield array[i].write(n)
+        current = yield count.read()
+        yield count.write(current + 1)
+        if items is not None:
+            yield items.v()
+
+
+def _writer_broken(out_path: Path, array: SharedArray, count: SharedVar):
+    """Writer that polls `count` with no synchronisation.
+
+    It may read a slot the reader has not filled yet (sees the sentinel
+    placeholder) or stop early — both corrupt the output file.
+    """
+    written: list[int] = []
+    i = 0
+    while True:
+        available = yield count.read()
+        if i >= available:
+            # Busy-wait a bounded number of times, then *assume* done —
+            # the student bug: there is no reliable "done" signal.
+            seen_again = yield count.read()
+            if seen_again == available:
+                break
+            continue
+        value = yield array[i].read()
+        written.append(value)
+        i += 1
+        if value == -1:
+            break
+    out_path.write_text("\n".join(str(v) for v in written) + "\n")
+    return written
+
+
+def _writer_fixed(out_path: Path, array: SharedArray, items: VSemaphore):
+    """Reference solution: block on the items semaphore per slot."""
+    written: list[int] = []
+    i = 0
+    while True:
+        yield items.p()
+        value = yield array[i].read()
+        written.append(value)
+        i += 1
+        if value == -1:
+            break
+    out_path.write_text("\n".join(str(v) for v in written) + "\n")
+    return written
+
+
+def _run(variant: str, seed: int) -> LabResult:
+    workdir = Path(tempfile.mkdtemp(prefix="lab4_"))
+    in_path = make_input_file(workdir)
+    out_path = workdir / "copy.txt"
+    expected = [int(t) for t in in_path.read_text().split()]
+
+    sched = Scheduler(policy=RandomPolicy(seed))
+    array = SharedArray("numbers", len(expected) + 4, fill=0)
+    count = SharedVar("count", 0)
+    if variant == "fixed":
+        items = VSemaphore("items", 0)
+        sched.spawn(_reader(in_path, array, count, items), name="reader")
+        sched.spawn(_writer_fixed(out_path, array, items), name="writer")
+    else:
+        sched.spawn(_reader(in_path, array, count, None), name="reader")
+        sched.spawn(_writer_broken(out_path, array, count), name="writer")
+    run = sched.run()
+
+    copied = (
+        [int(t) for t in out_path.read_text().split()] if out_path.exists() else []
+    )
+    passed = run.ok and copied == expected
+    return LabResult(
+        lab_id="lab4",
+        variant=variant,
+        passed=passed,
+        observations={
+            "expected_numbers": len(expected),
+            "copied_numbers": len(copied),
+            "faithful_copy": copied == expected,
+            "races_detected": len(run.races),
+        },
+    )
+
+
+def run_broken(seed: int = 0) -> LabResult:
+    """Unsynchronised writer: output may be short or contain unset slots."""
+    return _run("broken", seed)
+
+
+def run_fixed(seed: int = 0) -> LabResult:
+    """Semaphore-synchronised pipeline: output equals input for every seed."""
+    return _run("fixed", seed)
+
+
+LAB4 = register(
+    Lab(
+        lab_id="lab4",
+        title="Lab for Process and Thread Management (producer/consumer files)",
+        chapter="Chapter 6 — Process and Thread Management",
+        variants={"broken": run_broken, "fixed": run_fixed},
+        description=__doc__ or "",
+    )
+)

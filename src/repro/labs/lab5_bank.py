@@ -1,0 +1,152 @@
+"""Lab for Basic Synchronization Methods (Chapter 8) — the bank account.
+
+The paper walks students through six steps (i–vi): a sequential
+deposit/withdraw program, refactoring into functions, making each
+dollar-at-a-time, running the two operations as pthreads joined
+sequentially (still correct), then concurrently (wrong, varying
+balances), and finally with a mutex (correct again).  Each step is a
+function here; :func:`run_all_steps` executes the whole progression.
+
+Amounts are scaled down from the paper's 600k/500k so the loops stay
+explorable; the *behaviour* (step v wrong, step vi right) is identical.
+"""
+
+from __future__ import annotations
+
+from repro.interleave import Join, Nop, RandomPolicy, Scheduler, SharedVar, VMutex
+from repro.labs.common import Lab, LabResult, register
+
+__all__ = [
+    "INITIAL_BALANCE", "WITHDRAW", "DEPOSIT",
+    "step_i_sequential", "step_iv_joined_threads",
+    "step_v_concurrent_threads", "step_vi_mutex_threads",
+    "run_all_steps", "run_broken", "run_fixed", "LAB5",
+]
+
+INITIAL_BALANCE = 1000   # paper: 1,000,000 (scaled 1:1000)
+WITHDRAW = 600           # paper: 600,000
+DEPOSIT = 500            # paper: 500,000
+EXPECTED = INITIAL_BALANCE - WITHDRAW + DEPOSIT
+
+
+def _withdraw_loop(balance: SharedVar, amount: int):
+    """Steps iii+: deduct one dollar at a time (unprotected RMW)."""
+    for _ in range(amount):
+        v = yield balance.read()
+        yield Nop("compute v-1")
+        yield balance.write(v - 1)
+
+
+def _deposit_loop(balance: SharedVar, amount: int):
+    for _ in range(amount):
+        v = yield balance.read()
+        yield Nop("compute v+1")
+        yield balance.write(v + 1)
+
+
+def _withdraw_locked(balance: SharedVar, lock: VMutex, amount: int):
+    for _ in range(amount):
+        yield lock.acquire()
+        v = yield balance.read()
+        yield balance.write(v - 1)
+        yield lock.release()
+
+
+def _deposit_locked(balance: SharedVar, lock: VMutex, amount: int):
+    for _ in range(amount):
+        yield lock.acquire()
+        v = yield balance.read()
+        yield balance.write(v + 1)
+        yield lock.release()
+
+
+def step_i_sequential() -> int:
+    """Steps i-iii: single-threaded program. Always correct."""
+    balance = INITIAL_BALANCE
+    for _ in range(WITHDRAW):
+        balance -= 1
+    for _ in range(DEPOSIT):
+        balance += 1
+    return balance
+
+
+def _main_joined(sched: Scheduler, balance: SharedVar):
+    """Step iv's main(): start withdraw, JOIN it, then start deposit."""
+    w = sched.spawn(_withdraw_loop(balance, WITHDRAW), name="withdraw")
+    yield Join(w)
+    d = sched.spawn(_deposit_loop(balance, DEPOSIT), name="deposit")
+    yield Join(d)
+
+
+def step_iv_joined_threads(seed: int = 0) -> int:
+    """Step iv: pthread_join between the two threads — still correct."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    balance = SharedVar("balance", INITIAL_BALANCE)
+    sched.spawn(_main_joined(sched, balance), name="main")
+    sched.run()
+    return balance.value
+
+
+def step_v_concurrent_threads(seed: int = 0) -> int:
+    """Step v: both threads at once, no mutex — the balance goes wrong."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    balance = SharedVar("balance", INITIAL_BALANCE)
+    sched.spawn(_withdraw_loop(balance, WITHDRAW), name="withdraw")
+    sched.spawn(_deposit_loop(balance, DEPOSIT), name="deposit")
+    sched.run()
+    return balance.value
+
+
+def step_vi_mutex_threads(seed: int = 0) -> int:
+    """Step vi: pthread_mutex_lock/unlock around each update — correct."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    balance = SharedVar("balance", INITIAL_BALANCE)
+    lock = VMutex("account_mutex")
+    sched.spawn(_withdraw_locked(balance, lock, WITHDRAW), name="withdraw")
+    sched.spawn(_deposit_locked(balance, lock, DEPOSIT), name="deposit")
+    sched.run()
+    return balance.value
+
+
+def run_all_steps(seed: int = 0) -> dict[str, int]:
+    """The full classroom progression; keys are the paper's step labels."""
+    return {
+        "i_sequential": step_i_sequential(),
+        "iv_joined": step_iv_joined_threads(seed),
+        "v_concurrent": step_v_concurrent_threads(seed),
+        "vi_mutex": step_vi_mutex_threads(seed),
+    }
+
+
+def run_broken(seed: int = 0) -> LabResult:
+    """Step v as the submitted program: passes only if the balance survived."""
+    balance = step_v_concurrent_threads(seed)
+    return LabResult(
+        lab_id="lab5",
+        variant="broken",
+        passed=balance == EXPECTED,
+        observations={"final_balance": balance, "expected": EXPECTED,
+                      "discrepancy": balance - EXPECTED},
+    )
+
+
+def run_fixed(seed: int = 0) -> LabResult:
+    """Step vi as the submitted program: must hit the exact balance."""
+    balance = step_vi_mutex_threads(seed)
+    return LabResult(
+        lab_id="lab5",
+        variant="fixed",
+        passed=balance == EXPECTED,
+        observations={"final_balance": balance, "expected": EXPECTED},
+    )
+
+
+LAB5 = register(
+    Lab(
+        lab_id="lab5",
+        title="Lab for Basic Synchronization Methods (bank account)",
+        chapter="Chapter 8 — Basic Synchronization",
+        variants={"broken": run_broken, "fixed": run_fixed},
+        description=__doc__ or "",
+    )
+)

@@ -1,0 +1,226 @@
+"""Programming Assignment 3 — the Bounded Buffer Problem.
+
+Paper: "students are provided with a program of the producer-consumer
+problem using threads. It uses POSIX mutex locks ... The program
+attempts to solve the bounded-buffer problem for 1 producer and 1
+consumer, but is not a correct solution. Students are required to ...
+provide a scenario in which it produces an incorrect answer ... then
+modify the program so that it solves the bounded-buffer problem using
+(a) mutex locks, (b) semaphores."
+
+Variants:
+
+* ``broken`` — the handed-out program: the mutex protects individual
+  slot updates but the *count check and the update are separate critical
+  sections*, so producer/consumer can both act on a stale count —
+  overwriting an unconsumed slot or consuming an empty one.
+* ``fixed`` — (a) mutex + condition variables (guarded waits).
+* ``fixed_semaphore`` — (b) the classic empty/full semaphore pair.
+
+The checker verifies the safety property the assignment grades: every
+produced item is consumed exactly once, in order, and the buffer index
+arithmetic never lets occupancy leave ``[0, capacity]``.
+"""
+
+from __future__ import annotations
+
+from repro.interleave import (
+    Nop,
+    RandomPolicy,
+    Scheduler,
+    SharedArray,
+    SharedVar,
+    VCondition,
+    VMutex,
+    VSemaphore,
+)
+from repro.labs.common import Lab, LabResult, register
+
+__all__ = ["CAPACITY", "N_ITEMS", "run_broken", "run_fixed", "run_fixed_semaphore", "LAB7"]
+
+CAPACITY = 3
+N_ITEMS = 12
+
+
+_MAX_SPINS = 200  # bail out of busy-wait loops so a lost signal cannot hang
+
+
+def _producer_broken(buf: SharedArray, count: SharedVar, tail: SharedVar, items):
+    """The incorrect hand-out: the textbook unprotected ``count++``.
+
+    ``count`` is read-modify-written with no lock, so producer and
+    consumer updates interleave and lose increments/decrements — the
+    producer then overwrites unconsumed slots (count underestimates) or
+    spins forever on a phantom-full buffer (count overestimates).
+    """
+    for item in items:
+        spins = 0
+        while True:
+            n = yield count.read()
+            if n < CAPACITY:
+                break
+            spins += 1
+            if spins > _MAX_SPINS:
+                return  # give up: the program has effectively hung
+            yield Nop("spin: buffer looks full")
+        t = yield tail.read()
+        yield buf[t % CAPACITY].write(item)
+        yield tail.write(t + 1)
+        n = yield count.read()       # count++ as a racy RMW
+        yield Nop("increment count")
+        yield count.write(n + 1)
+
+
+def _consumer_broken(buf: SharedArray, count: SharedVar, head: SharedVar, out, n_items: int):
+    for _ in range(n_items):
+        spins = 0
+        while True:
+            n = yield count.read()
+            if n > 0:
+                break
+            spins += 1
+            if spins > _MAX_SPINS:
+                return  # give up: never signalled
+            yield Nop("spin: buffer looks empty")
+        h = yield head.read()
+        value = yield buf[h % CAPACITY].read()
+        yield head.write(h + 1)
+        n = yield count.read()       # count-- as a racy RMW
+        yield Nop("decrement count")
+        yield count.write(n - 1)
+        out.append(value)
+
+
+def _producer_cond(buf, count, tail, mutex, not_full: VCondition, not_empty: VCondition, items):
+    """(a) mutex + condition variables: guarded waits inside the lock."""
+    for item in items:
+        yield mutex.acquire()
+        while True:
+            n = yield count.read()
+            if n < CAPACITY:
+                break
+            yield not_full.wait()
+        t = yield tail.read()
+        yield buf[t % CAPACITY].write(item)
+        yield tail.write(t + 1)
+        yield count.write(n + 1)
+        yield not_empty.notify_one()
+        yield mutex.release()
+
+
+def _consumer_cond(buf, count, head, mutex, not_full: VCondition, not_empty: VCondition, out, n_items):
+    for _ in range(n_items):
+        yield mutex.acquire()
+        while True:
+            n = yield count.read()
+            if n > 0:
+                break
+            yield not_empty.wait()
+        h = yield head.read()
+        value = yield buf[h % CAPACITY].read()
+        yield head.write(h + 1)
+        yield count.write(n - 1)
+        yield not_full.notify_one()
+        yield mutex.release()
+        out.append(value)
+
+
+def _producer_sem(buf, tail, mutex, empty: VSemaphore, full: VSemaphore, items):
+    """(b) semaphores: empty/full tokens + mutex for the slot update."""
+    for item in items:
+        yield empty.p()
+        yield mutex.acquire()
+        t = yield tail.read()
+        yield buf[t % CAPACITY].write(item)
+        yield tail.write(t + 1)
+        yield mutex.release()
+        yield full.v()
+
+
+def _consumer_sem(buf, head, mutex, empty: VSemaphore, full: VSemaphore, out, n_items):
+    for _ in range(n_items):
+        yield full.p()
+        yield mutex.acquire()
+        h = yield head.read()
+        value = yield buf[h % CAPACITY].read()
+        yield head.write(h + 1)
+        yield mutex.release()
+        yield empty.v()
+        out.append(value)
+
+
+def _evaluate(variant: str, run, consumed: list, items: list, extra: dict | None = None) -> LabResult:
+    in_order = consumed == items
+    return LabResult(
+        lab_id="lab7",
+        variant=variant,
+        passed=run.ok and in_order,
+        observations={
+            "consumed": len(consumed),
+            "expected": len(items),
+            "in_order": in_order,
+            "duplicates_or_losses": sorted(set(items) ^ set(consumed)),
+            "deadlocked": run.deadlocked,
+            **(extra or {}),
+        },
+    )
+
+
+def run_broken(seed: int = 0) -> LabResult:
+    """The incorrect hand-out program under one random schedule."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    items = list(range(1, N_ITEMS + 1))
+    buf = SharedArray("buffer", CAPACITY, fill=0)
+    count, head, tail = SharedVar("count", 0), SharedVar("head", 0), SharedVar("tail", 0)
+    out: list[int] = []
+    sched.spawn(_producer_broken(buf, count, tail, items), name="producer")
+    sched.spawn(_consumer_broken(buf, count, head, out, len(items)), name="consumer")
+    run = sched.run()
+    return _evaluate("broken", run, out, items, extra={"final_count": count.value})
+
+
+def run_fixed(seed: int = 0) -> LabResult:
+    """(a) mutex + condition variables."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    items = list(range(1, N_ITEMS + 1))
+    buf = SharedArray("buffer", CAPACITY, fill=0)
+    count, head, tail = SharedVar("count", 0), SharedVar("head", 0), SharedVar("tail", 0)
+    mutex = VMutex("buffer_mutex")
+    not_full = VCondition(mutex, "not_full")
+    not_empty = VCondition(mutex, "not_empty")
+    out: list[int] = []
+    sched.spawn(_producer_cond(buf, count, tail, mutex, not_full, not_empty, items), name="producer")
+    sched.spawn(_consumer_cond(buf, count, head, mutex, not_full, not_empty, out, len(items)), name="consumer")
+    run = sched.run()
+    return _evaluate("fixed", run, out, items)
+
+
+def run_fixed_semaphore(seed: int = 0) -> LabResult:
+    """(b) empty/full semaphores."""
+    sched = Scheduler(policy=RandomPolicy(seed))
+    items = list(range(1, N_ITEMS + 1))
+    buf = SharedArray("buffer", CAPACITY, fill=0)
+    head, tail = SharedVar("head", 0), SharedVar("tail", 0)
+    mutex = VMutex("buffer_mutex")
+    empty = VSemaphore("empty", CAPACITY)
+    full = VSemaphore("full", 0)
+    out: list[int] = []
+    sched.spawn(_producer_sem(buf, tail, mutex, empty, full, items), name="producer")
+    sched.spawn(_consumer_sem(buf, head, mutex, empty, full, out, len(items)), name="consumer")
+    run = sched.run()
+    return _evaluate("fixed_semaphore", run, out, items)
+
+
+LAB7 = register(
+    Lab(
+        lab_id="lab7",
+        title="Programming Assignment 3 — Bounded Buffer Problem",
+        chapter="Programming assignment (mutex + semaphore)",
+        variants={
+            "broken": run_broken,
+            "fixed": run_fixed,
+            "fixed_semaphore": run_fixed_semaphore,
+        },
+        description=__doc__ or "",
+    )
+)

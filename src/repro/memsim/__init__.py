@@ -1,0 +1,42 @@
+"""Shared-memory hierarchy simulator.
+
+The course's Multicore Labs 2 and 3 ask students to *observe* memory
+behaviour that real hardware hides: cache-line invalidation storms caused
+by TAS spin locks, and the latency gap between UMA and NUMA accesses.
+This package makes both directly measurable:
+
+* :mod:`~repro.memsim.cache` — set-associative caches with LRU;
+* :mod:`~repro.memsim.coherence` — a MESI snooping protocol over a shared
+  bus, with per-core hit/miss/invalidation accounting and a checkable
+  single-writer/multiple-reader invariant;
+* :mod:`~repro.memsim.numa` — a socketed machine model with page
+  placement policies and per-access latency accounting (UMA vs NUMA);
+* :mod:`~repro.memsim.consistency` — store-buffer (TSO) vs sequential
+  consistency litmus tests;
+* :mod:`~repro.memsim.bridge` — adapter that feeds every shared access
+  made by :mod:`repro.interleave` virtual threads into a coherent cache
+  system, so lab programs generate true coherence traffic.
+"""
+
+from repro.memsim.cache import Cache, CacheConfig, CacheLine, LineState
+from repro.memsim.coherence import BusStats, CoherentSystem, CostModel
+from repro.memsim.numa import AccessStats, NumaConfig, NumaMachine, PagePlacement
+from repro.memsim.consistency import LitmusResult, run_store_buffer_litmus
+from repro.memsim.bridge import CoherenceBridge
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheLine",
+    "LineState",
+    "CoherentSystem",
+    "BusStats",
+    "CostModel",
+    "NumaMachine",
+    "NumaConfig",
+    "PagePlacement",
+    "AccessStats",
+    "run_store_buffer_litmus",
+    "LitmusResult",
+    "CoherenceBridge",
+]

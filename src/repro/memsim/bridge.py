@@ -1,0 +1,116 @@
+"""Bridge from the interleave sandbox to the coherence simulator.
+
+Lab 2 runs a real concurrent program (virtual threads spinning on a TAS
+lock) and asks how much coherence traffic it generates.  The bridge makes
+that a one-liner: attach it to a scheduler and every ``Read``/``Write``/
+``Tas``/``FetchAdd`` op a virtual thread performs becomes a cache access
+by "its" core in a :class:`~repro.memsim.coherence.CoherentSystem`.
+
+* Threads are assigned to cores round-robin in spawn order (override
+  with ``core_map``).
+* Each :class:`~repro.interleave.state.SharedVar` is given its own cache
+  line (override with ``addr_map`` to co-locate variables and study
+  false sharing).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.interleave import ops as O
+from repro.memsim.cache import CacheConfig
+from repro.memsim.coherence import CoherentSystem, CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.interleave.scheduler import Scheduler, VThread
+    from repro.interleave.state import SharedVar
+
+__all__ = ["CoherenceBridge"]
+
+
+class CoherenceBridge:
+    """Feed a scheduler's shared accesses into a MESI cache system.
+
+    Parameters
+    ----------
+    n_cores:
+        Cores in the simulated machine (threads map onto them round-robin).
+    config, costs:
+        Forwarded to :class:`CoherentSystem`.
+    core_map:
+        Optional explicit ``thread name -> core`` mapping.
+    addr_map:
+        Optional explicit ``var name -> byte address`` mapping; by default
+        each variable gets its own line (no false sharing).
+
+    Usage::
+
+        sched = Scheduler(seed=7)
+        bridge = CoherenceBridge(n_cores=4)
+        bridge.attach(sched)
+        ... spawn threads, sched.run() ...
+        bridge.system.report()
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        config: CacheConfig | None = None,
+        costs: CostModel | None = None,
+        core_map: dict[str, int] | None = None,
+        addr_map: dict[str, int] | None = None,
+    ) -> None:
+        self.system = CoherentSystem(n_cores, config=config, costs=costs)
+        self._core_map: dict[str, int] = dict(core_map or {})
+        self._addr_map: dict[str, int] = dict(addr_map or {})
+        self._next_core = 0
+        self._next_line = 0
+
+    # -- mapping ---------------------------------------------------------
+    def core_of(self, thread: "VThread") -> int:
+        """Core assigned to ``thread`` (round-robin on first sight)."""
+        core = self._core_map.get(thread.name)
+        if core is None:
+            core = self._next_core % self.system.n_cores
+            self._next_core += 1
+            self._core_map[thread.name] = core
+        return core
+
+    def addr_of(self, var: "SharedVar") -> int:
+        """Byte address assigned to ``var`` (own line on first sight)."""
+        addr = self._addr_map.get(var.name)
+        if addr is None:
+            addr = self._next_line * self.system.config.line_size
+            self._next_line += 1
+            self._addr_map[var.name] = addr
+        return addr
+
+    def colocate(self, *vars: "SharedVar") -> None:
+        """Force several variables onto one cache line (false sharing).
+
+        Useful for the lab extension where two 'independent' counters
+        thrash each other purely through line sharing.
+        """
+        if not vars:
+            return
+        base = self.addr_of(vars[0])
+        line = self.system.config.line_address(base)
+        for i, v in enumerate(vars):
+            # Distinct byte offsets within one line.
+            self._addr_map[v.name] = line + (i % self.system.config.line_size)
+
+    # -- hook ------------------------------------------------------------
+    def attach(self, scheduler: "Scheduler") -> "CoherenceBridge":
+        """Register with ``scheduler.access_hooks``; returns self."""
+        scheduler.access_hooks.append(self._on_access)
+        return self
+
+    def _on_access(self, thread: "VThread", op: O.Op) -> None:
+        if isinstance(op, O.Read):
+            self.system.read(self.core_of(thread), self.addr_of(op.var))
+        elif isinstance(op, O.Write):
+            self.system.write(self.core_of(thread), self.addr_of(op.var))
+        elif isinstance(op, (O.Tas, O.FetchAdd)):
+            self.system.rmw(self.core_of(thread), self.addr_of(op.var))
+        # Synchronisation ops (Acquire/SemP/...) are scheduler-internal:
+        # they model OS primitives, not memory traffic.

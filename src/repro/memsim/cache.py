@@ -1,0 +1,162 @@
+"""Set-associative cache with LRU replacement.
+
+Addresses are plain integers (byte addresses).  A cache is organised as
+``sets × ways`` lines of ``line_size`` bytes; the classic index/tag split
+applies.  The cache itself knows nothing about coherence — line states
+are stored here but driven by :mod:`repro.memsim.coherence`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["LineState", "CacheLine", "CacheConfig", "Cache"]
+
+
+class LineState(enum.Enum):
+    """MESI line states (plus Invalid for empty ways)."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CacheLine:
+    """One cache line: tag + MESI state + LRU timestamp."""
+
+    tag: int = -1
+    state: LineState = LineState.INVALID
+    last_used: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state is not LineState.INVALID
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a cache.
+
+    Defaults model a small teaching L1: 64 sets × 2 ways × 64-byte lines
+    = 8 KiB.
+    """
+
+    sets: int = 64
+    ways: int = 2
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        for field_name in ("sets", "ways", "line_size"):
+            v = getattr(self, field_name)
+            if v < 1 or (v & (v - 1)) != 0:
+                raise ValueError(f"cache {field_name} must be a positive power of two, got {v}")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.sets * self.ways * self.line_size
+
+    def split(self, addr: int) -> tuple[int, int]:
+        """Return ``(set_index, tag)`` for a byte address."""
+        block = addr // self.line_size
+        return block % self.sets, block // self.sets
+
+    def line_address(self, addr: int) -> int:
+        """The base address of the line containing ``addr``."""
+        return (addr // self.line_size) * self.line_size
+
+
+class Cache:
+    """A single core's cache array.
+
+    The cache exposes *mechanism* only (lookup, fill, evict, state
+    changes); the coherence *policy* lives in
+    :class:`~repro.memsim.coherence.CoherentSystem`.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "L1") -> None:
+        self.config = config
+        self.name = name
+        self._lines = [[CacheLine() for _ in range(config.ways)] for _ in range(config.sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- lookup ----------------------------------------------------------
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """The valid line holding ``addr``, or ``None`` (no LRU touch)."""
+        set_idx, tag = self.config.split(addr)
+        for line in self._lines[set_idx]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def touch(self, line: CacheLine) -> None:
+        """Mark ``line`` most-recently-used."""
+        self._tick += 1
+        line.last_used = self._tick
+
+    # -- fills / evictions -------------------------------------------------
+    def fill(self, addr: int, state: LineState) -> tuple[CacheLine, bool]:
+        """Install ``addr`` with ``state``.
+
+        Returns ``(line, wrote_back)`` where ``wrote_back`` reports that a
+        MODIFIED victim had to be written back to memory.
+        """
+        set_idx, tag = self.config.split(addr)
+        ways = self._lines[set_idx]
+        victim = None
+        for line in ways:
+            if not line.valid:
+                victim = line
+                break
+        if victim is None:
+            victim = min(ways, key=lambda l: l.last_used)
+        wrote_back = False
+        if victim.valid:
+            self.evictions += 1
+            if victim.state is LineState.MODIFIED:
+                self.writebacks += 1
+                wrote_back = True
+        victim.tag = tag
+        victim.state = state
+        self.touch(victim)
+        return victim, wrote_back
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop ``addr`` if present. Returns whether a line was invalidated."""
+        line = self.lookup(addr)
+        if line is None:
+            return False
+        line.state = LineState.INVALID
+        line.tag = -1
+        return True
+
+    # -- introspection -----------------------------------------------------
+    def state_of(self, addr: int) -> LineState:
+        """MESI state of ``addr`` in this cache (INVALID if absent)."""
+        line = self.lookup(addr)
+        return line.state if line is not None else LineState.INVALID
+
+    def valid_lines(self) -> Iterator[tuple[int, CacheLine]]:
+        """Yield ``(set_index, line)`` for every valid line."""
+        for set_idx, ways in enumerate(self._lines):
+            for line in ways:
+                if line.valid:
+                    yield set_idx, line
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(1 for _ in self.valid_lines())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cache {self.name} {self.config.size_bytes}B "
+            f"hits={self.hits} misses={self.misses}>"
+        )

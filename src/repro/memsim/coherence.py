@@ -1,0 +1,279 @@
+"""MESI snooping coherence over a shared bus.
+
+One :class:`CoherentSystem` owns ``n_cores`` caches and a shared memory
+image.  Cores issue ``read``/``write``/``rmw``; the system performs the
+MESI transitions, generating the bus transactions students count in
+Multicore Lab 2:
+
+========  ==========================================================
+BusRd     read miss — another cache or memory supplies the line
+BusRdX    write miss — exclusive fetch, invalidating other copies
+BusUpgr   write hit on a SHARED line — invalidate other copies
+Flush     a MODIFIED line is supplied/written back by its owner
+========  ==========================================================
+
+Cycle accounting uses a simple, standard cost model (configurable):
+cache hit 1 cycle, bus transaction 10, memory access 60, cache-to-cache
+transfer 30.  Absolute numbers are synthetic; *ratios* (TAS vs TTAS
+invalidation traffic, miss penalties) reproduce the textbook behaviour
+the lab teaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._errors import SimulationError
+from repro.memsim.cache import Cache, CacheConfig, LineState
+
+__all__ = ["CostModel", "BusStats", "CoherentSystem"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency (cycles) per event class."""
+
+    cache_hit: int = 1
+    bus_transaction: int = 10
+    memory_access: int = 60
+    cache_to_cache: int = 30
+
+
+@dataclass
+class BusStats:
+    """System-wide coherence traffic counters."""
+
+    bus_rd: int = 0
+    bus_rdx: int = 0
+    bus_upgr: int = 0
+    flushes: int = 0
+    invalidations: int = 0
+    cache_to_cache_transfers: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+    @property
+    def total_transactions(self) -> int:
+        return self.bus_rd + self.bus_rdx + self.bus_upgr
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reports and benchmarks."""
+        return {
+            "bus_rd": self.bus_rd,
+            "bus_rdx": self.bus_rdx,
+            "bus_upgr": self.bus_upgr,
+            "flushes": self.flushes,
+            "invalidations": self.invalidations,
+            "cache_to_cache_transfers": self.cache_to_cache_transfers,
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+            "total_transactions": self.total_transactions,
+        }
+
+
+class CoherentSystem:
+    """``n_cores`` MESI caches snooping one bus.
+
+    Parameters
+    ----------
+    n_cores:
+        Number of cores (each gets a private cache).
+    config:
+        Cache geometry shared by all cores.
+    costs:
+        Latency model used for the ``cycles`` accounting.
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        config: CacheConfig | None = None,
+        costs: CostModel | None = None,
+        protocol: str = "MESI",
+    ) -> None:
+        if n_cores < 1:
+            raise SimulationError(f"need at least one core, got {n_cores}")
+        protocol = protocol.upper()
+        if protocol not in ("MESI", "MSI"):
+            raise SimulationError(f"unknown protocol {protocol!r} (MESI or MSI)")
+        #: 'MSI' disables the Exclusive state: an unshared read installs
+        #: SHARED, so the first write always costs a BusUpgr — the
+        #: ablation that shows what MESI's E state buys.
+        self.protocol = protocol
+        self.n_cores = n_cores
+        self.config = config or CacheConfig()
+        self.costs = costs or CostModel()
+        self.caches = [Cache(self.config, name=f"L1[{i}]") for i in range(n_cores)]
+        self.stats = BusStats()
+        self.cycles = 0
+        self.per_core_cycles = [0] * n_cores
+
+    # -- public operations -------------------------------------------------
+    def read(self, core: int, addr: int) -> int:
+        """Core ``core`` loads ``addr``. Returns the latency in cycles."""
+        cache = self._cache(core)
+        line_addr = self.config.line_address(addr)
+        line = cache.lookup(line_addr)
+        if line is not None:
+            cache.hits += 1
+            cache.touch(line)
+            return self._account(core, self.costs.cache_hit)
+
+        # Read miss: BusRd.
+        cache.misses += 1
+        self.stats.bus_rd += 1
+        latency = self.costs.bus_transaction
+        supplied_by_cache = False
+        sharers = 0
+        for other_idx, other in enumerate(self.caches):
+            if other_idx == core:
+                continue
+            other_line = other.lookup(line_addr)
+            if other_line is None:
+                continue
+            sharers += 1
+            if other_line.state is LineState.MODIFIED:
+                # Owner flushes; both end up SHARED.
+                self.stats.flushes += 1
+                self.stats.memory_writes += 1
+                other_line.state = LineState.SHARED
+                supplied_by_cache = True
+            elif other_line.state is LineState.EXCLUSIVE:
+                other_line.state = LineState.SHARED
+                supplied_by_cache = True
+            else:  # SHARED
+                supplied_by_cache = True
+
+        if supplied_by_cache:
+            self.stats.cache_to_cache_transfers += 1
+            latency += self.costs.cache_to_cache
+        else:
+            self.stats.memory_reads += 1
+            latency += self.costs.memory_access
+
+        if self.protocol == "MSI":
+            new_state = LineState.SHARED  # no Exclusive state in MSI
+        else:
+            new_state = LineState.SHARED if sharers else LineState.EXCLUSIVE
+        _, wrote_back = cache.fill(line_addr, new_state)
+        if wrote_back:
+            self.stats.memory_writes += 1
+            latency += self.costs.memory_access
+        return self._account(core, latency)
+
+    def write(self, core: int, addr: int) -> int:
+        """Core ``core`` stores to ``addr``. Returns the latency in cycles."""
+        cache = self._cache(core)
+        line_addr = self.config.line_address(addr)
+        line = cache.lookup(line_addr)
+
+        if line is not None and line.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+            # Silent upgrade E->M; M->M is free.
+            cache.hits += 1
+            cache.touch(line)
+            line.state = LineState.MODIFIED
+            return self._account(core, self.costs.cache_hit)
+
+        if line is not None and line.state is LineState.SHARED:
+            # Write hit on shared: BusUpgr invalidates other copies.
+            cache.hits += 1
+            cache.touch(line)
+            self.stats.bus_upgr += 1
+            self._invalidate_others(core, line_addr)
+            line.state = LineState.MODIFIED
+            return self._account(core, self.costs.cache_hit + self.costs.bus_transaction)
+
+        # Write miss: BusRdX.
+        cache.misses += 1
+        self.stats.bus_rdx += 1
+        latency = self.costs.bus_transaction
+        supplied_by_cache = False
+        for other_idx, other in enumerate(self.caches):
+            if other_idx == core:
+                continue
+            other_line = other.lookup(line_addr)
+            if other_line is None:
+                continue
+            if other_line.state is LineState.MODIFIED:
+                self.stats.flushes += 1
+                self.stats.memory_writes += 1
+                supplied_by_cache = True
+            elif other_line.state in (LineState.EXCLUSIVE, LineState.SHARED):
+                supplied_by_cache = True
+            if other.invalidate(line_addr):
+                self.stats.invalidations += 1
+
+        if supplied_by_cache:
+            self.stats.cache_to_cache_transfers += 1
+            latency += self.costs.cache_to_cache
+        else:
+            self.stats.memory_reads += 1
+            latency += self.costs.memory_access
+
+        _, wrote_back = cache.fill(line_addr, LineState.MODIFIED)
+        if wrote_back:
+            self.stats.memory_writes += 1
+            latency += self.costs.memory_access
+        return self._account(core, latency)
+
+    def rmw(self, core: int, addr: int) -> int:
+        """Atomic read-modify-write (TAS, fetch-add).
+
+        Coherence-wise an RMW is a write: the core must own the line
+        exclusively for the duration — which is exactly why TAS spinning
+        ping-pongs the line between spinners (Lab 2's lesson).
+        """
+        return self.write(core, addr)
+
+    # -- invariants / reporting ---------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert MESI's single-writer/multiple-reader property.
+
+        Raises :class:`SimulationError` on violation.  Property-based
+        tests drive random access sequences through the system and call
+        this after every step.
+        """
+        # Collect states per line address across caches.
+        by_line: dict[tuple[int, int], list[LineState]] = {}
+        for cache in self.caches:
+            for set_idx, line in cache.valid_lines():
+                by_line.setdefault((set_idx, line.tag), []).append(line.state)
+        for key, states in by_line.items():
+            exclusive_like = [s for s in states if s in (LineState.MODIFIED, LineState.EXCLUSIVE)]
+            if exclusive_like and len(states) > 1:
+                raise SimulationError(
+                    f"SWMR violated for line {key}: states {[s.value for s in states]}"
+                )
+            if len(exclusive_like) > 1:  # pragma: no cover - caught above
+                raise SimulationError(f"two exclusive owners for line {key}")
+
+    def line_states(self, addr: int) -> list[LineState]:
+        """MESI state of ``addr`` in every cache (index = core)."""
+        line_addr = self.config.line_address(addr)
+        return [c.state_of(line_addr) for c in self.caches]
+
+    def report(self) -> dict:
+        """Aggregate counters for display/benchmarks."""
+        return {
+            "cycles": self.cycles,
+            "per_core_cycles": list(self.per_core_cycles),
+            "hits": sum(c.hits for c in self.caches),
+            "misses": sum(c.misses for c in self.caches),
+            **self.stats.as_dict(),
+        }
+
+    # -- internals -----------------------------------------------------------
+    def _cache(self, core: int) -> Cache:
+        if not 0 <= core < self.n_cores:
+            raise SimulationError(f"core {core} outside [0, {self.n_cores})")
+        return self.caches[core]
+
+    def _invalidate_others(self, core: int, line_addr: int) -> None:
+        for other_idx, other in enumerate(self.caches):
+            if other_idx != core and other.invalidate(line_addr):
+                self.stats.invalidations += 1
+
+    def _account(self, core: int, latency: int) -> int:
+        self.cycles += latency
+        self.per_core_cycles[core] += latency
+        return latency

@@ -1,0 +1,146 @@
+"""Memory-consistency litmus tests: sequential consistency vs TSO.
+
+The course's Memory Management module adds "Consistency, Coherence and
+Impact on Software".  The canonical classroom demonstration is the
+store-buffer litmus test (Dekker's fragment)::
+
+    initially x = y = 0
+    T0: x = 1; r0 = y          T1: y = 1; r1 = x
+
+Under sequential consistency at least one thread must observe the other's
+store, so ``r0 == r1 == 0`` is impossible.  Under TSO (x86-style store
+buffers) both stores can still sit in their buffers when the loads
+execute, so ``(0, 0)`` *is* observable.
+
+:func:`run_store_buffer_litmus` enumerates every interleaving of the four
+memory operations under both models and reports which ``(r0, r1)``
+outcomes are reachable — a small piece of model checking the students can
+read end-to-end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["LitmusResult", "run_store_buffer_litmus"]
+
+
+@dataclass
+class LitmusResult:
+    """Reachable outcomes of the store-buffer litmus test under one model."""
+
+    model: str
+    outcomes: set[tuple[int, int]] = field(default_factory=set)
+
+    @property
+    def allows_both_zero(self) -> bool:
+        """Whether the relaxed ``(0, 0)`` outcome is reachable."""
+        return (0, 0) in self.outcomes
+
+    def __str__(self) -> str:
+        outs = ", ".join(str(o) for o in sorted(self.outcomes))
+        return f"{self.model}: reachable (r0, r1) = {{{outs}}}"
+
+
+def _interleavings(a: list, b: list):
+    """All order-preserving merges of two sequences."""
+    la, lb = len(a), len(b)
+    for positions in itertools.combinations(range(la + lb), la):
+        merged: list = [None] * (la + lb)
+        ai = iter(a)
+        for p in positions:
+            merged[p] = next(ai)
+        bi = iter(b)
+        for i in range(la + lb):
+            if merged[i] is None:
+                merged[i] = next(bi)
+        yield merged
+
+
+def _run_sc() -> LitmusResult:
+    """Sequentially-consistent execution: each op hits memory in order."""
+    result = LitmusResult("SC")
+    t0 = [("store", "x", 0), ("load", "y", 0)]
+    t1 = [("store", "y", 1), ("load", "x", 1)]
+    for schedule in _interleavings(t0, t1):
+        mem = {"x": 0, "y": 0}
+        regs = {0: None, 1: None}
+        for kind, var, tid in schedule:
+            if kind == "store":
+                mem[var] = 1
+            else:
+                regs[tid] = mem[var]
+        result.outcomes.add((regs[0], regs[1]))
+    return result
+
+
+def _run_tso() -> LitmusResult:
+    """TSO execution: stores sit in a per-thread FIFO buffer.
+
+    Each thread's ops execute in program order, but a store only becomes
+    globally visible when *drained*; loads first snoop the issuing
+    thread's own buffer (store-to-load forwarding), then memory.  We
+    enumerate all drain points by treating each buffered store's drain as
+    an extra schedulable event.
+    """
+    result = LitmusResult("TSO")
+    # Program order per thread is only issue < load; the drain of a
+    # buffered store may land at *any* global point after its issue —
+    # including after both loads.  So: enumerate merges of the four base
+    # events, then insert each drain at every legal position.
+    t0 = [("issue", "x", 0), ("load", "y", 0)]
+    t1 = [("issue", "y", 1), ("load", "x", 1)]
+    for base in _interleavings(t0, t1):
+        issue_pos = {tid: base.index(("issue", var, tid)) for var, tid in (("x", 0), ("y", 1))}
+        n = len(base)
+        for d0 in range(issue_pos[0] + 1, n + 1):
+            for d1 in range(issue_pos[1] + 1, n + 1):
+                schedule = list(base)
+                # Insert later position first so indices stay valid.
+                inserts = sorted(
+                    [(d0, ("drain", "x", 0)), (d1, ("drain", "y", 1))],
+                    key=lambda p: p[0],
+                    reverse=True,
+                )
+                for pos, ev in inserts:
+                    schedule.insert(pos, ev)
+                mem = {"x": 0, "y": 0}
+                buffered: dict[int, dict[str, int]] = {0: {}, 1: {}}
+                regs: dict[int, int | None] = {0: None, 1: None}
+                for kind, var, tid in schedule:
+                    if kind == "issue":
+                        buffered[tid][var] = 1
+                    elif kind == "drain":
+                        if var in buffered[tid]:
+                            mem[var] = buffered[tid].pop(var)
+                    else:  # load: snoop own buffer first (forwarding)
+                        own = buffered[tid]
+                        regs[tid] = own[var] if var in own else mem[var]
+                result.outcomes.add((regs[0], regs[1]))
+    return result
+
+
+def run_store_buffer_litmus(model: str = "both") -> dict[str, LitmusResult]:
+    """Enumerate the store-buffer litmus test.
+
+    Parameters
+    ----------
+    model:
+        ``"SC"``, ``"TSO"`` or ``"both"``.
+
+    Returns
+    -------
+    dict
+        Model name → :class:`LitmusResult`.  Under SC the ``(0, 0)``
+        outcome is absent; under TSO it is present.
+    """
+    model = model.upper() if model != "both" else "both"
+    results: dict[str, LitmusResult] = {}
+    if model in ("SC", "both"):
+        results["SC"] = _run_sc()
+    if model in ("TSO", "both"):
+        results["TSO"] = _run_tso()
+    if not results:
+        raise ValueError(f"unknown consistency model {model!r} (use 'SC', 'TSO' or 'both')")
+    return results

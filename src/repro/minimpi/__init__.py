@@ -1,0 +1,59 @@
+"""minimpi — an MPI-flavoured message-passing library for the simulated cluster.
+
+The portal's parallel jobs and the course's Multicore Lab 3 ("Using
+Pthread and MPI to ... evaluate the access times to local shared memory
+and ... remote memory") need a message-passing runtime.  ``minimpi``
+provides one with the mpi4py API surface:
+
+* lowercase, pickle-style methods for arbitrary Python objects —
+  ``send``/``recv``/``isend``/``irecv``/``bcast``/``scatter``/``gather``/
+  ``reduce``/``allreduce``/``barrier``/``scan``/``alltoall``;
+* uppercase buffer methods (``Send``/``Recv``/``Bcast``/``Reduce``) that
+  operate on NumPy arrays in place;
+* :class:`~repro.minimpi.request.Request` objects with ``test``/``wait``
+  for the nonblocking calls;
+* Cartesian topologies (:meth:`Comm.create_cart`, ``dims_create``).
+
+Ranks run as OS threads inside one process (the "mock cluster" of this
+reproduction), while *communication time* is accounted on a virtual
+clock through a :class:`~repro.minimpi.network.NetworkModel`: each
+message charges latency × hop-distance + size ÷ bandwidth, so the
+latency/ topology/routing topics the paper's Computer Organization
+module introduces are measurable even though everything runs locally.
+
+Example
+-------
+>>> from repro.minimpi import run_mpi
+>>> def program(comm):
+...     rank = comm.Get_rank()
+...     total = comm.allreduce(rank)
+...     return total
+>>> run_mpi(program, 4)
+[6, 6, 6, 6]
+"""
+
+from repro.minimpi.network import NetworkModel, Topology
+from repro.minimpi.request import Request
+from repro.minimpi.comm import ANY_SOURCE, ANY_TAG, Comm, Status
+from repro.minimpi.collectives import MAX, MIN, PROD, SUM, ReduceOp
+from repro.minimpi.topology import CartComm, dims_create
+from repro.minimpi.launcher import MPIFailure, run_mpi
+
+__all__ = [
+    "Comm",
+    "Status",
+    "Request",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "ReduceOp",
+    "NetworkModel",
+    "Topology",
+    "CartComm",
+    "dims_create",
+    "run_mpi",
+    "MPIFailure",
+]

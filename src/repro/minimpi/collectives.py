@@ -1,0 +1,356 @@
+"""Collective operations over point-to-point messaging.
+
+Every collective is implemented on top of ``send``/``recv`` with a
+per-call reserved tag, using the textbook algorithms so the *virtual
+time* accounting reflects realistic costs:
+
+=============  ==========================================
+barrier        dissemination (⌈log₂ p⌉ rounds)
+bcast          binomial tree
+reduce         binomial tree (leaves towards root)
+scatter/gather root-linear
+allgather      ring (p−1 steps)
+alltoall       pairwise exchange
+allreduce      reduce + bcast
+scan           linear chain
+=============  ==========================================
+
+All collectives require every rank of the communicator to call them in
+the same order — the standard MPI contract; the per-communicator
+collective sequence number turns violations into timeouts rather than
+silent cross-matched data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TYPE_CHECKING
+
+import numpy as np
+
+from repro._errors import MPIError, RankError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.minimpi.comm import Comm
+
+__all__ = [
+    "ReduceOp", "SUM", "PROD", "MAX", "MIN",
+    "barrier", "bcast", "scatter", "gather",
+    "allgather", "alltoall", "reduce", "allreduce", "scan",
+    "scatterv", "gatherv", "reduce_scatter", "exscan",
+]
+
+
+class ReduceOp:
+    """A named, associative binary reduction operator."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ReduceOp {self.name}>"
+
+
+def _add(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.add(a, b)
+    return a + b
+
+
+def _mul(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.multiply(a, b)
+    return a * b
+
+
+def _max(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _min(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+SUM = ReduceOp("SUM", _add)
+PROD = ReduceOp("PROD", _mul)
+MAX = ReduceOp("MAX", _max)
+MIN = ReduceOp("MIN", _min)
+
+
+def _resolve_op(op) -> ReduceOp:
+    if op is None:
+        return SUM
+    if isinstance(op, ReduceOp):
+        return op
+    if callable(op):
+        return ReduceOp(getattr(op, "__name__", "custom"), op)
+    raise MPIError(f"invalid reduce op {op!r}")
+
+
+def _check_root(comm: "Comm", root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise RankError(f"root {root} outside [0, {comm.size})")
+
+
+# ---------------------------------------------------------------------------
+# barrier — dissemination
+# ---------------------------------------------------------------------------
+def barrier(comm: "Comm") -> None:
+    """Dissemination barrier: ⌈log₂ p⌉ rounds of pairwise tokens."""
+    tag = comm._next_collective_tag()
+    p = comm.size
+    if p == 1:
+        return
+    rank = comm.rank
+    k = 1
+    while k < p:
+        comm.send(None, (rank + k) % p, tag)
+        comm.recv((rank - k) % p, tag)
+        k <<= 1
+
+
+# ---------------------------------------------------------------------------
+# bcast — binomial tree rooted at `root`
+# ---------------------------------------------------------------------------
+def bcast(comm: "Comm", obj: Any = None, root: int = 0) -> Any:
+    """Binomial-tree broadcast; returns the object on every rank."""
+    _check_root(comm, root)
+    tag = comm._next_collective_tag()
+    p = comm.size
+    if p == 1:
+        return obj
+    # Work in "virtual rank" space where the root is 0.
+    vrank = (comm.rank - root) % p
+    if vrank != 0:
+        # Receive from parent: clear lowest set bit.
+        parent = (vrank & (vrank - 1))
+        obj = comm.recv((parent + root) % p, tag)
+    # Forward to children: set bits above the lowest set bit / above 0.
+    mask = 1
+    while mask < p:
+        if vrank & (mask - 1) == 0 and vrank | mask != vrank:
+            child = vrank | mask
+            if child < p:
+                comm.send(obj, (child + root) % p, tag)
+        if vrank & mask:
+            break
+        mask <<= 1
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# reduce — binomial tree towards `root`
+# ---------------------------------------------------------------------------
+def reduce(comm: "Comm", obj: Any, op=None, root: int = 0) -> Any:
+    """Tree reduction; only ``root`` receives the combined value."""
+    _check_root(comm, root)
+    rop = _resolve_op(op)
+    tag = comm._next_collective_tag()
+    p = comm.size
+    vrank = (comm.rank - root) % p
+    acc = obj
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            comm.send(acc, ((vrank & ~mask) + root) % p, tag)
+            break
+        partner = vrank | mask
+        if partner < p:
+            other = comm.recv((partner + root) % p, tag)
+            acc = rop(acc, other)
+        mask <<= 1
+    return acc if comm.rank == root else None
+
+
+# ---------------------------------------------------------------------------
+# scatter / gather — root-linear
+# ---------------------------------------------------------------------------
+def scatter(comm: "Comm", sendobjs: list | None, root: int = 0) -> Any:
+    """Root sends ``sendobjs[i]`` to rank ``i``; each rank returns its piece."""
+    _check_root(comm, root)
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        if sendobjs is None or len(sendobjs) != comm.size:
+            raise MPIError(
+                f"scatter needs exactly {comm.size} elements at root, got "
+                f"{None if sendobjs is None else len(sendobjs)}"
+            )
+        mine = None
+        for dst in range(comm.size):
+            if dst == root:
+                mine = sendobjs[dst]
+            else:
+                comm.send(sendobjs[dst], dst, tag)
+        return mine
+    return comm.recv(root, tag)
+
+
+def gather(comm: "Comm", obj: Any, root: int = 0) -> list | None:
+    """Each rank contributes ``obj``; root returns the rank-ordered list."""
+    _check_root(comm, root)
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = obj
+        for src in range(comm.size):
+            if src != root:
+                out[src] = comm.recv(src, tag)
+        return out
+    comm.send(obj, root, tag)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# allgather — ring
+# ---------------------------------------------------------------------------
+def allgather(comm: "Comm", obj: Any) -> list:
+    """Ring allgather: p−1 neighbour exchanges; returns rank-ordered list."""
+    tag = comm._next_collective_tag()
+    p = comm.size
+    out: list[Any] = [None] * p
+    out[comm.rank] = obj
+    if p == 1:
+        return out
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    carry_idx = comm.rank
+    for _ in range(p - 1):
+        comm.send((carry_idx, out[carry_idx]), right, tag)
+        carry_idx, value = comm.recv(left, tag)
+        out[carry_idx] = value
+    return out
+
+
+# ---------------------------------------------------------------------------
+# alltoall — pairwise exchange
+# ---------------------------------------------------------------------------
+def alltoall(comm: "Comm", sendobjs: list) -> list:
+    """Personalised exchange: result[i] is what rank i sent to this rank.
+
+    Ring schedule: at step ``s`` every rank sends to ``rank+s`` and
+    receives from ``rank-s`` (mod p).  Eager sends make the pattern
+    deadlock-free for any communicator size.
+    """
+    p = comm.size
+    if len(sendobjs) != p:
+        raise MPIError(f"alltoall needs exactly {p} elements, got {len(sendobjs)}")
+    tag = comm._next_collective_tag()
+    out: list[Any] = [None] * p
+    out[comm.rank] = sendobjs[comm.rank]
+    for step in range(1, p):
+        dst = (comm.rank + step) % p
+        src = (comm.rank - step) % p
+        comm.send(sendobjs[dst], dst, tag)
+        out[src] = comm.recv(src, tag)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# allreduce / scan
+# ---------------------------------------------------------------------------
+def allreduce(comm: "Comm", obj: Any, op=None) -> Any:
+    """reduce-to-0 then bcast — every rank gets the combined value."""
+    partial = reduce(comm, obj, op, root=0)
+    return bcast(comm, partial, root=0)
+
+
+def scan(comm: "Comm", obj: Any, op=None) -> Any:
+    """Inclusive prefix reduction along rank order (linear chain)."""
+    rop = _resolve_op(op)
+    tag = comm._next_collective_tag()
+    acc = obj
+    if comm.rank > 0:
+        upstream = comm.recv(comm.rank - 1, tag)
+        acc = rop(upstream, obj)
+    if comm.rank < comm.size - 1:
+        comm.send(acc, comm.rank + 1, tag)
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# variable-count collectives
+# ---------------------------------------------------------------------------
+def scatterv(comm: "Comm", sendobjs: list | None, counts: list[int], root: int = 0) -> list:
+    """Scatter variable-length blocks: rank ``i`` gets ``counts[i]`` items.
+
+    ``sendobjs`` (root only) is the flat list; every rank must pass the
+    same ``counts`` (the usual MPI contract).
+    """
+    _check_root(comm, root)
+    if len(counts) != comm.size or any(c < 0 for c in counts):
+        raise MPIError(f"scatterv needs {comm.size} non-negative counts, got {counts}")
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        if sendobjs is None or len(sendobjs) != sum(counts):
+            raise MPIError(
+                f"scatterv needs {sum(counts)} items at root, got "
+                f"{None if sendobjs is None else len(sendobjs)}"
+            )
+        offset = 0
+        mine: list = []
+        for dst, count in enumerate(counts):
+            block = list(sendobjs[offset : offset + count])
+            offset += count
+            if dst == root:
+                mine = block
+            else:
+                comm.send(block, dst, tag)
+        return mine
+    return comm.recv(root, tag)
+
+
+def gatherv(comm: "Comm", block: list, root: int = 0) -> list | None:
+    """Gather variable-length blocks; root returns the flat concatenation.
+
+    Unlike MPI's C API no counts are needed — object messages carry
+    their own length.
+    """
+    _check_root(comm, root)
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        out: list = []
+        blocks: dict[int, list] = {root: list(block)}
+        for src in range(comm.size):
+            if src != root:
+                blocks[src] = comm.recv(src, tag)
+        for src in range(comm.size):
+            out.extend(blocks[src])
+        return out
+    comm.send(list(block), root, tag)
+    return None
+
+
+def reduce_scatter(comm: "Comm", values: list, op=None) -> Any:
+    """Elementwise reduction of per-rank lists, then scatter one slot each.
+
+    Every rank contributes a list of ``comm.size`` values; rank ``i``
+    receives ``reduce(op, [contrib[i] for every rank])``.
+    """
+    p = comm.size
+    if len(values) != p:
+        raise MPIError(f"reduce_scatter needs exactly {p} values, got {len(values)}")
+    rop = _resolve_op(op)
+    # reduce-to-root the whole vector, then scatter the slots.
+    combined = reduce(comm, list(values), lambda a, b: [rop(x, y) for x, y in zip(a, b)], root=0)
+    return scatter(comm, combined if comm.rank == 0 else None, root=0)
+
+
+def exscan(comm: "Comm", obj: Any, op=None) -> Any:
+    """Exclusive prefix reduction: rank 0 gets ``None``, rank i gets
+    ``op(obj_0, ..., obj_{i-1})``."""
+    rop = _resolve_op(op)
+    tag = comm._next_collective_tag()
+    upstream = None
+    if comm.rank > 0:
+        upstream = comm.recv(comm.rank - 1, tag)
+    if comm.rank < comm.size - 1:
+        downstream = obj if upstream is None else rop(upstream, obj)
+        comm.send(downstream, comm.rank + 1, tag)
+    return upstream

@@ -1,0 +1,495 @@
+"""Communicators and point-to-point messaging.
+
+Ranks are OS threads; messages are Python objects moved through
+per-destination mailboxes with (source, tag) matching, eager (buffered)
+send semantics and FIFO ordering per (source, destination, tag) — the
+same guarantees MPI gives for matching sends/receives.
+
+Every message also advances a per-rank *virtual clock* using the
+:class:`~repro.minimpi.network.NetworkModel`, so programs can ask
+``comm.virtual_time_us()`` to see how long their communication pattern
+*would* have taken on the modelled interconnect — independent of Python's
+actual execution speed.  Lab 3 and the collectives benchmarks are built
+on this.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro._errors import MPIError, RankError
+from repro.minimpi.network import NetworkModel
+from repro.minimpi.request import Request
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Comm"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Tags >= this value are reserved for collective-operation internals.
+_COLLECTIVE_TAG_BASE = 1 << 30
+
+
+@dataclass
+class Status:
+    """Receive-side message metadata (mpi4py's ``Status``)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: int = 0
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    obj: Any
+    nbytes: int
+    arrival_us: float
+    comm_id: int
+    #: set when a synchronous sender is blocked waiting for the match
+    sync_event: Optional[threading.Event] = None
+
+
+class _Mailbox:
+    """One rank's incoming message queue with (source, tag) matching."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._messages: list[_Message] = []
+        # Posted nonblocking receives waiting for a match:
+        self._posted: list[tuple[int, int, int, Request, "Comm"]] = []
+
+    def deliver(self, msg: _Message) -> None:
+        with self._cond:
+            # Try to satisfy a posted irecv first (FIFO among posts).
+            for i, (src, tag, comm_id, req, comm) in enumerate(self._posted):
+                if comm_id == msg.comm_id and _matches(src, tag, msg):
+                    del self._posted[i]
+                    comm._advance_clock_on_recv(msg)
+                    if msg.sync_event is not None:
+                        msg.sync_event.set()
+                    req._complete(msg.obj)
+                    return
+            self._messages.append(msg)
+            self._cond.notify_all()
+
+    def post_recv(self, source: int, tag: int, comm: "Comm", req: Request) -> None:
+        with self._cond:
+            for i, msg in enumerate(self._messages):
+                if msg.comm_id == comm._comm_id and _matches(source, tag, msg):
+                    del self._messages[i]
+                    comm._advance_clock_on_recv(msg)
+                    if msg.sync_event is not None:
+                        msg.sync_event.set()
+                    req._complete(msg.obj)
+                    return
+            self._posted.append((source, tag, comm._comm_id, req, comm))
+
+    def blocking_recv(
+        self, source: int, tag: int, comm: "Comm", timeout: float | None, status: Status | None
+    ) -> Any:
+        with self._cond:
+            while True:
+                for i, msg in enumerate(self._messages):
+                    if msg.comm_id == comm._comm_id and _matches(source, tag, msg):
+                        del self._messages[i]
+                        comm._advance_clock_on_recv(msg)
+                        if msg.sync_event is not None:
+                            msg.sync_event.set()
+                        if status is not None:
+                            status.source = msg.source
+                            status.tag = msg.tag
+                            status.nbytes = msg.nbytes
+                        return msg.obj
+                comm._abort_check()  # a peer died: fail fast, don't hang
+                if not self._cond.wait(timeout):
+                    raise MPIError(
+                        f"recv(source={source}, tag={tag}) timed out after {timeout}s "
+                        "(deadlock or dead peer?)"
+                    )
+
+    def probe(self, source: int, tag: int, comm_id: int, block: bool, timeout: float | None) -> Optional[Status]:
+        with self._cond:
+            while True:
+                for msg in self._messages:
+                    if msg.comm_id == comm_id and _matches(source, tag, msg):
+                        return Status(source=msg.source, tag=msg.tag, nbytes=msg.nbytes)
+                if not block:
+                    return None
+                if not self._cond.wait(timeout):
+                    raise MPIError(f"probe(source={source}, tag={tag}) timed out after {timeout}s")
+
+
+def _matches(want_src: int, want_tag: int, msg: _Message) -> bool:
+    if want_src not in (ANY_SOURCE, msg.source):
+        return False
+    if want_tag == ANY_TAG:
+        # A user wildcard must never steal collective-internal traffic —
+        # real MPI runs collectives on a separate internal channel.
+        return msg.tag < _COLLECTIVE_TAG_BASE
+    return want_tag == msg.tag
+
+
+class _World:
+    """Process-wide state of one MPI job (size ranks, one network)."""
+
+    def __init__(self, size: int, network: NetworkModel) -> None:
+        self.size = size
+        self.network = network
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.clocks_us = [0.0] * size
+        self._clock_locks = [threading.Lock() for _ in range(size)]
+        self.aborted = threading.Event()
+        self.abort_reason: str | None = None
+
+    def advance_clock(self, rank: int, to_at_least: float | None = None, add: float = 0.0) -> float:
+        with self._clock_locks[rank]:
+            if to_at_least is not None:
+                self.clocks_us[rank] = max(self.clocks_us[rank], to_at_least)
+            self.clocks_us[rank] += add
+            return self.clocks_us[rank]
+
+    def read_clock(self, rank: int) -> float:
+        with self._clock_locks[rank]:
+            return self.clocks_us[rank]
+
+
+class Comm:
+    """A communicator: a group of ranks that can message each other.
+
+    Created by :func:`~repro.minimpi.launcher.run_mpi` (the world
+    communicator) or by :meth:`split`.  API names follow mpi4py: the
+    classic ``Get_rank``/``Get_size`` plus pythonic properties.
+    """
+
+    def __init__(
+        self,
+        world: _World,
+        rank: int,
+        members: list[int] | None = None,
+        comm_id: int = 0,
+        default_timeout: float | None = 60.0,
+    ) -> None:
+        self._world = world
+        self._members = members if members is not None else list(range(world.size))
+        self._world_rank = rank
+        self._rank = self._members.index(rank)
+        self._comm_id = comm_id
+        self._coll_seq = 0
+        self.default_timeout = default_timeout
+
+    # -- identity ----------------------------------------------------------
+    def Get_rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._members)
+
+    rank = property(Get_rank)
+    size = property(Get_size)
+
+    def _check_peer(self, peer: int) -> int:
+        """Validate a communicator-local rank; return the world rank."""
+        if not 0 <= peer < len(self._members):
+            raise RankError(f"rank {peer} outside [0, {len(self._members)}) in this communicator")
+        return self._members[peer]
+
+    # -- virtual time --------------------------------------------------------
+    def virtual_time_us(self) -> float:
+        """This rank's accumulated communication time (virtual µs)."""
+        return self._world.read_clock(self._world_rank)
+
+    def charge_compute_us(self, us: float) -> None:
+        """Model local computation: advance this rank's virtual clock."""
+        if us < 0:
+            raise MPIError(f"cannot charge negative time {us}")
+        self._world.advance_clock(self._world_rank, add=us)
+
+    # -- point-to-point --------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager (buffered) send: returns once the message is en route."""
+        self._send_internal(obj, dest, tag, self._comm_id)
+
+    def _send_internal(
+        self, obj: Any, dest: int, tag: int, comm_id: int,
+        sync_event: "threading.Event | None" = None,
+    ) -> None:
+        self._abort_check()
+        world_dest = self._check_peer(dest)
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        nbytes = len(payload)
+        net = self._world.network
+        cost = net.cost_us(self._world_rank, world_dest, nbytes, self._world.size)
+        send_clock = self._world.advance_clock(self._world_rank, add=net.overhead_us)
+        arrival = send_clock + cost
+        msg = _Message(
+            source=self._rank,
+            tag=tag,
+            obj=pickle.loads(payload),
+            nbytes=nbytes,
+            arrival_us=arrival,
+            comm_id=comm_id,
+            sync_event=sync_event,
+        )
+        self._world.mailboxes[world_dest].deliver(msg)
+
+    def ssend(self, obj: Any, dest: int, tag: int = 0, timeout: float | None = None) -> None:
+        """Synchronous (rendezvous) send: blocks until the receiver matches.
+
+        Unlike the eager :meth:`send`, ``ssend`` only returns once a
+        matching ``recv``/``irecv`` has consumed the message — so two
+        ranks ssend-ing to each other head-to-head deadlock, the classic
+        message-passing pitfall the course teaches.  A timeout raises
+        :class:`MPIError` instead of hanging the class demo forever.
+        """
+        event = threading.Event()
+        self._send_internal(obj, dest, tag, self._comm_id, sync_event=event)
+        limit = timeout if timeout is not None else self.default_timeout
+        while not event.wait(0.05):
+            self._abort_check()
+            if limit is not None:
+                limit -= 0.05
+                if limit <= 0:
+                    raise MPIError(
+                        f"ssend(dest={dest}, tag={tag}) timed out waiting for a matching "
+                        "receive (rendezvous deadlock?)"
+                    )
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Status | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """Blocking receive; returns the matched object."""
+        self._abort_check()
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        mailbox = self._world.mailboxes[self._world_rank]
+        return mailbox.blocking_recv(
+            source, tag, self, timeout if timeout is not None else self.default_timeout, status
+        )
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send. Eager: completes immediately after buffering."""
+        req = Request("isend")
+        self.send(obj, dest, tag)
+        req._complete(None)
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; ``wait()``/``test()`` yield the object."""
+        self._abort_check()
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        req = Request("irecv")
+        self._world.mailboxes[self._world_rank].post_recv(source, tag, self, req)
+        return req
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        recvsource: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Combined send+receive (deadlock-free exchange)."""
+        self.send(sendobj, dest, sendtag)
+        return self.recv(recvsource, recvtag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, timeout: float | None = None) -> Status:
+        """Block until a matching message is queued; returns its Status."""
+        mb = self._world.mailboxes[self._world_rank]
+        st = mb.probe(source, tag, self._comm_id, block=True,
+                      timeout=timeout if timeout is not None else self.default_timeout)
+        assert st is not None
+        return st
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Nonblocking probe: is a matching message waiting?"""
+        mb = self._world.mailboxes[self._world_rank]
+        return mb.probe(source, tag, self._comm_id, block=False, timeout=None) is not None
+
+    # -- collectives (implemented in collectives.py) -----------------------------
+    def barrier(self) -> None:
+        """Block until every rank in the communicator has arrived."""
+        from repro.minimpi import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns it."""
+        from repro.minimpi import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def scatter(self, sendobjs: list | None = None, root: int = 0) -> Any:
+        """Root distributes one element of ``sendobjs`` to each rank."""
+        from repro.minimpi import collectives
+
+        return collectives.scatter(self, sendobjs, root)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        """Collect one object from each rank at ``root`` (rank order)."""
+        from repro.minimpi import collectives
+
+        return collectives.gather(self, obj, root)
+
+    def allgather(self, obj: Any) -> list:
+        """Every rank gets the list of all ranks' objects."""
+        from repro.minimpi import collectives
+
+        return collectives.allgather(self, obj)
+
+    def alltoall(self, sendobjs: list) -> list:
+        """Personalised all-to-all exchange."""
+        from repro.minimpi import collectives
+
+        return collectives.alltoall(self, sendobjs)
+
+    def reduce(self, obj: Any, op=None, root: int = 0) -> Any:
+        """Combine all ranks' objects with ``op`` (default SUM) at root."""
+        from repro.minimpi import collectives
+
+        return collectives.reduce(self, obj, op, root)
+
+    def allreduce(self, obj: Any, op=None) -> Any:
+        """reduce + bcast: every rank gets the combined value."""
+        from repro.minimpi import collectives
+
+        return collectives.allreduce(self, obj, op)
+
+    def scan(self, obj: Any, op=None) -> Any:
+        """Inclusive prefix reduction over rank order."""
+        from repro.minimpi import collectives
+
+        return collectives.scan(self, obj, op)
+
+    def exscan(self, obj: Any, op=None) -> Any:
+        """Exclusive prefix reduction (rank 0 receives None)."""
+        from repro.minimpi import collectives
+
+        return collectives.exscan(self, obj, op)
+
+    def scatterv(self, sendobjs: list | None, counts: list, root: int = 0) -> list:
+        """Scatter variable-length blocks (``counts[i]`` items to rank i)."""
+        from repro.minimpi import collectives
+
+        return collectives.scatterv(self, sendobjs, counts, root)
+
+    def gatherv(self, block: list, root: int = 0) -> list | None:
+        """Gather variable-length blocks; root gets the concatenation."""
+        from repro.minimpi import collectives
+
+        return collectives.gatherv(self, block, root)
+
+    def reduce_scatter(self, values: list, op=None) -> Any:
+        """Elementwise reduce of per-rank vectors, one slot per rank."""
+        from repro.minimpi import collectives
+
+        return collectives.reduce_scatter(self, values, op)
+
+    # -- uppercase (buffer) API ----------------------------------------------
+    def Send(self, array, dest: int, tag: int = 0) -> None:
+        """Buffer-style send of a NumPy array (contents are copied)."""
+        import numpy as np
+
+        self.send(np.ascontiguousarray(array), dest, tag)
+
+    def Recv(self, array, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        """Buffer-style receive *into* ``array`` (shapes must match)."""
+        import numpy as np
+
+        data = self.recv(source, tag)
+        buf = np.asarray(data)
+        if buf.shape != array.shape:
+            from repro._errors import TruncationError
+
+            raise TruncationError(
+                f"Recv buffer shape {array.shape} != incoming {buf.shape}"
+            )
+        array[...] = buf
+
+    def Bcast(self, array, root: int = 0) -> None:
+        """Buffer-style broadcast into ``array`` on non-root ranks."""
+        data = self.bcast(array if self._rank == root else None, root)
+        if self._rank != root:
+            array[...] = data
+
+    def Reduce(self, sendarr, recvarr, op=None, root: int = 0) -> None:
+        """Elementwise buffer reduction into ``recvarr`` at root."""
+        result = self.reduce(sendarr, op, root)
+        if self._rank == root:
+            recvarr[...] = result
+
+    def Allreduce(self, sendarr, recvarr, op=None) -> None:
+        """Elementwise buffer allreduce into ``recvarr`` everywhere."""
+        recvarr[...] = self.allreduce(sendarr, op)
+
+    # -- communicator management ------------------------------------------------
+    def split(self, color: int, key: int | None = None) -> "Comm":
+        """Partition the communicator by ``color``; order ranks by ``key``.
+
+        All members must call it (it is collective).  Returns the new
+        sub-communicator containing the ranks that passed this rank's
+        color.
+        """
+        from repro.minimpi import collectives
+
+        key = key if key is not None else self._rank
+        triples = collectives.allgather(self, (color, key, self._rank))
+        mine = sorted(
+            (k, r) for c, k, r in triples if c == color
+        )
+        members_local = [r for _, r in mine]
+        members_world = [self._members[r] for r in members_local]
+        # Deterministic id every member computes identically:
+        sub_id = hash((self._comm_id, color, tuple(members_world))) & 0x7FFFFFFF
+        return Comm(
+            self._world,
+            self._world_rank,
+            members=members_world,
+            comm_id=sub_id,
+            default_timeout=self.default_timeout,
+        )
+
+    def create_cart(self, dims: list[int], periods: list[bool] | None = None):
+        """Cartesian-topology view of this communicator."""
+        from repro.minimpi.topology import CartComm
+
+        return CartComm(self, dims, periods)
+
+    # -- failure handling ----------------------------------------------------
+    def abort(self, reason: str = "user abort") -> None:
+        """Mark the whole job aborted; other ranks fail on next operation."""
+        self._world.abort_reason = reason
+        self._world.aborted.set()
+
+    def _abort_check(self) -> None:
+        if self._world.aborted.is_set():
+            raise MPIError(f"job aborted: {self._world.abort_reason}")
+
+    # -- internals ---------------------------------------------------------------
+    def _advance_clock_on_recv(self, msg: _Message) -> None:
+        net = self._world.network
+        self._world.advance_clock(
+            self._world_rank, to_at_least=msg.arrival_us, add=net.overhead_us
+        )
+
+    def _next_collective_tag(self) -> int:
+        """Per-collective matching tag; safe because collectives are called
+        in the same order by every member (an MPI requirement)."""
+        self._coll_seq += 1
+        return _COLLECTIVE_TAG_BASE + self._coll_seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Comm rank={self._rank}/{self.size} id={self._comm_id}>"

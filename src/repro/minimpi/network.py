@@ -1,0 +1,109 @@
+"""Network cost model: topology, latency, routing.
+
+The paper's Computer Organization module adds "Message Passing topics
+such as topology, latency, and routing".  This module makes those
+concrete: a :class:`NetworkModel` assigns every (src, dst, nbytes)
+message a cost in microseconds computed from
+
+* the *hop distance* between the ranks' nodes in a chosen
+  :class:`Topology` (routing = shortest path), and
+* a per-hop latency plus a bandwidth term.
+
+The model also understands the paper's cluster shape: the
+``segmented`` topology places ranks into segments of ``segment_size``
+nodes; intra-segment messages go through the segment switch (1 hop)
+while inter-segment messages traverse the grid master (3 hops) — the
+exact reason remote (NUMA-like) traffic is slower in Lab 3.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro._errors import MPIError
+
+__all__ = ["Topology", "NetworkModel"]
+
+
+class Topology(enum.Enum):
+    """Supported interconnect shapes."""
+
+    FLAT = "flat"            # full crossbar: 1 hop between any two ranks
+    RING = "ring"            # ranks on a ring
+    GRID2D = "grid2d"        # near-square 2-D mesh
+    HYPERCUBE = "hypercube"  # hops = Hamming distance (size rounded up to 2^k)
+    SEGMENTED = "segmented"  # the paper's cluster: segments behind a master
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Microsecond-resolution message cost model.
+
+    Parameters
+    ----------
+    topology:
+        Interconnect shape used for hop counting.
+    latency_us:
+        Per-hop wire+switch latency.
+    bandwidth_bytes_per_us:
+        Link bandwidth (default 1000 bytes/µs = ~1 GB/s).
+    segment_size:
+        Only for ``SEGMENTED``: slave nodes per segment (paper: 16).
+    overhead_us:
+        Fixed software send/receive overhead per message.
+    """
+
+    topology: Topology = Topology.FLAT
+    latency_us: float = 1.0
+    bandwidth_bytes_per_us: float = 1000.0
+    segment_size: int = 16
+    overhead_us: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0 or self.overhead_us < 0:
+            raise MPIError("latencies must be non-negative")
+        if self.bandwidth_bytes_per_us <= 0:
+            raise MPIError("bandwidth must be positive")
+        if self.segment_size < 1:
+            raise MPIError("segment_size must be >= 1")
+
+    # -- hop counting ------------------------------------------------------
+    def hops(self, src: int, dst: int, size: int) -> int:
+        """Routing distance between ranks ``src`` and ``dst`` (of ``size``)."""
+        if src == dst:
+            return 0
+        if not (0 <= src < size and 0 <= dst < size):
+            raise MPIError(f"rank out of range: src={src} dst={dst} size={size}")
+        if self.topology is Topology.FLAT:
+            return 1
+        if self.topology is Topology.RING:
+            d = abs(src - dst)
+            return min(d, size - d)
+        if self.topology is Topology.GRID2D:
+            cols = max(1, int(math.isqrt(size)))
+            r1, c1 = divmod(src, cols)
+            r2, c2 = divmod(dst, cols)
+            return abs(r1 - r2) + abs(c1 - c2)
+        if self.topology is Topology.HYPERCUBE:
+            return bin(src ^ dst).count("1")
+        if self.topology is Topology.SEGMENTED:
+            if src // self.segment_size == dst // self.segment_size:
+                return 1  # through the segment's master switch
+            return 3  # up to segment master, across grid master, down
+        raise MPIError(f"unknown topology {self.topology!r}")  # pragma: no cover
+
+    # -- cost --------------------------------------------------------------
+    def cost_us(self, src: int, dst: int, nbytes: int, size: int) -> float:
+        """Virtual microseconds for an ``nbytes`` message ``src -> dst``."""
+        if src == dst:
+            return self.overhead_us  # self-send still pays software overhead
+        h = self.hops(src, dst, size)
+        return self.overhead_us + h * self.latency_us + nbytes / self.bandwidth_bytes_per_us
+
+    def diameter(self, size: int) -> int:
+        """Largest hop distance in a world of ``size`` ranks."""
+        if size <= 1:
+            return 0
+        return max(self.hops(0, d, size) for d in range(1, size))

@@ -1,0 +1,77 @@
+"""Nonblocking-operation handles (``isend``/``irecv`` results)."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro._errors import MPIError
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Completion handle for a nonblocking operation.
+
+    Mirrors mpi4py's ``Request``: ``test()`` polls, ``wait()`` blocks.
+    For ``irecv`` the wait/test result is the received object; for
+    ``isend`` it is ``None``.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._done = threading.Event()
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._cancelled = False
+
+    # -- completion (called by the comm layer) -----------------------------
+    def _complete(self, value: Any = None, exc: BaseException | None = None) -> None:
+        self._value = value
+        self._exc = exc
+        self._done.set()
+
+    # -- user API -----------------------------------------------------------
+    def test(self) -> tuple[bool, Any]:
+        """Poll: ``(completed, value_or_None)``. Never blocks."""
+        if not self._done.is_set():
+            return False, None
+        if self._exc is not None:
+            raise self._exc
+        return True, self._value
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until complete; returns the operation's value.
+
+        Raises :class:`MPIError` on timeout (simulating a hung peer).
+        """
+        if not self._done.wait(timeout):
+            raise MPIError(f"{self.kind} request timed out after {timeout}s")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def cancel(self) -> None:
+        """Mark cancelled. Only unmatched requests are truly cancellable."""
+        self._cancelled = True
+
+    @property
+    def completed(self) -> bool:
+        """``True`` once the operation finished (successfully or not)."""
+        return self._done.is_set()
+
+    @staticmethod
+    def waitall(requests: list["Request"], timeout: float | None = None) -> list[Any]:
+        """Wait for every request; returns their values in order."""
+        return [r.wait(timeout) for r in requests]
+
+    @staticmethod
+    def testall(requests: list["Request"]) -> tuple[bool, list[Any] | None]:
+        """``(all_done, values_or_None)`` without blocking."""
+        if all(r.completed for r in requests):
+            return True, [r.test()[1] for r in requests]
+        return False, None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.kind} {state}>"

@@ -1,0 +1,138 @@
+"""Cartesian process topologies (``MPI_Cart_create`` family)."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro._errors import MPIError, RankError
+from repro.minimpi.comm import Comm
+
+__all__ = ["dims_create", "CartComm"]
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Choose a balanced ``ndims``-dimensional grid for ``nnodes`` ranks.
+
+    Mirrors ``MPI_Dims_create``: the product of the returned dims equals
+    ``nnodes`` and the dims are as close to each other as possible,
+    sorted non-increasing.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise MPIError(f"dims_create({nnodes}, {ndims}): both must be >= 1")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Greedy: repeatedly give the smallest dim the largest factor <= the
+    # balanced target.
+    for i in range(ndims - 1):
+        target = round(remaining ** (1.0 / (ndims - i)))
+        # Find the divisor of `remaining` closest to target (>=1).
+        best = 1
+        for d in range(1, int(math.isqrt(remaining)) + 1):
+            if remaining % d == 0:
+                for cand in (d, remaining // d):
+                    if abs(cand - target) < abs(best - target):
+                        best = cand
+        dims[i] = best
+        remaining //= best
+    dims[ndims - 1] = remaining
+    return sorted(dims, reverse=True)
+
+
+class CartComm:
+    """A Cartesian view over an existing communicator.
+
+    Provides coordinate/rank conversion and neighbour shifts; the
+    underlying messaging is delegated to the wrapped :class:`Comm`.
+    """
+
+    def __init__(self, comm: Comm, dims: list[int], periods: list[bool] | None = None) -> None:
+        if math.prod(dims) != comm.size:
+            raise MPIError(
+                f"cart dims {dims} (= {math.prod(dims)} ranks) do not cover comm size {comm.size}"
+            )
+        if any(d < 1 for d in dims):
+            raise MPIError(f"cart dims must all be >= 1, got {dims}")
+        self.comm = comm
+        self.dims = list(dims)
+        self.periods = list(periods) if periods is not None else [False] * len(dims)
+        if len(self.periods) != len(self.dims):
+            raise MPIError("periods must have one entry per dimension")
+
+    # -- coordinates --------------------------------------------------------
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Cartesian coordinates of ``rank`` (row-major)."""
+        if not 0 <= rank < self.comm.size:
+            raise RankError(f"rank {rank} outside [0, {self.comm.size})")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: tuple[int, ...] | list[int]) -> int:
+        """Rank at ``coords``; honours periodicity, raises off-grid."""
+        coords = list(coords)
+        if len(coords) != len(self.dims):
+            raise MPIError(f"expected {len(self.dims)} coordinates, got {len(coords)}")
+        normalised = []
+        for c, d, per in zip(coords, self.dims, self.periods):
+            if per:
+                c %= d
+            elif not 0 <= c < d:
+                raise RankError(f"coordinate {c} outside non-periodic dimension of extent {d}")
+            normalised.append(c)
+        rank = 0
+        for c, d in zip(normalised, self.dims):
+            rank = rank * d + c
+        return rank
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This rank's coordinates."""
+        return self.coords_of(self.comm.rank)
+
+    # -- neighbours -----------------------------------------------------------
+    def shift(self, dimension: int, displacement: int = 1) -> tuple[Optional[int], Optional[int]]:
+        """``(source, dest)`` ranks for a shift along ``dimension``.
+
+        ``None`` marks an off-grid neighbour (non-periodic edge), like
+        ``MPI_PROC_NULL``.
+        """
+        if not 0 <= dimension < len(self.dims):
+            raise MPIError(f"dimension {dimension} outside [0, {len(self.dims)})")
+        me = list(self.coords)
+
+        def neighbour(sign: int) -> Optional[int]:
+            c = list(me)
+            c[dimension] += sign * displacement
+            try:
+                return self.rank_of(c)
+            except RankError:
+                return None
+
+        return neighbour(-1), neighbour(+1)
+
+    def neighbors(self) -> list[int]:
+        """All existing ±1 neighbours across every dimension."""
+        out = []
+        for d in range(len(self.dims)):
+            src, dst = self.shift(d, 1)
+            for r in (src, dst):
+                if r is not None and r not in out:
+                    out.append(r)
+        return out
+
+    # -- messaging sugar --------------------------------------------------------
+    def exchange_with_neighbors(self, obj: Any, tag: int = 0) -> dict[int, Any]:
+        """Send ``obj`` to every neighbour; return {neighbour: received}.
+
+        A halo-exchange convenience for stencil examples.
+        """
+        nbrs = self.neighbors()
+        for n in nbrs:
+            self.comm.send(obj, n, tag)
+        return {n: self.comm.recv(n, tag) for n in nbrs}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CartComm dims={self.dims} periods={self.periods} rank={self.comm.rank}>"

@@ -1,0 +1,437 @@
+"""The portal WSGI application: every endpoint, wired.
+
+JSON API (all under ``/api``; cookie- or bearer-authenticated):
+
+==========  =================================  ==========================================
+POST        /api/login                         {username, password} → session cookie
+POST        /api/logout                        end session
+GET         /api/whoami                        current user
+POST        /api/users                         create account (admin)
+GET         /api/files?path=                   directory listing
+GET         /api/files/content?path=           download file
+PUT         /api/files/content?path=           create/overwrite file (raw body)
+POST        /api/files/upload                  multipart upload (fields = files)
+POST        /api/files/mkdir                   {path}
+POST        /api/files/copy                    {src, dst}
+POST        /api/files/move                    {src, dst}
+POST        /api/files/rename                  {path, new_name}
+DELETE      /api/files?path=                   delete file/tree
+POST        /api/compile                       {path[, language]}
+POST        /api/jobs                          {path, kind, n_tasks, ...} compile+run
+GET         /api/jobs                          this user's jobs
+GET         /api/jobs/<job_id>                 one job
+GET         /api/jobs/<job_id>/output?since=N  poll stdout/stderr
+POST        /api/jobs/<job_id>/input           {text} — interactive stdin
+POST        /api/jobs/<job_id>/cancel          cancel
+GET         /api/cluster/status                grid utilisation snapshot
+==========  =================================  ==========================================
+
+HTML pages: ``GET /`` (dashboard), ``GET/POST /login``, ``POST /logout``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._errors import (
+    AuthenticationError,
+    AuthorizationError,
+    CompilationError,
+    FileManagerError,
+    JobError,
+    PortalError,
+    ReproError,
+    SchedulingError,
+    ToolchainNotFound,
+)
+from repro.cluster.distributor import JobDistributor
+from repro.portal import templates
+from repro.portal.auth import User, UserStore
+from repro.portal.files import FileManager
+from repro.portal.http import HttpError, Request, Response
+from repro.portal.jobsvc import JobService
+from repro.portal.routing import Router
+from repro.portal.sessions import SessionStore
+
+__all__ = ["PortalApp", "make_default_app"]
+
+_COOKIE = "portal_session"
+
+_ERROR_STATUS: list[tuple[type, int]] = [
+    (AuthenticationError, 401),
+    (AuthorizationError, 403),
+    (FileManagerError, 404),
+    (ToolchainNotFound, 400),
+    (CompilationError, 400),
+    (SchedulingError, 400),
+    (JobError, 404),
+    (PortalError, 400),
+    (ReproError, 400),
+]
+
+
+class PortalApp:
+    """The WSGI callable.
+
+    Parameters
+    ----------
+    files, users, sessions, jobsvc:
+        The collaborating services. Use :func:`make_default_app` to get a
+        fully assembled portal over a simulated cluster.
+    """
+
+    def __init__(
+        self,
+        files: FileManager,
+        users: UserStore,
+        sessions: SessionStore,
+        jobsvc: JobService,
+    ) -> None:
+        self.files = files
+        self.users = users
+        self.sessions = sessions
+        self.jobsvc = jobsvc
+        self.router = Router()
+        self._register_routes()
+
+    # -- WSGI entry ---------------------------------------------------------
+    def __call__(self, environ, start_response):
+        request = Request(environ)
+        try:
+            response = self._handle(request)
+        except HttpError as exc:
+            response = Response.error(exc.status, exc.message)
+        except ReproError as exc:
+            status = next((s for t, s in _ERROR_STATUS if isinstance(exc, t)), 400)
+            response = Response.error(status, str(exc))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            response = Response.error(500, f"internal error: {type(exc).__name__}: {exc}")
+        return response.to_wsgi(start_response)
+
+    def _handle(self, request: Request) -> Response:
+        request.user = self._authenticate(request)
+        return self.router.dispatch(request)
+
+    # -- auth middleware -------------------------------------------------------
+    def _authenticate(self, request: Request) -> Optional[User]:
+        token = request.cookies().get(_COOKIE)
+        if not token:
+            bearer = request.header("Authorization")
+            if bearer.startswith("Bearer "):
+                token = bearer[len("Bearer ") :]
+        if not token:
+            return None
+        data = self.sessions.peek(token)
+        if data is None:
+            return None
+        return self.users.get(data.get("username", ""))
+
+    @staticmethod
+    def _require_user(request: Request) -> User:
+        if request.user is None:
+            raise AuthenticationError("login required")
+        return request.user
+
+    # -- routes ------------------------------------------------------------------
+    def _register_routes(self) -> None:
+        r = self.router
+
+        # --- session ---
+        r.add("POST", "/api/login", self._api_login)
+        r.add("POST", "/api/logout", self._api_logout)
+        r.add("GET", "/api/whoami", self._api_whoami)
+        r.add("POST", "/api/users", self._api_create_user)
+        r.add("POST", "/api/password", self._api_change_password)
+
+        # --- files ---
+        r.add("GET", "/api/files", self._api_list_files)
+        r.add("DELETE", "/api/files", self._api_delete_file)
+        r.add("GET", "/api/files/content", self._api_read_file)
+        r.add("PUT", "/api/files/content", self._api_write_file)
+        r.add("POST", "/api/files/upload", self._api_upload)
+        r.add("POST", "/api/files/mkdir", self._api_mkdir)
+        r.add("POST", "/api/files/copy", self._api_copy)
+        r.add("POST", "/api/files/move", self._api_move)
+        r.add("POST", "/api/files/rename", self._api_rename)
+
+        # --- compile & jobs ---
+        r.add("POST", "/api/compile", self._api_compile)
+        r.add("POST", "/api/jobs", self._api_submit)
+        r.add("GET", "/api/jobs", self._api_list_jobs)
+        r.add("GET", "/api/jobs/<job_id>", self._api_get_job)
+        r.add("GET", "/api/jobs/<job_id>/output", self._api_job_output)
+        r.add("POST", "/api/jobs/<job_id>/input", self._api_job_input)
+        r.add("POST", "/api/jobs/<job_id>/cancel", self._api_job_cancel)
+
+        # --- cluster ---
+        r.add("GET", "/api/cluster/status", self._api_cluster_status)
+        r.add("GET", "/api/cluster/accounting", self._api_cluster_accounting)
+        r.add("GET", "/api/quota", self._api_quota)
+
+        # --- HTML pages ---
+        r.add("GET", "/", self._page_dashboard)
+        r.add("GET", "/jobs/<job_id>", self._page_job)
+        r.add("POST", "/jobs/<job_id>/input", self._page_job_input)
+        r.add("GET", "/login", self._page_login)
+        r.add("POST", "/login", self._page_do_login)
+        r.add("POST", "/logout", self._page_logout)
+
+    # -- session handlers -----------------------------------------------------------
+    def _api_login(self, req: Request) -> Response:
+        body = req.json()
+        user = self.users.authenticate(body.get("username", ""), body.get("password", ""))
+        token = self.sessions.create({"username": user.username})
+        resp = Response.json({"ok": True, "username": user.username, "role": user.role,
+                              "token": token})
+        return resp.set_cookie(_COOKIE, token)
+
+    def _api_logout(self, req: Request) -> Response:
+        token = req.cookies().get(_COOKIE, "")
+        self.sessions.destroy(token)
+        return Response.json({"ok": True}).delete_cookie(_COOKIE)
+
+    def _api_whoami(self, req: Request) -> Response:
+        user = self._require_user(req)
+        return Response.json({"username": user.username, "role": user.role,
+                              "full_name": user.full_name})
+
+    def _api_create_user(self, req: Request) -> Response:
+        admin = self._require_user(req)
+        admin.require("manage_users")
+        body = req.json()
+        user = self.users.add_user(
+            body.get("username", ""),
+            body.get("password", ""),
+            role=body.get("role", "student"),
+            full_name=body.get("full_name", ""),
+        )
+        return Response.json({"ok": True, "username": user.username, "role": user.role}, status=201)
+
+    # -- file handlers ------------------------------------------------------------------
+    def _api_list_files(self, req: Request) -> Response:
+        user = self._require_user(req)
+        entries = self.files.list_dir(user.username, req.query.get("path", ""))
+        return Response.json({"entries": [e.as_dict() for e in entries]})
+
+    def _api_read_file(self, req: Request) -> Response:
+        user = self._require_user(req)
+        path = req.query.get("path", "")
+        content = self.files.read(user.username, path)
+        if req.query.get("download"):
+            return Response.download(content, path.rsplit("/", 1)[-1] or "file")
+        try:
+            return Response.json({"path": path, "content": content.decode("utf-8")})
+        except UnicodeDecodeError:
+            return Response.download(content, path.rsplit("/", 1)[-1] or "file")
+
+    def _api_write_file(self, req: Request) -> Response:
+        user = self._require_user(req)
+        path = req.query.get("path", "")
+        if not path:
+            raise HttpError(400, "missing ?path=")
+        entry = self.files.write(user.username, path, req.body)
+        return Response.json({"ok": True, "entry": entry.as_dict()}, status=201)
+
+    def _api_upload(self, req: Request) -> Response:
+        user = self._require_user(req)
+        saved = []
+        for field, (filename, content) in req.multipart().items():
+            name = filename or field
+            entry = self.files.write(user.username, name, content)
+            saved.append(entry.as_dict())
+        if not saved:
+            raise HttpError(400, "no files in upload")
+        return Response.json({"ok": True, "saved": saved}, status=201)
+
+    def _api_mkdir(self, req: Request) -> Response:
+        user = self._require_user(req)
+        self.files.mkdir(user.username, req.json().get("path", ""))
+        return Response.json({"ok": True}, status=201)
+
+    def _api_copy(self, req: Request) -> Response:
+        user = self._require_user(req)
+        body = req.json()
+        self.files.copy(user.username, body.get("src", ""), body.get("dst", ""))
+        return Response.json({"ok": True})
+
+    def _api_move(self, req: Request) -> Response:
+        user = self._require_user(req)
+        body = req.json()
+        self.files.move(user.username, body.get("src", ""), body.get("dst", ""))
+        return Response.json({"ok": True})
+
+    def _api_rename(self, req: Request) -> Response:
+        user = self._require_user(req)
+        body = req.json()
+        new_path = self.files.rename(user.username, body.get("path", ""), body.get("new_name", ""))
+        return Response.json({"ok": True, "path": new_path})
+
+    def _api_delete_file(self, req: Request) -> Response:
+        user = self._require_user(req)
+        self.files.delete(user.username, req.query.get("path", ""))
+        return Response.json({"ok": True})
+
+    # -- compile & job handlers --------------------------------------------------------
+    def _api_compile(self, req: Request) -> Response:
+        user = self._require_user(req)
+        body = req.json()
+        report = self.jobsvc.compile(user, body.get("path", ""), body.get("language"))
+        return Response.json(report, status=200 if report["ok"] else 400)
+
+    def _api_submit(self, req: Request) -> Response:
+        user = self._require_user(req)
+        body = req.json()
+        report, job = self.jobsvc.run(
+            user,
+            body.get("path", ""),
+            language=body.get("language"),
+            kind=body.get("kind", "sequential"),
+            n_tasks=int(body.get("n_tasks", 1)),
+            cores_per_task=int(body.get("cores_per_task", 1)),
+            args=tuple(body.get("args", ())),
+            stdin_data=body.get("stdin", ""),
+            timeout_s=body.get("timeout_s", 120.0),
+            priority=int(body.get("priority", 0)),
+            need_gpu=bool(body.get("need_gpu", False)),
+        )
+        if job is None:
+            return Response.json({"compile": report, "job": None}, status=400)
+        return Response.json({"compile": report, "job": job.describe()}, status=201)
+
+    def _api_list_jobs(self, req: Request) -> Response:
+        user = self._require_user(req)
+        return Response.json({"jobs": self.jobsvc.list_jobs(user)})
+
+    def _api_get_job(self, req: Request) -> Response:
+        user = self._require_user(req)
+        job = self.jobsvc.get_job(user, req.params["job_id"])
+        return Response.json(job.describe())
+
+    def _api_job_output(self, req: Request) -> Response:
+        user = self._require_user(req)
+        try:
+            since = int(req.query.get("since", "0"))
+        except ValueError:
+            raise HttpError(400, "since must be an integer") from None
+        return Response.json(self.jobsvc.output_since(user, req.params["job_id"], since))
+
+    def _api_job_input(self, req: Request) -> Response:
+        user = self._require_user(req)
+        self.jobsvc.send_input(user, req.params["job_id"], req.json().get("text", ""))
+        return Response.json({"ok": True})
+
+    def _api_job_cancel(self, req: Request) -> Response:
+        user = self._require_user(req)
+        ok = self.jobsvc.cancel(user, req.params["job_id"])
+        return Response.json({"ok": ok})
+
+    def _api_change_password(self, req: Request) -> Response:
+        user = self._require_user(req)
+        body = req.json()
+        self.users.change_password(user.username, body.get("old", ""), body.get("new", ""))
+        return Response.json({"ok": True})
+
+    def _api_cluster_status(self, req: Request) -> Response:
+        self._require_user(req)
+        return Response.json(self.jobsvc.distributor.stats())
+
+    def _api_cluster_accounting(self, req: Request) -> Response:
+        user = self._require_user(req)
+        user.require("view_all_jobs")  # accounting spans every owner
+        monitor = self.jobsvc.distributor.monitor
+        return Response.json(
+            {
+                "summary": monitor.summary(),
+                "records": [
+                    {
+                        "job_id": rec.job_id,
+                        "name": rec.name,
+                        "owner": rec.owner,
+                        "state": rec.state,
+                        "total_cores": rec.total_cores,
+                        "wait_s": rec.wait_s,
+                        "runtime_s": rec.runtime_s,
+                    }
+                    for rec in monitor.records[-200:]
+                ],
+            }
+        )
+
+    def _api_quota(self, req: Request) -> Response:
+        user = self._require_user(req)
+        return Response.json(
+            {
+                "used_bytes": self.files.usage_bytes(user.username),
+                "quota_bytes": self.files.quota_bytes,
+            }
+        )
+
+    # -- HTML page handlers ----------------------------------------------------------------
+    def _page_dashboard(self, req: Request) -> Response:
+        if req.user is None:
+            return Response.redirect("/login")
+        files = [e.as_dict() for e in self.files.list_dir(req.user.username)]
+        jobs = self.jobsvc.list_jobs(req.user)
+        cluster = self.jobsvc.distributor.grid.snapshot()
+        return Response.html(templates.dashboard_page(req.user.username, files, jobs, cluster))
+
+    def _page_job(self, req: Request) -> Response:
+        if req.user is None:
+            return Response.redirect("/login")
+        job = self.jobsvc.get_job(req.user, req.params["job_id"])
+        out, _, _ = job.stdout.read_since(0)
+        err, _, _ = job.stderr.read_since(0)
+        return Response.html(templates.job_page(job.describe(), out, err))
+
+    def _page_job_input(self, req: Request) -> Response:
+        if req.user is None:
+            return Response.redirect("/login")
+        job_id = req.params["job_id"]
+        text = req.form().get("text", "")
+        if text:
+            self.jobsvc.send_input(req.user, job_id, text + "\n")
+        return Response.redirect(f"/jobs/{job_id}")
+
+    def _page_login(self, req: Request) -> Response:
+        return Response.html(templates.login_page())
+
+    def _page_do_login(self, req: Request) -> Response:
+        form = req.form()
+        try:
+            user = self.users.authenticate(form.get("username", ""), form.get("password", ""))
+        except AuthenticationError as exc:
+            return Response.html(templates.login_page(error=str(exc)), status=401)
+        token = self.sessions.create({"username": user.username})
+        return Response.redirect("/").set_cookie(_COOKIE, token)
+
+    def _page_logout(self, req: Request) -> Response:
+        token = req.cookies().get(_COOKIE, "")
+        self.sessions.destroy(token)
+        return Response.redirect("/login").delete_cookie(_COOKIE)
+
+
+def make_default_app(
+    root_dir: str,
+    cluster_spec=None,
+    admin_password: str = "admin-pass",
+    quota_bytes: int | None = None,
+) -> PortalApp:
+    """Assemble a complete portal over a fresh in-process cluster.
+
+    Creates the grid (paper's 4×16 shape by default), a subprocess
+    execution backend, the distributor, stores, and one ``admin``
+    account.  This is what ``examples/quickstart.py`` and the
+    integration tests call.
+    """
+    from repro.cluster.backends import SubprocessBackend
+    from repro.cluster.grid import Grid
+    from repro.cluster.spec import ClusterSpec
+
+    grid = Grid(cluster_spec or ClusterSpec.uhd_default())
+    distributor = JobDistributor(grid, SubprocessBackend())
+    files = FileManager(root_dir, quota_bytes=quota_bytes)
+    users = UserStore()
+    users.add_user("admin", admin_password, role="admin", full_name="Portal Administrator")
+    sessions = SessionStore()
+    jobsvc = JobService(files, distributor)
+    return PortalApp(files, users, sessions, jobsvc)

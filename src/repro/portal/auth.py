@@ -1,0 +1,206 @@
+"""Users, password hashing, roles.
+
+Passwords are stored as PBKDF2-HMAC-SHA256 (120k iterations, per-user
+salt).  Three roles mirror the paper's population: *student* (default),
+*instructor* (sees all jobs, grades labs), *admin* (manages accounts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import re
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro._errors import AuthenticationError, AuthorizationError
+
+__all__ = ["User", "UserStore", "ROLES"]
+
+ROLES = ("student", "instructor", "admin")
+_PBKDF2_ITERATIONS = 120_000
+_USERNAME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9_.-]{1,31}$")
+
+
+@dataclass
+class User:
+    """One account."""
+
+    username: str
+    role: str = "student"
+    salt: bytes = b""
+    password_hash: bytes = b""
+    full_name: str = ""
+    disabled: bool = False
+
+    def can(self, action: str) -> bool:
+        """Coarse permission check.
+
+        ============== =========================================
+        action          roles allowed
+        ============== =========================================
+        submit_job      everyone
+        view_all_jobs   instructor, admin
+        manage_users    admin
+        grade           instructor, admin
+        ============== =========================================
+        """
+        table = {
+            "submit_job": ROLES,
+            "view_all_jobs": ("instructor", "admin"),
+            "manage_users": ("admin",),
+            "grade": ("instructor", "admin"),
+        }
+        allowed = table.get(action)
+        if allowed is None:
+            raise AuthorizationError(f"unknown action {action!r}")
+        return self.role in allowed
+
+    def require(self, action: str) -> None:
+        """Raise :class:`AuthorizationError` unless :meth:`can`."""
+        if not self.can(action):
+            raise AuthorizationError(f"user {self.username!r} ({self.role}) may not {action}")
+
+
+def _hash_password(password: str, salt: bytes) -> bytes:
+    return hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt, _PBKDF2_ITERATIONS)
+
+
+class UserStore:
+    """Thread-safe account table."""
+
+    def __init__(self) -> None:
+        self._users: dict[str, User] = {}
+        self._lock = threading.Lock()
+
+    def add_user(
+        self,
+        username: str,
+        password: str,
+        role: str = "student",
+        full_name: str = "",
+    ) -> User:
+        """Create an account; raises on bad input or duplicates."""
+        if not _USERNAME_RE.match(username or ""):
+            raise AuthenticationError(
+                f"invalid username {username!r}: 2-32 chars, letter first, [a-zA-Z0-9_.-]"
+            )
+        if len(password) < 6:
+            raise AuthenticationError("password must be at least 6 characters")
+        if role not in ROLES:
+            raise AuthenticationError(f"unknown role {role!r} (one of {ROLES})")
+        salt = secrets.token_bytes(16)
+        user = User(
+            username=username,
+            role=role,
+            salt=salt,
+            password_hash=_hash_password(password, salt),
+            full_name=full_name,
+        )
+        with self._lock:
+            if username in self._users:
+                raise AuthenticationError(f"user {username!r} already exists")
+            self._users[username] = user
+        return user
+
+    def authenticate(self, username: str, password: str) -> User:
+        """Verify credentials; raises :class:`AuthenticationError` on failure.
+
+        The failure message is identical for unknown users and wrong
+        passwords (no username probing).
+        """
+        with self._lock:
+            user = self._users.get(username)
+        if user is None or user.disabled:
+            # burn comparable time to avoid a timing oracle on existence
+            _hash_password(password, b"x" * 16)
+            raise AuthenticationError("invalid username or password")
+        candidate = _hash_password(password, user.salt)
+        if not hmac.compare_digest(candidate, user.password_hash):
+            raise AuthenticationError("invalid username or password")
+        return user
+
+    def get(self, username: str) -> Optional[User]:
+        """Account by name, or None."""
+        with self._lock:
+            return self._users.get(username)
+
+    def change_password(self, username: str, old: str, new: str) -> None:
+        """Rotate a password after verifying the old one."""
+        user = self.authenticate(username, old)
+        if len(new) < 6:
+            raise AuthenticationError("password must be at least 6 characters")
+        salt = secrets.token_bytes(16)
+        with self._lock:
+            user.salt = salt
+            user.password_hash = _hash_password(new, salt)
+
+    def disable(self, username: str) -> None:
+        """Lock an account out."""
+        with self._lock:
+            user = self._users.get(username)
+            if user is None:
+                raise AuthenticationError(f"unknown user {username!r}")
+            user.disabled = True
+
+    def usernames(self) -> list[str]:
+        with self._lock:
+            return sorted(self._users)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._users)
+
+    # -- persistence ------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialise all accounts (hashes, not passwords) to JSON.
+
+        The file is written with mode 0600 — it contains salted PBKDF2
+        hashes, which are not secrets in the password sense but should
+        not be world-readable either.
+        """
+        import json
+        import os
+        from pathlib import Path
+
+        path = Path(path)
+        with self._lock:
+            payload = [
+                {
+                    "username": u.username,
+                    "role": u.role,
+                    "salt": u.salt.hex(),
+                    "password_hash": u.password_hash.hex(),
+                    "full_name": u.full_name,
+                    "disabled": u.disabled,
+                }
+                for u in self._users.values()
+            ]
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps({"version": 1, "users": payload}, indent=1))
+        os.chmod(tmp, 0o600)
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path) -> "UserStore":
+        """Restore a store written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != 1:
+            raise AuthenticationError(f"unsupported user-store version {data.get('version')!r}")
+        store = cls()
+        for entry in data["users"]:
+            user = User(
+                username=entry["username"],
+                role=entry["role"],
+                salt=bytes.fromhex(entry["salt"]),
+                password_hash=bytes.fromhex(entry["password_hash"]),
+                full_name=entry.get("full_name", ""),
+                disabled=bool(entry.get("disabled", False)),
+            )
+            store._users[user.username] = user
+        return store

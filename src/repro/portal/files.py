@@ -1,0 +1,220 @@
+"""Per-user file management.
+
+The paper: "the project incorporated a file browser allowing the
+download, and upload of multiple files, their editing and basic file
+manipulations like copy, move, rename" within "the directory structure
+nested in their home directory".
+
+Every operation takes a *user-relative* path, resolved inside the user's
+home; any attempt to escape (``..``, absolute paths, symlink tricks)
+raises :class:`~repro._errors.PathTraversalError` — the property tests
+fuzz this heavily.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro._errors import FileManagerError, PathTraversalError
+
+__all__ = ["FileEntry", "FileManager"]
+
+#: refuse single uploads beyond this size
+MAX_UPLOAD_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One directory listing row."""
+
+    name: str
+    path: str            # user-relative, '/'-separated
+    is_dir: bool
+    size: int
+    mtime: float
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "is_dir": self.is_dir,
+            "size": self.size,
+            "mtime": self.mtime,
+        }
+
+
+class FileManager:
+    """Safe CRUD inside ``root/<username>/``.
+
+    ``quota_bytes`` (optional) caps each user's total stored bytes;
+    writes and copies that would exceed it fail with
+    :class:`FileManagerError` before touching the disk.
+    """
+
+    def __init__(self, root: str | Path, quota_bytes: int | None = None) -> None:
+        if quota_bytes is not None and quota_bytes < 1:
+            raise FileManagerError(f"quota must be >= 1 byte, got {quota_bytes}")
+        self.root = Path(root).resolve()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.quota_bytes = quota_bytes
+
+    def _check_quota(self, username: str, incoming_bytes: int) -> None:
+        if self.quota_bytes is None:
+            return
+        used = self.usage_bytes(username)
+        if used + incoming_bytes > self.quota_bytes:
+            raise FileManagerError(
+                f"quota exceeded: {used} + {incoming_bytes} bytes > {self.quota_bytes} allowed"
+            )
+
+    # -- path handling ---------------------------------------------------------
+    def home(self, username: str) -> Path:
+        """The user's home directory (created on first use)."""
+        if not username or "/" in username or username in (".", ".."):
+            raise FileManagerError(f"invalid username {username!r}")
+        home = self.root / username
+        home.mkdir(exist_ok=True)
+        return home
+
+    def resolve(self, username: str, rel_path: str) -> Path:
+        """Resolve a user-supplied path inside the user's home.
+
+        Raises :class:`PathTraversalError` for anything that would land
+        outside — including paths that traverse symlinks out of the home.
+        """
+        home = self.home(username)
+        rel = (rel_path or "").strip().lstrip("/")
+        candidate = (home / rel).resolve() if rel else home.resolve()
+        try:
+            candidate.relative_to(home.resolve())
+        except ValueError:
+            raise PathTraversalError(
+                f"path {rel_path!r} escapes the home directory of {username!r}"
+            ) from None
+        return candidate
+
+    def _rel(self, username: str, abspath: Path) -> str:
+        return str(abspath.relative_to(self.home(username).resolve())) if abspath != self.home(username).resolve() else ""
+
+    # -- listing ------------------------------------------------------------------
+    def list_dir(self, username: str, rel_path: str = "") -> list[FileEntry]:
+        """Entries of a directory, directories first then by name."""
+        target = self.resolve(username, rel_path)
+        if not target.exists():
+            raise FileManagerError(f"no such directory: {rel_path!r}")
+        if not target.is_dir():
+            raise FileManagerError(f"not a directory: {rel_path!r}")
+        entries = []
+        for child in target.iterdir():
+            st = child.stat()
+            entries.append(
+                FileEntry(
+                    name=child.name,
+                    path=self._rel(username, child.resolve()) if not child.is_symlink() else child.name,
+                    is_dir=child.is_dir(),
+                    size=st.st_size if child.is_file() else 0,
+                    mtime=st.st_mtime,
+                )
+            )
+        return sorted(entries, key=lambda e: (not e.is_dir, e.name))
+
+    # -- content ----------------------------------------------------------------
+    def read(self, username: str, rel_path: str) -> bytes:
+        """File contents (download / editor load)."""
+        p = self.resolve(username, rel_path)
+        if not p.is_file():
+            raise FileManagerError(f"no such file: {rel_path!r}")
+        return p.read_bytes()
+
+    def write(self, username: str, rel_path: str, content: bytes | str) -> FileEntry:
+        """Create or overwrite a file (upload / editor save)."""
+        data = content.encode("utf-8") if isinstance(content, str) else content
+        if len(data) > MAX_UPLOAD_BYTES:
+            raise FileManagerError(
+                f"file of {len(data)} bytes exceeds the {MAX_UPLOAD_BYTES}-byte limit"
+            )
+        self._check_quota(username, len(data))
+        p = self.resolve(username, rel_path)
+        if p == self.home(username).resolve():
+            raise FileManagerError("cannot write to the home directory itself")
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_bytes(data)
+        st = p.stat()
+        return FileEntry(p.name, self._rel(username, p), False, st.st_size, st.st_mtime)
+
+    # -- manipulation -----------------------------------------------------------
+    def mkdir(self, username: str, rel_path: str) -> None:
+        """Create a directory (with parents)."""
+        p = self.resolve(username, rel_path)
+        if p.exists():
+            raise FileManagerError(f"already exists: {rel_path!r}")
+        p.mkdir(parents=True)
+
+    def delete(self, username: str, rel_path: str) -> None:
+        """Remove a file or directory tree."""
+        p = self.resolve(username, rel_path)
+        if p == self.home(username).resolve():
+            raise FileManagerError("refusing to delete the home directory")
+        if p.is_dir():
+            shutil.rmtree(p)
+        elif p.exists():
+            p.unlink()
+        else:
+            raise FileManagerError(f"no such path: {rel_path!r}")
+
+    def copy(self, username: str, src: str, dst: str) -> None:
+        """Copy a file or tree within the home."""
+        s = self.resolve(username, src)
+        d = self.resolve(username, dst)
+        if not s.exists():
+            raise FileManagerError(f"no such path: {src!r}")
+        if d.exists():
+            raise FileManagerError(f"destination exists: {dst!r}")
+        incoming = (
+            sum(p.stat().st_size for p in s.rglob("*") if p.is_file())
+            if s.is_dir()
+            else s.stat().st_size
+        )
+        self._check_quota(username, incoming)
+        d.parent.mkdir(parents=True, exist_ok=True)
+        if s.is_dir():
+            shutil.copytree(s, d)
+        else:
+            shutil.copy2(s, d)
+
+    def move(self, username: str, src: str, dst: str) -> None:
+        """Move (or rename across directories)."""
+        s = self.resolve(username, src)
+        d = self.resolve(username, dst)
+        if s == self.home(username).resolve():
+            raise FileManagerError("refusing to move the home directory")
+        if not s.exists():
+            raise FileManagerError(f"no such path: {src!r}")
+        if d.exists():
+            raise FileManagerError(f"destination exists: {dst!r}")
+        d.parent.mkdir(parents=True, exist_ok=True)
+        shutil.move(str(s), str(d))
+
+    def rename(self, username: str, rel_path: str, new_name: str) -> str:
+        """Rename in place; returns the new user-relative path."""
+        if "/" in new_name or new_name in ("", ".", ".."):
+            raise FileManagerError(f"invalid name {new_name!r}")
+        p = self.resolve(username, rel_path)
+        if not p.exists():
+            raise FileManagerError(f"no such path: {rel_path!r}")
+        target = p.with_name(new_name)
+        if target.exists():
+            raise FileManagerError(f"name taken: {new_name!r}")
+        p.rename(target)
+        return self._rel(username, target.resolve())
+
+    def usage_bytes(self, username: str) -> int:
+        """Total bytes stored under the user's home."""
+        total = 0
+        for p in self.home(username).rglob("*"):
+            if p.is_file():
+                total += p.stat().st_size
+        return total

@@ -1,0 +1,168 @@
+"""The compile-and-run service layer.
+
+Implements the Section-II flow: "It takes the needed information from a
+user, it then creates a compilation and/or executor object, which in
+turn upon success contacts a job distributor to allocate resources on
+the cluster and finally dispatch the job onto those resources."
+
+Ownership rules: students see and control only their own jobs;
+instructors/admins see everything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro._errors import AuthorizationError, CompilationError, JobError
+from repro.cluster.distributor import JobDistributor
+from repro.cluster.job import Job, JobKind, JobRequest
+from repro.portal.auth import User
+from repro.portal.files import FileManager
+from repro.toolchain.registry import ToolchainRegistry
+
+__all__ = ["JobService"]
+
+_BUILD_DIR = ".build"
+
+
+class JobService:
+    """Glue between the file manager, toolchains and the distributor."""
+
+    def __init__(
+        self,
+        files: FileManager,
+        distributor: JobDistributor,
+        registry: ToolchainRegistry | None = None,
+    ) -> None:
+        self.files = files
+        self.distributor = distributor
+        self.registry = registry or ToolchainRegistry()
+
+    # -- compilation ------------------------------------------------------
+    def compile(self, user: User, rel_path: str, language: str | None = None) -> dict:
+        """Compile a file from the user's home; returns a JSON-able report."""
+        source = self.files.resolve(user.username, rel_path)
+        if not source.is_file():
+            raise CompilationError(f"no such source file: {rel_path!r}")
+        lang = language or self.registry.infer(source)
+        if lang is None:
+            raise CompilationError(f"cannot infer language of {rel_path!r}; pass language=")
+        toolchain = self.registry.resolve(lang)
+        workdir = self.files.home(user.username) / _BUILD_DIR / source.stem
+        result = toolchain.compile(source, workdir)
+        report = {
+            "ok": result.ok,
+            "language": result.language,
+            "toolchain": result.toolchain,
+            "diagnostics": result.diagnostics,
+            "warnings": result.warnings,
+        }
+        if result.ok and result.artifact is not None:
+            report["artifact"] = str(
+                result.artifact.path.relative_to(self.files.home(user.username))
+            )
+            report["run_argv"] = result.artifact.run_argv()
+        return report
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self,
+        user: User,
+        rel_path: str,
+        language: str | None = None,
+        kind: str = "sequential",
+        n_tasks: int = 1,
+        cores_per_task: int = 1,
+        args: tuple[str, ...] = (),
+        stdin_data: str = "",
+        timeout_s: float | None = 120.0,
+        priority: int = 0,
+        need_gpu: bool = False,
+    ) -> tuple[dict, Optional[Job]]:
+        """Compile ``rel_path`` and, on success, dispatch it to the cluster.
+
+        Returns ``(compile_report, job_or_None)``.
+        """
+        user.require("submit_job")
+        try:
+            job_kind = JobKind(kind)
+        except ValueError:
+            raise JobError(f"unknown job kind {kind!r} (sequential/parallel/interactive)") from None
+
+        source = self.files.resolve(user.username, rel_path)
+        if not source.is_file():
+            raise CompilationError(f"no such source file: {rel_path!r}")
+        lang = language or self.registry.infer(source)
+        if lang is None:
+            raise CompilationError(f"cannot infer language of {rel_path!r}; pass language=")
+        toolchain = self.registry.resolve(lang)
+        workdir = self.files.home(user.username) / _BUILD_DIR / source.stem
+        result = toolchain.compile(source, workdir)
+        report = {
+            "ok": result.ok,
+            "language": result.language,
+            "toolchain": result.toolchain,
+            "diagnostics": result.diagnostics,
+            "warnings": result.warnings,
+        }
+        if not result.ok or result.artifact is None:
+            return report, None
+
+        request = JobRequest(
+            name=source.name,
+            owner=user.username,
+            kind=job_kind,
+            argv=result.artifact.run_argv(tuple(str(a) for a in args)),
+            n_tasks=n_tasks,
+            cores_per_task=cores_per_task,
+            stdin_data=stdin_data,
+            timeout_s=timeout_s,
+            priority=priority,
+            need_gpu=need_gpu,
+            workdir=str(self.files.home(user.username)),
+        )
+        job = self.distributor.submit(request)
+        return report, job
+
+    # -- job access control --------------------------------------------------
+    def get_job(self, user: User, job_id: str) -> Job:
+        """Fetch a job the user is allowed to see."""
+        job = self.distributor.job(job_id)
+        if job.request.owner != user.username and not user.can("view_all_jobs"):
+            raise AuthorizationError(f"job {job_id} belongs to {job.request.owner!r}")
+        return job
+
+    def list_jobs(self, user: User) -> list[dict]:
+        """The user's jobs (all jobs for instructors/admins), newest last."""
+        jobs = self.distributor.jobs.values()
+        if not user.can("view_all_jobs"):
+            jobs = [j for j in jobs if j.request.owner == user.username]
+        return [j.describe() for j in jobs]
+
+    def output_since(self, user: User, job_id: str, since: int = 0) -> dict:
+        """Poll stdout/stderr from absolute line offset ``since``."""
+        job = self.get_job(user, job_id)
+        out, out_next, out_trunc = job.stdout.read_since(since)
+        err, _, _ = job.stderr.read_since(0)
+        return {
+            "state": job.state.value,
+            "stdout": out,
+            "next": out_next,
+            "truncated": out_trunc,
+            "stderr_tail": err[-50:],
+            "exit_code": job.exit_code,
+            "error": job.error,
+        }
+
+    def send_input(self, user: User, job_id: str, text: str) -> None:
+        """Feed stdin to an interactive job."""
+        job = self.get_job(user, job_id)
+        if job.stdin.closed:
+            raise JobError(f"job {job_id} does not accept input (not interactive or finished)")
+        job.stdin.write(text)
+
+    def cancel(self, user: User, job_id: str) -> bool:
+        """Cancel a job the user owns (or any, for instructors)."""
+        self.get_job(user, job_id)  # ownership check
+        return self.distributor.cancel(job_id)

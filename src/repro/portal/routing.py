@@ -1,0 +1,79 @@
+"""URL routing with typed path parameters.
+
+Patterns use ``<name>`` for one segment and ``<path:name>`` for the
+rest of the path (used by the file-manager endpoints)::
+
+    router.add("GET", "/api/jobs/<job_id>/output", handler)
+    router.add("GET", "/files/<path:rest>", handler)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+from repro.portal.http import HttpError, Request, Response
+
+__all__ = ["Router"]
+
+Handler = Callable[[Request], Response]
+
+_PARAM = re.compile(r"<(?:(path):)?([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+def _compile(pattern: str) -> re.Pattern:
+    regex = ["^"]
+    pos = 0
+    for m in _PARAM.finditer(pattern):
+        regex.append(re.escape(pattern[pos : m.start()]))
+        kind, name = m.group(1), m.group(2)
+        if kind == "path":
+            regex.append(f"(?P<{name}>.+)")
+        else:
+            regex.append(f"(?P<{name}>[^/]+)")
+        pos = m.end()
+    regex.append(re.escape(pattern[pos:]))
+    regex.append("$")
+    return re.compile("".join(regex))
+
+
+class Router:
+    """Method+path dispatch table."""
+
+    def __init__(self) -> None:
+        # pattern string -> (compiled, {method: handler})
+        self._routes: dict[str, tuple[re.Pattern, dict[str, Handler]]] = {}
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method pattern``."""
+        compiled, methods = self._routes.setdefault(pattern, (_compile(pattern), {}))
+        method = method.upper()
+        if method in methods:
+            raise ValueError(f"duplicate route {method} {pattern}")
+        methods[method] = handler
+
+    def route(self, method: str, pattern: str):
+        """Decorator flavour of :meth:`add`."""
+
+        def deco(fn: Handler) -> Handler:
+            self.add(method, pattern, fn)
+            return fn
+
+        return deco
+
+    def dispatch(self, request: Request) -> Response:
+        """Match and call; 404 on no path match, 405 on wrong method."""
+        allowed: set[str] = set()
+        for compiled, methods in self._routes.values():
+            m = compiled.match(request.path)
+            if m is None:
+                continue
+            handler = methods.get(request.method)
+            if handler is None:
+                allowed |= set(methods)
+                continue
+            request.params = {k: v for k, v in m.groupdict().items() if v is not None}
+            return handler(request)
+        if allowed:
+            raise HttpError(405, f"method {request.method} not allowed (try {', '.join(sorted(allowed))})")
+        raise HttpError(404, f"no route for {request.path}")

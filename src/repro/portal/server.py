@@ -1,0 +1,48 @@
+"""Threaded HTTP server for the portal (stdlib ``wsgiref``)."""
+
+from __future__ import annotations
+
+import threading
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+__all__ = ["serve", "start_background"]
+
+
+class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request — the portal blocks on job polling."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Suppress per-request stderr logging (tests stay clean)."""
+
+    def log_message(self, format, *args):  # noqa: A002 - wsgiref signature
+        pass
+
+
+def serve(app, host: str = "127.0.0.1", port: int = 8080):
+    """Serve ``app`` forever (Ctrl-C to stop)."""
+    httpd = make_server(host, port, app, server_class=_ThreadingWSGIServer,
+                        handler_class=_QuietHandler)
+    print(f"Cluster portal listening on http://{host}:{port}/")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+
+
+def start_background(app, host: str = "127.0.0.1", port: int = 0):
+    """Start the server on a daemon thread; returns ``(httpd, base_url)``.
+
+    ``port=0`` picks a free port — used by the live-HTTP integration
+    tests and the quickstart example.
+    """
+    httpd = make_server(host, port, app, server_class=_ThreadingWSGIServer,
+                        handler_class=_QuietHandler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True, name="portal-http")
+    thread.start()
+    return httpd, f"http://{host}:{httpd.server_port}"

@@ -1,0 +1,107 @@
+"""Signed session tokens.
+
+Tokens are ``<session_id>.<hmac>`` where the HMAC (SHA-256, server
+secret) covers the id — so a client cannot forge or splice ids.  Session
+payloads live server-side with sliding expiry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro._errors import AuthenticationError
+
+__all__ = ["SessionStore"]
+
+
+class SessionStore:
+    """In-memory session table with signed ids and TTL."""
+
+    def __init__(
+        self,
+        secret: bytes | None = None,
+        ttl_s: float = 3600.0,
+        now_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._secret = secret or secrets.token_bytes(32)
+        self.ttl_s = ttl_s
+        self._now = now_fn
+        self._sessions: dict[str, tuple[float, dict[str, Any]]] = {}
+        self._lock = threading.Lock()
+
+    # -- token crypto -------------------------------------------------------
+    def _sign(self, sid: str) -> str:
+        return hmac.new(self._secret, sid.encode(), hashlib.sha256).hexdigest()[:32]
+
+    def _token(self, sid: str) -> str:
+        return f"{sid}.{self._sign(sid)}"
+
+    def _verify(self, token: str) -> str:
+        sid, _, sig = token.partition(".")
+        # Reject malformed tokens before the digest compare: compare_digest
+        # raises TypeError on non-ASCII input, and ids/signatures are hex.
+        if not sid or not sig or not all(c in "0123456789abcdef" for c in sid + sig):
+            raise AuthenticationError("invalid session token")
+        if not hmac.compare_digest(sig, self._sign(sid)):
+            raise AuthenticationError("invalid session token")
+        return sid
+
+    # -- lifecycle -------------------------------------------------------------
+    def create(self, data: dict[str, Any]) -> str:
+        """New session; returns the signed token for the cookie."""
+        sid = secrets.token_hex(16)
+        with self._lock:
+            self._sessions[sid] = (self._now() + self.ttl_s, dict(data))
+        return self._token(sid)
+
+    def get(self, token: str) -> dict[str, Any]:
+        """Session data for ``token``; refreshes the sliding expiry.
+
+        Raises :class:`AuthenticationError` for forged, unknown or
+        expired tokens.
+        """
+        sid = self._verify(token)
+        with self._lock:
+            entry = self._sessions.get(sid)
+            if entry is None:
+                raise AuthenticationError("unknown session (logged out?)")
+            expires, data = entry
+            if self._now() > expires:
+                del self._sessions[sid]
+                raise AuthenticationError("session expired")
+            self._sessions[sid] = (self._now() + self.ttl_s, data)
+            return data
+
+    def peek(self, token: str) -> Optional[dict[str, Any]]:
+        """Like :meth:`get` but returns None instead of raising."""
+        try:
+            return self.get(token)
+        except AuthenticationError:
+            return None
+
+    def destroy(self, token: str) -> bool:
+        """Log out; returns whether a session was removed."""
+        try:
+            sid = self._verify(token)
+        except AuthenticationError:
+            return False
+        with self._lock:
+            return self._sessions.pop(sid, None) is not None
+
+    def sweep(self) -> int:
+        """Drop expired sessions; returns how many were removed."""
+        now = self._now()
+        with self._lock:
+            dead = [sid for sid, (exp, _) in self._sessions.items() if now > exp]
+            for sid in dead:
+                del self._sessions[sid]
+            return len(dead)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

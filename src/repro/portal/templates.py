@@ -1,0 +1,134 @@
+"""Minimal HTML rendering for the portal's human-facing pages.
+
+The portal is primarily a JSON API (driven by
+:class:`~repro.portal.client.PortalClient` and by tests); these pages
+give the browser-facing "intuitive navigation" the paper requires
+without pulling in a template engine: a shared layout, a login form, and
+a dashboard that lists files, jobs and cluster load.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable
+
+__all__ = ["render_page", "login_page", "dashboard_page", "job_page"]
+
+_LAYOUT = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title} — UHD Cluster Portal</title>
+<style>
+ body {{ font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #222; }}
+ header {{ border-bottom: 2px solid #336; margin-bottom: 1rem; }}
+ h1 {{ color: #336; }}
+ table {{ border-collapse: collapse; width: 100%; }}
+ th, td {{ text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #ddd; }}
+ code {{ background: #f4f4f8; padding: 0 .25rem; }}
+ .state-completed {{ color: #060; }} .state-failed {{ color: #a00; }}
+ .state-running {{ color: #06c; }} .state-queued {{ color: #b60; }}
+ form.inline {{ display: inline; }}
+ .load {{ font-variant-numeric: tabular-nums; }}
+</style>
+</head>
+<body>
+<header><h1>{title}</h1><nav>{nav}</nav></header>
+{body}
+<footer><hr><small>Cluster Computing Portal — reproduction of Lin (IPPS 2013)</small></footer>
+</body>
+</html>"""
+
+
+def _esc(s: object) -> str:
+    return html.escape(str(s), quote=True)
+
+
+def render_page(title: str, body: str, nav: str = "") -> str:
+    """Wrap ``body`` (already-safe HTML) in the shared layout."""
+    return _LAYOUT.format(title=_esc(title), body=body, nav=nav)
+
+
+def login_page(error: str = "") -> str:
+    """The login form."""
+    err = f'<p style="color:#a00">{_esc(error)}</p>' if error else ""
+    body = f"""
+{err}
+<form method="post" action="/login">
+  <label>Username <input name="username" autofocus></label><br><br>
+  <label>Password <input name="password" type="password"></label><br><br>
+  <button type="submit">Log in</button>
+</form>"""
+    return render_page("Log in", body)
+
+
+def _rows(cells: Iterable[Iterable[object]]) -> str:
+    return "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>" for row in cells
+    )
+
+
+def dashboard_page(username: str, files: list[dict], jobs: list[dict], cluster: dict) -> str:
+    """Files + jobs + cluster status overview."""
+    file_rows = _rows(
+        (("📁 " if f["is_dir"] else "") + f["name"], f["size"], f["path"]) for f in files
+    )
+    job_rows = "".join(
+        f"<tr><td><code>{_esc(j['id'])}</code></td><td>{_esc(j['name'])}</td>"
+        f"<td class='state-{_esc(j['state'])}'>{_esc(j['state'])}</td>"
+        f"<td>{_esc(j['kind'])}</td><td>{_esc(j.get('exit_code'))}</td></tr>"
+        for j in jobs
+    )
+    seg_rows = _rows(
+        (name, f"{s['cores_free']}/{s['cores_total']} free", f"{s['load']:.0%}")
+        for name, s in cluster.get("segments", {}).items()
+    )
+    body = f"""
+<p>Signed in as <strong>{_esc(username)}</strong> —
+<form class="inline" method="post" action="/logout"><button>log out</button></form></p>
+
+<h2>Your files</h2>
+<table><tr><th>Name</th><th>Size</th><th>Path</th></tr>{file_rows or '<tr><td colspan=3>(empty)</td></tr>'}</table>
+
+<h2>Your jobs</h2>
+<table><tr><th>Id</th><th>Name</th><th>State</th><th>Kind</th><th>Exit</th></tr>{job_rows or '<tr><td colspan=5>(none)</td></tr>'}</table>
+
+<h2>Cluster</h2>
+<p class="load">Total load: {cluster.get('load', 0):.0%} — {cluster.get('cores_free', '?')} of {cluster.get('cores_total', '?')} cores free</p>
+<table><tr><th>Segment</th><th>Cores</th><th>Load</th></tr>{seg_rows}</table>
+"""
+    return render_page("Dashboard", body)
+
+
+def job_page(job: dict, stdout_lines: list[str], stderr_lines: list[str]) -> str:
+    """One job's detail page: metadata, placement, streams, input box."""
+    placement_rows = _rows((node, cores) for node, cores in sorted(job.get("placement", {}).items()))
+    out_text = _esc("\n".join(stdout_lines)) or "(no output yet)"
+    err_text = _esc("\n".join(stderr_lines))
+    input_form = ""
+    if job["state"] == "running" and job["kind"] == "interactive":
+        input_form = f"""
+<h2>Send input</h2>
+<form method="post" action="/jobs/{_esc(job['id'])}/input">
+  <input name="text" placeholder="stdin line"> <button>Send</button>
+</form>"""
+    err_block = f"<h2>stderr</h2><pre>{err_text}</pre>" if err_text else ""
+    body = f"""
+<p><a href="/">&larr; dashboard</a></p>
+<table>
+ <tr><th>Id</th><td><code>{_esc(job['id'])}</code></td></tr>
+ <tr><th>Name</th><td>{_esc(job['name'])}</td></tr>
+ <tr><th>Owner</th><td>{_esc(job['owner'])}</td></tr>
+ <tr><th>Kind</th><td>{_esc(job['kind'])}</td></tr>
+ <tr><th>State</th><td class="state-{_esc(job['state'])}">{_esc(job['state'])}</td></tr>
+ <tr><th>Exit code</th><td>{_esc(job.get('exit_code'))}</td></tr>
+ <tr><th>Wait / runtime</th><td>{_esc(job.get('wait_s'))} s / {_esc(job.get('runtime_s'))} s</td></tr>
+</table>
+<h2>Placement</h2>
+<table><tr><th>Node</th><th>Cores</th></tr>{placement_rows or '<tr><td colspan=2>(not placed)</td></tr>'}</table>
+<h2>stdout</h2>
+<pre>{out_text}</pre>
+{err_block}
+{input_form}
+"""
+    return render_page(f"Job {job['id']}", body)

@@ -1,0 +1,44 @@
+"""Compilation service: C, C++ and Java, real or simulated.
+
+The portal's stated goal: "limited platform processing, compilation and
+execution of C, C++, and Java source code".  Two toolchain families
+implement one interface:
+
+* :mod:`~repro.toolchain.real` shells out to ``gcc``/``g++``/``javac``
+  when they are installed;
+* :mod:`~repro.toolchain.simulated` is a hermetic fallback — a
+  deterministic validator plus a tiny translator that turns the
+  program's output statements into a runnable Python stub — so the
+  full upload → compile → dispatch → run → monitor path works on
+  machines with no compilers at all.
+
+:class:`~repro.toolchain.registry.ToolchainRegistry` picks per language,
+preferring real toolchains and falling back to simulated ones, exactly
+like the framework's "further expansion ... to handle additional
+programming languages" hook the paper describes.
+"""
+
+from repro.toolchain.base import Artifact, CompileResult, Toolchain
+from repro.toolchain.real import GccToolchain, GxxToolchain, JavacToolchain
+from repro.toolchain.simulated import (
+    SimulatedCToolchain,
+    SimulatedCppToolchain,
+    SimulatedJavaToolchain,
+)
+from repro.toolchain.python_lang import PythonToolchain
+from repro.toolchain.registry import ToolchainRegistry, infer_language
+
+__all__ = [
+    "Toolchain",
+    "Artifact",
+    "CompileResult",
+    "GccToolchain",
+    "GxxToolchain",
+    "JavacToolchain",
+    "SimulatedCToolchain",
+    "SimulatedCppToolchain",
+    "SimulatedJavaToolchain",
+    "PythonToolchain",
+    "ToolchainRegistry",
+    "infer_language",
+]

@@ -1,0 +1,75 @@
+"""Toolchain interface and result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["Artifact", "CompileResult", "Toolchain"]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A compiled, runnable thing.
+
+    ``run_argv()`` yields the command line that executes the artifact —
+    the portal's executor hands exactly this to the cluster's subprocess
+    backend.
+    """
+
+    kind: str                      # "binary" | "java-class" | "python-stub"
+    path: Path                     # main produced file
+    language: str
+    entry: str = ""                # e.g. the Java main class name
+    extra_paths: tuple[Path, ...] = ()
+
+    def run_argv(self, args: tuple[str, ...] = ()) -> list[str]:
+        """Command line to execute this artifact."""
+        if self.kind == "binary":
+            return [str(self.path), *args]
+        if self.kind == "java-class":
+            return ["java", "-cp", str(self.path.parent), self.entry or self.path.stem, *args]
+        if self.kind == "python-stub":
+            return ["python3", str(self.path), *args]
+        raise ValueError(f"unknown artifact kind {self.kind!r}")
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one compilation."""
+
+    ok: bool
+    language: str
+    toolchain: str
+    diagnostics: str = ""
+    artifact: Optional[Artifact] = None
+    warnings: list[str] = field(default_factory=list)
+
+    def raise_on_error(self) -> "CompileResult":
+        """Raise :class:`~repro._errors.CompilationError` if compilation failed."""
+        if not self.ok:
+            from repro._errors import CompilationError
+
+            raise CompilationError(
+                f"{self.language} compilation failed ({self.toolchain})",
+                diagnostics=self.diagnostics,
+            )
+        return self
+
+
+class Toolchain:
+    """One language's compiler wrapper."""
+
+    #: language key, e.g. "c", "cpp", "java"
+    language: str = ""
+    #: human-readable name, e.g. "gcc"
+    name: str = ""
+
+    def available(self) -> bool:
+        """Can this toolchain run on this machine right now?"""
+        raise NotImplementedError
+
+    def compile(self, source: Path, workdir: Path) -> CompileResult:
+        """Compile ``source``; artefacts land in ``workdir``."""
+        raise NotImplementedError

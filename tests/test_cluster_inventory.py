@@ -1,0 +1,131 @@
+"""Specs, nodes, segments, grid."""
+
+import pytest
+
+from repro._errors import ResourceError
+from repro.cluster import ClusterSpec, Grid, Node, NodeSpec, NodeState, SegmentSpec
+
+
+class TestSpecs:
+    def test_uhd_default_shape(self):
+        spec = ClusterSpec.uhd_default()
+        assert len(spec.segments) == 4
+        assert all(s.n_slaves == 16 for s in spec.segments)
+        assert spec.total_slaves == 64
+
+    def test_uhd_has_gpu_segment(self):
+        grid = Grid(ClusterSpec.uhd_default())
+        assert grid.gpu_nodes(), "the paper's cluster includes a GPU machine"
+
+    def test_invalid_node_spec(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(memory_mb=0)
+        with pytest.raises(ValueError):
+            NodeSpec(cpu_ghz=-1)
+
+    def test_duplicate_segment_names_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(segments=(SegmentSpec("a", 2), SegmentSpec("a", 2)))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(segments=())
+
+
+class TestNodeAccounting:
+    @pytest.fixture
+    def node(self):
+        return Node("n0", NodeSpec(cores=4, memory_mb=1000))
+
+    def test_allocate_and_free(self, node):
+        node.allocate("j1", 2, memory_mb=500)
+        assert node.cores_free == 2 and node.memory_free_mb == 500
+        node.free("j1")
+        assert node.cores_free == 4 and node.memory_free_mb == 1000
+
+    def test_oversubscription_rejected(self, node):
+        node.allocate("j1", 3)
+        with pytest.raises(ResourceError):
+            node.allocate("j2", 2)
+        assert node.cores_used == 3  # failed allocation left no residue
+
+    def test_memory_oversubscription_rejected(self, node):
+        with pytest.raises(ResourceError):
+            node.allocate("j1", 1, memory_mb=2000)
+
+    def test_double_allocate_same_job_rejected(self, node):
+        node.allocate("j1", 1)
+        with pytest.raises(ResourceError):
+            node.allocate("j1", 1)
+
+    def test_double_free_rejected(self, node):
+        node.allocate("j1", 1)
+        node.free("j1")
+        with pytest.raises(ResourceError):
+            node.free("j1")
+
+    def test_zero_core_allocation_rejected(self, node):
+        with pytest.raises(ResourceError):
+            node.allocate("j1", 0)
+
+    def test_down_node_refuses_allocations(self, node):
+        node.allocate("j1", 1)
+        victims = node.mark_down()
+        assert victims == ("j1",)
+        assert node.cores_free == 0  # down nodes expose no capacity
+        with pytest.raises(ResourceError):
+            node.allocate("j2", 1)
+        node.mark_up()
+        node.allocate("j2", 1)
+
+    def test_draining_accepts_nothing_new(self, node):
+        node.allocate("j1", 1)
+        node.drain()
+        assert node.state is NodeState.DRAINING
+        assert not node.can_fit(1)
+        assert node.holds("j1")  # existing work keeps running
+
+    def test_load_fraction(self, node):
+        assert node.load == 0.0
+        node.allocate("j1", 2)
+        assert node.load == 0.5
+
+
+class TestGrid:
+    def test_node_lookup(self, small_grid):
+        n = small_grid.node("seg-0-n00")
+        assert n.segment == "seg-0"
+        with pytest.raises(ResourceError):
+            small_grid.node("nope")
+
+    def test_segment_lookup(self, small_grid):
+        assert small_grid.segment("seg-1").name == "seg-1"
+        with pytest.raises(ResourceError):
+            small_grid.segment("nope")
+
+    def test_master_nodes_not_compute_nodes(self, small_grid):
+        names = {n.name for n in small_grid.compute_nodes()}
+        assert "grid-master" not in names
+        assert not any("master" in n for n in names)
+
+    def test_capacity_totals(self, small_grid):
+        assert small_grid.cores_total == 2 * 4 * 2  # 2 segments x 4 slaves x 2 cores
+        assert small_grid.cores_free == small_grid.cores_total
+
+    def test_find_node_first_fit(self, small_grid):
+        n = small_grid.find_node_for(2)
+        assert n is not None and n.name == "seg-0-n00"
+        assert small_grid.find_node_for(3) is None  # larger than any node
+
+    def test_snapshot_structure(self, small_grid):
+        snap = small_grid.snapshot()
+        assert snap["cores_total"] == 16
+        assert set(snap["segments"]) == {"seg-0", "seg-1"}
+        assert snap["segments"]["seg-0"]["nodes_up"] == 4
+
+    def test_load_after_allocation(self, small_grid):
+        small_grid.node("seg-0-n00").allocate("j", 2)
+        assert small_grid.load == pytest.approx(2 / 16)
+        assert small_grid.segment("seg-0").load == pytest.approx(2 / 8)

@@ -1,0 +1,83 @@
+"""Cluster monitor: samples, records, summaries."""
+
+import pytest
+
+from repro.cluster import (
+    AccountingRecord,
+    ClusterMonitor,
+    ClusterSpec,
+    Grid,
+    Job,
+    JobRequest,
+    JobState,
+)
+
+
+def finished_job(name="j", cores=2, wait=1.0, runtime=5.0, state=JobState.COMPLETED):
+    job = Job(JobRequest(name=name, owner="alice", sim_duration=1.0, cores_per_task=cores))
+    job.transition(JobState.QUEUED)
+    job.transition(JobState.RUNNING)
+    job.transition(state)
+    job.submitted_at, job.started_at = 0.0, wait
+    job.finished_at = wait + runtime
+    return job
+
+
+class TestAccounting:
+    def test_record_fields(self):
+        monitor = ClusterMonitor()
+        monitor.record_job(finished_job())
+        rec = monitor.records[0]
+        assert rec.owner == "alice"
+        assert rec.wait_s == 1.0 and rec.runtime_s == 5.0
+        assert rec.core_seconds == 10.0
+
+    def test_core_seconds_none_without_runtime(self):
+        rec = AccountingRecord("id", "n", "o", "failed", 4, None, None)
+        assert rec.core_seconds is None
+
+    def test_summary_aggregates(self):
+        monitor = ClusterMonitor()
+        monitor.record_job(finished_job(wait=1.0, runtime=4.0))
+        monitor.record_job(finished_job(wait=3.0, runtime=6.0))
+        monitor.record_job(finished_job(state=JobState.FAILED, wait=0.0, runtime=1.0))
+        s = monitor.summary()
+        assert s["jobs_finished"] == 3
+        assert s["by_state"] == {"completed": 2, "failed": 1}
+        assert s["mean_wait_s"] == pytest.approx(4.0 / 3)
+        assert s["core_seconds"] == pytest.approx((4 + 6 + 1) * 2)
+
+    def test_empty_summary(self):
+        s = ClusterMonitor().summary()
+        assert s["jobs_finished"] == 0 and s["mean_wait_s"] == 0.0
+
+
+class TestSamples:
+    def test_sampling_tracks_load(self):
+        grid = Grid(ClusterSpec.small())
+        monitor = ClusterMonitor()
+        monitor.sample(grid, t=0.0)
+        grid.node("seg-0-n00").allocate("j", 2)
+        monitor.sample(grid, t=1.0, queued=3)
+        samples = monitor.samples
+        assert samples[0].load == 0.0
+        assert samples[1].load == pytest.approx(2 / 8)
+        assert samples[1].queued == 3
+
+    def test_sample_window_bounded(self):
+        grid = Grid(ClusterSpec.small())
+        monitor = ClusterMonitor(max_samples=10)
+        for t in range(25):
+            monitor.sample(grid, t=float(t))
+        samples = monitor.samples
+        assert len(samples) == 10
+        assert samples[0].t == 15.0  # oldest evicted
+
+    def test_mean_load(self):
+        grid = Grid(ClusterSpec.small())
+        monitor = ClusterMonitor()
+        assert monitor.mean_load() == 0.0
+        monitor.sample(grid, 0.0)
+        grid.node("seg-0-n00").allocate("j", 2)
+        monitor.sample(grid, 1.0)
+        assert monitor.mean_load() == pytest.approx(0.125)

@@ -1,0 +1,199 @@
+"""Unit tests for the DES kernel: events, clock, processes."""
+
+import pytest
+
+from repro._errors import SimulationError
+from repro.desim import Process, ProcessKilled, Simulator
+
+
+class TestEventBasics:
+    def test_event_starts_pending(self, sim):
+        ev = sim.event("e")
+        assert not ev.triggered and not ev.processed
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event().succeed(42)
+        sim.run()
+        assert ev.value == 42 and ev.processed
+
+    def test_fail_reraises_on_value(self, sim):
+        ev = sim.event().fail(ValueError("boom"))
+        sim.run()
+        with pytest.raises(ValueError, match="boom"):
+            _ = ev.value
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event().succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception_instance(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+
+class TestClock:
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_same_time_events_fire_in_trigger_order(self, sim):
+        order = []
+        for i in range(5):
+            ev = sim.timeout(1.0)
+            sim._subscribe(ev, lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_time_stops_clock_exactly(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_run_until_past_time_rejected(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+
+class TestProcesses:
+    def test_process_returns_value_through_run(self, sim):
+        def body(sim):
+            yield sim.timeout(2)
+            return "done"
+
+        p = sim.process(body(sim))
+        assert sim.run(p) == "done"
+        assert sim.now == 2.0
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_yield_non_event_fails_process(self, sim):
+        def body():
+            yield 42
+
+        p = sim.process(body())
+        sim.run()
+        assert not p.ok
+
+    def test_exception_propagates_to_joiner(self, sim):
+        def failing(sim):
+            yield sim.timeout(1)
+            raise RuntimeError("inner")
+
+        def joiner(sim, target):
+            try:
+                yield target
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        target = sim.process(failing(sim))
+        j = sim.process(joiner(sim, target))
+        assert sim.run(j) == "caught inner"
+
+    def test_kill_delivers_processkilled(self, sim):
+        cleanup = []
+
+        def body(sim):
+            try:
+                yield sim.timeout(100)
+            except ProcessKilled:
+                cleanup.append("cleaned")
+                return "killed-gracefully"
+
+        p = sim.process(body(sim))
+        sim.run(until=1.0)
+        p.kill("test")
+        sim.run()
+        assert cleanup == ["cleaned"]
+        assert p.value == "killed-gracefully"
+
+    def test_kill_uncaught_fails_process(self, sim):
+        def body(sim):
+            yield sim.timeout(100)
+
+        p = sim.process(body(sim))
+        sim.run(until=1.0)
+        p.kill()
+        sim.run()
+        assert not p.ok and not p.alive
+
+    def test_processes_interleave_by_time(self, sim):
+        log = []
+
+        def ticker(sim, name, period, n):
+            for _ in range(n):
+                yield sim.timeout(period)
+                log.append((sim.now, name))
+
+        sim.process(ticker(sim, "a", 2, 3))
+        sim.process(ticker(sim, "b", 3, 2))
+        sim.run()
+        # At t=6 both fire; "b" scheduled its timeout earlier (at t=3 vs
+        # t=4), so FIFO tie-breaking runs it first.
+        assert log == [(2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b"), (6.0, "a")]
+
+
+class TestCompositeEvents:
+    def test_all_of_collects_values_in_order(self, sim):
+        evs = [sim.timeout(d, value=d) for d in (3, 1, 2)]
+        combined = sim.all_of(evs)
+        assert sim.run(combined) == [3, 1, 2]
+        assert sim.now == 3.0
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        ev = sim.all_of([])
+        assert ev.triggered
+
+    def test_any_of_returns_first_with_index(self, sim):
+        evs = [sim.timeout(5, "slow"), sim.timeout(1, "fast")]
+        idx, value = sim.run(sim.any_of(evs))
+        assert (idx, value) == (1, "fast")
+        assert sim.now == 1.0
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+    def test_all_of_propagates_failure(self, sim):
+        bad = sim.event().fail(KeyError("x"))
+        combined = sim.all_of([sim.timeout(1), bad])
+        with pytest.raises(KeyError):
+            sim.run(combined)
+
+    def test_run_until_event_detects_starvation(self, sim):
+        never = sim.event("never")
+        sim.timeout(1)
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(never)
+
+    def test_max_events_guard(self, sim):
+        def endless(sim):
+            while True:
+                yield sim.timeout(1)
+
+        sim.process(endless(sim))
+        never = sim.event()
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(never, max_events=50)

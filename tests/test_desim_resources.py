@@ -1,0 +1,212 @@
+"""Unit tests for desim queuing resources."""
+
+import pytest
+
+from repro._errors import ResourceError
+from repro.desim import Container, Resource, Simulator, Store
+
+
+class TestStore:
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+
+        def producer(sim, store):
+            for i in range(5):
+                yield store.put(i)
+
+        got = []
+
+        def consumer(sim, store):
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer(sim, store))
+        sim.process(consumer(sim, store))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_blocks_until_get(self, sim):
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer(sim, store):
+            yield store.put("a")
+            yield store.put("b")  # blocks until consumer takes "a"
+            times.append(sim.now)
+
+        def consumer(sim, store):
+            yield sim.timeout(5)
+            yield store.get()
+
+        sim.process(producer(sim, store))
+        sim.process(consumer(sim, store))
+        sim.run()
+        assert times == [5.0]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(sim, store):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer(sim, store):
+            yield sim.timeout(3)
+            yield store.put("x")
+
+        sim.process(consumer(sim, store))
+        sim.process(producer(sim, store))
+        sim.run()
+        assert got == [(3.0, "x")]
+
+    def test_try_get_nonblocking(self, sim):
+        store = Store(sim)
+        ok, item = store.try_get()
+        assert not ok and item is None
+        store.put("y")
+        sim.run()
+        ok, item = store.try_get()
+        assert ok and item == "y"
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(ResourceError):
+            Store(sim, capacity=0)
+
+    def test_items_snapshot(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        sim.run()
+        assert store.items == (0, 1, 2)
+        assert len(store) == 3
+
+
+class TestResource:
+    def test_capacity_enforced(self, sim):
+        res = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def worker(sim, res, i):
+            yield res.request()
+            active.append(i)
+            peak.append(len(active))
+            yield sim.timeout(10)
+            active.remove(i)
+            res.release()
+
+        for i in range(5):
+            sim.process(worker(sim, res, i))
+        sim.run()
+        assert max(peak) <= 2
+
+    def test_fifo_no_starvation_of_wide_request(self, sim):
+        res = Resource(sim, capacity=4)
+        order = []
+
+        def narrow(sim, res, i):
+            yield res.request(1)
+            order.append(f"narrow{i}")
+            yield sim.timeout(5)
+            res.release(1)
+
+        def wide(sim, res):
+            yield sim.timeout(1)  # arrives second
+            yield res.request(4)
+            order.append("wide")
+            res.release(4)
+
+        def late_narrow(sim, res):
+            yield sim.timeout(2)  # arrives after wide
+            yield res.request(1)
+            order.append("late")
+            res.release(1)
+
+        for i in range(4):
+            sim.process(narrow(sim, res, i))
+        sim.process(wide(sim, res))
+        sim.process(late_narrow(sim, res))
+        sim.run()
+        # FIFO head blocking: the wide request is served before the late narrow one.
+        assert order.index("wide") < order.index("late")
+
+    def test_over_release_rejected(self, sim):
+        res = Resource(sim, capacity=2)
+        with pytest.raises(ResourceError):
+            res.release()
+
+    def test_request_more_than_capacity_rejected(self, sim):
+        res = Resource(sim, capacity=2)
+        with pytest.raises(ResourceError):
+            res.request(3)
+
+    def test_accounting_properties(self, sim):
+        res = Resource(sim, capacity=3)
+        res.request(2)
+        sim.run()
+        assert res.in_use == 2 and res.available == 1 and res.queue_length == 0
+
+
+class TestContainer:
+    def test_put_get_levels(self, sim):
+        tank = Container(sim, capacity=100, init=50)
+
+        def refill(sim, tank):
+            yield tank.put(30)
+
+        def drain(sim, tank):
+            yield tank.get(70)
+
+        sim.process(refill(sim, tank))
+        sim.process(drain(sim, tank))
+        sim.run()
+        assert tank.level == 10
+
+    def test_get_blocks_until_enough(self, sim):
+        tank = Container(sim, capacity=10, init=0)
+        done = []
+
+        def taker(sim, tank):
+            yield tank.get(6)
+            done.append(sim.now)
+
+        def filler(sim, tank):
+            for _ in range(3):
+                yield sim.timeout(1)
+                yield tank.put(2)
+
+        sim.process(taker(sim, tank))
+        sim.process(filler(sim, tank))
+        sim.run()
+        assert done == [3.0]
+
+    def test_overflow_put_blocks(self, sim):
+        tank = Container(sim, capacity=10, init=9)
+        done = []
+
+        def putter(sim, tank):
+            yield tank.put(5)
+            done.append(sim.now)
+
+        def taker(sim, tank):
+            yield sim.timeout(4)
+            yield tank.get(5)
+
+        sim.process(putter(sim, tank))
+        sim.process(taker(sim, tank))
+        sim.run()
+        assert done == [4.0]
+
+    def test_invalid_amounts_rejected(self, sim):
+        tank = Container(sim, capacity=10)
+        for bad in (0, -1, 11):
+            with pytest.raises(ResourceError):
+                tank.get(bad)
+            with pytest.raises(ResourceError):
+                tank.put(bad)
+
+    def test_invalid_init_rejected(self, sim):
+        with pytest.raises(ResourceError):
+            Container(sim, capacity=5, init=6)

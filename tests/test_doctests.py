@@ -1,0 +1,38 @@
+"""Every ``>>>`` example in the library's docstrings must actually run.
+
+Documentation that drifts from the code is worse than no documentation;
+this module imports every ``repro`` submodule and executes its doctests.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue  # CLI module: importing is fine but keep it out of doctests
+        yield info.name
+
+
+MODULES = sorted(_iter_modules())
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failure(s)"
+
+
+def test_collector_sees_the_whole_package():
+    """Guard against silently testing nothing."""
+    assert len(MODULES) > 50
+    assert "repro.interleave.scheduler" in MODULES
+    assert "repro.portal.app" in MODULES

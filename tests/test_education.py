@@ -1,0 +1,244 @@
+"""Cohort model, grading, exams, surveys, semester pipeline."""
+
+import numpy as np
+import pytest
+
+from repro._errors import GradingError
+from repro.education import (
+    COURSE_PLAN,
+    Cohort,
+    ExamModel,
+    LabGrader,
+    SemesterSimulation,
+    SurveyModel,
+    format_comparison_table,
+    passing_rate,
+)
+from repro.education.exams import PAPER_EXAM_RATES
+from repro.education.grading import PAPER_LAB_RATES
+from repro.education.semester import DEFAULT_SEED
+from repro.education.students import difficulty_for_rate, substream
+from repro.education.survey import PAPER_SURVEY_MEANS, SURVEY_QUESTIONS
+
+
+class TestStudents:
+    def test_cohort_size_and_determinism(self):
+        a = Cohort.generate(19, 7)
+        b = Cohort.generate(19, 7)
+        assert len(a) == 19
+        assert [s.ability for s in a] == [s.ability for s in b]
+
+    def test_different_seeds_differ(self):
+        a = Cohort.generate(19, 1)
+        b = Cohort.generate(19, 2)
+        assert [s.ability for s in a] != [s.ability for s in b]
+
+    def test_skill_standardised(self):
+        """skill has ~zero mean and ~unit variance by construction."""
+        big = Cohort.generate(20_000, 3)
+        skills = np.array([s.skill for s in big])
+        assert abs(skills.mean()) < 0.05
+        assert abs(skills.std() - 1.0) < 0.05
+
+    def test_difficulty_calibration_closed_form(self):
+        """Empirical pass rate matches the probit target."""
+        rng = substream(0, "check")
+        cohort = Cohort.generate(20_000, 5)
+        for target in (0.39, 0.5, 0.67):
+            z = difficulty_for_rate(target)
+            passes = np.mean(
+                [s.attempts_correct_submission(z, rng) for s in cohort]
+            )
+            assert passes == pytest.approx(target, abs=0.02)
+
+    def test_empty_cohort_rejected(self):
+        with pytest.raises(ValueError):
+            Cohort([])
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            difficulty_for_rate(0.0)
+        with pytest.raises(ValueError):
+            difficulty_for_rate(1.0)
+
+
+class TestGrading:
+    def test_grades_between_bounds_and_pass_threshold(self):
+        cohort = Cohort.generate(19, 11)
+        book = LabGrader(seed=11).grade_cohort(cohort)
+        for lab_scores in book.scores.values():
+            for score in lab_scores.values():
+                assert 0 <= score <= 100
+
+    def test_passing_rate_uses_70_threshold(self):
+        assert passing_rate([69.9, 70.0, 85.0, 10.0]) == 0.5
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValueError):
+            passing_rate([])
+        with pytest.raises(GradingError):
+            LabGrader().grade_cohort(Cohort.generate(3, 1)).passing_rate("lab99")
+
+    def test_correct_submission_runs_fixed_lab(self):
+        grader = LabGrader(seed=1)
+        assert grader.behaviour_passes("lab1", correct_submission=True)
+        assert not grader.behaviour_passes("lab1", correct_submission=False)
+
+    def test_harness_catches_lab6_deadlock(self):
+        grader = LabGrader(seed=1)
+        assert not grader.behaviour_passes("lab6", correct_submission=False)
+
+    def test_behaviour_cache_used(self):
+        grader = LabGrader(seed=1)
+        grader.behaviour_passes("lab1", True)
+        assert ("lab1", True) in grader._behaviour_cache
+
+    def test_student_mean(self):
+        cohort = Cohort.generate(5, 2)
+        book = LabGrader(seed=2).grade_cohort(cohort)
+        sid = cohort.students[0].student_id
+        mean = book.student_mean(sid)
+        assert 0 <= mean <= 100
+        with pytest.raises(GradingError):
+            book.student_mean("ghost")
+
+    def test_grading_deterministic_per_seed(self):
+        r1 = LabGrader(seed=9).grade_cohort(Cohort.generate(19, 9)).scores
+        r2 = LabGrader(seed=9).grade_cohort(Cohort.generate(19, 9)).scores
+        assert r1 == r2
+
+
+class TestExams:
+    def test_scores_within_bounds(self):
+        cohort = Cohort.generate(19, 4)
+        ExamModel(seed=4).administer(cohort)
+        for s in cohort:
+            assert 0 <= s.midterm_score <= 100
+            assert 0 <= s.final_score <= 100
+
+    def test_final_reflects_learning_gain(self):
+        """Engaged students improve more between midterm and final."""
+        cohort = Cohort.generate(2000, 6)
+        ExamModel(seed=6).administer(cohort)
+        gains = np.array([s.final_score - s.midterm_score for s in cohort])
+        engagement = np.array([s.engagement for s in cohort])
+        assert np.corrcoef(engagement, gains)[0, 1] > 0.3
+
+    def test_population_rates_near_targets(self):
+        cohort = Cohort.generate(5000, 8)
+        ExamModel(seed=8).administer(cohort)
+        mid = np.mean([s.midterm_score >= 70 for s in cohort])
+        fin = np.mean([s.final_score >= 70 for s in cohort])
+        assert mid == pytest.approx(PAPER_EXAM_RATES["midterm_all"], abs=0.04)
+        assert fin == pytest.approx(PAPER_EXAM_RATES["final_all"], abs=0.05)
+
+    def test_rates_with_no_passers(self):
+        cohort = Cohort.generate(5, 1)
+        ExamModel(seed=1).administer(cohort)
+        rates = ExamModel.rates(cohort)  # nobody flagged as passer yet
+        assert rates.midterm_passers == 0.0
+
+
+class TestSurvey:
+    def test_responses_on_scale(self):
+        cohort = Cohort.generate(19, 3)
+        model = SurveyModel(seed=3)
+        for moment in ("entrance", "exit"):
+            responses = model.respond(cohort, moment)
+            for q in SURVEY_QUESTIONS:
+                arr = responses[q.qid]
+                assert arr.min() >= q.scale_min and arr.max() <= q.scale_max
+
+    def test_knowledge_items_move_in_right_direction(self):
+        cohort = Cohort.generate(500, 5)
+        means = SurveyModel(seed=5).means(cohort)
+        q1_in, q1_out = means["Q1"]
+        assert q1_out < q1_in  # inverse scale: knowledge improved
+        for q in ("Q5", "Q6"):
+            kin, kout = means[q]
+            assert kout > kin  # direct scale: knowledge improved
+
+    def test_attitude_items_stay_close(self):
+        cohort = Cohort.generate(500, 5)
+        means = SurveyModel(seed=5).means(cohort)
+        for q in ("Q2", "Q3", "Q4"):
+            kin, kout = means[q]
+            assert abs(kin - kout) < 0.4
+
+    def test_invalid_moment_rejected(self):
+        with pytest.raises(ValueError):
+            SurveyModel().respond(Cohort.generate(3, 1), "midway")
+
+
+class TestSemester:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return SemesterSimulation(DEFAULT_SEED).run()
+
+    def test_cohort_is_19(self, report):
+        assert report.cohort_size == 19
+
+    def test_table1_shape_agreement(self, report):
+        agreement = report.agreement()["table1"]
+        assert agreement["all_within_tolerance"], report.table1()
+        assert agreement["rank_correlation"] > 0.6
+
+    def test_table2_signature_patterns(self, report):
+        rates = report.exam_rates
+        # The paper's qualitative claims:
+        assert rates.midterm_all < 0.35           # "passing rate among all students is low"
+        assert rates.final_passers > rates.midterm_passers  # "improvements along the course"
+        assert rates.final_passers > rates.final_all        # passers outperform the class
+
+    def test_table3_within_half_point(self, report):
+        agreement = report.agreement()["table3"]
+        assert agreement["all_within_tolerance"], report.table3()
+
+    def test_tables_render(self, report):
+        for text in (report.table1(), report.table2(), report.table3()):
+            assert "paper" in text and "measured" in text
+
+    def test_course_pass_rate_plausible(self, report):
+        assert 0.15 <= report.course_pass_rate <= 0.6
+
+    def test_replications_average_toward_targets(self):
+        avg = SemesterSimulation(2012).run_replications(8)
+        for lab_id, target in PAPER_LAB_RATES.items():
+            assert avg["table1"][lab_id] == pytest.approx(target, abs=0.12)
+
+    def test_deterministic(self):
+        a = SemesterSimulation(DEFAULT_SEED).run()
+        b = SemesterSimulation(DEFAULT_SEED).run()
+        assert a.lab_rates == b.lab_rates
+        assert a.exam_rates.as_dict() == b.exam_rates.as_dict()
+
+
+class TestCoursePlan:
+    def test_every_lab_covers_some_topic(self):
+        from repro.education.course import topics_covered_by_labs
+
+        covered = topics_covered_by_labs()
+        for lab_id in [f"lab{i}" for i in range(1, 8)]:
+            assert lab_id in covered, f"{lab_id} exercises no TCPP topic"
+
+    def test_added_topics_exist_per_module(self):
+        for module in COURSE_PLAN:
+            if module.name != "Computer Organization":
+                continue
+            added = [t.name for t in module.added_topics()]
+            assert "Spin lock / test-and-set" in added
+
+    def test_paper_table_constants_complete(self):
+        assert len(PAPER_LAB_RATES) == 7
+        assert len(PAPER_EXAM_RATES) == 4
+        assert len(PAPER_SURVEY_MEANS) == 6
+
+
+class TestFormatting:
+    def test_comparison_table_render(self):
+        text = format_comparison_table("T", [("row a", 0.5, 0.45), ("row b", 0.2, 0.3)])
+        assert "50%" in text and "45%" in text and "-5%" in text.replace(" ", "")
+
+    def test_non_percent_mode(self):
+        text = format_comparison_table("T", [("q", 3.0, 2.9)], as_percent=False)
+        assert "3.00" in text and "2.90" in text

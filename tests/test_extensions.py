@@ -1,0 +1,333 @@
+"""Tests for the extension features: new languages, job dependencies,
+job arrays, MSI ablation, RW lock, quotas, accounting, password change."""
+
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro._errors import FileManagerError, JobError, PortalError, SimulationError
+from repro.cluster import (
+    CallableBackend,
+    ClusterSpec,
+    Grid,
+    JobDistributor,
+    JobRequest,
+    JobState,
+    SimulatedBackend,
+)
+from repro.desim import Simulator
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedVar, VRWLock
+from repro.memsim import CoherentSystem, LineState
+from repro.portal import FileManager, PortalClient, make_default_app
+from repro.toolchain import PythonToolchain, ToolchainRegistry
+
+
+class TestPythonToolchain:
+    def test_compile_and_run(self, tmp_path):
+        src = tmp_path / "prog.py"
+        src.write_text('print("py artifact")\n')
+        result = PythonToolchain().compile(src, tmp_path / "build")
+        assert result.ok
+        out = subprocess.run(result.artifact.run_argv(), capture_output=True, text=True)
+        assert out.stdout == "py artifact\n"
+
+    def test_syntax_error_reported_with_line(self, tmp_path):
+        src = tmp_path / "bad.py"
+        src.write_text("def broken(:\n    pass\n")
+        result = PythonToolchain().compile(src, tmp_path / "build")
+        assert not result.ok and "line 1" in result.diagnostics
+
+    def test_artifact_immutable_after_edit(self, tmp_path):
+        src = tmp_path / "prog.py"
+        src.write_text('print("v1")\n')
+        result = PythonToolchain().compile(src, tmp_path / "build")
+        src.write_text('print("v2")\n')  # edit after compile
+        out = subprocess.run(result.artifact.run_argv(), capture_output=True, text=True)
+        assert out.stdout == "v1\n"  # staged copy, not the live file
+
+    def test_runtime_registration_with_extension(self):
+        reg = ToolchainRegistry()
+        assert reg.infer("x.py") is None
+        reg.register(PythonToolchain(), extensions=(".py",))
+        assert reg.infer("x.py") == "python"
+        assert reg.resolve_for("x.py").name == "cpython"
+
+    def test_portal_gains_language_at_runtime(self, tmp_path):
+        app = make_default_app(str(tmp_path / "homes"), cluster_spec=ClusterSpec.small())
+        admin = PortalClient(app=app)
+        admin.login("admin", "admin-pass")
+        admin.create_user("py", "password1")
+        dev = PortalClient(app=app)
+        dev.login("py", "password1")
+        dev.write_file("hello.py", 'print("runtime language")\n')
+        with pytest.raises(PortalError):
+            dev.compile("hello.py")
+        app.jobsvc.registry.register(PythonToolchain(), extensions=(".py",))
+        resp = dev.submit_job("hello.py")
+        desc = dev.wait_for_job(resp["job"]["id"], timeout=30)
+        assert desc["state"] == "completed"
+        assert dev.job_output(resp["job"]["id"])["stdout"] == ["runtime language"]
+
+
+class TestJobDependencies:
+    def test_dependent_job_waits(self, sim, small_grid):
+        dist = JobDistributor(small_grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        a = dist.submit(JobRequest(name="a", sim_duration=5.0))
+        b = dist.submit(JobRequest(name="b", sim_duration=1.0, after=(a.id,)))
+        assert b.state is JobState.QUEUED
+        sim.run()
+        assert b.state is JobState.COMPLETED
+        assert b.started_at >= a.finished_at
+
+    def test_chain_runs_in_order(self, sim, small_grid):
+        dist = JobDistributor(small_grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        prev = None
+        jobs = []
+        for i in range(5):
+            after = (prev.id,) if prev else ()
+            prev = dist.submit(JobRequest(name=f"c{i}", sim_duration=2.0, after=after))
+            jobs.append(prev)
+        sim.run()
+        starts = [j.started_at for j in jobs]
+        assert starts == sorted(starts)
+        assert sim.now == pytest.approx(10.0)  # fully serialised
+
+    def test_after_ok_cancels_on_failed_dep(self, small_grid):
+        dist = JobDistributor(small_grid, CallableBackend())
+
+        def boom(job):
+            raise RuntimeError("x")
+
+        bad = dist.submit(JobRequest(name="bad", callable=boom))
+        assert dist.wait_all(10)
+        dependent = dist.submit(
+            JobRequest(name="dep", callable=lambda j: 1, after=(bad.id,), after_ok=True)
+        )
+        dist.dispatch()
+        assert dependent.state is JobState.CANCELLED
+        assert dependent.error == "dependency failed"
+
+    def test_plain_after_runs_even_on_failed_dep(self, small_grid):
+        dist = JobDistributor(small_grid, CallableBackend())
+
+        def boom(job):
+            raise RuntimeError("x")
+
+        bad = dist.submit(JobRequest(name="bad", callable=boom))
+        assert dist.wait_all(10)
+        dependent = dist.submit(
+            JobRequest(name="dep", callable=lambda j: 7, after=(bad.id,))
+        )
+        assert dist.wait_all(10)
+        assert dependent.state is JobState.COMPLETED and dependent.result == 7
+
+    def test_unknown_dependency_rejected(self, sim_distributor):
+        with pytest.raises(JobError):
+            sim_distributor.submit(
+                JobRequest(name="x", sim_duration=1.0, after=("job-999999",))
+            )
+
+    def test_held_job_does_not_block_fifo(self, sim):
+        # Two cores: "a" takes one for 10s; "held" depends on it and sits
+        # ahead of "free" in the queue.  FIFO must skip the held job and
+        # start "free" on the second core immediately.
+        grid = Grid(ClusterSpec.small(segments=1, slaves=1, cores=2))
+        dist = JobDistributor(grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        a = dist.submit(JobRequest(name="a", sim_duration=10.0))
+        held = dist.submit(JobRequest(name="held", sim_duration=1.0, after=(a.id,)))
+        free = dist.submit(JobRequest(name="free", sim_duration=1.0))
+        sim.run()
+        assert free.started_at == 0.0
+        assert held.started_at >= a.finished_at
+
+
+class TestJobArrays:
+    def test_array_elements_named_and_independent(self, sim, small_grid):
+        dist = JobDistributor(small_grid, SimulatedBackend(sim), now_fn=lambda: sim.now)
+        jobs = dist.submit_array(JobRequest(name="sweep", sim_duration=1.0), count=6)
+        assert [j.request.name for j in jobs] == [f"sweep[{k}]" for k in range(6)]
+        sim.run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+
+    def test_zero_count_rejected(self, sim_distributor):
+        with pytest.raises(JobError):
+            sim_distributor.submit_array(JobRequest(name="x", sim_duration=1.0), count=0)
+
+
+class TestMsiAblation:
+    def test_msi_never_installs_exclusive(self):
+        system = CoherentSystem(2, protocol="MSI")
+        system.read(0, 0)
+        assert system.line_states(0)[0] is LineState.SHARED
+
+    def test_msi_first_write_needs_upgrade(self):
+        """The traffic MESI's E state removes."""
+        mesi = CoherentSystem(2, protocol="MESI")
+        msi = CoherentSystem(2, protocol="MSI")
+        for system in (mesi, msi):
+            system.read(0, 0)   # private data read...
+            system.write(0, 0)  # ...then written by the same core
+        assert mesi.stats.bus_upgr == 0
+        assert msi.stats.bus_upgr == 1
+
+    def test_msi_more_traffic_on_private_data(self):
+        def traffic(protocol):
+            system = CoherentSystem(4, protocol=protocol)
+            for core in range(4):
+                for line in range(8):
+                    system.read(core, (core * 8 + line) * 64)
+                    system.write(core, (core * 8 + line) * 64)
+            return system.stats.total_transactions
+
+        assert traffic("MSI") > traffic("MESI")
+
+    def test_msi_swmr_still_holds(self):
+        rng = np.random.default_rng(3)
+        system = CoherentSystem(4, protocol="MSI")
+        for _ in range(300):
+            core, line = int(rng.integers(0, 4)), int(rng.integers(0, 8))
+            if rng.random() < 0.5:
+                system.read(core, line * 64)
+            else:
+                system.write(core, line * 64)
+            system.check_invariants()
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SimulationError):
+            CoherentSystem(2, protocol="MOESI")
+
+
+class TestRWLock:
+    @staticmethod
+    def _run(seed, readers=4, writers=2):
+        sched = Scheduler(policy=RandomPolicy(seed))
+        rw = VRWLock()
+        data = SharedVar("d", 0)
+        snapshot = []
+
+        def reader(rw, data):
+            yield from rw.acquire_read()
+            v = yield data.read()
+            snapshot.append(v)
+            yield Nop()
+            yield from rw.release_read()
+
+        def writer(rw, data, value):
+            yield from rw.acquire_write()
+            yield Nop()
+            yield data.write(value)
+            yield from rw.release_write()
+
+        for i in range(readers):
+            sched.spawn(reader(rw, data), name=f"r{i}")
+        for i in range(writers):
+            sched.spawn(writer(rw, data, 100 + i), name=f"w{i}")
+        return sched.run(), rw, snapshot
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_deadlock_no_race(self, seed):
+        run, rw, _ = self._run(seed)
+        assert run.ok, (run.failures, run.deadlock)
+        assert run.races == []
+
+    def test_readers_overlap(self):
+        overlapped = any(self._run(seed)[1].max_concurrent_readers >= 2 for seed in range(12))
+        assert overlapped, "readers should sometimes share the lock"
+
+    def test_readers_see_consistent_values(self):
+        for seed in range(8):
+            _, _, snapshot = self._run(seed)
+            assert all(v in (0, 100, 101) for v in snapshot)
+
+    def test_writer_exclusion_verified_by_explorer(self):
+        from repro.interleave import explore
+
+        def factory(policy):
+            sched = Scheduler(policy=policy, detect_races=False)
+            rw = VRWLock()
+            inside = SharedVar("inside", 0)
+            bad = []
+
+            def writer(rw, inside):
+                yield from rw.acquire_write()
+                before = yield inside.fetch_add(1)
+                if before != 0:
+                    bad.append(before)
+                yield inside.fetch_add(-1)
+                yield from rw.release_write()
+
+            for i in range(2):
+                sched.spawn(writer(rw, inside), name=f"w{i}")
+
+            def check(run):
+                return f"two writers inside: {bad}" if bad else None
+
+            return sched, check
+
+        result = explore(factory, max_schedules=400)
+        assert result.clean, result.summary()
+
+
+class TestQuota:
+    def test_quota_blocks_oversized_write(self, tmp_path):
+        fm = FileManager(tmp_path / "h", quota_bytes=100)
+        fm.write("u", "a.bin", b"x" * 60)
+        with pytest.raises(FileManagerError, match="quota"):
+            fm.write("u", "b.bin", b"x" * 60)
+        fm.write("u", "b.bin", b"x" * 30)  # still room for this
+
+    def test_quota_blocks_copy(self, tmp_path):
+        fm = FileManager(tmp_path / "h", quota_bytes=100)
+        fm.write("u", "a.bin", b"x" * 60)
+        with pytest.raises(FileManagerError, match="quota"):
+            fm.copy("u", "a.bin", "b.bin")
+
+    def test_quota_is_per_user(self, tmp_path):
+        fm = FileManager(tmp_path / "h", quota_bytes=100)
+        fm.write("u1", "a.bin", b"x" * 90)
+        fm.write("u2", "a.bin", b"x" * 90)  # independent allowance
+
+    def test_invalid_quota_rejected(self, tmp_path):
+        with pytest.raises(FileManagerError):
+            FileManager(tmp_path / "h", quota_bytes=0)
+
+    def test_quota_endpoint(self, tmp_path):
+        app = make_default_app(str(tmp_path / "homes"), cluster_spec=ClusterSpec.small(),
+                               quota_bytes=1000)
+        c = PortalClient(app=app)
+        c.login("admin", "admin-pass")
+        c.write_file("f.txt", "x" * 100)
+        info = c.quota()
+        assert info["used_bytes"] >= 100 and info["quota_bytes"] == 1000
+
+
+class TestAccountingAndPassword:
+    def test_accounting_requires_privilege(self, student_client):
+        with pytest.raises(PortalError, match="403"):
+            student_client.cluster_accounting()
+
+    def test_accounting_lists_finished_jobs(self, portal_app, admin_client, student_client):
+        student_client.write_file("j.c", '#include <stdio.h>\nint main(void){ printf("x\\n"); return 0; }\n')
+        resp = student_client.submit_job("j.c")
+        student_client.wait_for_job(resp["job"]["id"], timeout=60)
+        acct = admin_client.cluster_accounting()
+        assert acct["summary"]["jobs_finished"] >= 1
+        assert any(r["owner"] == "alice" for r in acct["records"])
+
+    def test_password_change_endpoint(self, portal_app, admin_client):
+        admin_client.create_user("rotator", "oldpass1")
+        c = PortalClient(app=portal_app)
+        c.login("rotator", "oldpass1")
+        c.change_password("oldpass1", "newpass2")
+        c2 = PortalClient(app=portal_app)
+        with pytest.raises(PortalError, match="401"):
+            c2.login("rotator", "oldpass1")
+        c2.login("rotator", "newpass2")
+
+    def test_password_change_requires_old(self, portal_app, admin_client):
+        admin_client.create_user("victim", "goodpass1")
+        c = PortalClient(app=portal_app)
+        c.login("victim", "goodpass1")
+        with pytest.raises(PortalError, match="401"):
+            c.change_password("wrong", "hacked99")

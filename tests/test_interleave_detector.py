@@ -1,0 +1,143 @@
+"""Lockset race detector behaviour."""
+
+from repro.interleave import (
+    LockAnnounce,
+    Nop,
+    Scheduler,
+    SharedVar,
+    VMutex,
+)
+
+
+def run_threads(*bodies, seed=0, detect=True):
+    sched = Scheduler(seed=seed, detect_races=detect)
+    for i, b in enumerate(bodies):
+        sched.spawn(b, name=f"t{i}")
+    return sched.run()
+
+
+class TestRaceDetection:
+    def test_unprotected_shared_write_reported(self):
+        var = SharedVar("v", 0)
+
+        def writer(var):
+            for _ in range(5):
+                x = yield var.read()
+                yield var.write(x + 1)
+
+        run = run_threads(writer(var), writer(var), seed=3)
+        assert any("v" in r.var_name for r in run.races)
+
+    def test_consistent_lock_suppresses_report(self):
+        var = SharedVar("v", 0)
+        lock = VMutex("m")
+
+        def writer(var, lock):
+            for _ in range(5):
+                yield lock.acquire()
+                x = yield var.read()
+                yield var.write(x + 1)
+                yield lock.release()
+
+        run = run_threads(writer(var, lock), writer(var, lock), seed=3)
+        assert run.races == []
+
+    def test_single_thread_never_races(self):
+        var = SharedVar("v", 0)
+
+        def solo(var):
+            for _ in range(10):
+                x = yield var.read()
+                yield var.write(x + 1)
+
+        run = run_threads(solo(var), seed=0)
+        assert run.races == []
+
+    def test_read_only_sharing_not_reported(self):
+        var = SharedVar("v", 42)
+
+        def reader(var):
+            total = 0
+            for _ in range(5):
+                total += yield var.read()
+            return total
+
+        run = run_threads(reader(var), reader(var), seed=1)
+        assert run.races == []
+        assert set(run.returns.values()) == {210}
+
+    def test_atomic_rmw_not_reported(self):
+        var = SharedVar("v", 0)
+
+        def adder(var):
+            for _ in range(10):
+                yield var.fetch_add(1)
+
+        run = run_threads(adder(var), adder(var), seed=2)
+        assert run.races == []
+        assert var.value == 20  # fetch_add is atomic: no lost updates
+
+    def test_sync_flagged_var_exempt(self):
+        flag = SharedVar("flag", False, sync=True)
+
+        def toggler(flag):
+            for _ in range(5):
+                v = yield flag.read()
+                yield flag.write(not v)
+
+        run = run_threads(toggler(flag), toggler(flag), seed=4)
+        assert run.races == []
+
+    def test_lock_announce_counts_as_lock(self):
+        var = SharedVar("v", 0)
+
+        class FakeLock:
+            name = "homegrown"
+
+        lk = FakeLock()
+
+        def writer(var):
+            for _ in range(5):
+                yield LockAnnounce(lk, True)
+                x = yield var.read()
+                yield var.write(x + 1)
+                yield LockAnnounce(lk, False)
+
+        run = run_threads(writer(var), writer(var), seed=3)
+        assert run.races == []
+
+    def test_each_var_reported_once(self):
+        var = SharedVar("v", 0)
+
+        def writer(var):
+            for _ in range(20):
+                x = yield var.read()
+                yield Nop()
+                yield var.write(x + 1)
+
+        run = run_threads(writer(var), writer(var), seed=5)
+        assert len([r for r in run.races if r.var_name == "v"]) <= 1
+
+    def test_report_lists_both_threads(self):
+        var = SharedVar("shared", 0)
+
+        def writer(var):
+            for _ in range(5):
+                x = yield var.read()
+                yield var.write(x + 1)
+
+        run = run_threads(writer(var), writer(var), seed=3)
+        assert run.races, "expected a race report"
+        assert set(run.races[0].threads) == {"t0", "t1"}
+        assert "shared" in str(run.races[0])
+
+    def test_detection_can_be_disabled(self):
+        var = SharedVar("v", 0)
+
+        def writer(var):
+            for _ in range(5):
+                x = yield var.read()
+                yield var.write(x + 1)
+
+        run = run_threads(writer(var), writer(var), seed=3, detect=False)
+        assert run.races == []

@@ -1,0 +1,226 @@
+"""Semaphores, conditions, barriers, spin locks."""
+
+import pytest
+
+from repro.interleave import (
+    Nop,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SharedVar,
+    TASLock,
+    TTASLock,
+    VBarrier,
+    VCondition,
+    VMutex,
+    VSemaphore,
+)
+
+
+class TestSemaphore:
+    def test_counting_limits_concurrency(self):
+        sched = Scheduler(seed=4, detect_races=False)
+        sem = VSemaphore("s", 2)
+        inside = SharedVar("inside", 0)
+        peaks = []
+
+        def body(sem, inside):
+            yield sem.p()
+            v = yield inside.read()
+            yield inside.write(v + 1)
+            peaks.append(v + 1)
+            yield Nop()
+            v = yield inside.read()
+            yield inside.write(v - 1)
+            yield sem.v()
+
+        for i in range(6):
+            sched.spawn(body(sem, inside), name=f"t{i}")
+        run = sched.run()
+        assert run.ok and max(peaks) <= 2
+
+    def test_fifo_wakeup(self):
+        sched = Scheduler(policy=RoundRobinPolicy(), detect_races=False)
+        sem = VSemaphore("s", 0)
+        order = []
+
+        def waiter(name, sem):
+            yield sem.p()
+            order.append(name)
+
+        def signaller(sem, n):
+            for _ in range(n):
+                yield Nop()
+                yield sem.v()
+
+        for n in ("a", "b", "c"):
+            sched.spawn(waiter(n, sem), name=n)
+        sched.spawn(signaller(sem, 3), name="sig")
+        run = sched.run()
+        assert run.ok and order == ["a", "b", "c"]
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            VSemaphore("s", -1)
+
+    def test_posix_aliases(self):
+        sem = VSemaphore("s", 1)
+        assert sem.wait().sem is sem
+        assert sem.post().sem is sem
+
+
+class TestCondition:
+    def test_wait_requires_held_mutex(self):
+        sched = Scheduler(seed=0)
+        m = VMutex("m")
+        c = VCondition(m, "c")
+
+        def bad(c):
+            yield c.wait()
+
+        sched.spawn(bad(c), name="bad")
+        run = sched.run()
+        assert "bad" in run.failures
+
+    def test_notify_one_wakes_single_waiter(self):
+        sched = Scheduler(policy=RoundRobinPolicy(), detect_races=False)
+        m = VMutex("m")
+        c = VCondition(m, "c")
+        flag = SharedVar("flag", False)
+        woken = []
+
+        def waiter(name):
+            yield m.acquire()
+            while True:
+                f = yield flag.read()
+                if f:
+                    break
+                yield c.wait()
+            woken.append(name)
+            yield m.release()
+
+        def notifier():
+            yield Nop()
+            yield m.acquire()
+            yield flag.write(True)
+            yield c.notify_all()
+            yield m.release()
+
+        for n in ("w1", "w2"):
+            sched.spawn(waiter(n), name=n)
+        sched.spawn(notifier(), name="n")
+        run = sched.run()
+        assert run.ok and sorted(woken) == ["w1", "w2"]
+
+    def test_lost_wakeup_without_predicate_recheck(self):
+        """Classic bug: notify before wait -> waiter sleeps forever."""
+        sched = Scheduler(policy=RoundRobinPolicy(), detect_races=False)
+        m = VMutex("m")
+        c = VCondition(m, "c")
+
+        def notifier_first():
+            yield m.acquire()
+            yield c.notify_one()  # nobody waiting yet: signal lost
+            yield m.release()
+
+        def late_waiter():
+            yield Nop()
+            yield Nop()
+            yield m.acquire()
+            yield c.wait()  # no predicate recheck -> sleeps forever
+            yield m.release()
+
+        sched.spawn(notifier_first(), name="notifier")
+        sched.spawn(late_waiter(), name="waiter")
+        run = sched.run()
+        assert run.deadlocked  # the canonical lost-wakeup stall
+
+
+class TestBarrier:
+    def test_all_arrive_before_any_leaves(self):
+        sched = Scheduler(seed=7, detect_races=False)
+        bar = VBarrier(4)
+        arrived = []
+        departed = []
+
+        def body(i, bar):
+            arrived.append(i)
+            yield from bar.wait()
+            departed.append((i, len(arrived)))
+
+        for i in range(4):
+            sched.spawn(body(i, bar), name=f"t{i}")
+        run = sched.run()
+        assert run.ok
+        # by the time anyone departs, all four have arrived
+        assert all(n == 4 for _, n in departed)
+
+    def test_barrier_reusable_across_generations(self):
+        sched = Scheduler(seed=1, detect_races=False)
+        bar = VBarrier(2)
+        log = []
+
+        def body(i, bar):
+            for round_ in range(3):
+                yield from bar.wait()
+                log.append((round_, i))
+
+        for i in range(2):
+            sched.spawn(body(i, bar), name=f"t{i}")
+        run = sched.run()
+        assert run.ok
+        rounds = [r for r, _ in log]
+        assert rounds == sorted(rounds)  # generations strictly ordered
+
+    def test_invalid_parties_rejected(self):
+        with pytest.raises(ValueError):
+            VBarrier(0)
+
+
+class TestSpinLocks:
+    @pytest.mark.parametrize("lock_cls", [TASLock, TTASLock])
+    def test_spinlock_provides_mutual_exclusion(self, lock_cls):
+        sched = Scheduler(seed=11)
+        lock = lock_cls()
+        var = SharedVar("c", 0)
+
+        def body(var, lock):
+            for _ in range(10):
+                yield from lock.acquire()
+                v = yield var.read()
+                yield var.write(v + 1)
+                yield from lock.release()
+
+        for i in range(3):
+            sched.spawn(body(var, lock), name=f"t{i}")
+        run = sched.run()
+        assert run.ok and var.value == 30
+        assert not run.races  # LockAnnounce keeps the detector quiet
+        assert lock.acquisitions == 30
+
+    def test_ttas_reads_dominate_tas_attempts(self):
+        sched = Scheduler(seed=11)
+        lock = TTASLock()
+        var = SharedVar("c", 0)
+
+        def body(var, lock):
+            for _ in range(10):
+                yield from lock.acquire()
+                v = yield var.read()
+                yield var.write(v + 1)
+                yield from lock.release()
+
+        for i in range(4):
+            sched.spawn(body(var, lock), name=f"t{i}")
+        sched.run()
+        # TTAS only issues a TAS after observing the lock free.
+        assert lock.tas_attempts < lock.tas_attempts + lock.total_spins
+        assert lock.acquisitions == 40
+
+    def test_reset_restores_initial_state(self):
+        lock = TASLock("x")
+        lock.total_spins = 5
+        lock.acquisitions = 2
+        lock.flag._value = True
+        lock.reset()
+        assert lock.total_spins == 0 and lock.acquisitions == 0 and lock.flag.value is False

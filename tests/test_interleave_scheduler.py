@@ -1,0 +1,277 @@
+"""Scheduler semantics: ops, blocking, determinism, deadlock diagnosis."""
+
+import pytest
+
+from repro._errors import DeadlockError, SimulationError
+from repro.interleave import (
+    FixedPolicy,
+    Join,
+    Nop,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SharedVar,
+    VMutex,
+    VSemaphore,
+)
+
+
+def spawn_incrementers(sched, var, n_threads=2, iters=10, with_nop=True):
+    def body(var, iters):
+        for _ in range(iters):
+            v = yield var.read()
+            if with_nop:
+                yield Nop()
+            yield var.write(v + 1)
+
+    for i in range(n_threads):
+        sched.spawn(body(var, iters), name=f"t{i}")
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        outcomes = []
+        for _ in range(2):
+            sched = Scheduler(seed=1234)
+            var = SharedVar("c", 0)
+            spawn_incrementers(sched, var)
+            run = sched.run()
+            outcomes.append((var.value, run.steps, tuple(run.choice_trace)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seeds_explore_different_interleavings(self):
+        finals = set()
+        for seed in range(12):
+            sched = Scheduler(seed=seed)
+            var = SharedVar("c", 0)
+            spawn_incrementers(sched, var, iters=20)
+            sched.run()
+            finals.add(var.value)
+        assert len(finals) > 1  # races visible across seeds
+
+    def test_fixed_policy_replays_choice_trace(self):
+        sched = Scheduler(seed=5)
+        var = SharedVar("c", 0)
+        spawn_incrementers(sched, var)
+        run = sched.run()
+        replay = Scheduler(policy=FixedPolicy([c for _, c in run.choice_trace]))
+        var2 = SharedVar("c", 0)
+        spawn_incrementers(replay, var2)
+        replay.run()
+        assert var2.value == var.value
+
+
+class TestPolicies:
+    def test_round_robin_rotates(self):
+        sched = Scheduler(policy=RoundRobinPolicy(), detect_races=False)
+        order = []
+
+        def body(name):
+            for _ in range(3):
+                order.append(name)
+                yield Nop()
+
+        for n in ("a", "b", "c"):
+            sched.spawn(body(n), name=n)
+        sched.run()
+        assert order[:6] == ["a", "b", "c", "a", "b", "c"]
+
+    def test_policy_out_of_range_is_error(self):
+        class Bad:
+            def choose(self, runnable, step):
+                return 99
+
+        sched = Scheduler(policy=Bad())
+        sched.spawn((Nop() for _ in range(1)), name="x")
+        with pytest.raises(SimulationError):
+            sched.run()
+
+
+class TestMutexSemantics:
+    def test_mutual_exclusion_holds(self):
+        sched = Scheduler(seed=3)
+        var = SharedVar("c", 0)
+        lock = VMutex("m")
+
+        def body(var, lock):
+            for _ in range(25):
+                yield lock.acquire()
+                v = yield var.read()
+                yield Nop()
+                yield var.write(v + 1)
+                yield lock.release()
+
+        for i in range(3):
+            sched.spawn(body(var, lock), name=f"t{i}")
+        run = sched.run()
+        assert run.ok and var.value == 75
+
+    def test_release_not_held_fails_thread(self):
+        sched = Scheduler(seed=0)
+        lock = VMutex("m")
+
+        def thief(lock):
+            yield lock.release()
+
+        sched.spawn(thief(lock), name="thief")
+        run = sched.run()
+        assert "thief" in run.failures
+        assert isinstance(run.failures["thief"], SimulationError)
+
+    def test_self_deadlock_on_reacquire(self):
+        sched = Scheduler(seed=0)
+        lock = VMutex("m")
+
+        def recursive(lock):
+            yield lock.acquire()
+            yield lock.acquire()
+
+        sched.spawn(recursive(lock), name="r")
+        run = sched.run()
+        assert isinstance(run.failures["r"], DeadlockError)
+
+    def test_fifo_handoff_on_release(self):
+        sched = Scheduler(policy=RoundRobinPolicy(), detect_races=False)
+        lock = VMutex("m")
+        order = []
+
+        def body(name, lock):
+            yield lock.acquire()
+            order.append(name)
+            yield Nop()
+            yield lock.release()
+
+        for n in ("a", "b", "c"):
+            sched.spawn(body(n, lock), name=n)
+        run = sched.run()
+        assert run.ok and order == ["a", "b", "c"]
+
+    def test_dying_thread_releases_mutex(self):
+        sched = Scheduler(seed=0, policy=RoundRobinPolicy())
+        lock = VMutex("m")
+
+        def dies(lock):
+            yield lock.acquire()
+            raise RuntimeError("oops")
+
+        def waits(lock):
+            yield lock.acquire()
+            yield lock.release()
+            return "got it"
+
+        sched.spawn(dies(lock), name="dies")
+        sched.spawn(waits(lock), name="waits")
+        run = sched.run()
+        assert run.returns.get("waits") == "got it"
+        assert "dies" in run.failures
+
+
+class TestDeadlockDiagnosis:
+    @staticmethod
+    def _ab_ba(sched):
+        a, b = VMutex("A"), VMutex("B")
+
+        def t1():
+            yield a.acquire()
+            yield Nop()
+            yield b.acquire()
+
+        def t2():
+            yield b.acquire()
+            yield Nop()
+            yield a.acquire()
+
+        sched.spawn(t1(), name="p")
+        sched.spawn(t2(), name="q")
+
+    def test_deadlock_reported_with_cycle(self):
+        # Interleave p and q strictly: p takes A, q takes B, then both block.
+        sched = Scheduler(policy=RoundRobinPolicy(), detect_races=False)
+        self._ab_ba(sched)
+        run = sched.run()
+        assert run.deadlocked
+        names = {n for n, _ in run.deadlock.cycle}
+        assert names == {"p", "q"}
+
+    def test_raise_on_deadlock_flag(self):
+        sched = Scheduler(policy=RoundRobinPolicy(), detect_races=False)
+        self._ab_ba(sched)
+        with pytest.raises(DeadlockError):
+            sched.run(raise_on_deadlock=True)
+
+    def test_lost_signal_reported_without_cycle(self):
+        sched = Scheduler(seed=0)
+        sem = VSemaphore("s", 0)
+
+        def starved(sem):
+            yield sem.p()
+
+        sched.spawn(starved(sem), name="starved")
+        run = sched.run()
+        assert run.deadlocked and run.deadlock.cycle == []
+        assert "lost signal" in str(run.deadlock)
+
+
+class TestJoinAndReturns:
+    def test_join_returns_value(self):
+        sched = Scheduler(seed=0)
+
+        def child():
+            yield Nop()
+            return 99
+
+        def parent(sched):
+            c = sched.spawn(child(), name="child")
+            value = yield Join(c)
+            return value + 1
+
+        def make(sched):
+            sched.spawn(parent(sched), name="parent")
+
+        make(sched)
+        run = sched.run()
+        assert run.returns["parent"] == 100
+
+    def test_join_rethrows_child_exception(self):
+        sched = Scheduler(seed=0)
+
+        def child():
+            yield Nop()
+            raise ValueError("child blew up")
+
+        def parent(sched):
+            c = sched.spawn(child(), name="child")
+            try:
+                yield Join(c)
+            except ValueError as exc:
+                return f"handled: {exc}"
+
+        sched.spawn(parent(sched), name="parent")
+        run = sched.run()
+        assert run.returns["parent"] == "handled: child blew up"
+
+    def test_spawn_non_generator_rejected(self):
+        sched = Scheduler(seed=0)
+        with pytest.raises(SimulationError):
+            sched.spawn(42)
+
+    def test_yield_non_op_fails_thread(self):
+        sched = Scheduler(seed=0)
+
+        def bad():
+            yield "not an op"
+
+        sched.spawn(bad(), name="bad")
+        run = sched.run()
+        assert "bad" in run.failures
+
+    def test_max_steps_sets_bounded(self):
+        sched = Scheduler(seed=0, max_steps=10)
+
+        def spinner():
+            while True:
+                yield Nop()
+
+        sched.spawn(spinner(), name="s")
+        run = sched.run()
+        assert run.bounded and not run.completed

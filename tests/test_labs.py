@@ -1,0 +1,211 @@
+"""The seven course labs: broken variants misbehave, fixed variants are correct."""
+
+import pytest
+
+from repro.labs import get_lab, lab_ids, registry
+from repro.labs.lab5_bank import (
+    EXPECTED,
+    run_all_steps,
+    step_i_sequential,
+    step_iv_joined_threads,
+    step_v_concurrent_threads,
+    step_vi_mutex_threads,
+)
+from repro.labs.lab6_philosophers import (
+    build_program,
+    explore_fixed,
+    find_deadlock_witness,
+)
+
+SEEDS = range(6)
+
+
+class TestRegistry:
+    def test_all_seven_labs_registered(self):
+        assert lab_ids() == [f"lab{i}" for i in range(1, 8)]
+
+    def test_lab_metadata(self):
+        for lab in registry.values():
+            assert lab.title and lab.chapter
+            assert "broken" in lab.variants and "fixed" in lab.variants
+
+    def test_unknown_lab_raises(self):
+        from repro._errors import LabError
+
+        with pytest.raises(LabError):
+            get_lab("lab99")
+
+    def test_unknown_variant_raises(self):
+        from repro._errors import LabError
+
+        with pytest.raises(LabError):
+            get_lab("lab1").run("nonexistent")
+
+
+@pytest.mark.parametrize("lab_id", [f"lab{i}" for i in range(1, 8)])
+class TestFixedVariantsAlwaysPass:
+    def test_fixed_passes_across_seeds(self, lab_id):
+        lab = get_lab(lab_id)
+        for seed in SEEDS:
+            result = lab.run("fixed", seed)
+            assert result.passed, f"{lab_id} fixed failed at seed {seed}: {result}"
+
+
+class TestBrokenVariantsMisbehave:
+    @pytest.mark.parametrize("lab_id", ["lab1", "lab2", "lab3", "lab4", "lab5"])
+    def test_broken_fails_at_common_seeds(self, lab_id):
+        lab = get_lab(lab_id)
+        assert not all(lab.run("broken", s).passed for s in SEEDS)
+
+    def test_lab6_broken_deadlocks_under_witness_search(self):
+        assert find_deadlock_witness() is not None
+
+    def test_lab7_broken_loses_or_reorders_items(self):
+        lab = get_lab("lab7")
+        assert not all(lab.run("broken", s).passed for s in range(8))
+
+
+class TestLab1:
+    def test_broken_loses_updates_and_reports_race(self):
+        result = get_lab("lab1").run("broken", seed=0)
+        assert result.observations["lost_updates"] > 0
+        assert result.observations["races_detected"] >= 1
+
+    def test_fixed_exact_count_no_races(self):
+        result = get_lab("lab1").run("fixed", seed=0)
+        assert result.observations["final_count"] == result.observations["expected"]
+        assert result.observations["races_detected"] == 0
+
+
+class TestLab2:
+    def test_fixed_counts_coherence_traffic(self):
+        result = get_lab("lab2").run("fixed", seed=1)
+        assert result.passed
+        assert result.observations["invalidations"] > 0
+        assert result.observations["spins"] >= 0
+
+    def test_ttas_reduces_invalidations_vs_tas(self):
+        lab = get_lab("lab2")
+        tas = lab.run("fixed", seed=1).observations["invalidations"]
+        ttas = lab.run("fixed_ttas", seed=1).observations["invalidations"]
+        assert ttas < tas
+
+    def test_broken_detects_race_on_shared_data(self):
+        result = get_lab("lab2").run("broken", seed=0)
+        assert result.observations["races_detected"] >= 1
+
+
+class TestLab3:
+    def test_fixed_shows_numa_penalty(self):
+        result = get_lab("lab3").run("fixed", seed=0)
+        assert result.observations["numa_penalty"] > 1.5
+        assert result.observations["remote_penalty"] > 1.0
+
+    def test_broken_shows_no_penalty(self):
+        result = get_lab("lab3").run("broken", seed=0)
+        assert result.observations["numa_penalty"] == pytest.approx(1.0)
+
+
+class TestLab4:
+    def test_fixed_copies_file_faithfully(self, tmp_path):
+        from repro.labs.lab4_prodcons import run_fixed
+
+        result = run_fixed(seed=3)
+        assert result.observations["faithful_copy"]
+
+    def test_broken_corrupts_for_some_seed(self):
+        from repro.labs.lab4_prodcons import run_broken
+
+        assert any(not run_broken(s).observations["faithful_copy"] for s in SEEDS)
+
+    def test_input_file_format(self, tmp_path):
+        from repro.labs.lab4_prodcons import make_input_file
+
+        path = make_input_file(tmp_path, numbers=[5, 6, 7])
+        tokens = [int(t) for t in path.read_text().split()]
+        assert tokens == [5, 6, 7, -1]
+
+
+class TestLab5BankSteps:
+    def test_sequential_always_correct(self):
+        assert step_i_sequential() == EXPECTED
+
+    def test_joined_threads_correct(self):
+        assert all(step_iv_joined_threads(s) == EXPECTED for s in SEEDS)
+
+    def test_concurrent_threads_wrong_somewhere(self):
+        results = {step_v_concurrent_threads(s) for s in SEEDS}
+        assert any(r != EXPECTED for r in results)
+
+    def test_concurrent_varies_run_to_run(self):
+        # The paper: "Run the program several times. Do you see different
+        # result?" — yes.
+        results = {step_v_concurrent_threads(s) for s in range(10)}
+        assert len(results) > 1
+
+    def test_mutex_restores_correctness(self):
+        assert all(step_vi_mutex_threads(s) == EXPECTED for s in SEEDS)
+
+    def test_run_all_steps_narrative(self):
+        steps = run_all_steps(seed=1)
+        assert steps["i_sequential"] == EXPECTED
+        assert steps["iv_joined"] == EXPECTED
+        assert steps["vi_mutex"] == EXPECTED
+
+
+class TestLab6Philosophers:
+    def test_fixed_exploration_is_clean(self):
+        result = explore_fixed(max_schedules=300)
+        assert result.clean
+
+    def test_deadlock_cycle_names_philosophers(self):
+        from repro.interleave import RandomPolicy
+
+        seed = find_deadlock_witness()
+        sched, _ = build_program(RandomPolicy(seed), ordered=False)
+        run = sched.run()
+        assert run.deadlocked
+        assert len(run.deadlock.cycle) == 5  # all five in the hold-wait cycle
+
+    def test_event_log_records_requests_and_allocations(self):
+        from repro.interleave import RandomPolicy
+        from repro.interleave.scheduler import Scheduler
+        from repro.labs.lab6_philosophers import philosopher
+        from repro.interleave.primitives import VMutex
+
+        sched = Scheduler(policy=RandomPolicy(1), detect_races=False)
+        forks = [VMutex(f"fork{i}") for i in range(5)]
+        log = []
+        for i in range(5):
+            sched.spawn(philosopher(i, forks, log, 1, False), name=f"P{i}")
+        run = sched.run()
+        if run.ok:
+            assert any("requests" in line for line in log)
+            assert any("allocated" in line for line in log)
+            assert any("releases" in line for line in log)
+
+
+class TestLab7BoundedBuffer:
+    def test_both_fixes_work(self):
+        lab = get_lab("lab7")
+        for variant in ("fixed", "fixed_semaphore"):
+            for seed in SEEDS:
+                assert lab.run(variant, seed).passed
+
+    def test_fixed_delivers_in_order(self):
+        result = get_lab("lab7").run("fixed", seed=2)
+        assert result.observations["in_order"]
+
+    def test_broken_observations_explain_failure(self):
+        lab = get_lab("lab7")
+        failing = [lab.run("broken", s) for s in range(8) if not lab.run("broken", s).passed]
+        assert failing
+        obs = failing[0].observations
+        assert (not obs["in_order"]) or obs["deadlocked"] or obs["consumed"] < obs["expected"]
+
+
+class TestDemonstrate:
+    def test_demonstrate_runs_all_variants(self):
+        demo = get_lab("lab1").demonstrate(seeds=range(3))
+        assert set(demo) == {"broken", "fixed"}
+        assert len(demo["broken"]) == 3

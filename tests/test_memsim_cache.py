@@ -1,0 +1,80 @@
+"""Cache geometry, LRU, and state bookkeeping."""
+
+import pytest
+
+from repro.memsim import Cache, CacheConfig, LineState
+
+
+class TestConfig:
+    def test_size_computation(self):
+        cfg = CacheConfig(sets=64, ways=2, line_size=64)
+        assert cfg.size_bytes == 8192
+
+    @pytest.mark.parametrize("field", ["sets", "ways", "line_size"])
+    def test_non_power_of_two_rejected(self, field):
+        with pytest.raises(ValueError):
+            CacheConfig(**{field: 3})
+
+    def test_split_roundtrip(self):
+        cfg = CacheConfig(sets=16, ways=2, line_size=32)
+        addr = 5 * 32 * 16 + 7 * 32 + 13  # tag=5, set=7, offset=13
+        set_idx, tag = cfg.split(addr)
+        assert (set_idx, tag) == (7, 5)
+        assert cfg.line_address(addr) == addr - 13
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(CacheConfig())
+        assert cache.lookup(0) is None
+        cache.fill(0, LineState.SHARED)
+        line = cache.lookup(0)
+        assert line is not None and line.state is LineState.SHARED
+
+    def test_same_line_different_offsets_hit(self):
+        cfg = CacheConfig(line_size=64)
+        cache = Cache(cfg)
+        cache.fill(cfg.line_address(100), LineState.EXCLUSIVE)
+        assert cache.lookup(cfg.line_address(70)) is not None  # same line as 100? no!
+        # addresses 64..127 share one line:
+        assert cache.lookup(cfg.line_address(127)) is not None
+
+    def test_lru_evicts_least_recent(self):
+        cfg = CacheConfig(sets=1, ways=2, line_size=16)
+        cache = Cache(cfg)
+        cache.fill(0 * 16, LineState.SHARED)     # A
+        cache.fill(1 * 16, LineState.SHARED)     # B
+        line_a = cache.lookup(0)
+        cache.touch(line_a)                      # A is now MRU
+        cache.fill(2 * 16, LineState.SHARED)     # evicts B (LRU)
+        assert cache.lookup(0 * 16) is not None
+        assert cache.lookup(1 * 16) is None
+        assert cache.lookup(2 * 16) is not None
+
+    def test_modified_eviction_reports_writeback(self):
+        cfg = CacheConfig(sets=1, ways=1, line_size=16)
+        cache = Cache(cfg)
+        cache.fill(0, LineState.MODIFIED)
+        _, wrote_back = cache.fill(16, LineState.SHARED)
+        assert wrote_back and cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cfg = CacheConfig(sets=1, ways=1, line_size=16)
+        cache = Cache(cfg)
+        cache.fill(0, LineState.SHARED)
+        _, wrote_back = cache.fill(16, LineState.SHARED)
+        assert not wrote_back and cache.evictions == 1
+
+    def test_invalidate_removes_line(self):
+        cache = Cache(CacheConfig())
+        cache.fill(0, LineState.SHARED)
+        assert cache.invalidate(0)
+        assert cache.state_of(0) is LineState.INVALID
+        assert not cache.invalidate(0)  # second invalidate is a no-op
+
+    def test_occupancy_counts_valid_lines(self):
+        cfg = CacheConfig(sets=4, ways=2, line_size=16)
+        cache = Cache(cfg)
+        for i in range(5):
+            cache.fill(i * 16, LineState.SHARED)
+        assert cache.occupancy == 5

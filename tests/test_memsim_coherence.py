@@ -1,0 +1,141 @@
+"""MESI protocol transitions and traffic accounting."""
+
+import pytest
+
+from repro._errors import SimulationError
+from repro.memsim import CoherentSystem, CostModel, LineState
+
+
+@pytest.fixture
+def system():
+    return CoherentSystem(4)
+
+
+class TestMesiTransitions:
+    def test_first_read_installs_exclusive(self, system):
+        system.read(0, 0)
+        assert system.line_states(0)[0] is LineState.EXCLUSIVE
+
+    def test_second_reader_downgrades_to_shared(self, system):
+        system.read(0, 0)
+        system.read(1, 0)
+        states = system.line_states(0)
+        assert states[0] is LineState.SHARED and states[1] is LineState.SHARED
+
+    def test_write_to_exclusive_is_silent_upgrade(self, system):
+        system.read(0, 0)
+        before = system.stats.total_transactions
+        system.write(0, 0)
+        assert system.line_states(0)[0] is LineState.MODIFIED
+        assert system.stats.total_transactions == before  # no bus traffic
+
+    def test_write_to_shared_sends_upgrade_and_invalidates(self, system):
+        system.read(0, 0)
+        system.read(1, 0)
+        system.write(0, 0)
+        states = system.line_states(0)
+        assert states[0] is LineState.MODIFIED
+        assert states[1] is LineState.INVALID
+        assert system.stats.bus_upgr == 1
+        assert system.stats.invalidations == 1
+
+    def test_write_miss_invalidates_all_copies(self, system):
+        for core in range(3):
+            system.read(core, 0)
+        system.write(3, 0)
+        states = system.line_states(0)
+        assert states[3] is LineState.MODIFIED
+        assert all(s is LineState.INVALID for s in states[:3])
+        assert system.stats.invalidations == 3
+
+    def test_read_of_modified_flushes_owner(self, system):
+        system.write(0, 0)
+        system.read(1, 0)
+        states = system.line_states(0)
+        assert states[0] is LineState.SHARED and states[1] is LineState.SHARED
+        assert system.stats.flushes == 1
+        assert system.stats.memory_writes >= 1
+
+    def test_rmw_behaves_like_write(self, system):
+        system.read(1, 0)
+        system.rmw(0, 0)
+        states = system.line_states(0)
+        assert states[0] is LineState.MODIFIED and states[1] is LineState.INVALID
+
+
+class TestInvariants:
+    def test_swmr_holds_under_mixed_traffic(self, system):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            core = int(rng.integers(0, 4))
+            addr = int(rng.integers(0, 8)) * 64
+            if rng.random() < 0.5:
+                system.read(core, addr)
+            else:
+                system.write(core, addr)
+            system.check_invariants()
+
+    def test_invalid_core_rejected(self, system):
+        with pytest.raises(SimulationError):
+            system.read(7, 0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(SimulationError):
+            CoherentSystem(0)
+
+
+class TestTiming:
+    def test_hit_cheaper_than_miss(self):
+        system = CoherentSystem(2, costs=CostModel())
+        miss_latency = system.read(0, 0)
+        hit_latency = system.read(0, 0)
+        assert hit_latency < miss_latency
+
+    def test_cache_to_cache_cheaper_than_memory(self):
+        costs = CostModel(cache_to_cache=30, memory_access=60)
+        system = CoherentSystem(2, costs=costs)
+        from_memory = system.read(0, 0)
+        from_cache = system.read(1, 0)
+        assert from_cache < from_memory
+
+    def test_per_core_cycles_accumulate(self):
+        system = CoherentSystem(2)
+        system.read(0, 0)
+        system.read(1, 64)
+        assert system.per_core_cycles[0] > 0
+        assert system.per_core_cycles[1] > 0
+        assert system.cycles == sum(system.per_core_cycles)
+
+    def test_report_keys(self):
+        system = CoherentSystem(2)
+        system.write(0, 0)
+        report = system.report()
+        for key in ("cycles", "hits", "misses", "invalidations", "total_transactions"):
+            assert key in report
+
+
+class TestTrafficPatterns:
+    def test_pingpong_writes_generate_invalidation_per_exchange(self):
+        system = CoherentSystem(2)
+        for _ in range(10):
+            system.write(0, 0)
+            system.write(1, 0)
+        # Each ownership change invalidates the other copy.
+        assert system.stats.invalidations >= 19
+
+    def test_private_lines_generate_no_invalidations(self):
+        system = CoherentSystem(4)
+        for core in range(4):
+            for _ in range(10):
+                system.write(core, core * 64)
+        assert system.stats.invalidations == 0
+
+    def test_false_sharing_visible(self):
+        """Two cores writing different bytes of ONE line still ping-pong."""
+        system = CoherentSystem(2)
+        for _ in range(10):
+            system.write(0, 0)   # byte 0
+            system.write(1, 8)   # byte 8, same 64-byte line
+        assert system.stats.invalidations >= 19

@@ -1,0 +1,114 @@
+"""UMA/NUMA machine model."""
+
+import numpy as np
+import pytest
+
+from repro._errors import SimulationError
+from repro.memsim import NumaConfig, NumaMachine, PagePlacement
+
+
+class TestGeometry:
+    def test_socket_of_core(self):
+        m = NumaMachine(NumaConfig(n_sockets=2, cores_per_socket=4))
+        assert m.socket_of_core(0) == 0
+        assert m.socket_of_core(3) == 0
+        assert m.socket_of_core(4) == 1
+
+    def test_core_out_of_range(self):
+        m = NumaMachine(NumaConfig(n_sockets=2, cores_per_socket=2))
+        with pytest.raises(SimulationError):
+            m.socket_of_core(4)
+
+    def test_ring_hop_distance(self):
+        m = NumaMachine(NumaConfig(n_sockets=4, cores_per_socket=1))
+        assert m.hop_distance(0, 0) == 0
+        assert m.hop_distance(0, 1) == 1
+        assert m.hop_distance(0, 2) == 2
+        assert m.hop_distance(0, 3) == 1  # ring wraps
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            NumaConfig(n_sockets=0)
+        with pytest.raises(ValueError):
+            NumaConfig(local_latency_ns=0)
+
+
+class TestPlacementPolicies:
+    def test_local_always_local_latency(self):
+        cfg = NumaConfig(n_sockets=2, local_latency_ns=100, hop_latency_ns=80)
+        m = NumaMachine(cfg, PagePlacement.LOCAL)
+        assert m.access(0, 5) == 100.0
+        assert m.access(7, 5) == 100.0  # other socket, still "local"
+
+    def test_remote_pays_hop_latency(self):
+        cfg = NumaConfig(n_sockets=2, local_latency_ns=100, hop_latency_ns=80)
+        m = NumaMachine(cfg, PagePlacement.REMOTE)
+        assert m.access(0, 5) == 180.0
+
+    def test_interleaved_alternates_homes(self):
+        cfg = NumaConfig(n_sockets=2, cores_per_socket=1)
+        m = NumaMachine(cfg, PagePlacement.INTERLEAVED)
+        assert m.home_of(0) == 0 and m.home_of(1) == 1 and m.home_of(2) == 0
+
+    def test_first_touch_claims_for_accessor(self):
+        cfg = NumaConfig(n_sockets=2, cores_per_socket=2)
+        m = NumaMachine(cfg, PagePlacement.FIRST_TOUCH)
+        assert m.home_of(9) == -1
+        m.access(2, 9)  # core 2 = socket 1
+        assert m.home_of(9) == 1
+        # second toucher does not steal the page
+        m.access(0, 9)
+        assert m.home_of(9) == 1
+
+    def test_explicit_pinning(self):
+        cfg = NumaConfig(n_sockets=2)
+        m = NumaMachine(cfg, PagePlacement.FIRST_TOUCH)
+        m.place_page(3, 1)
+        assert m.home_of(3) == 1
+        lat = m.access(0, 3)  # socket 0 reads socket 1's page
+        assert lat == cfg.local_latency_ns + cfg.hop_latency_ns
+
+    def test_uma_machine_flat_latency(self):
+        m = NumaMachine(NumaConfig(n_sockets=1, cores_per_socket=8), PagePlacement.FIRST_TOUCH)
+        assert m.is_uma()
+        lats = {m.access(c, p) for c in range(8) for p in range(10)}
+        assert lats == {m.config.local_latency_ns}
+
+
+class TestVectorisedAccess:
+    def test_block_matches_scalar(self):
+        cfg = NumaConfig(n_sockets=2, n_pages=64)
+        scalar = NumaMachine(cfg, PagePlacement.INTERLEAVED)
+        block = NumaMachine(cfg, PagePlacement.INTERLEAVED)
+        pages = np.arange(64)
+        scalar_lats = np.array([scalar.access(0, int(p)) for p in pages])
+        block_lats = block.access_block(0, pages)
+        assert np.array_equal(scalar_lats, block_lats)
+        assert scalar.stats.accesses == block.stats.accesses
+        assert scalar.stats.total_latency_ns == pytest.approx(block.stats.total_latency_ns)
+
+    def test_block_first_touch_claims_pages(self):
+        cfg = NumaConfig(n_sockets=2, cores_per_socket=2, n_pages=32)
+        m = NumaMachine(cfg, PagePlacement.FIRST_TOUCH)
+        m.access_block(3, np.arange(16))  # core 3 = socket 1
+        assert all(m.home_of(p) == 1 for p in range(16))
+
+    def test_block_out_of_range_rejected(self):
+        m = NumaMachine(NumaConfig(n_pages=16))
+        with pytest.raises(SimulationError):
+            m.access_block(0, np.array([99]))
+
+    def test_empty_block_ok(self):
+        m = NumaMachine()
+        assert m.access_block(0, np.array([], dtype=np.int64)).size == 0
+
+
+class TestStats:
+    def test_remote_fraction(self):
+        cfg = NumaConfig(n_sockets=2, n_pages=100)
+        m = NumaMachine(cfg, PagePlacement.INTERLEAVED)
+        m.access_block(0, np.arange(100))
+        assert m.stats.remote_fraction == pytest.approx(0.5)
+        assert m.stats.mean_latency_ns == pytest.approx(
+            cfg.local_latency_ns + 0.5 * cfg.hop_latency_ns
+        )

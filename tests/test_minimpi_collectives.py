@@ -1,0 +1,248 @@
+"""Collective-operation semantics across world sizes."""
+
+import numpy as np
+import pytest
+
+from repro.minimpi import MAX, MIN, PROD, SUM, MPIFailure, run_mpi
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestPerSize:
+    def test_bcast_from_every_root(self, size):
+        def program(comm):
+            out = []
+            for root in range(comm.size):
+                value = f"msg-from-{root}" if comm.rank == root else None
+                out.append(comm.bcast(value, root=root))
+            return out
+
+        for vals in run_mpi(program, size):
+            assert vals == [f"msg-from-{r}" for r in range(size)]
+
+    def test_gather_scatter_roundtrip(self, size):
+        def program(comm):
+            gathered = comm.gather(comm.rank * 10, root=0)
+            if comm.rank == 0:
+                assert gathered == [r * 10 for r in range(comm.size)]
+                scattered = comm.scatter([x + 1 for x in gathered], root=0)
+            else:
+                assert gathered is None
+                scattered = comm.scatter(None, root=0)
+            return scattered
+
+        vals = run_mpi(program, size)
+        assert vals == [r * 10 + 1 for r in range(size)]
+
+    def test_allgather_rank_order(self, size):
+        def program(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        expected = [chr(ord("a") + r) for r in range(size)]
+        for vals in run_mpi(program, size):
+            assert vals == expected
+
+    def test_allreduce_sum(self, size):
+        def program(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        expected = size * (size + 1) // 2
+        assert run_mpi(program, size) == [expected] * size
+
+    def test_reduce_only_root_gets_value(self, size):
+        def program(comm):
+            return comm.reduce(comm.rank, root=0)
+
+        vals = run_mpi(program, size)
+        assert vals[0] == sum(range(size))
+        assert all(v is None for v in vals[1:])
+
+    def test_scan_prefix_sums(self, size):
+        def program(comm):
+            return comm.scan(1)
+
+        assert run_mpi(program, size) == list(range(1, size + 1))
+
+    def test_alltoall_personalised(self, size):
+        def program(comm):
+            sent = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            return comm.alltoall(sent)
+
+        vals = run_mpi(program, size)
+        for r, received in enumerate(vals):
+            assert received == [f"{s}->{r}" for s in range(size)]
+
+    def test_barrier_completes(self, size):
+        def program(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert run_mpi(program, size) == [True] * size
+
+
+class TestReduceOps:
+    def test_builtin_ops(self):
+        def program(comm):
+            return (
+                comm.allreduce(comm.rank + 1, SUM),
+                comm.allreduce(comm.rank + 1, PROD),
+                comm.allreduce(comm.rank + 1, MAX),
+                comm.allreduce(comm.rank + 1, MIN),
+            )
+
+        vals = run_mpi(program, 4)
+        assert vals[0] == (10, 24, 4, 1)
+
+    def test_numpy_elementwise_ops(self):
+        def program(comm):
+            arr = np.full(3, comm.rank, dtype=np.float64)
+            return comm.allreduce(arr, MAX)
+
+        vals = run_mpi(program, 3)
+        assert np.array_equal(vals[0], np.full(3, 2.0))
+
+    def test_custom_callable_op(self):
+        def program(comm):
+            return comm.allreduce([comm.rank], lambda a, b: a + b)
+
+        vals = run_mpi(program, 3)
+        assert vals[0] == [0, 1, 2]
+
+    def test_invalid_op_rejected(self):
+        def program(comm):
+            comm.allreduce(1, op="not-an-op")
+
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 2, timeout=10)
+
+
+class TestValidation:
+    def test_scatter_wrong_length_rejected(self):
+        def program(comm):
+            comm.scatter([1] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 3, timeout=10)
+
+    def test_bad_root_rejected(self):
+        def program(comm):
+            comm.bcast("x", root=99)
+
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 2, timeout=10)
+
+    def test_uppercase_bcast_reduce(self):
+        def program(comm):
+            arr = (
+                np.arange(4, dtype=np.float64)
+                if comm.rank == 0
+                else np.zeros(4, dtype=np.float64)
+            )
+            comm.Bcast(arr, root=0)
+            out = np.empty(4)
+            comm.Allreduce(arr, out)
+            return out
+
+        vals = run_mpi(program, 3)
+        assert np.array_equal(vals[1], np.arange(4) * 3)
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def program(comm):
+            sub = comm.split(comm.rank % 2)
+            return (sub.size, sub.allreduce(comm.rank))
+
+        vals = run_mpi(program, 6)
+        for r, (size, total) in enumerate(vals):
+            assert size == 3
+            assert total == (0 + 2 + 4 if r % 2 == 0 else 1 + 3 + 5)
+
+    def test_split_key_reorders_ranks(self):
+        def program(comm):
+            sub = comm.split(0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        vals = run_mpi(program, 4)
+        assert vals == [3, 2, 1, 0]
+
+    def test_messages_do_not_cross_communicators(self):
+        def program(comm):
+            sub = comm.split(comm.rank % 2)
+            # Same tags in both subcommunicators; traffic must not mix.
+            total = sub.allreduce(comm.rank)
+            world_total = comm.allreduce(comm.rank)
+            return (total, world_total)
+
+        vals = run_mpi(program, 4)
+        assert vals[0] == (2, 6) and vals[1] == (4, 6)
+
+
+class TestVariableCollectives:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5])
+    def test_scatterv_gatherv_roundtrip(self, size):
+        def program(comm):
+            counts = [i + 1 for i in range(comm.size)]
+            flat = list(range(sum(counts)))
+            mine = comm.scatterv(flat if comm.rank == 0 else None, counts)
+            assert len(mine) == comm.rank + 1
+            back = comm.gatherv(mine, root=0)
+            return back
+
+        vals = run_mpi(program, size)
+        counts = [i + 1 for i in range(size)]
+        assert vals[0] == list(range(sum(counts)))
+        assert all(v is None for v in vals[1:])
+
+    def test_scatterv_zero_counts_allowed(self):
+        def program(comm):
+            counts = [0, 3, 0]
+            return comm.scatterv([7, 8, 9] if comm.rank == 0 else None, counts)
+
+        vals = run_mpi(program, 3)
+        assert vals == [[], [7, 8, 9], []]
+
+    def test_scatterv_bad_counts_rejected(self):
+        def program(comm):
+            comm.scatterv([1, 2] if comm.rank == 0 else None, [1])  # wrong arity
+
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 2, timeout=10)
+
+    def test_scatterv_wrong_total_rejected(self):
+        def program(comm):
+            comm.scatterv([1] if comm.rank == 0 else None, [1, 2])
+
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 2, timeout=10)
+
+    def test_reduce_scatter_slots(self):
+        def program(comm):
+            return comm.reduce_scatter([comm.rank * 10 + i for i in range(comm.size)])
+
+        vals = run_mpi(program, 4)
+        # slot i = sum over ranks r of (10r + i)
+        assert vals == [60 + 4 * i for i in range(4)]
+
+    def test_reduce_scatter_wrong_arity(self):
+        def program(comm):
+            comm.reduce_scatter([1])
+
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 3, timeout=10)
+
+    def test_exscan_exclusive_prefix(self):
+        def program(comm):
+            return comm.exscan(comm.rank + 1)
+
+        vals = run_mpi(program, 5)
+        assert vals == [None, 1, 3, 6, 10]
+
+    def test_exscan_with_max_op(self):
+        def program(comm):
+            return comm.exscan([3, 1, 4, 1, 5][comm.rank], MAX)
+
+        vals = run_mpi(program, 5)
+        assert vals == [None, 3, 3, 4, 4]

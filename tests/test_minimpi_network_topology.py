@@ -1,0 +1,152 @@
+"""Network cost model and Cartesian topologies."""
+
+import math
+
+import pytest
+
+from repro._errors import MPIError, RankError
+from repro.minimpi import NetworkModel, Topology, dims_create, run_mpi
+
+
+class TestHops:
+    def test_flat_is_single_hop(self):
+        net = NetworkModel(topology=Topology.FLAT)
+        assert net.hops(0, 7, 8) == 1
+        assert net.hops(3, 3, 8) == 0
+
+    def test_ring_wraps(self):
+        net = NetworkModel(topology=Topology.RING)
+        assert net.hops(0, 1, 8) == 1
+        assert net.hops(0, 7, 8) == 1
+        assert net.hops(0, 4, 8) == 4
+
+    def test_grid2d_manhattan(self):
+        net = NetworkModel(topology=Topology.GRID2D)
+        # 3x3 grid: rank = row*3+col
+        assert net.hops(0, 8, 9) == 4  # (0,0)->(2,2)
+        assert net.hops(0, 1, 9) == 1
+
+    def test_hypercube_hamming(self):
+        net = NetworkModel(topology=Topology.HYPERCUBE)
+        assert net.hops(0b000, 0b111, 8) == 3
+        assert net.hops(0b010, 0b011, 8) == 1
+
+    def test_segmented_intra_vs_inter(self):
+        net = NetworkModel(topology=Topology.SEGMENTED, segment_size=16)
+        assert net.hops(0, 15, 64) == 1   # same segment
+        assert net.hops(0, 16, 64) == 3   # across the grid master
+
+    def test_rank_out_of_range(self):
+        net = NetworkModel()
+        with pytest.raises(MPIError):
+            net.hops(0, 9, 4)
+
+
+class TestCost:
+    def test_cost_formula(self):
+        net = NetworkModel(latency_us=2.0, bandwidth_bytes_per_us=100.0, overhead_us=0.5)
+        # 1 hop * 2us + 1000/100 us + 0.5 overhead
+        assert net.cost_us(0, 1, 1000, 4) == pytest.approx(0.5 + 2.0 + 10.0)
+
+    def test_self_send_only_overhead(self):
+        net = NetworkModel(overhead_us=0.5)
+        assert net.cost_us(2, 2, 10_000, 4) == 0.5
+
+    def test_diameter(self):
+        assert NetworkModel(topology=Topology.RING).diameter(8) == 4
+        assert NetworkModel(topology=Topology.FLAT).diameter(8) == 1
+        assert NetworkModel().diameter(1) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(MPIError):
+            NetworkModel(latency_us=-1)
+        with pytest.raises(MPIError):
+            NetworkModel(bandwidth_bytes_per_us=0)
+
+    def test_segmented_timing_visible_in_virtual_clock(self):
+        net = NetworkModel(topology=Topology.SEGMENTED, segment_size=4)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 100, 1)   # intra-segment
+                comm.send(b"x" * 100, 5)   # inter-segment
+            elif comm.rank in (1, 5):
+                comm.recv(0)
+            return comm.virtual_time_us()
+
+        vals = run_mpi(program, 8, network=net)
+        assert vals[5] > vals[1]
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("n,ndims", [(4, 2), (12, 2), (8, 3), (7, 2), (64, 3), (1, 1)])
+    def test_product_covers_nodes(self, n, ndims):
+        dims = dims_create(n, ndims)
+        assert math.prod(dims) == n
+        assert len(dims) == ndims
+        assert dims == sorted(dims, reverse=True)
+
+    def test_balanced_square(self):
+        assert dims_create(16, 2) == [4, 4]
+        assert dims_create(12, 2) in ([4, 3], [6, 2])  # 4x3 is the balanced one
+        assert dims_create(12, 2) == [4, 3]
+
+    def test_invalid_args(self):
+        with pytest.raises(MPIError):
+            dims_create(0, 2)
+
+
+class TestCartComm:
+    def test_coords_roundtrip(self):
+        def program(comm):
+            cart = comm.create_cart([2, 3])
+            coords = cart.coords
+            assert cart.rank_of(coords) == comm.rank
+            return coords
+
+        vals = run_mpi(program, 6)
+        assert vals[0] == (0, 0) and vals[5] == (1, 2)
+
+    def test_dims_must_cover_comm(self):
+        def program(comm):
+            comm.create_cart([2, 2])  # size is 6
+
+        with pytest.raises(Exception):
+            run_mpi(program, 6, timeout=10)
+
+    def test_shift_non_periodic_edges(self):
+        def program(comm):
+            cart = comm.create_cart([1, comm.size], periods=[False, False])
+            return cart.shift(1, 1)
+
+        vals = run_mpi(program, 4)
+        assert vals[0] == (None, 1)       # left edge has no source
+        assert vals[3] == (2, None)       # right edge has no dest
+
+    def test_shift_periodic_wraps(self):
+        def program(comm):
+            cart = comm.create_cart([1, comm.size], periods=[False, True])
+            return cart.shift(1, 1)
+
+        vals = run_mpi(program, 4)
+        assert vals[0] == (3, 1)
+        assert vals[3] == (2, 0)
+
+    def test_halo_exchange(self):
+        def program(comm):
+            cart = comm.create_cart([comm.size], periods=[True])
+            received = cart.exchange_with_neighbors(comm.rank, tag=7)
+            return sorted(received.values())
+
+        vals = run_mpi(program, 5)
+        assert vals[0] == [1, 4]  # neighbours of rank 0 on the periodic ring
+
+    def test_rank_of_off_grid_raises(self):
+        def program(comm):
+            cart = comm.create_cart([comm.size], periods=[False])
+            try:
+                cart.rank_of([comm.size + 1])
+            except RankError:
+                return "raised"
+
+        assert run_mpi(program, 3) == ["raised"] * 3

@@ -1,0 +1,366 @@
+"""minimpi point-to-point semantics."""
+
+import numpy as np
+import pytest
+
+from repro._errors import MPIError, RankError, TruncationError
+from repro.minimpi import ANY_SOURCE, ANY_TAG, MPIFailure, Status, run_mpi
+
+
+class TestBasics:
+    def test_rank_and_size(self):
+        def program(comm):
+            return (comm.Get_rank(), comm.Get_size(), comm.rank, comm.size)
+
+        vals = run_mpi(program, 3)
+        assert vals == [(0, 3, 0, 3), (1, 3, 1, 3), (2, 3, 2, 3)]
+
+    def test_single_rank_world(self):
+        def program(comm):
+            comm.send("self", 0, tag=1)
+            return comm.recv(0, tag=1)
+
+        assert run_mpi(program, 1) == ["self"]
+
+    def test_send_recv_roundtrip(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"x": [1, 2, 3]}, 1)
+                return comm.recv(1)
+            data = comm.recv(0)
+            comm.send(data["x"], 0)
+            return None
+
+        vals = run_mpi(program, 2)
+        assert vals[0] == [1, 2, 3]
+
+    def test_objects_are_copied_not_shared(self):
+        """pickle semantics: mutations at the receiver don't leak back."""
+        def program(comm):
+            payload = [1, 2, 3]
+            if comm.rank == 0:
+                comm.send(payload, 1)
+                comm.recv(1)  # wait for the peer to mutate its copy
+                return payload
+            data = comm.recv(0)
+            data.append(99)
+            comm.send("done", 0)
+            return data
+
+        vals = run_mpi(program, 2)
+        assert vals[0] == [1, 2, 3]
+        assert vals[1] == [1, 2, 3, 99]
+
+
+class TestMatching:
+    def test_tag_selectivity(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("low", 1, tag=1)
+                comm.send("high", 1, tag=2)
+                return None
+            high = comm.recv(0, tag=2)
+            low = comm.recv(0, tag=1)
+            return (high, low)
+
+        vals = run_mpi(program, 2)
+        assert vals[1] == ("high", "low")
+
+    def test_any_source_any_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                got = [comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(2)]
+                return sorted(got)
+            comm.send(f"from{comm.rank}", 0, tag=comm.rank)
+            return None
+
+        vals = run_mpi(program, 3)
+        assert vals[0] == ["from1", "from2"]
+
+    def test_fifo_per_source_and_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, 1, tag=5)
+                return None
+            return [comm.recv(0, tag=5) for i in range(10)]
+
+        vals = run_mpi(program, 2)
+        assert vals[1] == list(range(10))
+
+    def test_status_filled(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 100, 1, tag=9)
+                return None
+            st = Status()
+            comm.recv(ANY_SOURCE, ANY_TAG, status=st)
+            return (st.source, st.tag, st.nbytes > 50)
+
+        vals = run_mpi(program, 2)
+        assert vals[1] == (0, 9, True)
+
+    def test_rank_out_of_range(self):
+        def program(comm):
+            comm.send("x", 5)
+
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 2, timeout=10)
+
+
+class TestNonblocking:
+    def test_isend_irecv_wait(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.isend("payload", 1)
+                req.wait()
+                return None
+            req = comm.irecv(0)
+            return req.wait(timeout=10)
+
+        vals = run_mpi(program, 2)
+        assert vals[1] == "payload"
+
+    def test_irecv_test_polls(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.recv(1, tag=0)  # handshake first
+                comm.send("late", 1, tag=1)
+                return None
+            req = comm.irecv(0, tag=1)
+            done, _ = req.test()
+            assert not done  # nothing sent yet
+            comm.send("go", 0, tag=0)
+            return req.wait(timeout=10)
+
+        vals = run_mpi(program, 2)
+        assert vals[1] == "late"
+
+    def test_waitall(self):
+        from repro.minimpi import Request
+
+        def program(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(1, tag=i) for i in range(4)]
+                return Request.waitall(reqs, timeout=10)
+            for i in range(4):
+                comm.send(i * i, 0, tag=i)
+            return None
+
+        vals = run_mpi(program, 2)
+        assert vals[0] == [0, 1, 4, 9]
+
+
+class TestProbeAndBuffers:
+    def test_iprobe_and_probe(self):
+        def program(comm):
+            if comm.rank == 0:
+                assert not comm.iprobe(1)
+                comm.send("sync", 1, tag=0)
+                st = comm.probe(1, tag=3)
+                assert st.source == 1
+                return comm.recv(1, tag=3)
+            comm.recv(0, tag=0)
+            comm.send("probed", 0, tag=3)
+            return None
+
+        vals = run_mpi(program, 2)
+        assert vals[0] == "probed"
+
+    def test_uppercase_send_recv_arrays(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(8, dtype=np.int64), 1)
+                return None
+            buf = np.empty(8, dtype=np.int64)
+            comm.Recv(buf, 0)
+            return int(buf.sum())
+
+        vals = run_mpi(program, 2)
+        assert vals[1] == 28
+
+    def test_recv_shape_mismatch_truncation_error(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(8), 1)
+                return None
+            buf = np.empty(4)
+            comm.Recv(buf, 0)
+
+        with pytest.raises(MPIFailure) as e:
+            run_mpi(program, 2, timeout=10)
+        assert "TruncationError" in str(e.value.outcomes[1].error)
+
+
+class TestFailures:
+    def test_rank_exception_propagates_with_traceback(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ZeroDivisionError("rank 1 exploded")
+            comm.recv(1, timeout=10)
+
+        with pytest.raises(MPIFailure) as e:
+            run_mpi(program, 2, timeout=15)
+        errors = [o.error for o in e.value.outcomes if o.error]
+        assert any("ZeroDivisionError" in err for err in errors)
+
+    def test_peer_death_unblocks_receivers(self):
+        """A blocked recv fails fast when another rank dies (no timeout wait)."""
+        import time
+
+        def program(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead")
+            comm.recv(0, timeout=60)
+
+        start = time.monotonic()
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 2, timeout=60)
+        assert time.monotonic() - start < 10
+
+    def test_recv_timeout_is_mpierror(self):
+        def program(comm):
+            if comm.rank == 1:
+                comm.recv(0, timeout=0.2)  # nobody sends
+
+        with pytest.raises(MPIFailure) as e:
+            run_mpi(program, 2, timeout=15)
+        assert "timed out" in str(e.value.outcomes[1].error)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(MPIError):
+            run_mpi(lambda comm: None, 0)
+
+
+class TestVirtualTime:
+    def test_clock_advances_with_messages(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 10_000, 1)
+            elif comm.rank == 1:
+                comm.recv(0)
+            return comm.virtual_time_us()
+
+        vals = run_mpi(program, 2)
+        assert vals[1] > vals[0] > 0  # receiver waited for the transfer
+
+    def test_larger_messages_cost_more(self):
+        def program(comm, nbytes):
+            if comm.rank == 0:
+                comm.send(b"x" * nbytes, 1)
+            else:
+                comm.recv(0)
+            return comm.virtual_time_us()
+
+        small = run_mpi(program, 2, args=(100,))[1]
+        large = run_mpi(program, 2, args=(1_000_000,))[1]
+        assert large > small * 5
+
+    def test_charge_compute_us(self):
+        def program(comm):
+            comm.charge_compute_us(123.0)
+            return comm.virtual_time_us()
+
+        assert run_mpi(program, 1)[0] >= 123.0
+
+    def test_negative_compute_rejected(self):
+        def program(comm):
+            comm.charge_compute_us(-1)
+
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 1, timeout=10)
+
+
+class TestSynchronousSend:
+    def test_ssend_completes_when_receiver_ready(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.ssend("rendezvous", 1, timeout=10)
+                return "sender done"
+            return comm.recv(0)
+
+        assert run_mpi(program, 2) == ["sender done", "rendezvous"]
+
+    def test_ssend_blocks_until_matched(self):
+        """The sender must not return before the receiver posts."""
+        import time
+
+        def program(comm):
+            if comm.rank == 0:
+                t0 = time.monotonic()
+                comm.ssend("x", 1, timeout=10)
+                return time.monotonic() - t0
+            time.sleep(0.5)  # delay the matching receive
+            comm.recv(0)
+            return None
+
+        vals = run_mpi(program, 2)
+        assert vals[0] >= 0.4  # sender waited for the rendezvous
+
+    def test_head_to_head_ssend_deadlocks(self):
+        """The classroom pitfall: both ranks ssend first -> deadlock."""
+        def program(comm):
+            peer = 1 - comm.rank
+            comm.ssend(f"from {comm.rank}", peer, timeout=0.5)
+            comm.recv(peer)
+
+        with pytest.raises(MPIFailure) as e:
+            run_mpi(program, 2, timeout=20)
+        # Both ranks time out near-simultaneously; whichever raised first
+        # carries the rendezvous message, the other the abort notice.
+        errors = " | ".join(o.error for o in e.value.outcomes if o.error)
+        assert "rendezvous deadlock" in errors
+
+    def test_sendrecv_resolves_the_exchange(self):
+        def program(comm):
+            peer = 1 - comm.rank
+            return comm.sendrecv(f"from {comm.rank}", peer)
+
+        assert run_mpi(program, 2) == ["from 1", "from 0"]
+
+    def test_ssend_matched_by_irecv(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1)
+                comm.barrier()
+                return req.wait(timeout=10)
+            comm.barrier()
+            comm.ssend("to irecv", 0, timeout=10)
+            return None
+
+        vals = run_mpi(program, 2)
+        assert vals[0] == "to irecv"
+
+    def test_ssend_fails_fast_when_peer_dies(self):
+        import time
+
+        def program(comm):
+            if comm.rank == 1:
+                raise RuntimeError("receiver died")
+            comm.ssend("x", 1, timeout=30)
+
+        t0 = time.monotonic()
+        with pytest.raises(MPIFailure):
+            run_mpi(program, 2, timeout=60)
+        assert time.monotonic() - t0 < 10
+
+
+class TestCollectiveIsolation:
+    def test_any_tag_recv_cannot_steal_collective_traffic(self):
+        """A wildcard receive posted before a barrier must not consume
+        the barrier's internal tokens (regression: rendezvous + barrier)."""
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1)          # ANY_TAG wildcard
+                comm.barrier()               # generates internal messages
+                comm.barrier()
+                done, _ = req.test()
+                assert not done              # wildcard saw none of them
+                return req.wait(timeout=10)  # ...but does get user traffic
+            comm.barrier()
+            comm.barrier()
+            comm.send("user payload", 0, tag=9)
+            return None
+
+        vals = run_mpi(program, 2)
+        assert vals[0] == "user payload"

@@ -1,0 +1,175 @@
+"""File-manager behaviour including path-traversal defence."""
+
+import pytest
+
+from repro._errors import FileManagerError, PathTraversalError
+from repro.portal import FileManager
+
+
+@pytest.fixture
+def fm(tmp_path):
+    return FileManager(tmp_path / "homes")
+
+
+class TestBasics:
+    def test_home_created_on_demand(self, fm):
+        home = fm.home("alice")
+        assert home.is_dir() and home.name == "alice"
+
+    def test_write_read_roundtrip(self, fm):
+        fm.write("alice", "notes.txt", "hello")
+        assert fm.read("alice", "notes.txt") == b"hello"
+
+    def test_write_into_nested_dirs(self, fm):
+        fm.write("alice", "a/b/c.txt", b"deep")
+        assert fm.read("alice", "a/b/c.txt") == b"deep"
+
+    def test_read_missing_raises(self, fm):
+        with pytest.raises(FileManagerError):
+            fm.read("alice", "nope.txt")
+
+    def test_users_isolated(self, fm):
+        fm.write("alice", "f.txt", "alice data")
+        fm.write("bob", "f.txt", "bob data")
+        assert fm.read("alice", "f.txt") == b"alice data"
+        assert fm.read("bob", "f.txt") == b"bob data"
+
+    def test_oversized_upload_rejected(self, fm):
+        with pytest.raises(FileManagerError):
+            fm.write("alice", "big.bin", b"x" * (17 * 1024 * 1024))
+
+    def test_usage_accounting(self, fm):
+        fm.write("alice", "a.bin", b"x" * 100)
+        fm.write("alice", "d/b.bin", b"y" * 50)
+        assert fm.usage_bytes("alice") == 150
+
+
+class TestListing:
+    def test_dirs_first_then_names(self, fm):
+        fm.write("alice", "zz.txt", "z")
+        fm.write("alice", "aa.txt", "a")
+        fm.mkdir("alice", "middle")
+        names = [e.name for e in fm.list_dir("alice")]
+        assert names == ["middle", "aa.txt", "zz.txt"]
+
+    def test_entry_metadata(self, fm):
+        fm.write("alice", "f.txt", b"12345")
+        entry = fm.list_dir("alice")[0]
+        assert entry.size == 5 and not entry.is_dir and entry.path == "f.txt"
+        assert entry.as_dict()["name"] == "f.txt"
+
+    def test_list_subdirectory(self, fm):
+        fm.write("alice", "sub/inner.txt", "x")
+        entries = fm.list_dir("alice", "sub")
+        assert [e.name for e in entries] == ["inner.txt"]
+
+    def test_list_file_raises(self, fm):
+        fm.write("alice", "f.txt", "x")
+        with pytest.raises(FileManagerError):
+            fm.list_dir("alice", "f.txt")
+
+
+class TestManipulation:
+    def test_copy_file(self, fm):
+        fm.write("alice", "src.txt", "data")
+        fm.copy("alice", "src.txt", "dst.txt")
+        assert fm.read("alice", "dst.txt") == b"data"
+        assert fm.read("alice", "src.txt") == b"data"  # source untouched
+
+    def test_copy_tree(self, fm):
+        fm.write("alice", "proj/main.c", "x")
+        fm.copy("alice", "proj", "proj2")
+        assert fm.read("alice", "proj2/main.c") == b"x"
+
+    def test_copy_onto_existing_rejected(self, fm):
+        fm.write("alice", "a.txt", "1")
+        fm.write("alice", "b.txt", "2")
+        with pytest.raises(FileManagerError):
+            fm.copy("alice", "a.txt", "b.txt")
+
+    def test_move(self, fm):
+        fm.write("alice", "old/f.txt", "move me")
+        fm.move("alice", "old/f.txt", "new/g.txt")
+        assert fm.read("alice", "new/g.txt") == b"move me"
+        with pytest.raises(FileManagerError):
+            fm.read("alice", "old/f.txt")
+
+    def test_rename_in_place(self, fm):
+        fm.write("alice", "d/a.txt", "x")
+        new_path = fm.rename("alice", "d/a.txt", "b.txt")
+        assert new_path == "d/b.txt"
+        assert fm.read("alice", "d/b.txt") == b"x"
+
+    @pytest.mark.parametrize("bad", ["", ".", "..", "x/y"])
+    def test_rename_invalid_names(self, fm, bad):
+        fm.write("alice", "f.txt", "x")
+        with pytest.raises(FileManagerError):
+            fm.rename("alice", "f.txt", bad)
+
+    def test_rename_collision_rejected(self, fm):
+        fm.write("alice", "a.txt", "1")
+        fm.write("alice", "b.txt", "2")
+        with pytest.raises(FileManagerError):
+            fm.rename("alice", "a.txt", "b.txt")
+
+    def test_delete_file_and_tree(self, fm):
+        fm.write("alice", "f.txt", "x")
+        fm.write("alice", "d/g.txt", "y")
+        fm.delete("alice", "f.txt")
+        fm.delete("alice", "d")
+        assert fm.list_dir("alice") == []
+
+    def test_delete_home_refused(self, fm):
+        fm.home("alice")
+        with pytest.raises(FileManagerError):
+            fm.delete("alice", "")
+
+    def test_mkdir_existing_rejected(self, fm):
+        fm.mkdir("alice", "d")
+        with pytest.raises(FileManagerError):
+            fm.mkdir("alice", "d")
+
+
+class TestTraversalDefence:
+    TRAVERSALS = [
+        "../bob/secret.txt",
+        "../../etc/passwd",
+        "a/../../bob/f",
+        "..",
+        "d/../../../root",
+    ]  # absolute paths are exercised separately: they are defanged, not rejected
+
+    @pytest.mark.parametrize("path", TRAVERSALS)
+    def test_escapes_rejected_everywhere(self, fm, path):
+        fm.write("bob", "secret.txt", "classified")
+        for op in (
+            lambda: fm.read("alice", path),
+            lambda: fm.write("alice", path, b"x"),
+            lambda: fm.delete("alice", path),
+            lambda: fm.list_dir("alice", path),
+        ):
+            with pytest.raises(FileManagerError):  # PathTraversalError subclass
+                op()
+
+    def test_traversal_error_is_specific_type(self, fm):
+        with pytest.raises(PathTraversalError):
+            fm.resolve("alice", "../bob")
+
+    def test_symlink_escape_blocked(self, fm, tmp_path):
+        outside = tmp_path / "outside.txt"
+        outside.write_text("secret")
+        link = fm.home("alice") / "link"
+        link.symlink_to(outside)
+        with pytest.raises(PathTraversalError):
+            fm.resolve("alice", "link")
+
+    @pytest.mark.parametrize("bad_user", ["", ".", "..", "a/b"])
+    def test_invalid_usernames_rejected(self, fm, bad_user):
+        with pytest.raises(FileManagerError):
+            fm.home(bad_user)
+
+    def test_absolute_path_treated_as_relative(self, fm):
+        # "/etc/passwd" must never reach the real /etc; stripping the
+        # leading slash keeps it inside the home.
+        fm.write("alice", "/inside.txt", b"ok")
+        assert fm.read("alice", "inside.txt") == b"ok"

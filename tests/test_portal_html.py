@@ -1,0 +1,133 @@
+"""HTML page rendering: templates directly and through the app."""
+
+import io
+
+import pytest
+
+from repro.portal import templates
+from repro.portal.client import PortalClient
+
+
+def get_page(app, path, token="", method="GET", body=b""):
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": "",
+        "CONTENT_LENGTH": str(len(body)),
+        "CONTENT_TYPE": "application/x-www-form-urlencoded" if method == "POST" else "",
+        "wsgi.input": io.BytesIO(body),
+    }
+    if token:
+        environ["HTTP_COOKIE"] = f"portal_session={token}"
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    payload = b"".join(app(environ, start_response))
+    return captured, payload
+
+
+class TestTemplates:
+    def test_layout_escapes_title(self):
+        page = templates.render_page("<script>", "safe body")
+        assert "<script>" not in page.split("<body>")[0].replace("&lt;script&gt;", "")
+        assert "&lt;script&gt;" in page
+
+    def test_login_page_error_escaped(self):
+        page = templates.login_page(error='<img src=x onerror=alert(1)>')
+        assert "<img" not in page
+        assert "&lt;img" in page
+
+    def test_dashboard_renders_entries(self):
+        page = templates.dashboard_page(
+            "alice",
+            files=[{"name": "a.c", "size": 10, "path": "a.c", "is_dir": False, "mtime": 0}],
+            jobs=[{"id": "job-1", "name": "a.c", "state": "completed", "kind": "sequential",
+                   "exit_code": 0}],
+            cluster={"load": 0.25, "cores_free": 6, "cores_total": 8,
+                     "segments": {"s0": {"cores_free": 6, "cores_total": 8, "load": 0.25,
+                                         "nodes_up": 4}}},
+        )
+        assert "a.c" in page and "completed" in page and "25%" in page
+
+    def test_job_page_with_output(self):
+        page = templates.job_page(
+            {"id": "job-9", "name": "x.c", "owner": "alice", "kind": "sequential",
+             "state": "completed", "exit_code": 0, "placement": {"n0": 2},
+             "wait_s": 0.1, "runtime_s": 1.5},
+            stdout_lines=["hello", "<b>not markup</b>"],
+            stderr_lines=["warn"],
+        )
+        assert "hello" in page
+        assert "&lt;b&gt;not markup&lt;/b&gt;" in page  # output is escaped
+        assert "stderr" in page and "warn" in page
+
+    def test_job_page_input_form_only_for_running_interactive(self):
+        base = {"id": "j", "name": "n", "owner": "o", "exit_code": None,
+                "placement": {}, "wait_s": None, "runtime_s": None}
+        running = templates.job_page({**base, "state": "running", "kind": "interactive"}, [], [])
+        done = templates.job_page({**base, "state": "completed", "kind": "interactive"}, [], [])
+        sequential = templates.job_page({**base, "state": "running", "kind": "sequential"}, [], [])
+        assert "Send input" in running
+        assert "Send input" not in done
+        assert "Send input" not in sequential
+
+
+class TestHtmlJobPages:
+    @pytest.fixture
+    def logged_in(self, portal_app, admin_client, student_client):
+        token = PortalClient(app=portal_app)
+        data = token.login("alice", "alice-pass")
+        return portal_app, data["token"]
+
+    def test_job_detail_page_renders(self, logged_in, student_client):
+        app, token = logged_in
+        student_client.write_file(
+            "page.c", '#include <stdio.h>\nint main(void){ printf("page output\\n"); return 0; }\n'
+        )
+        resp = student_client.submit_job("page.c")
+        job_id = resp["job"]["id"]
+        student_client.wait_for_job(job_id, timeout=60)
+        cap, body = get_page(app, f"/jobs/{job_id}", token=token)
+        assert cap["status"].startswith("200")
+        assert b"page output" in body
+        assert job_id.encode() in body
+
+    def test_job_page_requires_login(self, portal_app):
+        cap, _ = get_page(portal_app, "/jobs/job-000001")
+        assert cap["status"].startswith("302")
+
+    def test_foreign_job_page_forbidden(self, logged_in, admin_client, portal_app):
+        app, token = logged_in
+        admin_client.create_user("rival", "password1")
+        rival = PortalClient(app=portal_app)
+        rival.login("rival", "password1")
+        rival.write_file("r.c", '#include <stdio.h>\nint main(void){ return 0; }\n')
+        job_id = rival.submit_job("r.c")["job"]["id"]
+        cap, _ = get_page(app, f"/jobs/{job_id}", token=token)
+        assert cap["status"].startswith("403")
+
+    def test_input_form_post_feeds_job(self, logged_in, student_client):
+        import time
+
+        app, token = logged_in
+        student_client.write_file(
+            "ask.c",
+            "#include <stdio.h>\n"
+            "int main(void){ char b[64]; if (fgets(b,64,stdin)) printf(\"form: %s\", b); return 0; }\n",
+        )
+        resp = student_client.submit_job("ask.c", kind="interactive", timeout_s=30)
+        job_id = resp["job"]["id"]
+        # POST the HTML form while the job waits on stdin.
+        deadline = time.monotonic() + 10
+        posted = False
+        while time.monotonic() < deadline and not posted:
+            cap, _ = get_page(app, f"/jobs/{job_id}/input", token=token,
+                              method="POST", body=b"text=html-form")
+            posted = cap["status"].startswith("302")
+        desc = student_client.wait_for_job(job_id, timeout=30)
+        out = student_client.job_output(job_id)
+        assert desc["state"] == "completed"
+        assert out["stdout"] == ["form: html-form"]

@@ -1,0 +1,323 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import string
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro._errors import FileManagerError, ResourceError
+from repro.cluster.node import Node
+from repro.cluster.spec import NodeSpec
+from repro.desim import Simulator, Store
+from repro.interleave import RandomPolicy, Scheduler, SharedVar, VMutex, VSemaphore
+from repro.memsim import CoherentSystem, NumaConfig, NumaMachine, PagePlacement
+from repro.minimpi import run_mpi
+from repro.portal.files import FileManager
+from repro.portal.sessions import SessionStore
+
+# hypothesis shares fixtures poorly with function-scoped tmp_path; build our own dirs.
+settings.register_profile("repro", deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+settings.load_profile("repro")
+
+
+class TestNodeAccountingProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 9), st.integers(1, 4)),
+            max_size=60,
+        )
+    )
+    def test_never_oversubscribed_never_negative(self, ops):
+        node = Node("n", NodeSpec(cores=8, memory_mb=1024))
+        held: set[str] = set()
+        for kind, jid, cores in ops:
+            job = f"job{jid}"
+            if kind == "alloc":
+                try:
+                    node.allocate(job, cores)
+                    held.add(job)
+                except ResourceError:
+                    pass
+            else:
+                try:
+                    node.free(job)
+                    held.discard(job)
+                except ResourceError:
+                    assert job not in held  # free only fails for non-holders
+            assert 0 <= node.cores_used <= node.spec.cores
+            assert set(node.running_jobs) == held
+
+
+class TestMesiProperties:
+    @given(
+        accesses=st.lists(
+            st.tuples(
+                st.integers(0, 3),            # core
+                st.integers(0, 15),           # line index
+                st.booleans(),                # is_write
+            ),
+            max_size=200,
+        )
+    )
+    def test_swmr_invariant_always_holds(self, accesses):
+        system = CoherentSystem(4)
+        for core, line, is_write in accesses:
+            addr = line * 64
+            if is_write:
+                system.write(core, addr)
+            else:
+                system.read(core, addr)
+            system.check_invariants()
+
+    @given(
+        accesses=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 7), st.booleans()),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_cycle_accounting_additive(self, accesses):
+        system = CoherentSystem(4)
+        total = 0
+        for core, line, is_write in accesses:
+            latency = system.write(core, line * 64) if is_write else system.read(core, line * 64)
+            assert latency > 0
+            total += latency
+        assert system.cycles == total == sum(system.per_core_cycles)
+
+
+class TestInterleaveProperties:
+    @given(seed=st.integers(0, 10_000), threads=st.integers(2, 4), iters=st.integers(1, 15))
+    @settings(max_examples=30)
+    def test_mutex_counter_always_exact(self, seed, threads, iters):
+        sched = Scheduler(policy=RandomPolicy(seed), detect_races=False)
+        var = SharedVar("c", 0)
+        lock = VMutex("m")
+
+        def body(var, lock, n):
+            for _ in range(n):
+                yield lock.acquire()
+                v = yield var.read()
+                yield var.write(v + 1)
+                yield lock.release()
+
+        for i in range(threads):
+            sched.spawn(body(var, lock, iters), name=f"t{i}")
+        run = sched.run()
+        assert run.ok and var.value == threads * iters
+
+    @given(seed=st.integers(0, 10_000), permits=st.integers(1, 3), threads=st.integers(2, 5))
+    @settings(max_examples=30)
+    def test_semaphore_never_exceeds_permits(self, seed, permits, threads):
+        sched = Scheduler(policy=RandomPolicy(seed), detect_races=False)
+        sem = VSemaphore("s", permits)
+        inside = SharedVar("inside", 0)
+        max_seen = []
+
+        def body(sem, inside):
+            yield sem.p()
+            # Atomic instrumentation: a racy read/write pair here would
+            # corrupt the measurement itself.
+            before = yield inside.fetch_add(1)
+            max_seen.append(before + 1)
+            yield inside.fetch_add(-1)
+            yield sem.v()
+
+        for i in range(threads):
+            sched.spawn(body(sem, inside), name=f"t{i}")
+        run = sched.run()
+        assert run.ok
+        assert max(max_seen) <= permits
+
+
+class TestStoreProperties:
+    @given(items=st.lists(st.integers(), max_size=30), capacity=st.integers(1, 5))
+    @settings(max_examples=40)
+    def test_store_preserves_order_and_content(self, items, capacity):
+        sim = Simulator()
+        store = Store(sim, capacity=capacity)
+        received = []
+
+        def producer(sim, store):
+            for item in items:
+                yield store.put(item)
+
+        def consumer(sim, store):
+            for _ in range(len(items)):
+                value = yield store.get()
+                received.append(value)
+
+        sim.process(producer(sim, store))
+        sim.process(consumer(sim, store))
+        sim.run()
+        assert received == items
+
+
+class TestNumaProperties:
+    @given(
+        sockets=st.integers(1, 4),
+        pages=st.lists(st.integers(0, 63), min_size=1, max_size=50),
+        core=st.integers(0, 3),
+    )
+    @settings(max_examples=40)
+    def test_latency_bounds(self, sockets, pages, core):
+        cfg = NumaConfig(n_sockets=sockets, cores_per_socket=4, n_pages=64)
+        machine = NumaMachine(cfg, PagePlacement.INTERLEAVED)
+        lats = machine.access_block(core, np.array(pages))
+        max_hops = sockets // 2
+        assert (lats >= cfg.local_latency_ns).all()
+        assert (lats <= cfg.local_latency_ns + max_hops * cfg.hop_latency_ns).all()
+
+
+class TestMinimpiProperties:
+    @given(
+        values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=6),
+    )
+    @settings(max_examples=15)
+    def test_allreduce_matches_python_sum(self, values):
+        def program(comm, values):
+            return comm.allreduce(values[comm.rank])
+
+        results = run_mpi(program, len(values), args=(values,))
+        assert results == [sum(values)] * len(values)
+
+    @given(n=st.integers(1, 6), seed=st.integers(0, 100))
+    @settings(max_examples=15)
+    def test_allgather_is_identity_permutation(self, n, seed):
+        def program(comm, seed):
+            return comm.allgather((comm.rank, seed))
+
+        results = run_mpi(program, n, args=(seed,))
+        expected = [(r, seed) for r in range(n)]
+        assert all(r == expected for r in results)
+
+
+_SAFE_SEGMENT = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+
+
+class TestFileManagerProperties:
+    @given(
+        segments=st.lists(_SAFE_SEGMENT, min_size=1, max_size=4),
+        payload=st.binary(max_size=256),
+    )
+    @settings(max_examples=40)
+    def test_write_read_roundtrip_stays_inside_home(self, tmp_path_factory, segments, payload):
+        fm = FileManager(tmp_path_factory.mktemp("homes"))
+        rel = "/".join(segments)
+        entry = fm.write("user", rel, payload)
+        assert fm.read("user", rel) == payload
+        resolved = fm.resolve("user", rel)
+        assert str(resolved).startswith(str(fm.home("user").resolve()))
+
+    @given(
+        hostile=st.lists(st.sampled_from(["..", "a", "b", "..."]), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60)
+    def test_dotdot_paths_never_escape(self, tmp_path_factory, hostile):
+        fm = FileManager(tmp_path_factory.mktemp("homes"))
+        rel = "/".join(hostile)
+        try:
+            resolved = fm.resolve("user", rel)
+        except FileManagerError:
+            return  # rejected: fine
+        # accepted: must still be inside the home
+        resolved.relative_to(fm.home("user").resolve())
+
+
+class TestSessionProperties:
+    @given(username=st.text(min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_any_payload_roundtrips(self, username):
+        store = SessionStore()
+        token = store.create({"username": username})
+        assert store.get(token)["username"] == username
+
+    @given(garbage=st.text(max_size=60))
+    @settings(max_examples=60)
+    def test_arbitrary_tokens_never_authenticate(self, garbage):
+        store = SessionStore()
+        store.create({"username": "real"})
+        assert store.peek(garbage) is None
+
+
+class TestRWLockProperties:
+    @given(
+        seed=st.integers(0, 5000),
+        readers=st.integers(1, 4),
+        writers=st.integers(1, 3),
+    )
+    @settings(max_examples=25)
+    def test_no_reader_writer_overlap(self, seed, readers, writers):
+        from repro.interleave import Nop, RandomPolicy, Scheduler, VRWLock
+
+        sched = Scheduler(policy=RandomPolicy(seed), detect_races=False)
+        rw = VRWLock()
+        active_readers = SharedVar("ar", 0)
+        active_writers = SharedVar("aw", 0)
+        overlaps = []
+
+        def reader(rw):
+            yield from rw.acquire_read()
+            yield active_readers.fetch_add(1)
+            w = yield active_writers.read()
+            if w:
+                overlaps.append(("reader-saw-writer", w))
+            yield Nop()
+            yield active_readers.fetch_add(-1)
+            yield from rw.release_read()
+
+        def writer(rw):
+            yield from rw.acquire_write()
+            before_w = yield active_writers.fetch_add(1)
+            r = yield active_readers.read()
+            if before_w or r:
+                overlaps.append(("writer-overlap", before_w, r))
+            yield Nop()
+            yield active_writers.fetch_add(-1)
+            yield from rw.release_write()
+
+        for i in range(readers):
+            sched.spawn(reader(rw), name=f"r{i}")
+        for i in range(writers):
+            sched.spawn(writer(rw), name=f"w{i}")
+        run = sched.run()
+        assert run.ok, (run.failures, run.deadlock)
+        assert overlaps == []
+
+
+class TestVCollectiveProperties:
+    @given(
+        counts=st.lists(st.integers(0, 4), min_size=1, max_size=5),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=15)
+    def test_scatterv_gatherv_identity(self, counts, seed):
+        from repro.minimpi import run_mpi
+
+        def program(comm, counts, seed):
+            total = sum(counts)
+            flat = [seed * 1000 + i for i in range(total)]
+            mine = comm.scatterv(flat if comm.rank == 0 else None, counts)
+            assert len(mine) == counts[comm.rank]
+            return comm.gatherv(mine, root=0)
+
+        vals = run_mpi(program, len(counts), args=(counts, seed))
+        assert vals[0] == [seed * 1000 + i for i in range(sum(counts))]
+
+
+class TestQuotaProperties:
+    @given(sizes=st.lists(st.integers(1, 50), min_size=1, max_size=12))
+    @settings(max_examples=30)
+    def test_usage_never_exceeds_quota(self, tmp_path_factory, sizes):
+        from repro._errors import FileManagerError
+        from repro.portal.files import FileManager
+
+        quota = 200
+        fm = FileManager(tmp_path_factory.mktemp("q"), quota_bytes=quota)
+        for i, size in enumerate(sizes):
+            try:
+                fm.write("u", f"f{i}.bin", b"x" * size)
+            except FileManagerError:
+                pass
+            assert fm.usage_bytes("u") <= quota

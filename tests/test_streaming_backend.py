@@ -1,0 +1,163 @@
+"""Live-streaming subprocess execution: output and stdin *during* the run."""
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    Grid,
+    JobDistributor,
+    JobKind,
+    JobRequest,
+    JobState,
+    SubprocessBackend,
+)
+
+
+@pytest.fixture
+def dist():
+    return JobDistributor(Grid(ClusterSpec.small()), SubprocessBackend())
+
+
+def wait_for_line(job, needle: str, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if any(needle in line for line in job.stdout.tail(50)):
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestLiveOutput:
+    def test_output_visible_while_running(self, dist):
+        prog = (
+            "import time\n"
+            "print('early line', flush=True)\n"
+            "time.sleep(1.0)\n"
+            "print('late line', flush=True)\n"
+        )
+        job = dist.submit(JobRequest(name="live", argv=["python3", "-c", prog], timeout_s=30))
+        assert wait_for_line(job, "early line")
+        # The process is still running: late line must NOT be there yet.
+        assert job.state is JobState.RUNNING
+        assert not any("late line" in l for l in job.stdout.tail())
+        assert dist.wait_all(30)
+        assert job.stdout.tail(10) == ["early line", "late line"]
+
+    def test_incremental_polling_matches_emission(self, dist):
+        prog = (
+            "import time\n"
+            "for i in range(5):\n"
+            "    print(f'tick {i}', flush=True)\n"
+            "    time.sleep(0.1)\n"
+        )
+        job = dist.submit(JobRequest(name="ticks", argv=["python3", "-c", prog], timeout_s=30))
+        collected, offset = [], 0
+        deadline = time.monotonic() + 20
+        while not job.terminal and time.monotonic() < deadline:
+            lines, offset, _ = job.stdout.read_since(offset)
+            collected.extend(lines)
+            time.sleep(0.05)
+        lines, offset, _ = job.stdout.read_since(offset)
+        collected.extend(lines)
+        assert collected == [f"tick {i}" for i in range(5)]
+
+    def test_stderr_also_streams(self, dist):
+        prog = "import sys; print('to err', file=sys.stderr, flush=True); import time; time.sleep(0.5)"
+        job = dist.submit(JobRequest(name="err", argv=["python3", "-c", prog], timeout_s=30))
+        deadline = time.monotonic() + 10
+        seen = False
+        while time.monotonic() < deadline:
+            if "to err" in job.stderr.tail(10):
+                seen = True
+                break
+            time.sleep(0.02)
+        assert seen
+        dist.wait_all(30)
+
+
+class TestLiveInput:
+    def test_stdin_sent_mid_run(self, dist):
+        prog = (
+            "import sys\n"
+            "print('ready', flush=True)\n"
+            "line = sys.stdin.readline().strip()\n"
+            "print(f'got {line}', flush=True)\n"
+        )
+        job = dist.submit(
+            JobRequest(name="inter", kind=JobKind.INTERACTIVE,
+                       argv=["python3", "-c", prog], timeout_s=30)
+        )
+        assert wait_for_line(job, "ready")
+        job.stdin.write("mid-run-input\n")
+        assert dist.wait_all(30)
+        assert job.state is JobState.COMPLETED
+        assert "got mid-run-input" in job.stdout.tail(10)
+
+    def test_multiple_exchanges(self, dist):
+        prog = (
+            "import sys\n"
+            "for i in range(3):\n"
+            "    print(f'ask {i}', flush=True)\n"
+            "    value = sys.stdin.readline().strip()\n"
+            "    print(f'answer {value}', flush=True)\n"
+        )
+        job = dist.submit(
+            JobRequest(name="chat", kind=JobKind.INTERACTIVE,
+                       argv=["python3", "-c", prog], timeout_s=30)
+        )
+        for i in range(3):
+            assert wait_for_line(job, f"ask {i}")
+            job.stdin.write(f"v{i}\n")
+        assert dist.wait_all(30)
+        out = job.stdout.tail(20)
+        assert [l for l in out if l.startswith("answer")] == ["answer v0", "answer v1", "answer v2"]
+
+    def test_pre_supplied_stdin_still_works(self, dist):
+        job = dist.submit(
+            JobRequest(name="pre", argv=["python3", "-c", "print(input()[::-1])"],
+                       stdin_data="stream\n", timeout_s=30)
+        )
+        assert dist.wait_all(30)
+        assert job.stdout.tail() == ["maerts"]
+
+
+class TestControl:
+    def test_cancel_kills_promptly(self, dist):
+        job = dist.submit(
+            JobRequest(name="sleepy", argv=["python3", "-c", "import time; time.sleep(60)"],
+                       timeout_s=120)
+        )
+        deadline = time.monotonic() + 5
+        while job.state is not JobState.RUNNING and time.monotonic() < deadline:
+            time.sleep(0.01)
+        t0 = time.monotonic()
+        dist.cancel(job.id)
+        assert dist.wait_all(10)
+        assert job.state is JobState.CANCELLED
+        assert time.monotonic() - t0 < 3.0
+
+    def test_timeout_in_streaming_mode(self, dist):
+        job = dist.submit(
+            JobRequest(name="hang", argv=["python3", "-c", "import time; time.sleep(60)"],
+                       timeout_s=0.3)
+        )
+        assert dist.wait_all(30)
+        assert job.state is JobState.TIMEOUT
+
+    def test_batch_mode_forced_for_parallel(self):
+        backend = SubprocessBackend(stream=True)
+        dist = JobDistributor(Grid(ClusterSpec.small()), backend)
+        job = dist.submit(
+            JobRequest(name="par", kind=JobKind.PARALLEL, n_tasks=2,
+                       argv=["python3", "-c", "import os; print(os.environ['REPRO_RANK'])"])
+        )
+        assert dist.wait_all(30)
+        assert sorted(job.stdout.tail(5)) == ["[rank 0] 0", "[rank 1] 1"]
+
+    def test_stream_disabled_backend_batches(self):
+        dist = JobDistributor(Grid(ClusterSpec.small()), SubprocessBackend(stream=False))
+        job = dist.submit(JobRequest(name="b", argv=["python3", "-c", "print('batch')"]))
+        assert dist.wait_all(30)
+        assert job.stdout.tail() == ["batch"]

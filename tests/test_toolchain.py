@@ -1,0 +1,179 @@
+"""Toolchains: registry resolution, simulated compilers, real compilers."""
+
+import subprocess
+
+import pytest
+
+from repro._errors import ToolchainNotFound
+from repro.toolchain import (
+    GccToolchain,
+    GxxToolchain,
+    JavacToolchain,
+    SimulatedCppToolchain,
+    SimulatedCToolchain,
+    SimulatedJavaToolchain,
+    ToolchainRegistry,
+    infer_language,
+)
+from tests.conftest import has_gcc, has_javac
+
+HELLO_C = '#include <stdio.h>\nint main(void) { printf("hi there\\n"); return 0; }\n'
+HELLO_CPP = '#include <iostream>\nint main() { std::cout << "cpp says hi" << std::endl; return 0; }\n'
+HELLO_JAVA = (
+    "public class Hello {\n"
+    '  public static void main(String[] args) { System.out.println("java says hi"); }\n'
+    "}\n"
+)
+
+
+class TestLanguageInference:
+    @pytest.mark.parametrize(
+        "name,lang",
+        [("a.c", "c"), ("b.cpp", "cpp"), ("c.cc", "cpp"), ("d.cxx", "cpp"),
+         ("E.java", "java"), ("x.py", None), ("noext", None)],
+    )
+    def test_extension_mapping(self, name, lang):
+        assert infer_language(name) == lang
+
+
+class TestRegistry:
+    def test_known_languages(self):
+        reg = ToolchainRegistry()
+        assert set(reg.languages()) == {"c", "cpp", "java"}
+
+    def test_resolve_always_finds_something(self):
+        # Even with no compilers installed the simulated chains answer.
+        reg = ToolchainRegistry(prefer_real=False)
+        for lang in ("c", "cpp", "java"):
+            assert reg.resolve(lang).name.startswith("sim-")
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(ToolchainNotFound):
+            ToolchainRegistry().resolve("fortran")
+
+    def test_resolve_for_uses_extension(self):
+        reg = ToolchainRegistry(prefer_real=False)
+        assert reg.resolve_for("prog.java").language == "java"
+        with pytest.raises(ToolchainNotFound):
+            reg.resolve_for("prog.xyz")
+
+    def test_custom_registration(self):
+        class Cobol(SimulatedCToolchain):
+            language = "cobol"
+            name = "sim-cobol"
+
+        reg = ToolchainRegistry()
+        reg.register(Cobol())
+        assert reg.resolve("cobol").name == "sim-cobol"
+
+
+class TestSimulatedToolchains:
+    def test_c_stub_reproduces_output(self, tmp_path):
+        src = tmp_path / "hello.c"
+        src.write_text(HELLO_C)
+        result = SimulatedCToolchain().compile(src, tmp_path / "build")
+        assert result.ok
+        out = subprocess.run(result.artifact.run_argv(), capture_output=True, text=True)
+        assert out.stdout == "hi there\n" and out.returncode == 0
+
+    def test_cpp_stub_reproduces_output(self, tmp_path):
+        src = tmp_path / "hello.cpp"
+        src.write_text(HELLO_CPP)
+        result = SimulatedCppToolchain().compile(src, tmp_path / "build")
+        assert result.ok
+        out = subprocess.run(result.artifact.run_argv(), capture_output=True, text=True)
+        assert "cpp says hi" in out.stdout
+
+    def test_java_stub_reproduces_output(self, tmp_path):
+        src = tmp_path / "Hello.java"
+        src.write_text(HELLO_JAVA)
+        result = SimulatedJavaToolchain().compile(src, tmp_path / "build")
+        assert result.ok
+        out = subprocess.run(result.artifact.run_argv(), capture_output=True, text=True)
+        assert out.stdout == "java says hi\n"
+
+    def test_unbalanced_braces_fail_with_line_numbers(self, tmp_path):
+        src = tmp_path / "bad.c"
+        src.write_text("int main(void) {\n  printf(\"x\");\n")
+        result = SimulatedCToolchain().compile(src, tmp_path / "build")
+        assert not result.ok
+        assert "line 1" in result.diagnostics and "unclosed" in result.diagnostics
+
+    def test_missing_entry_point_fails(self, tmp_path):
+        src = tmp_path / "lib.c"
+        src.write_text("int helper(void) { return 1; }\n")
+        result = SimulatedCToolchain().compile(src, tmp_path / "build")
+        assert not result.ok and "entry point" in result.diagnostics
+
+    def test_braces_in_strings_and_comments_ignored(self, tmp_path):
+        src = tmp_path / "tricky.c"
+        src.write_text(
+            '// a comment with { unbalanced\n'
+            '/* and a block } comment { */\n'
+            'int main(void) { printf("brace } in string {"); return 0; }\n'
+        )
+        result = SimulatedCToolchain().compile(src, tmp_path / "build")
+        assert result.ok, result.diagnostics
+
+    def test_java_requires_static_main(self, tmp_path):
+        src = tmp_path / "NoMain.java"
+        src.write_text("public class NoMain { void run() {} }\n")
+        result = SimulatedJavaToolchain().compile(src, tmp_path / "build")
+        assert not result.ok
+
+    def test_raise_on_error_raises_compilationerror(self, tmp_path):
+        from repro._errors import CompilationError
+
+        src = tmp_path / "bad.c"
+        src.write_text("int main( {")
+        result = SimulatedCToolchain().compile(src, tmp_path / "build")
+        with pytest.raises(CompilationError) as e:
+            result.raise_on_error()
+        assert e.value.diagnostics
+
+
+@pytest.mark.skipif(not has_gcc(), reason="gcc not installed")
+class TestRealC:
+    def test_compile_and_run(self, tmp_path):
+        src = tmp_path / "hello.c"
+        src.write_text(HELLO_C)
+        result = GccToolchain().compile(src, tmp_path / "build")
+        assert result.ok, result.diagnostics
+        out = subprocess.run(result.artifact.run_argv(), capture_output=True, text=True)
+        assert out.stdout == "hi there\n"
+
+    def test_compile_error_reported(self, tmp_path):
+        src = tmp_path / "bad.c"
+        src.write_text("int main(void) { undeclared_fn(; }\n")
+        result = GccToolchain().compile(src, tmp_path / "build")
+        assert not result.ok and "error" in result.diagnostics.lower()
+
+    def test_warnings_collected(self, tmp_path):
+        src = tmp_path / "warn.c"
+        src.write_text("#include <stdio.h>\nint main(void){ int unused; printf(\"x\\n\"); return 0; }\n")
+        result = GccToolchain().compile(src, tmp_path / "build")
+        assert result.ok and result.warnings
+
+    def test_cpp_real(self, tmp_path):
+        src = tmp_path / "hello.cpp"
+        src.write_text(HELLO_CPP)
+        result = GxxToolchain().compile(src, tmp_path / "build")
+        assert result.ok
+        out = subprocess.run(result.artifact.run_argv(), capture_output=True, text=True)
+        assert "cpp says hi" in out.stdout
+
+
+@pytest.mark.skipif(not has_javac(), reason="javac/java not installed")
+class TestRealJava:
+    def test_compile_and_run(self, tmp_path):
+        src = tmp_path / "Hello.java"
+        src.write_text(HELLO_JAVA)
+        result = JavacToolchain().compile(src, tmp_path / "build")
+        assert result.ok, result.diagnostics
+        assert result.artifact.entry == "Hello"
+        out = subprocess.run(result.artifact.run_argv(), capture_output=True, text=True)
+        assert out.stdout.strip() == "java says hi"
+
+    def test_registry_prefers_real_when_available(self):
+        reg = ToolchainRegistry(prefer_real=True)
+        assert reg.resolve("java").name == "javac"
