@@ -29,8 +29,10 @@ from repro.cluster.queue import JobQueue
 from repro.cluster.scheduler import (
     Allocation,
     BackfillScheduler,
+    CapacityView,
     FIFOScheduler,
     PriorityScheduler,
+    RunningEstimates,
     Scheduler,
 )
 from repro.cluster.backends import (
@@ -51,6 +53,7 @@ __all__ = [
     "Job", "JobKind", "JobRequest", "JobState",
     "JobQueue",
     "Scheduler", "FIFOScheduler", "PriorityScheduler", "BackfillScheduler", "Allocation",
+    "CapacityView", "RunningEstimates",
     "ExecutionBackend", "SubprocessBackend", "CallableBackend", "SimulatedBackend",
     "StreamCapture", "InteractiveChannel",
     "JobDistributor",

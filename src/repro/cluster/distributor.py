@@ -13,6 +13,18 @@ those resources".  :class:`JobDistributor` is that component:
 * completion callbacks free the resources and re-trigger dispatch, so
   the queue drains as capacity appears.
 
+Dispatch is *incremental and coalescing*: every trigger (submission,
+completion, fault event) marks the distributor dirty and one drain loop
+runs scheduling rounds until nothing is pending — concurrent triggers
+merge into the round already in flight instead of stacking rounds.  A
+round costs O(queue + active), not O(all jobs ever submitted): capacity
+is read through the grid's incremental index (O(1) setup per round,
+see :class:`~repro.cluster.scheduler.CapacityView`), running-job end
+estimates live in a pre-sorted structure maintained on start/finish,
+and dependency-held jobs wait in a side table so the policy never
+rescans them.  ``stats()["dispatch"]`` exposes counters (rounds, jobs
+examined, placements tried, ...) so the engine's work is observable.
+
 The distributor is time-source agnostic: pass ``now_fn=lambda: sim.now``
 with a :class:`SimulatedBackend` and the whole pipeline runs on virtual
 time; with the default wall clock it serves the live portal.
@@ -20,6 +32,7 @@ time; with the default wall clock it serves the live portal.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from typing import Callable, Optional
@@ -30,7 +43,13 @@ from repro.cluster.grid import Grid
 from repro.cluster.job import Job, JobRequest, JobState
 from repro.cluster.monitor import ClusterMonitor
 from repro.cluster.queue import JobQueue
-from repro.cluster.scheduler import Allocation, FIFOScheduler, Scheduler
+from repro.cluster.scheduler import (
+    Allocation,
+    CapacityView,
+    FIFOScheduler,
+    RunningEstimates,
+    Scheduler,
+)
 
 __all__ = ["JobDistributor"]
 
@@ -55,18 +74,70 @@ class JobDistributor:
         self.jobs: dict[str, Job] = {}
         self._handles: dict[str, ExecutionHandle] = {}
         self._lock = threading.RLock()
+        #: signalled whenever a job reaches a terminal state or a drain
+        #: finishes — :meth:`wait_all` blocks here instead of polling.
+        self._idle = threading.Condition(self._lock)
+        #: jobs whose dependencies are not yet resolved; invisible to the
+        #: policy until released (or doomed) by a scheduling round.
+        self._held: dict[str, Job] = {}
+        #: live RUNNING set — completion bookkeeping and busy checks are
+        #: O(active), never a scan over ``self.jobs``.
+        self._running: dict[str, Job] = {}
+        #: (estimated_end, cores) of running jobs, kept end-time-sorted.
+        self._run_ends: RunningEstimates = RunningEstimates()
+        self._run_entry: dict[str, tuple[float, int]] = {}
+        # Coalesced-dispatch state + observability counters.
+        self._dirty = False
+        self._draining = False
+        self._counters = {
+            "requests": 0,       # dispatch() calls (submit/completion/fault)
+            "coalesced": 0,      # requests merged into a drain in flight
+            "rounds": 0,         # scheduling rounds actually run
+            "jobs_examined": 0,  # queue entries handed to the policy
+            "placements_tried": 0,  # candidate packings attempted
+            "jobs_started": 0,
+        }
 
     # -- submission -----------------------------------------------------------
     def submit(self, request: JobRequest) -> Job:
         """Accept a request; returns the queued (or already running) Job."""
+        job = self._accept(request)
+        self.dispatch()
+        return job
+
+    def submit_array(self, request: JobRequest, count: int) -> list[Job]:
+        """Submit ``count`` clones of ``request`` (a job array).
+
+        Each element gets a ``name[k]`` suffix; elements are independent
+        (no implied ordering).  Returns them in index order.
+
+        The whole array is *batched*: every clone is enqueued first and a
+        single dispatch round then places as many as fit, instead of one
+        full scheduling round per element.
+        """
+        if count < 1:
+            raise JobError(f"array count must be >= 1, got {count}")
+        import dataclasses
+
+        jobs = [
+            self._accept(dataclasses.replace(request, name=f"{request.name}[{k}]"))
+            for k in range(count)
+        ]
+        self.dispatch()
+        return jobs
+
+    def _accept(self, request: JobRequest) -> Job:
+        """Validate and enqueue (or hold) a request without dispatching."""
         self._validate(request)
         job = Job(request)
         with self._lock:
             self.jobs[job.id] = job
             job.submitted_at = self.now_fn()
             job.transition(JobState.QUEUED)
-            self.queue.push(job)
-        self.dispatch()
+            if request.after and self._dependency_state(job) != "ready":
+                self._held[job.id] = job  # released (or doomed) by a round
+            else:
+                self.queue.push(job)
         return job
 
     def _validate(self, request: JobRequest) -> None:
@@ -74,10 +145,10 @@ class JobDistributor:
         for dep in request.after:
             if dep not in self.jobs:
                 raise JobError(f"dependency {dep!r} is not a known job id")
-        per_node_max = max((n.spec.cores for n in self.grid.compute_nodes()), default=0)
-        if request.cores_per_task > per_node_max:
+        if request.cores_per_task > self.grid.max_slave_cores:
             raise SchedulingError(
-                f"a task needs {request.cores_per_task} cores but the largest node has {per_node_max}"
+                f"a task needs {request.cores_per_task} cores but the largest node "
+                f"has {self.grid.max_slave_cores}"
             )
         if request.total_cores > self.grid.cores_total:
             raise SchedulingError(
@@ -99,43 +170,89 @@ class JobDistributor:
         return "doomed" if doomed else "ready"
 
     def dispatch(self) -> int:
-        """Run one scheduling round; returns how many jobs were started."""
+        """Request a scheduling pass; returns how many jobs this call started.
+
+        Marks the distributor dirty and, if no drain is in flight, runs
+        scheduling rounds until the dirty flag stays clear.  A call that
+        lands while another thread is draining coalesces into that drain
+        and returns 0 — the in-flight loop picks the work up.
+        """
+        with self._lock:
+            self._counters["requests"] += 1
+            self._dirty = True
+            if self._draining:
+                self._counters["coalesced"] += 1
+                return 0
+            self._draining = True
+        started = 0
+        try:
+            while True:
+                with self._lock:
+                    if not self._dirty:
+                        # Clearing _draining atomically with the dirty check
+                        # closes the lost-wakeup window.
+                        self._draining = False
+                        self._idle.notify_all()
+                        return started
+                    self._dirty = False
+                started += self._dispatch_round()
+        except BaseException:
+            with self._lock:
+                self._draining = False
+                self._idle.notify_all()
+            raise
+
+    def _dispatch_round(self) -> int:
+        """One scheduling round; returns how many jobs were started."""
         started = 0
         with self._lock:
-            # Dependency gating: held jobs are invisible to the policy (so
-            # they never head-block FIFO); jobs whose required-success
-            # dependency failed are cancelled.
-            eligible = []
-            for job in self.queue.snapshot():
-                state = self._dependency_state(job)
-                if state == "ready":
-                    eligible.append(job)
-                elif state == "doomed":
-                    self.queue.remove(job)
-                    job.error = "dependency failed"
-                    job.try_transition(JobState.CANCELLED)
-                    job.finished_at = self.now_fn()
-                    self.monitor.record_job(job)
-            running = self._running_estimates()
+            self._counters["rounds"] += 1
+            # Dependency gating over the held side table only (the main
+            # queue never carries unresolved dependencies): released jobs
+            # re-enter the queue at their submission-order position, jobs
+            # whose required-success dependency failed are cancelled.
+            if self._held:
+                for job in list(self._held.values()):
+                    state = self._dependency_state(job)
+                    if state == "held":
+                        continue
+                    del self._held[job.id]
+                    if state == "ready":
+                        self.queue.push(job)
+                    else:  # doomed
+                        job.error = "dependency failed"
+                        job.try_transition(JobState.CANCELLED)
+                        job.finished_at = self.now_fn()
+                        self.monitor.record_job(job)
+            eligible = self.queue.snapshot()
+            view = CapacityView(self.grid)
             picks = self.scheduler.select(
-                eligible, self.grid, now=self.now_fn(), running=running
+                eligible, self.grid, now=self.now_fn(), running=self._run_ends,
+                view=view,
             )
+            self._counters["jobs_examined"] += len(eligible)
+            self._counters["placements_tried"] += view.probes
             for job, alloc in picks:
                 if not self.queue.remove(job):
                     continue  # raced with a cancel
                 try:
                     self._reserve(job, alloc)
                 except Exception:
-                    # Placement raced with a node failure: requeue.
+                    # Placement raced with a node failure: requeue (the
+                    # ordered queue restores its original position).
                     self.queue.push(job)
                     continue
                 job.transition(JobState.RUNNING)
                 job.started_at = self.now_fn()
+                self._register_running(job)
                 handle = self.backend.launch(job)
                 self._handles[job.id] = handle
                 handle.on_done(self._on_finished)
                 started += 1
-            self.monitor.sample(self.grid, self.now_fn(), queued=len(self.queue))
+            self._counters["jobs_started"] += started
+            self.monitor.sample(
+                self.grid, self.now_fn(), queued=len(self.queue) + len(self._held)
+            )
         return started
 
     def _reserve(self, job: Job, alloc: Allocation) -> None:
@@ -153,19 +270,31 @@ class JobDistributor:
             raise
         job.placement = alloc.as_dict()
 
-    def _running_estimates(self) -> list[tuple[float, int]]:
-        """(estimated end, cores) for running jobs — feeds backfill."""
-        out = []
-        for job in self.jobs.values():
-            if job.state is not JobState.RUNNING or job.started_at is None:
-                continue
-            est = job.request.est_runtime_s
-            if est is None:
-                est = job.request.sim_duration
-            if est is None:
-                continue
-            out.append((job.started_at + est, job.request.total_cores))
-        return out
+    def _register_running(self, job: Job) -> None:
+        """Track a just-started job in the O(active) running structures."""
+        self._running[job.id] = job
+        est = job.request.est_runtime_s
+        if est is None:
+            est = job.request.sim_duration
+        if est is None:
+            return  # estimate-less jobs are invisible to backfill
+        entry = (job.started_at + est, job.request.total_cores)
+        bisect.insort(self._run_ends, entry)
+        self._run_entry[job.id] = entry
+
+    def _deregister_running(self, job: Job) -> None:
+        """Drop a job from the running structures (completion or fault)."""
+        self._running.pop(job.id, None)
+        entry = self._run_entry.pop(job.id, None)
+        if entry is not None:
+            i = bisect.bisect_left(self._run_ends, entry)
+            if i < len(self._run_ends) and self._run_ends[i] == entry:
+                del self._run_ends[i]
+
+    def _running_estimates(self) -> RunningEstimates:
+        """(estimated end, cores) for running jobs, end-sorted — O(active)."""
+        with self._lock:
+            return RunningEstimates(self._run_ends)
 
     # -- completion -----------------------------------------------------------
     def _on_finished(self, job: Job) -> None:
@@ -176,23 +305,10 @@ class JobDistributor:
                 if node.holds(job.id):
                     node.free(job.id)
             self._handles.pop(job.id, None)
+            self._deregister_running(job)
             self.monitor.record_job(job)
+            self._idle.notify_all()
         self.dispatch()
-
-    def submit_array(self, request: JobRequest, count: int) -> list[Job]:
-        """Submit ``count`` clones of ``request`` (a job array).
-
-        Each element gets a ``name[k]`` suffix; elements are independent
-        (no implied ordering).  Returns them in index order.
-        """
-        if count < 1:
-            raise JobError(f"array count must be >= 1, got {count}")
-        import dataclasses
-
-        return [
-            self.submit(dataclasses.replace(request, name=f"{request.name}[{k}]"))
-            for k in range(count)
-        ]
 
     # -- control ---------------------------------------------------------------
     def cancel(self, job_id: str) -> bool:
@@ -205,7 +321,9 @@ class JobDistributor:
                 return False
             if job.state in (JobState.PENDING, JobState.QUEUED):
                 self.queue.remove(job)
+                self._held.pop(job.id, None)
                 job.try_transition(JobState.CANCELLED)
+                self._idle.notify_all()
                 return True
             handle = self._handles.get(job_id)
         if handle is not None:
@@ -220,28 +338,35 @@ class JobDistributor:
         except KeyError:
             raise JobError(f"unknown job {job_id!r}") from None
 
+    def _busy(self) -> bool:
+        """Anything queued, held on dependencies, or running? (lock held)"""
+        return bool(len(self.queue) or self._held or self._running)
+
     def wait_all(self, timeout: float = 60.0) -> bool:
-        """Block until no job is queued or running (wall-clock backends)."""
+        """Block until no job is queued or running (wall-clock backends).
+
+        Event-driven: waits on a condition variable signalled at every
+        terminal transition and drain completion — no polling sleep.
+        """
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            with self._lock:
-                busy = len(self.queue) or any(
-                    j.state is JobState.RUNNING for j in self.jobs.values()
-                )
-            if not busy:
-                return True
-            time.sleep(0.01)
-        return False
+        with self._idle:
+            while self._busy():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
 
     def stats(self) -> dict:
-        """Queue/running/terminal counts plus grid utilisation."""
+        """Queue/running/terminal counts, grid utilisation, dispatch counters."""
         with self._lock:
             by_state: dict[str, int] = {}
             for j in self.jobs.values():
                 by_state[j.state.value] = by_state.get(j.state.value, 0) + 1
             return {
                 "jobs": dict(by_state),
-                "queued": len(self.queue),
+                "queued": len(self.queue) + len(self._held),
                 "grid": self.grid.snapshot(),
                 "policy": self.scheduler.name,
+                "dispatch": dict(self._counters),
             }

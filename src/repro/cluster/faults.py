@@ -62,6 +62,10 @@ class FaultInjector:
                     if n.holds(job_id):
                         n.free(job_id)
                 job.placement.clear()
+                # Drop it from the running index now — its backend handle
+                # (if any) completes later, but the scheduler must stop
+                # counting the dead job's cores immediately.
+                self.distributor._deregister_running(job)
             if resubmit:
                 self.distributor.submit(job.request)
         self.distributor.dispatch()

@@ -17,6 +17,11 @@ class Grid:
 
     Provides node lookup and free-capacity queries; scheduling policy
     lives in :mod:`repro.cluster.scheduler`, which operates *on* a grid.
+
+    Capacity queries are O(1): every allocate/free/state change bubbles
+    up node → segment → grid, so :attr:`cores_free`, the per-segment
+    totals, and the most-free segment ordering used by placement are
+    maintained incrementally instead of being recomputed per query.
     """
 
     def __init__(self, spec: ClusterSpec | None = None) -> None:
@@ -28,6 +33,22 @@ class Grid:
             self._by_name[seg.master.name] = seg.master
             for n in seg.slaves:
                 self._by_name[n.name] = n
+        # Static inventory facts (specs never change after construction).
+        self._cores_total = sum(n.spec.cores for n in self.compute_nodes())
+        self._max_slave_cores = max((n.spec.cores for n in self.compute_nodes()), default=0)
+        self._gpu_nodes = [n for n in self.compute_nodes() if n.spec.has_gpu]
+        # Incremental capacity index, fed by segment change events.
+        self._cores_free = sum(seg.cores_free for seg in self.segments)
+        self._seg_order: Optional[list[Segment]] = None
+        self._up_nodes: Optional[list[Node]] = None
+        for seg in self.segments:
+            seg._observer = self._on_segment_change
+
+    def _on_segment_change(self, seg: Segment, state_changed: bool) -> None:
+        self._cores_free = sum(s.cores_free for s in self.segments)
+        self._seg_order = None
+        if state_changed:
+            self._up_nodes = None
 
     # -- lookup ------------------------------------------------------------
     def node(self, name: str) -> Node:
@@ -50,29 +71,46 @@ class Grid:
             yield from seg.slaves
 
     def up_compute_nodes(self) -> list[Node]:
-        """Slave nodes currently accepting work."""
-        from repro.cluster.node import NodeState
-
-        return [n for n in self.compute_nodes() if n.state is NodeState.UP]
+        """Slave nodes currently accepting work (cached until a state change)."""
+        if self._up_nodes is None:
+            self._up_nodes = [n for seg in self.segments for n in seg.up_slaves()]
+        return self._up_nodes
 
     def gpu_nodes(self) -> list[Node]:
         """Slaves carrying a GPU."""
-        return [n for n in self.compute_nodes() if n.spec.has_gpu]
+        return list(self._gpu_nodes)
 
     # -- capacity -----------------------------------------------------------
     @property
     def cores_free(self) -> int:
-        return sum(n.cores_free for n in self.compute_nodes())
+        return self._cores_free
 
     @property
     def cores_total(self) -> int:
-        return sum(n.spec.cores for n in self.compute_nodes())
+        return self._cores_total
+
+    @property
+    def max_slave_cores(self) -> int:
+        """Core count of the largest slave node (static)."""
+        return self._max_slave_cores
 
     @property
     def load(self) -> float:
         """Fraction of all slave cores in use."""
-        total = self.cores_total
-        return (total - self.cores_free) / total if total else 0.0
+        total = self._cores_total
+        return (total - self._cores_free) / total if total else 0.0
+
+    def segments_by_free(self) -> list[Segment]:
+        """Segments ordered most-free-first, re-sorted only after a change.
+
+        Placement probes this cached ordering; between capacity changes
+        (and in particular across every job placed within one scheduling
+        round) the list is reused as-is.  Ties keep inventory order, as
+        :func:`sorted` is stable.
+        """
+        if self._seg_order is None:
+            self._seg_order = sorted(self.segments, key=lambda s: -s.cores_free)
+        return self._seg_order
 
     def find_node_for(self, cores: int, memory_mb: int = 0, need_gpu: bool = False) -> Optional[Node]:
         """First-fit slave for a single-node allocation (segment order)."""

@@ -120,7 +120,10 @@ class Job:
 
     def __init__(self, request: JobRequest, job_id: str | None = None) -> None:
         self.request = request
-        self.id = job_id or f"job-{next(_job_counter):06d}"
+        #: monotone creation sequence — the queue keeps jobs sorted by it,
+        #: so a re-queued job regains its original submission position.
+        self.seq = next(_job_counter)
+        self.id = job_id or f"job-{self.seq:06d}"
         self._state = JobState.PENDING
         self._lock = threading.Lock()
         self.stdout = StreamCapture(f"{self.id}.stdout")

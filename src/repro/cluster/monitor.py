@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
@@ -47,22 +48,26 @@ class ClusterMonitor:
     """Collects utilisation samples and accounting records.
 
     The portal's monitor page and the scheduling benchmarks both read
-    from here; everything is thread-safe and append-only.
+    from here; everything is thread-safe.  Utilisation samples live in a
+    bounded ring buffer (``max_samples``, default 4096): one sample is
+    taken per dispatch round, so an unbounded buffer would grow forever
+    on a long-running portal — the ring keeps the newest window and
+    makes each insert O(1).
     """
 
-    def __init__(self, max_samples: int = 100_000) -> None:
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.max_samples = max_samples
-        self._samples: list[UtilisationSample] = []
+        self._samples: deque[UtilisationSample] = deque(maxlen=max_samples)
         self._records: list[AccountingRecord] = []
         self._lock = threading.Lock()
 
     def sample(self, grid: Grid, t: float, queued: int = 0) -> None:
-        """Record the grid's load at time ``t``."""
+        """Record the grid's load at time ``t`` (evicts the oldest when full)."""
         s = UtilisationSample(t=t, load=grid.load, cores_free=grid.cores_free, queued=queued)
         with self._lock:
             self._samples.append(s)
-            if len(self._samples) > self.max_samples:
-                self._samples = self._samples[-self.max_samples :]
 
     def record_job(self, job: Job) -> None:
         """Append the accounting line for a finished job."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro._errors import ResourceError
 from repro.cluster.spec import NodeSpec
@@ -25,6 +25,11 @@ class Node:
     All mutation goes through :meth:`allocate` / :meth:`free`, which keep
     the invariant ``0 <= used <= capacity`` and reject double frees —
     property-based tests hammer exactly this.
+
+    Used totals are maintained incrementally (``cores_free`` is O(1)),
+    and every mutation notifies an optional observer — the owning
+    :class:`~repro.cluster.segment.Segment` — so segment/grid free-capacity
+    indexes stay current without rescanning the inventory.
     """
 
     def __init__(self, name: str, spec: NodeSpec, segment: str = "") -> None:
@@ -34,28 +39,36 @@ class Node:
         self.state = NodeState.UP
         self._job_cores: Dict[str, int] = {}
         self._job_memory: Dict[str, int] = {}
+        self._cores_used = 0
+        self._memory_used = 0
+        #: capacity-change callback, set by the owning segment (if any)
+        self._observer: Optional[Callable[["Node"], None]] = None
+
+    def _notify(self) -> None:
+        if self._observer is not None:
+            self._observer(self)
 
     # -- capacity ----------------------------------------------------------
     @property
     def cores_used(self) -> int:
-        return sum(self._job_cores.values())
+        return self._cores_used
 
     @property
     def cores_free(self) -> int:
-        return self.spec.cores - self.cores_used if self.state is NodeState.UP else 0
+        return self.spec.cores - self._cores_used if self.state is NodeState.UP else 0
 
     @property
     def memory_used_mb(self) -> int:
-        return sum(self._job_memory.values())
+        return self._memory_used
 
     @property
     def memory_free_mb(self) -> int:
-        return self.spec.memory_mb - self.memory_used_mb if self.state is NodeState.UP else 0
+        return self.spec.memory_mb - self._memory_used if self.state is NodeState.UP else 0
 
     @property
     def load(self) -> float:
         """Fraction of cores in use (0..1)."""
-        return self.cores_used / self.spec.cores
+        return self._cores_used / self.spec.cores
 
     @property
     def running_jobs(self) -> tuple[str, ...]:
@@ -87,15 +100,19 @@ class Node:
                 f"node {self.name}: requested {memory_mb} MB, only {self.memory_free_mb} free"
             )
         self._job_cores[job_id] = cores
+        self._cores_used += cores
         if memory_mb:
             self._job_memory[job_id] = memory_mb
+            self._memory_used += memory_mb
+        self._notify()
 
     def free(self, job_id: str) -> None:
         """Release everything ``job_id`` holds here. Raises on double free."""
         if job_id not in self._job_cores:
             raise ResourceError(f"job {job_id} holds nothing on node {self.name}")
-        del self._job_cores[job_id]
-        self._job_memory.pop(job_id, None)
+        self._cores_used -= self._job_cores.pop(job_id)
+        self._memory_used -= self._job_memory.pop(job_id, 0)
+        self._notify()
 
     def holds(self, job_id: str) -> bool:
         """Whether ``job_id`` currently has an allocation here."""
@@ -108,16 +125,21 @@ class Node:
         self.state = NodeState.DOWN
         self._job_cores.clear()
         self._job_memory.clear()
+        self._cores_used = 0
+        self._memory_used = 0
+        self._notify()
         return victims
 
     def mark_up(self) -> None:
         """Bring the node back into service (empty)."""
         self.state = NodeState.UP
+        self._notify()
 
     def drain(self) -> None:
         """Stop accepting new work; running jobs continue."""
         if self.state is NodeState.UP:
             self.state = NodeState.DRAINING
+            self._notify()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

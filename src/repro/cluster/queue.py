@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 import threading
 from typing import Iterator, Optional
 
@@ -18,6 +19,12 @@ class JobQueue:
     pull (FIFO takes the head, priority scans, backfill peeks deeper), so
     the queue exposes ordered iteration and positional removal rather
     than a single ``pop``.
+
+    Order is defined by ``job.seq`` (creation order): the common case is
+    an O(1) append, but a job pushed out of order — e.g. re-queued after
+    a placement raced with a node failure, or released from a dependency
+    hold — is inserted back at its original submission position instead
+    of the tail, so FIFO semantics survive requeues.
     """
 
     def __init__(self) -> None:
@@ -25,13 +32,16 @@ class JobQueue:
         self._lock = threading.Lock()
 
     def push(self, job: Job) -> None:
-        """Append a job (must be QUEUED)."""
+        """Add a job (must be QUEUED) at its submission-order position."""
         if job.state is not JobState.QUEUED:
             raise SchedulingError(
                 f"only QUEUED jobs enter the queue; {job.id} is {job.state.value}"
             )
         with self._lock:
-            self._jobs.append(job)
+            if not self._jobs or self._jobs[-1].seq <= job.seq:
+                self._jobs.append(job)
+            else:
+                bisect.insort(self._jobs, job, key=lambda j: j.seq)
 
     def remove(self, job: Job) -> bool:
         """Remove a specific job (e.g. on cancel). Returns success."""

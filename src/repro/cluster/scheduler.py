@@ -7,6 +7,14 @@ parallel job is packed into the emptiest single segment that can hold it
 before being allowed to straddle segments (inter-segment traffic costs
 3 hops in the network model, so the preference is measurable).
 
+Free capacity is read through a *capacity view* — either the legacy
+:class:`_Shadow` (a full per-round rebuild that snapshots every node) or
+the incremental :class:`CapacityView` (O(1) setup over the grid's live
+index, with a per-round overlay of tentative takes).  Both expose the
+same interface and produce identical placements; the distributor passes
+a :class:`CapacityView` per round, while direct ``select()`` calls fall
+back to a fresh ``_Shadow`` so standalone use keeps working.
+
 Three policies, ablated in ``benchmarks/bench_cluster.py``:
 
 * :class:`FIFOScheduler` — strict arrival order; the head blocks the queue.
@@ -26,7 +34,15 @@ from typing import Iterable, Optional, Sequence
 from repro.cluster.grid import Grid
 from repro.cluster.job import Job, JobRequest
 
-__all__ = ["Allocation", "Scheduler", "FIFOScheduler", "PriorityScheduler", "BackfillScheduler"]
+__all__ = [
+    "Allocation",
+    "CapacityView",
+    "RunningEstimates",
+    "Scheduler",
+    "FIFOScheduler",
+    "PriorityScheduler",
+    "BackfillScheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -44,15 +60,37 @@ class Allocation:
         return dict(self.placement)
 
 
+class RunningEstimates(list):
+    """``(estimated_end, cores)`` pairs kept sorted by the distributor.
+
+    The ``presorted`` flag lets :class:`BackfillScheduler` skip its
+    defensive re-sort; plain lists/tuples are still accepted and sorted
+    on the fly.
+    """
+
+    presorted = True
+
+
 class _Shadow:
-    """Free-capacity view that accounts for picks made earlier this round."""
+    """Free-capacity view rebuilt from scratch (the pre-index reference).
+
+    Walks every up node at construction — O(nodes) per scheduling round.
+    Kept as the reference implementation the equivalence tests replay
+    against; the hot path uses :class:`CapacityView` instead.
+    """
 
     def __init__(self, grid: Grid) -> None:
+        self.grid = grid
         self.cores: dict[str, int] = {}
         self.memory: dict[str, int] = {}
+        self._seg_free: dict[str, int] = {s.name: 0 for s in grid.segments}
+        self._total = 0
+        self.probes = 0
         for n in grid.up_compute_nodes():
             self.cores[n.name] = n.cores_free
             self.memory[n.name] = n.memory_free_mb
+            self._seg_free[n.segment] += n.cores_free
+            self._total += n.cores_free
 
     def fits(self, node, cores: int, memory_mb: int, need_gpu: bool) -> bool:
         if need_gpu and not node.spec.has_gpu:
@@ -62,31 +100,98 @@ class _Shadow:
             and self.memory.get(node.name, 0) >= memory_mb
         )
 
+    def free(self, node) -> tuple[int, int]:
+        """(free cores, free memory) of ``node`` under this view."""
+        return self.cores.get(node.name, 0), self.memory.get(node.name, 0)
+
+    def seg_free_cores(self, seg) -> int:
+        """Total free cores in segment ``seg`` under this view."""
+        return self._seg_free.get(seg.name, 0)
+
     def take(self, node_name: str, cores: int, memory_mb: int) -> None:
         self.cores[node_name] -= cores
         self.memory[node_name] -= memory_mb
+        self._seg_free[self.grid.node(node_name).segment] -= cores
+        self._total -= cores
 
     @property
     def total_free_cores(self) -> int:
-        return sum(self.cores.values())
+        return self._total
 
 
-def place_request(grid: Grid, request: JobRequest, shadow: _Shadow) -> Optional[list[tuple[str, int]]]:
+class CapacityView:
+    """Incremental free-capacity view: live index + per-round overlay.
+
+    Construction is O(1): reads go straight to the grid's incrementally
+    maintained totals (``node.cores_free`` etc. are O(1)), minus
+    whatever earlier picks in the same round tentatively took.  Nothing
+    here mutates the grid — the distributor commits accepted plans with
+    real ``allocate()`` calls after ``select()`` returns.
+    """
+
+    __slots__ = ("grid", "_cores_taken", "_mem_taken", "_seg_taken", "_taken_total", "probes")
+
+    def __init__(self, grid: Grid) -> None:
+        self.grid = grid
+        self._cores_taken: dict[str, int] = {}
+        self._mem_taken: dict[str, int] = {}
+        self._seg_taken: dict[str, int] = {}
+        self._taken_total = 0
+        self.probes = 0
+
+    def fits(self, node, cores: int, memory_mb: int, need_gpu: bool) -> bool:
+        if need_gpu and not node.spec.has_gpu:
+            return False
+        free_c, free_m = self.free(node)
+        return free_c >= cores and free_m >= memory_mb
+
+    def free(self, node) -> tuple[int, int]:
+        """(free cores, free memory) of ``node`` under this view."""
+        return (
+            node.cores_free - self._cores_taken.get(node.name, 0),
+            node.memory_free_mb - self._mem_taken.get(node.name, 0),
+        )
+
+    def seg_free_cores(self, seg) -> int:
+        """Total free cores in segment ``seg`` under this view."""
+        return seg.cores_free - self._seg_taken.get(seg.name, 0)
+
+    def take(self, node_name: str, cores: int, memory_mb: int) -> None:
+        node = self.grid.node(node_name)
+        self._cores_taken[node_name] = self._cores_taken.get(node_name, 0) + cores
+        self._mem_taken[node_name] = self._mem_taken.get(node_name, 0) + memory_mb
+        self._seg_taken[node.segment] = self._seg_taken.get(node.segment, 0) + cores
+        self._taken_total += cores
+
+    @property
+    def total_free_cores(self) -> int:
+        return self.grid.cores_free - self._taken_total
+
+
+def place_request(grid: Grid, request: JobRequest, shadow) -> Optional[list[tuple[str, int]]]:
     """Find nodes for every task of ``request`` against ``shadow``.
 
     Returns ``[(node_name, cores), ...]`` — one entry per task — or
     ``None`` when the job cannot start now.  Does *not* mutate the
     shadow; the caller commits with :func:`commit_placement` once it
     decides to take the plan.
+
+    Candidate sets are quick-rejected on aggregate free cores (a pack
+    over nodes whose free cores sum below the job's need can never
+    succeed), so a failed placement costs O(segments), not O(nodes).
     """
     cores = request.cores_per_task
     mem = request.memory_mb_per_task
     tasks = request.n_tasks
+    need = request.total_cores
 
     def pack(nodes) -> Optional[list[tuple[str, int]]]:
+        shadow.probes += 1
         plan: list[tuple[str, int]] = []
-        avail = {n.name: shadow.cores.get(n.name, 0) for n in nodes}
-        avail_mem = {n.name: shadow.memory.get(n.name, 0) for n in nodes}
+        avail: dict[str, int] = {}
+        avail_mem: dict[str, int] = {}
+        for n in nodes:
+            avail[n.name], avail_mem[n.name] = shadow.free(n)
         for _ in range(tasks):
             chosen = None
             for n in nodes:
@@ -103,16 +208,21 @@ def place_request(grid: Grid, request: JobRequest, shadow: _Shadow) -> Optional[
         return plan
 
     # 1. Try to pack the whole job inside one segment (most-free first).
-    segments = sorted(grid.segments, key=lambda s: -s.cores_free)
-    for seg in segments:
+    for seg in grid.segments_by_free():
+        if request.need_gpu and not seg.has_gpu:
+            continue
+        if shadow.seg_free_cores(seg) < need:
+            continue
         plan = pack(seg.up_slaves())
         if plan is not None:
             return plan
     # 2. Fall back to the whole grid.
+    if shadow.total_free_cores < need:
+        return None
     return pack(grid.up_compute_nodes())
 
 
-def commit_placement(shadow: _Shadow, plan: list[tuple[str, int]], request: JobRequest) -> None:
+def commit_placement(shadow, plan: list[tuple[str, int]], request: JobRequest) -> None:
     """Deduct a accepted plan from the shadow."""
     for node_name, cores in plan:
         shadow.take(node_name, cores, request.memory_mb_per_task)
@@ -137,6 +247,7 @@ class Scheduler:
         grid: Grid,
         now: float = 0.0,
         running: Iterable[tuple[float, int]] = (),
+        view=None,
     ) -> list[tuple[Job, Allocation]]:
         """Jobs to start now.
 
@@ -150,7 +261,13 @@ class Scheduler:
             Current (virtual or wall) time — used by backfill.
         running:
             ``(estimated_end_time, total_cores)`` of running jobs — used
-            by backfill's reservation computation.
+            by backfill's reservation computation.  A
+            :class:`RunningEstimates` instance is trusted to be
+            end-time-sorted already.
+        view:
+            Optional capacity view to schedule against (the distributor
+            passes an O(1)-setup :class:`CapacityView`); ``None`` builds
+            a fresh :class:`_Shadow` rebuild.
         """
         raise NotImplementedError
 
@@ -160,8 +277,8 @@ class FIFOScheduler(Scheduler):
 
     name = "fifo"
 
-    def select(self, queue, grid, now=0.0, running=()):
-        shadow = _Shadow(grid)
+    def select(self, queue, grid, now=0.0, running=(), view=None):
+        shadow = view if view is not None else _Shadow(grid)
         picks: list[tuple[Job, Allocation]] = []
         for job in queue:
             plan = place_request(grid, job.request, shadow)
@@ -197,14 +314,16 @@ class PriorityScheduler(Scheduler):
         waited = max(0.0, now - submitted)
         return job.request.priority + self.aging_rate * waited
 
-    def select(self, queue, grid, now=0.0, running=()):
-        shadow = _Shadow(grid)
+    def select(self, queue, grid, now=0.0, running=(), view=None):
+        shadow = view if view is not None else _Shadow(grid)
         picks: list[tuple[Job, Allocation]] = []
         ordered = sorted(
             enumerate(queue),
             key=lambda p: (-self.effective_priority(p[1], now), p[0]),
         )
         for _, job in ordered:
+            if shadow.total_free_cores <= 0:
+                break  # nothing can place once the view is exhausted
             plan = place_request(grid, job.request, shadow)
             if plan is not None:
                 commit_placement(shadow, plan, job.request)
@@ -230,8 +349,8 @@ class BackfillScheduler(Scheduler):
     def __init__(self) -> None:
         pass
 
-    def select(self, queue, grid, now=0.0, running=()):
-        shadow = _Shadow(grid)
+    def select(self, queue, grid, now=0.0, running=(), view=None):
+        shadow = view if view is not None else _Shadow(grid)
         picks: list[tuple[Job, Allocation]] = []
         queue = list(queue)
 
@@ -261,6 +380,8 @@ class BackfillScheduler(Scheduler):
             free_at_reservation = 0
 
         for job in queue[1:]:
+            if shadow.total_free_cores <= 0:
+                break  # no candidate can place against an exhausted view
             est = getattr(job.request, "est_runtime_s", None)
             if est is None:
                 continue
@@ -282,11 +403,17 @@ class BackfillScheduler(Scheduler):
     def _reserved_start(
         need: int, free_now: int, now: float, running: Iterable[tuple[float, int]]
     ) -> Optional[float]:
-        """Earliest time cumulative free cores reach ``need``."""
+        """Earliest time cumulative free cores reach ``need``.
+
+        ``running`` sorted ascending by end time is consumed as-is when
+        it advertises ``presorted`` (the distributor's
+        :class:`RunningEstimates` does); anything else is sorted here.
+        """
         free = free_now
         if free >= need:
             return now
-        for end, cores in sorted(running):
+        ends = running if getattr(running, "presorted", False) else sorted(running)
+        for end, cores in ends:
             free += cores
             if free >= need:
                 return max(end, now)

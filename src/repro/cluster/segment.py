@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator, Optional
 
-from repro.cluster.node import Node
+from repro.cluster.node import Node, NodeState
 from repro.cluster.spec import SegmentSpec
 
 __all__ = ["Segment"]
@@ -16,6 +16,12 @@ class Segment:
     The master node exists in the inventory (it runs the segment's
     services) but is never handed out for job execution — jobs run on
     slaves only, as on the real machine.
+
+    Free-core/free-memory totals are maintained incrementally: each slave
+    notifies the segment on allocate/free/state changes, and the segment
+    adjusts its cached totals by the delta instead of rescanning slaves.
+    The segment forwards the event to the grid (when attached) so the
+    grid-level index and most-free segment ordering stay current too.
     """
 
     def __init__(self, spec: SegmentSpec) -> None:
@@ -26,6 +32,37 @@ class Segment:
             Node(f"{spec.name}-n{i:02d}", spec.slave_spec, segment=spec.name)
             for i in range(spec.n_slaves)
         ]
+        #: static: does any slave carry a GPU? (spec-level, state-independent)
+        self.has_gpu = any(n.spec.has_gpu for n in self.slaves)
+        self._cores_total = sum(n.spec.cores for n in self.slaves)
+        # Incremental capacity index over the slaves.
+        self._node_free: dict[str, tuple[int, int]] = {}
+        self._node_state: dict[str, NodeState] = {}
+        self._cores_free = 0
+        self._memory_free = 0
+        for n in self.slaves:
+            self._node_free[n.name] = (n.cores_free, n.memory_free_mb)
+            self._node_state[n.name] = n.state
+            self._cores_free += n.cores_free
+            self._memory_free += n.memory_free_mb
+            n._observer = self._on_slave_change
+        self._up_cache: Optional[list[Node]] = None
+        #: capacity-change callback, set by the owning grid (if any);
+        #: called as ``observer(segment, state_changed)``.
+        self._observer: Optional[Callable[["Segment", bool], None]] = None
+
+    def _on_slave_change(self, node: Node) -> None:
+        old_c, old_m = self._node_free[node.name]
+        new_c, new_m = node.cores_free, node.memory_free_mb
+        self._node_free[node.name] = (new_c, new_m)
+        self._cores_free += new_c - old_c
+        self._memory_free += new_m - old_m
+        state_changed = self._node_state[node.name] is not node.state
+        if state_changed:
+            self._node_state[node.name] = node.state
+            self._up_cache = None
+        if self._observer is not None:
+            self._observer(self, state_changed)
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self.slaves)
@@ -35,23 +72,27 @@ class Segment:
 
     @property
     def cores_free(self) -> int:
-        return sum(n.cores_free for n in self.slaves)
+        return self._cores_free
+
+    @property
+    def memory_free_mb(self) -> int:
+        return self._memory_free
 
     @property
     def cores_total(self) -> int:
-        return sum(n.spec.cores for n in self.slaves)
+        return self._cores_total
 
     @property
     def load(self) -> float:
         """Fraction of the segment's slave cores in use."""
-        total = self.cores_total
-        return (total - self.cores_free) / total if total else 0.0
+        total = self._cores_total
+        return (total - self._cores_free) / total if total else 0.0
 
     def up_slaves(self) -> list[Node]:
-        """Slaves currently accepting work."""
-        from repro.cluster.node import NodeState
-
-        return [n for n in self.slaves if n.state is NodeState.UP]
+        """Slaves currently accepting work (cached until a state change)."""
+        if self._up_cache is None:
+            self._up_cache = [n for n in self.slaves if n.state is NodeState.UP]
+        return self._up_cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Segment {self.name} {len(self.slaves)} slaves, {self.cores_free} cores free>"
