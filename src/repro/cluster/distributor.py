@@ -97,6 +97,10 @@ class JobDistributor:
             "placements_tried": 0,  # candidate packings attempted
             "jobs_started": 0,
         }
+        #: monotone state-change counter: bumps on submit, start, finish
+        #: and cancel.  Cheap to read; the portal keys its cluster-status
+        #: response cache on it, so a stale snapshot is never served.
+        self._version = 0
 
     # -- submission -----------------------------------------------------------
     def submit(self, request: JobRequest) -> Job:
@@ -132,6 +136,7 @@ class JobDistributor:
         job = Job(request)
         with self._lock:
             self.jobs[job.id] = job
+            self._version += 1
             job.submitted_at = self.now_fn()
             job.transition(JobState.QUEUED)
             if request.after and self._dependency_state(job) != "ready":
@@ -250,6 +255,7 @@ class JobDistributor:
                 handle.on_done(self._on_finished)
                 started += 1
             self._counters["jobs_started"] += started
+            self._version += started
             self.monitor.sample(
                 self.grid, self.now_fn(), queued=len(self.queue) + len(self._held)
             )
@@ -307,6 +313,7 @@ class JobDistributor:
             self._handles.pop(job.id, None)
             self._deregister_running(job)
             self.monitor.record_job(job)
+            self._version += 1
             self._idle.notify_all()
         self.dispatch()
 
@@ -323,6 +330,7 @@ class JobDistributor:
                 self.queue.remove(job)
                 self._held.pop(job.id, None)
                 job.try_transition(JobState.CANCELLED)
+                self._version += 1
                 self._idle.notify_all()
                 return True
             handle = self._handles.get(job_id)
@@ -337,6 +345,11 @@ class JobDistributor:
             return self.jobs[job_id]
         except KeyError:
             raise JobError(f"unknown job {job_id!r}") from None
+
+    @property
+    def version(self) -> int:
+        """Monotone job-state-change counter (see ``_version``)."""
+        return self._version
 
     def _busy(self) -> bool:
         """Anything queued, held on dependencies, or running? (lock held)"""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from itertools import islice
 from typing import Deque, Optional
 
 __all__ = ["StreamCapture", "InteractiveChannel"]
@@ -72,19 +73,38 @@ class StreamCapture:
         Returns ``(lines, next_index, truncated)`` where ``truncated``
         warns that lines before ``since`` were evicted (client asked for
         history that no longer exists).
+
+        Copies only the requested suffix via ``islice`` — indexing a
+        deque is O(distance-from-end), so the old per-index loop was
+        quadratic in the slice length.
         """
         with self._lock:
             first = self._first_index
             end = first + len(self._lines)
             truncated = since < first
-            start = max(since, first)
-            lines = [self._lines[i - first] for i in range(start, end)]
+            start = max(since, first) - first
+            if start <= 0:
+                lines = list(self._lines)
+            elif start >= len(self._lines):
+                lines = []
+            else:
+                lines = list(islice(self._lines, start, None))
             return lines, end, truncated
 
+    def text_since(self, since: int = 0) -> tuple[str, int, bool]:
+        """Like :meth:`read_since` but pre-joined with newlines.
+
+        One string instead of a list of lines — what the HTML job page
+        and log download want, without a per-poll list of substrings.
+        """
+        lines, end, truncated = self.read_since(since)
+        return "\n".join(lines), end, truncated
+
     def tail(self, n: int = 20) -> list[str]:
-        """The newest ``n`` lines."""
+        """The newest ``n`` lines (copies only those ``n``)."""
         with self._lock:
-            return list(self._lines)[-n:]
+            start = max(0, len(self._lines) - n)
+            return list(islice(self._lines, start, None))
 
     def text(self) -> str:
         """Everything still buffered, joined with newlines."""

@@ -22,6 +22,7 @@ in-process (tests) or over real HTTP (:mod:`~repro.portal.server`).
 """
 
 from repro.portal.http import HttpError, Request, Response
+from repro.portal.respcache import CachedResponse, ResponseCache
 from repro.portal.routing import Router
 from repro.portal.sessions import SessionStore
 from repro.portal.auth import User, UserStore
@@ -36,6 +37,8 @@ __all__ = [
     "Response",
     "HttpError",
     "Router",
+    "ResponseCache",
+    "CachedResponse",
     "SessionStore",
     "User",
     "UserStore",

@@ -31,7 +31,9 @@ HTML pages: ``GET /`` (dashboard), ``GET/POST /login``, ``POST /logout``.
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from email.utils import formatdate
+from typing import Callable, Optional
 
 from repro._errors import (
     AuthenticationError,
@@ -50,6 +52,7 @@ from repro.portal.auth import User, UserStore
 from repro.portal.files import FileManager
 from repro.portal.http import HttpError, Request, Response
 from repro.portal.jobsvc import JobService
+from repro.portal.respcache import CachedResponse, ResponseCache
 from repro.portal.routing import Router
 from repro.portal.sessions import SessionStore
 
@@ -86,17 +89,36 @@ class PortalApp:
         users: UserStore,
         sessions: SessionStore,
         jobsvc: JobService,
+        cache_size: int = 256,
     ) -> None:
         self.files = files
         self.users = users
         self.sessions = sessions
         self.jobsvc = jobsvc
         self.router = Router()
+        #: conditional-GET response cache; ``cache_size=0`` disables it
+        #: (ETags are still emitted, every request renders fresh).
+        self.cache = ResponseCache(cache_size)
+        self._counters = {
+            "requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "not_modified": 0,
+            "bytes_streamed": 0,
+            "sessions_swept": 0,
+        }
+        # file mutations invalidate the owning user's cached listings,
+        # file contents and dashboard in O(1)
+        files.on_mutation(lambda username: self.cache.invalidate(f"files:{username}"))
         self._register_routes()
 
     # -- WSGI entry ---------------------------------------------------------
     def __call__(self, environ, start_response):
         request = Request(environ)
+        self._counters["requests"] += 1
+        swept = self.sessions.maybe_sweep()
+        if swept:
+            self._counters["sessions_swept"] += swept
         try:
             response = self._handle(request)
         except HttpError as exc:
@@ -107,6 +129,64 @@ class PortalApp:
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             response = Response.error(500, f"internal error: {type(exc).__name__}: {exc}")
         return response.to_wsgi(start_response)
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> dict:
+        """Portal-side counters, mirroring ``JobDistributor.stats()``."""
+        return {
+            "portal": {
+                **self._counters,
+                **self.router.counters,
+                "response_cache": self.cache.stats(),
+                "active_sessions": len(self.sessions),
+            }
+        }
+
+    # -- conditional-GET plumbing ---------------------------------------------
+    def _conditional(
+        self, req: Request, namespace: str, key, build: Callable[[], Response]
+    ) -> Response:
+        """Serve a cacheable GET with an ETag, honouring If-None-Match.
+
+        On a cache hit the stored body is reused (or skipped entirely
+        with a 304 when the client's validator matches); on a miss
+        ``build()`` renders the response, which is stored under
+        ``(namespace, key)`` until the namespace is invalidated or the
+        key's embedded version moves.
+        """
+        entry = self.cache.lookup(namespace, key)
+        if entry is not None:
+            self._counters["cache_hits"] += 1
+            if req.etag_matches(entry.etag):
+                self._counters["not_modified"] += 1
+                return Response.not_modified(headers=(("ETag", entry.etag),))
+            return Response(
+                entry.body,
+                content_type=entry.content_type,
+                headers=(*entry.headers, ("ETag", entry.etag)),
+            )
+        self._counters["cache_misses"] += 1
+        resp = build()
+        if resp.status == 200 and resp.chunks is None:
+            etag = f'"{hashlib.blake2b(resp.body, digest_size=8).hexdigest()}"'
+            content_type = resp.headers[0][1]  # Content-Type is always first
+            self.cache.store(
+                namespace,
+                key,
+                CachedResponse(resp.body, etag, content_type, tuple(resp.headers[1:])),
+            )
+            resp.headers.append(("ETag", etag))
+            if req.etag_matches(etag):
+                self._counters["not_modified"] += 1
+                return Response.not_modified(headers=(("ETag", etag),))
+        return resp
+
+    def _stream_counted(self, chunks):
+        """Pass chunks through while counting bytes for ``stats()``."""
+        counters = self._counters
+        for chunk in chunks:
+            counters["bytes_streamed"] += len(chunk)
+            yield chunk
 
     def _handle(self, request: Request) -> Response:
         request.user = self._authenticate(request)
@@ -210,26 +290,59 @@ class PortalApp:
     # -- file handlers ------------------------------------------------------------------
     def _api_list_files(self, req: Request) -> Response:
         user = self._require_user(req)
-        entries = self.files.list_dir(user.username, req.query.get("path", ""))
-        return Response.json({"entries": [e.as_dict() for e in entries]})
+        path = req.query.get("path", "")
+        # the directory mtime in the key catches out-of-band writes (job
+        # artifacts); the files:<user> namespace catches portal mutations
+        fp = self.files.fingerprint(user.username, path)
+        return self._conditional(
+            req,
+            f"files:{user.username}",
+            ("list", path, fp),
+            lambda: Response.json(
+                {"entries": [e.as_dict() for e in self.files.list_dir(user.username, path)]}
+            ),
+        )
 
     def _api_read_file(self, req: Request) -> Response:
         user = self._require_user(req)
         path = req.query.get("path", "")
-        content = self.files.read(user.username, path)
+        filename = path.rsplit("/", 1)[-1] or "file"
+        resolved, st = self.files.file_entry(user.username, path)
         if req.query.get("download"):
-            return Response.download(content, path.rsplit("/", 1)[-1] or "file")
-        try:
-            return Response.json({"path": path, "content": content.decode("utf-8")})
-        except UnicodeDecodeError:
-            return Response.download(content, path.rsplit("/", 1)[-1] or "file")
+            # stat-validated streaming: a 304 never opens the file, a 200
+            # never holds more than one chunk in memory
+            etag = f'"{st.st_size}-{st.st_mtime_ns}"'
+            validators = [
+                ("ETag", etag),
+                ("Last-Modified", formatdate(st.st_mtime, usegmt=True)),
+            ]
+            if req.etag_matches(etag):
+                self._counters["not_modified"] += 1
+                return Response.not_modified(headers=validators)
+            return Response.stream(
+                self._stream_counted(self.files.iter_file(resolved)),
+                content_length=st.st_size,
+                filename=filename,
+                headers=validators,
+            )
+
+        def build() -> Response:
+            content = resolved.read_bytes()
+            try:
+                return Response.json({"path": path, "content": content.decode("utf-8")})
+            except UnicodeDecodeError:
+                return Response.download(content, filename)
+
+        key = ("content", path, st.st_size, st.st_mtime_ns)
+        return self._conditional(req, f"files:{user.username}", key, build)
 
     def _api_write_file(self, req: Request) -> Response:
         user = self._require_user(req)
         path = req.query.get("path", "")
         if not path:
             raise HttpError(400, "missing ?path=")
-        entry = self.files.write(user.username, path, req.body)
+        # chunked spool: an N-byte upload never buffers more than one chunk
+        entry = self.files.write_stream(user.username, path, req.iter_body())
         return Response.json({"ok": True, "entry": entry.as_dict()}, status=201)
 
     def _api_upload(self, req: Request) -> Response:
@@ -313,7 +426,14 @@ class PortalApp:
             since = int(req.query.get("since", "0"))
         except ValueError:
             raise HttpError(400, "since must be an integer") from None
-        return Response.json(self.jobsvc.output_since(user, req.params["job_id"], since))
+        # ownership check always runs; the fingerprint key self-versions,
+        # so a quiet completed job serves 304s to its pollers
+        job = self.jobsvc.get_job(user, req.params["job_id"])
+        key = ("output", job.id, since, self.jobsvc.output_fingerprint(job))
+        return self._conditional(
+            req, "jobs", key,
+            lambda: Response.json(self.jobsvc.output_since(user, job.id, since)),
+        )
 
     def _api_job_input(self, req: Request) -> Response:
         user = self._require_user(req)
@@ -333,7 +453,13 @@ class PortalApp:
 
     def _api_cluster_status(self, req: Request) -> Response:
         self._require_user(req)
-        return Response.json(self.jobsvc.distributor.stats())
+        dist = self.jobsvc.distributor
+        # version bumps on every job-state transition; cores_free catches
+        # out-of-band grid changes (fault injection)
+        key = ("status", dist.version, dist.grid.cores_free)
+        return self._conditional(
+            req, "cluster", key, lambda: Response.json(dist.stats())
+        )
 
     def _api_cluster_accounting(self, req: Request) -> Response:
         user = self._require_user(req)
@@ -370,17 +496,24 @@ class PortalApp:
     def _page_dashboard(self, req: Request) -> Response:
         if req.user is None:
             return Response.redirect("/login")
-        files = [e.as_dict() for e in self.files.list_dir(req.user.username)]
-        jobs = self.jobsvc.list_jobs(req.user)
-        cluster = self.jobsvc.distributor.grid.snapshot()
-        return Response.html(templates.dashboard_page(req.user.username, files, jobs, cluster))
+        user = req.user
+        dist = self.jobsvc.distributor
+
+        def build() -> Response:
+            files = [e.as_dict() for e in self.files.list_dir(user.username)]
+            jobs = self.jobsvc.list_jobs(user)
+            cluster = dist.grid.snapshot()
+            return Response.html(templates.dashboard_page(user.username, files, jobs, cluster))
+
+        key = ("dash", dist.version, dist.grid.cores_free)
+        return self._conditional(req, f"files:{user.username}", key, build)
 
     def _page_job(self, req: Request) -> Response:
         if req.user is None:
             return Response.redirect("/login")
         job = self.jobsvc.get_job(req.user, req.params["job_id"])
-        out, _, _ = job.stdout.read_since(0)
-        err, _, _ = job.stderr.read_since(0)
+        out, _, _ = job.stdout.text_since(0)
+        err, _, _ = job.stderr.text_since(0)
         return Response.html(templates.job_page(job.describe(), out, err))
 
     def _page_job_input(self, req: Request) -> Response:
@@ -415,6 +548,7 @@ def make_default_app(
     cluster_spec=None,
     admin_password: str = "admin-pass",
     quota_bytes: int | None = None,
+    cache_size: int = 256,
 ) -> PortalApp:
     """Assemble a complete portal over a fresh in-process cluster.
 
@@ -434,4 +568,4 @@ def make_default_app(
     users.add_user("admin", admin_password, role="admin", full_name="Portal Administrator")
     sessions = SessionStore()
     jobsvc = JobService(files, distributor)
-    return PortalApp(files, users, sessions, jobsvc)
+    return PortalApp(files, users, sessions, jobsvc, cache_size=cache_size)

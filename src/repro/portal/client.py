@@ -96,13 +96,25 @@ class _HttpTransport:
 
 
 class PortalClient:
-    """Session-holding client mirroring every portal endpoint."""
+    """Session-holding client mirroring every portal endpoint.
 
-    def __init__(self, app=None, base_url: str | None = None) -> None:
+    With ``conditional=True`` the client remembers the ``ETag`` of every
+    ``GET`` it makes and replays it as ``If-None-Match``; a ``304 Not
+    Modified`` is answered from the client-side copy.  Polling loops
+    (job output, cluster status, listings) then cost the server a cache
+    probe instead of a render.
+    """
+
+    def __init__(
+        self, app=None, base_url: str | None = None, conditional: bool = False
+    ) -> None:
         if (app is None) == (base_url is None):
             raise PortalError("pass exactly one of app= (in-process) or base_url= (HTTP)")
         self._transport = _WsgiTransport(app) if app is not None else _HttpTransport(base_url)
         self._token: Optional[str] = None
+        self.conditional = conditional
+        #: GET path -> (etag, result) for conditional replays
+        self._validators: dict[str, tuple[str, Any]] = {}
 
     # -- plumbing -----------------------------------------------------------
     def _call(
@@ -124,12 +136,27 @@ class PortalClient:
         elif raw_body is not None:
             body = raw_body
             headers["Content-Type"] = content_type or "application/octet-stream"
+        cached = None
+        if self.conditional and method == "GET":
+            cached = self._validators.get(path)
+            if cached is not None:
+                headers["If-None-Match"] = cached[0]
         status, resp_headers, payload = self._transport.request(method, path, body, headers)
+        if status == 304 and cached is not None:
+            return cached[1]
         if not expect_json:
+            if self.conditional and method == "GET" and status < 400:
+                etag = resp_headers.get("ETag")
+                if etag:
+                    self._validators[path] = (etag, (status, payload))
             return status, payload
         data = json.loads(payload) if payload else {}
         if status >= 400:
             raise PortalError(f"{method} {path} -> {status}: {data.get('error', payload[:200])}")
+        if self.conditional and method == "GET":
+            etag = resp_headers.get("ETag")
+            if etag:
+                self._validators[path] = (etag, data)
         return data
 
     # -- session ---------------------------------------------------------------

@@ -22,6 +22,7 @@ STATUS_REASONS = {
     201: "Created",
     204: "No Content",
     302: "Found",
+    304: "Not Modified",
     400: "Bad Request",
     401: "Unauthorized",
     403: "Forbidden",
@@ -34,6 +35,9 @@ STATUS_REASONS = {
 
 #: refuse request bodies beyond this size (matches the upload limit).
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: default chunk size for streamed request/response bodies.
+STREAM_CHUNK_BYTES = 64 * 1024
 
 
 class HttpError(Exception):
@@ -52,18 +56,27 @@ class Request:
         self.environ = environ
         self.method: str = environ.get("REQUEST_METHOD", "GET").upper()
         self.path: str = environ.get("PATH_INFO", "/") or "/"
-        self.query: dict[str, str] = {
-            k: v[-1]
-            for k, v in urllib.parse.parse_qs(
-                environ.get("QUERY_STRING", ""), keep_blank_values=True
-            ).items()
-        }
         self.content_type: str = environ.get("CONTENT_TYPE", "")
+        self._query: Optional[dict[str, str]] = None
         self._body: Optional[bytes] = None
         #: route parameters, filled in by the router
         self.params: dict[str, str] = {}
         #: authenticated user, filled in by the app's auth middleware
         self.user = None
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query parameters, parsed lazily (hot endpoints rarely need them)."""
+        if self._query is None:
+            qs = self.environ.get("QUERY_STRING", "")
+            if qs:
+                self._query = {
+                    k: v[-1]
+                    for k, v in urllib.parse.parse_qs(qs, keep_blank_values=True).items()
+                }
+            else:
+                self._query = {}
+        return self._query
 
     # -- body ------------------------------------------------------------
     @property
@@ -79,6 +92,33 @@ class Request:
             stream = self.environ.get("wsgi.input")
             self._body = stream.read(length) if (stream and length) else b""
         return self._body
+
+    def iter_body(self, chunk_size: int = STREAM_CHUNK_BYTES):
+        """Stream the request body in chunks without buffering it whole.
+
+        Yields ``bytes`` of at most ``chunk_size``.  If the body was
+        already materialised via :attr:`body`, yields from that buffer;
+        otherwise reads straight off ``wsgi.input`` so an upload of N
+        bytes never holds more than one chunk in memory.
+        """
+        if self._body is not None:
+            for i in range(0, len(self._body), chunk_size):
+                yield self._body[i : i + chunk_size]
+            return
+        try:
+            length = int(self.environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes exceeds limit")
+        stream = self.environ.get("wsgi.input")
+        remaining = length if stream else 0
+        while remaining > 0:
+            chunk = stream.read(min(chunk_size, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+            yield chunk
 
     def json(self) -> Any:
         """Parse the body as JSON; 400 on malformed input."""
@@ -121,6 +161,8 @@ class Request:
     def cookies(self) -> dict[str, str]:
         """Request cookies as a plain dict."""
         raw = self.environ.get("HTTP_COOKIE", "")
+        if not raw:
+            return {}
         jar = SimpleCookie()
         jar.load(raw)
         return {k: morsel.value for k, morsel in jar.items()}
@@ -129,6 +171,16 @@ class Request:
         """Request header by natural name (e.g. ``Authorization``)."""
         key = "HTTP_" + name.upper().replace("-", "_")
         return self.environ.get(key, default)
+
+    # -- conditional GET ------------------------------------------------------
+    def etag_matches(self, etag: str) -> bool:
+        """True when the ``If-None-Match`` header covers ``etag``."""
+        inm = self.environ.get("HTTP_IF_NONE_MATCH", "")
+        if not inm:
+            return False
+        if inm.strip() == "*":
+            return True
+        return etag in (t.strip() for t in inm.split(","))
 
 
 class Response:
@@ -145,8 +197,34 @@ class Response:
         self.body = body.encode("utf-8") if isinstance(body, str) else body
         self.headers: list[tuple[str, str]] = [("Content-Type", content_type)]
         self.headers.extend(headers)
+        #: when set, the WSGI body is this iterator of byte chunks and
+        #: :attr:`body` is ignored (bounded-memory downloads).
+        self.chunks: Optional[Iterable[bytes]] = None
+        #: declared length of the streamed body, when known up front.
+        self.content_length: Optional[int] = None
 
     # -- constructors -----------------------------------------------------
+    @classmethod
+    def stream(
+        cls,
+        chunks: Iterable[bytes],
+        content_type: str = "application/octet-stream",
+        content_length: int | None = None,
+        filename: str | None = None,
+        headers: Iterable[tuple[str, str]] = (),
+    ) -> "Response":
+        """A chunk-iterator response: memory stays bounded by chunk size."""
+        r = cls(b"", content_type=content_type, headers=headers)
+        r.chunks = chunks
+        r.content_length = content_length
+        if filename is not None:
+            r.headers.append(("Content-Disposition", f'attachment; filename="{filename}"'))
+        return r
+
+    @classmethod
+    def not_modified(cls, headers: Iterable[tuple[str, str]] = ()) -> "Response":
+        """An empty 304 carrying the validator headers."""
+        return cls(b"", status=304, headers=headers)
     @classmethod
     def json(cls, data: Any, status: int = 200) -> "Response":
         return cls(
@@ -191,8 +269,18 @@ class Response:
         return self.set_cookie(name, "", max_age=0)
 
     # -- WSGI -----------------------------------------------------------------
-    def to_wsgi(self, start_response) -> list[bytes]:
+    def to_wsgi(self, start_response) -> Iterable[bytes]:
         reason = STATUS_REASONS.get(self.status, "Unknown")
+        if self.chunks is not None:
+            headers = list(self.headers)
+            if self.content_length is not None:
+                headers.append(("Content-Length", str(self.content_length)))
+            start_response(f"{self.status} {reason}", headers)
+            return self.chunks
+        if self.status in (204, 304):
+            # bodyless statuses: no Content-Length, empty payload
+            start_response(f"{self.status} {reason}", list(self.headers))
+            return [b""]
         headers = self.headers + [("Content-Length", str(len(self.body)))]
         start_response(f"{self.status} {reason}", headers)
         return [self.body]

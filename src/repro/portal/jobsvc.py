@@ -144,16 +144,30 @@ class JobService:
         """Poll stdout/stderr from absolute line offset ``since``."""
         job = self.get_job(user, job_id)
         out, out_next, out_trunc = job.stdout.read_since(since)
-        err, _, _ = job.stderr.read_since(0)
         return {
             "state": job.state.value,
             "stdout": out,
             "next": out_next,
             "truncated": out_trunc,
-            "stderr_tail": err[-50:],
+            # tail() copies just the 50 lines shown, not the whole buffer
+            "stderr_tail": job.stderr.tail(50),
             "exit_code": job.exit_code,
             "error": job.error,
         }
+
+    def output_fingerprint(self, job: Job) -> tuple:
+        """Cheap change-detector for a job's pollable output.
+
+        Any visible change to :meth:`output_since` moves at least one of
+        these fields, so the portal can key its response cache on the
+        tuple and serve 304s to repeat pollers of a quiet job.
+        """
+        return (
+            job.state.value,
+            job.stdout.next_index,
+            job.stderr.next_index,
+            job.exit_code,
+        )
 
     def send_input(self, user: User, job_id: str, text: str) -> None:
         """Feed stdin to an interactive job."""

@@ -1,0 +1,125 @@
+"""Thread-safe LRU response cache with namespace generations.
+
+The portal's hot read endpoints (cluster status, job-output polls,
+directory listings, the dashboard) serve the same bytes to every poller
+until something actually changes.  This cache stores the rendered
+response body plus its ETag, keyed by ``(namespace, generation, key)``:
+
+* **namespace** groups entries that share an invalidation cause — one
+  per user's file tree (``files:<user>``), one for cluster state, one
+  for job output;
+* **generation** is a monotonically increasing counter per namespace.
+  :meth:`invalidate` just bumps it — O(1), no scan — and every entry
+  stored under the old generation becomes unreachable, aging out of the
+  LRU naturally;
+* **key** is whatever identifies the response within the namespace
+  (path, query, version counters).
+
+Mutation hooks (``FileManager.on_mutation``, job-state transitions via
+the distributor's ``version``) call :meth:`invalidate`; readers call
+:meth:`lookup`/:meth:`store`.  All operations are O(1) under one lock —
+the critical section is a dict probe and an LRU pointer move, so even
+under heavy concurrent polling the lock is never held across I/O or
+serialisation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = ["CachedResponse", "ResponseCache"]
+
+
+class CachedResponse:
+    """One rendered response: body bytes + validators + content type."""
+
+    __slots__ = ("body", "etag", "content_type", "headers")
+
+    def __init__(
+        self,
+        body: bytes,
+        etag: str,
+        content_type: str,
+        headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        self.body = body
+        self.etag = etag
+        self.content_type = content_type
+        self.headers = headers
+
+
+class ResponseCache:
+    """Bounded LRU of :class:`CachedResponse` with O(1) invalidation.
+
+    ``capacity`` of 0 disables the cache entirely (every lookup misses,
+    stores are dropped) — used to benchmark the uncached baseline.
+    """
+
+    def __init__(self, capacity: int = 256, max_body_bytes: int = 256 * 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.max_body_bytes = max_body_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, CachedResponse]" = OrderedDict()
+        self._gens: dict[str, int] = {}
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    # -- invalidation ----------------------------------------------------------
+    def generation(self, namespace: str) -> int:
+        with self._lock:
+            return self._gens.get(namespace, 0)
+
+    def invalidate(self, namespace: str) -> None:
+        """Expire every entry of ``namespace`` in O(1)."""
+        with self._lock:
+            self._gens[namespace] = self._gens.get(namespace, 0) + 1
+            self._invalidations += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._gens.clear()
+
+    # -- lookup/store -----------------------------------------------------------
+    def lookup(self, namespace: str, key: Hashable) -> Optional[CachedResponse]:
+        with self._lock:
+            full = (namespace, self._gens.get(namespace, 0), key)
+            entry = self._entries.get(full)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(full)
+            self._hits += 1
+            return entry
+
+    def store(self, namespace: str, key: Hashable, entry: CachedResponse) -> bool:
+        """Insert unless disabled or the body is too large to be worth it."""
+        if self.capacity == 0 or len(entry.body) > self.max_body_bytes:
+            return False
+        with self._lock:
+            full = (namespace, self._gens.get(namespace, 0), key)
+            self._entries[full] = entry
+            self._entries.move_to_end(full)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return True
+
+    # -- observability ------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "invalidations": self._invalidations,
+            }

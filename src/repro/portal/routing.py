@@ -1,10 +1,28 @@
-"""URL routing with typed path parameters.
+"""URL routing with typed path parameters — O(1) on the static fast path.
 
 Patterns use ``<name>`` for one segment and ``<path:name>`` for the
 rest of the path (used by the file-manager endpoints)::
 
     router.add("GET", "/api/jobs/<job_id>/output", handler)
     router.add("GET", "/files/<path:rest>", handler)
+
+Dispatch is tiered, compiled once at registration time:
+
+1. **static** — parameterless patterns live in an exact-path hash map:
+   one dict lookup per request, no regex, no garbage;
+2. **dynamic** — segment-parameter patterns are bucketed by segment
+   count, so a request only ever probes routes that could match its
+   shape; matching is plain string comparison per segment;
+3. **prefix** — trailing ``<path:name>`` patterns, bucketed by minimum
+   segment count;
+4. **regex** — anything exotic (a parameter embedded mid-segment, a
+   ``<path:>`` that is not the final segment) falls back to the original
+   compiled-regex scan.  The portal itself registers nothing in this
+   tier.
+
+405 semantics: ``allowed`` methods are computed only after *every* tier
+misses for the request method, so a method mismatch in one tier can
+never shadow a genuine match later in the scan.
 """
 
 from __future__ import annotations
@@ -20,8 +38,12 @@ Handler = Callable[[Request], Response]
 
 _PARAM = re.compile(r"<(?:(path):)?([a-zA-Z_][a-zA-Z0-9_]*)>")
 
+#: sentinel kinds for compiled dynamic segments
+_LIT, _VAR = 0, 1
 
-def _compile(pattern: str) -> re.Pattern:
+
+def _compile_regex(pattern: str) -> re.Pattern:
+    """Legacy full-regex compilation (tier-4 fallback)."""
     regex = ["^"]
     pos = 0
     for m in _PARAM.finditer(pattern):
@@ -37,20 +59,113 @@ def _compile(pattern: str) -> re.Pattern:
     return re.compile("".join(regex))
 
 
+class _Route:
+    """One registered pattern, pre-compiled for its dispatch tier."""
+
+    __slots__ = ("pattern", "methods", "segs", "path_name", "min_segs", "regex")
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.methods: dict[str, Handler] = {}
+        self.segs: Optional[list[tuple[int, str]]] = None
+        self.path_name: Optional[str] = None
+        self.min_segs = 0
+        self.regex: Optional[re.Pattern] = None
+        self._analyse(pattern)
+
+    def _analyse(self, pattern: str) -> None:
+        raw = pattern.split("/")
+        segs: list[tuple[int, str]] = []
+        for i, seg in enumerate(raw):
+            m = _PARAM.fullmatch(seg)
+            if m is None:
+                if "<" in seg and _PARAM.search(seg):
+                    # parameter embedded inside a segment — regex tier
+                    self.segs = None
+                    self.regex = _compile_regex(pattern)
+                    return
+                segs.append((_LIT, seg))
+            elif m.group(1) == "path":
+                if i != len(raw) - 1:
+                    # <path:> mid-pattern — regex tier
+                    self.segs = None
+                    self.regex = _compile_regex(pattern)
+                    return
+                self.path_name = m.group(2)
+                break
+            else:
+                segs.append((_VAR, m.group(2)))
+        self.segs = segs
+        self.min_segs = len(segs) + (1 if self.path_name else 0)
+
+    @property
+    def is_static(self) -> bool:
+        return (
+            self.regex is None
+            and self.path_name is None
+            and all(kind == _LIT for kind, _ in (self.segs or ()))
+        )
+
+    def match(self, path: str, segs: list[str]) -> Optional[dict[str, str]]:
+        """Path parameters if ``path`` matches, else None."""
+        if self.regex is not None:
+            m = self.regex.match(path)
+            if m is None:
+                return None
+            return {k: v for k, v in m.groupdict().items() if v is not None}
+        params: dict[str, str] = {}
+        own = self.segs or []
+        if self.path_name is None:
+            if len(segs) != len(own):
+                return None
+        elif len(segs) < self.min_segs:
+            return None
+        for (kind, val), seg in zip(own, segs):
+            if kind == _LIT:
+                if seg != val:
+                    return None
+            else:
+                if not seg:
+                    return None  # segment params never match empty
+                params[val] = seg
+        if self.path_name is not None:
+            rest = "/".join(segs[len(own) :])
+            if not rest:
+                return None  # <path:> requires at least one character
+            params[self.path_name] = rest
+        return params
+
+
 class Router:
-    """Method+path dispatch table."""
+    """Method+path dispatch table with tiered, pre-indexed matching."""
 
     def __init__(self) -> None:
-        # pattern string -> (compiled, {method: handler})
-        self._routes: dict[str, tuple[re.Pattern, dict[str, Handler]]] = {}
+        self._all: dict[str, _Route] = {}  # pattern -> route (registration order)
+        self._static: dict[str, _Route] = {}  # exact path -> route
+        self._by_count: dict[int, list[_Route]] = {}  # n_segments -> routes
+        self._prefix: list[_Route] = []  # trailing <path:> routes
+        self._regex: list[_Route] = []  # tier-4 fallback
+        #: observability: hits per dispatch tier (static vs everything else)
+        self.counters = {"routed_static": 0, "routed_dynamic": 0}
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         """Register ``handler`` for ``method pattern``."""
-        compiled, methods = self._routes.setdefault(pattern, (_compile(pattern), {}))
+        route = self._all.get(pattern)
+        if route is None:
+            route = _Route(pattern)
+            self._all[pattern] = route
+            if route.regex is not None:
+                self._regex.append(route)
+            elif route.is_static:
+                self._static[pattern] = route
+            elif route.path_name is not None:
+                self._prefix.append(route)
+            else:
+                self._by_count.setdefault(len(route.segs), []).append(route)
         method = method.upper()
-        if method in methods:
+        if method in route.methods:
             raise ValueError(f"duplicate route {method} {pattern}")
-        methods[method] = handler
+        route.methods[method] = handler
 
     def route(self, method: str, pattern: str):
         """Decorator flavour of :meth:`add`."""
@@ -63,17 +178,58 @@ class Router:
 
     def dispatch(self, request: Request) -> Response:
         """Match and call; 404 on no path match, 405 on wrong method."""
-        allowed: set[str] = set()
-        for compiled, methods in self._routes.values():
-            m = compiled.match(request.path)
-            if m is None:
-                continue
-            handler = methods.get(request.method)
+        path = request.path
+        method = request.method
+        counters = self.counters
+
+        # tier 1: exact path, one dict probe, no allocation
+        route = self._static.get(path)
+        if route is not None:
+            handler = route.methods.get(method)
+            if handler is not None:
+                counters["routed_static"] += 1
+                return handler(request)
+
+        # tiers 2-4: shape-bucketed dynamic, prefix, regex
+        segs = path.split("/")
+        n = len(segs)
+        for candidate in self._by_count.get(n, ()):
+            handler = candidate.methods.get(method)
             if handler is None:
-                allowed |= set(methods)
+                continue  # method mismatch must not shadow a later match
+            params = candidate.match(path, segs)
+            if params is not None:
+                counters["routed_dynamic"] += 1
+                request.params = params
+                return handler(request)
+        for candidate in self._prefix:
+            if n < candidate.min_segs:
                 continue
-            request.params = {k: v for k, v in m.groupdict().items() if v is not None}
-            return handler(request)
+            handler = candidate.methods.get(method)
+            if handler is None:
+                continue
+            params = candidate.match(path, segs)
+            if params is not None:
+                counters["routed_dynamic"] += 1
+                request.params = params
+                return handler(request)
+        for candidate in self._regex:
+            handler = candidate.methods.get(method)
+            if handler is None:
+                continue
+            params = candidate.match(path, segs)
+            if params is not None:
+                counters["routed_dynamic"] += 1
+                request.params = params
+                return handler(request)
+
+        # miss: only now pay for the 405/404 distinction
+        allowed: set[str] = set()
+        for candidate in self._all.values():
+            if candidate.match(path, segs) is not None:
+                allowed |= set(candidate.methods)
         if allowed:
-            raise HttpError(405, f"method {request.method} not allowed (try {', '.join(sorted(allowed))})")
+            raise HttpError(
+                405, f"method {request.method} not allowed (try {', '.join(sorted(allowed))})"
+            )
         raise HttpError(404, f"no route for {request.path}")

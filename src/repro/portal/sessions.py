@@ -3,6 +3,13 @@
 Tokens are ``<session_id>.<hmac>`` where the HMAC (SHA-256, server
 secret) covers the id — so a client cannot forge or splice ids.  Session
 payloads live server-side with sliding expiry.
+
+Scale notes: the table is sharded (id-hashed) across independent locks
+so concurrent polling clients refresh their expiries without serialising
+on one mutex, and :meth:`maybe_sweep` — wired into the portal's request
+path — reclaims expired sessions opportunistically (every N operations
+or T seconds, whichever comes first) so the table cannot grow without
+bound under churn.
 """
 
 from __future__ import annotations
@@ -18,21 +25,38 @@ from repro._errors import AuthenticationError
 
 __all__ = ["SessionStore"]
 
+_N_SHARDS = 16
+
 
 class SessionStore:
-    """In-memory session table with signed ids and TTL."""
+    """In-memory session table with signed ids, TTL, and sharded locks."""
 
     def __init__(
         self,
         secret: bytes | None = None,
         ttl_s: float = 3600.0,
         now_fn: Callable[[], float] = time.monotonic,
+        sweep_every: int = 512,
+        sweep_interval_s: float = 60.0,
     ) -> None:
         self._secret = secret or secrets.token_bytes(32)
         self.ttl_s = ttl_s
         self._now = now_fn
-        self._sessions: dict[str, tuple[float, dict[str, Any]]] = {}
-        self._lock = threading.Lock()
+        self._shards: list[dict[str, tuple[float, dict[str, Any]]]] = [
+            {} for _ in range(_N_SHARDS)
+        ]
+        self._locks = [threading.Lock() for _ in range(_N_SHARDS)]
+        # opportunistic-sweep pacing (own lock: never contends with lookups)
+        self.sweep_every = sweep_every
+        self.sweep_interval_s = sweep_interval_s
+        self._sweep_lock = threading.Lock()
+        self._ops_since_sweep = 0
+        self._last_sweep = self._now()
+        self.swept_total = 0
+
+    def _shard_of(self, sid: str) -> int:
+        # sids are hex (validated in _verify); two chars spread 0..255
+        return int(sid[:2], 16) % _N_SHARDS
 
     # -- token crypto -------------------------------------------------------
     def _sign(self, sid: str) -> str:
@@ -43,20 +67,22 @@ class SessionStore:
 
     def _verify(self, token: str) -> str:
         sid, _, sig = token.partition(".")
-        # Reject malformed tokens before the digest compare: compare_digest
-        # raises TypeError on non-ASCII input, and ids/signatures are hex.
-        if not sid or not sig or not all(c in "0123456789abcdef" for c in sid + sig):
-            raise AuthenticationError("invalid session token")
-        if not hmac.compare_digest(sig, self._sign(sid)):
-            raise AuthenticationError("invalid session token")
+        # compare_digest raises TypeError on non-ASCII str; any token that
+        # survives it was signed by us, so sid is guaranteed hex.
+        try:
+            if not sid or not sig or not hmac.compare_digest(sig, self._sign(sid)):
+                raise AuthenticationError("invalid session token")
+        except TypeError:
+            raise AuthenticationError("invalid session token") from None
         return sid
 
     # -- lifecycle -------------------------------------------------------------
     def create(self, data: dict[str, Any]) -> str:
         """New session; returns the signed token for the cookie."""
         sid = secrets.token_hex(16)
-        with self._lock:
-            self._sessions[sid] = (self._now() + self.ttl_s, dict(data))
+        i = self._shard_of(sid)
+        with self._locks[i]:
+            self._shards[i][sid] = (self._now() + self.ttl_s, dict(data))
         return self._token(sid)
 
     def get(self, token: str) -> dict[str, Any]:
@@ -66,15 +92,17 @@ class SessionStore:
         expired tokens.
         """
         sid = self._verify(token)
-        with self._lock:
-            entry = self._sessions.get(sid)
+        i = self._shard_of(sid)
+        with self._locks[i]:
+            shard = self._shards[i]
+            entry = shard.get(sid)
             if entry is None:
                 raise AuthenticationError("unknown session (logged out?)")
             expires, data = entry
             if self._now() > expires:
-                del self._sessions[sid]
+                del shard[sid]
                 raise AuthenticationError("session expired")
-            self._sessions[sid] = (self._now() + self.ttl_s, data)
+            shard[sid] = (self._now() + self.ttl_s, data)
             return data
 
     def peek(self, token: str) -> Optional[dict[str, Any]]:
@@ -90,18 +118,42 @@ class SessionStore:
             sid = self._verify(token)
         except AuthenticationError:
             return False
-        with self._lock:
-            return self._sessions.pop(sid, None) is not None
+        i = self._shard_of(sid)
+        with self._locks[i]:
+            return self._shards[i].pop(sid, None) is not None
 
+    # -- reclamation -------------------------------------------------------------
     def sweep(self) -> int:
         """Drop expired sessions; returns how many were removed."""
-        now = self._now()
-        with self._lock:
-            dead = [sid for sid, (exp, _) in self._sessions.items() if now > exp]
-            for sid in dead:
-                del self._sessions[sid]
-            return len(dead)
+        removed = 0
+        for i in range(_N_SHARDS):
+            now = self._now()
+            with self._locks[i]:
+                shard = self._shards[i]
+                dead = [sid for sid, (exp, _) in shard.items() if now > exp]
+                for sid in dead:
+                    del shard[sid]
+                removed += len(dead)
+        self.swept_total += removed
+        return removed
+
+    def maybe_sweep(self) -> int:
+        """Opportunistic sweep, paced for the request path.
+
+        Cheap to call on every request: runs a full :meth:`sweep` only
+        once per ``sweep_every`` calls or ``sweep_interval_s`` seconds.
+        """
+        with self._sweep_lock:
+            self._ops_since_sweep += 1
+            due = (
+                self._ops_since_sweep >= self.sweep_every
+                or self._now() - self._last_sweep >= self.sweep_interval_s
+            )
+            if not due:
+                return 0
+            self._ops_since_sweep = 0
+            self._last_sweep = self._now()
+        return self.sweep()
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._sessions)
+        return sum(len(shard) for shard in self._shards)

@@ -100,11 +100,22 @@ def dashboard_page(username: str, files: list[dict], jobs: list[dict], cluster: 
     return render_page("Dashboard", body)
 
 
-def job_page(job: dict, stdout_lines: list[str], stderr_lines: list[str]) -> str:
-    """One job's detail page: metadata, placement, streams, input box."""
+def job_page(
+    job: dict,
+    stdout_lines: list[str] | str,
+    stderr_lines: list[str] | str,
+) -> str:
+    """One job's detail page: metadata, placement, streams, input box.
+
+    The stream arguments accept either a list of lines or pre-joined
+    text (the portal passes :meth:`StreamCapture.text_since` output so
+    no per-request line list is materialised).
+    """
     placement_rows = _rows((node, cores) for node, cores in sorted(job.get("placement", {}).items()))
-    out_text = _esc("\n".join(stdout_lines)) or "(no output yet)"
-    err_text = _esc("\n".join(stderr_lines))
+    out = stdout_lines if isinstance(stdout_lines, str) else "\n".join(stdout_lines)
+    err = stderr_lines if isinstance(stderr_lines, str) else "\n".join(stderr_lines)
+    out_text = _esc(out) or "(no output yet)"
+    err_text = _esc(err)
     input_form = ""
     if job["state"] == "running" and job["kind"] == "interactive":
         input_form = f"""

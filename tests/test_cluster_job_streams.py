@@ -120,6 +120,39 @@ class TestStreamCapture:
         lines, nxt, truncated = s.read_since(0)
         assert truncated and lines == ["7", "8", "9"] and nxt == 10
 
+    def test_read_since_eviction_boundary(self):
+        """since exactly at the eviction edge is complete, one before is not."""
+        s = StreamCapture(max_lines=3)
+        for i in range(10):
+            s.write_line(str(i))
+        # lines 0..6 evicted; the buffer holds indices 7, 8, 9
+        lines, nxt, truncated = s.read_since(7)
+        assert lines == ["7", "8", "9"] and nxt == 10 and not truncated
+        lines, nxt, truncated = s.read_since(6)
+        assert lines == ["7", "8", "9"] and nxt == 10 and truncated
+        # caught-up poller: empty read, cursor unchanged, nothing "lost"
+        lines, nxt, truncated = s.read_since(10)
+        assert lines == [] and nxt == 10 and not truncated
+        # mid-buffer cursor copies only the tail it asks for
+        lines, nxt, truncated = s.read_since(9)
+        assert lines == ["9"] and nxt == 10 and not truncated
+
+    def test_text_since_matches_read_since(self):
+        s = StreamCapture(max_lines=4)
+        for i in range(6):
+            s.write_line(f"l{i}")
+        text, nxt, truncated = s.text_since(0)
+        assert text == "l2\nl3\nl4\nl5" and nxt == 6 and truncated
+        text, nxt, truncated = s.text_since(nxt)
+        assert text == "" and nxt == 6 and not truncated
+
+    def test_tail_copies_only_requested_lines(self):
+        s = StreamCapture()
+        for i in range(100):
+            s.write_line(str(i))
+        assert s.tail(3) == ["97", "98", "99"]
+        assert s.tail(200) == [str(i) for i in range(100)]
+
     def test_closed_stream_drops_late_writes(self):
         s = StreamCapture()
         s.write_line("kept")

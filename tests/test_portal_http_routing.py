@@ -183,3 +183,44 @@ class TestRouter:
             return Response("decorated")
 
         assert self.dispatch(router, "GET", "/deco").body == b"decorated"
+
+
+class TestRouterOverlap405:
+    """A method mismatch in one tier must never shadow a match in another."""
+
+    def make(self):
+        router = Router()
+        router.add("GET", "/api/files", lambda r: Response("static-get"))
+        router.add("POST", "/api/<section>", lambda r: Response(f"dyn-{r.params['section']}"))
+        return router
+
+    def dispatch(self, router, method, path):
+        return router.dispatch(Request(make_environ(method=method, path=path)))
+
+    def test_static_wins_for_its_method(self):
+        assert self.dispatch(self.make(), "GET", "/api/files").body == b"static-get"
+
+    def test_wrong_method_on_static_falls_through_to_dynamic(self):
+        # Pre-fast-path routers that stopped at the first pattern match
+        # would raise 405 here; the POST must reach the dynamic route.
+        assert self.dispatch(self.make(), "POST", "/api/files").body == b"dyn-files"
+
+    def test_405_lists_union_of_methods_across_tiers(self):
+        with pytest.raises(HttpError) as e:
+            self.dispatch(self.make(), "DELETE", "/api/files")
+        assert e.value.status == 405
+        assert "GET" in e.value.message and "POST" in e.value.message
+
+    def test_dynamic_method_mismatch_does_not_shadow_prefix_route(self):
+        router = Router()
+        router.add("POST", "/files/<name>", lambda r: Response("upload"))
+        router.add("GET", "/files/<path:rest>", lambda r: Response(r.params["rest"]))
+        assert self.dispatch(router, "GET", "/files/report.txt").body == b"report.txt"
+        assert self.dispatch(router, "POST", "/files/report.txt").body == b"upload"
+
+    def test_tier_counters_track_static_vs_dynamic(self):
+        router = self.make()
+        self.dispatch(router, "GET", "/api/files")
+        self.dispatch(router, "GET", "/api/files")
+        self.dispatch(router, "POST", "/api/jobs")
+        assert router.counters == {"routed_static": 2, "routed_dynamic": 1}
