@@ -1,0 +1,158 @@
+"""Fault-tolerance overhead benchmark.
+
+Two questions, both tier-2 ``perf`` guards:
+
+1. **Tracking overhead** — the health monitor, deadline heap and
+   backoff-aware queue filtering ride in every dispatch round.  On the
+   happy path (no faults at all) the fault-tolerant distributor must
+   keep >= 95% of the throughput of the same engine with health
+   tracking switched off (best-of-3 per side, same workload and seed).
+2. **Recovery throughput** — with nodes dying and reviving mid-stream
+   and a retry policy rerouting the orphans, the run must still drain
+   completely; the table reports how throughput degrades with churn.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    Grid,
+    JobDistributor,
+    JobState,
+    NodeState,
+    RetryPolicy,
+    SimulatedBackend,
+)
+from repro.desim import Simulator
+
+from bench_dispatch import make_workload
+
+pytestmark = pytest.mark.perf
+
+N = 1000  # churn benchmark size
+N_OVERHEAD = 3000  # longer runs average out scheduler noise for the A/B guard
+SAMPLES = 5  # both-orders quads for the overhead ratio
+
+
+def run_once(track_health: bool, n: int = N) -> float:
+    """Happy-path drain; returns jobs/sec.
+
+    The cycle collector is parked during the timed region (and run to
+    completion just before it) so collection pauses land between runs
+    instead of randomly penalising whichever variant is mid-flight.
+    """
+    sim = Simulator()
+    grid = Grid(ClusterSpec.uhd_default())
+    dist = JobDistributor(
+        grid,
+        SimulatedBackend(sim),
+        now_fn=lambda: sim.now,
+        track_health=track_health,
+    )
+    requests = make_workload(n)
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        for request in requests:
+            dist.submit(request)
+        sim.run()
+        dt = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    assert dist.monitor.summary()["by_state"] == {"completed": n}
+    assert grid.cores_free == grid.cores_total
+    return n / dt
+
+
+def measure_overhead() -> tuple[float, float, float]:
+    """Paired A/B runs; returns (mean quad ratio, best tracked, best baseline).
+
+    Measured order matters on a noisy machine: whichever variant runs
+    first in a back-to-back pair loses several percent (allocator/GC
+    state left by the previous run).  Each sample therefore runs the
+    pair in BOTH orders and takes the geometric mean of the two ratios,
+    cancelling the order bias; averaging over several quads then brings
+    the standard error well under the 5% the floor allows."""
+    run_once(True, 200)  # shared warm-up
+    ratios, tracked, baseline = [], [], []
+    for _ in range(SAMPLES):
+        t1, f1 = run_once(True, N_OVERHEAD), run_once(False, N_OVERHEAD)
+        f2, t2 = run_once(False, N_OVERHEAD), run_once(True, N_OVERHEAD)
+        tracked += [t1, t2]
+        baseline += [f1, f2]
+        ratios.append(((t1 / f1) * (t2 / f2)) ** 0.5)
+    return sum(ratios) / len(ratios), max(tracked), max(baseline)
+
+
+def run_with_churn(kills: int, n: int = N, seed: int = 7) -> tuple[float, dict]:
+    """Drain the workload while killing/reviving ``kills`` random nodes."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    grid = Grid(ClusterSpec.uhd_default())
+    dist = JobDistributor(
+        grid,
+        SimulatedBackend(sim),
+        now_fn=lambda: sim.now,
+        retry=RetryPolicy(max_attempts=5, backoff_base_s=0.1, jitter=0.0),
+    )
+    names = [node.name for node in grid.compute_nodes()]
+    requests = make_workload(n)
+    t0 = time.perf_counter()
+    for request in requests:
+        dist.submit(request)
+    for _ in range(kills):
+        sim.run(until=sim.now + float(rng.uniform(0.5, 2.0)))
+        up = [name for name in names if grid.node(name).state is NodeState.UP]
+        if len(up) > 1:
+            victim = up[int(rng.integers(0, len(up)))]
+            dist.fail_node(victim)
+            sim.run(until=sim.now + float(rng.uniform(0.5, 2.0)))
+            dist.recover_node(victim)
+    sim.run()
+    dt = time.perf_counter() - t0
+    assert all(j.terminal for j in dist.jobs.values())
+    assert grid.cores_free == grid.cores_total
+    return n / dt, dist.stats()["faults"]
+
+
+def test_health_tracking_overhead_under_5_percent(report):
+    ratio, tracked, baseline = measure_overhead()
+    report(
+        "fault_overhead",
+        "\n".join(
+            [
+                "Health-tracking overhead (happy path, no faults)",
+                f"4x16 uhd grid, DES backend, N={N_OVERHEAD}, {SAMPLES} both-orders A/B quads",
+                f"{'variant':<22} {'best jobs/sec':>14}",
+                f"{'track_health=False':<22} {baseline:>14.0f}",
+                f"{'track_health=True':<22} {tracked:>14.0f}",
+                f"mean quad ratio: {ratio:.3f} (floor 0.95)",
+            ]
+        ),
+    )
+    assert ratio >= 0.95, (
+        f"health tracking costs {100 * (1 - ratio):.1f}% throughput "
+        f"({tracked:.0f} vs {baseline:.0f} jobs/sec)"
+    )
+
+
+def test_recovery_throughput_under_churn(report):
+    lines = [
+        "Throughput under node kill/revive churn (retry max_attempts=5)",
+        f"4x16 uhd grid, DES backend, N={N}, seed 7",
+        f"{'kills':>6} {'jobs/sec':>10} {'reroutes':>9} {'retries':>8} {'completed':>10}",
+    ]
+    for kills in (0, 4, 16):
+        rate, faults = run_with_churn(kills)
+        lines.append(
+            f"{kills:>6} {rate:>10.0f} {faults['reroutes']:>9} "
+            f"{faults['retries']:>8} {'yes':>10}"
+        )
+    report("fault_recovery", "\n".join(lines))

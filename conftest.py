@@ -1,0 +1,21 @@
+"""Repo-root pytest plumbing.
+
+Injects the coverage floor (``--cov=repro.cluster --cov-fail-under=85``,
+see pytest.ini) only when ``pytest-cov`` is importable: the floor is CI
+policy, but the plain test run must keep working on machines without the
+plugin, so the literal flags cannot live in ``addopts``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+COVERAGE_ARGS = ["--cov=repro.cluster", "--cov-fail-under=85"]
+
+
+def pytest_load_initial_conftests(early_config, parser, args):
+    if importlib.util.find_spec("pytest_cov") is None:
+        return
+    if any(a.startswith("--cov") for a in args):
+        return  # caller already chose their own coverage scope
+    args.extend(COVERAGE_ARGS)

@@ -24,7 +24,7 @@ from repro.cluster.spec import ClusterSpec, NodeSpec, SegmentSpec
 from repro.cluster.node import Node, NodeState
 from repro.cluster.segment import Segment
 from repro.cluster.grid import Grid
-from repro.cluster.job import Job, JobKind, JobRequest, JobState
+from repro.cluster.job import Job, JobAttempt, JobKind, JobRequest, JobState, RetryPolicy
 from repro.cluster.queue import JobQueue
 from repro.cluster.scheduler import (
     Allocation,
@@ -43,7 +43,12 @@ from repro.cluster.backends import (
 )
 from repro.cluster.streams import InteractiveChannel, StreamCapture
 from repro.cluster.distributor import JobDistributor
-from repro.cluster.monitor import AccountingRecord, ClusterMonitor
+from repro.cluster.monitor import (
+    AccountingRecord,
+    ClusterMonitor,
+    HealthMonitor,
+    HealthPolicy,
+)
 from repro.cluster.faults import FaultInjector
 from repro.cluster.workloads import WorkloadSpec, generate_requests, run_workload
 
@@ -51,13 +56,14 @@ __all__ = [
     "NodeSpec", "SegmentSpec", "ClusterSpec",
     "Node", "NodeState", "Segment", "Grid",
     "Job", "JobKind", "JobRequest", "JobState",
+    "JobAttempt", "RetryPolicy",
     "JobQueue",
     "Scheduler", "FIFOScheduler", "PriorityScheduler", "BackfillScheduler", "Allocation",
     "CapacityView", "RunningEstimates",
     "ExecutionBackend", "SubprocessBackend", "CallableBackend", "SimulatedBackend",
     "StreamCapture", "InteractiveChannel",
     "JobDistributor",
-    "ClusterMonitor", "AccountingRecord",
+    "ClusterMonitor", "AccountingRecord", "HealthMonitor", "HealthPolicy",
     "FaultInjector",
     "WorkloadSpec", "generate_requests", "run_workload",
 ]

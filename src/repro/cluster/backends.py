@@ -40,10 +40,18 @@ __all__ = [
 
 
 class ExecutionHandle:
-    """Running-job control: cancellation + completion signalling."""
+    """Running-job control: cancellation + completion signalling.
+
+    ``epoch`` snapshots the job's attempt generation at launch.  When the
+    distributor retires an attempt early (node death, enforced timeout)
+    and later relaunches the job, this handle's eventual completion
+    carries a stale epoch and :func:`_finish` ignores it — the zombie
+    attempt can neither change the job's state nor close its streams.
+    """
 
     def __init__(self, job: Job) -> None:
         self.job = job
+        self.epoch = getattr(job, "attempt_epoch", 0)
         self._cancel = threading.Event()
         self._done = threading.Event()
         self._on_done: list[Callable[[Job], None]] = []
@@ -83,22 +91,45 @@ class ExecutionBackend:
 
 
 def _finish(job: Job, handle: ExecutionHandle, exit_code: int, error: str | None = None) -> None:
-    """Common completion path used by the real backends."""
+    """Common completion path used by the real backends.
+
+    A completion from a superseded attempt (the distributor already
+    killed it and possibly relaunched the job) is dropped entirely.  For
+    a live attempt that failed or timed out, the job's ``retry_gate`` —
+    installed by the distributor — may convert the would-be terminal
+    state into RETRYING; streams then stay open for the next attempt.
+    """
     from repro.cluster.job import JobState
 
+    if handle.epoch != getattr(job, "attempt_epoch", 0):
+        handle._mark_done()  # stale attempt: observers unblock, job untouched
+        return
+    if job.state is not JobState.RUNNING:
+        # The attempt was already resolved by the fault path (node death or
+        # enforced timeout sealed/requeued the job) — don't clobber it.
+        handle._mark_done()
+        return
     job.exit_code = exit_code
     job.error = error
-    job.stdout.close()
-    job.stderr.close()
-    if job.state is JobState.RUNNING:
-        if handle.cancel_requested:
-            job.try_transition(JobState.CANCELLED)
-        elif error == "timeout":
-            job.try_transition(JobState.TIMEOUT)
-        elif exit_code == 0:
-            job.try_transition(JobState.COMPLETED)
-        else:
-            job.try_transition(JobState.FAILED)
+    if handle.cancel_requested:
+        outcome = JobState.CANCELLED
+    elif error == "timeout":
+        outcome = JobState.TIMEOUT
+    elif exit_code == 0:
+        outcome = JobState.COMPLETED
+    else:
+        outcome = JobState.FAILED
+    retrying = (
+        outcome in (JobState.FAILED, JobState.TIMEOUT)
+        and job.retry_gate is not None
+        and job.retry_gate(job, outcome)
+    )
+    if retrying:
+        job.try_transition(JobState.RETRYING)
+    else:
+        job.stdout.close()
+        job.stderr.close()
+        job.try_transition(outcome)
     handle._mark_done()
 
 
@@ -333,7 +364,7 @@ class SimulatedBackend(ExecutionBackend):
         ev = self.sim.timeout(float(job.request.sim_duration))
 
         def complete(_ev) -> None:
-            if handle.cancel_requested:
+            if handle.cancel_requested or handle.epoch != job.attempt_epoch:
                 _finish(job, handle, exit_code=-1)
             else:
                 job.stdout.write_line(f"simulated job {job.id} ran {job.request.sim_duration}s")

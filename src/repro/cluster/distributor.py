@@ -25,23 +25,52 @@ and dependency-held jobs wait in a side table so the policy never
 rescans them.  ``stats()["dispatch"]`` exposes counters (rounds, jobs
 examined, placements tried, ...) so the engine's work is observable.
 
+The distributor is also the cluster's *fault-tolerance layer*:
+
+* **Retries.** A failed/timed-out attempt whose :class:`RetryPolicy`
+  (per-request, or the distributor-wide default) still has budget moves
+  RUNNING → RETRYING → QUEUED with exponential, seeded-jitter backoff
+  instead of sealing; every finished attempt is recorded on the job's
+  lineage (``job.attempts``).
+* **Timeouts.** Per-job run-time (``timeout_s``) and total wall-clock
+  (``wallclock_timeout_s``) deadlines are enforced by the dispatch loop
+  itself through a deadline heap + armed wake-ups, so even backends
+  with no timeout support (DES, plain callables) time out exactly once.
+* **Node death.** :meth:`fail_node` retires the orphaned attempts,
+  reroutes jobs with retry budget to surviving nodes and seals the rest
+  — the first-class API :class:`~repro.cluster.faults.FaultInjector`
+  drives.
+* **Health.** A :class:`~repro.cluster.monitor.HealthMonitor` turns
+  repeated attempt failures into SUSPECT (drained) nodes, rejoins them
+  after probation, and flags degraded mode when surviving capacity
+  drops below a threshold; ``stats()["faults"]`` counts every recovery
+  action.
+
 The distributor is time-source agnostic: pass ``now_fn=lambda: sim.now``
 with a :class:`SimulatedBackend` and the whole pipeline runs on virtual
-time; with the default wall clock it serves the live portal.
+time (backoff/timeout wake-ups are scheduled on the simulator
+automatically); with the default wall clock it serves the live portal
+using daemon timers.
 """
 
 from __future__ import annotations
 
 import bisect
+import dataclasses
+import heapq
+import itertools
 import threading
 import time
 from typing import Callable, Optional
 
-from repro._errors import JobError, SchedulingError
-from repro.cluster.backends import ExecutionBackend, ExecutionHandle
+import numpy as np
+
+from repro._errors import JobError, ResourceError, SchedulingError
+from repro.cluster.backends import ExecutionBackend, ExecutionHandle, SimulatedBackend
 from repro.cluster.grid import Grid
-from repro.cluster.job import Job, JobRequest, JobState
-from repro.cluster.monitor import ClusterMonitor
+from repro.cluster.job import Job, JobAttempt, JobRequest, JobState, RetryPolicy
+from repro.cluster.monitor import ClusterMonitor, HealthMonitor, HealthPolicy
+from repro.cluster.node import NodeState
 from repro.cluster.queue import JobQueue
 from repro.cluster.scheduler import (
     Allocation,
@@ -49,6 +78,7 @@ from repro.cluster.scheduler import (
     FIFOScheduler,
     RunningEstimates,
     Scheduler,
+    ready_for_dispatch,
 )
 
 __all__ = ["JobDistributor"]
@@ -64,12 +94,31 @@ class JobDistributor:
         scheduler: Scheduler | None = None,
         now_fn: Callable[[], float] | None = None,
         monitor: ClusterMonitor | None = None,
+        retry: RetryPolicy | None = None,
+        health: HealthMonitor | None = None,
+        health_policy: HealthPolicy | None = None,
+        track_health: bool = True,
+        seed: int = 0,
+        defer_fn: Callable[[float, Callable[[], None]], None] | None = None,
     ) -> None:
         self.grid = grid
         self.backend = backend
         self.scheduler = scheduler or FIFOScheduler()
         self.now_fn = now_fn or time.monotonic
         self.monitor = monitor or ClusterMonitor()
+        #: distributor-wide default retry policy; ``None`` means jobs are
+        #: not retried unless their request carries its own policy.
+        self.retry = retry
+        #: jitter source for retry backoff — seeded, so schedules reproduce.
+        self.rng = np.random.default_rng(seed)
+        if track_health:
+            self.health: Optional[HealthMonitor] = health or HealthMonitor(grid, health_policy)
+        else:
+            self.health = None
+        #: schedules a callback after a delay — wall-clock daemon timers by
+        #: default, the DES event queue when the backend is simulated (so
+        #: backoff/timeout wake-ups ride virtual time).
+        self._defer_fn = defer_fn or self._default_defer
         self.queue = JobQueue()
         self.jobs: dict[str, Job] = {}
         self._handles: dict[str, ExecutionHandle] = {}
@@ -97,9 +146,26 @@ class JobDistributor:
             "placements_tried": 0,  # candidate packings attempted
             "jobs_started": 0,
         }
-        #: monotone state-change counter: bumps on submit, start, finish
-        #: and cancel.  Cheap to read; the portal keys its cluster-status
-        #: response cache on it, so a stale snapshot is never served.
+        # Fault-tolerance state: pending (deadline, seq, kind, job, epoch)
+        # entries in a heap, plus counters for every recovery action.
+        self._deadlines: list[tuple[float, int, str, str, int]] = []
+        self._deadline_seq = itertools.count()
+        self._timer_at: Optional[float] = None
+        self._faults = {
+            "retries": 0,          # attempts requeued under a RetryPolicy
+            "timeouts": 0,         # run-time (timeout_s) expirations
+            "wall_timeouts": 0,    # wall-clock budget expirations
+            "reroutes": 0,         # retries caused by node death
+            "node_failures": 0,    # fail_node() events
+            "jobs_orphaned": 0,    # running jobs caught on a dead node
+            "nodes_suspected": 0,  # health-driven SUSPECT markings
+            "nodes_rejoined": 0,   # SUSPECT nodes back after probation
+            "nodes_recovered": 0,  # recover_node() events
+        }
+        #: monotone state-change counter: bumps on submit, start, finish,
+        #: cancel and every fault event.  Cheap to read; the portal keys
+        #: its cluster-status response cache on it, so a stale snapshot is
+        #: never served.
         self._version = 0
 
     # -- submission -----------------------------------------------------------
@@ -121,8 +187,6 @@ class JobDistributor:
         """
         if count < 1:
             raise JobError(f"array count must be >= 1, got {count}")
-        import dataclasses
-
         jobs = [
             self._accept(dataclasses.replace(request, name=f"{request.name}[{k}]"))
             for k in range(count)
@@ -138,7 +202,12 @@ class JobDistributor:
             self.jobs[job.id] = job
             self._version += 1
             job.submitted_at = self.now_fn()
+            job.retry_gate = self._retry_gate
             job.transition(JobState.QUEUED)
+            if request.wallclock_timeout_s is not None:
+                self._push_deadline(
+                    job.submitted_at + request.wallclock_timeout_s, "wall", job.id, -1
+                )
             if request.after and self._dependency_state(job) != "ready":
                 self._held[job.id] = job  # released (or doomed) by a round
             else:
@@ -212,6 +281,9 @@ class JobDistributor:
         started = 0
         with self._lock:
             self._counters["rounds"] += 1
+            now = self.now_fn()
+            self._enforce_deadlines(now)
+            self._rejoin_probation(now)
             # Dependency gating over the held side table only (the main
             # queue never carries unresolved dependencies): released jobs
             # re-enter the queue at their submission-order position, jobs
@@ -229,10 +301,14 @@ class JobDistributor:
                         job.try_transition(JobState.CANCELLED)
                         job.finished_at = self.now_fn()
                         self.monitor.record_job(job)
-            eligible = self.queue.snapshot()
+            # Jobs still serving their retry backoff are invisible to the
+            # policy; a wake-up is armed for the earliest one instead.
+            eligible, next_ready = ready_for_dispatch(self.queue.snapshot(), now)
+            if next_ready is not None:
+                self._arm_timer(next_ready)
             view = CapacityView(self.grid)
             picks = self.scheduler.select(
-                eligible, self.grid, now=self.now_fn(), running=self._run_ends,
+                eligible, self.grid, now=now, running=self._run_ends,
                 view=view,
             )
             self._counters["jobs_examined"] += len(eligible)
@@ -252,7 +328,7 @@ class JobDistributor:
                 self._register_running(job)
                 handle = self.backend.launch(job)
                 self._handles[job.id] = handle
-                handle.on_done(self._on_finished)
+                handle.on_done(lambda j, h=handle: self._attempt_done(j, h))
                 started += 1
             self._counters["jobs_started"] += started
             self._version += started
@@ -277,8 +353,18 @@ class JobDistributor:
         job.placement = alloc.as_dict()
 
     def _register_running(self, job: Job) -> None:
-        """Track a just-started job in the O(active) running structures."""
+        """Track a just-started job in the O(active) running structures.
+
+        Also opens the job's next attempt: the epoch bump (snapshotted by
+        the handle the backend is about to create) and the run-time
+        deadline for this attempt, when the request carries one.
+        """
+        job.attempt_epoch += 1
         self._running[job.id] = job
+        if job.request.timeout_s is not None:
+            self._push_deadline(
+                job.started_at + job.request.timeout_s, "run", job.id, job.attempt_epoch
+            )
         est = job.request.est_runtime_s
         if est is None:
             est = job.request.sim_duration
@@ -303,19 +389,261 @@ class JobDistributor:
             return RunningEstimates(self._run_ends)
 
     # -- completion -----------------------------------------------------------
-    def _on_finished(self, job: Job) -> None:
+    def _attempt_done(self, job: Job, handle: ExecutionHandle) -> None:
+        """Backend callback: one attempt finished (normally or not).
+
+        A callback whose handle the distributor already retired (node
+        death or enforced timeout popped it) is a zombie and is dropped;
+        the fault path that retired it did all the bookkeeping.
+        """
         with self._lock:
-            job.finished_at = self.now_fn()
-            for node_name in list(job.placement):
-                node = self.grid.node(node_name)
-                if node.holds(job.id):
-                    node.free(job.id)
-            self._handles.pop(job.id, None)
-            self._deregister_running(job)
-            self.monitor.record_job(job)
-            self._version += 1
-            self._idle.notify_all()
+            if self._handles.get(job.id) is not handle:
+                return  # superseded attempt
+            del self._handles[job.id]
+            if job.state is JobState.RETRYING:
+                # The retry gate rerouted a FAILED/TIMEOUT outcome here.
+                failure_class = "timeout" if job.error == "timeout" else "failed"
+                if failure_class == "timeout":
+                    self._faults["timeouts"] += 1
+                self._finish_attempt(job, failure_class, job.error)
+                self._requeue(job, failure_class)
+            else:
+                if job.state is JobState.TIMEOUT:
+                    self._faults["timeouts"] += 1
+                self._finish_attempt(job, job.state.value, job.error)
+                self._seal(job)
         self.dispatch()
+
+    def _finish_attempt(self, job: Job, outcome: str, error: Optional[str]) -> None:
+        """Free the attempt's resources and record it on the lineage (lock held).
+
+        Health accounting happens here: completions are heartbeats,
+        failures/timeouts count against every node the attempt touched —
+        crossing the flapping threshold drains the node (SUSPECT).
+        """
+        now = self.now_fn()
+        for node_name in list(job.placement):
+            node = self.grid.node(node_name)
+            if node.holds(job.id):
+                node.free(job.id)
+        self._deregister_running(job)
+        job.attempts.append(
+            JobAttempt(
+                no=job.attempt_epoch,
+                placement=dict(job.placement),
+                started_at=job.started_at,
+                finished_at=now,
+                outcome=outcome,
+                error=error,
+                exit_code=job.exit_code,
+            )
+        )
+        if self.health is not None:
+            if outcome == "completed":
+                for node_name in job.placement:
+                    self.health.record_heartbeat(node_name, now)
+            elif outcome in ("failed", "timeout"):
+                for node_name in job.placement:
+                    if self.health.record_failure(node_name, now):
+                        node = self.grid.node(node_name)
+                        if node.state is NodeState.UP:
+                            node.mark_suspect()
+                            self._faults["nodes_suspected"] += 1
+                            self._version += 1
+
+    def _requeue(self, job: Job, failure_class: str) -> None:
+        """RETRYING → QUEUED with backoff; arms a wake-up (lock held)."""
+        policy = job.request.retry or self.retry
+        delay = policy.delay_for(job.attempt_epoch, self.rng) if policy else 0.0
+        if job.attempts and delay > 0:
+            job.attempts[-1] = dataclasses.replace(job.attempts[-1], backoff_s=delay)
+        now = self.now_fn()
+        job.not_before = now + delay
+        job.placement = {}
+        job.exit_code = None
+        job.error = None
+        job.transition(JobState.QUEUED)
+        self.queue.push(job)
+        self._faults["retries"] += 1
+        if failure_class == "node_lost":
+            self._faults["reroutes"] += 1
+        self._version += 1
+        self._dirty = True
+        if delay > 0:
+            self._arm_timer(job.not_before)
+
+    def _seal(self, job: Job) -> None:
+        """Final accounting once a job reaches a terminal state (lock held)."""
+        job.finished_at = self.now_fn()
+        self.monitor.record_job(job)
+        self._version += 1
+        self._idle.notify_all()
+
+    # -- retry decisions --------------------------------------------------------
+    def _retry_gate(self, job: Job, outcome: JobState) -> bool:
+        """Installed on every job; the backend asks before sealing
+        FAILED/TIMEOUT whether the distributor wants another attempt."""
+        failure_class = "timeout" if outcome is JobState.TIMEOUT else "failed"
+        with self._lock:
+            return self._should_retry(job, failure_class, self.now_fn())
+
+    def _should_retry(self, job: Job, failure_class: str, now: float) -> bool:
+        """One more attempt allowed? Policy budget and wall budget (lock held)."""
+        policy = job.request.retry or self.retry
+        if policy is None or not policy.should_retry(failure_class, job.attempt_epoch):
+            return False
+        wall = job.request.wallclock_timeout_s
+        if wall is not None and job.submitted_at is not None:
+            if now - job.submitted_at >= wall:
+                return False
+        return True
+
+    # -- deadline enforcement ---------------------------------------------------
+    def _push_deadline(self, when: float, kind: str, job_id: str, epoch: int) -> None:
+        """Queue a run/wall deadline and arm a wake-up for it (lock held)."""
+        heapq.heappush(self._deadlines, (when, next(self._deadline_seq), kind, job_id, epoch))
+        self._arm_timer(when)
+
+    def _enforce_deadlines(self, now: float) -> None:
+        """Fire every due deadline exactly once (lock held).
+
+        Stale entries — the attempt ended, the job is terminal, or a
+        newer attempt is running under a different epoch — are skipped.
+        """
+        while self._deadlines and self._deadlines[0][0] <= now:
+            _, _, kind, job_id, epoch = heapq.heappop(self._deadlines)
+            job = self.jobs.get(job_id)
+            if job is None or job.terminal:
+                continue
+            if kind == "run":
+                if job.state is JobState.RUNNING and epoch == job.attempt_epoch:
+                    self._timeout_running(job, wall=False)
+            elif job.state is JobState.QUEUED:
+                # Wall budget expired while waiting (or backing off).
+                self.queue.remove(job)
+                self._held.pop(job.id, None)
+                job.error = "wallclock timeout"
+                job.transition(JobState.TIMEOUT)
+                job.stdout.close()
+                job.stderr.close()
+                self._faults["wall_timeouts"] += 1
+                self._seal(job)
+            elif job.state is JobState.RUNNING:
+                self._timeout_running(job, wall=True)
+        if self._deadlines:
+            # Earlier arms may have suppressed a wake-up for the new head.
+            self._arm_timer(self._deadlines[0][0])
+
+    def _timeout_running(self, job: Job, wall: bool) -> None:
+        """Kill a RUNNING attempt whose deadline passed (lock held)."""
+        handle = self._handles.pop(job.id, None)
+        if handle is not None:
+            handle.request_cancel()  # its eventual callback is now a zombie
+        label = "wallclock timeout" if wall else "timeout"
+        self._faults["wall_timeouts" if wall else "timeouts"] += 1
+        self._finish_attempt(job, "timeout", label)
+        if not wall and self._should_retry(job, "timeout", self.now_fn()):
+            job.transition(JobState.RETRYING)
+            self._requeue(job, "timeout")
+        else:
+            job.error = label
+            job.transition(JobState.TIMEOUT)
+            job.stdout.close()
+            job.stderr.close()
+            self._seal(job)
+
+    # -- node fault API ---------------------------------------------------------
+    def fail_node(self, node_name: str) -> list[Job]:
+        """Take a node out of service, rerouting or failing its jobs.
+
+        The node's running attempts are retired immediately (their
+        eventual backend callbacks become zombies); each orphaned job is
+        requeued onto surviving capacity when its retry budget allows the
+        ``node_lost`` class, and sealed FAILED otherwise.  Returns the
+        rerouted jobs.
+        """
+        rerouted: list[Job] = []
+        with self._lock:
+            node = self.grid.node(node_name)
+            if node.state is NodeState.DOWN:
+                raise ResourceError(f"node {node_name!r} is already down")
+            victims = node.mark_down()
+            now = self.now_fn()
+            self._faults["node_failures"] += 1
+            self._version += 1
+            if self.health is not None:
+                self.health.record_down(node_name, now)
+            for job_id in victims:
+                job = self.jobs.get(job_id)
+                if job is None:
+                    continue
+                handle = self._handles.pop(job_id, None)
+                if handle is not None:
+                    handle.request_cancel()
+                if job.state is not JobState.RUNNING:
+                    continue  # finished concurrently; nothing to reroute
+                self._faults["jobs_orphaned"] += 1
+                self._finish_attempt(job, "node_lost", f"node {node_name} failed")
+                if self._should_retry(job, "node_lost", now):
+                    job.transition(JobState.RETRYING)
+                    self._requeue(job, "node_lost")
+                    rerouted.append(job)
+                else:
+                    job.error = f"node {node_name} failed"
+                    job.transition(JobState.FAILED)
+                    job.stdout.close()
+                    job.stderr.close()
+                    self._seal(job)
+        self.dispatch()
+        return rerouted
+
+    def recover_node(self, node_name: str) -> None:
+        """Bring a DOWN/SUSPECT/DRAINING node back and re-run dispatch."""
+        with self._lock:
+            node = self.grid.node(node_name)
+            if node.state is NodeState.UP:
+                raise ResourceError(f"node {node_name!r} is already up")
+            node.mark_up()
+            self._faults["nodes_recovered"] += 1
+            self._version += 1
+            if self.health is not None:
+                self.health.record_up(node_name, self.now_fn())
+        self.dispatch()
+
+    def _rejoin_probation(self, now: float) -> None:
+        """Return idle SUSPECT nodes whose quiet period elapsed (lock held)."""
+        if self.health is None:
+            return
+        for name in self.health.due_probation(now):
+            node = self.grid.node(name)
+            if node.state is NodeState.SUSPECT and not node.running_jobs:
+                node.mark_up()
+                self.health.record_up(name, now)
+                self._faults["nodes_rejoined"] += 1
+                self._version += 1
+
+    # -- wake-up timers ---------------------------------------------------------
+    def _arm_timer(self, when: float) -> None:
+        """Schedule a dispatch at ``when`` unless an earlier one is armed
+        (lock held).  Extra firings are harmless — dispatch coalesces."""
+        if self._timer_at is not None and self._timer_at <= when:
+            return
+        self._timer_at = when
+        self._defer_fn(max(0.0, when - self.now_fn()), self._timer_fire)
+
+    def _timer_fire(self) -> None:
+        with self._lock:
+            self._timer_at = None
+        self.dispatch()
+
+    def _default_defer(self, delay: float, cb: Callable[[], None]) -> None:
+        if isinstance(self.backend, SimulatedBackend):
+            sim = self.backend.sim
+            sim._subscribe(sim.timeout(max(0.0, delay)), lambda _ev: cb())
+        else:
+            t = threading.Timer(max(0.0, delay), cb)
+            t.daemon = True
+            t.start()
 
     # -- control ---------------------------------------------------------------
     def cancel(self, job_id: str) -> bool:
@@ -382,4 +710,6 @@ class JobDistributor:
                 "grid": self.grid.snapshot(),
                 "policy": self.scheduler.name,
                 "dispatch": dict(self._counters),
+                "faults": dict(self._faults),
+                "health": self.health.snapshot() if self.health is not None else None,
             }

@@ -1,14 +1,17 @@
 """Node failure/recovery injection.
 
 Failure-injection tests use this to verify the distributor's behaviour
-when nodes vanish mid-run: running jobs on the dead node fail (and may
-be resubmitted), queued work reroutes to surviving nodes, and a
-recovered node rejoins the pool.
+when nodes vanish mid-run.  Since the fault-tolerance layer landed, the
+injector is a thin veneer over the distributor's own first-class API —
+:meth:`JobDistributor.fail_node` / :meth:`JobDistributor.recover_node` —
+rather than poking at handles and placements directly: killing a node
+retires its attempts, reroutes jobs with ``node_lost`` retry budget to
+surviving nodes and seals the rest FAILED, all under the distributor's
+lock, with lineage recorded and ``stats()["faults"]`` counting the
+damage.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 import numpy as np
 
@@ -30,46 +33,27 @@ class FaultInjector:
         self.victim_jobs: list[str] = []
 
     def kill_node(self, node_name: str, resubmit: bool = False) -> list[str]:
-        """Take one node down; fail (or resubmit) the jobs running on it.
+        """Take one node down via the distributor's fault path.
+
+        Jobs running there either reroute (their retry policy covers
+        ``node_lost``) or seal FAILED.  With ``resubmit=True``, each job
+        that sealed FAILED is resubmitted as a fresh clone of its request
+        — the legacy recovery mode from before first-class rerouting.
 
         Returns ids of affected jobs.
         """
-        node = self.distributor.grid.node(node_name)
-        if node.state is NodeState.DOWN:
-            raise ResourceError(f"node {node_name} is already down")
-        victims = node.mark_down()
+        dist = self.distributor
+        node = dist.grid.node(node_name)
+        victims = list(node.running_jobs)
+        dist.fail_node(node_name)
         self.killed.append(node_name)
-        affected = []
-        for job_id in victims:
-            job = self.distributor.jobs.get(job_id)
-            if job is None:
-                continue
-            affected.append(job_id)
-            self.victim_jobs.append(job_id)
-            # The node lost the allocation; scrub it from the job and
-            # mark the job failed (its processes died with the node).
-            job.placement.pop(node_name, None)
-            handle = self.distributor._handles.get(job_id)
-            if handle is not None:
-                handle.request_cancel()
-            if job.state is JobState.RUNNING:
-                job.error = f"node {node_name} failed"
-                job.try_transition(JobState.FAILED)
-                job.finished_at = self.distributor.now_fn()
-                # Free whatever the job still holds elsewhere.
-                for other in list(job.placement):
-                    n = self.distributor.grid.node(other)
-                    if n.holds(job_id):
-                        n.free(job_id)
-                job.placement.clear()
-                # Drop it from the running index now — its backend handle
-                # (if any) completes later, but the scheduler must stop
-                # counting the dead job's cores immediately.
-                self.distributor._deregister_running(job)
-            if resubmit:
-                self.distributor.submit(job.request)
-        self.distributor.dispatch()
-        return affected
+        self.victim_jobs.extend(victims)
+        if resubmit:
+            for job_id in victims:
+                job = dist.jobs.get(job_id)
+                if job is not None and job.state is JobState.FAILED:
+                    dist.submit(job.request)
+        return victims
 
     def kill_random_node(self, resubmit: bool = False) -> tuple[str, list[str]]:
         """Kill a uniformly-chosen up node. Returns (name, affected jobs)."""
@@ -84,10 +68,9 @@ class FaultInjector:
         node = self.distributor.grid.node(node_name)
         if node.state is not NodeState.DOWN:
             raise ResourceError(f"node {node_name} is not down")
-        node.mark_up()
+        self.distributor.recover_node(node_name)
         if node_name in self.killed:
             self.killed.remove(node_name)
-        self.distributor.dispatch()
 
     def revive_all(self) -> None:
         """Revive every node this injector killed."""
@@ -113,5 +96,4 @@ class FaultInjector:
             raise ResourceError(
                 f"node {node_name} still runs {list(node.running_jobs)}; wait for drain"
             )
-        node.mark_up()
-        self.distributor.dispatch()
+        self.distributor.recover_node(node_name)

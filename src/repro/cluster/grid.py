@@ -39,6 +39,7 @@ class Grid:
         self._gpu_nodes = [n for n in self.compute_nodes() if n.spec.has_gpu]
         # Incremental capacity index, fed by segment change events.
         self._cores_free = sum(seg.cores_free for seg in self.segments)
+        self._cores_up = sum(seg.cores_up for seg in self.segments)
         self._seg_order: Optional[list[Segment]] = None
         self._up_nodes: Optional[list[Node]] = None
         for seg in self.segments:
@@ -49,6 +50,7 @@ class Grid:
         self._seg_order = None
         if state_changed:
             self._up_nodes = None
+            self._cores_up = sum(s.cores_up for s in self.segments)
 
     # -- lookup ------------------------------------------------------------
     def node(self, name: str) -> Node:
@@ -90,6 +92,16 @@ class Grid:
         return self._cores_total
 
     @property
+    def cores_up(self) -> int:
+        """Spec cores on slaves currently UP — surviving capacity.
+
+        ``cores_up / cores_total`` is the health layer's degradation
+        measure: it ignores allocation level (unlike ``cores_free``) and
+        shrinks only when nodes leave service (DOWN/DRAINING/SUSPECT).
+        """
+        return self._cores_up
+
+    @property
     def max_slave_cores(self) -> int:
         """Core count of the largest slave node (static)."""
         return self._max_slave_cores
@@ -124,13 +136,16 @@ class Grid:
         return {
             "cores_total": self.cores_total,
             "cores_free": self.cores_free,
+            "cores_up": self.cores_up,
             "load": self.load,
             "segments": {
                 seg.name: {
                     "cores_total": seg.cores_total,
                     "cores_free": seg.cores_free,
+                    "cores_up": seg.cores_up,
                     "load": seg.load,
                     "nodes_up": len(seg.up_slaves()),
+                    "node_states": seg.state_counts(),
                 }
                 for seg in self.segments
             },

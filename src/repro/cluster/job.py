@@ -5,7 +5,15 @@ node), *parallel* (``n_tasks`` ranks spread over nodes) or *interactive*
 (sequential + an open stdin channel).  Lifecycle::
 
     PENDING -> QUEUED -> RUNNING -> {COMPLETED, FAILED, TIMEOUT}
-         \\-> CANCELLED (from PENDING/QUEUED/RUNNING)
+         \\-> CANCELLED (from PENDING/QUEUED/RUNNING/RETRYING)
+                  QUEUED -> TIMEOUT (wall-clock budget expired in queue)
+                  RUNNING -> RETRYING -> QUEUED (fault-tolerant requeue)
+
+A failed or timed-out *attempt* whose :class:`RetryPolicy` still has
+budget moves the job RUNNING → RETRYING → QUEUED instead of sealing it;
+each finished attempt is recorded as a :class:`JobAttempt` so the portal
+can show the full lineage.  FAILED/TIMEOUT/COMPLETED/CANCELLED remain
+strictly terminal.
 
 Transitions are validated; illegal moves raise :class:`JobError` — an
 invariant the property tests exercise heavily.
@@ -22,7 +30,7 @@ from typing import Any, Callable, Optional
 from repro._errors import JobError
 from repro.cluster.streams import InteractiveChannel, StreamCapture
 
-__all__ = ["JobKind", "JobState", "JobRequest", "Job"]
+__all__ = ["JobKind", "JobState", "JobRequest", "Job", "JobAttempt", "RetryPolicy"]
 
 _job_counter = itertools.count(1)
 
@@ -41,6 +49,7 @@ class JobState(enum.Enum):
     PENDING = "pending"      # created, not yet accepted by the distributor
     QUEUED = "queued"        # waiting for resources
     RUNNING = "running"
+    RETRYING = "retrying"    # attempt failed; being requeued under a RetryPolicy
     COMPLETED = "completed"
     FAILED = "failed"
     CANCELLED = "cancelled"
@@ -51,9 +60,110 @@ _TERMINAL = {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED, JobState.T
 
 _ALLOWED: dict[JobState, set[JobState]] = {
     JobState.PENDING: {JobState.QUEUED, JobState.CANCELLED},
-    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED},
-    JobState.RUNNING: {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT},
+    # QUEUED -> TIMEOUT: the wall-clock budget can expire before a start.
+    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED, JobState.TIMEOUT},
+    JobState.RUNNING: {
+        JobState.COMPLETED,
+        JobState.FAILED,
+        JobState.CANCELLED,
+        JobState.TIMEOUT,
+        JobState.RETRYING,
+    },
+    # RETRYING -> FAILED/TIMEOUT covers a requeue that can no longer
+    # succeed (e.g. the retry budget raced with a wall-clock deadline).
+    JobState.RETRYING: {
+        JobState.QUEUED,
+        JobState.CANCELLED,
+        JobState.FAILED,
+        JobState.TIMEOUT,
+    },
 }
+
+
+_RETRY_CLASSES = frozenset({"failed", "timeout", "node_lost"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) failed attempts are retried.
+
+    ``max_attempts`` counts *every* attempt including the first, so
+    ``max_attempts=3`` allows two retries.  Backoff between attempts is
+    exponential with multiplicative jitter drawn from the distributor's
+    seeded RNG — deterministic under a fixed seed, which the reliability
+    battery asserts.
+
+    ``retry_on`` selects which failure classes are retried:
+
+    * ``"failed"``   — the attempt exited non-zero / raised;
+    * ``"timeout"``  — the attempt exceeded ``timeout_s``;
+    * ``"node_lost"`` — the node running the attempt died (the job is
+      requeued and rerouted to surviving nodes).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter: float = 0.1
+    retry_on: frozenset[str] = _RETRY_CLASSES
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise JobError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise JobError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise JobError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0 <= self.jitter < 1:
+            raise JobError(f"jitter must be in [0, 1), got {self.jitter}")
+        unknown = set(self.retry_on) - _RETRY_CLASSES
+        if unknown:
+            raise JobError(f"unknown retry classes {sorted(unknown)}; pick from {sorted(_RETRY_CLASSES)}")
+        # Accept any iterable for convenience but store a frozenset.
+        if not isinstance(self.retry_on, frozenset):
+            object.__setattr__(self, "retry_on", frozenset(self.retry_on))
+
+    def should_retry(self, failure_class: str, attempts_used: int) -> bool:
+        """Is another attempt allowed after ``attempts_used`` attempts?"""
+        return failure_class in self.retry_on and attempts_used < self.max_attempts
+
+    def delay_for(self, attempt_no: int, rng=None) -> float:
+        """Backoff before the retry that follows attempt ``attempt_no`` (1-based).
+
+        ``rng`` (a ``numpy`` Generator) supplies the jitter draw; pass the
+        same seeded generator to reproduce the exact schedule.
+        """
+        delay = min(self.backoff_max_s, self.backoff_base_s * self.backoff_factor ** max(0, attempt_no - 1))
+        if rng is not None and self.jitter and delay > 0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+
+@dataclass(frozen=True)
+class JobAttempt:
+    """One finished execution attempt — the unit of the job's lineage."""
+
+    no: int
+    placement: dict[str, int]
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    outcome: str            # completed | failed | timeout | node_lost | cancelled
+    error: Optional[str] = None
+    exit_code: Optional[int] = None
+    backoff_s: Optional[float] = None  # delay before the *next* attempt, if retried
+
+    def as_dict(self) -> dict:
+        return {
+            "no": self.no,
+            "placement": dict(self.placement),
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "outcome": self.outcome,
+            "error": self.error,
+            "exit_code": self.exit_code,
+            "backoff_s": self.backoff_s,
+        }
 
 
 @dataclass
@@ -78,6 +188,12 @@ class JobRequest:
     need_gpu: bool = False
     priority: int = 0
     timeout_s: Optional[float] = None
+    wallclock_timeout_s: Optional[float] = None
+    """Total budget from submission — queue wait, retries and all; when it
+    expires the job times out wherever it is (even still QUEUED)."""
+    retry: Optional[RetryPolicy] = None
+    """Per-job retry policy; ``None`` falls back to the distributor's
+    default (which is itself ``None`` — no retries — unless configured)."""
     est_runtime_s: Optional[float] = None
     """User-supplied runtime estimate; enables EASY backfilling."""
     after: tuple[str, ...] = ()
@@ -105,6 +221,10 @@ class JobRequest:
                 "exactly one of argv / callable / sim_duration must be given "
                 f"(got {sum(specified)})"
             )
+        for label, value in (("timeout_s", self.timeout_s),
+                             ("wallclock_timeout_s", self.wallclock_timeout_s)):
+            if value is not None and value <= 0:
+                raise JobError(f"{label} must be positive, got {value}")
         if self.kind is JobKind.SEQUENTIAL and self.n_tasks != 1:
             raise JobError("sequential jobs have exactly one task; use kind=PARALLEL")
         if self.kind is JobKind.INTERACTIVE and self.n_tasks != 1:
@@ -141,6 +261,19 @@ class Job:
         self.submitted_at: Optional[float] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        # -- fault-tolerance bookkeeping (owned by the distributor) -------
+        #: finished attempts, oldest first (the lineage the portal shows)
+        self.attempts: list[JobAttempt] = []
+        #: attempt generation: bumped each time an attempt starts.  An
+        #: :class:`~repro.cluster.backends.ExecutionHandle` snapshots it at
+        #: launch, so a completion from a superseded attempt (killed node,
+        #: enforced timeout) can never clobber the live one.
+        self.attempt_epoch = 0
+        #: earliest time the job may be dispatched (retry backoff)
+        self.not_before = 0.0
+        #: distributor hook consulted before a FAILED/TIMEOUT seal; when it
+        #: returns True the backend moves the job to RETRYING instead.
+        self.retry_gate: Optional[Callable[["Job", JobState], bool]] = None
 
     # -- state machine -------------------------------------------------------
     @property
@@ -201,6 +334,9 @@ class Job:
             "error": self.error,
             "runtime_s": self.runtime_s,
             "wait_s": self.wait_s,
+            "attempt": self.attempt_epoch,
+            "retries": max(0, self.attempt_epoch - 1),
+            "attempts": [a.as_dict() for a in self.attempts],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

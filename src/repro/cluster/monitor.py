@@ -1,18 +1,33 @@
-"""Utilisation sampling and per-job accounting."""
+"""Utilisation sampling, per-job accounting, and node-health tracking.
+
+:class:`ClusterMonitor` is the paper's monitor page (load samples +
+accounting log).  :class:`HealthMonitor` is the fault-tolerance layer's
+memory: per-node heartbeat/failure history, SUSPECT decisions for
+flapping nodes, probation-based rejoin, and the cluster-wide degraded
+flag the portal surfaces as a banner.
+"""
 
 from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.cluster.grid import Grid
 from repro.cluster.job import Job
+from repro.cluster.node import NodeState
 
-__all__ = ["AccountingRecord", "UtilisationSample", "ClusterMonitor"]
+__all__ = [
+    "AccountingRecord",
+    "UtilisationSample",
+    "ClusterMonitor",
+    "HealthPolicy",
+    "NodeHealth",
+    "HealthMonitor",
+]
 
 
 @dataclass(frozen=True)
@@ -119,3 +134,180 @@ class ClusterMonitor:
         if not samples:
             return 0.0
         return float(np.mean([s.load for s in samples]))
+
+
+# -- node health -----------------------------------------------------------
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Knobs for the health monitor's SUSPECT/degraded decisions."""
+
+    suspect_after: int = 3
+    """Attempt failures within ``window_s`` that flag a node SUSPECT."""
+    window_s: float = 60.0
+    """Sliding window over which failures count as flapping."""
+    probation_s: float = 120.0
+    """Quiet time after which a SUSPECT node is eligible to rejoin."""
+    degraded_below: float = 0.5
+    """Cluster is *degraded* when ``cores_up / cores_total`` drops below
+    this fraction — the portal shows a banner and ``stats()`` flags it."""
+
+    def __post_init__(self) -> None:
+        if self.suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {self.suspect_after}")
+        if self.window_s <= 0 or self.probation_s < 0:
+            raise ValueError("window_s must be > 0 and probation_s >= 0")
+        if not 0 <= self.degraded_below <= 1:
+            raise ValueError(f"degraded_below must be in [0, 1], got {self.degraded_below}")
+
+
+@dataclass
+class NodeHealth:
+    """Rolling health record for one node."""
+
+    failures: deque = field(default_factory=deque)  # recent failure times
+    failures_total: int = 0
+    last_failure: Optional[float] = None
+    last_heartbeat: Optional[float] = None
+    suspected_at: Optional[float] = None
+    down_at: Optional[float] = None
+
+
+class HealthMonitor:
+    """Per-node failure/heartbeat history feeding placement decisions.
+
+    The distributor reports attempt completions here: successes count as
+    heartbeats, failures accumulate in a sliding window.  When a node
+    collects ``suspect_after`` failures within ``window_s`` the monitor
+    asks for it to be drained (SUSPECT); after ``probation_s`` without
+    further failures :meth:`due_probation` offers it back.  Because a
+    SUSPECT/DOWN node exposes zero free capacity through the incremental
+    node → segment → grid index, the scheduler avoids unhealthy nodes
+    with no policy-side changes at all.
+
+    Thread-safe; the distributor calls in under its own lock but the
+    portal may snapshot concurrently.
+    """
+
+    def __init__(self, grid: Grid, policy: HealthPolicy | None = None) -> None:
+        self.grid = grid
+        self.policy = policy or HealthPolicy()
+        # Pre-populate one entry per node: the dict never changes shape
+        # afterwards, so hot-path reads (heartbeats) need no lock.
+        self._nodes: dict[str, NodeHealth] = {
+            node.name: NodeHealth() for node in grid.compute_nodes()
+        }
+        self._suspects = 0  # nodes with suspected_at set; due_probation fast path
+        self._lock = threading.Lock()
+
+    def _entry(self, node_name: str) -> NodeHealth:
+        entry = self._nodes.get(node_name)
+        if entry is None:
+            entry = self._nodes[node_name] = NodeHealth()
+        return entry
+
+    # -- event intake ----------------------------------------------------
+    def record_heartbeat(self, node_name: str, t: float) -> None:
+        """A successful attempt (or explicit probe) touched the node.
+
+        Lock-free on the hot path: this fires for every node of every
+        completed job, and a plain timestamp store on a pre-existing
+        entry is atomic enough (entries are created under the lock).
+        """
+        entry = self._nodes.get(node_name)
+        if entry is None:
+            with self._lock:
+                entry = self._entry(node_name)
+        entry.last_heartbeat = t
+
+    def record_failure(self, node_name: str, t: float) -> bool:
+        """Count an attempt failure against the node.
+
+        Returns ``True`` when the node just crossed the flapping
+        threshold and should be marked SUSPECT by the caller.
+        """
+        with self._lock:
+            entry = self._entry(node_name)
+            entry.failures_total += 1
+            entry.last_failure = t
+            window = entry.failures
+            window.append(t)
+            while window and window[0] < t - self.policy.window_s:
+                window.popleft()
+            if entry.suspected_at is None and len(window) >= self.policy.suspect_after:
+                entry.suspected_at = t
+                self._suspects += 1
+                return True
+            return False
+
+    def record_down(self, node_name: str, t: float) -> None:
+        """The node left service entirely (killed / crashed)."""
+        with self._lock:
+            entry = self._entry(node_name)
+            entry.down_at = t
+            if entry.suspected_at is not None:
+                self._suspects -= 1
+            entry.suspected_at = None
+
+    def record_up(self, node_name: str, t: float) -> None:
+        """The node rejoined service; its history restarts clean."""
+        with self._lock:
+            entry = self._entry(node_name)
+            entry.failures.clear()
+            if entry.suspected_at is not None:
+                self._suspects -= 1
+            entry.suspected_at = None
+            entry.down_at = None
+            entry.last_heartbeat = t
+
+    # -- decisions ---------------------------------------------------------
+    def due_probation(self, t: float) -> list[str]:
+        """SUSPECT nodes whose quiet period has elapsed, oldest first."""
+        if not self._suspects:
+            # unsynchronised fast path: a stale zero only defers the rejoin
+            # to the next dispatch round, and zero is the steady state —
+            # this runs once per round so it must not take the lock
+            return []
+        with self._lock:
+            due = [
+                (entry.suspected_at, name)
+                for name, entry in self._nodes.items()
+                if entry.suspected_at is not None
+                and t - max(entry.suspected_at, entry.last_failure or 0.0)
+                >= self.policy.probation_s
+            ]
+        return [name for _, name in sorted(due)]
+
+    @property
+    def up_fraction(self) -> float:
+        """Surviving capacity as a fraction of the whole machine."""
+        total = self.grid.cores_total
+        return self.grid.cores_up / total if total else 1.0
+
+    @property
+    def degraded(self) -> bool:
+        """Below the capacity threshold segments are considered degraded."""
+        return self.up_fraction < self.policy.degraded_below
+
+    def snapshot(self) -> dict:
+        """JSON-ready health summary (portal cluster status)."""
+        suspect, down = [], []
+        for node in self.grid.compute_nodes():
+            if node.state is NodeState.SUSPECT:
+                suspect.append(node.name)
+            elif node.state is NodeState.DOWN:
+                down.append(node.name)
+        with self._lock:
+            failures = {
+                name: entry.failures_total
+                for name, entry in self._nodes.items()
+                if entry.failures_total
+            }
+        return {
+            "degraded": self.degraded,
+            "up_fraction": round(self.up_fraction, 4),
+            "cores_up": self.grid.cores_up,
+            "cores_total": self.grid.cores_total,
+            "suspect_nodes": suspect,
+            "down_nodes": down,
+            "failures_by_node": failures,
+        }

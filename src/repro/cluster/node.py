@@ -17,6 +17,7 @@ class NodeState(enum.Enum):
     UP = "up"
     DOWN = "down"
     DRAINING = "draining"  # finishes running work, accepts nothing new
+    SUSPECT = "suspect"    # health-flagged (flapping): drained until probation ends
 
 
 class Node:
@@ -139,6 +140,14 @@ class Node:
         """Stop accepting new work; running jobs continue."""
         if self.state is NodeState.UP:
             self.state = NodeState.DRAINING
+            self._notify()
+
+    def mark_suspect(self) -> None:
+        """Health-flag the node: like draining, but owned by the health
+        monitor — running jobs finish, placement skips it, and it rejoins
+        automatically once its probation window passes without failures."""
+        if self.state in (NodeState.UP, NodeState.DRAINING):
+            self.state = NodeState.SUSPECT
             self._notify()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

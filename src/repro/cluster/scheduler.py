@@ -7,6 +7,13 @@ parallel job is packed into the emptiest single segment that can hold it
 before being allowed to straddle segments (inter-segment traffic costs
 3 hops in the network model, so the preference is measurable).
 
+Health-driven avoidance is free here: a DOWN, DRAINING or SUSPECT node
+exposes zero free capacity through the incremental index and drops out
+of ``up_slaves()``/``up_compute_nodes()``, so no policy ever needs to
+know *why* a node is unavailable.  Retry backoff is likewise handled
+before policies run: :func:`ready_for_dispatch` filters jobs whose
+``not_before`` lies in the future out of the round's queue snapshot.
+
 Free capacity is read through a *capacity view* — either the legacy
 :class:`_Shadow` (a full per-round rebuild that snapshots every node) or
 the incremental :class:`CapacityView` (O(1) setup over the grid's live
@@ -42,7 +49,38 @@ __all__ = [
     "FIFOScheduler",
     "PriorityScheduler",
     "BackfillScheduler",
+    "ready_for_dispatch",
 ]
+
+
+def ready_for_dispatch(queue: Sequence[Job], now: float) -> tuple[list[Job], Optional[float]]:
+    """Split backoff-delayed jobs out of a queue snapshot.
+
+    Returns ``(eligible, next_ready)``: jobs whose retry backoff has
+    elapsed (``job.not_before <= now``), in their original order, plus
+    the earliest ``not_before`` among the held-back jobs (``None`` when
+    everything is eligible) so the distributor can arm a wake-up instead
+    of polling.  A backing-off job temporarily yields its slot; once
+    eligible it re-enters at its submission-order position, so FIFO
+    fairness survives the delay.
+    """
+    eligible: Optional[list[Job]] = None  # lazily forked from the snapshot
+    next_ready: Optional[float] = None
+    for i, job in enumerate(queue):
+        nb = job.not_before
+        if nb <= now:
+            if eligible is not None:
+                eligible.append(job)
+        else:
+            if eligible is None:
+                eligible = list(queue[:i])
+            if next_ready is None or nb < next_ready:
+                next_ready = nb
+    if eligible is None:
+        # common case: nothing is backing off, the snapshot is already a
+        # private copy — reuse it instead of rebuilding the list per round
+        return list(queue) if not isinstance(queue, list) else queue, None
+    return eligible, next_ready
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,9 @@ class Segment:
         self._node_state: dict[str, NodeState] = {}
         self._cores_free = 0
         self._memory_free = 0
+        #: spec cores on slaves currently UP — the health layer's measure
+        #: of surviving capacity (independent of allocation level).
+        self._cores_up = self._cores_total
         for n in self.slaves:
             self._node_free[n.name] = (n.cores_free, n.memory_free_mb)
             self._node_state[n.name] = n.state
@@ -61,6 +64,11 @@ class Segment:
         if state_changed:
             self._node_state[node.name] = node.state
             self._up_cache = None
+            # State flips are rare; an O(slaves) recount keeps the
+            # up-capacity index simple and exact.
+            self._cores_up = sum(
+                n.spec.cores for n in self.slaves if n.state is NodeState.UP
+            )
         if self._observer is not None:
             self._observer(self, state_changed)
 
@@ -81,6 +89,18 @@ class Segment:
     @property
     def cores_total(self) -> int:
         return self._cores_total
+
+    @property
+    def cores_up(self) -> int:
+        """Spec cores on slaves currently UP (maintained incrementally)."""
+        return self._cores_up
+
+    def state_counts(self) -> dict[str, int]:
+        """``{state: slave count}`` — what the status page aggregates."""
+        counts: dict[str, int] = {}
+        for state in self._node_state.values():
+            counts[state.value] = counts.get(state.value, 0) + 1
+        return counts
 
     @property
     def load(self) -> float:

@@ -406,6 +406,8 @@ class PortalApp:
             timeout_s=body.get("timeout_s", 120.0),
             priority=int(body.get("priority", 0)),
             need_gpu=bool(body.get("need_gpu", False)),
+            max_retries=int(body.get("max_retries", 0)),
+            wallclock_timeout_s=body.get("wallclock_timeout_s"),
         )
         if job is None:
             return Response.json({"compile": report, "job": None}, status=400)
@@ -503,7 +505,10 @@ class PortalApp:
             files = [e.as_dict() for e in self.files.list_dir(user.username)]
             jobs = self.jobsvc.list_jobs(user)
             cluster = dist.grid.snapshot()
-            return Response.html(templates.dashboard_page(user.username, files, jobs, cluster))
+            health = dist.health.snapshot() if dist.health is not None else None
+            return Response.html(
+                templates.dashboard_page(user.username, files, jobs, cluster, health=health)
+            )
 
         key = ("dash", dist.version, dist.grid.cores_free)
         return self._conditional(req, f"files:{user.username}", key, build)

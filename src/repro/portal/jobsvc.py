@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro._errors import AuthorizationError, CompilationError, JobError
 from repro.cluster.distributor import JobDistributor
-from repro.cluster.job import Job, JobKind, JobRequest
+from repro.cluster.job import Job, JobKind, JobRequest, RetryPolicy
 from repro.portal.auth import User
 from repro.portal.files import FileManager
 from repro.toolchain.registry import ToolchainRegistry
@@ -79,6 +79,8 @@ class JobService:
         timeout_s: float | None = 120.0,
         priority: int = 0,
         need_gpu: bool = False,
+        max_retries: int = 0,
+        wallclock_timeout_s: float | None = None,
     ) -> tuple[dict, Optional[Job]]:
         """Compile ``rel_path`` and, on success, dispatch it to the cluster.
 
@@ -109,6 +111,9 @@ class JobService:
         if not result.ok or result.artifact is None:
             return report, None
 
+        if max_retries < 0:
+            raise JobError(f"max_retries must be >= 0, got {max_retries}")
+        retry = RetryPolicy(max_attempts=max_retries + 1) if max_retries else None
         request = JobRequest(
             name=source.name,
             owner=user.username,
@@ -118,6 +123,8 @@ class JobService:
             cores_per_task=cores_per_task,
             stdin_data=stdin_data,
             timeout_s=timeout_s,
+            wallclock_timeout_s=wallclock_timeout_s,
+            retry=retry,
             priority=priority,
             need_gpu=need_gpu,
             workdir=str(self.files.home(user.username)),
@@ -153,6 +160,9 @@ class JobService:
             "stderr_tail": job.stderr.tail(50),
             "exit_code": job.exit_code,
             "error": job.error,
+            "attempt": job.attempt_epoch,
+            "retries": max(0, job.attempt_epoch - 1),
+            "attempts": [a.as_dict() for a in job.attempts],
         }
 
     def output_fingerprint(self, job: Job) -> tuple:
@@ -167,6 +177,9 @@ class JobService:
             job.stdout.next_index,
             job.stderr.next_index,
             job.exit_code,
+            # A retry changes the lineage even when the streams are quiet.
+            job.attempt_epoch,
+            len(job.attempts),
         )
 
     def send_input(self, user: User, job_id: str, text: str) -> None:

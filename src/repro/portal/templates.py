@@ -28,6 +28,9 @@ _LAYOUT = """<!DOCTYPE html>
  code {{ background: #f4f4f8; padding: 0 .25rem; }}
  .state-completed {{ color: #060; }} .state-failed {{ color: #a00; }}
  .state-running {{ color: #06c; }} .state-queued {{ color: #b60; }}
+ .state-timeout {{ color: #a00; }} .state-retrying {{ color: #b60; }}
+ .degraded {{ background: #fee; border: 1px solid #a00; color: #a00;
+              padding: .5rem .8rem; }}
  form.inline {{ display: inline; }}
  .load {{ font-variant-numeric: tabular-nums; }}
 </style>
@@ -68,8 +71,27 @@ def _rows(cells: Iterable[Iterable[object]]) -> str:
     )
 
 
-def dashboard_page(username: str, files: list[dict], jobs: list[dict], cluster: dict) -> str:
-    """Files + jobs + cluster status overview."""
+def dashboard_page(
+    username: str,
+    files: list[dict],
+    jobs: list[dict],
+    cluster: dict,
+    health: dict | None = None,
+) -> str:
+    """Files + jobs + cluster status overview.
+
+    ``health`` is the distributor's :class:`HealthMonitor` snapshot; when
+    the cluster is running degraded (too much capacity down/suspect) a
+    warning banner leads the page so students know why jobs are queueing.
+    """
+    banner = ""
+    if health is not None and health.get("degraded"):
+        detail = ", ".join(health.get("down_nodes", []) + health.get("suspect_nodes", []))
+        banner = (
+            '<p class="degraded">&#9888; Cluster degraded: '
+            f"{health.get('cores_up', '?')} of {health.get('cores_total', '?')} cores in service"
+            f"{' (' + _esc(detail) + ')' if detail else ''} — jobs may wait longer.</p>"
+        )
     file_rows = _rows(
         (("📁 " if f["is_dir"] else "") + f["name"], f["size"], f["path"]) for f in files
     )
@@ -84,6 +106,7 @@ def dashboard_page(username: str, files: list[dict], jobs: list[dict], cluster: 
         for name, s in cluster.get("segments", {}).items()
     )
     body = f"""
+{banner}
 <p>Signed in as <strong>{_esc(username)}</strong> —
 <form class="inline" method="post" action="/logout"><button>log out</button></form></p>
 
@@ -124,6 +147,21 @@ def job_page(
   <input name="text" placeholder="stdin line"> <button>Send</button>
 </form>"""
     err_block = f"<h2>stderr</h2><pre>{err_text}</pre>" if err_text else ""
+    attempts = job.get("attempts") or []
+    attempts_block = ""
+    if len(attempts) > 1 or (attempts and attempts[0]["outcome"] != job["state"]):
+        attempt_rows = "".join(
+            f"<tr><td>{_esc(a['no'])}</td>"
+            f"<td>{_esc(', '.join(sorted(a.get('placement', {})))) or '—'}</td>"
+            f"<td class='state-{_esc(a['outcome'])}'>{_esc(a['outcome'])}</td>"
+            f"<td>{_esc(a.get('error') or '')}</td>"
+            f"<td>{_esc(a['backoff_s'] if a.get('backoff_s') is not None else '')}</td></tr>"
+            for a in attempts
+        )
+        attempts_block = f"""
+<h2>Attempts</h2>
+<table><tr><th>#</th><th>Nodes</th><th>Outcome</th><th>Error</th><th>Backoff (s)</th></tr>
+{attempt_rows}</table>"""
     body = f"""
 <p><a href="/">&larr; dashboard</a></p>
 <table>
@@ -133,10 +171,12 @@ def job_page(
  <tr><th>Kind</th><td>{_esc(job['kind'])}</td></tr>
  <tr><th>State</th><td class="state-{_esc(job['state'])}">{_esc(job['state'])}</td></tr>
  <tr><th>Exit code</th><td>{_esc(job.get('exit_code'))}</td></tr>
+ <tr><th>Attempt</th><td>{_esc(job.get('attempt', 1))} ({_esc(job.get('retries', 0))} retries)</td></tr>
  <tr><th>Wait / runtime</th><td>{_esc(job.get('wait_s'))} s / {_esc(job.get('runtime_s'))} s</td></tr>
 </table>
 <h2>Placement</h2>
 <table><tr><th>Node</th><th>Cores</th></tr>{placement_rows or '<tr><td colspan=2>(not placed)</td></tr>'}</table>
+{attempts_block}
 <h2>stdout</h2>
 <pre>{out_text}</pre>
 {err_block}
