@@ -80,6 +80,7 @@ from repro.cluster.scheduler import (
     Scheduler,
     ready_for_dispatch,
 )
+from repro.telemetry.instruments import DispatchTelemetry
 
 __all__ = ["JobDistributor"]
 
@@ -100,6 +101,7 @@ class JobDistributor:
         track_health: bool = True,
         seed: int = 0,
         defer_fn: Callable[[float, Callable[[], None]], None] | None = None,
+        registry=None,
     ) -> None:
         self.grid = grid
         self.backend = backend
@@ -135,33 +137,33 @@ class JobDistributor:
         #: (estimated_end, cores) of running jobs, kept end-time-sorted.
         self._run_ends: RunningEstimates = RunningEstimates()
         self._run_entry: dict[str, tuple[float, int]] = {}
-        # Coalesced-dispatch state + observability counters.
+        # Coalesced-dispatch state.
         self._dirty = False
         self._draining = False
-        self._counters = {
-            "requests": 0,       # dispatch() calls (submit/completion/fault)
-            "coalesced": 0,      # requests merged into a drain in flight
-            "rounds": 0,         # scheduling rounds actually run
-            "jobs_examined": 0,  # queue entries handed to the policy
-            "placements_tried": 0,  # candidate packings attempted
-            "jobs_started": 0,
-        }
         # Fault-tolerance state: pending (deadline, seq, kind, job, epoch)
-        # entries in a heap, plus counters for every recovery action.
+        # entries in a heap.
         self._deadlines: list[tuple[float, int, str, str, int]] = []
         self._deadline_seq = itertools.count()
         self._timer_at: Optional[float] = None
-        self._faults = {
-            "retries": 0,          # attempts requeued under a RetryPolicy
-            "timeouts": 0,         # run-time (timeout_s) expirations
-            "wall_timeouts": 0,    # wall-clock budget expirations
-            "reroutes": 0,         # retries caused by node death
-            "node_failures": 0,    # fail_node() events
-            "jobs_orphaned": 0,    # running jobs caught on a dead node
-            "nodes_suspected": 0,  # health-driven SUSPECT markings
-            "nodes_rejoined": 0,   # SUSPECT nodes back after probation
-            "nodes_recovered": 0,  # recover_node() events
-        }
+        #: per-distributor by default so counters never bleed between
+        #: instances; pass a shared (or Null) registry to aggregate or
+        #: disable.  Spans and events are stamped with ``now_fn`` time,
+        #: so DES runs trace virtual seconds.
+        self.telemetry = DispatchTelemetry(
+            registry=registry, clock=self.now_fn, policy=self.scheduler.name
+        )
+        tel = self.telemetry
+        # Hot-path counters are plain ints bumped with ``+=`` inside the
+        # scheduling loop; the telemetry shim owns them and exports them
+        # through read-time callbacks (the respcache pattern), so counting
+        # costs the same whether telemetry is on or off.
+        self._counters = tel.counters
+        self._faults = tel.faults
+        tel.g_queued.set_fn(lambda: len(self.queue) + len(self._held))
+        tel.g_running.set_fn(lambda: len(self._running))
+        self.monitor.bind(tel.registry)
+        if self.health is not None:
+            self.health.bind(tel.registry)
         #: monotone state-change counter: bumps on submit, start, finish,
         #: cancel and every fault event.  Cheap to read; the portal keys
         #: its cluster-status response cache on it, so a stale snapshot is
@@ -279,6 +281,8 @@ class JobDistributor:
     def _dispatch_round(self) -> int:
         """One scheduling round; returns how many jobs were started."""
         started = 0
+        tel = self.telemetry
+        t0 = time.perf_counter() if tel.on else 0.0
         with self._lock:
             self._counters["rounds"] += 1
             now = self.now_fn()
@@ -326,6 +330,7 @@ class JobDistributor:
                 job.transition(JobState.RUNNING)
                 job.started_at = self.now_fn()
                 self._register_running(job)
+                tel.job_started(job)
                 handle = self.backend.launch(job)
                 self._handles[job.id] = handle
                 handle.on_done(lambda j, h=handle: self._attempt_done(j, h))
@@ -335,6 +340,8 @@ class JobDistributor:
             self.monitor.sample(
                 self.grid, self.now_fn(), queued=len(self.queue) + len(self._held)
             )
+        if tel.on:
+            tel.h_round.observe(time.perf_counter() - t0)
         return started
 
     def _reserve(self, job: Job, alloc: Allocation) -> None:
@@ -438,6 +445,7 @@ class JobDistributor:
                 exit_code=job.exit_code,
             )
         )
+        self.telemetry.attempt_finished(job, outcome, now)
         if self.health is not None:
             if outcome == "completed":
                 for node_name in job.placement:
@@ -450,6 +458,10 @@ class JobDistributor:
                             node.mark_suspect()
                             self._faults["nodes_suspected"] += 1
                             self._version += 1
+                            if self.telemetry.on:
+                                self.telemetry.events.emit(
+                                    "warning", "node_suspected", node=node_name
+                                )
 
     def _requeue(self, job: Job, failure_class: str) -> None:
         """RETRYING → QUEUED with backoff; arms a wake-up (lock held)."""
@@ -573,6 +585,10 @@ class JobDistributor:
             self._version += 1
             if self.health is not None:
                 self.health.record_down(node_name, now)
+            if self.telemetry.on:
+                self.telemetry.events.emit(
+                    "error", "node_failed", node=node_name, victims=len(victims)
+                )
             for job_id in victims:
                 job = self.jobs.get(job_id)
                 if job is None:
@@ -608,6 +624,8 @@ class JobDistributor:
             self._version += 1
             if self.health is not None:
                 self.health.record_up(node_name, self.now_fn())
+            if self.telemetry.on:
+                self.telemetry.events.emit("info", "node_recovered", node=node_name)
         self.dispatch()
 
     def _rejoin_probation(self, now: float) -> None:
@@ -621,6 +639,8 @@ class JobDistributor:
                 self.health.record_up(name, now)
                 self._faults["nodes_rejoined"] += 1
                 self._version += 1
+                if self.telemetry.on:
+                    self.telemetry.events.emit("info", "node_rejoined", node=name)
 
     # -- wake-up timers ---------------------------------------------------------
     def _arm_timer(self, when: float) -> None:
@@ -709,7 +729,7 @@ class JobDistributor:
                 "queued": len(self.queue) + len(self._held),
                 "grid": self.grid.snapshot(),
                 "policy": self.scheduler.name,
-                "dispatch": dict(self._counters),
-                "faults": dict(self._faults),
+                "dispatch": self.telemetry.dispatch_counters(),
+                "faults": self.telemetry.fault_counters(),
                 "health": self.health.snapshot() if self.health is not None else None,
             }

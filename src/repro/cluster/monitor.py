@@ -77,6 +77,47 @@ class ClusterMonitor:
         self._samples: deque[UtilisationSample] = deque(maxlen=max_samples)
         self._records: list[AccountingRecord] = []
         self._lock = threading.Lock()
+        self._tel: Optional[dict] = None
+
+    def bind(self, registry) -> None:
+        """Mirror this monitor's outputs into a metrics registry.
+
+        Idempotent on purpose: a monitor shared between distributors
+        keeps its first binding (first registry wins) so its gauges are
+        never split across snapshots.
+        """
+        if self._tel is not None or not registry.enabled:
+            return
+        # The utilisation gauges read the *latest sample* at scrape time,
+        # so sampling itself stays exactly as cheap as before binding.
+        samples = self._samples
+        registry.gauge("repro_cluster_load", "fraction of cores allocated").set_fn(
+            lambda: samples[-1].load if samples else 0.0
+        )
+        registry.gauge("repro_cluster_cores_free", "unallocated cores").set_fn(
+            lambda: samples[-1].cores_free if samples else 0
+        )
+        registry.gauge(
+            "repro_cluster_queued_jobs", "jobs queued or dependency-held"
+        ).set_fn(lambda: samples[-1].queued if samples else 0)
+        self._tel = {
+            "wait": registry.histogram(
+                "repro_cluster_job_wait_seconds", "submit-to-start wait of finished jobs"
+            ),
+            "runtime": registry.histogram(
+                "repro_cluster_job_runtime_seconds", "run time of finished jobs"
+            ),
+            "finished": registry.counter(
+                "repro_cluster_jobs_finished_total",
+                "finished jobs by terminal state",
+                labels=("state",),
+            ),
+            "core_seconds": registry.counter(
+                "repro_cluster_core_seconds_total", "core-seconds consumed by finished jobs"
+            ),
+            # per-state children resolved once, then hit via dict.get
+            "finished_children": {},
+        }
 
     def sample(self, grid: Grid, t: float, queued: int = 0) -> None:
         """Record the grid's load at time ``t`` (evicts the oldest when full)."""
@@ -97,6 +138,19 @@ class ClusterMonitor:
         )
         with self._lock:
             self._records.append(rec)
+        tel = self._tel
+        if tel is not None:
+            children = tel["finished_children"]
+            child = children.get(rec.state)
+            if child is None:
+                child = children[rec.state] = tel["finished"].labels(rec.state)
+            child.inc()
+            if rec.wait_s is not None:
+                tel["wait"].observe(rec.wait_s)
+            if rec.runtime_s is not None:
+                tel["runtime"].observe(rec.runtime_s)
+            if rec.core_seconds is not None:
+                tel["core_seconds"].inc(rec.core_seconds)
 
     # -- reads ------------------------------------------------------------
     @property
@@ -110,7 +164,13 @@ class ClusterMonitor:
             return list(self._samples)
 
     def summary(self) -> dict:
-        """Aggregate statistics over all accounting records."""
+        """Aggregate statistics over all accounting records.
+
+        The latency aggregates are ``None`` when no record carries the
+        underlying measurement — a cluster that has finished nothing has
+        *no data*, which is not the same as a zero-second wait.
+        ``core_seconds`` stays a plain sum (an empty sum really is 0).
+        """
         recs = self.records
         waits = np.array([r.wait_s for r in recs if r.wait_s is not None], dtype=float)
         runs = np.array([r.runtime_s for r in recs if r.runtime_s is not None], dtype=float)
@@ -120,19 +180,23 @@ class ClusterMonitor:
         return {
             "jobs_finished": len(recs),
             "by_state": by_state,
-            "mean_wait_s": float(waits.mean()) if waits.size else 0.0,
-            "p95_wait_s": float(np.percentile(waits, 95)) if waits.size else 0.0,
-            "mean_runtime_s": float(runs.mean()) if runs.size else 0.0,
+            "mean_wait_s": float(waits.mean()) if waits.size else None,
+            "p95_wait_s": float(np.percentile(waits, 95)) if waits.size else None,
+            "mean_runtime_s": float(runs.mean()) if runs.size else None,
             "core_seconds": float(
                 sum(r.core_seconds for r in recs if r.core_seconds is not None)
             ),
         }
 
-    def mean_load(self) -> float:
-        """Time-unweighted mean of sampled loads."""
+    def mean_load(self) -> Optional[float]:
+        """Time-unweighted mean of sampled loads; ``None`` before any sample.
+
+        Returning 0.0 for an empty window would conflate "idle grid"
+        with "never sampled".
+        """
         samples = self.samples
         if not samples:
-            return 0.0
+            return None
         return float(np.mean([s.load for s in samples]))
 
 
@@ -198,6 +262,40 @@ class HealthMonitor:
         }
         self._suspects = 0  # nodes with suspected_at set; due_probation fast path
         self._lock = threading.Lock()
+        self._c_failures = None
+        self._c_heartbeats = None
+
+    def bind(self, registry) -> None:
+        """Mirror health state into a metrics registry (first registry wins).
+
+        The gauges are callback-derived: they read the grid/monitor at
+        scrape time, so the heartbeat hot path stays lock-free and pays
+        only one counter increment.
+        """
+        if self._c_failures is not None or not registry.enabled:
+            return
+        self._c_failures = registry.counter(
+            "repro_health_failures_total", "attempt failures charged to nodes"
+        )
+        self._c_heartbeats = registry.counter(
+            "repro_health_heartbeats_total", "successful-attempt heartbeats"
+        )
+        registry.gauge(
+            "repro_health_up_fraction", "surviving cores / total cores"
+        ).set_fn(lambda: self.up_fraction)
+        registry.gauge(
+            "repro_health_degraded", "1 when surviving capacity is below threshold"
+        ).set_fn(lambda: 1.0 if self.degraded else 0.0)
+        registry.gauge("repro_health_suspect_nodes", "nodes marked SUSPECT").set_fn(
+            lambda: sum(
+                1 for n in self.grid.compute_nodes() if n.state is NodeState.SUSPECT
+            )
+        )
+        registry.gauge("repro_health_down_nodes", "nodes out of service").set_fn(
+            lambda: sum(
+                1 for n in self.grid.compute_nodes() if n.state is NodeState.DOWN
+            )
+        )
 
     def _entry(self, node_name: str) -> NodeHealth:
         entry = self._nodes.get(node_name)
@@ -218,6 +316,8 @@ class HealthMonitor:
             with self._lock:
                 entry = self._entry(node_name)
         entry.last_heartbeat = t
+        if self._c_heartbeats is not None:
+            self._c_heartbeats.inc()
 
     def record_failure(self, node_name: str, t: float) -> bool:
         """Count an attempt failure against the node.
@@ -225,6 +325,8 @@ class HealthMonitor:
         Returns ``True`` when the node just crossed the flapping
         threshold and should be marked SUSPECT by the caller.
         """
+        if self._c_failures is not None:
+            self._c_failures.inc()
         with self._lock:
             entry = self._entry(node_name)
             entry.failures_total += 1

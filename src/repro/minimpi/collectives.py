@@ -23,11 +23,14 @@ silent cross-matched data.
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import Any, Callable, TYPE_CHECKING
 
 import numpy as np
 
 from repro._errors import MPIError, RankError
+from repro.telemetry.registry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.minimpi.comm import Comm
@@ -99,9 +102,40 @@ def _check_root(comm: "Comm", root: int) -> None:
         raise RankError(f"root {root} outside [0, {comm.size})")
 
 
+def _timed(fn):
+    """Record each collective's wall time in the process-wide registry.
+
+    Collectives have no configuration surface to thread a registry
+    through, so they report to :func:`repro.telemetry.get_registry`;
+    install a ``NullRegistry`` there and this decorator adds only one
+    attribute check per call.  Composite collectives (``allreduce`` =
+    reduce + bcast) time each constituent under its own label too.
+    """
+    op = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(comm, *args, **kwargs):
+        registry = get_registry()
+        if not registry.enabled:
+            return fn(comm, *args, **kwargs)
+        child = registry.histogram(
+            "repro_minimpi_collective_seconds",
+            "wall time of collective operations",
+            labels=("op",),
+        ).labels(op)
+        t0 = time.perf_counter()
+        try:
+            return fn(comm, *args, **kwargs)
+        finally:
+            child.observe(time.perf_counter() - t0)
+
+    return wrapper
+
+
 # ---------------------------------------------------------------------------
 # barrier — dissemination
 # ---------------------------------------------------------------------------
+@_timed
 def barrier(comm: "Comm") -> None:
     """Dissemination barrier: ⌈log₂ p⌉ rounds of pairwise tokens."""
     tag = comm._next_collective_tag()
@@ -119,6 +153,7 @@ def barrier(comm: "Comm") -> None:
 # ---------------------------------------------------------------------------
 # bcast — binomial tree rooted at `root`
 # ---------------------------------------------------------------------------
+@_timed
 def bcast(comm: "Comm", obj: Any = None, root: int = 0) -> Any:
     """Binomial-tree broadcast; returns the object on every rank."""
     _check_root(comm, root)
@@ -148,6 +183,7 @@ def bcast(comm: "Comm", obj: Any = None, root: int = 0) -> Any:
 # ---------------------------------------------------------------------------
 # reduce — binomial tree towards `root`
 # ---------------------------------------------------------------------------
+@_timed
 def reduce(comm: "Comm", obj: Any, op=None, root: int = 0) -> Any:
     """Tree reduction; only ``root`` receives the combined value."""
     _check_root(comm, root)
@@ -172,6 +208,7 @@ def reduce(comm: "Comm", obj: Any, op=None, root: int = 0) -> Any:
 # ---------------------------------------------------------------------------
 # scatter / gather — root-linear
 # ---------------------------------------------------------------------------
+@_timed
 def scatter(comm: "Comm", sendobjs: list | None, root: int = 0) -> Any:
     """Root sends ``sendobjs[i]`` to rank ``i``; each rank returns its piece."""
     _check_root(comm, root)
@@ -192,6 +229,7 @@ def scatter(comm: "Comm", sendobjs: list | None, root: int = 0) -> Any:
     return comm.recv(root, tag)
 
 
+@_timed
 def gather(comm: "Comm", obj: Any, root: int = 0) -> list | None:
     """Each rank contributes ``obj``; root returns the rank-ordered list."""
     _check_root(comm, root)
@@ -210,6 +248,7 @@ def gather(comm: "Comm", obj: Any, root: int = 0) -> list | None:
 # ---------------------------------------------------------------------------
 # allgather — ring
 # ---------------------------------------------------------------------------
+@_timed
 def allgather(comm: "Comm", obj: Any) -> list:
     """Ring allgather: p−1 neighbour exchanges; returns rank-ordered list."""
     tag = comm._next_collective_tag()
@@ -231,6 +270,7 @@ def allgather(comm: "Comm", obj: Any) -> list:
 # ---------------------------------------------------------------------------
 # alltoall — pairwise exchange
 # ---------------------------------------------------------------------------
+@_timed
 def alltoall(comm: "Comm", sendobjs: list) -> list:
     """Personalised exchange: result[i] is what rank i sent to this rank.
 
@@ -255,12 +295,14 @@ def alltoall(comm: "Comm", sendobjs: list) -> list:
 # ---------------------------------------------------------------------------
 # allreduce / scan
 # ---------------------------------------------------------------------------
+@_timed
 def allreduce(comm: "Comm", obj: Any, op=None) -> Any:
     """reduce-to-0 then bcast — every rank gets the combined value."""
     partial = reduce(comm, obj, op, root=0)
     return bcast(comm, partial, root=0)
 
 
+@_timed
 def scan(comm: "Comm", obj: Any, op=None) -> Any:
     """Inclusive prefix reduction along rank order (linear chain)."""
     rop = _resolve_op(op)
@@ -277,6 +319,7 @@ def scan(comm: "Comm", obj: Any, op=None) -> Any:
 # ---------------------------------------------------------------------------
 # variable-count collectives
 # ---------------------------------------------------------------------------
+@_timed
 def scatterv(comm: "Comm", sendobjs: list | None, counts: list[int], root: int = 0) -> list:
     """Scatter variable-length blocks: rank ``i`` gets ``counts[i]`` items.
 
@@ -306,6 +349,7 @@ def scatterv(comm: "Comm", sendobjs: list | None, counts: list[int], root: int =
     return comm.recv(root, tag)
 
 
+@_timed
 def gatherv(comm: "Comm", block: list, root: int = 0) -> list | None:
     """Gather variable-length blocks; root returns the flat concatenation.
 
@@ -327,6 +371,7 @@ def gatherv(comm: "Comm", block: list, root: int = 0) -> list | None:
     return None
 
 
+@_timed
 def reduce_scatter(comm: "Comm", values: list, op=None) -> Any:
     """Elementwise reduction of per-rank lists, then scatter one slot each.
 
@@ -342,6 +387,7 @@ def reduce_scatter(comm: "Comm", values: list, op=None) -> Any:
     return scatter(comm, combined if comm.rank == 0 else None, root=0)
 
 
+@_timed
 def exscan(comm: "Comm", obj: Any, op=None) -> Any:
     """Exclusive prefix reduction: rank 0 gets ``None``, rank i gets
     ``op(obj_0, ..., obj_{i-1})``."""

@@ -24,6 +24,10 @@ GET         /api/jobs/<job_id>/output?since=N  poll stdout/stderr
 POST        /api/jobs/<job_id>/input           {text} — interactive stdin
 POST        /api/jobs/<job_id>/cancel          cancel
 GET         /api/cluster/status                grid utilisation snapshot
+GET         /metrics                           Prometheus text format (unauthenticated)
+GET         /debug/trace/<job_id>              job span tree (HTML, or ?format=json)
+GET         /debug/requests                    recent request traces (admin)
+GET         /debug/events                      structured event log (admin)
 ==========  =================================  ==========================================
 
 HTML pages: ``GET /`` (dashboard), ``GET/POST /login``, ``POST /logout``.
@@ -32,6 +36,7 @@ HTML pages: ``GET /`` (dashboard), ``GET/POST /login``, ``POST /logout``.
 from __future__ import annotations
 
 import hashlib
+import time
 from email.utils import formatdate
 from typing import Callable, Optional
 
@@ -55,6 +60,12 @@ from repro.portal.jobsvc import JobService
 from repro.portal.respcache import CachedResponse, ResponseCache
 from repro.portal.routing import Router
 from repro.portal.sessions import SessionStore
+from repro.telemetry.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_json,
+    render_prometheus,
+)
+from repro.telemetry.instruments import PortalTelemetry
 
 __all__ = ["PortalApp", "make_default_app"]
 
@@ -90,6 +101,7 @@ class PortalApp:
         sessions: SessionStore,
         jobsvc: JobService,
         cache_size: int = 256,
+        registry=None,
     ) -> None:
         self.files = files
         self.users = users
@@ -99,14 +111,17 @@ class PortalApp:
         #: conditional-GET response cache; ``cache_size=0`` disables it
         #: (ETags are still emitted, every request renders fresh).
         self.cache = ResponseCache(cache_size)
-        self._counters = {
-            "requests": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "not_modified": 0,
-            "bytes_streamed": 0,
-            "sessions_swept": 0,
-        }
+        #: shares the distributor's registry by default so ``/metrics``
+        #: serves one unified snapshot of every subsystem.
+        self.registry = (
+            registry if registry is not None else jobsvc.distributor.telemetry.registry
+        )
+        self.telemetry = PortalTelemetry(self.registry)
+        self.telemetry.bind_router(self.router)
+        self.telemetry.bind_sessions(sessions)
+        self.cache.bind(self.registry)
+        #: legacy counter key → registry child (same keys as the PR 2 dict).
+        self._counters = self.telemetry.c
         # file mutations invalidate the owning user's cached listings,
         # file contents and dashboard in O(1)
         files.on_mutation(lambda username: self.cache.invalidate(f"files:{username}"))
@@ -115,10 +130,14 @@ class PortalApp:
     # -- WSGI entry ---------------------------------------------------------
     def __call__(self, environ, start_response):
         request = Request(environ)
-        self._counters["requests"] += 1
+        tel = self.telemetry
+        self._counters["requests"].inc()
         swept = self.sessions.maybe_sweep()
         if swept:
-            self._counters["sessions_swept"] += swept
+            self._counters["sessions_swept"].inc(swept)
+        if tel.on:
+            t0 = time.perf_counter()
+            span = tel.request_started(request)
         try:
             response = self._handle(request)
         except HttpError as exc:
@@ -128,14 +147,21 @@ class PortalApp:
             response = Response.error(status, str(exc))
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             response = Response.error(500, f"internal error: {type(exc).__name__}: {exc}")
+        if tel.on:
+            route = getattr(request, "route", None) or "unmatched"
+            tel.request_done(span, route, response.status, time.perf_counter() - t0)
         return response.to_wsgi(start_response)
 
     # -- observability -------------------------------------------------------
     def stats(self) -> dict:
-        """Portal-side counters, mirroring ``JobDistributor.stats()``."""
+        """Portal-side counters, mirroring ``JobDistributor.stats()``.
+
+        The dict shape is the PR 2 contract; the values are now derived
+        from the shared metrics registry (see ``GET /metrics``).
+        """
         return {
             "portal": {
-                **self._counters,
+                **self.telemetry.portal_counters(),
                 **self.router.counters,
                 "response_cache": self.cache.stats(),
                 "active_sessions": len(self.sessions),
@@ -154,18 +180,23 @@ class PortalApp:
         ``(namespace, key)`` until the namespace is invalidated or the
         key's embedded version moves.
         """
+        span = getattr(req, "tspan", None)
         entry = self.cache.lookup(namespace, key)
         if entry is not None:
-            self._counters["cache_hits"] += 1
+            self._counters["cache_hits"].inc()
+            if span is not None:
+                span.set(cache="hit")
             if req.etag_matches(entry.etag):
-                self._counters["not_modified"] += 1
+                self._counters["not_modified"].inc()
                 return Response.not_modified(headers=(("ETag", entry.etag),))
             return Response(
                 entry.body,
                 content_type=entry.content_type,
                 headers=(*entry.headers, ("ETag", entry.etag)),
             )
-        self._counters["cache_misses"] += 1
+        self._counters["cache_misses"].inc()
+        if span is not None:
+            span.set(cache="miss")
         resp = build()
         if resp.status == 200 and resp.chunks is None:
             etag = f'"{hashlib.blake2b(resp.body, digest_size=8).hexdigest()}"'
@@ -177,20 +208,27 @@ class PortalApp:
             )
             resp.headers.append(("ETag", etag))
             if req.etag_matches(etag):
-                self._counters["not_modified"] += 1
+                self._counters["not_modified"].inc()
                 return Response.not_modified(headers=(("ETag", etag),))
         return resp
 
     def _stream_counted(self, chunks):
         """Pass chunks through while counting bytes for ``stats()``."""
-        counters = self._counters
+        streamed = self._counters["bytes_streamed"]
         for chunk in chunks:
-            counters["bytes_streamed"] += len(chunk)
+            streamed.inc(len(chunk))
             yield chunk
 
     def _handle(self, request: Request) -> Response:
         request.user = self._authenticate(request)
-        return self.router.dispatch(request)
+        span = getattr(request, "tspan", None)
+        if span is None:
+            return self.router.dispatch(request)
+        clock = self.telemetry.clock
+        child = span.child("handler", clock())
+        response = self.router.dispatch(request)
+        child.finish(clock()).set(route=getattr(request, "route", None) or "unmatched")
+        return response
 
     # -- auth middleware -------------------------------------------------------
     def _authenticate(self, request: Request) -> Optional[User]:
@@ -247,6 +285,12 @@ class PortalApp:
         r.add("GET", "/api/cluster/status", self._api_cluster_status)
         r.add("GET", "/api/cluster/accounting", self._api_cluster_accounting)
         r.add("GET", "/api/quota", self._api_quota)
+
+        # --- observability ---
+        r.add("GET", "/metrics", self._metrics)
+        r.add("GET", "/debug/trace/<job_id>", self._debug_trace)
+        r.add("GET", "/debug/requests", self._debug_requests)
+        r.add("GET", "/debug/events", self._debug_events)
 
         # --- HTML pages ---
         r.add("GET", "/", self._page_dashboard)
@@ -317,7 +361,7 @@ class PortalApp:
                 ("Last-Modified", formatdate(st.st_mtime, usegmt=True)),
             ]
             if req.etag_matches(etag):
-                self._counters["not_modified"] += 1
+                self._counters["not_modified"].inc()
                 return Response.not_modified(headers=validators)
             return Response.stream(
                 self._stream_counted(self.files.iter_file(resolved)),
@@ -493,6 +537,57 @@ class PortalApp:
                 "quota_bytes": self.files.quota_bytes,
             }
         )
+
+    # -- observability handlers --------------------------------------------------------
+    def _metrics(self, req: Request) -> Response:
+        """Prometheus text exposition of the shared registry.
+
+        Deliberately unauthenticated (scrapers don't log in) and
+        deliberately *not* routed through :meth:`_conditional`: every
+        scrape renders a fresh snapshot, no ETag, no response cache.
+        """
+        if req.query.get("format") == "json":
+            return Response.json(render_json(self.registry.snapshot()))
+        return Response(
+            render_prometheus(self.registry.snapshot()),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def _debug_trace(self, req: Request) -> Response:
+        """Span tree for one job (owner or privileged viewer only).
+
+        Derived from the job's attempt lineage on demand, so it is
+        available for every job the distributor still knows — including
+        runs with telemetry disabled.
+        """
+        user = self._require_user(req)
+        job = self.jobsvc.get_job(user, req.params["job_id"])
+        root = self.jobsvc.distributor.telemetry.job_trace(job)
+        if req.query.get("format") == "json":
+            return Response.json({"job_id": job.id, "trace": root.as_dict()})
+        return Response.html(templates.trace_page(job.id, root.as_dict()))
+
+    def _debug_requests(self, req: Request) -> Response:
+        """Recent portal request traces (admin debugging)."""
+        user = self._require_user(req)
+        user.require("view_all_jobs")
+        tracer = self.telemetry.tracer
+        traces = [
+            {"id": trace_id, "trace": tracer.get(trace_id).as_dict()}
+            for trace_id in tracer.ids()[-50:]
+            if tracer.get(trace_id) is not None
+        ]
+        return Response.json({"requests": traces})
+
+    def _debug_events(self, req: Request) -> Response:
+        """The distributor's structured event log (admin debugging)."""
+        user = self._require_user(req)
+        user.require("view_all_jobs")
+        severity = req.query.get("severity") or None
+        events = self.jobsvc.distributor.telemetry.events.snapshot(
+            min_severity=severity, limit=200
+        )
+        return Response.json({"events": [e.as_dict() for e in events]})
 
     # -- HTML page handlers ----------------------------------------------------------------
     def _page_dashboard(self, req: Request) -> Response:

@@ -61,8 +61,12 @@ class Request:
         self._body: Optional[bytes] = None
         #: route parameters, filled in by the router
         self.params: dict[str, str] = {}
+        #: matched route pattern, filled in by the router (telemetry label)
+        self.route: Optional[str] = None
         #: authenticated user, filled in by the app's auth middleware
         self.user = None
+        #: telemetry root span for this request, when tracing is on
+        self.tspan = None
 
     @property
     def query(self) -> dict[str, str]:

@@ -69,6 +69,27 @@ class ResponseCache:
         self._misses = 0
         self._invalidations = 0
 
+    def bind(self, registry) -> None:
+        """Export the cache's counters through a metrics registry.
+
+        Callback-derived (read at scrape time), so the lookup/store hot
+        paths keep their plain-int accounting untouched.
+        """
+        if not registry.enabled:
+            return
+        registry.counter(
+            "repro_respcache_hits_total", "response-cache lookups served"
+        ).set_fn(lambda: self._hits)
+        registry.counter(
+            "repro_respcache_misses_total", "response-cache lookups missed"
+        ).set_fn(lambda: self._misses)
+        registry.counter(
+            "repro_respcache_invalidations_total", "namespace generation bumps"
+        ).set_fn(lambda: self._invalidations)
+        registry.gauge(
+            "repro_respcache_entries", "entries currently cached"
+        ).set_fn(lambda: len(self._entries))
+
     # -- invalidation ----------------------------------------------------------
     def generation(self, namespace: str) -> int:
         with self._lock:

@@ -188,6 +188,7 @@ class Router:
             handler = route.methods.get(method)
             if handler is not None:
                 counters["routed_static"] += 1
+                request.route = route.pattern
                 return handler(request)
 
         # tiers 2-4: shape-bucketed dynamic, prefix, regex
@@ -201,6 +202,7 @@ class Router:
             if params is not None:
                 counters["routed_dynamic"] += 1
                 request.params = params
+                request.route = candidate.pattern
                 return handler(request)
         for candidate in self._prefix:
             if n < candidate.min_segs:
@@ -212,6 +214,7 @@ class Router:
             if params is not None:
                 counters["routed_dynamic"] += 1
                 request.params = params
+                request.route = candidate.pattern
                 return handler(request)
         for candidate in self._regex:
             handler = candidate.methods.get(method)
@@ -221,6 +224,7 @@ class Router:
             if params is not None:
                 counters["routed_dynamic"] += 1
                 request.params = params
+                request.route = candidate.pattern
                 return handler(request)
 
         # miss: only now pay for the 405/404 distinction

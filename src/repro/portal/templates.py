@@ -12,7 +12,7 @@ from __future__ import annotations
 import html
 from typing import Iterable
 
-__all__ = ["render_page", "login_page", "dashboard_page", "job_page"]
+__all__ = ["render_page", "login_page", "dashboard_page", "job_page", "trace_page"]
 
 _LAYOUT = """<!DOCTYPE html>
 <html lang="en">
@@ -173,6 +173,7 @@ def job_page(
  <tr><th>Exit code</th><td>{_esc(job.get('exit_code'))}</td></tr>
  <tr><th>Attempt</th><td>{_esc(job.get('attempt', 1))} ({_esc(job.get('retries', 0))} retries)</td></tr>
  <tr><th>Wait / runtime</th><td>{_esc(job.get('wait_s'))} s / {_esc(job.get('runtime_s'))} s</td></tr>
+ <tr><th>Trace</th><td><a href="/debug/trace/{_esc(job['id'])}">span tree</a></td></tr>
 </table>
 <h2>Placement</h2>
 <table><tr><th>Node</th><th>Cores</th></tr>{placement_rows or '<tr><td colspan=2>(not placed)</td></tr>'}</table>
@@ -183,3 +184,29 @@ def job_page(
 {input_form}
 """
     return render_page(f"Job {job['id']}", body)
+
+
+def _span_items(span: dict, depth: int = 0) -> str:
+    """Nested <li> rendering of one span subtree."""
+    dur = span.get("duration_s")
+    dur_text = f"{dur:.6g}s" if dur is not None else "open"
+    attrs = span.get("attrs") or {}
+    attr_text = " ".join(f"{_esc(k)}={_esc(v)}" for k, v in attrs.items())
+    children = span.get("children") or []
+    inner = "".join(_span_items(c, depth + 1) for c in children)
+    sub = f"<ul>{inner}</ul>" if inner else ""
+    return (
+        f"<li><code>{_esc(span['name'])}</code> "
+        f'<span class="load">{dur_text}</span>'
+        f"{' — <small>' + attr_text + '</small>' if attr_text else ''}{sub}</li>"
+    )
+
+
+def trace_page(job_id: str, trace: dict) -> str:
+    """Span tree for one job: retries show up as sibling attempt spans."""
+    body = f"""
+<p><a href="/jobs/{_esc(job_id)}">&larr; job {_esc(job_id)}</a> —
+<a href="/debug/trace/{_esc(job_id)}?format=json">JSON</a></p>
+<ul>{_span_items(trace)}</ul>
+"""
+    return render_page(f"Trace {job_id}", body)

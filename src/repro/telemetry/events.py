@@ -1,0 +1,67 @@
+"""Bounded structured event log.
+
+Supersedes ad-hoc print/log sprinkling for operational events (node
+failed, job rerouted, cache invalidated): a fixed-size ring of
+``(t, severity, name, attrs)`` records, cheap to emit, snapshot-able
+for the portal's debug endpoints.  Timestamps come from the owning
+registry's clock, so DES runs log virtual time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+__all__ = ["Event", "EventLog", "SEVERITIES"]
+
+SEVERITIES = ("debug", "info", "warning", "error")
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+class Event:
+    """One log record."""
+
+    __slots__ = ("t", "severity", "name", "attrs")
+
+    def __init__(self, t: float, severity: str, name: str, attrs: dict) -> None:
+        self.t = t
+        self.severity = severity
+        self.name = name
+        self.attrs = attrs
+
+    def as_dict(self) -> dict:
+        out = {"t": self.t, "severity": self.severity, "name": self.name}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class EventLog:
+    """Ring buffer of events; old entries fall off the back, O(1) emit."""
+
+    def __init__(self, clock: Callable[[], float], capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+
+    def emit(self, severity: str, name: str, **attrs) -> None:
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {severity!r}, expected one of {SEVERITIES}")
+        self._events.append(Event(self.clock(), severity, name, attrs))
+
+    def snapshot(
+        self, min_severity: Optional[str] = None, limit: Optional[int] = None
+    ) -> list[Event]:
+        """Newest-last view, optionally filtered and tail-limited."""
+        events = list(self._events)
+        if min_severity is not None:
+            floor = _SEVERITY_RANK[min_severity]
+            events = [e for e in events if _SEVERITY_RANK[e.severity] >= floor]
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    def __len__(self) -> int:
+        return len(self._events)

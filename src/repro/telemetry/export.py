@@ -1,0 +1,84 @@
+"""Renderers over registry snapshots: Prometheus text format and JSON.
+
+Both operate on the plain-dict output of ``MetricsRegistry.snapshot()``
+so they stay decoupled from the registry internals and can render a
+merged snapshot assembled from several registries.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.telemetry.registry import HistogramSnapshot
+
+__all__ = ["render_prometheus", "render_json", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PROM_TYPES = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels_text(names, values, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return format(value, "g")
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus 0.0.4 text exposition of a registry snapshot."""
+    lines: list[str] = []
+    for name, fam in snapshot.items():
+        lines.append(f"# HELP {name} {_escape_help(fam.get('help') or name)}")
+        lines.append(f"# TYPE {name} {_PROM_TYPES[fam['kind']]}")
+        labelnames = fam.get("labels") or ()
+        for labelvalues, value in fam["series"]:
+            if isinstance(value, HistogramSnapshot):
+                for le, cumulative in value.cumulative():
+                    le_text = "+Inf" if math.isinf(le) else format(le, "g")
+                    le_label = 'le="%s"' % le_text
+                    bucket_labels = _labels_text(labelnames, labelvalues, le_label)
+                    lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+                suffix_labels = _labels_text(labelnames, labelvalues)
+                lines.append(f"{name}_sum{suffix_labels} {_format_value(value.sum)}")
+                lines.append(f"{name}_count{suffix_labels} {value.count}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labelnames, labelvalues)}"
+                    f" {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: dict) -> dict:
+    """JSON-ready mirror of the snapshot (histograms expanded)."""
+    out: dict = {}
+    for name, fam in snapshot.items():
+        series = []
+        labelnames = fam.get("labels") or ()
+        for labelvalues, value in fam["series"]:
+            entry: dict = {"labels": dict(zip(labelnames, labelvalues))}
+            if isinstance(value, HistogramSnapshot):
+                entry["histogram"] = value.as_dict()
+            else:
+                entry["value"] = value
+            series.append(entry)
+        out[name] = {"kind": fam["kind"], "help": fam.get("help", ""), "series": series}
+    return out

@@ -1,0 +1,483 @@
+"""Process-wide metrics registry: counters, gauges, log-bucketed histograms.
+
+The registry is the single schema behind every ``stats()`` dict in the
+reproduction: the dispatch engine, the portal, the response cache and
+the health monitor all register *metric families* here and the
+Prometheus/JSON exporters (:mod:`repro.telemetry.export`) render one
+snapshot of everything.
+
+Design constraints, in order:
+
+1. **Hot-path cost.**  ``Counter.inc`` / ``Gauge.set`` are a single
+   attribute add/store; ``Histogram.observe`` is one :func:`bisect`
+   probe over a fixed tuple of log-spaced bucket bounds plus three adds
+   — O(1), allocation-free.  Instrumented code paths must stay within
+   5% of their un-instrumented throughput (``bench_telemetry.py``
+   guards this), so there is no per-sample locking: CPython's GIL makes
+   the individual ``+=`` effectively atomic for our purposes, and
+   metric reads are advisory snapshots, not ledgers.  Registration
+   (creating families/children) *is* locked — it happens once, off the
+   hot path.
+2. **Null implementation.**  :class:`NullRegistry` satisfies the same
+   interface with shared no-op singletons and ``enabled = False`` so
+   call sites can skip clock reads and span allocation entirely.
+3. **Pluggable clock.**  A registry carries a zero-arg ``clock``
+   callable used by tracers/event logs built on top of it: DES runs
+   pass ``lambda: sim.now`` and stamp *virtual* time; live runs keep
+   the wall clock.  The metrics themselves are clock-free — callers
+   observe durations they measured with whatever clock owns the code
+   path.
+4. **Mergeable snapshots.**  ``Histogram`` snapshots carry their bucket
+   bounds and can be merged across registries (e.g. per-distributor
+   registries aggregated for a fleet view) as long as the bounds agree.
+
+Naming convention (enforced socially, documented in DESIGN.md):
+``repro_<subsystem>_<name>``, with ``_total`` for counters and
+``_seconds`` for time histograms.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Iterable, Optional
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "default_buckets",
+    "get_registry",
+    "set_registry",
+]
+
+
+# -- clocks -----------------------------------------------------------------
+class Clock:
+    """Zero-arg time source. Subclass or wrap any callable."""
+
+    def __call__(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Monotonic wall time (the live-portal default)."""
+
+    def __call__(self) -> float:
+        return time.monotonic()
+
+
+def _resolve_clock(clock) -> Callable[[], float]:
+    if clock is None:
+        return time.monotonic
+    return clock
+
+
+# -- histogram buckets -------------------------------------------------------
+def default_buckets() -> tuple[float, ...]:
+    """Fixed log-spaced upper bounds: 1µs → 1000s, half-decade steps.
+
+    19 bounds + an implicit ``+Inf`` overflow bucket.  Wide enough for
+    microsecond cache probes and hour-long virtual-time queue waits in
+    the same family.
+    """
+    return tuple(10.0 ** (k / 2.0) for k in range(-12, 7))
+
+
+_DEFAULT_BUCKETS = default_buckets()
+
+
+class HistogramSnapshot:
+    """Immutable histogram state: bounds, per-bucket counts, sum, count."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        bounds: tuple[float, ...],
+        counts: tuple[int, ...],
+        total: float,
+        count: int,
+    ) -> None:
+        self.bounds = bounds
+        self.counts = counts  # len(bounds) + 1; last bucket is +Inf
+        self.sum = total
+        self.count = count
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two snapshots of the same bucket layout."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        return HistogramSnapshot(
+            self.bounds,
+            tuple(a + b for a, b in zip(self.counts, other.counts)),
+            self.sum + other.sum,
+            self.count + other.count,
+        )
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + self.counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            if running >= target:
+                return bound
+        return math.inf
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [
+                {"le": ("+Inf" if math.isinf(le) else le), "cumulative": c}
+                for le, c in self.cumulative()
+            ],
+        }
+
+
+# -- children ----------------------------------------------------------------
+class Counter:
+    """Monotone counter child.  ``inc`` is one unlocked add."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self) -> None:
+        self._value: float = 0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        """Derive the value from ``fn`` at read time (adapter pattern).
+
+        Lets an existing cheap counter (a plain int on some object) be
+        *exported* through the registry without double-counting on its
+        hot path: the registry child reads it only when snapshotted.
+        """
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Gauge:
+    """Point-in-time value child; supports callback-derived values."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self) -> None:
+        self._value: float = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value -= amount
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Histogram:
+    """Log-bucketed histogram child: O(1) record, mergeable snapshot."""
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left(bounds, v) = first bound >= v, i.e. the smallest
+        # le-bucket containing v; len(bounds) = the +Inf overflow bucket.
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def value(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            self._bounds, tuple(self._counts), self._sum, self._count
+        )
+
+    # keep a uniform child surface for the exporters
+    snapshot = value
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric plus its labelled children.
+
+    ``labels(*values)`` resolves (and caches) the child for one label
+    combination; with no label names the family has a single default
+    child and the family itself proxies ``inc``/``set``/``observe`` to
+    it, so zero-label call sites stay one attribute access away.
+    """
+
+    __slots__ = ("name", "kind", "help", "labelnames", "_children", "_lock", "_buckets")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Optional[tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else _DEFAULT_BUCKETS
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._buckets)
+        return _KINDS[self.kind]()
+
+    def labels(self, *values) -> object:
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label values "
+                f"{self.labelnames}, got {len(key)}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    # -- zero-label conveniences ------------------------------------------
+    def inc(self, amount: float = 1) -> None:
+        self._children[()].inc(amount)
+
+    def set(self, value: float) -> None:
+        self._children[()].set(value)
+
+    def dec(self, amount: float = 1) -> None:
+        self._children[()].dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._children[()].observe(value)
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        self._children[()].set_fn(fn)
+
+    @property
+    def value(self):
+        return self._children[()].value
+
+    def series(self) -> list[tuple[tuple[str, ...], object]]:
+        """(label values, current value) per child, insertion-ordered."""
+        with self._lock:
+            items = list(self._children.items())
+        return [(k, child.value) for k, child in items]
+
+
+class MetricsRegistry:
+    """Named metric families + a pluggable clock.  See module docstring."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock = _resolve_clock(clock)
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Iterable[str],
+        buckets: Optional[tuple[float, ...]] = None,
+    ) -> MetricFamily:
+        labelnames = tuple(labels)
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is not None:
+                if fam.kind != kind or fam.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {fam.kind}"
+                        f"{fam.labelnames}, not {kind}{labelnames}"
+                    )
+                return fam
+            fam = MetricFamily(name, kind, help, labelnames, buckets)
+            self._families[name] = fam
+            return fam
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()) -> MetricFamily:
+        """Register (or fetch) a monotone counter family."""
+        return self._family(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = ()) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._family(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Optional[tuple[float, ...]] = None,
+    ) -> MetricFamily:
+        """Register (or fetch) a histogram family with fixed bounds."""
+        return self._family(name, "histogram", help, labels, buckets)
+
+    # -- reads -------------------------------------------------------------
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def snapshot(self) -> dict:
+        """One coherent-enough view of every family.
+
+        ``{name: {"kind", "help", "labels", "series": [(labelvalues,
+        value-or-HistogramSnapshot), ...]}}`` — the input both exporters
+        and the ``stats()`` adapters render from.
+        """
+        out: dict[str, dict] = {}
+        for fam in self.families():
+            out[fam.name] = {
+                "kind": fam.kind,
+                "help": fam.help,
+                "labels": fam.labelnames,
+                "series": fam.series(),
+            }
+        return out
+
+
+# -- the null implementation --------------------------------------------------
+class _NullMetric:
+    """Shared do-nothing child *and* family: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def labels(self, *values):
+        return self
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def set_fn(self, fn) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0
+
+    def series(self) -> list:
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Telemetry off: same interface, ``enabled = False``, zero state.
+
+    Instrumentation shims check ``registry.enabled`` once and skip clock
+    reads/span allocation; stray ``inc``/``observe`` calls that slip
+    through hit the shared no-op singleton.  The overhead contract
+    (README "Observability") is guarded by ``bench_telemetry.py``.
+    """
+
+    enabled = False
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock = _resolve_clock(clock)
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help: str = "", labels: Iterable[str] = (), buckets=None):
+        return _NULL_METRIC
+
+    def families(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+# -- process-wide default ------------------------------------------------------
+_default_registry: Optional[MetricsRegistry] = None
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (created lazily, wall clock).
+
+    Components with their own configuration surface (the distributor,
+    the portal) default to *per-instance* registries for isolation; the
+    global one serves config-less call sites such as the minimpi
+    collectives.  Install a :class:`NullRegistry` via
+    :func:`set_registry` to switch instrumentation off globally.
+    """
+    global _default_registry
+    if _default_registry is None:
+        with _default_lock:
+            if _default_registry is None:
+                _default_registry = MetricsRegistry()
+    return _default_registry
+
+
+def set_registry(registry) -> None:
+    """Replace the process-wide registry (pass a NullRegistry to disable)."""
+    global _default_registry
+    _default_registry = registry

@@ -1,0 +1,116 @@
+"""Span trees with explicit-context propagation.
+
+A :class:`Span` is one timed operation; its children are sub-operations.
+The portal records each request as one trace (``request`` with route,
+status and the cache outcome as attributes).  Job traces are *not*
+recorded anywhere: the distributor already stamps every lifecycle
+timestamp on the job object, so
+:meth:`DispatchTelemetry.job_trace` derives the span tree (root ``job``
+with ``queue_wait`` and per-``attempt`` children — retries appear as
+sibling attempt spans, mirroring the PR 3 attempt lineage) on demand,
+at zero cost to the dispatch hot path.
+
+Context is propagated *explicitly*: callers hold the span object and
+pass it where it is needed.  There are deliberately no thread-locals —
+the DES simulator runs thousands of interleaved virtual timelines on
+one thread, so ambient context would attribute children to whichever
+trace touched the thread last.
+
+:class:`Tracer` is a bounded LRU of recent traces keyed by trace id
+(job id, request id).  It exists for *debugging*, not accounting: the
+cap keeps a long-running portal from accumulating one span tree per
+job forever, and aggregate numbers belong in the metrics registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    ``end is None`` means still open.  Attribute dict and child list are
+    created lazily so short-lived spans on hot paths cost one small
+    object.
+    """
+
+    __slots__ = ("name", "start", "end", "attrs", "children")
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Optional[dict] = None
+        self.children: Optional[list["Span"]] = None
+
+    def child(self, name: str, start: float, end: Optional[float] = None) -> "Span":
+        """Open (or record a fully-formed) sub-span."""
+        span = Span(name, start)
+        span.end = end
+        if self.children is None:
+            self.children = []
+        self.children.append(span)
+        return span
+
+    def set(self, **attrs) -> "Span":
+        """Attach key/value annotations (cache outcome, node names, …)."""
+        if self.attrs is None:
+            self.attrs = attrs  # the kwargs dict is fresh — adopt it
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def finish(self, t: float) -> "Span":
+        self.end = t
+        return self
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """JSON-ready recursive view (the /debug/trace payload)."""
+        out: dict = {"name": self.name, "start": self.start, "end": self.end}
+        if self.end is not None:
+            out["duration_s"] = self.end - self.start
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+
+class Tracer:
+    """Bounded keep-latest store of root spans, keyed by trace id."""
+
+    def __init__(self, clock: Callable[[], float], capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock
+        self.capacity = capacity
+        self._traces: "OrderedDict[str, Span]" = OrderedDict()
+
+    def start(self, name: str, trace_id: str, t: Optional[float] = None) -> Span:
+        """Open a new root span under ``trace_id``, evicting the oldest."""
+        span = Span(name, self.clock() if t is None else t)
+        traces = self._traces
+        traces[trace_id] = span
+        if len(traces) > self.capacity:
+            traces.popitem(last=False)
+        return span
+
+    def get(self, trace_id: str) -> Optional[Span]:
+        return self._traces.get(trace_id)
+
+    def ids(self) -> list[str]:
+        """Known trace ids, oldest first."""
+        return list(self._traces)
+
+    def __len__(self) -> int:
+        return len(self._traces)

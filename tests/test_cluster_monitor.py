@@ -48,8 +48,36 @@ class TestAccounting:
         assert s["core_seconds"] == pytest.approx((4 + 6 + 1) * 2)
 
     def test_empty_summary(self):
+        # No records means *no data*, not zero-second waits: the latency
+        # aggregates are None while the (genuinely zero) sums stay 0.
         s = ClusterMonitor().summary()
-        assert s["jobs_finished"] == 0 and s["mean_wait_s"] == 0.0
+        assert s["jobs_finished"] == 0
+        assert s["mean_wait_s"] is None
+        assert s["p95_wait_s"] is None
+        assert s["mean_runtime_s"] is None
+        assert s["core_seconds"] == 0.0
+
+    def test_summary_aggregates_appear_with_first_record(self):
+        monitor = ClusterMonitor()
+        monitor.record_job(finished_job(wait=2.0, runtime=3.0))
+        s = monitor.summary()
+        assert s["mean_wait_s"] == pytest.approx(2.0)
+        assert s["mean_runtime_s"] == pytest.approx(3.0)
+
+    def test_summary_waitless_records_keep_none(self):
+        # A job cancelled before starting carries no wait/runtime; the
+        # aggregates must not coerce that absence into 0.0.
+        job = Job(JobRequest(name="n", owner="o", sim_duration=1.0))
+        job.transition(JobState.QUEUED)
+        job.transition(JobState.CANCELLED)
+        job.submitted_at = 0.0
+        monitor = ClusterMonitor()
+        monitor.record_job(job)
+        s = monitor.summary()
+        assert s["jobs_finished"] == 1
+        assert s["mean_wait_s"] is None
+        assert s["mean_runtime_s"] is None
+        assert s["core_seconds"] == 0.0
 
 
 class TestSamples:
@@ -76,8 +104,10 @@ class TestSamples:
     def test_mean_load(self):
         grid = Grid(ClusterSpec.small())
         monitor = ClusterMonitor()
-        assert monitor.mean_load() == 0.0
+        # never sampled: None, so an idle grid (a real 0.0) is distinguishable
+        assert monitor.mean_load() is None
         monitor.sample(grid, 0.0)
+        assert monitor.mean_load() == 0.0
         grid.node("seg-0-n00").allocate("j", 2)
         monitor.sample(grid, 1.0)
         assert monitor.mean_load() == pytest.approx(0.125)
