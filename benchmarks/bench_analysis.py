@@ -1,0 +1,126 @@
+"""Static analyzer latency + happens-before detector overhead.
+
+Two guards from the analysis-subsystem contract (DESIGN §11):
+
+1. **Pre-submit latency** — the static analyzer sits on the portal's
+   ``POST /api/jobs`` path, so it must stay interactive: every lab
+   fixture (all seven labs, broken and fixed variants) must analyze in
+   under 250 ms.
+
+2. **Happens-before overhead** — the FastTrack vector-clock detector
+   must keep at least 0.9× the lockset detector's access throughput on
+   a lock-disciplined workload (the common no-findings case), so the
+   more precise detector is affordable as the explorer's default
+   upgrade.  Same paired A/B quad methodology as ``bench_telemetry.py``:
+   both orders per sample, geometric mean of the two ratios.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+from repro.analysis import CORPUS, analyze_source, fixture_path
+from repro.interleave import Scheduler, SharedVar, VMutex
+
+pytestmark = pytest.mark.perf
+
+LATENCY_BUDGET_S = 0.250
+HB_FLOOR = 0.9
+
+N_THREADS = 8
+N_ITERS = 400  # per thread: ~3 ops per iteration through the detector
+SAMPLES = 5
+
+
+# -- static analyzer latency ---------------------------------------------------
+def test_every_lab_fixture_analyzes_under_250ms(report):
+    sources = {
+        f"{case.lab_id}/{case.variant}": open(fixture_path(case), encoding="utf-8").read()
+        for case in CORPUS
+    }
+    # warm-up: first call pays import/compile costs that a live portal
+    # has already amortised
+    analyze_source(next(iter(sources.values())))
+    timings: dict[str, float] = {}
+    for name, source in sources.items():
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            analyze_source(source)
+            best = min(best, time.perf_counter() - t0)
+        timings[name] = best
+    lines = [
+        "Static analyzer latency per lab fixture (best of 3)",
+        f"budget: {1000 * LATENCY_BUDGET_S:.0f} ms per program",
+        f"{'fixture':<16} {'ms':>8}",
+    ]
+    for name, dt in sorted(timings.items()):
+        lines.append(f"{name:<16} {1000 * dt:>8.2f}")
+    lines.append(f"{'total':<16} {1000 * sum(timings.values()):>8.2f}")
+    report("analysis_latency", "\n".join(lines))
+    slow = {n: dt for n, dt in timings.items() if dt >= LATENCY_BUDGET_S}
+    assert not slow, f"over budget: { {n: f'{1000 * dt:.0f}ms' for n, dt in slow.items()} }"
+    total = sum(timings.values())
+    assert total < LATENCY_BUDGET_S, f"all labs together took {1000 * total:.0f}ms"
+
+
+# -- happens-before vs lockset throughput -------------------------------------
+def _locked_workload(var: SharedVar, lock: VMutex, iters: int):
+    for _ in range(iters):
+        yield lock.acquire()
+        v = yield var.read()
+        yield var.write(v + 1)
+        yield lock.release()
+
+
+def run_once(happens_before: bool) -> float:
+    """Drive the lock-disciplined workload; returns scheduler steps/sec."""
+    sched = Scheduler(seed=1, detect_races=True, happens_before=happens_before)
+    var = SharedVar("counter", 0)
+    lock = VMutex("m")
+    for i in range(N_THREADS):
+        sched.spawn(_locked_workload(var, lock, N_ITERS), name=f"w{i}")
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        result = sched.run()
+        dt = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    assert result.completed and result.races == []
+    assert var.value == N_THREADS * N_ITERS
+    return result.steps / dt
+
+
+def test_happens_before_keeps_090x_lockset_throughput(report):
+    run_once(True)  # shared warm-up
+    ratios, hb_best, ls_best = [], 0.0, 0.0
+    for _ in range(SAMPLES):
+        h1, l1 = run_once(True), run_once(False)
+        l2, h2 = run_once(False), run_once(True)
+        hb_best = max(hb_best, h1, h2)
+        ls_best = max(ls_best, l1, l2)
+        ratios.append(((h1 / l1) * (h2 / l2)) ** 0.5)
+    ratio = sum(ratios) / len(ratios)
+    report(
+        "analysis_hb_overhead",
+        "\n".join(
+            [
+                "Happens-before vs lockset detector throughput",
+                f"{N_THREADS} threads x {N_ITERS} locked increments, "
+                f"{SAMPLES} both-orders A/B quads",
+                f"{'detector':<22} {'best steps/sec':>15}",
+                f"{'LocksetDetector':<22} {ls_best:>15.0f}",
+                f"{'HappensBeforeDetector':<22} {hb_best:>15.0f}",
+                f"mean quad ratio: {ratio:.3f} (floor {HB_FLOOR})",
+            ]
+        ),
+    )
+    assert ratio >= HB_FLOOR, (
+        f"happens-before costs {100 * (1 - ratio):.1f}% throughput "
+        f"({hb_best:.0f} vs {ls_best:.0f} steps/sec)"
+    )

@@ -24,7 +24,6 @@ from repro.cluster import (
     ClusterSpec,
     Grid,
     JobDistributor,
-    JobState,
     NodeState,
     RetryPolicy,
     SimulatedBackend,

@@ -4,7 +4,6 @@ Each bench reproduces one unnumbered but essential observation from
 Section III.B and times the underlying simulation.
 """
 
-import numpy as np
 
 from repro.labs import get_lab
 from repro.labs.lab3_numa import measure_mpi, measure_threads

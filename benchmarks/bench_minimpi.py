@@ -6,7 +6,6 @@ of collectives vs world size and message size, and topology's effect on
 the same traffic pattern.
 """
 
-import numpy as np
 import pytest
 
 from repro.minimpi import NetworkModel, Topology, run_mpi

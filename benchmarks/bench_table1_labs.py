@@ -10,7 +10,6 @@ paper's, plus the shape-agreement summary DESIGN.md defines.
 from repro.education import SemesterSimulation
 from repro.education.grading import PAPER_LAB_RATES
 from repro.education.semester import DEFAULT_SEED
-from repro.labs import get_lab
 
 
 def run_table1(seed: int = DEFAULT_SEED):

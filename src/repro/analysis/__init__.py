@@ -1,0 +1,41 @@
+"""Static concurrency analysis for lab programs.
+
+The dynamic side of the sandbox (:mod:`repro.interleave`) tells a
+student what *happened* on one schedule; this package tells them what
+*can* happen, before the program ever runs.  It parses a lab submission
+with :mod:`ast`, recovers the synchronisation vocabulary the labs are
+written in (``VMutex``, ``TASLock``, ``VSemaphore``, ``VCondition``,
+``SharedVar``/``SharedArray``, ``sched.spawn``, ``yield Join``) and runs
+three passes:
+
+* **lock order** (:mod:`~repro.analysis.lockorder`) — a lock-order graph
+  over everything any thread holds while acquiring something else;
+  cycles are the dining-philosophers deadlock (ANL-DL001/DL002);
+* **lockset** (:mod:`~repro.analysis.lockset`) — every cross-thread
+  access pair to a shared variable must share a protecting lock or a
+  provable ordering (semaphore handoff, spawn/join) (ANL-RC001/RC002);
+* **structure** (:mod:`~repro.analysis.engine`) — unbalanced
+  acquire/release, release-without-acquire, blocking while holding an
+  unrelated lock, condition waits not re-checked in a loop
+  (ANL-LK*/ANL-CV*).
+
+Each diagnostic carries file/line, severity, and the lab concept it
+violates; reports can be cross-checked against the dynamic detectors'
+:class:`~repro.interleave.detector.RaceReport` output
+(:meth:`~repro.analysis.model.AnalysisReport.cross_check`).
+
+Entry points: :func:`analyze_source` / :func:`analyze_file` for one
+program, :func:`~repro.analysis.corpus.check_corpus` for the lab
+regression corpus, ``python -m repro.analysis`` for the CLI and the
+codebase lint gate (``--self-check``).
+"""
+
+from repro.analysis.analyzer import analyze_file, analyze_paths, analyze_source
+from repro.analysis.corpus import CORPUS, FixtureCase, check_corpus, fixture_path, fixtures_dir
+from repro.analysis.model import AnalysisReport, CrossCheck, Diagnostic, RULES, Rule, Severity
+
+__all__ = [
+    "analyze_source", "analyze_file", "analyze_paths",
+    "AnalysisReport", "Diagnostic", "CrossCheck", "Severity", "Rule", "RULES",
+    "CORPUS", "FixtureCase", "check_corpus", "fixture_path", "fixtures_dir",
+]

@@ -1,0 +1,147 @@
+"""CLI: ``python -m repro.analysis``.
+
+Modes
+-----
+``python -m repro.analysis prog.py [more.py | dir ...]``
+    Lint lab programs; print diagnostics, exit 1 on any ERROR finding
+    (``--fail-on warning`` tightens, ``--fail-on never`` loosens).
+
+``python -m repro.analysis --corpus``
+    Run the fixture regression corpus
+    (:func:`repro.analysis.corpus.check_corpus`); exit 1 on mismatch.
+
+``python -m repro.analysis --self-check [DIR]``
+    The codebase lint gate: analyze every ``.py`` under DIR (default:
+    the installed ``repro`` package).  The analyzer must get through
+    every file without crashing, and must report **nothing** outside the
+    lab directories — findings in ``labs/`` are the teaching corpus and
+    are listed but not fatal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.analysis.analyzer import analyze_file, analyze_paths
+from repro.analysis.corpus import check_corpus
+from repro.analysis.model import Severity
+
+
+def _print_report(report, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return
+    for diag in report.diagnostics:
+        print(diag)
+    print(report.summary())
+
+
+def _run_lint(paths: list, fail_on: str, as_json: bool) -> int:
+    reports = analyze_paths(paths)
+    worst = 0
+    broken = False
+    for report in reports:
+        _print_report(report, as_json)
+        if report.parse_error is not None:
+            broken = True
+        for diag in report.diagnostics:
+            worst = max(worst, int(diag.severity))
+    if fail_on == "never":
+        return 0
+    threshold = Severity.WARNING if fail_on == "warning" else Severity.ERROR
+    return 1 if broken or worst >= int(threshold) else 0
+
+
+def _run_corpus() -> int:
+    results = check_corpus()
+    failures = 0
+    for case, report, problems in results:
+        status = "ok" if not problems else "FAIL"
+        rules = ",".join(report.rule_ids()) or "clean"
+        print(f"{status:4s} {case.lab_id}/{case.variant:<8s} -> {rules}")
+        for problem in problems:
+            print(f"     {problem}")
+            failures += 1
+    print(f"corpus: {len(results)} fixtures, {failures} problem(s)")
+    return 1 if failures else 0
+
+
+def _run_self_check(root: str) -> int:
+    if not os.path.isdir(root):
+        print(f"self-check: not a directory: {root}", file=sys.stderr)
+        return 2
+    crashes: list = []
+    unexpected: list = []
+    expected: list = []
+    n_files = 0
+    for dirpath, dirs, files in os.walk(root):
+        dirs.sort()
+        for fname in sorted(files):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            n_files += 1
+            try:
+                report = analyze_file(path)
+            except Exception as exc:  # the gate: the analyzer must not crash
+                crashes.append(f"{path}: {type(exc).__name__}: {exc}")
+                continue
+            if report.parse_error is not None:
+                crashes.append(f"{path}: {report.parse_error}")
+                continue
+            in_labs = f"{os.sep}labs{os.sep}" in path or path.endswith(f"{os.sep}labs")
+            for diag in report.diagnostics:
+                (expected if in_labs else unexpected).append(str(diag))
+    for line in expected:
+        print(f"corpus   {line}")
+    for line in unexpected:
+        print(f"UNEXPECTED {line}")
+    for line in crashes:
+        print(f"CRASH    {line}")
+    print(
+        f"self-check: {n_files} file(s), {len(expected)} corpus finding(s), "
+        f"{len(unexpected)} unexpected finding(s), {len(crashes)} crash(es)"
+    )
+    return 1 if unexpected or crashes else 0
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static concurrency analyzer for cluster-portal lab programs.",
+    )
+    parser.add_argument("paths", nargs="*", help="lab program files or directories")
+    parser.add_argument("--json", action="store_true", help="emit reports as JSON")
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "never"), default="error",
+        help="minimum severity that makes the exit code nonzero (default: error)",
+    )
+    parser.add_argument(
+        "--corpus", action="store_true",
+        help="run the lab fixture regression corpus",
+    )
+    parser.add_argument(
+        "--self-check", nargs="?", const="", metavar="DIR",
+        help="lint-gate the codebase under DIR (default: the repro package)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.corpus:
+        return _run_corpus()
+    if args.self_check is not None:
+        root = args.self_check
+        if not root:
+            import repro
+            root = os.path.dirname(os.path.abspath(repro.__file__))
+        return _run_self_check(root)
+    if not args.paths:
+        parser.print_usage()
+        return 2
+    return _run_lint(args.paths, args.fail_on, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

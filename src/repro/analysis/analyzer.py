@@ -1,0 +1,69 @@
+"""Top-level analysis driver: source text in, :class:`AnalysisReport` out.
+
+Pipeline: :func:`~repro.analysis.astscan.build_model` (objects, envs,
+spawns) → :func:`~repro.analysis.engine.analyze_function` per function
+(structural lints + event summaries) → the cross-thread passes
+(:func:`~repro.analysis.lockorder.check_lock_order`,
+:func:`~repro.analysis.lockset.check_locksets`).
+
+A file that fails to parse yields a report with ``parse_error`` set and
+no diagnostics; the analyzer itself never raises on malformed input —
+it is wired into the portal submit path and must not take a job down.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.astscan import build_model
+from repro.analysis.engine import analyze_function
+from repro.analysis.lockorder import check_lock_order
+from repro.analysis.lockset import check_locksets
+from repro.analysis.model import AnalysisReport
+
+__all__ = ["analyze_source", "analyze_file", "analyze_paths"]
+
+
+def analyze_source(source: str, path: str = "<submission>") -> AnalysisReport:
+    """Statically analyze one lab program given as source text."""
+    try:
+        model = build_model(source, path)
+    except SyntaxError as exc:
+        return AnalysisReport(path=path, parse_error=f"line {exc.lineno}: {exc.msg}")
+    except RecursionError:  # pathological nesting; refuse, don't crash
+        return AnalysisReport(path=path, parse_error="program too deeply nested to analyze")
+
+    diags: set = set()
+    summaries = {
+        key: analyze_function(model, model.functions[key], diags)
+        for key in sorted(model.functions)
+    }
+    spawned = [summaries[k] for k in model.spawned_keys() if k in summaries]
+    diags |= check_lock_order(model, spawned)
+    diags |= check_locksets(model, summaries)
+    return AnalysisReport(path=path, diagnostics=sorted(diags))
+
+
+def analyze_file(path: str) -> AnalysisReport:
+    """Analyze a program on disk; IO errors become ``parse_error``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        return AnalysisReport(path=path, parse_error=f"unreadable: {exc}")
+    return analyze_source(source, path)
+
+
+def analyze_paths(paths: list) -> list:
+    """Analyze files and directories (recursively, ``.py`` only)."""
+    reports = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs.sort()
+                for fname in sorted(files):
+                    if fname.endswith(".py"):
+                        reports.append(analyze_file(os.path.join(root, fname)))
+        else:
+            reports.append(analyze_file(p))
+    return reports

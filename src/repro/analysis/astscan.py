@@ -1,0 +1,438 @@
+"""AST scan: build a :class:`ProgramModel` from a lab program's source.
+
+The scanner understands the ``repro.interleave`` vocabulary the labs are
+written in — ``VMutex``/``TASLock``/``VSemaphore``/``VCondition``
+constructors, ``SharedVar``/``SharedArray`` cells, ``sched.spawn(fn(...))``
+thread creation and ``yield Join(handle)`` — and recovers:
+
+* every synchronisation/shared **object** created in the module, with a
+  stable id and the name the dynamic detector will use for it;
+* per-function **environments** mapping parameter and local names to the
+  object ids they may denote, propagated through spawn and helper-call
+  sites to a fixpoint (so ``philosopher(i, forks, ...)`` knows its
+  ``forks`` parameter is the module's fork array);
+* the **thread instances**: which functions are spawned, where, and
+  whether inside a loop (multiplicity "many");
+* **ordering facts**: ``lo, hi = sorted((a, b))`` unpacks (the ordered
+  dining-philosophers discipline) recorded as ``lo <= hi``.
+
+This is deliberately a *teaching-lab-scale* analysis: names are resolved
+lexically, aliasing through containers other than the recognised arrays
+is not tracked, and unknown receivers are ignored rather than guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "ObjKind",
+    "SyncObject",
+    "FunctionInfo",
+    "SpawnSite",
+    "CallSite",
+    "ProgramModel",
+    "build_model",
+    "CONSTRUCTOR_KINDS",
+]
+
+
+class ObjKind(enum.Enum):
+    MUTEX = "mutex"
+    SPINLOCK = "spinlock"
+    SEMAPHORE = "semaphore"
+    CONDITION = "condition"
+    SHARED = "shared"
+    SHARED_ARRAY = "shared_array"
+    LOCK_ARRAY = "lock_array"
+    BARRIER = "barrier"
+    RWLOCK = "rwlock"
+
+    @property
+    def lock_like(self) -> bool:
+        return self in (ObjKind.MUTEX, ObjKind.SPINLOCK, ObjKind.LOCK_ARRAY, ObjKind.RWLOCK)
+
+    @property
+    def data_like(self) -> bool:
+        return self in (ObjKind.SHARED, ObjKind.SHARED_ARRAY)
+
+
+#: Constructor name -> object kind, the vocabulary of
+#: :mod:`repro.interleave.primitives` and ``state``.
+CONSTRUCTOR_KINDS: dict[str, ObjKind] = {
+    "VMutex": ObjKind.MUTEX,
+    "TASLock": ObjKind.SPINLOCK,
+    "TTASLock": ObjKind.SPINLOCK,
+    "VSemaphore": ObjKind.SEMAPHORE,
+    "VCondition": ObjKind.CONDITION,
+    "SharedVar": ObjKind.SHARED,
+    "SharedArray": ObjKind.SHARED_ARRAY,
+    "VBarrier": ObjKind.BARRIER,
+    "VRWLock": ObjKind.RWLOCK,
+}
+
+_LOCKISH_CTORS = {"VMutex", "TASLock", "TTASLock"}
+
+
+@dataclass
+class SyncObject:
+    """One synchronisation or shared-data object created by the program."""
+
+    oid: int
+    kind: ObjKind
+    name: str
+    line: int
+    sync: bool = False
+    """``SharedVar(..., sync=True)`` — implements synchronisation, race-exempt."""
+    bound_mutex: frozenset = frozenset()
+    """For conditions: object ids the bound mutex may denote."""
+
+
+@dataclass
+class FunctionInfo:
+    """A function definition plus the scanner's knowledge about it."""
+
+    key: str
+    name: str
+    node: ast.FunctionDef
+    parent_key: Optional[str]
+    env: dict = field(default_factory=dict)          # name -> set[int]
+    ordered_names: set = field(default_factory=set)  # (lo, hi) name pairs, lo <= hi
+    is_generator: bool = False
+    _min_sets: dict = field(default_factory=dict)    # lo name -> arg source set
+    _max_sets: dict = field(default_factory=dict)    # hi name -> arg source set
+
+    def params(self) -> list[str]:
+        a = self.node.args
+        return [p.arg for p in (*a.posonlyargs, *a.args)]
+
+
+@dataclass
+class SpawnSite:
+    """One ``<sched>.spawn(fn(...))`` call."""
+
+    index: int
+    caller_key: Optional[str]
+    callee_key: str
+    line: int
+    many: bool
+    """Spawned inside a loop — stands for several thread instances."""
+    handle: Optional[str] = None
+    """Name the returned thread handle is bound to, if any."""
+
+
+@dataclass
+class CallSite:
+    """A direct call to a known function (helper inlining + env propagation)."""
+
+    caller_key: Optional[str]
+    callee_key: str
+    call: ast.Call
+
+
+@dataclass
+class ProgramModel:
+    """Everything the analysis passes need to know about one module."""
+
+    path: str
+    objects: dict = field(default_factory=dict)      # oid -> SyncObject
+    functions: dict = field(default_factory=dict)    # key -> FunctionInfo
+    module_env: dict = field(default_factory=dict)   # name -> set[int]
+    spawns: list = field(default_factory=list)       # [SpawnSite]
+    calls: list = field(default_factory=list)        # [CallSite]
+
+    def resolve(self, func_key: Optional[str], name: str) -> frozenset:
+        """Object ids ``name`` may denote, searching the lexical chain."""
+        key = func_key
+        while key is not None:
+            info = self.functions.get(key)
+            if info is None:
+                break
+            if name in info.env:
+                return frozenset(info.env[name])
+            key = info.parent_key
+        return frozenset(self.module_env.get(name, ()))
+
+    def resolve_function(self, from_key: Optional[str], name: str) -> Optional[str]:
+        """Find the function ``name`` refers to, innermost scope first."""
+        key = from_key
+        while key is not None:
+            candidate = f"{key}.{name}"
+            if candidate in self.functions:
+                return candidate
+            info = self.functions.get(key)
+            key = info.parent_key if info else None
+        return name if name in self.functions else None
+
+    def obj_name(self, oid: int) -> str:
+        return self.objects[oid].name
+
+    def spawned_keys(self) -> list[str]:
+        return sorted({s.callee_key for s in self.spawns})
+
+
+class _Scanner(ast.NodeVisitor):
+    def __init__(self, model: ProgramModel) -> None:
+        self.m = model
+        self.func_stack: list[str] = []
+        self.loop_depth = 0
+        self._next_oid = 0
+        self._seen_calls: set[int] = set()  # call node ids already recorded
+
+    # -- helpers ---------------------------------------------------------
+    def _cur_key(self) -> Optional[str]:
+        return self.func_stack[-1] if self.func_stack else None
+
+    def _cur_env(self) -> dict:
+        key = self._cur_key()
+        return self.m.functions[key].env if key else self.m.module_env
+
+    def _new_object(self, kind: ObjKind, name: str, node: ast.AST, **kw) -> int:
+        oid = self._next_oid
+        self._next_oid += 1
+        self.m.objects[oid] = SyncObject(oid, kind, name, getattr(node, "lineno", 0), **kw)
+        return oid
+
+    @staticmethod
+    def _ctor_name(call: ast.Call) -> Optional[str]:
+        fn = call.func
+        if isinstance(fn, ast.Name) and fn.id in CONSTRUCTOR_KINDS:
+            return fn.id
+        # ``interleave.VMutex(...)`` style attribute access
+        if isinstance(fn, ast.Attribute) and fn.attr in CONSTRUCTOR_KINDS:
+            return fn.attr
+        return None
+
+    @staticmethod
+    def _string_arg(call: ast.Call) -> Optional[str]:
+        for arg in call.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+        for kw in call.keywords:
+            if kw.arg == "name" and isinstance(kw.value, ast.Constant) and isinstance(kw.value.value, str):
+                return kw.value.value
+        return None
+
+    def _object_from_ctor(self, ctor: str, call: ast.Call, fallback_name: str) -> int:
+        kind = CONSTRUCTOR_KINDS[ctor]
+        name = self._string_arg(call) or fallback_name
+        sync = any(
+            kw.arg == "sync" and isinstance(kw.value, ast.Constant) and bool(kw.value.value)
+            for kw in call.keywords
+        )
+        bound = frozenset()
+        if kind is ObjKind.CONDITION and call.args and isinstance(call.args[0], ast.Name):
+            bound = self.m.resolve(self._cur_key(), call.args[0].id)
+        return self._new_object(kind, name, call, sync=sync, bound_mutex=bound)
+
+    def _array_elt_ctor(self, value: ast.AST) -> Optional[str]:
+        """Constructor name if ``value`` is a list (comp) of ctor calls."""
+        elts: list[ast.AST] = []
+        if isinstance(value, ast.ListComp):
+            elts = [value.elt]
+        elif isinstance(value, (ast.List, ast.Tuple)) and value.elts:
+            elts = value.elts
+        names = set()
+        for e in elts:
+            if not isinstance(e, ast.Call):
+                return None
+            names.add(self._ctor_name(e))
+        if len(names) == 1 and None not in names:
+            return names.pop()
+        return None
+
+    # -- spawn / call discovery ------------------------------------------
+    @staticmethod
+    def _spawn_call(call: ast.Call) -> Optional[ast.Call]:
+        """The inner ``fn(args)`` call if this is ``<x>.spawn(fn(args), ...)``."""
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "spawn"
+            and call.args
+            and isinstance(call.args[0], ast.Call)
+            and isinstance(call.args[0].func, ast.Name)
+        ):
+            return call.args[0]
+        return None
+
+    def _record_spawn(self, call: ast.Call, handle: Optional[str]) -> bool:
+        inner = self._spawn_call(call)
+        if inner is None:
+            return False
+        if id(call) in self._seen_calls:  # already recorded via its Assign
+            return True
+        self._seen_calls.add(id(call))
+        callee = self.m.resolve_function(self._cur_key(), inner.func.id)
+        if callee is None:
+            return False
+        site = SpawnSite(
+            index=len(self.m.spawns),
+            caller_key=self._cur_key(),
+            callee_key=callee,
+            line=call.lineno,
+            many=self.loop_depth > 0,
+            handle=handle,
+        )
+        self.m.spawns.append(site)
+        self.m.calls.append(CallSite(self._cur_key(), callee, inner))
+        return True
+
+    def _maybe_record_call(self, call: ast.Call) -> None:
+        if id(call) in self._seen_calls:
+            return
+        if isinstance(call.func, ast.Name):
+            callee = self.m.resolve_function(self._cur_key(), call.func.id)
+            if callee is not None:
+                self._seen_calls.add(id(call))
+                self.m.calls.append(CallSite(self._cur_key(), callee, call))
+
+    # -- visitors --------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        parent = self._cur_key()
+        key = f"{parent}.{node.name}" if parent else node.name
+        info = FunctionInfo(key=key, name=node.name, node=node, parent_key=parent)
+        info.is_generator = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in ast.walk(node)
+        )
+        self.m.functions[key] = info
+        self.func_stack.append(key)
+        outer_depth, self.loop_depth = self.loop_depth, 0
+        self.generic_visit(node)
+        self.loop_depth = outer_depth
+        self.func_stack.pop()
+        # pair up min/max assignments into ordering facts
+        for lo, lo_src in info._min_sets.items():
+            for hi, hi_src in info._max_sets.items():
+                if lo_src == hi_src:
+                    info.ordered_names.add((lo, hi))
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_For(self, node: ast.For) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        env = self._cur_env()
+        value = node.value
+        targets = node.targets
+
+        def bind(name: str, oid: int) -> None:
+            env.setdefault(name, set()).add(oid)
+
+        # tuple unpack: ``a, b = sorted((x, y))`` / multiple ctors
+        if (
+            len(targets) == 1
+            and isinstance(targets[0], ast.Tuple)
+            and isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "sorted"
+            and len(targets[0].elts) == 2
+            and all(isinstance(e, ast.Name) for e in targets[0].elts)
+        ):
+            lo, hi = (e.id for e in targets[0].elts)  # type: ignore[union-attr]
+            info = self.m.functions.get(self._cur_key() or "")
+            if info is not None:
+                info.ordered_names.add((lo, hi))
+            self.generic_visit(node)
+            return
+
+        if (
+            len(targets) == 1
+            and isinstance(targets[0], ast.Tuple)
+            and isinstance(value, ast.Tuple)
+            and len(targets[0].elts) == len(value.elts)
+        ):
+            for tgt, val in zip(targets[0].elts, value.elts):
+                if isinstance(tgt, ast.Name):
+                    self._bind_value(tgt.id, val, bind)
+            self.generic_visit(node)
+            return
+
+        # ``lo = min(i, j)`` / ``hi = max(i, j)``
+        if (
+            len(targets) == 1
+            and isinstance(targets[0], ast.Name)
+            and isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("min", "max")
+        ):
+            info = self.m.functions.get(self._cur_key() or "")
+            if info is not None:
+                src = frozenset(ast.dump(a) for a in value.args)
+                store = info._min_sets if value.func.id == "min" else info._max_sets
+                store[targets[0].id] = src
+
+        for tgt in targets:
+            if isinstance(tgt, ast.Name):
+                self._bind_value(tgt.id, value, bind)
+        self.generic_visit(node)
+
+    def _bind_value(self, name: str, value: ast.AST, bind) -> None:
+        if isinstance(value, ast.Call):
+            ctor = self._ctor_name(value)
+            if ctor is not None:
+                bind(name, self._object_from_ctor(ctor, value, name))
+                return
+            if self._record_spawn(value, handle=name):
+                return
+            self._maybe_record_call(value)
+            return
+        elt_ctor = self._array_elt_ctor(value)
+        if elt_ctor is not None:
+            kind = ObjKind.LOCK_ARRAY if elt_ctor in _LOCKISH_CTORS else ObjKind.SHARED_ARRAY
+            bind(name, self._new_object(kind, name, value))
+            return
+        if isinstance(value, ast.Name):  # alias
+            for oid in self.m.resolve(self._cur_key(), value.id):
+                bind(name, oid)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # expression-statement spawns and helper calls (incl. yield from fn())
+        if not self._record_spawn(node, handle=None):
+            self._maybe_record_call(node)
+        self.generic_visit(node)
+
+
+def _propagate(model: ProgramModel) -> None:
+    """Flow actual-argument bindings into callee parameter envs, to fixpoint."""
+    for _ in range(10):
+        changed = False
+        for site in model.calls:
+            callee = model.functions.get(site.callee_key)
+            if callee is None:
+                continue
+            params = callee.params()
+            bindings: list[tuple[str, ast.AST]] = list(zip(params, site.call.args))
+            bindings += [(kw.arg, kw.value) for kw in site.call.keywords if kw.arg]
+            for param, actual in bindings:
+                if not isinstance(actual, ast.Name):
+                    continue
+                ids = model.resolve(site.caller_key, actual.id)
+                if not ids:
+                    continue
+                slot = callee.env.setdefault(param, set())
+                if not ids <= slot:
+                    slot |= ids
+                    changed = True
+        if not changed:
+            break
+
+
+def build_model(source: str, path: str = "<string>") -> ProgramModel:
+    """Parse ``source`` and build the program model (may raise SyntaxError)."""
+    tree = ast.parse(source, filename=path)
+    model = ProgramModel(path=path)
+    _Scanner(model).visit(tree)
+    _propagate(model)
+    return model

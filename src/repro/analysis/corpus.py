@@ -1,0 +1,105 @@
+"""The lab fixture corpus: expected diagnostics per student submission.
+
+Maps each fixture in ``repro/labs/fixtures`` to the exact set of rule
+ids the analyzer must emit for it.  ``broken`` fixtures carry the bug
+their lab teaches; every ``fixed`` fixture must come back **clean** —
+the zero-false-positive bar that makes the pre-submit lint trustworthy
+enough to show students.
+
+:func:`check_corpus` is the regression entry point used by the test
+suite, the CLI (``python -m repro.analysis --corpus``) and CI.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.analysis.analyzer import analyze_file
+from repro.analysis.model import AnalysisReport
+
+__all__ = ["FixtureCase", "CORPUS", "fixtures_dir", "fixture_path", "check_corpus"]
+
+
+@dataclass(frozen=True)
+class FixtureCase:
+    """One corpus entry: a fixture file and what the analyzer must say."""
+
+    lab_id: str
+    variant: str
+    filename: str
+    expected_rules: frozenset
+    expected_symbols: frozenset = frozenset()
+    """Symbols at least one expected diagnostic must name (when non-empty)."""
+
+
+CORPUS: tuple = (
+    FixtureCase("lab1", "broken", "lab1_broken.py",
+                frozenset({"ANL-RC001"}), frozenset({"counter"})),
+    FixtureCase("lab1", "fixed", "lab1_fixed.py", frozenset()),
+    FixtureCase("lab2", "broken", "lab2_broken.py",
+                frozenset({"ANL-RC001"}), frozenset({"shared_data"})),
+    FixtureCase("lab2", "fixed", "lab2_fixed.py", frozenset()),
+    FixtureCase("lab3", "broken", "lab3_broken.py", frozenset()),
+    FixtureCase("lab3", "fixed", "lab3_fixed.py", frozenset()),
+    FixtureCase("lab4", "broken", "lab4_broken.py",
+                frozenset({"ANL-RC001"}), frozenset({"numbers"})),
+    FixtureCase("lab4", "fixed", "lab4_fixed.py", frozenset()),
+    FixtureCase("lab5", "broken", "lab5_broken.py",
+                frozenset({"ANL-RC001"}), frozenset({"balance"})),
+    FixtureCase("lab5", "fixed", "lab5_fixed.py", frozenset()),
+    FixtureCase("lab6", "broken", "lab6_broken.py",
+                frozenset({"ANL-DL002"}), frozenset({"forks"})),
+    FixtureCase("lab6", "fixed", "lab6_fixed.py", frozenset()),
+    FixtureCase("lab7", "broken", "lab7_broken.py",
+                frozenset({"ANL-CV001"}), frozenset({"not_empty"})),
+    FixtureCase("lab7", "fixed", "lab7_fixed.py", frozenset()),
+)
+
+
+def fixtures_dir() -> str:
+    """Absolute path of ``repro/labs/fixtures``."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(os.path.dirname(here), "labs", "fixtures")
+
+
+def fixture_path(case: FixtureCase) -> str:
+    return os.path.join(fixtures_dir(), case.filename)
+
+
+def corpus_case(lab_id: str, variant: str) -> FixtureCase | None:
+    for case in CORPUS:
+        if case.lab_id == lab_id and case.variant == variant:
+            return case
+    return None
+
+
+def check_corpus() -> list:
+    """Analyze every fixture; returns ``[(case, report, problems)]``.
+
+    ``problems`` is a list of human-readable mismatch strings — empty
+    when the analyzer said exactly what the corpus expects.
+    """
+    results = []
+    for case in CORPUS:
+        report: AnalysisReport = analyze_file(fixture_path(case))
+        problems: list = []
+        if report.parse_error is not None:
+            problems.append(f"parse error: {report.parse_error}")
+        got = frozenset(report.rule_ids())
+        if got != case.expected_rules:
+            missing = sorted(case.expected_rules - got)
+            extra = sorted(got - case.expected_rules)
+            if missing:
+                problems.append(f"missing expected rule(s): {', '.join(missing)}")
+            if extra:
+                problems.append(f"unexpected rule(s): {', '.join(extra)}")
+        if case.expected_symbols:
+            symbols = {d.symbol for d in report.diagnostics}
+            if not case.expected_symbols & symbols:
+                problems.append(
+                    f"no diagnostic names any of {sorted(case.expected_symbols)} "
+                    f"(got symbols {sorted(symbols)})"
+                )
+        results.append((case, report, problems))
+    return results

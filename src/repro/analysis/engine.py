@@ -1,0 +1,453 @@
+"""Abstract interpretation of thread functions.
+
+Walks each (generator) function's body with an abstract state — the set
+of locks *statically held* at each program point — and produces:
+
+* structural **diagnostics** (ANL-LK*, ANL-CV*): unbalanced
+  acquire/release across branches, loops and returns; release of a lock
+  not held; blocking while holding an unrelated lock; condition waits
+  not re-checked in a ``while`` loop or issued without the bound mutex;
+* an **event summary** per function — acquires, releases, semaphore
+  P/V, shared accesses with their held lockset, spawns and joins — which
+  the lock-order (:mod:`~repro.analysis.lockorder`) and lockset
+  (:mod:`~repro.analysis.lockset`) passes consume.
+
+Locks are identified by :data:`LockRef` values: ``("obj", oid)`` for a
+scalar lock, ``("elem", array_oid, "index source")`` for one slot of a
+lock array (the index is compared *textually* — precise enough for the
+lab programs, conservative everywhere else).
+
+Helper generators invoked with ``yield from helper(...)`` are inlined
+(depth-bounded) so a lock acquired inside a helper is held in the
+caller's abstract state too.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.astscan import FunctionInfo, ObjKind, ProgramModel
+from repro.analysis.model import Diagnostic
+
+__all__ = ["Access", "Event", "FunctionSummary", "analyze_function", "ref_name"]
+
+#: ("obj", oid) | ("elem", array_oid, index_source)
+LockRef = tuple
+
+_MAX_INLINE_DEPTH = 8
+
+_ACQUIRE_METHODS = {"acquire", "acquire_read", "acquire_write"}
+_RELEASE_METHODS = {"release", "release_read", "release_write"}
+
+
+def ref_name(model: ProgramModel, ref: LockRef) -> str:
+    """Human-readable name for a lock reference."""
+    if ref[0] == "obj":
+        return model.obj_name(ref[1])
+    return f"{model.obj_name(ref[1])}[{ref[2]}]"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One shared-memory access with its static context."""
+
+    oid: int
+    elem: Optional[str]        # index source for array cells, else None
+    write: bool
+    atomic: bool
+    line: int
+    held: frozenset            # frozenset[LockRef] at the access
+    loop: Optional[int]        # id of the innermost enclosing loop
+
+
+@dataclass
+class Event:
+    """One linearized abstract event inside a function body."""
+
+    kind: str                  # acquire|release|sem_p|sem_v|access|wait|spawn|join
+    line: int
+    loop: Optional[int] = None
+    ref: Optional[LockRef] = None
+    oid: Optional[int] = None
+    access: Optional[Access] = None
+    handle: Optional[str] = None
+
+
+@dataclass
+class FunctionSummary:
+    """What the cross-function passes need from one walked function."""
+
+    key: str
+    events: list = field(default_factory=list)
+    acquire_edges: list = field(default_factory=list)  # (held_ref, new_ref, line, func_key)
+
+    def accesses(self) -> list:
+        return [e.access for e in self.events if e.kind == "access"]
+
+    def sem_context(self) -> None:
+        """Stamp each access with the semaphores that order it.
+
+        An access *publishes* every semaphore V'd after it within its
+        innermost loop body, and is *acquired via* every semaphore P'd
+        before it in that window — the static shape of the producer
+        (write, then ``full.v()``) / consumer (``full.p()``, then read)
+        handoff.  Stored on the events as ``publishes``/``acquired_via``
+        attribute pairs consumed by the lockset pass.
+        """
+        for i, ev in enumerate(self.events):
+            if ev.kind != "access":
+                continue
+            publishes, acquired = set(), set()
+            for later in self.events[i + 1:]:
+                if later.loop != ev.loop:
+                    break
+                if later.kind == "sem_v":
+                    publishes.add(later.oid)
+            for earlier in reversed(self.events[:i]):
+                if earlier.loop != ev.loop:
+                    break
+                if earlier.kind == "sem_p":
+                    acquired.add(earlier.oid)
+            ev.publishes = frozenset(publishes)        # type: ignore[attr-defined]
+            ev.acquired_via = frozenset(acquired)      # type: ignore[attr-defined]
+
+
+class _Walker:
+    """One abstract walk of a function body."""
+
+    def __init__(
+        self,
+        model: ProgramModel,
+        info: FunctionInfo,
+        diags: set,
+        summary: FunctionSummary,
+        inline_stack: tuple = (),
+    ) -> None:
+        self.m = model
+        self.info = info
+        self.diags = diags
+        self.summary = summary
+        self.inline_stack = inline_stack
+        self.held: dict = {}           # LockRef -> acquire line
+        self.loop_stack: list = []     # (kind, id) for 'while'/'for'
+
+    # -- diagnostics ------------------------------------------------------
+    def _diag(self, rule: str, line: int, message: str, symbol: str = "") -> None:
+        self.diags.add(Diagnostic(self.m.path, line, rule, message, symbol))
+
+    # -- name resolution --------------------------------------------------
+    def _refs_for(self, expr: ast.AST) -> list:
+        """LockRef/object refs an expression may denote."""
+        if isinstance(expr, ast.Name):
+            return [("obj", oid) for oid in sorted(self.m.resolve(self.info.key, expr.id))]
+        if isinstance(expr, ast.Subscript) and isinstance(expr.value, ast.Name):
+            idx = ast.unparse(expr.slice)
+            return [
+                ("elem", oid, idx)
+                for oid in sorted(self.m.resolve(self.info.key, expr.value.id))
+                if self.m.objects[oid].kind in (ObjKind.LOCK_ARRAY, ObjKind.SHARED_ARRAY)
+            ]
+        return []
+
+    def _obj(self, ref: LockRef):
+        return self.m.objects[ref[1]]
+
+    def _innermost_loop(self) -> Optional[int]:
+        return self.loop_stack[-1][1] if self.loop_stack else None
+
+    def _held_locks_except(self, exempt_oids: frozenset) -> list:
+        return [r for r in self.held if r[1] not in exempt_oids]
+
+    # -- abstract operations ----------------------------------------------
+    def _acquire(self, ref: LockRef, line: int) -> None:
+        if ref in self.held:
+            self._diag(
+                "ANL-LK001", line,
+                f"'{ref_name(self.m, ref)}' acquired again while already held "
+                f"(acquired at line {self.held[ref]}) — a non-recursive mutex self-deadlocks",
+                ref_name(self.m, ref),
+            )
+            return
+        for h in self.held:
+            self.summary.acquire_edges.append((h, ref, line, self.info.key))
+        self.held[ref] = line
+        self.summary.events.append(Event("acquire", line, self._innermost_loop(), ref=ref))
+
+    def _release(self, ref: LockRef, line: int) -> None:
+        if ref not in self.held:
+            self._diag(
+                "ANL-LK002", line,
+                f"'{ref_name(self.m, ref)}' released but not held on every path here",
+                ref_name(self.m, ref),
+            )
+            return
+        del self.held[ref]
+        self.summary.events.append(Event("release", line, self._innermost_loop(), ref=ref))
+
+    def _access(self, ref, write: bool, atomic: bool, line: int) -> None:
+        obj = self._obj(ref)
+        if obj.sync:
+            atomic = True
+        acc = Access(
+            oid=ref[1],
+            elem=ref[2] if ref[0] == "elem" else None,
+            write=write,
+            atomic=atomic,
+            line=line,
+            held=frozenset(self.held),
+            loop=self._innermost_loop(),
+        )
+        self.summary.events.append(
+            Event("access", line, self._innermost_loop(), access=acc)
+        )
+
+    def _sem_op(self, ref: LockRef, blocking: bool, line: int) -> None:
+        obj = self._obj(ref)
+        if blocking:
+            for h in self.held:
+                self._diag(
+                    "ANL-LK003", line,
+                    f"blocking wait on semaphore '{obj.name}' while holding "
+                    f"'{ref_name(self.m, h)}' — the signaller may need that lock",
+                    obj.name,
+                )
+            self.summary.events.append(Event("sem_p", line, self._innermost_loop(), oid=ref[1]))
+        else:
+            self.summary.events.append(Event("sem_v", line, self._innermost_loop(), oid=ref[1]))
+
+    def _cond_wait(self, ref: LockRef, line: int) -> None:
+        obj = self._obj(ref)
+        loop = self.loop_stack[-1] if self.loop_stack else None
+        if loop is None or loop[0] != "while":
+            self._diag(
+                "ANL-CV001", line,
+                f"wait on condition '{obj.name}' is not re-checked in a while loop — "
+                f"a woken thread must re-test its predicate (spurious/stolen wakeups)",
+                obj.name,
+            )
+        bound = obj.bound_mutex
+        holds_bound = any(r[0] == "obj" and r[1] in bound for r in self.held)
+        if bound and not holds_bound:
+            self._diag(
+                "ANL-CV002", line,
+                f"wait on condition '{obj.name}' without holding its bound mutex",
+                obj.name,
+            )
+        for h in self._held_locks_except(bound):
+            self._diag(
+                "ANL-LK003", line,
+                f"wait on condition '{obj.name}' while holding unrelated lock "
+                f"'{ref_name(self.m, h)}' — the notifier may need that lock",
+                obj.name,
+            )
+        self.summary.events.append(Event("wait", line, self._innermost_loop(), oid=ref[1]))
+
+    # -- yield interpretation ----------------------------------------------
+    def _interpret_yield(self, value: Optional[ast.AST]) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        call = value
+        if isinstance(call.func, ast.Attribute):
+            self._interpret_method(call)
+        elif isinstance(call.func, ast.Name):
+            name = call.func.id
+            if name == "Join" and call.args and isinstance(call.args[0], ast.Name):
+                self.summary.events.append(
+                    Event("join", call.lineno, self._innermost_loop(), handle=call.args[0].id)
+                )
+                return
+            callee_key = self.m.resolve_function(self.info.key, name)
+            if callee_key is not None:
+                self._inline(callee_key, call.lineno)
+
+    def _interpret_method(self, call: ast.Call) -> None:
+        meth = call.func.attr  # type: ignore[union-attr]
+        line = call.lineno
+        if meth == "spawn":
+            inner = call.args[0] if call.args else None
+            if isinstance(inner, ast.Call) and isinstance(inner.func, ast.Name):
+                self.summary.events.append(
+                    Event("spawn", line, self._innermost_loop(), handle=None)
+                )
+            return
+        for ref in self._refs_for(call.func.value):  # type: ignore[union-attr]
+            kind = self._obj(ref).kind
+            if kind.lock_like or (kind is ObjKind.LOCK_ARRAY and ref[0] == "elem"):
+                if meth in _ACQUIRE_METHODS:
+                    self._acquire(ref, line)
+                elif meth in _RELEASE_METHODS:
+                    self._release(ref, line)
+            elif kind is ObjKind.SEMAPHORE:
+                if meth in ("p", "wait"):
+                    self._sem_op(ref, blocking=True, line=line)
+                elif meth in ("v", "post"):
+                    self._sem_op(ref, blocking=False, line=line)
+            elif kind is ObjKind.CONDITION:
+                if meth == "wait":
+                    self._cond_wait(ref, line)
+            elif kind is ObjKind.BARRIER:
+                if meth == "wait":
+                    for h in self.held:
+                        self._diag(
+                            "ANL-LK003", line,
+                            f"barrier wait while holding '{ref_name(self.m, h)}' — "
+                            f"other parties cannot arrive if they need that lock",
+                            self._obj(ref).name,
+                        )
+            elif kind.data_like:
+                if meth == "read":
+                    self._access(ref, write=False, atomic=False, line=line)
+                elif meth == "write":
+                    self._access(ref, write=True, atomic=False, line=line)
+                elif meth in ("tas", "fetch_add"):
+                    self._access(ref, write=True, atomic=True, line=line)
+
+    def _inline(self, callee_key: str, line: int) -> None:
+        """Walk a ``yield from helper(...)`` callee in the caller's state."""
+        if callee_key in self.inline_stack or len(self.inline_stack) >= _MAX_INLINE_DEPTH:
+            return
+        callee = self.m.functions.get(callee_key)
+        if callee is None:
+            return
+        sub = _Walker(
+            self.m, callee, self.diags, self.summary,
+            inline_stack=(*self.inline_stack, self.info.key),
+        )
+        sub.held = self.held          # shared state: helper's locks are ours
+        sub.loop_stack = []           # helper's waits judged in its own body
+        sub._walk_body(callee.node.body, check_exit=False)
+
+    # -- statement walk ----------------------------------------------------
+    def _walk_body(self, stmts: list, check_exit: bool = True) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt)
+        if check_exit:
+            for ref, line in self.held.items():
+                self._diag(
+                    "ANL-LK001", line,
+                    f"'{ref_name(self.m, ref)}' acquired here is still held when "
+                    f"'{self.info.name}' returns",
+                    ref_name(self.m, ref),
+                )
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            self._walk_value(stmt.value)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                self._walk_value(value, assign=stmt)
+        elif isinstance(stmt, ast.If):
+            self._walk_branches(stmt.body, stmt.orelse, stmt.lineno)
+        elif isinstance(stmt, ast.While):
+            self._walk_loop("while", stmt)
+        elif isinstance(stmt, ast.For):
+            self._walk_loop("for", stmt)
+        elif isinstance(stmt, ast.Return):
+            for ref, line in self.held.items():
+                self._diag(
+                    "ANL-LK001", stmt.lineno,
+                    f"return while still holding '{ref_name(self.m, ref)}' "
+                    f"(acquired at line {line})",
+                    ref_name(self.m, ref),
+                )
+        elif isinstance(stmt, ast.With):
+            self._walk_body(stmt.body, check_exit=False)
+        elif isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body, check_exit=False)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body, check_exit=False)
+            self._walk_body(stmt.orelse, check_exit=False)
+            self._walk_body(stmt.finalbody, check_exit=False)
+        # nested defs, imports, pass, etc. — nothing to interpret
+
+    def _walk_value(self, value: ast.AST, assign: Optional[ast.stmt] = None) -> None:
+        if isinstance(value, ast.Yield):
+            self._interpret_yield(value.value)
+        elif isinstance(value, ast.YieldFrom):
+            self._interpret_yield(value.value)
+        elif isinstance(value, ast.Await):
+            self._interpret_yield(value.value)
+        elif isinstance(value, ast.Call):
+            # host-side spawn with handle binding: w = sched.spawn(fn(...))
+            if (
+                isinstance(value.func, ast.Attribute)
+                and value.func.attr == "spawn"
+                and assign is not None
+                and isinstance(assign, ast.Assign)
+                and len(assign.targets) == 1
+                and isinstance(assign.targets[0], ast.Name)
+            ):
+                self.summary.events.append(
+                    Event(
+                        "spawn", value.lineno, self._innermost_loop(),
+                        handle=assign.targets[0].id,
+                    )
+                )
+            elif isinstance(value.func, ast.Attribute) and value.func.attr == "spawn":
+                self.summary.events.append(
+                    Event("spawn", value.lineno, self._innermost_loop(), handle=None)
+                )
+
+    @staticmethod
+    def _terminates(body: list) -> bool:
+        """Whether a branch body ends by leaving the join point entirely."""
+        return bool(body) and isinstance(
+            body[-1], (ast.Return, ast.Raise, ast.Break, ast.Continue)
+        )
+
+    def _walk_branches(self, body: list, orelse: list, line: int) -> None:
+        base_held = dict(self.held)
+        self._walk_body(body, check_exit=False)
+        then_held = self.held
+        self.held = dict(base_held)
+        self._walk_body(orelse, check_exit=False)
+        else_held = self.held
+        # A branch that returns/breaks/raises never reaches the join point,
+        # so it cannot create an imbalance there.
+        if self._terminates(body) and not self._terminates(orelse):
+            self.held = else_held
+            return
+        if self._terminates(orelse) and not self._terminates(body):
+            self.held = then_held
+            return
+        if self._terminates(body) and self._terminates(orelse):
+            self.held = {r: ln for r, ln in then_held.items() if r in else_held}
+            return
+        if set(then_held) != set(else_held):
+            for ref in sorted(set(then_held) ^ set(else_held), key=str):
+                self._diag(
+                    "ANL-LK001", line,
+                    f"'{ref_name(self.m, ref)}' is held on only one branch of this if",
+                    ref_name(self.m, ref),
+                )
+        self.held = {r: ln for r, ln in then_held.items() if r in else_held}
+
+    def _walk_loop(self, kind: str, stmt) -> None:
+        before = set(self.held)
+        self.loop_stack.append((kind, id(stmt)))
+        self._walk_body(stmt.body, check_exit=False)
+        self.loop_stack.pop()
+        after = set(self.held)
+        if before != after:
+            for ref in sorted(before ^ after, key=str):
+                self._diag(
+                    "ANL-LK001", stmt.lineno,
+                    f"lock state of '{ref_name(self.m, ref)}' changes across an "
+                    f"iteration of this loop (acquire/release imbalance)",
+                    ref_name(self.m, ref),
+                )
+            # keep only locks held throughout, a stable approximation
+            self.held = {r: ln for r, ln in self.held.items() if r in before}
+        self._walk_body(stmt.orelse, check_exit=False)
+
+
+def analyze_function(model: ProgramModel, info: FunctionInfo, diags: set) -> FunctionSummary:
+    """Walk one function; returns its event summary, adding diagnostics."""
+    summary = FunctionSummary(key=info.key)
+    walker = _Walker(model, info, diags, summary)
+    walker._walk_body(info.node.body, check_exit=True)
+    summary.sem_context()
+    return summary

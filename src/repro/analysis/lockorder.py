@@ -1,0 +1,184 @@
+"""Lock-order graph construction and deadlock-cycle reporting.
+
+Two rules:
+
+* **ANL-DL001** — the concrete lock-order graph (edges ``A -> B`` when
+  some thread acquires scalar lock ``B`` while holding ``A``) contains a
+  cycle: the classic hold-and-wait deadlock between named locks.
+
+* **ANL-DL002** — threads take *two slots of the same lock array* in an
+  order the analyzer cannot prove consistent.  This is the dining
+  philosophers: ``forks[i]`` then ``forks[(i + 1) % n]`` wraps around,
+  so the pairwise order reverses for the last philosopher and the array
+  is cyclically held-and-waited.  The ordered fix
+  (``lo, hi = sorted((i, (i + 1) % n))``; take ``forks[lo]`` first) is
+  recognised through the scanner's ordering facts and passes.
+
+Index expressions are classified symbolically: integer constants compare
+numerically; ``x`` before ``x + k`` (no ``%``) is ascending; a pair
+recorded by a ``sorted()``/``min``/``max`` unpack is ascending; anything
+containing ``%`` — modular wraparound — is unordered.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.astscan import ProgramModel
+from repro.analysis.engine import FunctionSummary, ref_name
+from repro.analysis.model import Diagnostic
+
+__all__ = ["check_lock_order"]
+
+
+def _as_int(src: str) -> int | None:
+    try:
+        node = ast.parse(src, mode="eval").body
+    except SyntaxError:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    ):
+        return -node.operand.value
+    return None
+
+
+_PLUS_CONST = re.compile(r"^\s*(?P<base>.+?)\s*\+\s*(?P<k>\d+)\s*$")
+
+
+def _elem_direction(e1: str, e2: str, ordered_names: set) -> str:
+    """``"asc"``, ``"desc"`` or ``"unknown"`` for acquiring [e1] then [e2]."""
+    if (e1, e2) in ordered_names:
+        return "asc"
+    if (e2, e1) in ordered_names:
+        return "desc"
+    if "%" in e1 or "%" in e2:
+        return "unknown"  # modular wraparound defeats any static order
+    c1, c2 = _as_int(e1), _as_int(e2)
+    if c1 is not None and c2 is not None:
+        return "asc" if c1 < c2 else "desc" if c1 > c2 else "unknown"
+    m = _PLUS_CONST.match(e2)
+    if m and m.group("base").strip() == e1.strip():
+        return "asc"
+    m = _PLUS_CONST.match(e1)
+    if m and m.group("base").strip() == e2.strip():
+        return "desc"
+    return "unknown"
+
+
+def _find_cycle(edges: dict) -> list | None:
+    """Smallest-first DFS cycle search; returns node cycle or ``None``."""
+    visiting: set = set()
+    done: set = set()
+    stack: list = []
+
+    def dfs(node) -> list | None:
+        visiting.add(node)
+        stack.append(node)
+        for nxt in sorted(edges.get(node, ()), key=str):
+            if nxt in visiting:
+                i = stack.index(nxt)
+                return stack[i:]
+            if nxt not in done:
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+        visiting.discard(node)
+        done.add(node)
+        stack.pop()
+        return None
+
+    for start in sorted(edges, key=str):
+        if start not in done:
+            cycle = dfs(start)
+            if cycle is not None:
+                # rotate to the lexicographically-smallest node for
+                # deterministic reporting
+                k = cycle.index(min(cycle, key=str))
+                return cycle[k:] + cycle[:k]
+    return None
+
+
+def check_lock_order(
+    model: ProgramModel,
+    summaries: Iterable[FunctionSummary],
+) -> set:
+    """Run both deadlock rules over the spawned threads' acquire edges."""
+    diags: set = set()
+    scalar_edges: dict = {}          # ("obj", oid) -> set of ("obj", oid)
+    edge_lines: dict = {}            # (src, dst) -> min line
+    array_pairs: list = []           # (array_oid, e1, e2, line, func_key)
+
+    for summary in summaries:
+        info = model.functions.get(summary.key)
+        ordered = info.ordered_names if info else set()
+        for held, new, line, func_key in summary.acquire_edges:
+            if held[0] == "obj" and new[0] == "obj":
+                scalar_edges.setdefault(held, set()).add(new)
+                key = (held, new)
+                edge_lines[key] = min(edge_lines.get(key, line), line)
+            elif held[0] == "elem" and new[0] == "elem" and held[1] == new[1]:
+                if held[2] != new[2]:
+                    array_pairs.append((held[1], held[2], new[2], line, func_key, ordered))
+            # scalar<->array-slot edges are ignored: too coarse to order
+            # statically without false positives.
+
+    cycle = _find_cycle(scalar_edges)
+    if cycle is not None:
+        names = [ref_name(model, r) for r in cycle]
+        lines = [
+            edge_lines.get((cycle[i], cycle[(i + 1) % len(cycle)]), 0)
+            for i in range(len(cycle))
+        ]
+        line = min(ln for ln in lines if ln) if any(lines) else 0
+        diags.add(
+            Diagnostic(
+                model.path, line, "ANL-DL001",
+                "lock-order cycle: " + " -> ".join([*names, names[0]]) +
+                " — threads holding one lock while waiting for the next can deadlock",
+                names[0],
+            )
+        )
+
+    # Per array: every two-slot acquisition must go the same provable way.
+    by_array: dict = {}
+    for arr, e1, e2, line, func_key, ordered in array_pairs:
+        by_array.setdefault(arr, []).append((e1, e2, line, ordered))
+    for arr in sorted(by_array):
+        directions = set()
+        first_bad: tuple | None = None
+        for e1, e2, line, ordered in by_array[arr]:
+            d = _elem_direction(e1, e2, ordered)
+            directions.add(d)
+            if d == "unknown" and first_bad is None:
+                first_bad = (e1, e2, line)
+        name = model.obj_name(arr)
+        if "unknown" in directions:
+            e1, e2, line = first_bad  # type: ignore[misc]
+            diags.add(
+                Diagnostic(
+                    model.path, line, "ANL-DL002",
+                    f"'{name}[{e2}]' acquired while holding '{name}[{e1}]' with no "
+                    f"provable index order — wraparound makes the hold-and-wait "
+                    f"cyclic (order the indices, e.g. lo, hi = sorted(...))",
+                    name,
+                )
+            )
+        elif "asc" in directions and "desc" in directions:
+            line = min(ln for _, _, ln, _ in by_array[arr])
+            diags.add(
+                Diagnostic(
+                    model.path, line, "ANL-DL002",
+                    f"slots of '{name}' are acquired in ascending order on some "
+                    f"paths and descending on others — orders must agree globally",
+                    name,
+                )
+            )
+    return diags

@@ -1,0 +1,164 @@
+"""Static lockset pass: unprotected shared accesses across threads.
+
+For every shared object, every pair of accesses from *different thread
+instances* where at least one side writes must be protected by a common
+scalar lock — unless the pair is ordered by one of the disciplines the
+analyzer can prove:
+
+* **semaphore handoff** — one side V's a semaphore after its access and
+  the other P's the same semaphore before its own (the producer/consumer
+  token protocol of Programming Assignment 2/3);
+* **join ordering** — the spawner joins the first thread before spawning
+  the second (the paper's bank-account step iv), read off the spawner's
+  linear spawn/join event sequence.
+
+An unprotected pair whose write side holds no lock at all is
+**ANL-RC001** (error); if every write is locked but some reader skips
+the lock, it is **ANL-RC002** (warning) — the reader may see a torn or
+stale protocol state.
+
+Atomic accesses (``tas``/``fetch_add``) and ``sync=True`` flag variables
+(spin-lock internals) are exempt, mirroring the dynamic detector.
+
+Instance reasoning: a thread function spawned in a loop counts as *many*
+instances, so it conflicts with itself; a scalar lock held by two
+instances of the same function is the same actual lock and protects,
+but an array-slot lock reference (``forks[i]``) generally denotes a
+*different* slot per instance and never counts as common protection.
+"""
+
+from __future__ import annotations
+
+
+from repro.analysis.astscan import ProgramModel
+from repro.analysis.model import Diagnostic
+
+__all__ = ["check_locksets"]
+
+
+def _join_order(model: ProgramModel, summaries: dict) -> set:
+    """Pairs ``(site_a.index, site_b.index)`` where a is joined before b spawns."""
+    ordered: set = set()
+    by_caller: dict = {}
+    for site in model.spawns:
+        by_caller.setdefault(site.caller_key, []).append(site)
+    for caller_key, sites in by_caller.items():
+        summary = summaries.get(caller_key)
+        if summary is None:
+            continue
+        site_by_line = {s.line: s for s in sites}
+        # positions of each site's spawn event and each handle's joins
+        spawn_pos: dict = {}
+        join_pos: dict = {}
+        for pos, ev in enumerate(summary.events):
+            if ev.kind == "spawn" and ev.line in site_by_line:
+                spawn_pos[site_by_line[ev.line].index] = (pos, ev.handle)
+            elif ev.kind == "join" and ev.handle is not None:
+                join_pos.setdefault(ev.handle, []).append(pos)
+        for idx_a, (pos_a, handle_a) in spawn_pos.items():
+            if handle_a is None:
+                continue
+            joins = join_pos.get(handle_a, [])
+            for idx_b, (pos_b, _) in spawn_pos.items():
+                if idx_a != idx_b and any(j < pos_b for j in joins):
+                    ordered.add((idx_a, idx_b))
+    return ordered
+
+
+def check_locksets(
+    model: ProgramModel,
+    summaries: dict,
+) -> set:
+    """Run the static lockset rule over every spawned thread instance."""
+    diags: set = set()
+    ordered_pairs = _join_order(model, summaries)
+
+    # gather (spawn_site, access_event) per shared object
+    per_object: dict = {}
+    for site in model.spawns:
+        summary = summaries.get(site.callee_key)
+        if summary is None:
+            continue
+        for ev in summary.events:
+            if ev.kind != "access" or ev.access is None or ev.access.atomic:
+                continue
+            obj = model.objects[ev.access.oid]
+            if obj.sync or not obj.kind.data_like:
+                continue
+            per_object.setdefault(ev.access.oid, []).append((site, ev))
+
+    for oid in sorted(per_object):
+        entries = per_object[oid]
+        sites = {site.index for site, _ in entries}
+        many_self = any(site.many for site, _ in entries)
+        if len(sites) < 2 and not many_self:
+            continue
+        if not any(ev.access.write for _, ev in entries):
+            continue
+
+        bad_writes: list = []
+        bad_reads: list = []
+        for i, (site_a, ev_a) in enumerate(entries):
+            for site_b, ev_b in entries[i:]:
+                same_site = site_a.index == site_b.index
+                if same_site and not site_a.many:
+                    continue
+                if ev_a is ev_b and not site_a.many:
+                    continue
+                a, b = ev_a.access, ev_b.access
+                if not (a.write or b.write):
+                    continue
+                # Owner-computes: two instances of the same loop-spawned
+                # function indexing by the same bare parameter name own
+                # different slots (each instance gets its own index).
+                if (
+                    same_site
+                    and a.elem is not None
+                    and a.elem == b.elem
+                    and a.elem.isidentifier()
+                ):
+                    continue
+                common = {
+                    r for r in a.held & b.held
+                    if r[0] == "obj" and model.objects[r[1]].kind.lock_like
+                }
+                if common:
+                    continue
+                if (getattr(ev_a, "publishes", frozenset()) & getattr(ev_b, "acquired_via", frozenset())
+                        or getattr(ev_b, "publishes", frozenset()) & getattr(ev_a, "acquired_via", frozenset())):
+                    continue
+                if ((site_a.index, site_b.index) in ordered_pairs
+                        or (site_b.index, site_a.index) in ordered_pairs):
+                    continue
+                for acc in (a, b):
+                    if acc.write:
+                        bad_writes.append(acc)
+                    else:
+                        bad_reads.append(acc)
+
+        if not (bad_writes or bad_reads):
+            continue
+        name = model.obj_name(oid)
+        unlocked_writes = [a for a in bad_writes if not a.held]
+        if unlocked_writes or bad_writes:
+            target = min(unlocked_writes or bad_writes, key=lambda a: a.line)
+            diags.add(
+                Diagnostic(
+                    model.path, target.line, "ANL-RC001",
+                    f"'{name}' is written here with no lock consistently protecting "
+                    f"it across the threads that access it — concurrent "
+                    f"read-modify-write interleavings can lose updates",
+                    name,
+                )
+            )
+        else:
+            target = min(bad_reads, key=lambda a: a.line)
+            diags.add(
+                Diagnostic(
+                    model.path, target.line, "ANL-RC002",
+                    f"'{name}' is read here without the lock its writers hold — "
+                    f"the reader can observe a torn or stale value",
+                    name,
+                )
+            )
+    return diags

@@ -24,7 +24,7 @@ import os
 import subprocess
 import threading
 import time
-from typing import Callable, Optional
+from typing import Callable
 
 from repro._errors import JobError
 from repro.cluster.job import Job, JobKind

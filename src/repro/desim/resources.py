@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque
 
-from repro._errors import ResourceError, SimulationError
+from repro._errors import ResourceError
 from repro.desim.kernel import Event, Simulator
 
 __all__ = ["Store", "Resource", "Container"]

@@ -9,7 +9,7 @@ covers every lab.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["TCPPTopic", "CourseModule", "COURSE_PLAN", "topics_covered_by_labs"]
 

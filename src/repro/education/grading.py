@@ -16,6 +16,13 @@ For every (student, lab) pair:
 3. The observed behaviour maps to a numeric score: passing behaviour
    scores 70–100, exposed defects 30–69 (style/partial credit noise).
    Pass = score ≥ 70, the paper's criterion.
+
+Alongside the numeric score, the grader attaches *static feedback*: the
+:mod:`repro.analysis` diagnostics for the fixture matching the student's
+submission (the broken fixture for an incorrect submission, the fixed
+one — clean by the corpus contract — for a correct one).  This is the
+concept-tagged "here is what the analyzer would have told you before
+you submitted" report the portal's lint endpoint gives live students.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._errors import GradingError
+from repro.analysis import analyze_file
+from repro.analysis.corpus import corpus_case, fixture_path
 from repro.desim.rng import substream
 from repro.education.students import Cohort, Student, difficulty_for_rate
 from repro.labs import get_lab
@@ -51,6 +60,12 @@ class GradeBook:
     """All lab scores for a cohort: ``scores[lab_id][student_id]``."""
 
     scores: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: ``feedback[lab_id][student_id]`` → concept-tagged analyzer lines.
+    feedback: dict[str, dict[str, tuple]] = field(default_factory=dict)
+
+    def feedback_for(self, lab_id: str, student_id: str) -> tuple:
+        """Static-analysis feedback lines for one grading event."""
+        return self.feedback.get(lab_id, {}).get(student_id, ())
 
     def passing_rate(self, lab_id: str, threshold: float = 70.0) -> float:
         """Fraction of students scoring at least ``threshold``."""
@@ -80,6 +95,8 @@ class LabGrader:
         # The harness is deterministic per (lab, correctness), so cache it —
         # grading 19 students must not re-explore the philosophers 19 times.
         self._behaviour_cache: dict[tuple[str, bool], bool] = {}
+        # Likewise the analyzer: one run per (lab, correctness) fixture.
+        self._feedback_cache: dict[tuple[str, bool], tuple] = {}
 
     # -- single grading events ------------------------------------------------
     def behaviour_passes(self, lab_id: str, correct_submission: bool) -> bool:
@@ -101,8 +118,34 @@ class LabGrader:
             return find_deadlock_witness() is None  # a found deadlock == defect exposed
         return all(lab.run("broken", seed=s).passed for s in _GRADING_SEEDS)
 
+    def static_feedback(self, lab_id: str, correct_submission: bool) -> tuple:
+        """Analyzer feedback lines for the fixture matching a submission.
+
+        Empty for labs without a corpus fixture and (by the corpus
+        zero-false-positive contract) for every correct submission.
+        """
+        key = (lab_id, correct_submission)
+        if key not in self._feedback_cache:
+            case = corpus_case(lab_id, "fixed" if correct_submission else "broken")
+            lines: tuple = ()
+            if case is not None:
+                report = analyze_file(fixture_path(case))
+                lines = tuple(
+                    f"{d.rule_id} [{d.concept}] line {d.line}: {d.message}"
+                    for d in report.diagnostics
+                )
+            self._feedback_cache[key] = lines
+        return self._feedback_cache[key]
+
     def grade_student(self, student: Student, lab_id: str, rng: np.random.Generator) -> float:
         """One (student, lab) grading event → numeric score."""
+        score, _ = self._grade_event(student, lab_id, rng)
+        return score
+
+    def _grade_event(
+        self, student: Student, lab_id: str, rng: np.random.Generator
+    ) -> tuple[float, bool]:
+        """Score one event; also reports whether the submission was correct."""
         difficulty = self.difficulties[lab_id]
         correct = student.attempts_correct_submission(difficulty, rng)
         behaved = self.behaviour_passes(lab_id, correct)
@@ -110,22 +153,30 @@ class LabGrader:
             # Correct behaviour: 70..100, better students lose fewer style points.
             base = 85.0 + 6.0 * student.skill
             score = base + rng.normal(0.0, 4.0)
-            return float(np.clip(score, 70.0, 100.0))
+            return float(np.clip(score, 70.0, 100.0)), correct
         # Defect exposed by the harness: partial credit below the bar.
         base = 55.0 + 5.0 * student.skill
         score = base + rng.normal(0.0, 6.0)
-        return float(np.clip(score, 25.0, 69.0))
+        return float(np.clip(score, 25.0, 69.0)), correct
 
     # -- cohort-level ----------------------------------------------------------
     def grade_cohort(self, cohort: Cohort) -> GradeBook:
-        """Grade every student on every lab; fills ``student.lab_scores``."""
+        """Grade every student on every lab; fills ``student.lab_scores``.
+
+        Each event's static-analysis feedback (the analyzer's verdict on
+        the fixture matching the submission) lands in
+        :attr:`GradeBook.feedback`.
+        """
         book = GradeBook()
         for lab_id in sorted(self.lab_rates):
             lab_scores: dict[str, float] = {}
+            lab_feedback: dict[str, tuple] = {}
             for student in cohort:
                 rng = substream(self.seed, f"grade:{lab_id}:{student.student_id}")
-                score = self.grade_student(student, lab_id, rng)
+                score, correct = self._grade_event(student, lab_id, rng)
                 lab_scores[student.student_id] = score
+                lab_feedback[student.student_id] = self.static_feedback(lab_id, correct)
                 student.lab_scores[lab_id] = score
             book.scores[lab_id] = lab_scores
+            book.feedback[lab_id] = lab_feedback
         return book

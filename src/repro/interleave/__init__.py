@@ -77,7 +77,12 @@ from repro.interleave.scheduler import (
     RunResult,
     Scheduler,
 )
-from repro.interleave.detector import RaceReport
+from repro.interleave.detector import (
+    BaseDetector,
+    HappensBeforeDetector,
+    LocksetDetector,
+    RaceReport,
+)
 from repro.interleave.explorer import ExplorationResult, explore
 
 __all__ = [
@@ -91,5 +96,6 @@ __all__ = [
     # scheduler
     "Scheduler", "RunResult", "RandomPolicy", "RoundRobinPolicy", "FixedPolicy",
     # analysis
-    "RaceReport", "explore", "ExplorationResult",
+    "RaceReport", "BaseDetector", "LocksetDetector", "HappensBeforeDetector",
+    "explore", "ExplorationResult",
 ]

@@ -1,33 +1,57 @@
-"""Eraser-style lockset data-race detection.
+"""Dynamic data-race detection: Eraser locksets + FastTrack happens-before.
 
-The classic lockset algorithm (Savage et al., *Eraser*, SOSP 1997),
-adapted to the virtual-thread sandbox:
+Two detectors share one scheduler-facing interface (:class:`BaseDetector`):
 
-* each shared variable carries a *candidate lockset* ``C(v)``, initially
-  "all locks";
-* on every access, ``C(v)`` is intersected with the locks the accessing
-  thread currently holds;
-* a variable written by two or more distinct threads whose candidate
-  lockset has become empty is reported as a race.
+* :class:`LocksetDetector` — the classic lockset algorithm (Savage et
+  al., *Eraser*, SOSP 1997): each shared variable carries a candidate
+  lockset ``C(v)`` intersected with the accessor's held locks; a
+  variable written by two or more threads whose candidate lockset has
+  emptied is reported.  Lockset analysis is *predictive* (it flags a
+  missing locking discipline even when the schedule happened to be
+  benign) but raises false alarms on accesses ordered by non-lock
+  synchronisation.  Two refinements cut the noise: the standard
+  virgin/exclusive state machine, and a start/join ordering exemption —
+  when the second accessor is ordered after everything the first owner
+  did (it joined the owner, or was spawned after the owner was joined),
+  ownership *transfers* instead of the variable going shared.
 
-Atomic RMW operations (TAS, fetch-add) are exempt — they are the
-hardware-provided escape hatch the spin-lock labs rely on.  A small
-state machine suppresses false alarms for variables only ever touched by
-one thread or only read after an initialising write (the standard Eraser
-refinements).
+* :class:`HappensBeforeDetector` — a FastTrack-style vector-clock
+  detector (Flanagan & Freund, PLDI 2009): every thread carries a
+  vector clock, every synchronisation object (mutex, semaphore,
+  announced spin lock, ``sync`` variable) carries the clock of its last
+  release, and an access races iff it is not happens-before ordered
+  after the previous conflicting access.  Precise for the observed
+  schedule: fork/join and semaphore-ordered accesses are never
+  reported, while a genuinely unordered lost update still is.
+
+Atomic RMW operations (TAS, fetch-add) never race themselves — they are
+the hardware-provided escape hatch the spin-lock labs rely on — but they
+carry release/acquire ordering for the happens-before layer, as do reads
+and writes of ``sync``-flagged variables (that is what makes a homegrown
+TAS lock publish its critical section).
+
+Reports are deterministically ordered (by variable name, then the
+accessing-thread tuple) so analyzer and explorer output is stable across
+runs and usable as golden test fixtures.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.interleave.scheduler import VThread
     from repro.interleave.state import SharedVar
 
-__all__ = ["RaceReport", "LocksetDetector"]
+__all__ = [
+    "RaceReport",
+    "BaseDetector",
+    "LocksetDetector",
+    "HappensBeforeDetector",
+    "VectorClock",
+]
 
 
 class _VarState(enum.Enum):
@@ -43,9 +67,14 @@ class RaceReport:
 
     var_name: str
     threads: tuple[str, ...]
-    """Names of threads that touched the variable unprotected."""
+    """Names of threads that touched the variable unprotected (sorted)."""
     first_unprotected_writer: str
     """Thread whose write emptied the candidate lockset."""
+
+    @property
+    def sort_key(self) -> tuple:
+        """Stable ordering key: variable name, then accessor tuple."""
+        return (self.var_name, self.threads, self.first_unprotected_writer)
 
     def __str__(self) -> str:
         who = ", ".join(self.threads)
@@ -53,6 +82,40 @@ class RaceReport:
             f"data race on {self.var_name!r}: accessed by [{who}] with no consistent lock; "
             f"first unprotected write by {self.first_unprotected_writer!r}"
         )
+
+
+class BaseDetector:
+    """The scheduler-facing detector interface.
+
+    ``record`` observes shared-memory accesses; the remaining hooks
+    observe synchronisation events.  The default implementations ignore
+    everything, so a detector overrides only what its algorithm needs.
+    """
+
+    def record(self, thread: "VThread", var: "SharedVar", is_write: bool, atomic: bool = False) -> None:
+        """Observe one Read/Write/RMW."""
+
+    def acquire(self, thread: "VThread", obj: object) -> None:
+        """``thread`` acquired mutex/announced-lock ``obj``."""
+
+    def release(self, thread: "VThread", obj: object) -> None:
+        """``thread`` released mutex/announced-lock ``obj``."""
+
+    def sem_p(self, thread: "VThread", sem: object) -> None:
+        """``thread`` completed a P (wait/down) on ``sem``."""
+
+    def sem_v(self, thread: "VThread", sem: object) -> None:
+        """``thread`` performed a V (signal/up) on ``sem``."""
+
+    def fork(self, parent: "VThread", child: "VThread") -> None:
+        """``parent`` spawned ``child`` mid-run."""
+
+    def join(self, joiner: "VThread", target: "VThread") -> None:
+        """``joiner`` observed the completion of ``target``."""
+
+    def reports(self) -> list[RaceReport]:
+        """All races detected so far, deterministically ordered."""
+        return []
 
 
 @dataclass
@@ -64,13 +127,32 @@ class _Tracking:
     reported: bool = False
 
 
-class LocksetDetector:
+class LocksetDetector(BaseDetector):
     """Per-run lockset race detector fed by the scheduler."""
 
     def __init__(self) -> None:
         self._track: dict[int, _Tracking] = {}
         self._names: dict[int, str] = {}
         self._reports: list[RaceReport] = []
+        #: per-thread set of thread names whose *entire* execution is
+        #: ordered before this thread's current point (via join, or via
+        #: being spawned by a thread that had joined them).
+        self._ordered_after: dict[int, set[str]] = {}
+
+    # -- start/join ordering ------------------------------------------------
+    def _ordered(self, thread: "VThread") -> set[str]:
+        return self._ordered_after.setdefault(thread.tid, set())
+
+    def fork(self, parent: "VThread", child: "VThread") -> None:
+        # Everything the parent had already observed as finished is also
+        # finished from the child's perspective; the parent itself is
+        # *not* added (it keeps running concurrently with the child).
+        self._ordered(child).update(self._ordered(parent))
+
+    def join(self, joiner: "VThread", target: "VThread") -> None:
+        ordered = self._ordered(joiner)
+        ordered.add(target.name)
+        ordered.update(self._ordered(target))
 
     def record(self, thread: "VThread", var: "SharedVar", is_write: bool, atomic: bool = False) -> None:
         """Observe one access. Called by the scheduler on every Read/Write/RMW."""
@@ -94,7 +176,16 @@ class LocksetDetector:
         if tr.state is _VarState.EXCLUSIVE:
             if thread.name == tr.owner:
                 return
-            # Second thread arrives: start lockset tracking.
+            if tr.owner in self._ordered(thread):
+                # Start/join exemption: every access by the previous
+                # owner happened before this one, so the variable is
+                # still effectively thread-local.  Transfer ownership
+                # instead of dropping into lockset tracking (the old
+                # behaviour discarded this ordering and reported a
+                # false race on e.g. write-join-then-write patterns).
+                tr.owner = thread.name
+                return
+            # Second (unordered) thread arrives: start lockset tracking.
             tr.lockset = held
             tr.state = _VarState.SHARED_MODIFIED if is_write else _VarState.SHARED
         else:
@@ -114,5 +205,173 @@ class LocksetDetector:
             )
 
     def reports(self) -> list[RaceReport]:
-        """All races detected so far, in detection order."""
-        return list(self._reports)
+        """All races detected so far, ordered by (var, threads)."""
+        return sorted(self._reports, key=lambda r: r.sort_key)
+
+
+class VectorClock:
+    """A sparse vector clock over thread ids (dict-backed)."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Dict[int, int] | None = None) -> None:
+        self.clocks = dict(clocks) if clocks else {}
+
+    def copy(self) -> "VectorClock":
+        """Independent copy (used when publishing to a sync object)."""
+        return VectorClock(self.clocks)
+
+    def tick(self, tid: int) -> None:
+        """Advance ``tid``'s own component (a release event)."""
+        self.clocks[tid] = self.clocks.get(tid, 0) + 1
+
+    def merge(self, other: "VectorClock") -> None:
+        """Elementwise max — the join of two clocks (an acquire event)."""
+        mine = self.clocks
+        for tid, c in other.clocks.items():
+            if c > mine.get(tid, 0):
+                mine[tid] = c
+
+    def get(self, tid: int) -> int:
+        return self.clocks.get(tid, 0)
+
+    def covers(self, tid: int, clock: int) -> bool:
+        """Does this clock dominate epoch ``(tid, clock)``?"""
+        return self.clocks.get(tid, 0) >= clock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC{self.clocks!r}"
+
+
+@dataclass
+class _HBVar:
+    """FastTrack per-variable state: last-write epoch + read clocks."""
+
+    write_tid: int | None = None
+    write_clock: int = 0
+    write_name: str = ""
+    reads: dict[int, int] = field(default_factory=dict)  # tid -> clock
+    read_names: dict[int, str] = field(default_factory=dict)
+    accessors: set[str] = field(default_factory=set)
+    reported: bool = False
+
+
+class HappensBeforeDetector(BaseDetector):
+    """FastTrack-style vector-clock race detector.
+
+    Precise for the observed schedule: an access is racy iff it is not
+    happens-before ordered after every conflicting earlier access,
+    where the happens-before edges come from mutex release→acquire,
+    semaphore V→P, announced spin-lock release→acquire, ``sync``
+    variable write→read (the TAS flag handoff), fork and join.
+    """
+
+    def __init__(self) -> None:
+        self._vc: dict[int, VectorClock] = {}          # tid -> thread clock
+        self._sync: dict[int, VectorClock] = {}        # id(obj) -> last-release clock
+        self._vars: dict[int, _HBVar] = {}
+        self._names: dict[int, str] = {}
+        self._reports: list[RaceReport] = []
+
+    # -- clocks --------------------------------------------------------------
+    def _clock(self, thread: "VThread") -> VectorClock:
+        vc = self._vc.get(thread.tid)
+        if vc is None:
+            vc = self._vc[thread.tid] = VectorClock({thread.tid: 1})
+        return vc
+
+    def _acquire_from(self, thread: "VThread", obj: object) -> None:
+        src = self._sync.get(id(obj))
+        if src is not None:
+            self._clock(thread).merge(src)
+
+    def _release_to(self, thread: "VThread", obj: object) -> None:
+        vc = self._clock(thread)
+        slot = self._sync.get(id(obj))
+        if slot is None:
+            self._sync[id(obj)] = vc.copy()
+        else:
+            slot.merge(vc)
+        vc.tick(thread.tid)
+
+    # -- synchronisation hooks ----------------------------------------------
+    acquire = _acquire_from
+    release = _release_to
+    sem_p = _acquire_from
+    sem_v = _release_to
+
+    def fork(self, parent: "VThread", child: "VThread") -> None:
+        pvc = self._clock(parent)
+        cvc = pvc.copy()
+        cvc.tick(child.tid)
+        self._vc[child.tid] = cvc
+        pvc.tick(parent.tid)
+
+    def join(self, joiner: "VThread", target: "VThread") -> None:
+        self._clock(joiner).merge(self._clock(target))
+
+    # -- accesses ------------------------------------------------------------
+    def record(self, thread: "VThread", var: "SharedVar", is_write: bool, atomic: bool = False) -> None:
+        if atomic or getattr(var, "sync", False):
+            # RMW ops and sync-flagged variables cannot race, but they
+            # *order*: a write (or the write half of an RMW) publishes
+            # the writer's clock, a read (or the read half) acquires it.
+            # This is exactly the release/acquire pair a TAS spin lock
+            # is built from.
+            if is_write:
+                if atomic:
+                    self._acquire_from(thread, var)
+                self._release_to(thread, var)
+            else:
+                self._acquire_from(thread, var)
+            return
+
+        key = id(var)
+        st = self._vars.get(key)
+        if st is None:
+            st = self._vars[key] = _HBVar()
+            self._names[key] = var.name
+        st.accessors.add(thread.name)
+        vc = self._clock(thread)
+
+        if is_write:
+            racy_with: str | None = None
+            if st.write_tid is not None and not vc.covers(st.write_tid, st.write_clock):
+                racy_with = st.write_name
+            if racy_with is None:
+                for tid, clock in st.reads.items():
+                    if tid != thread.tid and not vc.covers(tid, clock):
+                        racy_with = st.read_names[tid]
+                        break
+            if racy_with is not None:
+                self._report(key, st, thread.name, writer=thread.name)
+            st.write_tid = thread.tid
+            st.write_clock = vc.get(thread.tid)
+            st.write_name = thread.name
+            st.reads.clear()
+            st.read_names.clear()
+        else:
+            if (
+                st.write_tid is not None
+                and st.write_tid != thread.tid
+                and not vc.covers(st.write_tid, st.write_clock)
+            ):
+                self._report(key, st, thread.name, writer=st.write_name)
+            st.reads[thread.tid] = vc.get(thread.tid)
+            st.read_names[thread.tid] = thread.name
+
+    def _report(self, key: int, st: _HBVar, accessor: str, writer: str) -> None:
+        if st.reported:
+            return
+        st.reported = True
+        self._reports.append(
+            RaceReport(
+                var_name=self._names[key],
+                threads=tuple(sorted(st.accessors)),
+                first_unprotected_writer=writer,
+            )
+        )
+
+    def reports(self) -> list[RaceReport]:
+        """All races detected so far, ordered by (var, threads)."""
+        return sorted(self._reports, key=lambda r: r.sort_key)

@@ -148,4 +148,7 @@ def explore(
             for alt in range(1, n_runnable):
                 pending.append(tuple(choices[:i]) + (alt,))
 
+    # Deterministic output: race strings sorted, not in encounter order,
+    # so exploration reports are usable as golden fixtures.
+    result.races.sort()
     return result

@@ -18,7 +18,12 @@ import numpy as np
 
 from repro._errors import DeadlockError, SimulationError
 from repro.interleave import ops as O
-from repro.interleave.detector import LocksetDetector, RaceReport
+from repro.interleave.detector import (
+    BaseDetector,
+    HappensBeforeDetector,
+    LocksetDetector,
+    RaceReport,
+)
 
 __all__ = [
     "ThreadState",
@@ -165,7 +170,16 @@ class Scheduler:
     max_steps:
         Safety bound; hitting it sets ``RunResult.bounded``.
     detect_races:
-        Run the Eraser-style lockset detector alongside execution.
+        Run a race detector alongside execution.
+    happens_before:
+        With ``detect_races``, use the FastTrack-style vector-clock
+        detector (:class:`~repro.interleave.detector.HappensBeforeDetector`)
+        instead of the Eraser lockset detector: fork/join and
+        semaphore-ordered accesses stop producing false positives, at
+        the cost of only seeing races the observed schedule exposes.
+    detector:
+        Explicit :class:`~repro.interleave.detector.BaseDetector`
+        instance; overrides ``detect_races``/``happens_before``.
     """
 
     def __init__(
@@ -174,15 +188,20 @@ class Scheduler:
         policy: Policy | None = None,
         max_steps: int = 1_000_000,
         detect_races: bool = True,
+        happens_before: bool = False,
+        detector: BaseDetector | None = None,
     ) -> None:
         if policy is None:
             policy = RandomPolicy(seed if seed is not None else 0)
         self.policy = policy
         self.max_steps = max_steps
         self.threads: list[VThread] = []
-        self._detector = LocksetDetector() if detect_races else None
+        if detector is None and detect_races:
+            detector = HappensBeforeDetector() if happens_before else LocksetDetector()
+        self._detector = detector
         self.access_hooks: list[Callable[[VThread, O.Op], None]] = []
         self._step_count = 0
+        self._current: Optional[VThread] = None
 
     # -- construction ----------------------------------------------------
     def spawn(self, gen: Generator, name: str | None = None) -> VThread:
@@ -194,6 +213,10 @@ class Scheduler:
         tid = len(self.threads)
         t = VThread(tid, name or f"thread-{tid}", gen)
         self.threads.append(t)
+        # A spawn from inside a running thread is a fork edge: accesses
+        # the spawner made before this point happen-before the child.
+        if self._current is not None and self._detector is not None:
+            self._detector.fork(self._current, t)
         return t
 
     # -- running ----------------------------------------------------------
@@ -224,6 +247,7 @@ class Scheduler:
             self._step_count += 1
             self._step(runnable[idx])
 
+        self._current = None  # host-side spawns after the run are not forks
         result.steps = self._step_count
         for t in self.threads:
             if t.state is ThreadState.DONE:
@@ -237,6 +261,7 @@ class Scheduler:
     # -- single step -------------------------------------------------------
     def _step(self, t: VThread) -> None:
         t.steps += 1
+        self._current = t
         try:
             if t._throw_exc is not None:
                 exc, t._throw_exc = t._throw_exc, None
@@ -292,6 +317,8 @@ class Scheduler:
                 m.owner = t
                 m.acquisitions += 1
                 t.held_mutexes.add(m)
+                if self._detector is not None:
+                    self._detector.acquire(t, m)
                 t._send_value = None
             else:
                 if m.owner is t:
@@ -319,14 +346,20 @@ class Scheduler:
             s = op.sem
             if s.count > 0:
                 s.count -= 1
+                if self._detector is not None:
+                    self._detector.sem_p(t, s)
                 t._send_value = None
             else:
                 s.waiters.append(t)
                 self._block(t, s)
         elif isinstance(op, O.SemV):
             s = op.sem
+            if self._detector is not None:
+                self._detector.sem_v(t, s)
             if s.waiters:
                 w = s.waiters.pop(0)
+                if self._detector is not None:
+                    self._detector.sem_p(w, s)
                 self._unblock(w, value=None)
             else:
                 s.count += 1
@@ -355,6 +388,8 @@ class Scheduler:
         elif isinstance(op, O.Join):
             target = op.thread
             if target.finished:
+                if self._detector is not None:
+                    self._detector.join(t, target)
                 self._deliver_join(t, target)
             else:
                 target.joiners.append(t)
@@ -362,7 +397,11 @@ class Scheduler:
         elif isinstance(op, O.LockAnnounce):
             if op.acquired:
                 t.held_annotations.add(op.lock.name)
+                if self._detector is not None:
+                    self._detector.acquire(t, op.lock)
             else:
+                if self._detector is not None:
+                    self._detector.release(t, op.lock)
                 t.held_annotations.discard(op.lock.name)
             t._send_value = None
         elif isinstance(op, O.Nop):
@@ -386,11 +425,15 @@ class Scheduler:
 
     def _release_mutex(self, t: VThread, m) -> None:
         t.held_mutexes.discard(m)
+        if self._detector is not None:
+            self._detector.release(t, m)
         if m.waiters:
             w = m.waiters.pop(0)
             m.owner = w
             m.acquisitions += 1
             w.held_mutexes.add(m)
+            if self._detector is not None:
+                self._detector.acquire(w, m)
             self._unblock(w, value=None)
         else:
             m.owner = None
@@ -401,6 +444,8 @@ class Scheduler:
             m.owner = w
             m.acquisitions += 1
             w.held_mutexes.add(m)
+            if self._detector is not None:
+                self._detector.acquire(w, m)
             self._unblock(w, value=None)
         else:
             m.waiters.append(w)
@@ -425,6 +470,8 @@ class Scheduler:
         for m in list(t.held_mutexes):
             self._release_mutex(t, m)
         for j in t.joiners:
+            if self._detector is not None:
+                self._detector.join(j, t)
             self._deliver_join(j, t)
             self._unblock_join(j)
         t.joiners.clear()
@@ -454,14 +501,20 @@ class Scheduler:
 
     @staticmethod
     def _find_cycle(edges: dict[str, tuple[str, str]]) -> list[tuple[str, str]]:
-        for start in edges:
+        for start in sorted(edges):
             seen: list[str] = []
             cur = start
             while cur in edges and cur not in seen:
                 seen.append(cur)
                 cur = edges[cur][0]
             if cur in seen:
-                # cycle from first occurrence of cur
+                # cycle from first occurrence of cur, rotated to start at
+                # the lexicographically smallest thread so the same
+                # deadlock always prints the same cycle (golden-fixture
+                # friendly).
                 idx = seen.index(cur)
-                return [(n, edges[n][1]) for n in seen[idx:]]
+                cycle = seen[idx:]
+                lo = cycle.index(min(cycle))
+                cycle = cycle[lo:] + cycle[:lo]
+                return [(n, edges[n][1]) for n in cycle]
         return []

@@ -1,0 +1,19 @@
+"""Student-style lab submissions used as the static-analysis corpus.
+
+Each module here is a *standalone* program the way a student would hand
+it in: shared state built in ``run(seed)``, thread bodies as generator
+functions, one bug (or its fix) per file.  The ``broken`` files are
+intentionally wrong — that is the point: the analyzer in
+:mod:`repro.analysis` must flag each broken file with the expected
+diagnostics and stay silent on each fixed one (the zero-false-positive
+bar).  Expected diagnostics per file live in
+:mod:`repro.analysis.corpus`.
+
+Every fixture also exposes ``run(seed) -> (RunResult, payload)`` so the
+same program can be executed under the dynamic detectors and the
+static/dynamic verdicts cross-checked.
+
+These files are excluded from the codebase lint gate
+(``python -m repro.analysis --self-check``): their findings are
+deliberate.
+"""

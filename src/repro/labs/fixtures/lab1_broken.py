@@ -1,0 +1,22 @@
+"""Lab 1 submission, broken: two threads bump a counter with no lock."""
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedVar
+
+ITERATIONS = 25
+THREADS = 2
+
+
+def worker(counter, n):
+    for _ in range(n):
+        value = yield counter.read()
+        yield Nop("compute value + 1")
+        yield counter.write(value + 1)
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    counter = SharedVar("counter", 0)
+    for i in range(THREADS):
+        sched.spawn(worker(counter, ITERATIONS), name=f"worker-{i}")
+    result = sched.run()
+    return result, counter.value

@@ -1,0 +1,24 @@
+"""Lab 1 submission, fixed: the increment runs inside a mutex."""
+
+from repro.interleave import RandomPolicy, Scheduler, SharedVar, VMutex
+
+ITERATIONS = 25
+THREADS = 2
+
+
+def worker(counter, lock, n):
+    for _ in range(n):
+        yield lock.acquire()
+        value = yield counter.read()
+        yield counter.write(value + 1)
+        yield lock.release()
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    counter = SharedVar("counter", 0)
+    lock = VMutex("counter_lock")
+    for i in range(THREADS):
+        sched.spawn(worker(counter, lock, ITERATIONS), name=f"worker-{i}")
+    result = sched.run()
+    return result, counter.value

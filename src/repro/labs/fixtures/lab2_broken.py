@@ -1,0 +1,23 @@
+"""Lab 2 submission, broken: the TAS lock exists but is never taken."""
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedVar, TASLock
+
+ITERATIONS = 20
+THREADS = 2
+
+
+def worker(shared_data, lock, n):
+    for _ in range(n):
+        v = yield shared_data.read()
+        yield Nop("compute v + 1")
+        yield shared_data.write(v + 1)
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    shared_data = SharedVar("shared_data", 0)
+    lock = TASLock("taslock")
+    for i in range(THREADS):
+        sched.spawn(worker(shared_data, lock, ITERATIONS), name=f"worker-{i}")
+    result = sched.run()
+    return result, shared_data.value

@@ -1,0 +1,24 @@
+"""Lab 2 submission, fixed: the critical section spins on the TAS lock."""
+
+from repro.interleave import RandomPolicy, Scheduler, SharedVar, TASLock
+
+ITERATIONS = 20
+THREADS = 2
+
+
+def worker(shared_data, lock, n):
+    for _ in range(n):
+        yield from lock.acquire()
+        v = yield shared_data.read()
+        yield shared_data.write(v + 1)
+        yield from lock.release()
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    shared_data = SharedVar("shared_data", 0)
+    lock = TASLock("taslock")
+    for i in range(THREADS):
+        sched.spawn(worker(shared_data, lock, ITERATIONS), name=f"worker-{i}")
+    result = sched.run()
+    return result, shared_data.value

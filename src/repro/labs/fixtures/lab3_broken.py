@@ -1,0 +1,28 @@
+"""Lab 3 submission, "broken" in the NUMA sense only.
+
+Every worker touches memory on the *remote* node — slow, which is what
+lab 3 teaches — but each owns its private slot of the results array, so
+there is no concurrency defect.  The static analyzer must stay silent:
+a locality problem is not a race.
+"""
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedArray
+
+WORKERS = 4
+ROUNDS = 8
+
+
+def worker(results, idx, rounds):
+    for r in range(rounds):
+        yield Nop(f"touch remote page for worker {idx}")
+        v = yield results[idx].read()
+        yield results[idx].write(v + r)
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    results = SharedArray("results", WORKERS, fill=0)
+    for i in range(WORKERS):
+        sched.spawn(worker(results, i, ROUNDS), name=f"worker-{i}")
+    result = sched.run()
+    return result, results.snapshot()

@@ -1,0 +1,27 @@
+"""Lab 3 submission, fixed: workers touch node-local memory.
+
+Same owner-computes slot discipline as the broken variant — the fix is
+about *where* the pages live, not about synchronisation — so the static
+analyzer must stay silent here too.
+"""
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedArray
+
+WORKERS = 4
+ROUNDS = 8
+
+
+def worker(results, idx, rounds):
+    for r in range(rounds):
+        yield Nop(f"touch local page for worker {idx}")
+        v = yield results[idx].read()
+        yield results[idx].write(v + r)
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    results = SharedArray("results", WORKERS, fill=0)
+    for i in range(WORKERS):
+        sched.spawn(worker(results, i, ROUNDS), name=f"worker-{i}")
+    result = sched.run()
+    return result, results.snapshot()

@@ -1,0 +1,31 @@
+"""Lab 4 submission, broken: producer/consumer with no semaphore handoff.
+
+The consumer reads slots the producer may not have written yet, and
+both sides touch the array with no ordering or lock at all.
+"""
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedArray
+
+N_ITEMS = 6
+
+
+def producer(numbers, n):
+    for i in range(n):
+        yield Nop(f"produce item {i}")
+        yield numbers[i].write(i * i)
+
+
+def consumer(numbers, out, n):
+    for i in range(n):
+        value = yield numbers[i].read()
+        out.append(value)
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    numbers = SharedArray("numbers", N_ITEMS, fill=-1)
+    out = []
+    sched.spawn(producer(numbers, N_ITEMS), name="producer")
+    sched.spawn(consumer(numbers, out, N_ITEMS), name="consumer")
+    result = sched.run()
+    return result, out

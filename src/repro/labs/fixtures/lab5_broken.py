@@ -1,0 +1,34 @@
+"""Lab 5 submission, broken: withdraw and deposit race on the balance.
+
+The paper's step v — both threads run concurrently with no mutex, so
+the dollar-at-a-time read-modify-write loses updates.
+"""
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, SharedVar
+
+INITIAL_BALANCE = 300
+WITHDRAW = 180
+DEPOSIT = 150
+
+
+def withdraw(balance, amount):
+    for _ in range(amount):
+        v = yield balance.read()
+        yield Nop("compute v - 1")
+        yield balance.write(v - 1)
+
+
+def deposit(balance, amount):
+    for _ in range(amount):
+        v = yield balance.read()
+        yield Nop("compute v + 1")
+        yield balance.write(v + 1)
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    balance = SharedVar("balance", INITIAL_BALANCE)
+    sched.spawn(withdraw(balance, WITHDRAW), name="withdraw")
+    sched.spawn(deposit(balance, DEPOSIT), name="deposit")
+    result = sched.run()
+    return result, balance.value

@@ -1,0 +1,42 @@
+"""Lab 5 submission, fixed by *ordering*: join one thread, then start the next.
+
+The paper's step iv — ``main`` joins the withdraw thread before spawning
+the deposit thread, so the two access phases never overlap.  No lock is
+needed; the analyzer (and the happens-before dynamic detector) must both
+recognise the join ordering and stay silent.
+"""
+
+from repro.interleave import Join, Nop, RandomPolicy, Scheduler, SharedVar
+
+INITIAL_BALANCE = 300
+WITHDRAW = 180
+DEPOSIT = 150
+
+
+def withdraw(balance, amount):
+    for _ in range(amount):
+        v = yield balance.read()
+        yield Nop("compute v - 1")
+        yield balance.write(v - 1)
+
+
+def deposit(balance, amount):
+    for _ in range(amount):
+        v = yield balance.read()
+        yield Nop("compute v + 1")
+        yield balance.write(v + 1)
+
+
+def main(sched, balance):
+    w = sched.spawn(withdraw(balance, WITHDRAW), name="withdraw")
+    yield Join(w)
+    d = sched.spawn(deposit(balance, DEPOSIT), name="deposit")
+    yield Join(d)
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    balance = SharedVar("balance", INITIAL_BALANCE)
+    sched.spawn(main(sched, balance), name="main")
+    result = sched.run()
+    return result, balance.value

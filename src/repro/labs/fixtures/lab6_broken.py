@@ -1,0 +1,29 @@
+"""Lab 6 submission, broken: philosophers grab left fork then right fork.
+
+Index ``(idx + 1) % n`` wraps around, so the pairwise acquisition order
+reverses at the table's seam — the classic cyclic hold-and-wait.
+"""
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, VMutex
+
+N_PHILOSOPHERS = 5
+MEALS = 2
+
+
+def philosopher(idx, forks, meals, n):
+    for _ in range(meals):
+        yield Nop(f"philosopher {idx} thinking")
+        yield forks[idx].acquire()
+        yield forks[(idx + 1) % n].acquire()
+        yield Nop(f"philosopher {idx} eating")
+        yield forks[(idx + 1) % n].release()
+        yield forks[idx].release()
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed), detect_races=False)
+    forks = [VMutex(f"fork{i}") for i in range(N_PHILOSOPHERS)]
+    for i in range(N_PHILOSOPHERS):
+        sched.spawn(philosopher(i, forks, MEALS, N_PHILOSOPHERS), name=f"P{i}")
+    result = sched.run()
+    return result, None

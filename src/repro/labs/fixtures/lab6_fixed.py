@@ -1,0 +1,30 @@
+"""Lab 6 submission, fixed: forks are always taken lowest index first.
+
+``lo, hi = sorted(...)`` imposes one global acquisition order on the
+fork array, so no cyclic hold-and-wait is possible.
+"""
+
+from repro.interleave import Nop, RandomPolicy, Scheduler, VMutex
+
+N_PHILOSOPHERS = 5
+MEALS = 2
+
+
+def philosopher(idx, forks, meals, n):
+    lo, hi = sorted((idx, (idx + 1) % n))
+    for _ in range(meals):
+        yield Nop(f"philosopher {idx} thinking")
+        yield forks[lo].acquire()
+        yield forks[hi].acquire()
+        yield Nop(f"philosopher {idx} eating")
+        yield forks[hi].release()
+        yield forks[lo].release()
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed), detect_races=False)
+    forks = [VMutex(f"fork{i}") for i in range(N_PHILOSOPHERS)]
+    for i in range(N_PHILOSOPHERS):
+        sched.spawn(philosopher(i, forks, MEALS, N_PHILOSOPHERS), name=f"P{i}")
+    result = sched.run()
+    return result, None

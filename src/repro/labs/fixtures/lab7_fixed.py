@@ -1,0 +1,54 @@
+"""Lab 7 submission, fixed: guarded waits — predicates re-checked in loops."""
+
+from repro.interleave import RandomPolicy, Scheduler, SharedArray, SharedVar, VCondition, VMutex
+
+CAPACITY = 3
+N_ITEMS = 6
+
+
+def producer(buf, count, tail, mutex, not_full, not_empty, items, capacity):
+    for item in items:
+        yield mutex.acquire()
+        while True:
+            n = yield count.read()
+            if n < capacity:
+                break
+            yield not_full.wait()
+        t = yield tail.read()
+        yield buf[t % capacity].write(item)
+        yield tail.write(t + 1)
+        yield count.write(n + 1)
+        yield not_empty.notify_one()
+        yield mutex.release()
+
+
+def consumer(buf, count, head, mutex, not_full, not_empty, out, n_items, capacity):
+    for _ in range(n_items):
+        yield mutex.acquire()
+        while True:
+            n = yield count.read()
+            if n > 0:
+                break
+            yield not_empty.wait()
+        h = yield head.read()
+        value = yield buf[h % capacity].read()
+        yield head.write(h + 1)
+        yield count.write(n - 1)
+        yield not_full.notify_one()
+        yield mutex.release()
+        out.append(value)
+
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    items = list(range(1, N_ITEMS + 1))
+    buf = SharedArray("buffer", CAPACITY, fill=0)
+    count, head, tail = SharedVar("count", 0), SharedVar("head", 0), SharedVar("tail", 0)
+    mutex = VMutex("buffer_mutex")
+    not_full = VCondition(mutex, "not_full")
+    not_empty = VCondition(mutex, "not_empty")
+    out = []
+    sched.spawn(producer(buf, count, tail, mutex, not_full, not_empty, items, CAPACITY), name="producer")
+    sched.spawn(consumer(buf, count, head, mutex, not_full, not_empty, out, len(items), CAPACITY), name="consumer")
+    result = sched.run()
+    return result, out

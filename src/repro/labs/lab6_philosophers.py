@@ -22,7 +22,6 @@ fork number — the printout the paper asks students to add.
 from __future__ import annotations
 
 from repro.interleave import (
-    FixedPolicy,
     Nop,
     RandomPolicy,
     Scheduler,

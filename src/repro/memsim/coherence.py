@@ -21,7 +21,7 @@ the lab teaches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._errors import SimulationError
 from repro.memsim.cache import Cache, CacheConfig, LineState

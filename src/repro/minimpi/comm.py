@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pickle
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro._errors import MPIError, RankError

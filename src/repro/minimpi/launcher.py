@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro._errors import MPIError

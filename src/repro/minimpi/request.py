@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from repro._errors import MPIError
 

@@ -17,7 +17,8 @@ POST        /api/files/move                    {src, dst}
 POST        /api/files/rename                  {path, new_name}
 DELETE      /api/files?path=                   delete file/tree
 POST        /api/compile                       {path[, language]}
-POST        /api/jobs                          {path, kind, n_tasks, ...} compile+run
+POST        /api/lint                          {path} or {source} — static concurrency lint
+POST        /api/jobs                          {path, kind, n_tasks, ...} compile+lint+run
 GET         /api/jobs                          this user's jobs
 GET         /api/jobs/<job_id>                 one job
 GET         /api/jobs/<job_id>/output?since=N  poll stdout/stderr
@@ -65,7 +66,7 @@ from repro.telemetry.export import (
     render_json,
     render_prometheus,
 )
-from repro.telemetry.instruments import PortalTelemetry
+from repro.telemetry.instruments import AnalysisTelemetry, PortalTelemetry
 
 __all__ = ["PortalApp", "make_default_app"]
 
@@ -117,6 +118,10 @@ class PortalApp:
             registry if registry is not None else jobsvc.distributor.telemetry.registry
         )
         self.telemetry = PortalTelemetry(self.registry)
+        #: static-analyzer counters; handed to the job service so both
+        #: the explicit lint endpoint and the pre-submit pass are tallied.
+        self.analysis_telemetry = AnalysisTelemetry(self.registry)
+        jobsvc.analysis_telemetry = self.analysis_telemetry
         self.telemetry.bind_router(self.router)
         self.telemetry.bind_sessions(sessions)
         self.cache.bind(self.registry)
@@ -274,6 +279,7 @@ class PortalApp:
 
         # --- compile & jobs ---
         r.add("POST", "/api/compile", self._api_compile)
+        r.add("POST", "/api/lint", self._api_lint)
         r.add("POST", "/api/jobs", self._api_submit)
         r.add("GET", "/api/jobs", self._api_list_jobs)
         r.add("GET", "/api/jobs/<job_id>", self._api_get_job)
@@ -435,6 +441,25 @@ class PortalApp:
         report = self.jobsvc.compile(user, body.get("path", ""), body.get("language"))
         return Response.json(report, status=200 if report["ok"] else 400)
 
+    def _api_lint(self, req: Request) -> Response:
+        """Static concurrency analysis of a lab program.
+
+        Accepts ``{path}`` (a Python file in the user's home) or
+        ``{source}`` (raw program text).  Always 200: diagnostics are
+        advisory, the report itself says whether the program is clean.
+        """
+        user = self._require_user(req)
+        body = req.json()
+        if body.get("source") is not None:
+            report = self.jobsvc.lint_source(
+                str(body["source"]), str(body.get("path") or "<submission>")
+            )
+            return Response.json(report.as_dict())
+        report = self.jobsvc.lint(user, body.get("path", ""))
+        if report is None:
+            raise HttpError(400, "static analysis supports Python lab programs only")
+        return Response.json(report.as_dict())
+
     def _api_submit(self, req: Request) -> Response:
         user = self._require_user(req)
         body = req.json()
@@ -455,7 +480,16 @@ class PortalApp:
         )
         if job is None:
             return Response.json({"compile": report, "job": None}, status=400)
-        return Response.json({"compile": report, "job": job.describe()}, status=201)
+        return Response.json(
+            {
+                "compile": report,
+                "job": job.describe(),
+                # pre-submit static analysis (Python sources only, else None);
+                # advisory: findings never block the run
+                "lint": self.jobsvc.lint_report(job.id),
+            },
+            status=201,
+        )
 
     def _api_list_jobs(self, req: Request) -> Response:
         user = self._require_user(req)
@@ -614,7 +648,8 @@ class PortalApp:
         job = self.jobsvc.get_job(req.user, req.params["job_id"])
         out, _, _ = job.stdout.text_since(0)
         err, _, _ = job.stderr.text_since(0)
-        return Response.html(templates.job_page(job.describe(), out, err))
+        lint = self.jobsvc.lint_report(job.id)
+        return Response.html(templates.job_page(job.describe(), out, err, lint=lint))
 
     def _page_job_input(self, req: Request) -> Response:
         if req.user is None:

@@ -12,7 +12,7 @@ import hmac
 import re
 import secrets
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro._errors import AuthenticationError, AuthorizationError

@@ -239,6 +239,19 @@ class PortalClient:
             body["language"] = language
         return self._call("POST", "/api/compile", body)
 
+    def lint(self, path: str | None = None, source: str | None = None) -> dict:
+        """Static concurrency analysis of a lab program.
+
+        Pass ``path`` (a ``.py`` file in the home directory) or
+        ``source`` (raw program text); returns the analysis report dict.
+        """
+        body: dict = {}
+        if source is not None:
+            body["source"] = source
+        if path is not None:
+            body["path"] = path
+        return self._call("POST", "/api/lint", body)
+
     def submit_job(self, path: str, **kwargs) -> dict:
         """Compile-and-run; kwargs mirror the /api/jobs body fields."""
         return self._call("POST", "/api/jobs", {"path": path, **kwargs})

@@ -32,7 +32,7 @@ import stat as _statmod
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator
 
 from repro._errors import FileManagerError, PathTraversalError
 

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro._errors import AuthorizationError, CompilationError, JobError
+from repro.analysis import AnalysisReport, analyze_source
 from repro.cluster.distributor import JobDistributor
 from repro.cluster.job import Job, JobKind, JobRequest, RetryPolicy
 from repro.portal.auth import User
@@ -24,6 +25,9 @@ from repro.toolchain.registry import ToolchainRegistry
 __all__ = ["JobService"]
 
 _BUILD_DIR = ".build"
+
+#: cap on retained pre-submit lint reports (oldest evicted first).
+_MAX_LINT_REPORTS = 512
 
 
 class JobService:
@@ -38,6 +42,10 @@ class JobService:
         self.files = files
         self.distributor = distributor
         self.registry = registry or ToolchainRegistry()
+        #: set by the portal so lint runs are counted (optional).
+        self.analysis_telemetry = None
+        #: job id → pre-submit lint report dict (Python submissions only).
+        self._lint_reports: dict[str, dict] = {}
 
     # -- compilation ------------------------------------------------------
     def compile(self, user: User, rel_path: str, language: str | None = None) -> dict:
@@ -64,6 +72,50 @@ class JobService:
             )
             report["run_argv"] = result.artifact.run_argv()
         return report
+
+    # -- static analysis ----------------------------------------------------
+    def lint(self, user: User, rel_path: str) -> Optional[AnalysisReport]:
+        """Statically analyze a Python file in the user's home.
+
+        Returns ``None`` for non-Python sources (the analyzer only
+        understands the :mod:`repro.interleave` lab vocabulary).
+        """
+        source = self.files.resolve(user.username, rel_path)
+        if not source.is_file():
+            raise CompilationError(f"no such source file: {rel_path!r}")
+        if source.suffix != ".py":
+            return None
+        report = self.lint_source(source.read_text(encoding="utf-8", errors="replace"),
+                                  rel_path, surface="lint")
+        return report
+
+    def lint_source(
+        self, text: str, rel_path: str = "<submission>", surface: str = "lint"
+    ) -> AnalysisReport:
+        """Analyze raw program text (no file needed)."""
+        report = analyze_source(text, rel_path)
+        if self.analysis_telemetry is not None:
+            self.analysis_telemetry.report_done(surface, report)
+        return report
+
+    def lint_report(self, job_id: str) -> Optional[dict]:
+        """The pre-submit lint report attached to a job, if any."""
+        return self._lint_reports.get(job_id)
+
+    def _attach_lint(self, job: Job, source: Path, rel_path: str) -> Optional[dict]:
+        """Best-effort pre-submit pass: diagnostics never block a run."""
+        if source.suffix != ".py":
+            return None
+        try:
+            text = source.read_text(encoding="utf-8", errors="replace")
+            report = self.lint_source(text, rel_path, surface="submit")
+        except Exception:  # noqa: BLE001 - advisory path, never fatal
+            return None
+        as_dict = report.as_dict()
+        self._lint_reports[job.id] = as_dict
+        while len(self._lint_reports) > _MAX_LINT_REPORTS:
+            self._lint_reports.pop(next(iter(self._lint_reports)))
+        return as_dict
 
     # -- execution ----------------------------------------------------------
     def run(
@@ -130,6 +182,7 @@ class JobService:
             workdir=str(self.files.home(user.username)),
         )
         job = self.distributor.submit(request)
+        self._attach_lint(job, source, rel_path)
         return report, job
 
     # -- job access control --------------------------------------------------

@@ -123,16 +123,49 @@ def dashboard_page(
     return render_page("Dashboard", body)
 
 
+def lint_block(lint: dict | None) -> str:
+    """The pre-submit static-analysis section of the job page.
+
+    Empty string when no report is attached (non-Python source) or the
+    report is clean; otherwise a diagnostics table, each row tagged with
+    the lab concept the finding violates.
+    """
+    if not lint:
+        return ""
+    diags = lint.get("diagnostics") or []
+    parse_error = lint.get("parse_error")
+    if not diags and not parse_error:
+        return ""
+    if parse_error:
+        return f"<h2>Concurrency lint</h2><p class='state-failed'>{_esc(parse_error)}</p>"
+    state = {"error": "state-failed", "warning": "state-retrying"}
+    rows = "".join(
+        f"<tr><td>{_esc(d['line'])}</td>"
+        f"<td class='{state.get(d['severity'], '')}'>{_esc(d['severity'])}</td>"
+        f"<td><code>{_esc(d['rule'])}</code></td>"
+        f"<td>{_esc(d['message'])}</td><td>{_esc(d['concept'])}</td></tr>"
+        for d in diags
+    )
+    return f"""
+<h2>Concurrency lint</h2>
+<p>Static analysis of the submitted program (advisory — the run was not blocked).</p>
+<table><tr><th>Line</th><th>Severity</th><th>Rule</th><th>Finding</th><th>Concept</th></tr>
+{rows}</table>"""
+
+
 def job_page(
     job: dict,
     stdout_lines: list[str] | str,
     stderr_lines: list[str] | str,
+    lint: dict | None = None,
 ) -> str:
     """One job's detail page: metadata, placement, streams, input box.
 
     The stream arguments accept either a list of lines or pre-joined
     text (the portal passes :meth:`StreamCapture.text_since` output so
-    no per-request line list is materialised).
+    no per-request line list is materialised).  ``lint`` is the
+    pre-submit static-analysis report dict, rendered between the
+    attempts table and the output streams when it has findings.
     """
     placement_rows = _rows((node, cores) for node, cores in sorted(job.get("placement", {}).items()))
     out = stdout_lines if isinstance(stdout_lines, str) else "\n".join(stdout_lines)
@@ -178,6 +211,7 @@ def job_page(
 <h2>Placement</h2>
 <table><tr><th>Node</th><th>Cores</th></tr>{placement_rows or '<tr><td colspan=2>(not placed)</td></tr>'}</table>
 {attempts_block}
+{lint_block(lint)}
 <h2>stdout</h2>
 <pre>{out_text}</pre>
 {err_block}

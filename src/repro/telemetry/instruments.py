@@ -24,7 +24,7 @@ from repro.telemetry.events import EventLog
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.tracing import Span, Tracer
 
-__all__ = ["DispatchTelemetry", "PortalTelemetry"]
+__all__ = ["AnalysisTelemetry", "DispatchTelemetry", "PortalTelemetry"]
 
 #: ``JobDistributor.stats()["dispatch"]`` keys, in their legacy order.
 DISPATCH_KEYS = (
@@ -187,6 +187,36 @@ class DispatchTelemetry:
     def fault_counters(self) -> dict:
         """The PR 3 ``stats()["faults"]`` dict (a defensive copy)."""
         return dict(self.faults)
+
+
+class AnalysisTelemetry:
+    """Counters for the static concurrency analyzer's portal surfaces.
+
+    ``surface`` distinguishes explicit ``POST /api/lint`` calls from the
+    implicit pre-submit pass on ``POST /api/jobs``; findings are counted
+    by severity so a dashboard can watch the error/warning mix students
+    are producing over a semester.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.on = registry.enabled
+        self.c_runs = registry.counter(
+            "repro_analysis_runs_total",
+            "static analysis runs by portal surface",
+            labels=("surface",),
+        )
+        self.c_findings = registry.counter(
+            "repro_analysis_findings_total",
+            "static analysis findings by severity",
+            labels=("severity",),
+        )
+
+    def report_done(self, surface: str, report) -> None:
+        """Tally one finished :class:`~repro.analysis.model.AnalysisReport`."""
+        self.c_runs.labels(surface).inc()
+        for diag in report.diagnostics:
+            self.c_findings.labels(str(diag.severity)).inc()
 
 
 class PortalTelemetry:

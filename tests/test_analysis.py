@@ -1,0 +1,420 @@
+"""Static concurrency analyzer: rules, corpus goldens, CLI, portal wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CORPUS,
+    RULES,
+    Severity,
+    analyze_file,
+    analyze_source,
+    check_corpus,
+    fixture_path,
+)
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.model import AnalysisReport, Diagnostic
+from repro.interleave.detector import RaceReport
+
+_PRELUDE = (
+    "from repro.interleave import ("
+    "Join, Nop, RandomPolicy, Scheduler, SharedArray, SharedVar, "
+    "VCondition, VMutex, VSemaphore)\n"
+)
+
+
+def rules_of(source: str) -> list[str]:
+    return analyze_source(_PRELUDE + source).rule_ids()
+
+
+class TestStructuralRules:
+    def test_unbalanced_acquire_flagged(self):
+        src = """
+def worker(m):
+    yield m.acquire()
+    yield Nop("forgot to release")
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    m = VMutex("m")
+    sched.spawn(worker(m), name="w")
+    return sched.run()
+"""
+        assert "ANL-LK001" in rules_of(src)
+
+    def test_release_without_acquire_flagged(self):
+        src = """
+def worker(m):
+    yield m.release()
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    m = VMutex("m")
+    sched.spawn(worker(m), name="w")
+    return sched.run()
+"""
+        assert "ANL-LK002" in rules_of(src)
+
+    def test_sem_wait_while_holding_lock_flagged(self):
+        src = """
+def worker(m, s):
+    yield m.acquire()
+    yield s.p()
+    yield m.release()
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    m = VMutex("m")
+    s = VSemaphore("s", 0)
+    sched.spawn(worker(m, s), name="w")
+    return sched.run()
+"""
+        assert "ANL-LK003" in rules_of(src)
+
+    def test_wait_without_bound_mutex_flagged(self):
+        src = """
+def worker(m, cv):
+    while True:
+        yield cv.wait()
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    m = VMutex("m")
+    cv = VCondition(m, "cv")
+    sched.spawn(worker(m, cv), name="w")
+    return sched.run()
+"""
+        assert "ANL-CV002" in rules_of(src)
+
+    def test_balanced_critical_section_clean(self):
+        src = """
+def worker(m, counter):
+    for _ in range(5):
+        yield m.acquire()
+        v = yield counter.read()
+        yield counter.write(v + 1)
+        yield m.release()
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    m = VMutex("m")
+    counter = SharedVar("counter", 0)
+    a = sched.spawn(worker(m, counter), name="a")
+    b = sched.spawn(worker(m, counter), name="b")
+    return sched.run()
+"""
+        assert rules_of(src) == []
+
+    def test_early_return_after_release_not_flagged(self):
+        src = """
+def worker(m, counter):
+    yield m.acquire()
+    v = yield counter.read()
+    if v > 10:
+        yield m.release()
+        return
+    yield counter.write(v + 1)
+    yield m.release()
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    m = VMutex("m")
+    counter = SharedVar("counter", 0)
+    a = sched.spawn(worker(m, counter), name="a")
+    b = sched.spawn(worker(m, counter), name="b")
+    return sched.run()
+"""
+        assert rules_of(src) == []
+
+
+class TestDeadlockRules:
+    def test_opposed_scalar_lock_order_is_cycle(self):
+        src = """
+def forward(a, b):
+    yield a.acquire()
+    yield b.acquire()
+    yield b.release()
+    yield a.release()
+
+def backward(a, b):
+    yield b.acquire()
+    yield a.acquire()
+    yield a.release()
+    yield b.release()
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    a = VMutex("a")
+    b = VMutex("b")
+    sched.spawn(forward(a, b), name="f")
+    sched.spawn(backward(a, b), name="b")
+    return sched.run()
+"""
+        report = analyze_source(_PRELUDE + src)
+        assert "ANL-DL001" in report.rule_ids()
+        assert not report.ok
+
+    def test_consistent_scalar_order_clean(self):
+        src = """
+def worker(a, b):
+    yield a.acquire()
+    yield b.acquire()
+    yield b.release()
+    yield a.release()
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    a = VMutex("a")
+    b = VMutex("b")
+    sched.spawn(worker(a, b), name="x")
+    sched.spawn(worker(a, b), name="y")
+    return sched.run()
+"""
+        assert rules_of(src) == []
+
+
+class TestCorpusGolden:
+    @pytest.mark.parametrize(
+        "case", CORPUS, ids=[f"{c.lab_id}-{c.variant}" for c in CORPUS]
+    )
+    def test_fixture_matches_expectation(self, case):
+        report = analyze_file(fixture_path(case))
+        assert report.parse_error is None
+        assert frozenset(report.rule_ids()) == case.expected_rules
+        if case.expected_symbols:
+            assert case.expected_symbols & {d.symbol for d in report.diagnostics}
+
+    def test_every_fixed_variant_is_clean(self):
+        for case in CORPUS:
+            if case.variant == "fixed":
+                report = analyze_file(fixture_path(case))
+                assert report.ok and not report.diagnostics, (
+                    f"{case.lab_id}/fixed: {[str(d) for d in report.diagnostics]}"
+                )
+
+    def test_check_corpus_all_green(self):
+        assert all(not problems for _, _, problems in check_corpus())
+
+    def test_philosophers_deadlock_is_error_with_fix_hint(self):
+        case = next(c for c in CORPUS if c.lab_id == "lab6" and c.variant == "broken")
+        report = analyze_file(fixture_path(case))
+        (diag,) = [d for d in report.diagnostics if d.rule_id == "ANL-DL002"]
+        assert diag.severity is Severity.ERROR
+        assert "sorted" in diag.message
+
+    def test_real_lab_modules_analyzed(self):
+        """The shipped lab modules (broken + fixed variants in one file)
+        are themselves analyzable, and the analyzer independently
+        rediscovers their intentional races."""
+        import os
+
+        import repro.labs as labs_pkg
+
+        labs_dir = os.path.dirname(os.path.abspath(labs_pkg.__file__))
+        expect = {
+            "lab1_sync.py": "ANL-RC001",      # unprotected counter increment
+            "lab4_prodcons.py": "ANL-RC001",  # semaphore-free producer/consumer
+            "lab5_bank.py": "ANL-RC001",      # concurrent withdraw/deposit
+            "lab7_bounded.py": "ANL-RC001",   # if-guarded bounded buffer
+        }
+        for fname in sorted(os.listdir(labs_dir)):
+            if not fname.endswith(".py"):
+                continue
+            report = analyze_file(os.path.join(labs_dir, fname))
+            assert report.parse_error is None, f"{fname}: {report.parse_error}"
+            if fname in expect:
+                assert expect[fname] in report.rule_ids(), (
+                    f"{fname}: expected {expect[fname]}, got {report.rule_ids()}"
+                )
+
+    def test_diagnostics_deterministically_ordered(self):
+        case = next(c for c in CORPUS if c.lab_id == "lab4" and c.variant == "broken")
+        a = analyze_file(fixture_path(case))
+        b = analyze_file(fixture_path(case))
+        assert [str(d) for d in a.diagnostics] == [str(d) for d in b.diagnostics]
+        assert a.diagnostics == sorted(a.diagnostics)
+
+
+class TestReportModel:
+    def test_rule_catalogue_concepts_and_severities(self):
+        assert RULES["ANL-RC001"].severity is Severity.ERROR
+        assert RULES["ANL-RC002"].severity is Severity.WARNING
+        for rule in RULES.values():
+            assert rule.rule_id.startswith("ANL-")
+            assert rule.concept
+
+    def test_parse_error_report(self):
+        report = analyze_source("def broken(:\n", "bad.py")
+        assert report.parse_error is not None
+        assert not report.ok
+        assert report.as_dict()["parse_error"]
+
+    def test_cross_check_verdicts(self):
+        report = AnalysisReport(
+            path="p.py",
+            diagnostics=[
+                Diagnostic("p.py", 3, "ANL-RC001", "unprotected write", symbol="counter"),
+                Diagnostic("p.py", 9, "ANL-RC001", "unprotected write", symbol="ghost"),
+            ],
+        )
+        races = [
+            RaceReport("counter", ("a", "b"), "a"),
+            RaceReport("numbers[3]", ("p", "c"), "p"),
+        ]
+        verdicts = {c.symbol: c.verdict for c in report.cross_check(races)}
+        assert verdicts == {
+            "counter": "confirmed",
+            "ghost": "static_only",
+            "numbers": "dynamic_only",
+        }
+
+
+class TestCli:
+    def test_lint_broken_fixture_fails(self, capsys):
+        case = next(c for c in CORPUS if c.lab_id == "lab1" and c.variant == "broken")
+        assert analysis_main([fixture_path(case)]) == 1
+        out = capsys.readouterr().out
+        assert "ANL-RC001" in out
+
+    def test_lint_fixed_fixture_passes_with_json(self, capsys):
+        case = next(c for c in CORPUS if c.lab_id == "lab1" and c.variant == "fixed")
+        assert analysis_main(["--json", fixture_path(case)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] and payload["diagnostics"] == []
+
+    def test_corpus_mode_green(self, capsys):
+        assert analysis_main(["--corpus"]) == 0
+        assert "0 problem(s)" in capsys.readouterr().out
+
+    def test_self_check_gate_green_on_package(self, capsys):
+        import repro
+        import os
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        assert analysis_main(["--self-check", root]) == 0
+        out = capsys.readouterr().out
+        assert "0 unexpected finding(s), 0 crash(es)" in out
+
+    def test_self_check_rejects_finding_outside_labs(self, tmp_path, capsys):
+        bad = tmp_path / "notalab.py"
+        bad.write_text(
+            _PRELUDE
+            + """
+def worker(m):
+    yield m.release()
+
+def run(seed=0):
+    sched = Scheduler(policy=RandomPolicy(seed))
+    m = VMutex("m")
+    sched.spawn(worker(m), name="w")
+    return sched.run()
+"""
+        )
+        assert analysis_main(["--self-check", str(tmp_path)]) == 1
+        assert "UNEXPECTED" in capsys.readouterr().out
+
+    def test_fail_on_never(self):
+        case = next(c for c in CORPUS if c.lab_id == "lab1" and c.variant == "broken")
+        assert analysis_main(["--fail-on", "never", fixture_path(case)]) == 0
+
+
+class TestPortalWiring:
+    @pytest.fixture
+    def client(self, portal_app):
+        from repro.portal.client import PortalClient
+        from repro.toolchain import PythonToolchain
+
+        portal_app.jobsvc.registry.register(PythonToolchain(), extensions=(".py",))
+        c = PortalClient(app=portal_app)
+        c.login("admin", "admin-pass")
+        return c
+
+    def _fixture_source(self, lab_id: str, variant: str) -> str:
+        case = next(c for c in CORPUS if c.lab_id == lab_id and c.variant == variant)
+        with open(fixture_path(case), encoding="utf-8") as fh:
+            return fh.read()
+
+    def test_lint_endpoint_with_source(self, client):
+        report = client.lint(source=self._fixture_source("lab1", "broken"))
+        assert not report["ok"]
+        assert {d["rule"] for d in report["diagnostics"]} == {"ANL-RC001"}
+        assert report["diagnostics"][0]["concept"].startswith("mutual exclusion")
+
+    def test_lint_endpoint_with_path(self, client):
+        client.write_file("sub.py", self._fixture_source("lab6", "broken"))
+        report = client.lint(path="sub.py")
+        assert {d["rule"] for d in report["diagnostics"]} == {"ANL-DL002"}
+
+    def test_lint_endpoint_rejects_non_python(self, client):
+        from repro._errors import PortalError
+
+        client.write_file("prog.c", "int main(void){return 0;}")
+        with pytest.raises(PortalError, match="400"):
+            client.lint(path="prog.c")
+
+    def test_submit_attaches_lint_report(self, client, portal_app):
+        client.write_file("race.py", self._fixture_source("lab1", "broken"))
+        result = client.submit_job("race.py")
+        assert result["lint"] is not None
+        assert {d["rule"] for d in result["lint"]["diagnostics"]} == {"ANL-RC001"}
+        # ...and the diagnostics never block the submission itself
+        assert result["job"] is not None
+        stored = portal_app.jobsvc.lint_report(result["job"]["id"])
+        assert stored == result["lint"]
+
+    def test_clean_submission_lint_is_ok(self, client):
+        client.write_file("ok.py", self._fixture_source("lab1", "fixed"))
+        result = client.submit_job("ok.py")
+        assert result["lint"]["ok"] and result["lint"]["diagnostics"] == []
+
+    def test_job_page_shows_diagnostics(self, client, portal_app):
+        client.write_file("race.py", self._fixture_source("lab5", "broken"))
+        job_id = client.submit_job("race.py")["job"]["id"]
+        status, page = client._call(f"GET", f"/jobs/{job_id}", expect_json=False)
+        html = page.decode("utf-8")
+        assert "Concurrency lint" in html
+        assert "ANL-RC001" in html
+
+    def test_analysis_metrics_counted(self, client, portal_app):
+        client.lint(source=self._fixture_source("lab1", "broken"))
+        snap = portal_app.registry.snapshot()
+        runs = dict(snap["repro_analysis_runs_total"]["series"])
+        assert runs[("lint",)] >= 1
+        findings = dict(snap["repro_analysis_findings_total"]["series"])
+        assert findings[("error",)] >= 1
+
+
+class TestGradingFeedback:
+    def test_broken_submission_gets_concept_tagged_feedback(self):
+        from repro.education.grading import LabGrader
+
+        grader = LabGrader(seed=5)
+        feedback = grader.static_feedback("lab6", correct_submission=False)
+        assert feedback and "ANL-DL002" in feedback[0]
+        assert "deadlock" in feedback[0]
+
+    def test_correct_submission_gets_no_feedback(self):
+        from repro.education.grading import LabGrader
+
+        grader = LabGrader(seed=5)
+        for lab_id in ("lab1", "lab5", "lab6", "lab7"):
+            assert grader.static_feedback(lab_id, correct_submission=True) == ()
+
+    def test_gradebook_carries_feedback(self):
+        from repro.education.grading import LabGrader
+        from repro.education.students import Cohort
+
+        cohort = Cohort.generate(4, seed=11)
+        grader = LabGrader(seed=11, lab_rates={"lab1": 0.5})
+        book = grader.grade_cohort(cohort)
+        assert set(book.feedback["lab1"]) == {s.student_id for s in cohort}
+        for student in cohort:
+            lines = book.feedback_for("lab1", student.student_id)
+            passed = book.scores["lab1"][student.student_id] >= 70.0
+            if passed:
+                assert lines == ()
+            else:
+                assert any("ANL-RC001" in line for line in lines)

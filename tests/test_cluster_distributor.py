@@ -6,7 +6,6 @@ import pytest
 from repro._errors import JobError, SchedulingError
 from repro.cluster import (
     BackfillScheduler,
-    CallableBackend,
     ClusterSpec,
     FIFOScheduler,
     Grid,

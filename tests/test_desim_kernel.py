@@ -3,7 +3,7 @@
 import pytest
 
 from repro._errors import SimulationError
-from repro.desim import Process, ProcessKilled, Simulator
+from repro.desim import ProcessKilled
 
 
 class TestEventBasics:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro._errors import ResourceError
-from repro.desim import Container, Resource, Simulator, Store
+from repro.desim import Container, Resource, Store
 
 
 class TestStore:

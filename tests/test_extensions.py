@@ -16,7 +16,6 @@ from repro.cluster import (
     JobState,
     SimulatedBackend,
 )
-from repro.desim import Simulator
 from repro.interleave import Nop, RandomPolicy, Scheduler, SharedVar, VRWLock
 from repro.memsim import CoherentSystem, LineState
 from repro.portal import FileManager, PortalClient, make_default_app

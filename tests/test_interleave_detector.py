@@ -1,11 +1,19 @@
-"""Lockset race detector behaviour."""
+"""Lockset and happens-before race detector behaviour."""
 
 from repro.interleave import (
+    Join,
     LockAnnounce,
     Nop,
     Scheduler,
     SharedVar,
     VMutex,
+    VSemaphore,
+)
+from repro.interleave.detector import (
+    HappensBeforeDetector,
+    LocksetDetector,
+    RaceReport,
+    VectorClock,
 )
 
 
@@ -141,3 +149,196 @@ class TestRaceDetection:
 
         run = run_threads(writer(var), writer(var), seed=3, detect=False)
         assert run.races == []
+
+
+def run_hb(*bodies, seed=0):
+    sched = Scheduler(seed=seed, detect_races=True, happens_before=True)
+    for i, b in enumerate(bodies):
+        sched.spawn(b, name=f"t{i}")
+    return sched.run()
+
+
+class TestHappensBeforeDetector:
+    def test_unordered_lost_update_reported(self):
+        var = SharedVar("v", 0)
+
+        def writer(var):
+            for _ in range(5):
+                x = yield var.read()
+                yield Nop()
+                yield var.write(x + 1)
+
+        run = run_hb(writer(var), writer(var), seed=3)
+        assert any(r.var_name == "v" for r in run.races)
+
+    def test_mutex_ordering_suppresses_report(self):
+        var = SharedVar("v", 0)
+        lock = VMutex("m")
+
+        def writer(var, lock):
+            for _ in range(5):
+                yield lock.acquire()
+                x = yield var.read()
+                yield var.write(x + 1)
+                yield lock.release()
+
+        run = run_hb(writer(var, lock), writer(var, lock), seed=3)
+        assert run.races == []
+
+    def test_join_ordering_suppresses_report(self):
+        """Write → join → write is ordered; lockset would cry wolf here."""
+        var = SharedVar("v", 0)
+
+        def phase(var, delta, steps):
+            for _ in range(steps):
+                x = yield var.read()
+                yield var.write(x + delta)
+
+        def main(sched, var):
+            w = sched.spawn(phase(var, -1, 5), name="withdraw")
+            yield Join(w)
+            d = sched.spawn(phase(var, +1, 5), name="deposit")
+            yield Join(d)
+
+        sched = Scheduler(seed=7, detect_races=True, happens_before=True)
+        sched.spawn(main(sched, var), name="main")
+        run = sched.run()
+        assert run.completed
+        assert run.races == []
+
+    def test_lockset_keeps_its_predictive_report_under_join_free_overlap(self):
+        """The same join-ordered program through the lockset detector.
+
+        PR 5's ordered-after exemption means the *fixed* fork/join
+        pattern is clean under both detectors; this pins that contract.
+        """
+        var = SharedVar("v", 0)
+
+        def phase(var, delta, steps):
+            for _ in range(steps):
+                x = yield var.read()
+                yield var.write(x + delta)
+
+        def main(sched, var):
+            w = sched.spawn(phase(var, -1, 5), name="withdraw")
+            yield Join(w)
+            d = sched.spawn(phase(var, +1, 5), name="deposit")
+            yield Join(d)
+
+        sched = Scheduler(seed=7, detect_races=True, happens_before=False)
+        sched.spawn(main(sched, var), name="main")
+        run = sched.run()
+        assert run.races == []
+
+    def test_semaphore_handoff_suppresses_report(self):
+        var = SharedVar("cell", 0)
+        ready = VSemaphore("ready", 0)
+
+        def producer(var, ready):
+            yield var.write(41)
+            yield ready.v()
+
+        def consumer(var, ready):
+            yield ready.p()
+            x = yield var.read()
+            yield var.write(x + 1)
+
+        run = run_hb(producer(var, ready), consumer(var, ready), seed=2)
+        assert run.races == []
+        assert var.value == 42
+
+    def test_semaphore_free_producer_consumer_reported(self):
+        var = SharedVar("cell", 0)
+
+        def producer(var):
+            yield var.write(41)
+
+        def consumer(var):
+            x = yield var.read()
+            yield var.write(x + 1)
+
+        races = set()
+        for seed in range(8):
+            v = SharedVar("cell", 0)
+            run = run_hb(producer(v), consumer(v), seed=seed)
+            races.update(r.var_name for r in run.races)
+        assert "cell" in races
+
+    def test_sync_var_handoff_orders_accesses(self):
+        """A homegrown flag (sync=True) publishes like a TAS lock."""
+        data = SharedVar("data", 0)
+        flag = SharedVar("flag", 0, sync=True)
+
+        def producer(data, flag):
+            yield data.write(99)
+            yield flag.write(1)
+
+        def consumer(data, flag):
+            while True:
+                f = yield flag.read()
+                if f:
+                    break
+            yield data.read()
+
+        run = run_hb(producer(data, flag), consumer(data, flag), seed=5)
+        assert run.races == []
+
+    def test_reports_sorted_deterministically(self):
+        a = SharedVar("alpha", 0)
+        b = SharedVar("beta", 0)
+
+        def writer(x, y):
+            for _ in range(3):
+                vy = yield y.read()
+                yield y.write(vy + 1)
+                vx = yield x.read()
+                yield x.write(vx + 1)
+
+        run = run_hb(writer(a, b), writer(a, b), seed=9)
+        assert [r.var_name for r in run.races] == sorted(r.var_name for r in run.races)
+        assert run.races == sorted(run.races, key=lambda r: r.sort_key)
+
+
+class TestVectorClock:
+    def test_merge_is_elementwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({2: 5, 3: 2})
+        a.merge(b)
+        assert a.clocks == {1: 3, 2: 5, 3: 2}
+
+    def test_covers_epoch(self):
+        vc = VectorClock({1: 4})
+        assert vc.covers(1, 4)
+        assert not vc.covers(1, 5)
+        assert not vc.covers(9, 1)
+
+    def test_tick_advances_own_component(self):
+        vc = VectorClock()
+        vc.tick(7)
+        vc.tick(7)
+        assert vc.get(7) == 2
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1 and b.get(1) == 2
+
+
+class TestDetectorSelection:
+    def test_happens_before_flag_picks_fasttrack(self):
+        sched = Scheduler(seed=0, detect_races=True, happens_before=True)
+        assert isinstance(sched._detector, HappensBeforeDetector)
+
+    def test_default_is_lockset(self):
+        sched = Scheduler(seed=0, detect_races=True)
+        assert isinstance(sched._detector, LocksetDetector)
+
+    def test_explicit_detector_wins(self):
+        mine = LocksetDetector()
+        sched = Scheduler(seed=0, detect_races=True, happens_before=True, detector=mine)
+        assert sched._detector is mine
+
+    def test_race_report_sort_key_shape(self):
+        r = RaceReport("v", ("a", "b"), "a")
+        assert r.sort_key == ("v", ("a", "b"), "a")

@@ -4,7 +4,6 @@ import pytest
 
 from repro.interleave import (
     Nop,
-    RandomPolicy,
     RoundRobinPolicy,
     Scheduler,
     SharedVar,

@@ -7,7 +7,6 @@ from repro.interleave import (
     FixedPolicy,
     Join,
     Nop,
-    RandomPolicy,
     RoundRobinPolicy,
     Scheduler,
     SharedVar,

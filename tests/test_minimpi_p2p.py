@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro._errors import MPIError, RankError, TruncationError
+from repro._errors import MPIError, TruncationError
 from repro.minimpi import ANY_SOURCE, ANY_TAG, MPIFailure, Status, run_mpi
 
 
