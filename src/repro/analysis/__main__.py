@@ -10,6 +10,11 @@ Modes
     Run the fixture regression corpus
     (:func:`repro.analysis.corpus.check_corpus`); exit 1 on mismatch.
 
+``python -m repro.analysis --dynamic-corpus [dpor|naive]``
+    Systematically explore every lab program
+    (:func:`repro.analysis.corpus.check_dynamic_corpus`) and check the
+    witnessed finding kinds against expectations; exit 1 on mismatch.
+
 ``python -m repro.analysis --self-check [DIR]``
     The codebase lint gate: analyze every ``.py`` under DIR (default:
     the installed ``repro`` package).  The analyzer must get through
@@ -26,7 +31,7 @@ import os
 import sys
 
 from repro.analysis.analyzer import analyze_file, analyze_paths
-from repro.analysis.corpus import check_corpus
+from repro.analysis.corpus import check_corpus, check_dynamic_corpus
 from repro.analysis.model import Severity
 
 
@@ -66,6 +71,23 @@ def _run_corpus() -> int:
             print(f"     {problem}")
             failures += 1
     print(f"corpus: {len(results)} fixtures, {failures} problem(s)")
+    return 1 if failures else 0
+
+
+def _run_dynamic_corpus(algorithm: str) -> int:
+    results = check_dynamic_corpus(algorithm)
+    failures = 0
+    for case, result, problems in results:
+        status = "ok" if not problems else "FAIL"
+        kinds = ",".join(sorted({k for k, _ in result.finding_set()})) or "clean"
+        print(
+            f"{status:4s} {case.lab_id}/{case.variant:<16s} "
+            f"{result.schedules_run:6d} schedule(s) -> {kinds}"
+        )
+        for problem in problems:
+            print(f"     {problem}")
+            failures += 1
+    print(f"dynamic corpus ({algorithm}): {len(results)} programs, {failures} problem(s)")
     return 1 if failures else 0
 
 
@@ -124,6 +146,11 @@ def main(argv: list | None = None) -> int:
         help="run the lab fixture regression corpus",
     )
     parser.add_argument(
+        "--dynamic-corpus", nargs="?", const="dpor", choices=("dpor", "naive"),
+        metavar="ALGO",
+        help="explore every lab program and check witnessed findings (default: dpor)",
+    )
+    parser.add_argument(
         "--self-check", nargs="?", const="", metavar="DIR",
         help="lint-gate the codebase under DIR (default: the repro package)",
     )
@@ -131,6 +158,8 @@ def main(argv: list | None = None) -> int:
 
     if args.corpus:
         return _run_corpus()
+    if args.dynamic_corpus is not None:
+        return _run_dynamic_corpus(args.dynamic_corpus)
     if args.self_check is not None:
         root = args.self_check
         if not root:

@@ -66,7 +66,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro._errors import JobError, ResourceError, SchedulingError
-from repro.cluster.backends import ExecutionBackend, ExecutionHandle, SimulatedBackend
+from repro.cluster.backends import (
+    CallableBackend,
+    ExecutionBackend,
+    ExecutionHandle,
+    SimulatedBackend,
+)
 from repro.cluster.grid import Grid
 from repro.cluster.job import Job, JobAttempt, JobRequest, JobState, RetryPolicy
 from repro.cluster.monitor import ClusterMonitor, HealthMonitor, HealthPolicy
@@ -105,6 +110,10 @@ class JobDistributor:
     ) -> None:
         self.grid = grid
         self.backend = backend
+        #: lazily-created companion for callable *service* jobs (e.g. the
+        #: portal's exploration workload) when the primary backend only
+        #: understands argv — see :meth:`_backend_for`.
+        self._callable_backend: CallableBackend | None = None
         self.scheduler = scheduler or FIFOScheduler()
         self.now_fn = now_fn or time.monotonic
         self.monitor = monitor or ClusterMonitor()
@@ -331,7 +340,7 @@ class JobDistributor:
                 job.started_at = self.now_fn()
                 self._register_running(job)
                 tel.job_started(job)
-                handle = self.backend.launch(job)
+                handle = self._backend_for(job).launch(job)
                 self._handles[job.id] = handle
                 handle.on_done(lambda j, h=handle: self._attempt_done(j, h))
                 started += 1
@@ -655,6 +664,26 @@ class JobDistributor:
         with self._lock:
             self._timer_at = None
         self.dispatch()
+
+    def _backend_for(self, job: Job) -> ExecutionBackend:
+        """The backend that should run this job.
+
+        Callable requests submitted to an argv-oriented distributor (the
+        portal's default uses :class:`SubprocessBackend`) are routed to a
+        lazily-created companion :class:`CallableBackend` so in-process
+        service jobs — notably the exploration workload — can share the
+        cluster's queueing, placement and fault machinery.  A simulated
+        distributor stays pure: virtual time must not silently spawn
+        real threads, so the historical error is preserved there.
+        """
+        if (
+            job.request.callable is not None
+            and not isinstance(self.backend, (CallableBackend, SimulatedBackend))
+        ):
+            if self._callable_backend is None:
+                self._callable_backend = CallableBackend()
+            return self._callable_backend
+        return self.backend
 
     def _default_defer(self, delay: float, cb: Callable[[], None]) -> None:
         if isinstance(self.backend, SimulatedBackend):

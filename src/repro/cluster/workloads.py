@@ -8,6 +8,7 @@ through a distributor on virtual time and returns the monitor summary.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,7 +18,13 @@ from repro.cluster.job import JobKind, JobRequest
 from repro.desim import Simulator
 from repro.desim.rng import substream
 
-__all__ = ["WorkloadSpec", "generate_requests", "run_workload"]
+__all__ = [
+    "WorkloadSpec",
+    "generate_requests",
+    "run_workload",
+    "ExploreJobSpec",
+    "run_exploration",
+]
 
 
 @dataclass(frozen=True)
@@ -113,3 +120,130 @@ def run_workload(
     summary["makespan_s"] = sim.now
     summary["offered_load_core_s_per_s"] = spec.offered_load_core_s_per_s
     return summary
+
+
+# ---------------------------------------------------------------------------
+# Distributed schedule exploration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExploreJobSpec:
+    """Shape of a distributed DPOR exploration run.
+
+    A coordinator :class:`~repro.interleave.dpor.DporExplorer` runs a
+    short seed pass to populate the backtrack frontier, then the pending
+    branches are partitioned into at most ``partitions`` cluster jobs
+    per wave.  Each worker exhausts its choice-prefix subtrees and
+    returns any backtrack points that escaped its ownership; the
+    coordinator dedups those and launches the next wave.
+    """
+
+    partitions: int = 4
+    seed_schedules: int = 8          # coordinator seed-pass budget
+    wave_budget: int = 512           # per-worker schedule budget per wave
+    max_waves: int = 16
+    wait_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1 or self.seed_schedules < 1:
+            raise ValueError("partitions and seed_schedules must be >= 1")
+        if self.wave_budget < 1 or self.max_waves < 1:
+            raise ValueError("wave_budget and max_waves must be >= 1")
+
+
+def _partition(branches: list, k: int) -> list[list]:
+    """Round-robin split into at most ``k`` non-empty chunks."""
+    chunks: list[list] = [[] for _ in range(min(k, len(branches)))]
+    for i, b in enumerate(branches):
+        chunks[i % len(chunks)].append(b)
+    return chunks
+
+
+def run_exploration(
+    distributor: JobDistributor,
+    factory,
+    spec: ExploreJobSpec = ExploreJobSpec(),
+) -> "ExplorationResult":
+    """Exhaust a program's schedule space across cluster jobs.
+
+    ``factory`` is the usual explorer contract
+    (``policy -> (scheduler, check)``); ``distributor`` must be able to
+    run callable jobs (any real backend qualifies — argv-only backends
+    transparently route callables to a companion in-process backend).
+    Returns a single merged :class:`ExplorationResult`.
+    """
+    from repro.interleave.dpor import DporExplorer
+    from repro.interleave.explorer import (
+        STOP_EXHAUSTED,
+        STOP_SCHEDULE_BUDGET,
+        STOP_STEP_BOUND,
+    )
+    from repro.telemetry.instruments import ExploreTelemetry
+
+    coordinator = DporExplorer(factory)
+    merged = coordinator.run(max_schedules=spec.seed_schedules)
+    pending = coordinator.take_frontier()
+    dispatched: set[tuple[int, ...]] = set()
+
+    def worker(chunk):
+        def explore_chunk(job):
+            ex = DporExplorer(factory)
+            res = ex.explore_branches(list(chunk), max_schedules=spec.wave_budget)
+            return {"result": res, "pending": ex.escaped + ex.take_frontier()}
+
+        return explore_chunk
+
+    waves = 0
+    while pending and waves < spec.max_waves:
+        waves += 1
+        fresh = []
+        for b in pending:
+            # ``is_covered`` also flags branches the coordinator merely
+            # *enqueued* during seeding, so it only applies to the
+            # worker-returned waves; the seed frontier is fresh by
+            # construction.
+            if b.tids in dispatched or (waves > 1 and coordinator.is_covered(b.tids)):
+                continue
+            dispatched.add(b.tids)
+            fresh.append(b)
+        if not fresh:
+            pending = []
+            break
+        jobs = [
+            distributor.submit(
+                JobRequest(
+                    name=f"explore-w{waves}p{i}",
+                    kind=JobKind.SEQUENTIAL,
+                    callable=worker(chunk),
+                )
+            )
+            for i, chunk in enumerate(_partition(fresh, spec.partitions))
+        ]
+        # Wait on *our* jobs only (not ``wait_all``): the coordinator may
+        # itself be a cluster job, and other users' work shares the grid.
+        deadline = time.monotonic() + spec.wait_timeout_s
+        while not all(j.terminal for j in jobs):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"exploration wave {waves} did not finish within "
+                    f"{spec.wait_timeout_s}s"
+                )
+            time.sleep(0.002)
+        pending = []
+        for job in jobs:
+            if not isinstance(job.result, dict):
+                raise RuntimeError(
+                    f"exploration job {job.request.name} failed: {job.error}"
+                )
+            merged.merge(job.result["result"])
+            pending.extend(job.result["pending"])
+
+    if pending:
+        merged.stop_reason = STOP_SCHEDULE_BUDGET
+    elif merged.stop_reason not in (STOP_EXHAUSTED, STOP_STEP_BOUND):
+        # every subtree drained — the seed pass's budget stop is moot
+        merged.stop_reason = STOP_STEP_BOUND if merged.step_bounded else STOP_EXHAUSTED
+    # record into the distributor's registry — the one ``/metrics`` serves
+    ExploreTelemetry(distributor.telemetry.registry).record(merged)
+    return merged

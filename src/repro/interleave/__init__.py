@@ -76,6 +76,7 @@ from repro.interleave.scheduler import (
     RoundRobinPolicy,
     RunResult,
     Scheduler,
+    StepRecord,
 )
 from repro.interleave.detector import (
     BaseDetector,
@@ -83,7 +84,17 @@ from repro.interleave.detector import (
     LocksetDetector,
     RaceReport,
 )
-from repro.interleave.explorer import ExplorationResult, explore
+from repro.interleave.explorer import (
+    STOP_EXHAUSTED,
+    STOP_ON_FIRST,
+    STOP_SCHEDULE_BUDGET,
+    STOP_STEP_BOUND,
+    STOP_WALL_CLOCK,
+    ExplorationResult,
+    explore,
+)
+from repro.interleave.dpor import Branch, DporExplorer, SleepBlocked
+from repro.interleave.footprint import dependent, footprint_of
 
 __all__ = [
     # ops
@@ -95,7 +106,13 @@ __all__ = [
     "VMutex", "VSemaphore", "VCondition", "VBarrier", "TASLock", "TTASLock", "VRWLock",
     # scheduler
     "Scheduler", "RunResult", "RandomPolicy", "RoundRobinPolicy", "FixedPolicy",
+    "StepRecord",
     # analysis
     "RaceReport", "BaseDetector", "LocksetDetector", "HappensBeforeDetector",
     "explore", "ExplorationResult",
+    # DPOR
+    "Branch", "DporExplorer", "SleepBlocked", "footprint_of", "dependent",
+    # stop reasons
+    "STOP_EXHAUSTED", "STOP_SCHEDULE_BUDGET", "STOP_STEP_BOUND",
+    "STOP_WALL_CLOCK", "STOP_ON_FIRST",
 ]

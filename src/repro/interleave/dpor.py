@@ -1,0 +1,366 @@
+"""Dynamic partial-order reduction (DPOR) with sleep sets.
+
+The naive explorer branches on *every* runnable thread at *every* step:
+the scheduling tree.  Most of those branches only reorder steps that do
+not touch common state — schedules in the same Mazurkiewicz equivalence
+class, guaranteed to reach the same deadlocks, final states and races.
+DPOR (Flanagan & Godefroid, POPL 2005) explores one representative per
+class: it runs a schedule, then inspects the executed trace for pairs of
+*conflicting* steps (dependent footprints, different threads) that the
+happens-before order does not already fix, and only for those installs a
+*backtrack point* — a new branch that reverses the pair.  Sleep sets
+prune the residual redundancy: a thread whose subtree at a state is
+already covered elsewhere is put to sleep and skipped until a dependent
+step wakes it; a run whose every runnable thread is asleep is abandoned
+(``pruned``), because each of its continuations commutes into a covered
+one.
+
+Replay orientation: the scheduler is stateless across runs (each run
+rebuilds the program through its factory), so everything is keyed by the
+*executed thread sequence* — a state is its tid-prefix, a branch is a
+forced tid-prefix plus the sleep set at its divergence point, and
+dependency footprints use stable names (:mod:`~repro.interleave.footprint`)
+precisely so they mean the same thing in the next run.
+
+Happens-before over the trace is computed with the same sparse
+:class:`~repro.interleave.detector.VectorClock` the FastTrack detector
+uses, but closed over *dependence* edges: each step merges the clock
+snapshots of the last write and (for writes) the reads-since-last-write
+on every key it touches.  A conflicting prior step whose snapshot the
+acting thread's clock does **not** already cover is a *reversible race*
+— the other order is reachable — and yields the backtrack point.
+
+Distribution: the exploration frontier is a plain list of
+:class:`Branch` values, so it can be partitioned into choice-prefix
+subtrees and shipped to `repro.cluster` jobs.  A worker *owns* the
+subtrees rooted at the branches it was handed; backtrack points it
+discovers at shallower states escape to ``self.escaped`` for the
+coordinator to dedupe and reissue (see
+:func:`repro.cluster.workloads.run_exploration`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro._errors import SimulationError
+from repro.interleave.detector import VectorClock
+from repro.interleave.explorer import (
+    STOP_ON_FIRST,
+    STOP_SCHEDULE_BUDGET,
+    STOP_STEP_BOUND,
+    STOP_WALL_CLOCK,
+    ExplorationResult,
+    ProgramFactory,
+    _collect_findings,
+)
+from repro.interleave.footprint import Footprint, dependent
+from repro.interleave.scheduler import Policy, StepRecord, VThread
+
+__all__ = ["Branch", "DporExplorer", "SleepBlocked"]
+
+#: a sleeping thread and the footprint of its (already explored) step.
+SleepEntry = tuple[int, Footprint]
+
+
+class SleepBlocked(Exception):
+    """Raised by the DPOR policy when every runnable thread is asleep.
+
+    The run is abandoned: each continuation commutes into a schedule
+    already covered by an earlier sibling branch.
+    """
+
+    def __init__(self, step: int) -> None:
+        super().__init__(f"all runnable threads asleep at step {step}")
+        self.step = step
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One pending unit of exploration: a subtree root.
+
+    ``tids`` is the forced thread sequence from the initial state to the
+    subtree root (the last entry is the diverging choice); ``sleep`` is
+    the sleep set *at the divergence state* — threads whose own subtrees
+    there are covered by sibling branches, with the footprint each one
+    had so dependent steps can wake it.
+    """
+
+    tids: tuple[int, ...] = ()
+    sleep: tuple[SleepEntry, ...] = ()
+
+
+@dataclass
+class _State:
+    """Everything the explorer remembers about one visited state."""
+
+    runnable: tuple[int, ...]
+    sleep: tuple[SleepEntry, ...]
+    #: tid → footprint of its step here (``None`` while merely pending).
+    done: dict[int, Optional[Footprint]] = field(default_factory=dict)
+
+
+class _DporPolicy(Policy):
+    """Replay a forced tid-prefix, then free-run avoiding the sleep set."""
+
+    def __init__(self, forced: tuple[int, ...], sleep: tuple[SleepEntry, ...]) -> None:
+        self.forced = tuple(forced)
+        #: the step index of the diverging choice — sleep bookkeeping
+        #: (snapshots and wake-ups) starts here.
+        self.branch_step = len(self.forced) - 1
+        self.sleep: dict[int, Footprint] = dict(sleep)
+        self.records: list[StepRecord] = []
+        #: step index → sleep set at the state *before* that step.
+        self.sleep_log: dict[int, tuple[SleepEntry, ...]] = {}
+
+    def choose(self, runnable: list[VThread], step: int) -> int:
+        if step < len(self.forced):
+            want = self.forced[step]
+            for i, t in enumerate(runnable):
+                if t.tid == want:
+                    return i
+            raise SimulationError(
+                f"DPOR replay diverged: thread {want} not runnable at step {step} "
+                "(factory is not deterministic?)"
+            )
+        for i, t in enumerate(runnable):
+            if t.tid not in self.sleep:
+                return i
+        raise SleepBlocked(step)
+
+    def observe(self, rec: StepRecord) -> None:
+        k = len(self.records)
+        self.records.append(rec)
+        if k >= self.branch_step:
+            self.sleep_log[k] = tuple(sorted(self.sleep.items()))
+            if self.sleep and rec.footprint:
+                # A step conflicting with a sleeper's recorded step breaks
+                # the commutation argument: wake it.
+                for tid, fp in list(self.sleep.items()):
+                    if tid != rec.tid and dependent(fp, rec.footprint):
+                        del self.sleep[tid]
+
+
+class DporExplorer:
+    """Frontier-driven DPOR exploration over a replayable program factory.
+
+    Use :meth:`run` for a whole-tree exploration (seeds the initial
+    branch itself) or :meth:`explore_branches` to exhaust specific
+    subtrees, as the distributed workers do.
+    """
+
+    def __init__(self, factory: ProgramFactory) -> None:
+        self.factory = factory
+        #: tid-prefix → state bookkeeping (shared across all runs).
+        self.states: dict[tuple[int, ...], _State] = {}
+        self.frontier: list[Branch] = []
+        #: backtrack points outside the owned subtrees (distributed mode).
+        self.escaped: list[Branch] = []
+        #: subtree roots this explorer is responsible for; ``None`` = all.
+        self.owned_roots: Optional[tuple[tuple[int, ...], ...]] = None
+        self.result = ExplorationResult(algorithm="dpor")
+        self._seeded = False
+        self._found = False
+
+    # -- public driving ----------------------------------------------------
+    def run(
+        self,
+        max_schedules: int = 256,
+        stop_on_first: bool = False,
+        max_seconds: float | None = None,
+    ) -> ExplorationResult:
+        """Drain the frontier (seeding the root branch if fresh)."""
+        if not self._seeded:
+            self._seeded = True
+            self.frontier.append(Branch())
+        started = time.perf_counter()
+        deadline = None if max_seconds is None else started + max_seconds
+        result = self.result
+        while self.frontier:
+            if result.schedules_run >= max_schedules:
+                result.stop_reason = STOP_SCHEDULE_BUDGET
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                result.stop_reason = STOP_WALL_CLOCK
+                break
+            self._explore_one(self.frontier.pop())
+            if self._found and stop_on_first:
+                result.stop_reason = STOP_ON_FIRST
+                break
+        else:
+            if result.step_bounded:
+                result.stop_reason = STOP_STEP_BOUND
+        result.elapsed_s += time.perf_counter() - started
+        return result
+
+    def explore_branches(
+        self,
+        branches: list[Branch],
+        max_schedules: int = 256,
+        stop_on_first: bool = False,
+        max_seconds: float | None = None,
+    ) -> ExplorationResult:
+        """Exhaust the subtrees rooted at ``branches`` (worker mode).
+
+        Backtrack points landing above the owned roots accumulate in
+        ``self.escaped`` instead of being explored here.
+        """
+        self.owned_roots = tuple(b.tids for b in branches)
+        self.frontier.extend(branches)
+        self._seeded = True
+        return self.run(
+            max_schedules=max_schedules,
+            stop_on_first=stop_on_first,
+            max_seconds=max_seconds,
+        )
+
+    def take_frontier(self) -> list[Branch]:
+        """Detach and return the pending branches (for partitioning)."""
+        branches, self.frontier = self.frontier, []
+        return branches
+
+    def is_covered(self, tids: tuple[int, ...]) -> bool:
+        """Has the branch ``tids`` already been explored or enqueued here?"""
+        st = self.states.get(tids[:-1]) if tids else None
+        return st is not None and tids[-1] in st.done
+
+    # -- internals ---------------------------------------------------------
+    def _owns(self, tids: tuple[int, ...]) -> bool:
+        if self.owned_roots is None:
+            return True
+        return any(tids[: len(r)] == r for r in self.owned_roots)
+
+    def _explore_one(self, branch: Branch) -> None:
+        policy = _DporPolicy(branch.tids, branch.sleep)
+        sched, check = self.factory(policy)
+        sched.trace_steps = True
+        result = self.result
+        try:
+            run = sched.run()
+        except SleepBlocked:
+            # Redundant schedule: don't collect findings (the equivalent
+            # schedule elsewhere reports them), but the executed prefix
+            # still feeds state registration and race analysis below.
+            result.pruned += 1
+            run = None
+        result.schedules_run += 1
+        recs = policy.records
+        result.states_explored += len(recs)
+        if run is not None:
+            if run.bounded:
+                result.step_bounded = True
+            witness = tuple(c for _, c in run.choice_trace)
+            if _collect_findings(result, run, witness, check):
+                self._found = True
+        self._analyze(recs, policy.sleep_log)
+
+    def _analyze(self, recs: list[StepRecord], sleep_log: dict) -> None:
+        """Register the trace's states and derive backtrack points."""
+        states = self.states
+        #: state key (tid-prefix) *before* each step.
+        state_keys: list[tuple[int, ...]] = []
+        path: list[int] = []
+        for k, rec in enumerate(recs):
+            key = tuple(path)
+            state_keys.append(key)
+            st = states.get(key)
+            if st is None:
+                st = _State(runnable=rec.runnable, sleep=sleep_log.get(k, ()))
+                states[key] = st
+                self.result.naive_branch_points += len(rec.runnable) - 1
+            if st.done.get(rec.tid) is None:
+                st.done[rec.tid] = rec.footprint
+            path.append(rec.tid)
+
+        # Vector-clock pass: happens-before closed over dependence edges.
+        # For each step, conflicting prior steps its thread's clock does
+        # not cover are reversible races → backtrack points.  Candidates
+        # per key are the last write and, for writes, the reads since it;
+        # older conflicts are ordered transitively through those.
+        clocks: dict[int, VectorClock] = {}
+        last_write: dict[tuple, tuple[int, VectorClock, int]] = {}
+        readers: dict[tuple, dict[int, tuple[VectorClock, int]]] = {}
+        for k, rec in enumerate(recs):
+            p = rec.tid
+            vc = clocks.get(p)
+            if vc is None:
+                vc = VectorClock()
+                # Fork edge: the spawn step wrote this thread's lifecycle
+                # key; inherit its snapshot before the first own step.
+                spawn = last_write.get(("t", p))
+                if spawn is not None:
+                    vc.merge(spawn[1])
+                clocks[p] = vc
+            merges: list[VectorClock] = []
+            races: list[int] = []
+            for space, key, is_w in rec.footprint:
+                k2 = (space, key)
+                lw = last_write.get(k2)
+                if lw is not None:
+                    merges.append(lw[1])
+                    if lw[0] != p and not vc.covers(lw[0], lw[1].get(lw[0])):
+                        races.append(lw[2])
+                if is_w:
+                    for rt, (rsnap, ridx) in readers.get(k2, {}).items():
+                        if rt == p:
+                            continue
+                        merges.append(rsnap)
+                        if not vc.covers(rt, rsnap.get(rt)):
+                            races.append(ridx)
+            # All reversibility checks above used the pre-step clock;
+            # only now absorb the dependence edges.
+            for j_idx in races:
+                self._add_backtrack(j_idx, p, recs, state_keys)
+            for snap in merges:
+                vc.merge(snap)
+            vc.tick(p)
+            snap = vc.copy()
+            for space, key, is_w in rec.footprint:
+                k2 = (space, key)
+                if is_w:
+                    last_write[k2] = (p, snap, k)
+                    readers[k2] = {}
+                else:
+                    readers.setdefault(k2, {})[p] = (snap, k)
+
+    def _add_backtrack(
+        self,
+        j_idx: int,
+        p: int,
+        recs: list[StepRecord],
+        state_keys: list[tuple[int, ...]],
+    ) -> None:
+        """Schedule the reversal of the race ``(step j, current thread p)``.
+
+        Following Flanagan–Godefroid: run ``p`` at the state before step
+        ``j`` if it was runnable there, otherwise every alternative to
+        the thread that ran.  Threads already explored/pending there, or
+        asleep there (covered by a sibling), are skipped.
+        """
+        rec_j = recs[j_idx]
+        skey = state_keys[j_idx]
+        st = self.states[skey]
+        if p in rec_j.runnable:
+            targets: tuple[int, ...] = (p,)
+        else:
+            targets = tuple(t for t in rec_j.runnable if t != rec_j.tid)
+        asleep = {tid for tid, _ in st.sleep}
+        for q in targets:
+            if q in st.done or q in asleep:
+                continue
+            # Sibling subtrees explored (or in flight) at this state are
+            # covered: their threads sleep in the new branch.  Pending
+            # entries (footprint still unknown) are omitted — we could
+            # not wake them correctly, and omission only costs pruning.
+            sleep = list(st.sleep)
+            for t, fp in sorted(st.done.items()):
+                if fp is not None and t != q:
+                    sleep.append((t, fp))
+            st.done[q] = None
+            branch = Branch(tids=skey + (q,), sleep=tuple(sleep))
+            if self._owns(branch.tids):
+                self.frontier.append(branch)
+            else:
+                self.escaped.append(branch)

@@ -1,0 +1,81 @@
+"""Dependency footprints: what one scheduler step touches.
+
+Dynamic partial-order reduction needs to know, for every executed step,
+which parts of the shared state that step *could* conflict on.  A
+footprint is a tuple of accesses ``(space, key, is_write)``:
+
+* ``("v", var_name, w)`` — a :class:`SharedVar` read/write (atomic RMW
+  ops count as writes: they conflict with everything on the var but are
+  still one access);
+* ``("m", mutex_name, True)`` — any mutex interaction (acquire, release,
+  a blocked acquire, a TAS lock's :class:`LockAnnounce`).  Lock ops
+  never commute with each other, so they are all "writes";
+* ``("s", sem_name, True)`` / ``("c", cond_name, True)`` — semaphore and
+  condition traffic (a ``Wait`` also touches the condition's mutex);
+* ``("t", tid, w)`` — thread lifecycle: spawning and exiting *write*
+  the child's key, ``Join`` *reads* the target's key.  This encodes the
+  fork and join happens-before edges in the same vocabulary as data.
+
+Keys are **names**, not object identities, because the explorer replays
+a program by re-running its factory: every run builds fresh objects, and
+only names survive across runs.  Two distinct objects sharing a name
+collapse into one key — a spurious *dependence*, which costs pruning
+power but never soundness.
+
+Two footprints are *dependent* when they touch a common key and at least
+one side writes it.  Steps with disjoint (or read-only-overlapping)
+footprints commute: executing them in either order reaches the same
+state, which is exactly the equivalence DPOR exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.interleave import ops as O
+
+__all__ = ["Access", "Footprint", "footprint_of", "dependent"]
+
+Access = Tuple[str, object, bool]
+Footprint = Tuple[Access, ...]
+
+
+def footprint_of(op: O.Op) -> Footprint:
+    """The shared-state accesses performed by interpreting ``op``.
+
+    This mirrors ``Scheduler._interpret`` case by case; an op missing
+    here would silently commute with everything, so the fallback is a
+    hard error rather than an empty footprint.
+    """
+    if isinstance(op, O.Read):
+        return (("v", op.var.name, False),)
+    if isinstance(op, (O.Write, O.Tas, O.FetchAdd)):
+        return (("v", op.var.name, True),)
+    if isinstance(op, (O.Acquire, O.Release)):
+        return (("m", op.mutex.name, True),)
+    if isinstance(op, (O.SemP, O.SemV)):
+        return (("s", op.sem.name, True),)
+    if isinstance(op, O.Wait):
+        # Wait releases the mutex and parks on the condition: both keys.
+        return (("c", op.cond.name, True), ("m", op.cond.mutex.name, True))
+    if isinstance(op, (O.NotifyOne, O.NotifyAll)):
+        # Notify moves waiters onto the mutex queue: it touches both too.
+        return (("c", op.cond.name, True), ("m", op.cond.mutex.name, True))
+    if isinstance(op, O.Join):
+        return (("t", op.thread.tid, False),)
+    if isinstance(op, O.LockAnnounce):
+        return (("m", op.lock.name, True),)
+    if isinstance(op, O.Nop):
+        return ()
+    raise TypeError(f"no footprint rule for op {op!r}")  # pragma: no cover
+
+
+def dependent(a: Footprint, b: Footprint) -> bool:
+    """Do the two steps conflict (same key, at least one write)?"""
+    if not a or not b:
+        return False
+    for space, key, a_write in a:
+        for space_b, key_b, b_write in b:
+            if space == space_b and key == key_b and (a_write or b_write):
+                return True
+    return False

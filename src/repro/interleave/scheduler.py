@@ -24,6 +24,7 @@ from repro.interleave.detector import (
     LocksetDetector,
     RaceReport,
 )
+from repro.interleave.footprint import Footprint, footprint_of
 
 __all__ = [
     "ThreadState",
@@ -34,6 +35,7 @@ __all__ = [
     "FixedPolicy",
     "RunResult",
     "Scheduler",
+    "StepRecord",
 ]
 
 
@@ -83,7 +85,14 @@ class VThread:
 
 
 class Policy:
-    """Strategy choosing which runnable thread steps next."""
+    """Strategy choosing which runnable thread steps next.
+
+    A policy may additionally define ``observe(record)``; when the
+    scheduler runs with ``trace_steps`` enabled it calls it with the
+    :class:`StepRecord` of every executed step, *after* the step's
+    effects.  The DPOR explorer's policy uses this to maintain its sleep
+    set from the dependency footprints it sees.
+    """
 
     def choose(self, runnable: list[VThread], step: int) -> int:
         """Return an index into ``runnable`` (which is spawn-ordered)."""
@@ -133,6 +142,23 @@ class FixedPolicy(Policy):
         return 0
 
 
+@dataclass(frozen=True)
+class StepRecord:
+    """One traced scheduler step (``Scheduler.trace_steps``).
+
+    ``runnable`` lists the tids that were runnable when the step was
+    chosen (spawn-ordered, matching the index space of ``choose``);
+    ``footprint`` is the step's dependency footprint, extended with the
+    ``("t", tid, True)`` lifecycle writes for threads it spawned or
+    finished during the step.
+    """
+
+    runnable: tuple[int, ...]
+    chosen_index: int
+    tid: int
+    footprint: Footprint
+
+
 @dataclass
 class RunResult:
     """Outcome of one scheduler run."""
@@ -146,6 +172,8 @@ class RunResult:
     failures: dict[str, BaseException] = field(default_factory=dict)
     choice_trace: list[tuple[int, int]] = field(default_factory=list)
     """``(n_runnable, chosen_index)`` per step — fuels the explorer."""
+    step_trace: list[StepRecord] = field(default_factory=list)
+    """Per-step dependency records; filled only under ``trace_steps``."""
 
     @property
     def deadlocked(self) -> bool:
@@ -200,6 +228,8 @@ class Scheduler:
             detector = HappensBeforeDetector() if happens_before else LocksetDetector()
         self._detector = detector
         self.access_hooks: list[Callable[[VThread, O.Op], None]] = []
+        #: record a :class:`StepRecord` per step (set by the DPOR explorer).
+        self.trace_steps = False
         self._step_count = 0
         self._current: Optional[VThread] = None
 
@@ -245,7 +275,28 @@ class Scheduler:
                 )
             result.choice_trace.append((len(runnable), idx))
             self._step_count += 1
-            self._step(runnable[idx])
+            chosen = runnable[idx]
+            if not self.trace_steps:
+                self._step(chosen)
+                continue
+            n_before = len(self.threads)
+            op = self._step(chosen)
+            accesses = footprint_of(op) if isinstance(op, O.Op) else ()
+            # Lifecycle writes: spawns and the thread's own exit conflict
+            # with joins (and with each other), giving fork/join edges.
+            extra = tuple(("t", child.tid, True) for child in self.threads[n_before:])
+            if chosen.finished:
+                extra += (("t", chosen.tid, True),)
+            rec = StepRecord(
+                runnable=tuple(t.tid for t in runnable),
+                chosen_index=idx,
+                tid=chosen.tid,
+                footprint=accesses + extra,
+            )
+            result.step_trace.append(rec)
+            observe = getattr(self.policy, "observe", None)
+            if observe is not None:
+                observe(rec)
 
         self._current = None  # host-side spawns after the run are not forks
         result.steps = self._step_count
@@ -259,7 +310,8 @@ class Scheduler:
         return result
 
     # -- single step -------------------------------------------------------
-    def _step(self, t: VThread) -> None:
+    def _step(self, t: VThread) -> Optional[O.Op]:
+        """Execute one step of ``t``; returns the op it performed (if any)."""
         t.steps += 1
         self._current = t
         try:
@@ -271,10 +323,10 @@ class Scheduler:
                 op = t.gen.send(val)
         except StopIteration as stop:
             self._finish(t, value=stop.value)
-            return
+            return None
         except BaseException as exc:  # noqa: BLE001 - student code may raise anything
             self._finish(t, exc=exc)
-            return
+            return None
 
         if not isinstance(op, O.Op):
             self._finish(
@@ -284,11 +336,12 @@ class Scheduler:
                     "(did you forget `yield from` on a composite primitive?)"
                 ),
             )
-            return
+            return None
 
         for hook in self.access_hooks:
             hook(t, op)
         self._interpret(t, op)
+        return op
 
     def _interpret(self, t: VThread, op: O.Op) -> None:
         if isinstance(op, O.Read):

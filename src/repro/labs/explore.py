@@ -1,0 +1,481 @@
+"""Exploration-sized lab programs: every lab as a replayable factory.
+
+The classroom lab entry points (``run_broken``/``run_fixed``) run *one*
+random schedule at classroom sizes.  Systematic exploration needs the
+same programs as **deterministic factories** at sizes whose scheduling
+trees are exhaustible — so the DPOR-vs-naive equivalence suite can prove
+both algorithms find the same bugs, and the dynamic corpus can verify
+every broken variant's defect (and every fixed variant's absence of one)
+*universally* rather than on a lucky seed.
+
+Differences from the classroom versions, all in the name of bounded,
+deterministic trees:
+
+* sizes (iterations, items, philosophers) are parameters with tiny
+  defaults;
+* no file I/O (lab 4 copies between in-memory sequences);
+* busy-wait loops are bounded with a small give-up budget (labs 2 and
+  7's broken spin loops otherwise make the scheduling tree infinite);
+  checks are phrased so that giving up is never itself a violation —
+  only actual lost updates / corrupted data are;
+* no cache-coherence bridge on lab 2 (it is observational only).
+
+Every factory follows the explorer's contract: called with a policy, it
+builds fresh state and returns ``(scheduler, check)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.interleave import (
+    LockAnnounce,
+    Nop,
+    Scheduler,
+    SharedArray,
+    SharedVar,
+    TASLock,
+    VCondition,
+    VMutex,
+    VSemaphore,
+)
+from repro.labs.lab1_sync import _synchronized, _unsynchronized
+from repro.labs.lab5_bank import _deposit_locked, _deposit_loop, _withdraw_locked, _withdraw_loop
+from repro.labs.lab6_philosophers import philosopher
+
+__all__ = ["PROGRAMS", "program", "program_ids"]
+
+
+# -- lab 2: bounded-spin TAS lock ----------------------------------------------
+
+
+def _lab2_locked_bounded(data: SharedVar, lock: TASLock, done: list, n: int, tries: int):
+    """TAS-guarded increments with a bounded spin (give up, don't hang).
+
+    Mirrors ``TASLock.acquire`` inline so the spin is bounded: ``tries``
+    failed test-and-sets abandon the remaining iterations.  ``done``
+    counts the increments actually performed, so the checker can demand
+    "no lost updates" without demanding "never gave up".
+    """
+    for _ in range(n):
+        acquired = False
+        for _ in range(tries):
+            old = yield lock.flag.tas(True)
+            if not old:
+                acquired = True
+                break
+            yield Nop("spin on TAS")
+        if not acquired:
+            return
+        yield LockAnnounce(lock, True)
+        v = yield data.read()
+        yield data.write(v + 1)
+        yield LockAnnounce(lock, False)
+        yield lock.flag.write(False)
+        done.append(1)
+
+
+def _lab2_unlocked(data: SharedVar, done: list, n: int):
+    for _ in range(n):
+        v = yield data.read()
+        yield Nop("work on stale local copy")
+        yield data.write(v + 1)
+        done.append(1)
+
+
+# -- lab 3: private slots (clean by construction) ------------------------------
+
+
+def _lab3_worker(results: SharedArray, idx: int, rounds: int):
+    for r in range(rounds):
+        yield Nop(f"touch remote page for worker {idx}")
+        v = yield results[idx].read()
+        yield results[idx].write(v + r)
+
+
+# -- lab 4: reader/writer pipeline, file-free ----------------------------------
+
+
+def _lab4_reader(numbers, array: SharedArray, count: SharedVar, items: Optional[VSemaphore]):
+    for i, n in enumerate(numbers):
+        yield array[i].write(n)
+        c = yield count.read()
+        yield count.write(c + 1)
+        if items is not None:
+            yield items.v()
+
+
+def _lab4_writer_broken(array: SharedArray, count: SharedVar, out: list):
+    """Unsynchronised writer: polls ``count``, may stop early or read
+    slots the reader has not filled yet (the student bug)."""
+    i = 0
+    while True:
+        available = yield count.read()
+        if i >= available:
+            seen_again = yield count.read()
+            if seen_again == available:
+                break
+            continue
+        value = yield array[i].read()
+        out.append(value)
+        i += 1
+        if value == -1:
+            break
+
+
+def _lab4_writer_fixed(array: SharedArray, items: VSemaphore, out: list):
+    i = 0
+    while True:
+        yield items.p()
+        value = yield array[i].read()
+        out.append(value)
+        i += 1
+        if value == -1:
+            break
+
+
+# -- lab 7: bounded buffer, parameterised + bounded spins ----------------------
+
+
+def _lab7_producer_broken(buf, count, tail, items, capacity: int, spins: int):
+    for item in items:
+        tries = 0
+        while True:
+            n = yield count.read()
+            if n < capacity:
+                break
+            tries += 1
+            if tries > spins:
+                return  # give up: the program has effectively hung
+            yield Nop("spin: buffer looks full")
+        t = yield tail.read()
+        yield buf[t % capacity].write(item)
+        yield tail.write(t + 1)
+        n = yield count.read()
+        yield Nop("increment count")
+        yield count.write(n + 1)
+
+
+def _lab7_consumer_broken(buf, count, head, out, n_items: int, capacity: int, spins: int):
+    for _ in range(n_items):
+        tries = 0
+        while True:
+            n = yield count.read()
+            if n > 0:
+                break
+            tries += 1
+            if tries > spins:
+                return  # give up: never signalled
+            yield Nop("spin: buffer looks empty")
+        h = yield head.read()
+        value = yield buf[h % capacity].read()
+        yield head.write(h + 1)
+        n = yield count.read()
+        yield Nop("decrement count")
+        yield count.write(n - 1)
+        out.append(value)
+
+
+def _lab7_producer_cond(buf, count, tail, mutex, not_full, not_empty, items, capacity):
+    for item in items:
+        yield mutex.acquire()
+        while True:
+            n = yield count.read()
+            if n < capacity:
+                break
+            yield not_full.wait()
+        t = yield tail.read()
+        yield buf[t % capacity].write(item)
+        yield tail.write(t + 1)
+        yield count.write(n + 1)
+        yield not_empty.notify_one()
+        yield mutex.release()
+
+
+def _lab7_consumer_cond(buf, count, head, mutex, not_full, not_empty, out, n_items, capacity):
+    for _ in range(n_items):
+        yield mutex.acquire()
+        while True:
+            n = yield count.read()
+            if n > 0:
+                break
+            yield not_empty.wait()
+        h = yield head.read()
+        value = yield buf[h % capacity].read()
+        yield head.write(h + 1)
+        yield count.write(n - 1)
+        yield not_full.notify_one()
+        yield mutex.release()
+        out.append(value)
+
+
+def _lab7_producer_sem(buf, tail, mutex, empty, full, items, capacity):
+    for item in items:
+        yield empty.p()
+        yield mutex.acquire()
+        t = yield tail.read()
+        yield buf[t % capacity].write(item)
+        yield tail.write(t + 1)
+        yield mutex.release()
+        yield full.v()
+
+
+def _lab7_consumer_sem(buf, head, mutex, empty, full, out, n_items, capacity):
+    for _ in range(n_items):
+        yield full.p()
+        yield mutex.acquire()
+        h = yield head.read()
+        value = yield buf[h % capacity].read()
+        yield head.write(h + 1)
+        yield mutex.release()
+        yield empty.v()
+        out.append(value)
+
+
+# -- factories -----------------------------------------------------------------
+
+
+def lab1(variant: str = "broken", threads: int = 2, iterations: int = 1):
+    """Shared counter, unprotected vs ``synchronized`` RMW."""
+
+    def factory(policy):
+        sched = Scheduler(policy=policy)
+        counter = SharedVar("counter", 0)
+        lock = VMutex("synchronized")
+        for i in range(threads):
+            body = (
+                _unsynchronized(counter, iterations)
+                if variant == "broken"
+                else _synchronized(counter, lock, iterations)
+            )
+            sched.spawn(body, name=f"worker-{i}")
+        expected = threads * iterations
+
+        def check(run):
+            if counter.value != expected:
+                return f"lost update: counter {counter.value} != {expected}"
+            return None
+
+        return sched, check
+
+    return factory
+
+
+def lab2(variant: str = "broken", threads: int = 2, iterations: int = 1, tries: int = 1):
+    """Shared datum guarded (or not) by a bounded-spin TAS lock."""
+
+    def factory(policy):
+        sched = Scheduler(policy=policy)
+        data = SharedVar("shared_data", 0)
+        lock = TASLock("tas")
+        done: list[int] = []
+        for i in range(threads):
+            body = (
+                _lab2_unlocked(data, done, iterations)
+                if variant == "broken"
+                else _lab2_locked_bounded(data, lock, done, iterations, tries)
+            )
+            sched.spawn(body, name=f"core-{i}")
+
+        def check(run):
+            if data.value != len(done):
+                return f"lost update: counter {data.value} != {len(done)} completed increments"
+            return None
+
+        return sched, check
+
+    return factory
+
+
+def lab3(variant: str = "broken", workers: int = 2, rounds: int = 2):
+    """Private result slots: no concurrency defect in either variant.
+
+    The "broken" lab 3 submission is broken only in the NUMA-locality
+    sense; exploration must prove it clean (a locality problem is not a
+    race), which also showcases DPOR's best case: all steps commute.
+    """
+
+    def factory(policy):
+        sched = Scheduler(policy=policy)
+        results = SharedArray("results", workers, fill=0)
+        for i in range(workers):
+            sched.spawn(_lab3_worker(results, i, rounds), name=f"worker-{i}")
+        expected = [sum(range(rounds))] * workers
+
+        def check(run):
+            got = results.snapshot()
+            if got != expected:
+                return f"slot corruption: {got} != {expected}"
+            return None
+
+        return sched, check
+
+    return factory
+
+
+def lab4(variant: str = "broken", numbers: tuple = (7,)):
+    """File-copy pipeline (in-memory): reader fills, writer drains."""
+    payload = list(numbers) + [-1]
+
+    def factory(policy):
+        sched = Scheduler(policy=policy)
+        array = SharedArray("numbers", len(payload) + 2, fill=0)
+        count = SharedVar("count", 0)
+        out: list[int] = []
+        if variant == "broken":
+            sched.spawn(_lab4_reader(payload, array, count, None), name="reader")
+            sched.spawn(_lab4_writer_broken(array, count, out), name="writer")
+        else:
+            items = VSemaphore("items", 0)
+            sched.spawn(_lab4_reader(payload, array, count, items), name="reader")
+            sched.spawn(_lab4_writer_fixed(array, items, out), name="writer")
+
+        def check(run):
+            if out != payload:
+                return f"unfaithful copy: {out} != {payload}"
+            return None
+
+        return sched, check
+
+    return factory
+
+
+def lab5(variant: str = "broken", initial: int = 2, withdraw: int = 1, deposit: int = 1):
+    """Bank account: concurrent dollar-at-a-time withdraw/deposit."""
+    expected = initial - withdraw + deposit
+
+    def factory(policy):
+        sched = Scheduler(policy=policy)
+        balance = SharedVar("balance", initial)
+        lock = VMutex("account_mutex")
+        if variant == "broken":
+            sched.spawn(_withdraw_loop(balance, withdraw), name="withdraw")
+            sched.spawn(_deposit_loop(balance, deposit), name="deposit")
+        else:
+            sched.spawn(_withdraw_locked(balance, lock, withdraw), name="withdraw")
+            sched.spawn(_deposit_locked(balance, lock, deposit), name="deposit")
+
+        def check(run):
+            if balance.value != expected:
+                return f"wrong balance: {balance.value} != {expected}"
+            return None
+
+        return sched, check
+
+    return factory
+
+
+def lab6(variant: str = "broken", n_philosophers: int = 2, meals: int = 1):
+    """Dining philosophers; the fixed variant reverses the last one."""
+
+    def factory(policy):
+        sched = Scheduler(policy=policy, detect_races=False)
+        forks = [VMutex(f"fork{i}") for i in range(n_philosophers)]
+        log: list[str] = []
+        for i in range(n_philosophers):
+            reverse = variant != "broken" and i == n_philosophers - 1
+            sched.spawn(philosopher(i, forks, log, meals, reverse), name=f"P{i}")
+        return sched, None
+
+    return factory
+
+
+def lab7(variant: str = "broken", items: int = 2, capacity: int = 1, spins: int = 1):
+    """Bounded buffer: racy count, condvars, or semaphores."""
+    payload = list(range(1, items + 1))
+
+    def factory(policy):
+        sched = Scheduler(policy=policy)
+        buf = SharedArray("buffer", capacity, fill=0)
+        head, tail = SharedVar("head", 0), SharedVar("tail", 0)
+        out: list[int] = []
+        if variant == "broken":
+            count = SharedVar("count", 0)
+            sched.spawn(
+                _lab7_producer_broken(buf, count, tail, payload, capacity, spins),
+                name="producer",
+            )
+            sched.spawn(
+                _lab7_consumer_broken(buf, count, head, out, items, capacity, spins),
+                name="consumer",
+            )
+        elif variant == "fixed_semaphore":
+            mutex = VMutex("buffer_mutex")
+            empty = VSemaphore("empty", capacity)
+            full = VSemaphore("full", 0)
+            sched.spawn(
+                _lab7_producer_sem(buf, tail, mutex, empty, full, payload, capacity),
+                name="producer",
+            )
+            sched.spawn(
+                _lab7_consumer_sem(buf, head, mutex, empty, full, out, items, capacity),
+                name="consumer",
+            )
+        else:
+            count = SharedVar("count", 0)
+            mutex = VMutex("buffer_mutex")
+            not_full = VCondition(mutex, "not_full")
+            not_empty = VCondition(mutex, "not_empty")
+            sched.spawn(
+                _lab7_producer_cond(
+                    buf, count, tail, mutex, not_full, not_empty, payload, capacity
+                ),
+                name="producer",
+            )
+            sched.spawn(
+                _lab7_consumer_cond(
+                    buf, count, head, mutex, not_full, not_empty, out, items, capacity
+                ),
+                name="consumer",
+            )
+
+        def check(run):
+            # Giving up (bounded spin) truncates the output; only actual
+            # corruption — out-of-order or duplicated items — is a bug.
+            if out != payload[: len(out)]:
+                return f"corrupted consumption: {out} != prefix of {payload}"
+            return None
+
+        return sched, check
+
+    return factory
+
+
+#: ``"lab6:broken"`` → builder; builders take size keywords, return a factory.
+PROGRAMS: dict[str, Callable] = {
+    "lab1:broken": lambda **kw: lab1("broken", **kw),
+    "lab1:fixed": lambda **kw: lab1("fixed", **kw),
+    "lab2:broken": lambda **kw: lab2("broken", **kw),
+    "lab2:fixed": lambda **kw: lab2("fixed", **kw),
+    "lab3:broken": lambda **kw: lab3("broken", **kw),
+    "lab3:fixed": lambda **kw: lab3("fixed", **kw),
+    "lab4:broken": lambda **kw: lab4("broken", **kw),
+    "lab4:fixed": lambda **kw: lab4("fixed", **kw),
+    "lab5:broken": lambda **kw: lab5("broken", **kw),
+    "lab5:fixed": lambda **kw: lab5("fixed", **kw),
+    "lab6:broken": lambda **kw: lab6("broken", **kw),
+    "lab6:fixed": lambda **kw: lab6("fixed", **kw),
+    "lab7:broken": lambda **kw: lab7("broken", **kw),
+    "lab7:fixed": lambda **kw: lab7("fixed", **kw),
+    "lab7:fixed_semaphore": lambda **kw: lab7("fixed_semaphore", **kw),
+}
+
+
+def program_ids() -> list[str]:
+    """All registered exploration program ids, sorted."""
+    return sorted(PROGRAMS)
+
+
+def program(lab_id: str, variant: str = "broken", **sizes):
+    """Build the exploration factory for ``lab_id``/``variant``.
+
+    Size keywords (``iterations``, ``items``, ``n_philosophers``, ...)
+    override the tiny defaults; see the individual builders.
+    """
+    key = f"{lab_id}:{variant}"
+    builder = PROGRAMS.get(key)
+    if builder is None:
+        raise KeyError(
+            f"no exploration program {key!r}; known: {', '.join(program_ids())}"
+        )
+    return builder(**sizes)

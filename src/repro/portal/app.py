@@ -286,6 +286,8 @@ class PortalApp:
         r.add("GET", "/api/jobs/<job_id>/output", self._api_job_output)
         r.add("POST", "/api/jobs/<job_id>/input", self._api_job_input)
         r.add("POST", "/api/jobs/<job_id>/cancel", self._api_job_cancel)
+        r.add("POST", "/api/explore", self._api_explore)
+        r.add("GET", "/api/explore/<job_id>", self._api_explore_report)
 
         # --- cluster ---
         r.add("GET", "/api/cluster/status", self._api_cluster_status)
@@ -490,6 +492,30 @@ class PortalApp:
             },
             status=201,
         )
+
+    def _api_explore(self, req: Request) -> Response:
+        """Submit a systematic schedule exploration of a named lab program.
+
+        Body: ``{lab, variant?, algorithm?, max_schedules?, max_seconds?}``.
+        The exploration runs as a cluster job; poll
+        ``GET /api/explore/<job_id>`` for the finished report.
+        """
+        user = self._require_user(req)
+        body = req.json()
+        max_seconds = body.get("max_seconds", 30.0)
+        job = self.jobsvc.explore(
+            user,
+            str(body.get("lab", "")),
+            variant=str(body.get("variant", "broken")),
+            algorithm=str(body.get("algorithm", "dpor")),
+            max_schedules=int(body.get("max_schedules", 2000)),
+            max_seconds=None if max_seconds is None else float(max_seconds),
+        )
+        return Response.json({"job": job.describe()}, status=201)
+
+    def _api_explore_report(self, req: Request) -> Response:
+        user = self._require_user(req)
+        return Response.json(self.jobsvc.explore_report(user, req.params["job_id"]))
 
     def _api_list_jobs(self, req: Request) -> Response:
         user = self._require_user(req)

@@ -271,6 +271,31 @@ class PortalClient:
     def cancel_job(self, job_id: str) -> bool:
         return self._call("POST", f"/api/jobs/{job_id}/cancel")["ok"]
 
+    def explore(
+        self,
+        lab: str,
+        variant: str = "broken",
+        algorithm: str = "dpor",
+        max_schedules: int = 2000,
+        max_seconds: float | None = 30.0,
+    ) -> dict:
+        """Submit a schedule exploration job; returns the job description."""
+        return self._call(
+            "POST",
+            "/api/explore",
+            {
+                "lab": lab,
+                "variant": variant,
+                "algorithm": algorithm,
+                "max_schedules": max_schedules,
+                "max_seconds": max_seconds,
+            },
+        )["job"]
+
+    def explore_report(self, job_id: str) -> dict:
+        """The exploration report envelope (``ready`` + ``report`` when done)."""
+        return self._call("GET", f"/api/explore/{job_id}")
+
     def wait_for_job(self, job_id: str, timeout: float = 60.0, poll_s: float = 0.05) -> dict:
         """Poll until the job reaches a terminal state; returns its description."""
         import time

@@ -29,6 +29,11 @@ _BUILD_DIR = ".build"
 #: cap on retained pre-submit lint reports (oldest evicted first).
 _MAX_LINT_REPORTS = 512
 
+#: cap on retained exploration reports (oldest evicted first).
+_MAX_EXPLORE_REPORTS = 256
+
+_EXPLORE_ALGORITHMS = ("dpor", "naive", "dpor-distributed")
+
 
 class JobService:
     """Glue between the file manager, toolchains and the distributor."""
@@ -46,6 +51,8 @@ class JobService:
         self.analysis_telemetry = None
         #: job id → pre-submit lint report dict (Python submissions only).
         self._lint_reports: dict[str, dict] = {}
+        #: job id → finished exploration report dict.
+        self._explore_reports: dict[str, dict] = {}
 
     # -- compilation ------------------------------------------------------
     def compile(self, user: User, rel_path: str, language: str | None = None) -> dict:
@@ -116,6 +123,90 @@ class JobService:
         while len(self._lint_reports) > _MAX_LINT_REPORTS:
             self._lint_reports.pop(next(iter(self._lint_reports)))
         return as_dict
+
+    # -- schedule exploration ------------------------------------------------
+    def explore(
+        self,
+        user: User,
+        lab_id: str,
+        variant: str = "broken",
+        algorithm: str = "dpor",
+        max_schedules: int = 2000,
+        max_seconds: float | None = 30.0,
+    ) -> Job:
+        """Submit a systematic schedule exploration as a cluster job.
+
+        ``lab_id``/``variant`` name a program from the
+        :mod:`repro.labs.explore` registry; ``algorithm`` is ``"dpor"``
+        (partial-order reduction), ``"naive"`` (plain DFS) or
+        ``"dpor-distributed"`` (the coordinator fans worker jobs back
+        out onto this same cluster).  The finished report is retrievable
+        via :meth:`explore_report`.
+        """
+        user.require("submit_job")
+        if algorithm not in _EXPLORE_ALGORITHMS:
+            raise JobError(
+                f"unknown exploration algorithm {algorithm!r} "
+                f"(expected one of {', '.join(_EXPLORE_ALGORITHMS)})"
+            )
+        if max_schedules < 1:
+            raise JobError(f"max_schedules must be >= 1, got {max_schedules}")
+        from repro.labs.explore import program
+
+        try:
+            factory = program(lab_id, variant)
+        except KeyError as exc:
+            raise JobError(str(exc)) from None
+
+        def run_explore(job: Job) -> dict:
+            if algorithm == "dpor-distributed":
+                from repro.cluster.workloads import ExploreJobSpec, run_exploration
+
+                res = run_exploration(
+                    self.distributor,
+                    factory,
+                    ExploreJobSpec(
+                        partitions=2, seed_schedules=4, wave_budget=max_schedules
+                    ),
+                )
+            else:
+                from repro.interleave.explorer import explore as explore_schedules
+
+                res = explore_schedules(
+                    factory,
+                    max_schedules=max_schedules,
+                    strategy="dpor" if algorithm == "dpor" else "dfs",
+                    max_seconds=max_seconds,
+                )
+            report = res.as_dict()
+            report.update(
+                {"lab": lab_id, "variant": variant, "requested_algorithm": algorithm}
+            )
+            if algorithm != "dpor-distributed":  # distributed records itself
+                from repro.telemetry.instruments import ExploreTelemetry
+
+                ExploreTelemetry(self.distributor.telemetry.registry).record(res)
+            self._explore_reports[job.id] = report
+            while len(self._explore_reports) > _MAX_EXPLORE_REPORTS:
+                self._explore_reports.pop(next(iter(self._explore_reports)))
+            job.stdout.write_line(res.summary())
+            return report
+
+        request = JobRequest(
+            name=f"explore-{lab_id}-{variant}",
+            owner=user.username,
+            kind=JobKind.SEQUENTIAL,
+            callable=run_explore,
+        )
+        return self.distributor.submit(request)
+
+    def explore_report(self, user: User, job_id: str) -> dict:
+        """The finished exploration report for a job the user may see."""
+        job = self.get_job(user, job_id)
+        report = self._explore_reports.get(job_id)
+        if report is None:
+            return {"state": job.state.value, "ready": False, "error": job.error}
+        return {"state": job.state.value, "ready": True, "report": report}
 
     # -- execution ----------------------------------------------------------
     def run(

@@ -24,7 +24,12 @@ from repro.telemetry.events import EventLog
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.tracing import Span, Tracer
 
-__all__ = ["AnalysisTelemetry", "DispatchTelemetry", "PortalTelemetry"]
+__all__ = [
+    "AnalysisTelemetry",
+    "DispatchTelemetry",
+    "ExploreTelemetry",
+    "PortalTelemetry",
+]
 
 #: ``JobDistributor.stats()["dispatch"]`` keys, in their legacy order.
 DISPATCH_KEYS = (
@@ -217,6 +222,52 @@ class AnalysisTelemetry:
         self.c_runs.labels(surface).inc()
         for diag in report.diagnostics:
             self.c_findings.labels(str(diag.severity)).inc()
+
+
+class ExploreTelemetry:
+    """Counters for the systematic schedule explorer.
+
+    ``repro_explore_states_total`` counts scheduler steps executed (the
+    throughput the states/sec bench reports), ``..._pruned_total`` the
+    sleep-set-blocked runs DPOR abandoned, and the reduction-ratio gauge
+    holds the latest exploration's online estimate of "naive schedules
+    per DPOR schedule" (a lower bound — it only counts branch points at
+    states DPOR actually visited; ``bench_explorer.py`` measures the
+    exact ratio by running both algorithms).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.on = registry.enabled
+        self.c_schedules = registry.counter(
+            "repro_explore_schedules_total",
+            "schedules executed by the explorer, by algorithm",
+            labels=("algorithm",),
+        )
+        self.c_states = registry.counter(
+            "repro_explore_states_total",
+            "scheduler steps executed during exploration",
+        )
+        self.c_pruned = registry.counter(
+            "repro_explore_pruned_total",
+            "runs abandoned by the DPOR sleep set as redundant",
+        )
+        self.g_ratio = registry.gauge(
+            "repro_explore_reduction_ratio",
+            "estimated naive/DPOR schedule ratio of the last exploration",
+        )
+
+    def record(self, result) -> None:
+        """Tally one finished :class:`~repro.interleave.explorer.ExplorationResult`."""
+        if not self.on:
+            return
+        self.c_schedules.labels(result.algorithm).inc(result.schedules_run)
+        self.c_states.inc(result.states_explored)
+        self.c_pruned.inc(result.pruned)
+        if result.algorithm == "dpor" and result.schedules_run:
+            self.g_ratio.set(
+                (1 + result.naive_branch_points) / result.schedules_run
+            )
 
 
 class PortalTelemetry:
