@@ -2,11 +2,20 @@
 
 Every bench prints its paper-vs-measured table through :func:`report`,
 which also appends to ``benchmarks/results/<name>.txt`` so the tables
-survive pytest's output capture.
+survive pytest's output capture.  When a bench passes structured
+``metrics``, a machine-readable ``BENCH_<name>.json`` lands next to the
+text table — one ``{metric, value, unit, threshold}`` row per guarded
+number — so CI (and perf-regression tooling) can diff runs without
+scraping tables.
+
+:func:`write_result` is module-level on purpose: benches that double as
+scripts (``python benchmarks/bench_scaleout.py --ci``) import it
+directly, so script runs and pytest runs publish through one code path.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -15,13 +24,35 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def write_result(name: str, text: str, metrics: list | None = None) -> None:
+    """Publish one bench result: text table + optional JSON metrics.
+
+    ``metrics`` rows are dicts with ``metric`` (str), ``value``
+    (number), ``unit`` (str) and optionally ``threshold`` (the guarded
+    floor/ceiling, omitted for informational rows).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if metrics:
+        payload = {
+            "name": name,
+            "metrics": [
+                {
+                    "metric": str(m["metric"]),
+                    "value": m["value"],
+                    "unit": str(m.get("unit", "")),
+                    **({"threshold": m["threshold"]} if "threshold" in m else {}),
+                }
+                for m in metrics
+            ],
+        }
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    print(f"\n{text}\n", file=sys.stderr)
+
+
 @pytest.fixture
 def report():
     """Emit a named result block to stderr and ``benchmarks/results/``."""
-
-    def _report(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        print(f"\n{text}\n", file=sys.stderr)
-
-    return _report
+    return write_result

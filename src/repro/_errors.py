@@ -115,6 +115,29 @@ class DeadlockError(ReproError):
         self.cycle = list(cycle or [])
 
 
+class BusError(ReproError):
+    """Message-bus misuse or an unavailable backend."""
+
+
+class RpcTimeout(BusError):
+    """An RPC call did not receive its reply within the deadline."""
+
+
+class RpcRemoteError(BusError):
+    """The remote handler raised; carries the remote type name.
+
+    Attributes
+    ----------
+    remote_type:
+        Class name of the exception raised by the remote handler, so the
+        caller can map it back onto a local error class.
+    """
+
+    def __init__(self, message: str, remote_type: str = "Exception") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
 class LabError(ReproError):
     """A teaching lab was configured or driven incorrectly."""
 

@@ -1,0 +1,205 @@
+"""The cluster back-end service: one distributor behind an RPC queue.
+
+:class:`ClusterBackendService` is the only thing on the cluster side of
+the bus.  It owns a :class:`JobDistributor` and serves the narrow
+method surface the front-end tier needs — submit, describe, output
+polling, cancel, and the tiny ``cluster.version`` freshness probe the
+front-ends revalidate their response caches with.
+
+Ownership is enforced *here*, not just at the front-ends: every job
+method takes the calling user and a ``view_all`` capability flag, so a
+buggy front-end cannot leak another student's job across the bus.
+
+``reply_latency_s`` models the control-plane round trip a real cluster
+imposes (the paper's portal talks to its cluster over a network; our
+distributor is an in-process simulation).  Replies are *scheduled* on a
+due-heap and delivered by the same loop — one thread, no per-request
+sleeps — so N outstanding requests from N front-end workers overlap
+their waits exactly the way they would against a remote master node.
+This is what the scale-out capacity model in
+``benchmarks/bench_scaleout.py`` measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Optional
+
+from repro._errors import AuthorizationError, BusError, JobError
+from repro.bus.core import MessageBus
+from repro.bus.rpc import RpcServer
+from repro.cluster.distributor import JobDistributor
+from repro.cluster.job import Job, JobRequest
+
+__all__ = ["ClusterBackendService", "DEFAULT_SERVICE_QUEUE"]
+
+DEFAULT_SERVICE_QUEUE = "cluster.backend"
+
+
+class ClusterBackendService:
+    """Back-end service loop wrapping one distributor."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        distributor: JobDistributor,
+        service_queue: str = DEFAULT_SERVICE_QUEUE,
+        reply_latency_s: float = 0.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.bus = bus
+        self.distributor = distributor
+        self.reply_latency_s = reply_latency_s
+        self._clock = clock
+        self.server = RpcServer(bus, service_queue)
+        for method, handler in (
+            ("cluster.version", self._h_version),
+            ("cluster.status", self._h_status),
+            ("jobs.submit", self._h_submit),
+            ("jobs.describe", self._h_describe),
+            ("jobs.list", self._h_list),
+            ("jobs.output", self._h_output),
+            ("jobs.fingerprint", self._h_fingerprint),
+            ("jobs.input", self._h_input),
+            ("jobs.cancel", self._h_cancel),
+            ("service.stats", self._h_stats),
+        ):
+            self.server.register(method, handler)
+        # latency-shaped delivery: replies wait on a due-heap drained by
+        # the delivery thread (never sleep-per-reply — that would
+        # serialise the back-end and defeat multi-worker overlap).
+        self._due: list[tuple[float, int, str, str]] = []
+        self._due_seq = 0
+        self._due_cond = threading.Condition()
+        self._delivery: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        if reply_latency_s > 0:
+            self.server.on_reply = self._delayed_reply
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ClusterBackendService":
+        self.server.start(name="cluster-backend")
+        if self.reply_latency_s > 0:
+            self._stop.clear()
+            self._delivery = threading.Thread(
+                target=self._delivery_loop, daemon=True, name="backend-replies"
+            )
+            self._delivery.start()
+        return self
+
+    def stop(self) -> None:
+        self.server.stop()
+        self._stop.set()
+        with self._due_cond:
+            self._due_cond.notify()
+        if self._delivery is not None:
+            self._delivery.join(2.0)
+            self._delivery = None
+
+    # -- latency model --------------------------------------------------------
+    def _delayed_reply(self, queue: str, data: str) -> None:
+        with self._due_cond:
+            self._due_seq += 1
+            heapq.heappush(
+                self._due, (self._clock() + self.reply_latency_s, self._due_seq, queue, data)
+            )
+            self._due_cond.notify()
+
+    def _delivery_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._due_cond:
+                if not self._due:
+                    self._due_cond.wait(0.05)
+                    continue
+                now = self._clock()
+                if self._due[0][0] > now:
+                    self._due_cond.wait(self._due[0][0] - now)
+                    continue
+                _, _, queue, data = heapq.heappop(self._due)
+            self.bus.send(queue, data)
+
+    # -- shared helpers --------------------------------------------------------
+    def _job_for(self, params: dict) -> Job:
+        job = self.distributor.job(str(params.get("job_id", "")))
+        owner = str(params.get("owner", ""))
+        if job.request.owner != owner and not params.get("view_all"):
+            raise AuthorizationError(
+                f"job {job.id} belongs to {job.request.owner!r}"
+            )
+        return job
+
+    # -- handlers ---------------------------------------------------------------
+    def _h_version(self, params: dict) -> dict:
+        return self.distributor.control_state()
+
+    def _h_status(self, params: dict) -> dict:
+        return self.distributor.stats()
+
+    def _h_submit(self, params: dict) -> dict:
+        wire = params.get("request")
+        if not isinstance(wire, dict):
+            raise BusError("jobs.submit needs a 'request' object")
+        request = JobRequest.from_wire(wire)
+        if not request.owner:
+            raise JobError("submissions over the bus must carry an owner")
+        return self.distributor.submit(request).describe()
+
+    def _h_describe(self, params: dict) -> dict:
+        return self._job_for(params).describe()
+
+    def _h_list(self, params: dict) -> list[dict]:
+        jobs = self.distributor.jobs.values()
+        if not params.get("view_all"):
+            owner = str(params.get("owner", ""))
+            jobs = [j for j in jobs if j.request.owner == owner]
+        return [j.describe() for j in jobs]
+
+    def _h_output(self, params: dict) -> dict:
+        job = self._job_for(params)
+        since = int(params.get("since", 0))
+        out, out_next, out_trunc = job.stdout.read_since(since)
+        return {
+            "state": job.state.value,
+            "stdout": out,
+            "next": out_next,
+            "truncated": out_trunc,
+            "stderr_tail": job.stderr.tail(50),
+            "exit_code": job.exit_code,
+            "error": job.error,
+            "attempt": job.attempt_epoch,
+            "retries": max(0, job.attempt_epoch - 1),
+            "attempts": [a.as_dict() for a in job.attempts],
+        }
+
+    def _h_fingerprint(self, params: dict) -> list:
+        job = self._job_for(params)
+        return [
+            job.state.value,
+            job.stdout.next_index,
+            job.stderr.next_index,
+            job.exit_code,
+            job.attempt_epoch,
+            len(job.attempts),
+        ]
+
+    def _h_input(self, params: dict) -> dict:
+        job = self._job_for(params)
+        if job.stdin.closed:
+            raise JobError(f"job {job.id} does not accept input")
+        job.stdin.write(str(params.get("text", "")))
+        return {"ok": True}
+
+    def _h_cancel(self, params: dict) -> dict:
+        job = self._job_for(params)
+        return {"ok": self.distributor.cancel(job.id)}
+
+    def _h_stats(self, params: dict) -> dict:
+        return {
+            "bus": self.bus.stats(),
+            "requests_served": self.server.requests_served,
+            "errors_returned": self.server.errors_returned,
+            "reply_latency_s": self.reply_latency_s,
+            "replies_pending": len(self._due),
+        }

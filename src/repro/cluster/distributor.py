@@ -728,6 +728,16 @@ class JobDistributor:
         """Monotone job-state-change counter (see ``_version``)."""
         return self._version
 
+    def control_state(self) -> dict:
+        """The cheap freshness fingerprint remote front-ends poll.
+
+        ``(version, cores_free)`` is exactly the pair the portal keys
+        its cluster-status cache on; serving it as one small RPC lets a
+        front-end revalidate a cached snapshot without shipping the full
+        ``stats()`` rendering across the bus.
+        """
+        return {"version": self._version, "cores_free": self.grid.cores_free}
+
     def _busy(self) -> bool:
         """Anything queued, held on dependencies, or running? (lock held)"""
         return bool(len(self.queue) or self._held or self._running)

@@ -234,6 +234,84 @@ class JobRequest:
     def total_cores(self) -> int:
         return self.n_tasks * self.cores_per_task
 
+    # -- wire codec (repro.bus RPC boundary) -------------------------------
+    def to_wire(self) -> dict:
+        """JSON-safe form for the front-end → back-end RPC boundary.
+
+        ``callable`` jobs cannot cross the bus — a live function has no
+        wire form; the front-end tier only submits ``argv`` and
+        ``sim_duration`` work.
+        """
+        if self.callable is not None:
+            raise JobError("callable jobs cannot cross the bus; submit argv instead")
+        wire = {
+            "name": self.name,
+            "owner": self.owner,
+            "kind": self.kind.value,
+            "argv": list(self.argv) if self.argv is not None else None,
+            "sim_duration": self.sim_duration,
+            "n_tasks": self.n_tasks,
+            "cores_per_task": self.cores_per_task,
+            "memory_mb_per_task": self.memory_mb_per_task,
+            "need_gpu": self.need_gpu,
+            "priority": self.priority,
+            "timeout_s": self.timeout_s,
+            "wallclock_timeout_s": self.wallclock_timeout_s,
+            "est_runtime_s": self.est_runtime_s,
+            "after": list(self.after),
+            "after_ok": self.after_ok,
+            "stdin_data": self.stdin_data,
+            "env": dict(self.env),
+            "workdir": self.workdir,
+        }
+        if self.retry is not None:
+            wire["retry"] = {
+                "max_attempts": self.retry.max_attempts,
+                "backoff_base_s": self.retry.backoff_base_s,
+                "backoff_factor": self.retry.backoff_factor,
+                "backoff_max_s": self.retry.backoff_max_s,
+                "jitter": self.retry.jitter,
+                "retry_on": sorted(self.retry.retry_on),
+            }
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "JobRequest":
+        """Rebuild a request from :meth:`to_wire` output (validates anew)."""
+        data = dict(wire)
+        retry = data.pop("retry", None)
+        if retry is not None:
+            retry = RetryPolicy(
+                max_attempts=int(retry.get("max_attempts", 3)),
+                backoff_base_s=float(retry.get("backoff_base_s", 0.25)),
+                backoff_factor=float(retry.get("backoff_factor", 2.0)),
+                backoff_max_s=float(retry.get("backoff_max_s", 30.0)),
+                jitter=float(retry.get("jitter", 0.1)),
+                retry_on=frozenset(retry.get("retry_on", _RETRY_CLASSES)),
+            )
+        argv = data.pop("argv", None)
+        return cls(
+            name=str(data.get("name", "job")),
+            owner=str(data.get("owner", "")),
+            kind=JobKind(data.get("kind", "sequential")),
+            argv=list(argv) if argv is not None else None,
+            sim_duration=data.get("sim_duration"),
+            n_tasks=int(data.get("n_tasks", 1)),
+            cores_per_task=int(data.get("cores_per_task", 1)),
+            memory_mb_per_task=int(data.get("memory_mb_per_task", 0)),
+            need_gpu=bool(data.get("need_gpu", False)),
+            priority=int(data.get("priority", 0)),
+            timeout_s=data.get("timeout_s"),
+            wallclock_timeout_s=data.get("wallclock_timeout_s"),
+            retry=retry,
+            est_runtime_s=data.get("est_runtime_s"),
+            after=tuple(data.get("after", ())),
+            after_ok=bool(data.get("after_ok", False)),
+            stdin_data=str(data.get("stdin_data", "")),
+            env=dict(data.get("env", {})),
+            workdir=data.get("workdir"),
+        )
+
 
 class Job:
     """A submitted job: request + state + placement + captured streams."""

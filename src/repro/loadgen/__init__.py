@@ -1,0 +1,34 @@
+"""Synthetic portal traffic at course scale (10k–1M virtual students).
+
+The paper ran its portal for one class of 19; this package answers
+"what if every PDC course in the country used it?" by replaying a
+semester of :mod:`repro.education`-style cohort activity against the
+front-end tier's admission control on the DES virtual clock:
+
+* :class:`~repro.loadgen.model.SemesterWorkload` — per-student Poisson
+  request processes (rate ∝ engagement, sampled exactly like
+  ``Cohort.generate``), modulated by a semester intensity profile with
+  lab-deadline spikes, drawn lazily via thinning — O(1) memory per
+  arrival, O(students) floats total;
+* :class:`~repro.loadgen.harness.LoadHarness` — drives per-worker
+  :class:`~repro.portal.admission.AdmissionController` instances on
+  ``sim.now``, models virtual service occupancy, and reports shed
+  fractions, Retry-After hints, and virtual latency percentiles from a
+  bounded reservoir;
+* ``python -m repro.loadgen`` — the CLI the CI smoke run uses.
+
+Everything is deterministic per seed: the same command line produces
+the same report, byte for byte.
+"""
+
+from repro.loadgen.harness import HarnessReport, LoadHarness, run_load
+from repro.loadgen.model import DEFAULT_MIX, EndpointProfile, SemesterWorkload
+
+__all__ = [
+    "DEFAULT_MIX",
+    "EndpointProfile",
+    "HarnessReport",
+    "LoadHarness",
+    "SemesterWorkload",
+    "run_load",
+]

@@ -1,0 +1,98 @@
+"""CLI: ``python -m repro.loadgen --students 100000 --workers 4``.
+
+Replays a semester of cohort traffic against the admission tier on the
+DES clock and prints the shed/latency report.  Exit status is 0 only if
+the run upholds the harness invariants (bounded state, no silent
+collapse), so CI can use a quick run as a smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.loadgen.harness import run_load
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="semester-scale synthetic portal load over the DES clock",
+    )
+    parser.add_argument("--students", type=int, default=10_000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=600.0,
+                        help="virtual seconds of semester to replay")
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--rate", type=float, default=0.02,
+                        help="base requests/s per student (scaled by engagement)")
+    parser.add_argument("--spike", type=float, default=4.0,
+                        help="deadline-week traffic multiplier")
+    parser.add_argument("--max-arrivals", type=int, default=None,
+                        help="hard cap on generated requests (bounds runtime)")
+    parser.add_argument("--max-users", type=int, default=100_000,
+                        help="token-bucket LRU bound per worker")
+    parser.add_argument("--user-rate", type=float, default=2.0,
+                        help="per-user token refill rate (req/s)")
+    parser.add_argument("--burst", type=float, default=20.0)
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument("--queue-limit", type=int, default=128)
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="also write the full report as JSON")
+    args = parser.parse_args(argv)
+
+    report = run_load(
+        args.students,
+        n_workers=args.workers,
+        duration_s=args.duration,
+        seed=args.seed,
+        base_rate_per_student=args.rate,
+        spike_factor=args.spike,
+        max_arrivals=args.max_arrivals,
+        max_users=args.max_users,
+        rate_per_s=args.user_rate,
+        burst=args.burst,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+    )
+
+    d = report.as_dict()
+    print(f"students            {d['n_students']:>12,}")
+    print(f"workers             {d['n_workers']:>12}")
+    print(f"virtual duration    {d['duration_s']:>12.0f} s")
+    print(f"arrivals            {d['arrivals']:>12,}")
+    print(f"admitted            {d['admitted']:>12,}  ({d['throughput_rps']:.1f} req/s virtual)")
+    print(f"queued              {d['queued']:>12,}  (peak depth {d['peak_queue_depth']})")
+    print(f"shed 429 / 503      {d['rejected_429']:>12,} / {d['rejected_503']:,}"
+          f"  ({100 * d['shed_fraction']:.2f}% shed, max Retry-After {d['max_retry_after_s']:.1f}s)")
+    print(f"completed           {d['completed']:>12,}")
+    print(f"latency p50/p95/p99 {1e3 * d['latency_p50_s']:>12.2f} / "
+          f"{1e3 * d['latency_p95_s']:.2f} / {1e3 * d['latency_p99_s']:.2f} ms")
+    print(f"tracked users peak  {d['tracked_users_peak']:>12,}  (bound {args.max_users:,})")
+    print(f"outstanding peak    {d['peak_outstanding']:>12,}")
+
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(d, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json_path}")
+
+    # invariants CI leans on: bounded state, and overload must shed via
+    # backpressure instead of admitting unboundedly past capacity.
+    ok = True
+    if report.tracked_users_peak > args.max_users:
+        print("FAIL: token-bucket table exceeded its bound", file=sys.stderr)
+        ok = False
+    bound = args.workers * (args.max_inflight + args.queue_limit)
+    if report.peak_outstanding > bound:
+        print(f"FAIL: outstanding work {report.peak_outstanding} exceeded "
+              f"admission bound {bound}", file=sys.stderr)
+        ok = False
+    if report.arrivals == 0:
+        print("FAIL: workload generated no traffic", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,228 @@
+"""The load harness: semester traffic vs the admission tier, on DES time.
+
+Drives one :class:`~repro.portal.admission.AdmissionController` per
+front-end worker on the simulator clock (``now_fn=lambda: sim.now``) —
+the same controller object the real WSGI tier runs, so the shedding
+behaviour measured here is the shedding behaviour production would
+show, just replayed at wall-microseconds per virtual second and exactly
+reproducible per seed.
+
+Admitted requests occupy a virtual server: a completion event fires
+after the request's queue wait plus its sampled service time and calls
+``release()``, so concurrency pressure (and therefore 503 shedding) is
+driven by the arrival/service balance exactly as in a live tier.
+
+Every data structure is bounded: arrivals stream from a generator, the
+outstanding-completion heap is capped by ``max_inflight + queue_limit``
+per worker, latency percentiles come from a fixed-size reservoir
+sample, and the per-user token buckets live in the controller's LRU.
+That is what lets one Python process replay a million students.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.desim.kernel import Simulator
+from repro.desim.rng import substream
+from repro.loadgen.model import SemesterWorkload
+from repro.portal.admission import AdmissionController
+
+__all__ = ["HarnessReport", "LoadHarness", "run_load"]
+
+_RESERVOIR_SIZE = 4096
+
+
+@dataclass
+class HarnessReport:
+    """What one load-harness run measured."""
+
+    n_students: int
+    n_workers: int
+    duration_s: float
+    arrivals: int = 0
+    admitted: int = 0
+    queued: int = 0
+    completed: int = 0
+    rejected_429: int = 0
+    rejected_503: int = 0
+    max_retry_after_s: float = 0.0
+    peak_queue_depth: int = 0
+    peak_outstanding: int = 0
+    tracked_users_peak: int = 0
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
+    per_worker: list = field(default_factory=list)
+
+    @property
+    def shed(self) -> int:
+        return self.rejected_429 + self.rejected_503
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Admitted virtual requests per virtual second."""
+        return self.admitted / self.duration_s if self.duration_s else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_students": self.n_students,
+            "n_workers": self.n_workers,
+            "duration_s": self.duration_s,
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "completed": self.completed,
+            "rejected_429": self.rejected_429,
+            "rejected_503": self.rejected_503,
+            "shed": self.shed,
+            "shed_fraction": round(self.shed_fraction, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "max_retry_after_s": round(self.max_retry_after_s, 3),
+            "peak_queue_depth": self.peak_queue_depth,
+            "peak_outstanding": self.peak_outstanding,
+            "tracked_users_peak": self.tracked_users_peak,
+            "latency_p50_s": round(self.latency_p50_s, 6),
+            "latency_p95_s": round(self.latency_p95_s, 6),
+            "latency_p99_s": round(self.latency_p99_s, 6),
+            "per_worker": self.per_worker,
+        }
+
+
+class LoadHarness:
+    """Replay a :class:`SemesterWorkload` against N admission controllers."""
+
+    def __init__(
+        self,
+        workload: SemesterWorkload,
+        n_workers: int = 4,
+        rate_per_s: float = 2.0,
+        burst: float = 20.0,
+        max_inflight: int = 64,
+        queue_limit: int = 128,
+        max_users: int = 100_000,
+        drain_rate_per_s: float = 500.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.workload = workload
+        self.n_workers = n_workers
+        self.sim = Simulator()
+        self.controllers = [
+            AdmissionController(
+                rate_per_s=rate_per_s,
+                burst=burst,
+                max_inflight=max_inflight,
+                queue_limit=queue_limit,
+                max_users=max_users,
+                drain_rate_per_s=drain_rate_per_s,
+                now_fn=lambda: self.sim.now,
+            )
+            for _ in range(n_workers)
+        ]
+        self._drain_rate = drain_rate_per_s
+        # fixed-size reservoir sample of virtual latencies (Vitter's R)
+        self._reservoir = np.zeros(_RESERVOIR_SIZE)
+        self._reservoir_fill = 0
+        self._latency_seen = 0
+        self._reservoir_rng = substream(workload.seed, "loadgen.reservoir")
+
+    # -- internals ----------------------------------------------------------
+    def _record_latency(self, latency: float) -> None:
+        self._latency_seen += 1
+        if self._reservoir_fill < _RESERVOIR_SIZE:
+            self._reservoir[self._reservoir_fill] = latency
+            self._reservoir_fill += 1
+            return
+        j = int(self._reservoir_rng.integers(0, self._latency_seen))
+        if j < _RESERVOIR_SIZE:
+            self._reservoir[j] = latency
+
+    def _driver(self, report: HarnessReport):
+        sim = self.sim
+        outstanding = [0]
+
+        def complete(controller, latency):
+            def cb(_ev):
+                controller.release()
+                outstanding[0] -= 1
+                report.completed += 1
+                self._record_latency(latency)
+            return cb
+
+        for arrival in self.workload.arrivals():
+            if arrival.t > sim.now:
+                yield sim.timeout(arrival.t - sim.now)
+            report.arrivals += 1
+            # sticky routing: a student always hits the same worker, so
+            # their token bucket and session live on one replica
+            controller = self.controllers[arrival.student % self.n_workers]
+            decision = controller.admit(f"s{arrival.student}")
+            if not decision.admitted:
+                if decision.status == 429:
+                    report.rejected_429 += 1
+                else:
+                    report.rejected_503 += 1
+                report.max_retry_after_s = max(
+                    report.max_retry_after_s, decision.retry_after_s
+                )
+                continue
+            report.admitted += 1
+            depth = controller.queue_depth
+            if decision.queued:
+                report.queued += 1
+                report.peak_queue_depth = max(report.peak_queue_depth, depth)
+            # queue wait models the backlog draining ahead of us
+            latency = depth / self._drain_rate + arrival.service_s
+            outstanding[0] += 1
+            report.peak_outstanding = max(report.peak_outstanding, outstanding[0])
+            sim.timeout(latency).callbacks.append(complete(controller, latency))
+
+    # -- entry point ---------------------------------------------------------
+    def run(self) -> HarnessReport:
+        report = HarnessReport(
+            n_students=self.workload.n_students,
+            n_workers=self.n_workers,
+            duration_s=self.workload.duration_s,
+        )
+        self.sim.process(self._driver(report))
+        self.sim.run()
+        if self._reservoir_fill:
+            sample = self._reservoir[: self._reservoir_fill]
+            report.latency_p50_s = float(np.percentile(sample, 50))
+            report.latency_p95_s = float(np.percentile(sample, 95))
+            report.latency_p99_s = float(np.percentile(sample, 99))
+        report.tracked_users_peak = max(
+            c.tracked_users for c in self.controllers
+        )
+        report.per_worker = [c.stats() for c in self.controllers]
+        return report
+
+
+def run_load(
+    n_students: int,
+    n_workers: int = 4,
+    duration_s: float = 600.0,
+    seed: int = 2012,
+    base_rate_per_student: float = 0.02,
+    spike_factor: float = 4.0,
+    max_arrivals: Optional[int] = None,
+    **admission_kwargs,
+) -> HarnessReport:
+    """One-call harness run with sensible defaults (the CLI's engine)."""
+    workload = SemesterWorkload(
+        n_students,
+        seed=seed,
+        duration_s=duration_s,
+        base_rate_per_student=base_rate_per_student,
+        spike_factor=spike_factor,
+        max_arrivals=max_arrivals,
+    )
+    return LoadHarness(workload, n_workers=n_workers, **admission_kwargs).run()

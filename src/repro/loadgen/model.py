@@ -1,0 +1,162 @@
+"""The semester workload model: who asks for what, when.
+
+Students are virtual — no object per student.  Each student ``i`` has an
+engagement ``e_i ~ U(0.2, 1.0)`` (the same marginal
+``Cohort.generate`` draws, via the same named-substream RNG discipline)
+and issues requests as a Poisson process of rate
+``base_rate_per_student * e_i``, so the keen students poll more — which
+matches what the paper's instructors saw during lab weeks.
+
+Sampling uses two classic superposition tricks so memory stays flat no
+matter how many arrivals are drawn:
+
+* the **union** of N Poisson processes is one Poisson process of the
+  summed rate whose arrivals are attributed to student ``i`` with
+  probability ``rate_i / total`` — one exponential draw plus one
+  engagement-weighted index draw per arrival;
+* the semester **intensity profile** (quiet weeks, lab-deadline spikes)
+  is applied by *thinning*: candidates are drawn at the peak rate and
+  accepted with probability ``intensity(t) / peak``.
+
+Arrivals stream from a generator; nothing is ever materialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.desim.rng import substream
+
+__all__ = ["DEFAULT_MIX", "Arrival", "EndpointProfile", "SemesterWorkload"]
+
+
+@dataclass(frozen=True)
+class EndpointProfile:
+    """One endpoint class in the traffic mix."""
+
+    name: str
+    weight: float
+    service_s: float
+    """Mean virtual service time (cluster RTT + render) for one request."""
+
+
+#: The polling-dominated mix a lab session produces: students sit on the
+#: dashboard and job pages refreshing, submit occasionally, and touch
+#: files rarely (editors save in bursts, not continuously).  Service
+#: times reflect the scale-out design: cached reads cost a freshness
+#: RPC, submits cross the bus and touch the scheduler.
+DEFAULT_MIX: tuple[EndpointProfile, ...] = (
+    EndpointProfile("status_poll", 0.42, 0.002),
+    EndpointProfile("output_poll", 0.30, 0.002),
+    EndpointProfile("list_jobs", 0.12, 0.003),
+    EndpointProfile("whoami", 0.06, 0.001),
+    EndpointProfile("submit", 0.06, 0.010),
+    EndpointProfile("file_ops", 0.04, 0.005),
+)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request hitting the front door."""
+
+    t: float
+    student: int
+    endpoint: str
+    service_s: float
+    """Sampled (exponential) virtual service time for this request."""
+
+
+class SemesterWorkload:
+    """Lazy arrival stream for ``n_students`` over one virtual window.
+
+    ``duration_s`` is virtual seconds of semester being replayed (the
+    DES clock ticks through it in wall-microseconds).  Two lab
+    deadlines sit at 45% and 90% of the window, each ramping traffic up
+    to ``spike_factor``× over its final approach — the canonical
+    "everyone submits the night it's due" shape.
+    """
+
+    def __init__(
+        self,
+        n_students: int,
+        seed: int = 2012,
+        duration_s: float = 600.0,
+        base_rate_per_student: float = 0.02,
+        mix: tuple[EndpointProfile, ...] = DEFAULT_MIX,
+        spike_factor: float = 4.0,
+        max_arrivals: Optional[int] = None,
+    ) -> None:
+        if n_students < 1:
+            raise ValueError(f"need at least one student, got {n_students}")
+        if duration_s <= 0 or base_rate_per_student <= 0:
+            raise ValueError("duration and rate must be positive")
+        self.n_students = n_students
+        self.seed = seed
+        self.duration_s = duration_s
+        self.mix = mix
+        self.spike_factor = max(1.0, spike_factor)
+        self.max_arrivals = max_arrivals
+        # engagement exactly as Cohort.generate marginals it; the only
+        # O(n_students) state in the whole generator (plus its cumsum).
+        rng = substream(seed, "loadgen.engagement")
+        self._engagement = rng.uniform(0.2, 1.0, size=n_students)
+        rates = base_rate_per_student * self._engagement
+        self.base_rate_total = float(rates.sum())
+        self._student_cdf = np.cumsum(rates / rates.sum())
+        weights = np.array([p.weight for p in mix], dtype=float)
+        self._mix_cdf = np.cumsum(weights / weights.sum())
+        self._service_means = np.array([p.service_s for p in mix], dtype=float)
+
+    # -- the semester shape --------------------------------------------------
+    def intensity(self, t: float) -> float:
+        """Traffic multiplier at virtual time ``t`` (>= 1.0, peaks at spikes)."""
+        x = t / self.duration_s
+        peak = 1.0
+        for deadline in (0.45, 0.90):
+            # linear ramp over the 15% of the window before each deadline;
+            # the epsilon keeps the deadline instant itself on the ramp
+            # (0.45 - 0.30 is not exactly 0.15 in floats)
+            lead = (x - (deadline - 0.15)) / 0.15
+            if 0.0 <= lead <= 1.0 + 1e-9:
+                peak = max(peak, 1.0 + (self.spike_factor - 1.0) * min(lead, 1.0))
+        return peak
+
+    def expected_arrivals(self) -> float:
+        """Mean arrival count over the window (for sizing runs)."""
+        # the two ramps each add (spike-1)/2 * 0.15 of extra area
+        area = 1.0 + (self.spike_factor - 1.0) * 0.15
+        return self.base_rate_total * self.duration_s * area
+
+    # -- the stream ----------------------------------------------------------
+    def arrivals(self) -> Iterator[Arrival]:
+        """Yield arrivals in time order until the window (or cap) ends.
+
+        Deterministic per seed.  Candidates are drawn at the peak rate
+        and thinned down to ``intensity(t)``; each survivor gets a
+        student (engagement-weighted), an endpoint (mix-weighted), and
+        an exponential service time.
+        """
+        rng = substream(self.seed, "loadgen.arrivals")
+        peak_rate = self.base_rate_total * self.spike_factor
+        t = 0.0
+        emitted = 0
+        while True:
+            t += rng.exponential(1.0 / peak_rate)
+            if t >= self.duration_s:
+                return
+            if rng.random() * self.spike_factor > self.intensity(t):
+                continue  # thinned: this candidate belongs to a quieter week
+            student = int(np.searchsorted(self._student_cdf, rng.random()))
+            k = int(np.searchsorted(self._mix_cdf, rng.random()))
+            yield Arrival(
+                t=t,
+                student=student,
+                endpoint=self.mix[k].name,
+                service_s=float(rng.exponential(self._service_means[k])),
+            )
+            emitted += 1
+            if self.max_arrivals is not None and emitted >= self.max_arrivals:
+                return

@@ -28,9 +28,11 @@ from repro.portal.sessions import SessionStore
 from repro.portal.auth import User, UserStore
 from repro.portal.files import FileManager
 from repro.portal.jobsvc import JobService
+from repro.portal.admission import AdmissionController, AdmissionDecision
 from repro.portal.app import PortalApp, make_default_app
+from repro.portal.frontend import FrontendFleet, FrontendPortal, SessionReplicator
 from repro.portal.client import PortalClient
-from repro.portal.server import serve
+from repro.portal.server import serve, start_fleet
 
 __all__ = [
     "Request",
@@ -44,8 +46,14 @@ __all__ = [
     "UserStore",
     "FileManager",
     "JobService",
+    "AdmissionController",
+    "AdmissionDecision",
     "PortalApp",
     "make_default_app",
+    "FrontendFleet",
+    "FrontendPortal",
+    "SessionReplicator",
     "PortalClient",
     "serve",
+    "start_fleet",
 ]

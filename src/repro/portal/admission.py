@@ -1,0 +1,261 @@
+"""First-class admission control for the portal front-end tier.
+
+Three layers, applied in order, all O(1) per request:
+
+1. **Per-user token buckets** — each user key refills at ``rate_per_s``
+   up to ``burst``; an empty bucket is a *rate* rejection (HTTP 429)
+   with ``Retry-After`` telling the client exactly when a token lands.
+2. **Concurrency + bounded admission queue** — up to ``max_inflight``
+   requests are served at once; the next ``queue_limit`` are admitted
+   as *queued* (they proceed, but count as backlog).  Beyond that the
+   tier is saturated: *overload* rejection (HTTP 503) with a
+   ``Retry-After`` proportional to the backlog, so clients back off
+   instead of hammering a melting portal.
+3. **Bucket-table bound** — user buckets live in an LRU capped at
+   ``max_users``; a million-student load cannot grow the table without
+   bound (evicted users simply start from a full bucket again).
+
+The controller takes an injectable ``now_fn`` so the load harness can
+drive it on the DES virtual clock — shedding behaviour is then exactly
+reproducible, seed for seed.  Counters are plain ints exported through
+the registry via ``set_fn`` (the respcache pattern): the admit path
+costs the same with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "admission_key",
+    "bind_admission",
+    "shed_response",
+]
+
+
+class TokenBucket:
+    """Classic token bucket on an external clock."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def try_take(self, now: float, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; returns 0.0 on success, else the wait.
+
+        The wait is the time until the bucket will hold ``cost`` tokens
+        again — exactly what goes into ``Retry-After``.
+        """
+        if now > self.stamp:
+            self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+            self.stamp = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        if self.rate <= 0:
+            return math.inf
+        return (cost - self.tokens) / self.rate
+
+
+class AdmissionDecision:
+    """Outcome of one :meth:`AdmissionController.admit` call."""
+
+    __slots__ = ("admitted", "status", "retry_after_s", "queued")
+
+    def __init__(
+        self, admitted: bool, status: int = 200, retry_after_s: float = 0.0,
+        queued: bool = False,
+    ) -> None:
+        self.admitted = admitted
+        self.status = status          # 429 (rate) or 503 (overload) when rejected
+        self.retry_after_s = retry_after_s
+        self.queued = queued          # admitted into the bounded backlog
+
+
+class AdmissionController:
+    """Token-bucket rate limits + bounded-queue backpressure."""
+
+    def __init__(
+        self,
+        rate_per_s: float = 50.0,
+        burst: float = 100.0,
+        max_inflight: int = 64,
+        queue_limit: int = 128,
+        max_users: int = 100_000,
+        drain_rate_per_s: float = 500.0,
+        now_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1 or queue_limit < 0 or max_users < 1:
+            raise ValueError("admission bounds must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self.max_users = max_users
+        #: estimated service rate used to size the 503 Retry-After hint.
+        self.drain_rate_per_s = drain_rate_per_s
+        self._now = now_fn
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._inflight = 0
+        # plain-int counters, exported via set_fn (see bind()).
+        self.admitted = 0
+        self.rejected_429 = 0
+        self.rejected_503 = 0
+        self.queued_peak = 0
+        self.evicted_users = 0
+        self.last_retry_after_s = 0.0
+
+    # -- decisions ------------------------------------------------------------
+    def admit(self, user_key: str, cost: float = 1.0) -> AdmissionDecision:
+        """Decide one request; pair every admitted call with :meth:`release`."""
+        now = self._now()
+        with self._lock:
+            bucket = self._buckets.get(user_key)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_per_s, self.burst, now)
+                self._buckets[user_key] = bucket
+                if len(self._buckets) > self.max_users:
+                    self._buckets.popitem(last=False)
+                    self.evicted_users += 1
+            else:
+                self._buckets.move_to_end(user_key)
+            wait = bucket.try_take(now, cost)
+            if wait > 0.0:
+                self.rejected_429 += 1
+                retry = max(0.05, min(wait, 300.0))
+                self.last_retry_after_s = retry
+                return AdmissionDecision(False, status=429, retry_after_s=retry)
+            backlog = self._inflight - self.max_inflight
+            if backlog >= self.queue_limit:
+                self.rejected_503 += 1
+                # hint scales with how deep the backlog is: a saturated
+                # tier asks clients to come back after it can drain.
+                retry = max(0.5, (backlog + 1) / max(self.drain_rate_per_s, 1e-9))
+                self.last_retry_after_s = retry
+                return AdmissionDecision(False, status=503, retry_after_s=retry)
+            self._inflight += 1
+            self.admitted += 1
+            queued = backlog >= 0
+            if queued:
+                self.queued_peak = max(self.queued_peak, backlog + 1)
+            return AdmissionDecision(True, queued=queued)
+
+    def release(self) -> None:
+        """One admitted request finished (or its virtual service ended)."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted beyond ``max_inflight`` (the bounded queue)."""
+        with self._lock:
+            return max(0, self._inflight - self.max_inflight)
+
+    @property
+    def tracked_users(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "rejected_429": self.rejected_429,
+                "rejected_503": self.rejected_503,
+                "rejected_429_503": self.rejected_429 + self.rejected_503,
+                "inflight": self._inflight,
+                "queue_depth": max(0, self._inflight - self.max_inflight),
+                "queued_peak": self.queued_peak,
+                "retry_after_s": self.last_retry_after_s,
+                "tracked_users": len(self._buckets),
+                "evicted_users": self.evicted_users,
+            }
+
+
+def shed_response(decision: AdmissionDecision):
+    """Render a rejected :class:`AdmissionDecision` as an HTTP response.
+
+    429/503 JSON body plus a ``Retry-After`` header (whole seconds,
+    rounded up — RFC 7231 wants an integer).  Shared by the monolithic
+    portal and the scale-out front-ends so shed traffic looks identical
+    regardless of topology.
+    """
+    from repro.portal.http import Response
+
+    retry = max(1, math.ceil(decision.retry_after_s))
+    message = (
+        "rate limit exceeded" if decision.status == 429 else "portal over capacity"
+    )
+    resp = Response.error(decision.status, message)
+    resp.headers.append(("Retry-After", str(retry)))
+    return resp
+
+
+def admission_key(request) -> str:
+    """The per-user bucket key for a portal request.
+
+    Uses the session id prefix of the cookie/bearer token when present
+    (no HMAC verification needed — a forged id only rate-limits the
+    forger), falling back to the client address, then a shared
+    anonymous key.  Cheap: one header probe, no session lookup.
+    """
+    token = ""
+    raw = request.environ.get("HTTP_COOKIE", "")
+    if raw:
+        # avoid full cookie parsing on the hot path
+        marker = "portal_session="
+        i = raw.find(marker)
+        if i >= 0:
+            token = raw[i + len(marker) :].split(";", 1)[0]
+    if not token:
+        bearer = request.environ.get("HTTP_AUTHORIZATION", "")
+        if bearer.startswith("Bearer "):
+            token = bearer[len("Bearer ") :]
+    if token:
+        return token.partition(".")[0] or "anon"
+    return request.environ.get("REMOTE_ADDR") or "anon"
+
+
+def bind_admission(registry, controller: Optional[AdmissionController]) -> None:
+    """Export admission counters through a metrics registry via set_fn."""
+    if controller is None or not registry.enabled:
+        return
+    registry.counter(
+        "repro_admission_admitted_total", "requests admitted by the front-end tier"
+    ).set_fn(lambda: controller.admitted)
+    rejected = registry.counter(
+        "repro_admission_rejected_total", "requests shed by admission control",
+        labels=("status",),
+    )
+    rejected.labels("429").set_fn(lambda: controller.rejected_429)
+    rejected.labels("503").set_fn(lambda: controller.rejected_503)
+    registry.gauge(
+        "repro_admission_queue_depth", "admitted requests waiting beyond max_inflight"
+    ).set_fn(lambda: controller.queue_depth)
+    registry.gauge(
+        "repro_admission_inflight", "requests currently admitted"
+    ).set_fn(lambda: controller.inflight)
+    registry.gauge(
+        "repro_admission_retry_after_seconds", "last Retry-After hint issued"
+    ).set_fn(lambda: controller.last_retry_after_s)
+    registry.gauge(
+        "repro_admission_tracked_users", "user token buckets currently held"
+    ).set_fn(lambda: controller.tracked_users)

@@ -36,7 +36,6 @@ HTML pages: ``GET /`` (dashboard), ``GET/POST /login``, ``POST /logout``.
 
 from __future__ import annotations
 
-import hashlib
 import time
 from email.utils import formatdate
 from typing import Callable, Optional
@@ -54,11 +53,17 @@ from repro._errors import (
 )
 from repro.cluster.distributor import JobDistributor
 from repro.portal import templates
+from repro.portal.admission import (
+    AdmissionController,
+    admission_key,
+    bind_admission,
+    shed_response,
+)
 from repro.portal.auth import User, UserStore
 from repro.portal.files import FileManager
 from repro.portal.http import HttpError, Request, Response
 from repro.portal.jobsvc import JobService
-from repro.portal.respcache import CachedResponse, ResponseCache
+from repro.portal.respcache import ResponseCache, conditional_get
 from repro.portal.routing import Router
 from repro.portal.sessions import SessionStore
 from repro.telemetry.export import (
@@ -103,11 +108,14 @@ class PortalApp:
         jobsvc: JobService,
         cache_size: int = 256,
         registry=None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.files = files
         self.users = users
         self.sessions = sessions
         self.jobsvc = jobsvc
+        #: front-door admission control; ``None`` admits everything.
+        self.admission = admission
         self.router = Router()
         #: conditional-GET response cache; ``cache_size=0`` disables it
         #: (ETags are still emitted, every request renders fresh).
@@ -125,6 +133,7 @@ class PortalApp:
         self.telemetry.bind_router(self.router)
         self.telemetry.bind_sessions(sessions)
         self.cache.bind(self.registry)
+        bind_admission(self.registry, admission)
         #: legacy counter key → registry child (same keys as the PR 2 dict).
         self._counters = self.telemetry.c
         # file mutations invalidate the owning user's cached listings,
@@ -137,6 +146,18 @@ class PortalApp:
         request = Request(environ)
         tel = self.telemetry
         self._counters["requests"].inc()
+        # admission runs before any work: a shed request costs one bucket
+        # probe, one small JSON render, and nothing else.  /metrics is
+        # exempt — scrapers must see the shed counters *during* overload.
+        if self.admission is not None and request.path != "/metrics":
+            decision = self.admission.admit(admission_key(request))
+            if not decision.admitted:
+                response = shed_response(decision)
+                if tel.on:
+                    tel.c_responses.labels(response.status).inc()
+                return response.to_wsgi(start_response)
+        else:
+            decision = None
         swept = self.sessions.maybe_sweep()
         if swept:
             self._counters["sessions_swept"].inc(swept)
@@ -152,6 +173,9 @@ class PortalApp:
             response = Response.error(status, str(exc))
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             response = Response.error(500, f"internal error: {type(exc).__name__}: {exc}")
+        finally:
+            if decision is not None:
+                self.admission.release()
         if tel.on:
             route = getattr(request, "route", None) or "unmatched"
             tel.request_done(span, route, response.status, time.perf_counter() - t0)
@@ -170,6 +194,11 @@ class PortalApp:
                 **self.router.counters,
                 "response_cache": self.cache.stats(),
                 "active_sessions": len(self.sessions),
+                "admission": (
+                    self.admission.stats()
+                    if self.admission is not None
+                    else {"enabled": False}
+                ),
             }
         }
 
@@ -179,43 +208,12 @@ class PortalApp:
     ) -> Response:
         """Serve a cacheable GET with an ETag, honouring If-None-Match.
 
-        On a cache hit the stored body is reused (or skipped entirely
-        with a 304 when the client's validator matches); on a miss
-        ``build()`` renders the response, which is stored under
-        ``(namespace, key)`` until the namespace is invalidated or the
-        key's embedded version moves.
+        Delegates to the shared :func:`conditional_get` engine (also
+        used by the scale-out front-ends), which stores misses under the
+        generation observed at probe time so a racing invalidation can
+        never be clobbered by a stale render.
         """
-        span = getattr(req, "tspan", None)
-        entry = self.cache.lookup(namespace, key)
-        if entry is not None:
-            self._counters["cache_hits"].inc()
-            if span is not None:
-                span.set(cache="hit")
-            if req.etag_matches(entry.etag):
-                self._counters["not_modified"].inc()
-                return Response.not_modified(headers=(("ETag", entry.etag),))
-            return Response(
-                entry.body,
-                content_type=entry.content_type,
-                headers=(*entry.headers, ("ETag", entry.etag)),
-            )
-        self._counters["cache_misses"].inc()
-        if span is not None:
-            span.set(cache="miss")
-        resp = build()
-        if resp.status == 200 and resp.chunks is None:
-            etag = f'"{hashlib.blake2b(resp.body, digest_size=8).hexdigest()}"'
-            content_type = resp.headers[0][1]  # Content-Type is always first
-            self.cache.store(
-                namespace,
-                key,
-                CachedResponse(resp.body, etag, content_type, tuple(resp.headers[1:])),
-            )
-            resp.headers.append(("ETag", etag))
-            if req.etag_matches(etag):
-                self._counters["not_modified"].inc()
-                return Response.not_modified(headers=(("ETag", etag),))
-        return resp
+        return conditional_get(self.cache, self._counters, req, namespace, key, build)
 
     def _stream_counted(self, chunks):
         """Pass chunks through while counting bytes for ``stats()``."""
@@ -710,6 +708,7 @@ def make_default_app(
     admin_password: str = "admin-pass",
     quota_bytes: int | None = None,
     cache_size: int = 256,
+    admission: Optional[AdmissionController] = None,
 ) -> PortalApp:
     """Assemble a complete portal over a fresh in-process cluster.
 
@@ -729,4 +728,6 @@ def make_default_app(
     users.add_user("admin", admin_password, role="admin", full_name="Portal Administrator")
     sessions = SessionStore()
     jobsvc = JobService(files, distributor)
-    return PortalApp(files, users, sessions, jobsvc, cache_size=cache_size)
+    return PortalApp(
+        files, users, sessions, jobsvc, cache_size=cache_size, admission=admission
+    )

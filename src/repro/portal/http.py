@@ -30,7 +30,9 @@ STATUS_REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: refuse request bodies beyond this size (matches the upload limit).

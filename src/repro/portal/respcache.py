@@ -25,11 +25,14 @@ serialisation.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
-__all__ = ["CachedResponse", "ResponseCache"]
+from repro.portal.http import Response
+
+__all__ = ["CachedResponse", "ResponseCache", "conditional_get"]
 
 
 class CachedResponse:
@@ -68,6 +71,7 @@ class ResponseCache:
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        self._stale_drops = 0
 
     def bind(self, registry) -> None:
         """Export the cache's counters through a metrics registry.
@@ -86,6 +90,10 @@ class ResponseCache:
         registry.counter(
             "repro_respcache_invalidations_total", "namespace generation bumps"
         ).set_fn(lambda: self._invalidations)
+        registry.counter(
+            "repro_respcache_stale_drops_total",
+            "stores dropped because an invalidation raced the render",
+        ).set_fn(lambda: self._stale_drops)
         registry.gauge(
             "repro_respcache_entries", "entries currently cached"
         ).set_fn(lambda: len(self._entries))
@@ -108,22 +116,54 @@ class ResponseCache:
 
     # -- lookup/store -----------------------------------------------------------
     def lookup(self, namespace: str, key: Hashable) -> Optional[CachedResponse]:
+        return self.lookup_versioned(namespace, key)[0]
+
+    def lookup_versioned(
+        self, namespace: str, key: Hashable
+    ) -> tuple[Optional[CachedResponse], int]:
+        """Like :meth:`lookup`, plus the generation observed at probe time.
+
+        Pass that generation back to :meth:`store` after rendering a
+        miss: the store is then dropped if an invalidation landed while
+        the body was being built, instead of resurrecting stale bytes
+        under the *new* generation.
+        """
         with self._lock:
-            full = (namespace, self._gens.get(namespace, 0), key)
+            gen = self._gens.get(namespace, 0)
+            full = (namespace, gen, key)
             entry = self._entries.get(full)
             if entry is None:
                 self._misses += 1
-                return None
+                return None, gen
             self._entries.move_to_end(full)
             self._hits += 1
-            return entry
+            return entry, gen
 
-    def store(self, namespace: str, key: Hashable, entry: CachedResponse) -> bool:
-        """Insert unless disabled or the body is too large to be worth it."""
+    def store(
+        self,
+        namespace: str,
+        key: Hashable,
+        entry: CachedResponse,
+        generation: Optional[int] = None,
+    ) -> bool:
+        """Insert unless disabled, oversized, or built under a stale generation.
+
+        ``generation`` is the value :meth:`lookup_versioned` returned
+        when the caller missed.  Without it (legacy callers) the store
+        lands under whatever generation is current — which can resurrect
+        an entry rendered from pre-invalidation state if a writer raced
+        the populate; every portal path therefore passes it.
+        """
         if self.capacity == 0 or len(entry.body) > self.max_body_bytes:
             return False
         with self._lock:
-            full = (namespace, self._gens.get(namespace, 0), key)
+            current = self._gens.get(namespace, 0)
+            if generation is not None and generation != current:
+                # an invalidation raced the render: the body may predate
+                # the mutation, so it must not become visible now.
+                self._stale_drops += 1
+                return False
+            full = (namespace, current, key)
             self._entries[full] = entry
             self._entries.move_to_end(full)
             while len(self._entries) > self.capacity:
@@ -143,4 +183,51 @@ class ResponseCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "invalidations": self._invalidations,
+                "stale_drops": self._stale_drops,
             }
+
+
+def conditional_get(cache, counters, req, namespace: str, key, build) -> "Response":
+    """Serve a cacheable GET with an ETag, honouring ``If-None-Match``.
+
+    The shared conditional-GET engine behind both the monolithic
+    :class:`~repro.portal.app.PortalApp` and the scale-out
+    :class:`~repro.portal.frontend.FrontendPortal`: probe the cache,
+    serve a 304 or the stored body on a hit; on a miss render via
+    ``build()`` and store the result *under the generation observed at
+    probe time* so a racing invalidation can never be overwritten by a
+    stale render.  ``counters`` maps ``cache_hits`` / ``cache_misses`` /
+    ``not_modified`` to counter children (the portal telemetry dict).
+    """
+    span = getattr(req, "tspan", None)
+    entry, gen = cache.lookup_versioned(namespace, key)
+    if entry is not None:
+        counters["cache_hits"].inc()
+        if span is not None:
+            span.set(cache="hit")
+        if req.etag_matches(entry.etag):
+            counters["not_modified"].inc()
+            return Response.not_modified(headers=(("ETag", entry.etag),))
+        return Response(
+            entry.body,
+            content_type=entry.content_type,
+            headers=(*entry.headers, ("ETag", entry.etag)),
+        )
+    counters["cache_misses"].inc()
+    if span is not None:
+        span.set(cache="miss")
+    resp = build()
+    if resp.status == 200 and resp.chunks is None:
+        etag = f'"{hashlib.blake2b(resp.body, digest_size=8).hexdigest()}"'
+        content_type = resp.headers[0][1]  # Content-Type is always first
+        cache.store(
+            namespace,
+            key,
+            CachedResponse(resp.body, etag, content_type, tuple(resp.headers[1:])),
+            generation=gen,
+        )
+        resp.headers.append(("ETag", etag))
+        if req.etag_matches(etag):
+            counters["not_modified"].inc()
+            return Response.not_modified(headers=(("ETag", etag),))
+    return resp

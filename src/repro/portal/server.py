@@ -6,7 +6,7 @@ import threading
 from socketserver import ThreadingMixIn
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
-__all__ = ["serve", "start_background"]
+__all__ = ["serve", "start_background", "start_fleet"]
 
 
 class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
@@ -46,3 +46,14 @@ def start_background(app, host: str = "127.0.0.1", port: int = 0):
     thread = threading.Thread(target=httpd.serve_forever, daemon=True, name="portal-http")
     thread.start()
     return httpd, f"http://{host}:{httpd.server_port}"
+
+
+def start_fleet(workers, host: str = "127.0.0.1"):
+    """Serve every front-end worker of a fleet on its own port.
+
+    Returns ``[(httpd, base_url), ...]`` in worker order — hand the
+    URLs to a load balancer (or round-robin clients directly, as the
+    load harness does).  Start the fleet's back-end service first:
+    ``fleet.start(); servers = start_fleet(fleet.workers)``.
+    """
+    return [start_background(worker, host=host) for worker in workers]

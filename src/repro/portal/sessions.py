@@ -53,6 +53,13 @@ class SessionStore:
         self._ops_since_sweep = 0
         self._last_sweep = self._now()
         self.swept_total = 0
+        #: replication hooks (scale-out): fired after a *local* create or
+        #: destroy commits, outside the shard lock.  ``apply_create`` /
+        #: ``apply_destroy`` deliberately do NOT fire them, so replicated
+        #: events never echo back onto the bus.
+        self.on_create: Optional[Callable[[str, dict[str, Any]], None]] = None
+        self.on_destroy: Optional[Callable[[str], None]] = None
+        self.replicated_in = 0
 
     def _shard_of(self, sid: str) -> int:
         # sids are hex (validated in _verify); two chars spread 0..255
@@ -83,6 +90,8 @@ class SessionStore:
         i = self._shard_of(sid)
         with self._locks[i]:
             self._shards[i][sid] = (self._now() + self.ttl_s, dict(data))
+        if self.on_create is not None:
+            self.on_create(sid, dict(data))
         return self._token(sid)
 
     def get(self, token: str) -> dict[str, Any]:
@@ -120,7 +129,31 @@ class SessionStore:
             return False
         i = self._shard_of(sid)
         with self._locks[i]:
-            return self._shards[i].pop(sid, None) is not None
+            removed = self._shards[i].pop(sid, None) is not None
+        if removed and self.on_destroy is not None:
+            self.on_destroy(sid)
+        return removed
+
+    # -- replication (scale-out front-end tier) -----------------------------
+    def apply_create(self, sid: str, data: dict[str, Any]) -> None:
+        """Install a session replicated from a peer store (no hook echo).
+
+        Peers share the HMAC secret, so the token a peer minted for this
+        sid verifies here too — a student may log in on worker 0 and
+        poll through worker 3.  Sliding-expiry refreshes stay
+        replica-local (each replica restarts the TTL on its own reads).
+        """
+        i = self._shard_of(sid)
+        with self._locks[i]:
+            self._shards[i][sid] = (self._now() + self.ttl_s, dict(data))
+        self.replicated_in += 1
+
+    def apply_destroy(self, sid: str) -> None:
+        """Remove a session destroyed on a peer store (no hook echo)."""
+        i = self._shard_of(sid)
+        with self._locks[i]:
+            self._shards[i].pop(sid, None)
+        self.replicated_in += 1
 
     # -- reclamation -------------------------------------------------------------
     def sweep(self) -> int:

@@ -1,0 +1,180 @@
+"""The million-student load harness: workload model + DES replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.loadgen import DEFAULT_MIX, LoadHarness, SemesterWorkload, run_load
+from repro.loadgen.model import EndpointProfile
+
+
+class TestSemesterWorkload:
+    def test_deterministic_per_seed(self):
+        a = list(SemesterWorkload(100, seed=7, duration_s=50.0).arrivals())
+        b = list(SemesterWorkload(100, seed=7, duration_s=50.0).arrivals())
+        assert a == b
+        c = list(SemesterWorkload(100, seed=8, duration_s=50.0).arrivals())
+        assert a != c
+
+    def test_arrivals_ordered_and_in_window(self):
+        wl = SemesterWorkload(200, seed=3, duration_s=80.0)
+        arrivals = list(wl.arrivals())
+        assert arrivals, "expected some traffic"
+        times = [a.t for a in arrivals]
+        assert times == sorted(times)
+        assert 0.0 < times[0] and times[-1] < 80.0
+        names = {p.name for p in DEFAULT_MIX}
+        for a in arrivals:
+            assert 0 <= a.student < 200
+            assert a.endpoint in names
+            assert a.service_s >= 0.0
+
+    def test_max_arrivals_caps_the_stream(self):
+        wl = SemesterWorkload(1000, seed=1, duration_s=600.0, max_arrivals=50)
+        assert len(list(wl.arrivals())) == 50
+
+    def test_intensity_profile_peaks_at_deadlines(self):
+        wl = SemesterWorkload(10, duration_s=100.0, spike_factor=4.0)
+        assert wl.intensity(0.0) == 1.0
+        assert wl.intensity(10.0) == 1.0  # quiet week
+        assert wl.intensity(45.0) == pytest.approx(4.0)  # lab 1 due
+        assert wl.intensity(90.0) == pytest.approx(4.0)  # lab 2 due
+        # half-way up the ramp to deadline 1 (ramp spans t in [30, 45])
+        assert 1.0 < wl.intensity(37.5) < 4.0
+
+    def test_deadline_weeks_are_busier(self):
+        wl = SemesterWorkload(500, seed=5, duration_s=200.0, spike_factor=6.0)
+        quiet = crunch = 0
+        for a in wl.arrivals():
+            if 10.0 <= a.t < 50.0:
+                quiet += 1
+            elif 150.0 <= a.t < 190.0:  # ramp into the 90% deadline
+                crunch += 1
+        assert crunch > quiet * 1.5, (quiet, crunch)
+
+    def test_engaged_students_poll_more(self):
+        wl = SemesterWorkload(50, seed=11, duration_s=400.0,
+                              base_rate_per_student=0.05)
+        counts = np.zeros(50)
+        for a in wl.arrivals():
+            counts[a.student] += 1
+        keen = wl._engagement > np.median(wl._engagement)
+        assert counts[keen].mean() > counts[~keen].mean()
+
+    def test_expected_arrivals_matches_the_stream(self):
+        wl = SemesterWorkload(2000, seed=9, duration_s=300.0)
+        n = sum(1 for _ in wl.arrivals())
+        assert n == pytest.approx(wl.expected_arrivals(), rel=0.15)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SemesterWorkload(0)
+        with pytest.raises(ValueError):
+            SemesterWorkload(10, duration_s=0.0)
+        with pytest.raises(ValueError):
+            SemesterWorkload(10, base_rate_per_student=-1.0)
+
+    def test_custom_mix(self):
+        mix = (EndpointProfile("only", 1.0, 0.001),)
+        wl = SemesterWorkload(20, seed=2, duration_s=60.0, mix=mix)
+        assert {a.endpoint for a in wl.arrivals()} == {"only"}
+
+
+class TestLoadHarness:
+    def test_counters_are_conserved(self):
+        report = run_load(2000, n_workers=4, duration_s=60.0, seed=4)
+        assert report.arrivals > 0
+        assert report.arrivals == report.admitted + report.shed
+        # DES drains every completion event before run() returns
+        assert report.completed == report.admitted
+        assert report.throughput_rps > 0
+
+    def test_latency_percentiles_are_ordered(self):
+        report = run_load(2000, n_workers=2, duration_s=60.0, seed=4)
+        assert 0.0 < report.latency_p50_s <= report.latency_p95_s
+        assert report.latency_p95_s <= report.latency_p99_s
+
+    def test_overload_sheds_503_within_bounds(self):
+        report = run_load(
+            5000, n_workers=1, duration_s=30.0, seed=6,
+            base_rate_per_student=0.2,
+            max_inflight=2, queue_limit=4, drain_rate_per_s=50.0,
+        )
+        assert report.rejected_503 > 0, "overload never tripped"
+        assert report.max_retry_after_s > 0.0
+        # the whole point: outstanding work is bounded by the admission
+        # tier even when offered load is not
+        assert report.peak_outstanding <= 1 * (2 + 4)
+        assert report.completed == report.admitted
+
+    def test_bucket_table_stays_bounded(self):
+        report = run_load(
+            5000, n_workers=2, duration_s=60.0, seed=8, max_users=100
+        )
+        assert report.tracked_users_peak <= 100
+        assert sum(w["evicted_users"] for w in report.per_worker) > 0
+
+    def test_hundred_thousand_students_replay(self):
+        """The acceptance-scale run: 100k virtual students, flat memory."""
+        report = run_load(
+            100_000, n_workers=4, duration_s=30.0, seed=2012,
+            max_arrivals=40_000,
+        )
+        assert report.n_students == 100_000
+        assert report.arrivals == 40_000
+        assert report.tracked_users_peak <= 100_000
+        assert report.peak_outstanding <= 4 * (64 + 128)
+        assert report.completed == report.admitted
+
+    def test_deterministic_per_seed(self):
+        a = run_load(3000, duration_s=40.0, seed=13).as_dict()
+        b = run_load(3000, duration_s=40.0, seed=13).as_dict()
+        assert a == b
+
+    def test_sticky_routing_partitions_students(self):
+        wl = SemesterWorkload(100, seed=1, duration_s=40.0)
+        harness = LoadHarness(wl, n_workers=4)
+        report = harness.run()
+        assert report.admitted > 0
+        per_worker_admitted = [w["admitted"] for w in report.per_worker]
+        assert sum(per_worker_admitted) == report.admitted
+        assert sum(1 for n in per_worker_admitted if n > 0) >= 2
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        report = run_load(500, duration_s=20.0, seed=3)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["arrivals"] == report.arrivals
+        assert payload["shed"] == report.shed
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            LoadHarness(SemesterWorkload(10), n_workers=0)
+
+
+class TestLoadgenCli:
+    def test_cli_runs_and_writes_json(self, capsys, tmp_path):
+        from repro.loadgen.__main__ import main
+
+        out = tmp_path / "report.json"
+        rc = main([
+            "--students", "500", "--workers", "2", "--duration", "30",
+            "--seed", "5", "--json", str(out),
+        ])
+        assert rc == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["n_students"] == 500
+        assert payload["arrivals"] > 0
+        assert "admitted" in capsys.readouterr().out
+
+    def test_cli_table_output(self, capsys):
+        from repro.loadgen.__main__ import main
+
+        rc = main(["--students", "200", "--duration", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "students" in out and "admitted" in out
