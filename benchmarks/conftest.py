@@ -52,7 +52,46 @@ def write_result(name: str, text: str, metrics: list | None = None) -> None:
     print(f"\n{text}\n", file=sys.stderr)
 
 
+def check_guards(metrics: list | None) -> list[str]:
+    """Evaluate guarded metric rows; returns human-readable failures.
+
+    A row guards when it carries ``threshold``; ``op`` picks the
+    direction (``">="`` floor — the default — or ``"<="`` ceiling).
+    """
+    failures = []
+    for m in metrics or ():
+        if "threshold" not in m:
+            continue
+        op = m.get("op", ">=")
+        value, threshold = m["value"], m["threshold"]
+        ok = value >= threshold if op == ">=" else value <= threshold
+        if not ok:
+            failures.append(
+                f"{m['metric']}: {value:g} {m.get('unit', '')} violates "
+                f"{op} {threshold:g}"
+            )
+    return failures
+
+
+def report_and_guard(name: str, text: str, metrics: list | None = None) -> None:
+    """Publish first, guard second.
+
+    The text table and ``BENCH_<name>.json`` always land on disk — a
+    failing guard must not eat the evidence CI needs to diagnose it —
+    and only then do threshold rows get to raise.
+    """
+    write_result(name, text, metrics)
+    failures = check_guards(metrics)
+    assert not failures, f"{name}: " + "; ".join(failures)
+
+
 @pytest.fixture
 def report():
     """Emit a named result block to stderr and ``benchmarks/results/``."""
     return write_result
+
+
+@pytest.fixture
+def guarded_report():
+    """Like ``report`` but enforces metric thresholds after publishing."""
+    return report_and_guard

@@ -57,6 +57,8 @@ class ClusterBackendService:
         for method, handler in (
             ("cluster.version", self._h_version),
             ("cluster.status", self._h_status),
+            ("cluster.checkpoint", self._h_checkpoint),
+            ("cluster.durability", self._h_durability),
             ("jobs.submit", self._h_submit),
             ("jobs.describe", self._h_describe),
             ("jobs.list", self._h_list),
@@ -136,6 +138,15 @@ class ClusterBackendService:
 
     def _h_status(self, params: dict) -> dict:
         return self.distributor.stats()
+
+    def _h_checkpoint(self, params: dict) -> dict:
+        """Force a snapshot + compaction now (admin surface, e.g. pre-upgrade)."""
+        if self.distributor.journal is None:
+            raise JobError("cluster runs without a journal; nothing to checkpoint")
+        return self.distributor.checkpoint()
+
+    def _h_durability(self, params: dict) -> dict:
+        return self.distributor.durability_stats()
 
     def _h_submit(self, params: dict) -> dict:
         wire = params.get("request")

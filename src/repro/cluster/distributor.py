@@ -107,6 +107,7 @@ class JobDistributor:
         seed: int = 0,
         defer_fn: Callable[[float, Callable[[], None]], None] | None = None,
         registry=None,
+        journal=None,
     ) -> None:
         self.grid = grid
         self.backend = backend
@@ -178,6 +179,17 @@ class JobDistributor:
         #: its cluster-status response cache on it, so a stale snapshot is
         #: never served.
         self._version = 0
+        #: write-ahead journal (:class:`repro.durability.JobJournal`), or
+        #: ``None`` for the historical in-memory-only behaviour.  Every
+        #: state-machine transition below appends under the lock, so
+        #: journal order is commit order; ``checkpoint()`` snapshots and
+        #: compacts.  Duck-typed to keep the import graph acyclic.
+        self.journal = journal
+        #: the :class:`RecoveryReport` of the boot that built this
+        #: instance, when it came through ``recover_distributor``.
+        self.last_recovery = None
+        if journal is not None:
+            journal.bind(self.telemetry.registry, clock=self.now_fn)
 
     # -- submission -----------------------------------------------------------
     def submit(self, request: JobRequest) -> Job:
@@ -215,6 +227,8 @@ class JobDistributor:
             job.submitted_at = self.now_fn()
             job.retry_gate = self._retry_gate
             job.transition(JobState.QUEUED)
+            if self.journal is not None:
+                self.journal.record_submit(job)
             if request.wallclock_timeout_s is not None:
                 self._push_deadline(
                     job.submitted_at + request.wallclock_timeout_s, "wall", job.id, -1
@@ -313,6 +327,8 @@ class JobDistributor:
                         job.error = "dependency failed"
                         job.try_transition(JobState.CANCELLED)
                         job.finished_at = self.now_fn()
+                        if self.journal is not None:
+                            self.journal.record_seal(job)
                         self.monitor.record_job(job)
             # Jobs still serving their retry backoff are invisible to the
             # policy; a wake-up is armed for the earliest one instead.
@@ -340,6 +356,8 @@ class JobDistributor:
                 job.started_at = self.now_fn()
                 self._register_running(job)
                 tel.job_started(job)
+                if self.journal is not None:
+                    self.journal.record_start(job)
                 handle = self._backend_for(job).launch(job)
                 self._handles[job.id] = handle
                 handle.on_done(lambda j, h=handle: self._attempt_done(j, h))
@@ -349,6 +367,8 @@ class JobDistributor:
             self.monitor.sample(
                 self.grid, self.now_fn(), queued=len(self.queue) + len(self._held)
             )
+            if self.journal is not None and self.journal.snapshot_due:
+                self.journal.snapshot(self.jobs)
         if tel.on:
             tel.h_round.observe(time.perf_counter() - t0)
         return started
@@ -454,6 +474,8 @@ class JobDistributor:
                 exit_code=job.exit_code,
             )
         )
+        if self.journal is not None:
+            self.journal.record_attempt(job, job.attempts[-1])
         self.telemetry.attempt_finished(job, outcome, now)
         if self.health is not None:
             if outcome == "completed":
@@ -485,6 +507,8 @@ class JobDistributor:
         job.error = None
         job.transition(JobState.QUEUED)
         self.queue.push(job)
+        if self.journal is not None:
+            self.journal.record_requeue(job)
         self._faults["retries"] += 1
         if failure_class == "node_lost":
             self._faults["reroutes"] += 1
@@ -495,7 +519,10 @@ class JobDistributor:
 
     def _seal(self, job: Job) -> None:
         """Final accounting once a job reaches a terminal state (lock held)."""
-        job.finished_at = self.now_fn()
+        if job.finished_at is None:
+            job.finished_at = self.now_fn()
+        if self.journal is not None:
+            self.journal.record_seal(job)
         self.monitor.record_job(job)
         self._version += 1
         self._idle.notify_all()
@@ -707,6 +734,9 @@ class JobDistributor:
                 self.queue.remove(job)
                 self._held.pop(job.id, None)
                 job.try_transition(JobState.CANCELLED)
+                job.finished_at = self.now_fn()
+                if self.journal is not None:
+                    self.journal.record_seal(job)
                 self._version += 1
                 self._idle.notify_all()
                 return True
@@ -727,6 +757,29 @@ class JobDistributor:
     def version(self) -> int:
         """Monotone job-state-change counter (see ``_version``)."""
         return self._version
+
+    # -- durability -------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Force a journal snapshot + compaction now; returns its summary.
+
+        Exposed over the bus as ``cluster.checkpoint`` so an operator (or
+        a pre-maintenance hook) can bound the replay work of the next
+        boot.  Raises :class:`JobError` when no journal is configured.
+        """
+        if self.journal is None:
+            raise JobError("distributor has no journal; durability is off")
+        with self._lock:
+            return self.journal.snapshot(self.jobs)
+
+    def durability_stats(self) -> dict:
+        """Journal/recovery counters (``{"enabled": False}`` when off)."""
+        if self.journal is None:
+            return {"enabled": False}
+        with self._lock:
+            out = self.journal.stats()
+        if self.last_recovery is not None:
+            out["last_recovery"] = self.last_recovery.as_dict()
+        return out
 
     def control_state(self) -> dict:
         """The cheap freshness fingerprint remote front-ends poll.
@@ -771,4 +824,8 @@ class JobDistributor:
                 "dispatch": self.telemetry.dispatch_counters(),
                 "faults": self.telemetry.fault_counters(),
                 "health": self.health.snapshot() if self.health is not None else None,
+                "durability": (
+                    self.journal.stats() if self.journal is not None
+                    else {"enabled": False}
+                ),
             }

@@ -77,6 +77,34 @@ class FaultInjector:
         for name in list(self.killed):
             self.revive_node(name)
 
+    # -- crash injection ------------------------------------------------------
+    def crash_points(self) -> tuple[str, ...]:
+        """The distributor's instrumented crash points (durability on)."""
+        from repro.durability.crashpoints import CRASH_POINTS
+
+        return CRASH_POINTS
+
+    def arm_crash(self, point: str, at: int = 1):
+        """Arm a deterministic process crash at a journal crash point.
+
+        The ``at``-th passage through ``point`` raises
+        :class:`~repro.durability.crashpoints.SimulatedCrash` — a
+        ``BaseException``, so the distributor's own error guards cannot
+        absorb it and it unwinds like ``kill -9`` would.  Requires the
+        distributor to run with a journal (there is nothing to crash
+        into otherwise).  Returns the journal's
+        :class:`~repro.durability.crashpoints.CrashPoints` registry so
+        tests can inspect ``fired`` or disarm.
+        """
+        dist = self.distributor
+        if dist.journal is None:
+            raise ResourceError(
+                "arm_crash needs a journaled distributor (journal=JobJournal(...))"
+            )
+        crash = dist.journal.store.crash
+        crash.arm(point, at=at)
+        return crash
+
     # -- planned maintenance ------------------------------------------------
     def drain_node(self, node_name: str) -> tuple[str, ...]:
         """Put a node into DRAINING: running jobs finish, nothing new lands.

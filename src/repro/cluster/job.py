@@ -22,7 +22,6 @@ invariant the property tests exercise heavily.
 from __future__ import annotations
 
 import enum
-import itertools
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -32,7 +31,30 @@ from repro.cluster.streams import InteractiveChannel, StreamCapture
 
 __all__ = ["JobKind", "JobState", "JobRequest", "Job", "JobAttempt", "RetryPolicy"]
 
-_job_counter = itertools.count(1)
+
+class _JobSeq:
+    """Monotone job-id sequence, advanceable past restored ids.
+
+    Recovery restores jobs whose ``seq`` was assigned by a previous
+    process; bumping the counter past them guarantees a fresh submission
+    can never mint a colliding ``job-%06d`` id.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._lock = threading.Lock()
+
+    def __next__(self) -> int:
+        with self._lock:
+            self._n += 1
+            return self._n
+
+    def advance_past(self, seq: int) -> None:
+        with self._lock:
+            self._n = max(self._n, int(seq))
+
+
+_job_counter = _JobSeq()
 
 
 class JobKind(enum.Enum):
@@ -416,6 +438,57 @@ class Job:
             "retries": max(0, self.attempt_epoch - 1),
             "attempts": [a.as_dict() for a in self.attempts],
         }
+
+    # -- durability ------------------------------------------------------------
+    @classmethod
+    def restore(cls, wire: dict) -> "Job":
+        """Rebuild a job from its journal/snapshot wire state.
+
+        The inverse of :func:`repro.durability.joblog.job_wire`: state is
+        installed directly (the original transitions were validated when
+        they first happened), the global id sequence advances past the
+        restored ``seq``, and streams come back *empty* — stdout/stderr
+        content is not journaled, only the lineage that produced it.
+        Requests that could not cross the wire (live callables) are
+        restored under a stub so the lineage stays inspectable; recovery
+        decides what to do with the non-relaunchable work.
+        """
+        req_wire = wire.get("request", {})
+        if "_unrecoverable" in req_wire:
+            request = JobRequest(
+                name=str(req_wire.get("name", "job")),
+                owner=str(req_wire.get("owner", "")),
+                argv=["<callable lost in restart>"],
+            )
+        else:
+            request = JobRequest.from_wire(req_wire)
+        job = cls.__new__(cls)
+        job.request = request
+        job.seq = int(wire["seq"])
+        _job_counter.advance_past(job.seq)
+        job.id = str(wire["id"])
+        job._state = JobState(wire["state"])
+        job._lock = threading.Lock()
+        job.stdout = StreamCapture(f"{job.id}.stdout")
+        job.stderr = StreamCapture(f"{job.id}.stderr")
+        job.stdin = InteractiveChannel(f"{job.id}.stdin")
+        if request.kind is not JobKind.INTERACTIVE or job.terminal:
+            job.stdin.close()
+        if job.terminal:
+            job.stdout.close()
+            job.stderr.close()
+        job.exit_code = wire.get("exit_code")
+        job.error = wire.get("error")
+        job.result = None
+        job.placement = dict(wire.get("placement", {}))
+        job.submitted_at = wire.get("submitted_at")
+        job.started_at = wire.get("started_at")
+        job.finished_at = wire.get("finished_at")
+        job.attempts = [JobAttempt(**a) for a in wire.get("attempts", ())]
+        job.attempt_epoch = int(wire.get("attempt_epoch", 0))
+        job.not_before = float(wire.get("not_before", 0.0))
+        job.retry_gate = None
+        return job
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Job {self.id} {self.request.name!r} {self._state.value}>"

@@ -1,0 +1,54 @@
+"""repro.durability — write-ahead journal, snapshots, and crash recovery.
+
+The portal must survive restarts without losing a semester of student
+jobs.  This package makes the :class:`~repro.cluster.distributor.JobDistributor`'s
+state machine durable:
+
+* :mod:`~repro.durability.journal` — length-prefixed, CRC-checksummed,
+  torn-tail-tolerant record frames;
+* :mod:`~repro.durability.store` — append path with fsync policy,
+  periodic snapshots, log compaction, overlap-deduplicating recovery;
+* :mod:`~repro.durability.joblog` — the distributor's record kinds and
+  the pure :func:`replay` fold (prefix-replay == full-replay-prefix);
+* :mod:`~repro.durability.recovery` — boot-time state rebuild +
+  reconciliation against live node reports;
+* :mod:`~repro.durability.crashpoints` — deterministic control-plane
+  fault injection (the crash battery in ``tests/test_durability.py``).
+
+Quickstart::
+
+    from repro.durability import DurabilityStore, JobJournal, recover_distributor
+
+    store = DurabilityStore("/var/lib/repro/journal")
+    dist = JobDistributor(grid, backend, journal=JobJournal(store))
+    ...                      # process dies at any instruction
+    store = DurabilityStore("/var/lib/repro/journal")   # reboot
+    dist, report = recover_distributor(store, grid, backend, retry=policy)
+
+``python -m repro.durability <dir>`` inspects a journal directory
+offline: snapshot LSN, segments, record counts, torn-tail status, and
+the per-state job tally a recovery would restore.
+"""
+
+from repro.durability.crashpoints import CRASH_POINTS, CrashPoints, SimulatedCrash
+from repro.durability.joblog import JobJournal, job_wire, replay, request_wire
+from repro.durability.journal import FrameStats, decode_frames, encode_frame
+from repro.durability.recovery import RecoveryReport, recover_distributor
+from repro.durability.store import DurabilityStore, JournalCorruption
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashPoints",
+    "SimulatedCrash",
+    "DurabilityStore",
+    "JournalCorruption",
+    "JobJournal",
+    "RecoveryReport",
+    "FrameStats",
+    "decode_frames",
+    "encode_frame",
+    "job_wire",
+    "recover_distributor",
+    "replay",
+    "request_wire",
+]

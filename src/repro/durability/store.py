@@ -1,0 +1,354 @@
+"""Durability store: journal segments + snapshots + log compaction.
+
+Directory layout::
+
+    <dir>/
+        snapshot.json        # atomic (tmp + rename); carries last applied lsn
+        wal-00000001.log     # journal segment; name = first lsn it may hold
+        wal-00000472.log     # newest segment (appends go here)
+
+Append path: each record gets the next monotone LSN, is framed
+(:mod:`repro.durability.journal`) and written straight to the OS — the
+segment fd is unbuffered, so the ``write`` *is* the flush.  An
+acknowledged record therefore survives the *process* dying at any
+instruction (the crash battery's model), while ``fsync`` policy decides
+what survives the *machine* dying:
+
+* ``"always"`` — fsync inline after every append (safest, slowest);
+* ``"interval"`` — a background flusher thread fsyncs every
+  ``fsync_interval_s`` while appends are landing (the default: the
+  data-loss window on *power* loss is bounded by the interval, and the
+  append path never blocks on a disk flush — the Redis ``everysec``
+  discipline);
+* ``"never"`` — leave it to the OS (benchmarks, tests).
+
+Snapshot + compaction: :meth:`snapshot` writes the full state payload
+to a temp file, fsyncs, renames it over ``snapshot.json``, rotates the
+journal to a fresh segment and deletes segments that now only hold
+records at or below the snapshot's LSN.  A crash anywhere in that
+sequence is safe: before the rename the old snapshot wins; after it,
+stale segments merely overlap and :meth:`recover` deduplicates by LSN.
+
+:meth:`recover` reads the snapshot (if any) plus every surviving
+segment in order, drops records already covered by the snapshot, and
+tolerates a torn final frame; it then rotates to a fresh segment so new
+appends never extend a possibly-torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro._errors import ReproError
+from repro.durability.crashpoints import CrashPoints
+from repro.durability.journal import (
+    FrameStats,
+    decode_frames,
+    dumps_compact,
+    encode_frame,
+    frame_bytes,
+)
+
+__all__ = ["DurabilityStore", "JournalCorruption"]
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+_SNAPSHOT = "snapshot.json"
+
+
+class JournalCorruption(ReproError):
+    """A non-tail frame failed validation — the journal is damaged."""
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_lsn:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_lsn(path: Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    try:
+        return int(name[len(_SEGMENT_PREFIX): -len(_SEGMENT_SUFFIX)])
+    except ValueError:
+        return None
+
+
+class DurabilityStore:
+    """Append-only journal + snapshot files under one directory."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        crashpoints: CrashPoints | None = None,
+        observe_fsync: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if fsync not in ("always", "interval", "never"):
+            raise ReproError(f"fsync must be always|interval|never, got {fsync!r}")
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self.crash = crashpoints or CrashPoints()
+        #: optional histogram hook — fed each fsync's wall seconds.
+        self.observe_fsync = observe_fsync
+        self._f = None  # lazily-opened current segment
+        self._next_lsn = 1
+        # background flusher (fsync="interval"): appends mark the segment
+        # dirty; the thread pays the disk flush off the critical path.
+        # _io_lock only guards fd *lifetime* (rotation/close vs fsync) —
+        # appends themselves stay under the caller's (distributor) lock.
+        self._io_lock = threading.Lock()
+        self._dirty = False
+        self._flusher: Optional[threading.Thread] = None
+        self._stop_flusher = threading.Event()
+        # plain-int stats, exported via telemetry set_fn callbacks.
+        self.stats = {
+            "records": 0,
+            "bytes": 0,
+            "fsyncs": 0,
+            "snapshots": 0,
+            "compactions": 0,
+            "segments_deleted": 0,
+            "torn_tail_dropped_bytes": 0,
+        }
+        # Position the writer after whatever already exists, without
+        # replaying payloads (recover() does that when asked).
+        self._next_lsn = self._scan_next_lsn()
+
+    # -- files ----------------------------------------------------------------
+    def _segments(self) -> list[Path]:
+        found = [
+            p for p in self.dir.iterdir()
+            if p.is_file() and _segment_lsn(p) is not None
+        ]
+        return sorted(found, key=lambda p: _segment_lsn(p))
+
+    def _snapshot_path(self) -> Path:
+        return self.dir / _SNAPSHOT
+
+    def _scan_next_lsn(self) -> int:
+        """First unused LSN: max(snapshot lsn, every valid journal record) + 1."""
+        last = 0
+        snap = self._read_snapshot()
+        if snap is not None:
+            last = int(snap.get("lsn", 0))
+        for seg in self._segments():
+            with seg.open("rb") as f:
+                for record in decode_frames(f):
+                    last = max(last, int(record.get("lsn", 0)))
+        return last + 1
+
+    def _open_segment(self) -> None:
+        path = self.dir / _segment_name(self._next_lsn)
+        # unbuffered: each append's write() syscall hands the frame to the
+        # OS, which is the acknowledgement boundary — no flush per record.
+        self._f = path.open("ab", buffering=0)
+
+    def close(self) -> None:
+        """Flush and close the current segment (a *clean* shutdown)."""
+        if self._flusher is not None:
+            self._stop_flusher.set()
+            self._flusher.join(2.0)
+            self._flusher = None
+        with self._io_lock:
+            if self._f is not None:
+                os.fsync(self._f.fileno())
+                self._f.close()
+                self._f = None
+
+    # -- append path -----------------------------------------------------------
+    def append(self, record: dict) -> int:
+        """Durably append ``record``; returns its assigned LSN.
+
+        The record dict is stamped with the LSN in place, framed, written
+        and flushed to the OS before this returns — the acknowledgement
+        boundary the crash battery holds us to.
+        """
+        if self._f is None:
+            self._open_segment()
+        record["lsn"] = self._next_lsn
+        return self._write_frame(encode_frame(record))
+
+    def append_payload(self, head: str) -> int:
+        """Append a pre-encoded JSON object, sans its closing brace.
+
+        The hot-path twin of :meth:`append`: the journal hand-renders its
+        small fixed-shape records (see ``joblog``) and this completes the
+        object with the assigned LSN — no dict build, no generic encoder.
+        Deliberately flat (no helper calls beyond the frame wrap): this
+        runs four times per job inside the distributor lock.
+        """
+        f = self._f
+        if f is None:
+            self._open_segment()
+            f = self._f
+        lsn = self._next_lsn
+        frame = frame_bytes(f'{head},"lsn":{lsn}}}'.encode())
+        f.write(frame)
+        self._next_lsn = lsn + 1
+        stats = self.stats
+        stats["records"] += 1
+        stats["bytes"] += len(frame)
+        fsync = self.fsync
+        if fsync == "interval":
+            self._dirty = True
+            if self._flusher is None:
+                self._start_flusher()
+        elif fsync == "always":
+            self._fsync_once()
+        return lsn
+
+    def _write_frame(self, frame: bytes) -> int:
+        lsn = self._next_lsn
+        self._f.write(frame)
+        self._next_lsn = lsn + 1
+        self.stats["records"] += 1
+        self.stats["bytes"] += len(frame)
+        self._maybe_fsync()
+        return lsn
+
+    def _maybe_fsync(self) -> None:
+        if self.fsync == "interval":
+            self._dirty = True
+            if self._flusher is None:
+                self._start_flusher()
+        elif self.fsync == "always":
+            self._fsync_once()  # pay the flush inline
+
+    def _start_flusher(self) -> None:
+        self._stop_flusher.clear()
+        self._flusher = threading.Thread(
+            target=self._flusher_loop, daemon=True, name="wal-fsync"
+        )
+        self._flusher.start()
+
+    def _fsync_once(self) -> None:
+        t0 = time.perf_counter()
+        os.fsync(self._f.fileno())
+        dt = time.perf_counter() - t0
+        self.stats["fsyncs"] += 1
+        if self.observe_fsync is not None:
+            self.observe_fsync(dt)
+
+    def _flusher_loop(self) -> None:
+        while not self._stop_flusher.wait(self.fsync_interval_s):
+            if not self._dirty:
+                continue
+            self._dirty = False
+            with self._io_lock:
+                if self._f is None:
+                    continue
+                try:
+                    self._fsync_once()
+                except (OSError, ValueError):  # pragma: no cover - fd raced away
+                    pass
+
+    # -- snapshot + compaction ---------------------------------------------------
+    def snapshot(self, state: dict) -> dict:
+        """Write a snapshot of ``state`` and compact the journal.
+
+        Returns ``{"lsn", "segments_deleted"}``.  Crash-safe at every
+        step (see module docstring); the two instrumented points are the
+        window before the rename and the window before old segments are
+        all gone.
+        """
+        last_applied = self._next_lsn - 1
+        payload = {"version": 1, "lsn": last_applied, "state": state}
+        tmp = self.dir / (_SNAPSHOT + ".tmp")
+        with tmp.open("w") as f:
+            f.write(dumps_compact(payload))
+            f.flush()
+            os.fsync(f.fileno())
+        self.crash.reached("snapshot.mid-write")
+        os.replace(tmp, self._snapshot_path())
+        self.stats["snapshots"] += 1
+        # Rotate: close the active segment and start a fresh one whose
+        # name says "first record here is > snapshot lsn".
+        with self._io_lock:
+            if self._f is not None:
+                self._f.close()
+                self._f = None
+        deleted = 0
+        new_first = self._next_lsn
+        stale = [p for p in self._segments() if _segment_lsn(p) < new_first]
+        if stale:
+            # the snapshot is live but the records it covers are still on
+            # disk — a crash here leaves overlap that replay must dedup.
+            self.crash.reached("compaction.mid")
+        for seg in stale:
+            seg.unlink()
+            deleted += 1
+        self.stats["compactions"] += 1
+        self.stats["segments_deleted"] += deleted
+        return {"lsn": last_applied, "segments_deleted": deleted}
+
+    def _read_snapshot(self) -> Optional[dict]:
+        path = self._snapshot_path()
+        if not path.exists():
+            return None
+        try:
+            with path.open() as f:
+                payload = json.load(f)
+        except ValueError as exc:
+            raise JournalCorruption(f"snapshot {path} is unreadable: {exc}") from exc
+        if payload.get("version") != 1:
+            raise JournalCorruption(
+                f"snapshot {path} has unsupported version {payload.get('version')!r}"
+            )
+        return payload
+
+    # -- recovery ----------------------------------------------------------------
+    def recover(self) -> tuple[Optional[dict], list[dict], dict]:
+        """Read everything durable: ``(snapshot_state, records, info)``.
+
+        ``records`` hold only LSNs above the snapshot's, in LSN order,
+        deduplicated (overlapping segments from an interrupted
+        compaction collapse cleanly).  A torn final frame in the *last*
+        segment is dropped silently; a torn frame anywhere else raises
+        :class:`JournalCorruption` — that is damage, not a crash
+        artefact.
+        """
+        snap = self._read_snapshot()
+        snap_lsn = int(snap["lsn"]) if snap is not None else 0
+        records: dict[int, dict] = {}
+        torn_tail = False
+        segments = self._segments()
+        for i, seg in enumerate(segments):
+            stats = FrameStats()
+            with seg.open("rb") as f:
+                for record in decode_frames(f, stats):
+                    lsn = int(record.get("lsn", 0))
+                    if lsn > snap_lsn:
+                        records.setdefault(lsn, record)
+            if stats.torn:
+                if i != len(segments) - 1:
+                    raise JournalCorruption(
+                        f"segment {seg.name} is torn mid-journal "
+                        f"({stats.tail_bytes} bytes unreadable)"
+                    )
+                torn_tail = True
+                self.stats["torn_tail_dropped_bytes"] += stats.tail_bytes
+        ordered = [records[lsn] for lsn in sorted(records)]
+        # Never append to a possibly-torn file: rotate past everything seen.
+        last = max([snap_lsn, *records.keys()]) if records else snap_lsn
+        self._next_lsn = max(self._next_lsn, last + 1)
+        with self._io_lock:
+            if self._f is not None:
+                self._f.close()
+                self._f = None
+        info = {
+            "snapshot_lsn": snap_lsn if snap is not None else None,
+            "records_replayed": len(ordered),
+            "torn_tail": torn_tail,
+            "segments": [s.name for s in segments],
+        }
+        state = snap["state"] if snap is not None else None
+        return state, ordered, info

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import json
+import os
 import secrets
 import threading
 import time
@@ -154,6 +156,96 @@ class SessionStore:
         with self._locks[i]:
             self._shards[i].pop(sid, None)
         self.replicated_in += 1
+
+    # -- durability (portal restart) ----------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Serialisable state for a portal restart.
+
+        Expiries are stored as *remaining* seconds, not absolute times —
+        the default clock is ``time.monotonic``, whose epoch does not
+        survive a process restart.  The HMAC secret rides along (hex) so
+        tokens already in students' cookies keep verifying; persist the
+        result only through :meth:`save`, which clamps file permissions.
+        Already-expired sessions are skipped, never resurrected.
+        """
+        now = self._now()
+        sessions = []
+        for i in range(_N_SHARDS):
+            with self._locks[i]:
+                items = list(self._shards[i].items())
+            for sid, (expires, data) in items:
+                remaining = expires - now
+                if remaining <= 0:
+                    continue
+                sessions.append(
+                    {"sid": sid, "remaining_s": remaining, "data": dict(data)}
+                )
+        return {
+            "version": 1,
+            "secret": self._secret.hex(),
+            "ttl_s": self.ttl_s,
+            "sessions": sessions,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict[str, Any],
+        now_fn: Callable[[], float] = time.monotonic,
+        **kwargs: Any,
+    ) -> "SessionStore":
+        """Rebuild a store from :meth:`snapshot` output.
+
+        Remaining TTLs are re-anchored to the new process's clock; any
+        session whose remaining time hit zero while the portal was down
+        stays dead (the snapshot records how long it *had*, not a new
+        lease).
+        """
+        if snapshot.get("version") != 1:
+            raise AuthenticationError(
+                f"unsupported session snapshot version {snapshot.get('version')!r}"
+            )
+        # snapshot values are defaults: an explicit ``secret=``/``ttl_s=``
+        # from the caller wins instead of raising a duplicate-kwarg error
+        kwargs.setdefault("secret", bytes.fromhex(snapshot["secret"]))
+        kwargs.setdefault("ttl_s", float(snapshot.get("ttl_s", 3600.0)))
+        store = cls(now_fn=now_fn, **kwargs)
+        now = now_fn()
+        for entry in snapshot.get("sessions", ()):
+            remaining = float(entry.get("remaining_s", 0.0))
+            if remaining <= 0:
+                continue
+            sid = entry["sid"]
+            i = store._shard_of(sid)
+            with store._locks[i]:
+                store._shards[i][sid] = (now + remaining, dict(entry.get("data", {})))
+        return store
+
+    def save(self, path: str | os.PathLike) -> int:
+        """Write :meth:`snapshot` to ``path`` (0600 — it holds the secret).
+
+        Returns the number of live sessions persisted.
+        """
+        snap = self.snapshot()
+        tmp = f"{path}.tmp"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+        with os.fdopen(fd, "w") as f:
+            json.dump(snap, f, separators=(",", ":"))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        return len(snap["sessions"])
+
+    @classmethod
+    def load(
+        cls,
+        path: str | os.PathLike,
+        now_fn: Callable[[], float] = time.monotonic,
+        **kwargs: Any,
+    ) -> "SessionStore":
+        """Rebuild a store from a :meth:`save` file."""
+        with open(path) as f:
+            return cls.restore(json.load(f), now_fn=now_fn, **kwargs)
 
     # -- reclamation -------------------------------------------------------------
     def sweep(self) -> int:

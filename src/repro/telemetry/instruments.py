@@ -27,6 +27,7 @@ from repro.telemetry.tracing import Span, Tracer
 __all__ = [
     "AnalysisTelemetry",
     "DispatchTelemetry",
+    "DurabilityTelemetry",
     "ExploreTelemetry",
     "PortalTelemetry",
 ]
@@ -192,6 +193,72 @@ class DispatchTelemetry:
     def fault_counters(self) -> dict:
         """The PR 3 ``stats()["faults"]`` dict (a defensive copy)."""
         return dict(self.faults)
+
+
+#: ``DurabilityStore.stats`` keys exported as counters, in export order.
+DURABILITY_KEYS = (
+    "records",
+    "bytes",
+    "fsyncs",
+    "snapshots",
+    "compactions",
+    "segments_deleted",
+    "torn_tail_dropped_bytes",
+)
+
+_DURABILITY_HELP = {
+    "records": "journal records appended",
+    "bytes": "journal bytes written (frames incl. headers)",
+    "fsyncs": "fsync calls issued by the journal",
+    "snapshots": "state snapshots written",
+    "compactions": "log compactions performed",
+    "segments_deleted": "journal segments removed by compaction",
+    "torn_tail_dropped_bytes": "bytes dropped from torn journal tails",
+}
+
+
+class DurabilityTelemetry:
+    """Metrics for the write-ahead journal and recovery path.
+
+    The store's hot-path tallies stay plain ints read through ``set_fn``
+    at scrape time (the dispatch-counter pattern); only the fsync
+    latency histogram records inline — an fsync already costs a syscall,
+    so one observation alongside it is noise.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.on = registry.enabled
+        family = registry.counter(
+            "repro_durability_journal_total",
+            "write-ahead journal activity by kind",
+            labels=("kind",),
+        )
+        self._children = {key: family.labels(key) for key in DURABILITY_KEYS}
+        self.h_fsync = registry.histogram(
+            "repro_durability_fsync_seconds", "journal fsync latency"
+        )
+        self.g_snapshot_lsn = registry.gauge(
+            "repro_durability_snapshot_lsn", "LSN covered by the latest snapshot"
+        )
+        self.g_recovery_s = registry.gauge(
+            "repro_durability_recovery_seconds", "duration of the last recovery"
+        )
+        self.c_recoveries = registry.counter(
+            "repro_durability_recoveries_total", "recover_distributor boots"
+        )
+
+    def bind_store(self, store) -> None:
+        """Export ``store.stats`` and hook its fsync latency observer."""
+        for key in DURABILITY_KEYS:
+            self._children[key].set_fn(lambda k=key, s=store: s.stats[k])
+        if self.on:
+            store.observe_fsync = self.h_fsync.observe
+
+    def recovery_done(self, report) -> None:
+        """Tally one finished :class:`RecoveryReport`."""
+        self.c_recoveries.inc()
+        self.g_recovery_s.set(report.duration_s)
 
 
 class AnalysisTelemetry:

@@ -188,3 +188,84 @@ class TestUserStorePersistence:
         path = tmp_path / "users.json"
         store.save(path)
         assert "supersecretpw" not in path.read_text()
+
+
+class TestSessionStorePersistence:
+    """Portal restart: live sessions survive, dead ones stay dead."""
+
+    def test_snapshot_restore_keeps_tokens_valid(self):
+        store = SessionStore()
+        t_alice = store.create({"username": "alice"})
+        t_bob = store.create({"username": "bob"})
+        restored = SessionStore.restore(store.snapshot())
+        # the *same cookies* authenticate on the restarted portal —
+        # secret and sids both survived the round trip.
+        assert restored.get(t_alice)["username"] == "alice"
+        assert restored.get(t_bob)["username"] == "bob"
+        assert len(restored) == 2
+
+    def test_restore_accepts_caller_overrides(self):
+        # an explicit ttl_s/secret kwarg must override the snapshot's
+        # values, not collide with them (regression: duplicate-kwarg
+        # TypeError on SessionStore.load(path, ttl_s=...))
+        store = SessionStore(ttl_s=100.0)
+        token = store.create({"username": "alice"})
+        restored = SessionStore.restore(store.snapshot(), ttl_s=2000.0)
+        assert restored.ttl_s == 2000.0
+        assert restored.get(token)["username"] == "alice"
+
+    def test_expired_sessions_not_resurrected(self):
+        clock = {"t": 0.0}
+        store = SessionStore(ttl_s=100.0, now_fn=lambda: clock["t"])
+        dead = store.create({"u": "dead"})
+        clock["t"] = 60.0
+        alive = store.create({"u": "alive"})
+        clock["t"] = 150.0  # 'dead' expired at 100; 'alive' runs to 160
+        snap = store.snapshot()
+        assert len(snap["sessions"]) == 1  # expired one never serialized
+        restored = SessionStore.restore(snap, now_fn=lambda: clock["t"])
+        assert restored.peek(alive)["u"] == "alive"
+        with pytest.raises(AuthenticationError):
+            restored.get(dead)
+
+    def test_remaining_ttl_reanchors_to_new_clock(self):
+        old_clock = {"t": 1000.0}
+        store = SessionStore(ttl_s=100.0, now_fn=lambda: old_clock["t"])
+        token = store.create({"u": "x"})
+        old_clock["t"] = 1070.0  # 30s of lease left
+        snap = store.snapshot()
+        # restarted process: monotonic clock starts over near zero
+        new_clock = {"t": 5.0}
+        restored = SessionStore.restore(snap, now_fn=lambda: new_clock["t"])
+        new_clock["t"] = 20.0
+        assert restored.peek(token) is not None   # refreshed: sliding TTL
+        restored2 = SessionStore.restore(snap, now_fn=lambda: new_clock["t"])
+        new_clock["t"] = 55.0  # re-anchored at 20 with 30s left: dead at 50
+        assert restored2.peek(token) is None
+
+    def test_save_load_roundtrip_with_tight_permissions(self, tmp_path):
+        import stat
+
+        store = SessionStore()
+        token = store.create({"username": "alice", "role": "student"})
+        path = tmp_path / "sessions.json"
+        assert store.save(path) == 1
+        mode = stat.S_IMODE(path.stat().st_mode)
+        assert mode & 0o077 == 0  # holds the HMAC secret
+        restored = SessionStore.load(path)
+        assert restored.get(token)["role"] == "student"
+
+    def test_wrong_snapshot_version_rejected(self):
+        with pytest.raises(AuthenticationError):
+            SessionStore.restore({"version": 99, "secret": "00", "sessions": []})
+
+    def test_restored_store_keeps_minting_verifiable_tokens(self):
+        store = SessionStore()
+        old = store.create({"u": "old"})
+        restored = SessionStore.restore(store.snapshot())
+        fresh = restored.create({"u": "fresh"})
+        # both directions: old cookie works on new store, and a token the
+        # restarted portal mints verifies against the persisted secret.
+        assert restored.get(old)["u"] == "old"
+        assert SessionStore.restore(store.snapshot()).ttl_s == store.ttl_s
+        assert restored.get(fresh)["u"] == "fresh"
