@@ -1,0 +1,388 @@
+"""Elastic-fleet benchmark: burst drain, cost frontier, spot churn.
+
+Three experiments on the DES backend (virtual time, so every number is
+deterministic — no pairing or CPU-time tricks needed):
+
+* **Burst drain** (guarded): a 10k-job burst lands at t=0 on a small
+  fixed fleet, on the same fleet with autoscaling enabled, and on an
+  *oracle* fixed fleet pre-sized to the autoscaler's ceiling.  Guards:
+  the autoscaled drain finishes in **≤ 0.5×** the fixed-fleet
+  wall-clock, while spending **≤ 1.2×** the node-seconds of the oracle
+  (the autoscaler pays warm-up lag on the way up and cooldown idle on
+  the way down; 20% is the allowed price of not knowing the future).
+* **Spot churn** (guarded): the same workload on a preemptible pool
+  with a reclamation every 40 virtual seconds; every acknowledged job
+  must reach a terminal state — **zero acked-job loss**.
+* **Cost/latency frontier** (informational, full mode): a
+  ``repro.loadgen`` semester workload — deadline spikes included —
+  replayed against increasing fleet ceilings, publishing node-seconds
+  against p99 queue wait so the scaling knob's shape is visible in one
+  table.
+
+Node-seconds accounting: the base grid is charged ``nodes × drain``;
+elastic capacity is charged exactly what the manager accrued tick by
+tick, including the post-drain scale-in tail (honesty about the
+cooldown cost is the point of the 1.2× guard).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    Grid,
+    JobDistributor,
+    JobRequest,
+    NodeSpec,
+    RetryPolicy,
+    SimulatedBackend,
+)
+from repro.desim import Simulator
+from repro.fleet import NodePool, ScalingManager, TargetQueueDepthPolicy
+from repro.loadgen import SemesterWorkload
+
+pytestmark = pytest.mark.perf
+
+#: guarded ceiling: autoscaled drain / fixed-fleet drain.
+DRAIN_RATIO_CEIL = 0.5
+#: guarded ceiling: autoscaled node-seconds / oracle node-seconds.
+COST_RATIO_CEIL = 1.2
+#: CI smoke slice: the fixed warm-up/cooldown tails amortise over a
+#: much shorter drain, so the cost ceiling is proportionally gentler.
+CI_COST_RATIO_CEIL = 1.35
+
+N_FULL = 10_000
+N_CI = 1_500
+
+BASE_SLAVES = 4          # fixed-small fleet: 4 nodes x 2 cores
+FLEET_MAX = 28           # elastic ceiling (nodes); oracle gets these fixed
+MEAN_JOB_S = 8.0         # mean virtual job duration
+TICK_S = 5.0             # manager tick interval (virtual seconds)
+
+RETRY = RetryPolicy(
+    max_attempts=8,
+    backoff_base_s=0.5,
+    jitter=0.0,
+    retry_on=("node_lost",),
+)
+
+
+def _burst_requests(n: int, seed: int = 7) -> list[JobRequest]:
+    rng = np.random.default_rng(seed)
+    durations = rng.exponential(MEAN_JOB_S - 0.5, size=n) + 0.5
+    return [
+        JobRequest(name=f"b{i}", owner="bench", sim_duration=float(d))
+        for i, d in enumerate(durations)
+    ]
+
+
+def _run_burst(n: int, *, fleet_max: int = 0, extra_fixed: int = 0) -> dict:
+    """One burst drain; returns virtual drain time and node-seconds."""
+    sim = Simulator()
+    grid = Grid(
+        ClusterSpec.small(segments=1, slaves=BASE_SLAVES + extra_fixed, cores=2)
+    )
+    dist = JobDistributor(
+        grid, SimulatedBackend(sim), now_fn=lambda: sim.now, retry=RETRY
+    )
+    jobs = [dist.submit(r) for r in _burst_requests(n)]
+    mgr = None
+    peak = [0]
+    if fleet_max:
+        mgr = ScalingManager(
+            dist,
+            [NodePool("burst", NodeSpec(cores=2), segment="seg-0",
+                      max_nodes=fleet_max, warmup_s=10.0)],
+            TargetQueueDepthPolicy(out_depth_per_node=4, in_depth_per_node=0.5, step=8),
+            scale_out_cooldown_s=8.0,
+            scale_in_cooldown_s=15.0,
+            idle_s=10.0,
+        )
+
+        def driver(sim):
+            while True:
+                yield sim.timeout(TICK_S)
+                mgr.tick()
+                peak[0] = max(peak[0], len(mgr.managed_nodes()))
+                if (
+                    all(j.terminal for j in jobs)
+                    and not mgr.managed_nodes()
+                    and not mgr.pending()
+                ):
+                    return
+
+        sim.process(driver(sim))
+    t0 = time.process_time()
+    dist.dispatch()
+    sim.run()
+    cpu_s = time.process_time() - t0
+    assert all(j.state.value == "completed" for j in jobs)
+    drain = max(j.finished_at for j in jobs)
+    base_nodes = BASE_SLAVES + extra_fixed
+    node_seconds = base_nodes * drain
+    if mgr is not None:
+        node_seconds += sum(mgr.node_seconds.values())
+    return {
+        "drain_s": drain,
+        "node_seconds": node_seconds,
+        # overflow bucket -> +inf; no wait can exceed the run horizon
+        "p99_wait_s": min(
+            dist.telemetry.h_queue_wait.value.quantile(0.99), drain
+        ),
+        "cpu_s": cpu_s,
+        "peak_fleet": peak[0],
+    }
+
+
+def _run_spot_churn(n: int) -> dict:
+    """Burst on a preemptible pool with periodic reclamations."""
+    sim = Simulator()
+    grid = Grid(ClusterSpec.small(segments=1, slaves=BASE_SLAVES, cores=2))
+    dist = JobDistributor(
+        grid, SimulatedBackend(sim), now_fn=lambda: sim.now, retry=RETRY
+    )
+    acked = [dist.submit(r).id for r in _burst_requests(n, seed=11)]
+    mgr = ScalingManager(
+        dist,
+        [NodePool("spot", NodeSpec(cores=2), segment="seg-0",
+                  max_nodes=12, spot=True)],
+        TargetQueueDepthPolicy(out_depth_per_node=4, in_depth_per_node=0.5, step=4),
+        scale_out_cooldown_s=8.0,
+        scale_in_cooldown_s=30.0,
+        idle_s=20.0,
+    )
+    rng = np.random.default_rng(13)
+    reclaimed = [0]
+
+    def driver(sim):
+        since_reclaim = 0.0
+        while True:
+            yield sim.timeout(TICK_S)
+            mgr.tick()
+            since_reclaim += TICK_S
+            spot = mgr.spot_nodes()
+            if spot and since_reclaim >= 40.0:
+                mgr.reclaim(spot[int(rng.integers(0, len(spot)))])
+                reclaimed[0] += 1
+                since_reclaim = 0.0
+            if (
+                all(dist.jobs[j].terminal for j in acked)
+                and not mgr.managed_nodes()
+                and not mgr.pending()
+            ):
+                return
+
+    sim.process(driver(sim))
+    dist.dispatch()
+    sim.run()
+    lost = sum(
+        1 for j in acked
+        if j not in dist.jobs or not dist.jobs[j].terminal
+    )
+    completed = sum(1 for j in acked if dist.jobs[j].state.value == "completed")
+    return {
+        "n": n,
+        "reclaims": reclaimed[0],
+        "acked_lost": lost,
+        "completed": completed,
+        "rerouted": dist.stats()["faults"]["reroutes"],
+    }
+
+
+def _run_frontier_point(fleet_max: int, n_students: int = 60) -> dict:
+    """One loadgen-driven point: semester arrivals vs a fleet ceiling."""
+    sim = Simulator()
+    grid = Grid(ClusterSpec.small(segments=1, slaves=2, cores=2))
+    dist = JobDistributor(
+        grid, SimulatedBackend(sim), now_fn=lambda: sim.now, retry=RETRY
+    )
+    mgr = None
+    if fleet_max:
+        mgr = ScalingManager(
+            dist,
+            [NodePool("burst", NodeSpec(cores=2), segment="seg-0",
+                      max_nodes=fleet_max, warmup_s=10.0)],
+            TargetQueueDepthPolicy(out_depth_per_node=2, in_depth_per_node=0.4, step=2),
+            scale_out_cooldown_s=8.0,
+            scale_in_cooldown_s=30.0,
+            idle_s=20.0,
+        )
+    workload = SemesterWorkload(
+        n_students, seed=2012, duration_s=1800.0, base_rate_per_student=0.01
+    )
+    jobs: list = []
+
+    def submitter(sim):
+        for i, arrival in enumerate(workload.arrivals()):
+            if arrival.t > sim.now:
+                yield sim.timeout(arrival.t - sim.now)
+            # loadgen service times are front-end milliseconds; stretch
+            # them into cluster-job durations that oversubscribe the
+            # 2-node base grid (~2x) so the ceiling knob has a queue
+            # to eat into
+            jobs.append(dist.submit(JobRequest(
+                name=f"l{i}", owner="bench",
+                sim_duration=5.0 + 3000.0 * arrival.service_s,
+            )))
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(TICK_S)
+            if mgr is not None:
+                mgr.tick()
+            if sim.now >= workload.duration_s and all(j.terminal for j in jobs):
+                if mgr is None or (not mgr.managed_nodes() and not mgr.pending()):
+                    return
+
+    sim.process(submitter(sim))
+    sim.process(ticker(sim))
+    sim.run()
+    horizon = max(j.finished_at for j in jobs)
+    node_seconds = 2 * horizon  # base grid
+    if mgr is not None:
+        node_seconds += sum(mgr.node_seconds.values())
+    return {
+        "fleet_max": fleet_max,
+        "jobs": len(jobs),
+        "node_seconds": node_seconds,
+        "p99_wait_s": min(
+            dist.telemetry.h_queue_wait.value.quantile(0.99), horizon
+        ),
+    }
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _render_burst(
+    n: int, fixed: dict, auto: dict, oracle: dict, cost_ceil: float
+) -> tuple[str, list]:
+    drain_ratio = auto["drain_s"] / fixed["drain_s"]
+    cost_ratio = auto["node_seconds"] / oracle["node_seconds"]
+    lines = [
+        f"Fleet burst drain: {n} jobs at t=0, {BASE_SLAVES}-node base, "
+        f"elastic ceiling {FLEET_MAX} (virtual time, deterministic)",
+        f"{'config':<14} {'drain s':>10} {'node-s':>10} {'p99 wait s':>11}",
+    ]
+    for label, row in (("fixed-small", fixed), ("autoscaled", auto),
+                       ("oracle-fixed", oracle)):
+        lines.append(
+            f"{label:<14} {row['drain_s']:>10.0f} {row['node_seconds']:>10.0f} "
+            f"{row['p99_wait_s']:>11.1f}"
+        )
+    lines.append(
+        f"drain ratio auto/fixed {drain_ratio:.3f} (ceil {DRAIN_RATIO_CEIL}); "
+        f"cost ratio auto/oracle {cost_ratio:.3f} (ceil {cost_ceil}); "
+        f"peak fleet {auto['peak_fleet']} nodes"
+    )
+    metrics = [
+        {"metric": "burst_drain_ratio", "value": round(drain_ratio, 4), "unit": "x",
+         "threshold": DRAIN_RATIO_CEIL, "op": "<=",
+         "node_seconds": round(auto["node_seconds"], 1)},
+        {"metric": "burst_cost_ratio", "value": round(cost_ratio, 4), "unit": "x",
+         "threshold": cost_ceil, "op": "<=",
+         "node_seconds": round(oracle["node_seconds"], 1)},
+        {"metric": "fixed_drain_s", "value": round(fixed["drain_s"], 1), "unit": "s",
+         "node_seconds": round(fixed["node_seconds"], 1)},
+        {"metric": "auto_drain_s", "value": round(auto["drain_s"], 1), "unit": "s",
+         "node_seconds": round(auto["node_seconds"], 1)},
+        {"metric": "auto_p99_wait_s", "value": round(auto["p99_wait_s"], 2),
+         "unit": "s"},
+    ]
+    return "\n".join(lines), metrics
+
+
+def _render_spot(spot: dict) -> tuple[str, list]:
+    lines = [
+        f"Spot churn: {spot['n']} jobs, one reclamation per 40 virtual s "
+        f"({spot['reclaims']} total, {spot['rerouted']} attempts rerouted)",
+        f"acked jobs lost: {spot['acked_lost']} (must be 0); "
+        f"completed {spot['completed']}/{spot['n']}",
+    ]
+    metrics = [
+        {"metric": "spot_acked_lost", "value": spot["acked_lost"], "unit": "jobs",
+         "threshold": 0, "op": "<="},
+        {"metric": "spot_reclaims", "value": spot["reclaims"], "unit": ""},
+    ]
+    return "\n".join(lines), metrics
+
+
+def _render_frontier(points: list[dict]) -> tuple[str, list]:
+    lines = [
+        "Cost/latency frontier: loadgen semester (deadline spikes) vs fleet ceiling",
+        f"{'ceiling':>8} {'jobs':>6} {'node-s':>10} {'p99 wait s':>11}",
+    ]
+    metrics = []
+    for p in points:
+        lines.append(
+            f"{p['fleet_max']:>8} {p['jobs']:>6} {p['node_seconds']:>10.0f} "
+            f"{p['p99_wait_s']:>11.1f}"
+        )
+        metrics.append({
+            "metric": f"frontier_p99_wait_max{p['fleet_max']}",
+            "value": round(p["p99_wait_s"], 2), "unit": "s",
+            "node_seconds": round(p["node_seconds"], 1),
+        })
+    return "\n".join(lines), metrics
+
+
+def _collect(
+    n: int, frontier: bool, cost_ceil: float = COST_RATIO_CEIL
+) -> tuple[str, list]:
+    fixed = _run_burst(n)
+    auto = _run_burst(n, fleet_max=FLEET_MAX)
+    oracle = _run_burst(n, extra_fixed=FLEET_MAX)
+    text, metrics = _render_burst(n, fixed, auto, oracle, cost_ceil)
+    spot_text, spot_metrics = _render_spot(_run_spot_churn(min(n, 2000)))
+    text += "\n\n" + spot_text
+    metrics += spot_metrics
+    if frontier:
+        points = [_run_frontier_point(m) for m in (0, 4, 12, 24)]
+        f_text, f_metrics = _render_frontier(points)
+        text += "\n\n" + f_text
+        metrics += f_metrics
+    return text, metrics
+
+
+# -- pytest entry -------------------------------------------------------------
+
+
+def test_fleet_burst_and_spot_guards(guarded_report):
+    text, metrics = _collect(N_FULL, frontier=True)
+    guarded_report("fleet", text, metrics)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ci", action="store_true",
+                        help="smoke slice: smaller burst, no frontier sweep")
+    args = parser.parse_args(argv)
+    n = N_CI if args.ci else N_FULL
+    cost_ceil = CI_COST_RATIO_CEIL if args.ci else COST_RATIO_CEIL
+    text, metrics = _collect(n, frontier=not args.ci, cost_ceil=cost_ceil)
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import check_guards, write_result
+
+    write_result("fleet", text, metrics)
+    print(text)
+    failures = check_guards(metrics)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,11 @@ def write_result(name: str, text: str, metrics: list | None = None) -> None:
 
     ``metrics`` rows are dicts with ``metric`` (str), ``value``
     (number), ``unit`` (str) and optionally ``threshold`` (the guarded
-    floor/ceiling, omitted for informational rows).
+    floor/ceiling, omitted for informational rows), ``op`` (guard
+    direction, so the JSON is self-describing for ceilings), and
+    ``node_seconds`` (the capacity spent earning the row's value — the
+    fleet benches publish cost next to throughput/latency so regression
+    tooling can diff the cost/latency frontier, not just req/s).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
@@ -42,6 +46,12 @@ def write_result(name: str, text: str, metrics: list | None = None) -> None:
                     "value": m["value"],
                     "unit": str(m.get("unit", "")),
                     **({"threshold": m["threshold"]} if "threshold" in m else {}),
+                    **({"op": m["op"]} if "op" in m else {}),
+                    **(
+                        {"node_seconds": m["node_seconds"]}
+                        if "node_seconds" in m
+                        else {}
+                    ),
                 }
                 for m in metrics
             ],

@@ -61,6 +61,14 @@ class ClusterProxy:
     def status(self) -> dict:
         return self._call("cluster.status")
 
+    def fleet_status(self) -> dict:
+        """Elastic-fleet snapshot (``{"enabled": False}`` when unmanaged)."""
+        return self._call("cluster.fleet")
+
+    def fleet_log(self) -> list[dict]:
+        """The fleet manager's bounded scaling-decision log."""
+        return self._call("cluster.fleet.log")
+
     # -- jobs -----------------------------------------------------------------
     def submit(self, request: JobRequest) -> dict:
         """Submit over the bus; returns the new job's ``describe()``."""

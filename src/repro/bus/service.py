@@ -59,6 +59,8 @@ class ClusterBackendService:
             ("cluster.status", self._h_status),
             ("cluster.checkpoint", self._h_checkpoint),
             ("cluster.durability", self._h_durability),
+            ("cluster.fleet", self._h_fleet),
+            ("cluster.fleet.log", self._h_fleet_log),
             ("jobs.submit", self._h_submit),
             ("jobs.describe", self._h_describe),
             ("jobs.list", self._h_list),
@@ -147,6 +149,20 @@ class ClusterBackendService:
 
     def _h_durability(self, params: dict) -> dict:
         return self.distributor.durability_stats()
+
+    def _h_fleet(self, params: dict) -> dict:
+        """Fleet snapshot (pools, sizes, pending, node-seconds)."""
+        fleet = self.distributor.fleet
+        if fleet is None:
+            return {"enabled": False}
+        return fleet.snapshot()
+
+    def _h_fleet_log(self, params: dict) -> list[dict]:
+        """The fleet manager's bounded decision log (admin surface)."""
+        fleet = self.distributor.fleet
+        if fleet is None:
+            return []
+        return fleet.decision_log()
 
     def _h_submit(self, params: dict) -> dict:
         wire = params.get("request")

@@ -188,6 +188,10 @@ class JobDistributor:
         #: the :class:`RecoveryReport` of the boot that built this
         #: instance, when it came through ``recover_distributor``.
         self.last_recovery = None
+        #: the attached :class:`repro.fleet.ScalingManager`, when one is
+        #: driving this distributor — set by the manager itself; the
+        #: portal and bus surface it read-only.
+        self.fleet = None
         if journal is not None:
             journal.bind(self.telemetry.registry, clock=self.now_fn)
 
@@ -255,6 +259,11 @@ class JobDistributor:
             )
         if request.need_gpu and not self.grid.gpu_nodes():
             raise SchedulingError("job needs a GPU but the grid has no GPU nodes")
+        if request.node_type is not None and not self.grid.knows_type(request.node_type):
+            raise SchedulingError(
+                f"job needs node type {request.node_type!r} but the grid has no "
+                f"such nodes and no pool advertises them"
+            )
 
     # -- dispatch ------------------------------------------------------------
     def _dependency_state(self, job: Job) -> str:
@@ -459,8 +468,10 @@ class JobDistributor:
         """
         now = self.now_fn()
         for node_name in list(job.placement):
-            node = self.grid.node(node_name)
-            if node.holds(job.id):
+            # A scaled-in/reclaimed node may have left the inventory while
+            # the attempt's completion callback was in flight.
+            node = self.grid.get(node_name)
+            if node is not None and node.holds(job.id):
                 node.free(job.id)
         self._deregister_running(job)
         job.attempts.append(
@@ -484,8 +495,8 @@ class JobDistributor:
             elif outcome in ("failed", "timeout"):
                 for node_name in job.placement:
                     if self.health.record_failure(node_name, now):
-                        node = self.grid.node(node_name)
-                        if node.state is NodeState.UP:
+                        node = self.grid.get(node_name)
+                        if node is not None and node.state is NodeState.UP:
                             node.mark_suspect()
                             self._faults["nodes_suspected"] += 1
                             self._version += 1
@@ -609,12 +620,16 @@ class JobDistributor:
         requeued onto surviving capacity when its retry budget allows the
         ``node_lost`` class, and sealed FAILED otherwise.  Returns the
         rerouted jobs.
+
+        Idempotent: failing an already-DOWN node is a no-op returning
+        ``[]`` — a spot reclamation racing a health-driven downing (or a
+        duplicate RPC delivery) must not double-requeue or crash.
         """
         rerouted: list[Job] = []
         with self._lock:
             node = self.grid.node(node_name)
             if node.state is NodeState.DOWN:
-                raise ResourceError(f"node {node_name!r} is already down")
+                return rerouted
             victims = node.mark_down()
             now = self.now_fn()
             self._faults["node_failures"] += 1
@@ -650,11 +665,16 @@ class JobDistributor:
         return rerouted
 
     def recover_node(self, node_name: str) -> None:
-        """Bring a DOWN/SUSPECT/DRAINING node back and re-run dispatch."""
+        """Bring a DOWN/SUSPECT/DRAINING node back and re-run dispatch.
+
+        Idempotent: recovering an already-UP node is a no-op — repeat
+        deliveries of the same recovery event must not crash or inflate
+        the fault counters.
+        """
         with self._lock:
             node = self.grid.node(node_name)
             if node.state is NodeState.UP:
-                raise ResourceError(f"node {node_name!r} is already up")
+                return
             node.mark_up()
             self._faults["nodes_recovered"] += 1
             self._version += 1
@@ -664,12 +684,74 @@ class JobDistributor:
                 self.telemetry.events.emit("info", "node_recovered", node=node_name)
         self.dispatch()
 
+    # -- fleet membership API ---------------------------------------------------
+    def add_node(self, segment_name: str, spec, name: Optional[str] = None):
+        """Join a new node to the fleet; dispatches onto it immediately.
+
+        The join flows through the capacity observer chain as an ordinary
+        capacity event, so waiting queued jobs can land on the new node in
+        the very next scheduling round.  Returns the
+        :class:`~repro.cluster.node.Node`.
+        """
+        with self._lock:
+            node = self.grid.add_node(segment_name, spec, name=name)
+            self._faults["nodes_joined"] += 1
+            self._version += 1
+            if self.health is not None:
+                self.health.record_up(node.name, self.now_fn())
+            if self.telemetry.on:
+                self.telemetry.events.emit(
+                    "info", "node_joined", node=node.name, segment=segment_name
+                )
+        self.dispatch()
+        return node
+
+    def remove_node(self, node_name: str, force: bool = False) -> list[Job]:
+        """Retire a node from the fleet entirely.
+
+        Graceful removal (``force=False``) refuses a node still running
+        work — scale-in drains first and removes once idle.  ``force=True``
+        is the spot-reclamation path: running attempts are retired as
+        ``node_lost`` through :meth:`fail_node` (same retry budget, same
+        requeue) and the node then leaves the inventory.  Returns the
+        rerouted jobs (always ``[]`` when graceful).
+        """
+        rerouted: list[Job] = []
+        if not force:
+            with self._lock:
+                node = self.grid.node(node_name)
+                if node.running_jobs:
+                    raise ResourceError(
+                        f"node {node_name!r} is still running "
+                        f"{len(node.running_jobs)} job(s); drain it first or force"
+                    )
+                self._drop_node(node_name, forced=False)
+            self.dispatch()
+            return rerouted
+        rerouted = self.fail_node(node_name)
+        with self._lock:
+            self._drop_node(node_name, forced=True)
+        self.dispatch()
+        return rerouted
+
+    def _drop_node(self, node_name: str, forced: bool) -> None:
+        """Forget a node and account for the removal (lock held)."""
+        self.grid.remove_node(node_name)
+        self._faults["nodes_removed"] += 1
+        self._version += 1
+        if self.telemetry.on:
+            self.telemetry.events.emit(
+                "info", "node_removed", node=node_name, forced=forced
+            )
+
     def _rejoin_probation(self, now: float) -> None:
         """Return idle SUSPECT nodes whose quiet period elapsed (lock held)."""
         if self.health is None:
             return
         for name in self.health.due_probation(now):
-            node = self.grid.node(name)
+            node = self.grid.get(name)
+            if node is None:
+                continue  # removed from the fleet while on probation
             if node.state is NodeState.SUSPECT and not node.running_jobs:
                 node.mark_up()
                 self.health.record_up(name, now)

@@ -44,6 +44,11 @@ class FaultInjector:
         """
         dist = self.distributor
         node = dist.grid.node(node_name)
+        if node.state is NodeState.DOWN:
+            # The distributor's fail_node is idempotent (duplicate fault
+            # deliveries no-op); the injector keeps the strict test-facing
+            # contract — killing a dead node is a scripting mistake.
+            raise ResourceError(f"node {node_name!r} is already down")
         victims = list(node.running_jobs)
         dist.fail_node(node_name)
         self.killed.append(node_name)

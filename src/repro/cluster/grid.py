@@ -7,7 +7,7 @@ from typing import Iterator, Optional
 from repro._errors import ResourceError
 from repro.cluster.node import Node
 from repro.cluster.segment import Segment
-from repro.cluster.spec import ClusterSpec
+from repro.cluster.spec import ClusterSpec, NodeSpec
 
 __all__ = ["Grid"]
 
@@ -33,10 +33,15 @@ class Grid:
             self._by_name[seg.master.name] = seg.master
             for n in seg.slaves:
                 self._by_name[n.name] = n
-        # Static inventory facts (specs never change after construction).
+        # Inventory facts (specs never change; *membership* can — the
+        # fleet manager adds/removes nodes, and these update with it).
         self._cores_total = sum(n.spec.cores for n in self.compute_nodes())
         self._max_slave_cores = max((n.spec.cores for n in self.compute_nodes()), default=0)
         self._gpu_nodes = [n for n in self.compute_nodes() if n.spec.has_gpu]
+        #: node types a fleet pool may still provision even when no such
+        #: node is currently joined — lets submission-time validation
+        #: accept jobs the autoscaler can satisfy on demand.
+        self.advertised_types: set[str] = set()
         # Incremental capacity index, fed by segment change events.
         self._cores_free = sum(seg.cores_free for seg in self.segments)
         self._cores_up = sum(seg.cores_up for seg in self.segments)
@@ -52,6 +57,65 @@ class Grid:
             self._up_nodes = None
             self._cores_up = sum(s.cores_up for s in self.segments)
 
+    # -- fleet membership --------------------------------------------------
+    def add_node(
+        self, segment_name: str, spec: NodeSpec, name: Optional[str] = None
+    ) -> Node:
+        """Join a new slave to ``segment_name`` at runtime.
+
+        The join flows through the segment's capacity observer like any
+        allocate/free event, so every incremental index (free cores, up
+        cores, segment ordering, up-node cache) absorbs it without a
+        rescan.
+        """
+        seg = self.segment(segment_name)
+        node = seg.add_slave(spec, name=name)
+        self._by_name[node.name] = node
+        self._cores_total += spec.cores
+        if spec.cores > self._max_slave_cores:
+            self._max_slave_cores = spec.cores
+        if spec.has_gpu:
+            self._gpu_nodes.append(node)
+        return node
+
+    def remove_node(self, name: str) -> Node:
+        """Retire a slave from the inventory entirely.
+
+        The caller must already have dealt with work running here (drain
+        or :meth:`JobDistributor.fail_node`-style requeue) — the grid
+        just forgets the node.
+        """
+        node = self.node(name)
+        if node is self.master_server or node.segment == "grid":
+            raise ResourceError("cannot remove the grid master server")
+        seg = self.segment(node.segment)
+        if node is seg.master:
+            raise ResourceError(f"cannot remove segment master {name!r}")
+        seg.remove_slave(name)
+        del self._by_name[name]
+        self._cores_total -= node.spec.cores
+        if node.spec.has_gpu:
+            self._gpu_nodes = [n for n in self._gpu_nodes if n.name != name]
+        if node.spec.cores >= self._max_slave_cores:
+            self._max_slave_cores = max(
+                (n.spec.cores for n in self.compute_nodes()), default=0
+            )
+        return node
+
+    def node_types(self) -> dict[str, int]:
+        """``{node_type: slave count}`` over the current inventory."""
+        counts: dict[str, int] = {}
+        for seg in self.segments:
+            for t, n in seg.node_types().items():
+                counts[t] = counts.get(t, 0) + n
+        return counts
+
+    def knows_type(self, node_type: str) -> bool:
+        """Is ``node_type`` present in inventory or advertised by a pool?"""
+        if node_type in self.advertised_types:
+            return True
+        return any(node_type in seg.node_types() for seg in self.segments)
+
     # -- lookup ------------------------------------------------------------
     def node(self, name: str) -> Node:
         """Node by name; raises :class:`ResourceError` if unknown."""
@@ -59,6 +123,10 @@ class Grid:
             return self._by_name[name]
         except KeyError:
             raise ResourceError(f"unknown node {name!r}") from None
+
+    def get(self, name: str) -> Optional[Node]:
+        """Node by name, or ``None`` if it has left the inventory."""
+        return self._by_name.get(name)
 
     def segment(self, name: str) -> Segment:
         """Segment by name."""
@@ -124,10 +192,16 @@ class Grid:
             self._seg_order = sorted(self.segments, key=lambda s: -s.cores_free)
         return self._seg_order
 
-    def find_node_for(self, cores: int, memory_mb: int = 0, need_gpu: bool = False) -> Optional[Node]:
+    def find_node_for(
+        self,
+        cores: int,
+        memory_mb: int = 0,
+        need_gpu: bool = False,
+        node_type: Optional[str] = None,
+    ) -> Optional[Node]:
         """First-fit slave for a single-node allocation (segment order)."""
         for n in self.compute_nodes():
-            if n.can_fit(cores, memory_mb, need_gpu):
+            if n.can_fit(cores, memory_mb, need_gpu, node_type=node_type):
                 return n
         return None
 
@@ -138,6 +212,7 @@ class Grid:
             "cores_free": self.cores_free,
             "cores_up": self.cores_up,
             "load": self.load,
+            "node_types": self.node_types(),
             "segments": {
                 seg.name: {
                     "cores_total": seg.cores_total,

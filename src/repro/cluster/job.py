@@ -208,6 +208,9 @@ class JobRequest:
     cores_per_task: int = 1
     memory_mb_per_task: int = 0
     need_gpu: bool = False
+    node_type: Optional[str] = None
+    """Pin placement to nodes whose :attr:`NodeSpec.node_type` tag matches
+    exactly (``"gpu"``, ``"bigmem"``, ...); ``None`` accepts any node."""
     priority: int = 0
     timeout_s: Optional[float] = None
     wallclock_timeout_s: Optional[float] = None
@@ -247,6 +250,8 @@ class JobRequest:
                              ("wallclock_timeout_s", self.wallclock_timeout_s)):
             if value is not None and value <= 0:
                 raise JobError(f"{label} must be positive, got {value}")
+        if self.node_type is not None and not self.node_type:
+            raise JobError("node_type must be None or a non-empty tag")
         if self.kind is JobKind.SEQUENTIAL and self.n_tasks != 1:
             raise JobError("sequential jobs have exactly one task; use kind=PARALLEL")
         if self.kind is JobKind.INTERACTIVE and self.n_tasks != 1:
@@ -276,6 +281,7 @@ class JobRequest:
             "cores_per_task": self.cores_per_task,
             "memory_mb_per_task": self.memory_mb_per_task,
             "need_gpu": self.need_gpu,
+            "node_type": self.node_type,
             "priority": self.priority,
             "timeout_s": self.timeout_s,
             "wallclock_timeout_s": self.wallclock_timeout_s,
@@ -322,6 +328,7 @@ class JobRequest:
             cores_per_task=int(data.get("cores_per_task", 1)),
             memory_mb_per_task=int(data.get("memory_mb_per_task", 0)),
             need_gpu=bool(data.get("need_gpu", False)),
+            node_type=data.get("node_type"),
             priority=int(data.get("priority", 0)),
             timeout_s=data.get("timeout_s"),
             wallclock_timeout_s=data.get("wallclock_timeout_s"),

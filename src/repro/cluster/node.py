@@ -76,11 +76,24 @@ class Node:
         return tuple(self._job_cores)
 
     # -- allocation --------------------------------------------------------
-    def can_fit(self, cores: int, memory_mb: int = 0, need_gpu: bool = False) -> bool:
-        """Would an allocation of this shape succeed right now?"""
+    def can_fit(
+        self,
+        cores: int,
+        memory_mb: int = 0,
+        need_gpu: bool = False,
+        node_type: Optional[str] = None,
+    ) -> bool:
+        """Would an allocation of this shape succeed right now?
+
+        ``node_type`` (when given) must match the node's capability tag
+        exactly — a job pinned to ``"gpu"`` never lands on a ``"standard"``
+        node and vice versa.
+        """
         if self.state is not NodeState.UP:
             return False
         if need_gpu and not self.spec.has_gpu:
+            return False
+        if node_type is not None and self.spec.node_type != node_type:
             return False
         return cores <= self.cores_free and memory_mb <= self.memory_free_mb
 

@@ -235,6 +235,11 @@ def place_request(grid: Grid, request: JobRequest, shadow) -> Optional[list[tupl
             for n in nodes:
                 if request.need_gpu and not n.spec.has_gpu:
                     continue
+                if (
+                    request.node_type is not None
+                    and n.spec.node_type != request.node_type
+                ):
+                    continue
                 if avail[n.name] >= cores and avail_mem[n.name] >= mem:
                     chosen = n
                     break
@@ -248,6 +253,8 @@ def place_request(grid: Grid, request: JobRequest, shadow) -> Optional[list[tupl
     # 1. Try to pack the whole job inside one segment (most-free first).
     for seg in grid.segments_by_free():
         if request.need_gpu and not seg.has_gpu:
+            continue
+        if request.node_type is not None and not seg.has_type(request.node_type):
             continue
         if shadow.seg_free_cores(seg) < need:
             continue

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional
 
+from repro._errors import ResourceError
 from repro.cluster.node import Node, NodeState
-from repro.cluster.spec import SegmentSpec
+from repro.cluster.spec import NodeSpec, SegmentSpec
 
 __all__ = ["Segment"]
 
@@ -32,12 +33,14 @@ class Segment:
             Node(f"{spec.name}-n{i:02d}", spec.slave_spec, segment=spec.name)
             for i in range(spec.n_slaves)
         ]
-        #: static: does any slave carry a GPU? (spec-level, state-independent)
+        #: spec-level, state-independent: does any slave carry a GPU?
+        #: (recomputed when fleet membership changes)
         self.has_gpu = any(n.spec.has_gpu for n in self.slaves)
         self._cores_total = sum(n.spec.cores for n in self.slaves)
         # Incremental capacity index over the slaves.
         self._node_free: dict[str, tuple[int, int]] = {}
         self._node_state: dict[str, NodeState] = {}
+        self._type_counts: dict[str, int] = {}
         self._cores_free = 0
         self._memory_free = 0
         #: spec cores on slaves currently UP — the health layer's measure
@@ -46,9 +49,15 @@ class Segment:
         for n in self.slaves:
             self._node_free[n.name] = (n.cores_free, n.memory_free_mb)
             self._node_state[n.name] = n.state
+            self._type_counts[n.spec.node_type] = (
+                self._type_counts.get(n.spec.node_type, 0) + 1
+            )
             self._cores_free += n.cores_free
             self._memory_free += n.memory_free_mb
             n._observer = self._on_slave_change
+        #: monotone counter naming dynamically-joined slaves (never reused,
+        #: so a removed node's name can't be resurrected by a later join)
+        self._next_idx = spec.n_slaves
         self._up_cache: Optional[list[Node]] = None
         #: capacity-change callback, set by the owning grid (if any);
         #: called as ``observer(segment, state_changed)``.
@@ -71,6 +80,76 @@ class Segment:
             )
         if self._observer is not None:
             self._observer(self, state_changed)
+
+    # -- fleet membership --------------------------------------------------
+    def add_slave(self, spec: NodeSpec, name: Optional[str] = None) -> Node:
+        """Join a new slave at runtime.
+
+        The node enters the incremental capacity index and starts
+        observing like any construction-time slave; the join is delivered
+        to the grid as an ordinary capacity event with
+        ``state_changed=True`` so every cached ordering invalidates.
+        """
+        if name is None:
+            name = f"{self.name}-n{self._next_idx:02d}"
+            self._next_idx += 1
+        if name in self._node_free:
+            raise ResourceError(f"node {name!r} already exists in segment {self.name}")
+        node = Node(name, spec, segment=self.name)
+        self.slaves.append(node)
+        self._node_free[name] = (node.cores_free, node.memory_free_mb)
+        self._node_state[name] = node.state
+        self._type_counts[spec.node_type] = self._type_counts.get(spec.node_type, 0) + 1
+        self._cores_total += spec.cores
+        self._cores_free += node.cores_free
+        self._memory_free += node.memory_free_mb
+        self._cores_up += spec.cores
+        if spec.has_gpu:
+            self.has_gpu = True
+        node._observer = self._on_slave_change
+        self._up_cache = None
+        if self._observer is not None:
+            self._observer(self, True)
+        return node
+
+    def remove_slave(self, name: str) -> Node:
+        """Retire a slave from the inventory entirely.
+
+        The caller (the distributor's drain/remove path) is responsible
+        for requeueing any work that ran here — this method only drops
+        the node from the capacity index and stops observing it.
+        """
+        for i, node in enumerate(self.slaves):
+            if node.name == name:
+                del self.slaves[i]
+                break
+        else:
+            raise ResourceError(f"unknown node {name!r} in segment {self.name}")
+        old_c, old_m = self._node_free.pop(name)
+        self._node_state.pop(name)
+        self._type_counts[node.spec.node_type] -= 1
+        if not self._type_counts[node.spec.node_type]:
+            del self._type_counts[node.spec.node_type]
+        self._cores_total -= node.spec.cores
+        self._cores_free -= old_c
+        self._memory_free -= old_m
+        if node.state is NodeState.UP:
+            self._cores_up -= node.spec.cores
+        if node.spec.has_gpu:
+            self.has_gpu = any(n.spec.has_gpu for n in self.slaves)
+        node._observer = None
+        self._up_cache = None
+        if self._observer is not None:
+            self._observer(self, True)
+        return node
+
+    def node_types(self) -> dict[str, int]:
+        """``{node_type: slave count}`` over the current inventory."""
+        return dict(self._type_counts)
+
+    def has_type(self, node_type: str) -> bool:
+        """Does any slave (regardless of state) carry this capability tag?"""
+        return node_type in self._type_counts
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self.slaves)

@@ -15,12 +15,19 @@ __all__ = ["NodeSpec", "SegmentSpec", "ClusterSpec"]
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """Capabilities of one machine."""
+    """Capabilities of one machine.
+
+    ``node_type`` is a free-form capability tag (``"standard"``, ``"gpu"``,
+    ``"bigmem"``, ...) that jobs can request via
+    :attr:`~repro.cluster.job.JobRequest.node_type`; the scheduler only
+    places such jobs on nodes whose tag matches exactly.
+    """
 
     cores: int = 2
     memory_mb: int = 2048
     has_gpu: bool = False
     cpu_ghz: float = 2.4
+    node_type: str = "standard"
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -29,6 +36,8 @@ class NodeSpec:
             raise ValueError(f"node must have >= 1 MB memory, got {self.memory_mb}")
         if self.cpu_ghz <= 0:
             raise ValueError(f"cpu_ghz must be positive, got {self.cpu_ghz}")
+        if not self.node_type:
+            raise ValueError("node_type must be a non-empty tag")
 
 
 @dataclass(frozen=True)
@@ -86,7 +95,7 @@ class ClusterSpec:
                 SegmentSpec("seg-a", 16, duo),
                 SegmentSpec("seg-b", 16, duo),
                 SegmentSpec("seg-c", 16, quad),
-                SegmentSpec("seg-d", 16, NodeSpec(cores=4, memory_mb=4096, has_gpu=True, cpu_ghz=2.6)),
+                SegmentSpec("seg-d", 16, NodeSpec(cores=4, memory_mb=4096, has_gpu=True, cpu_ghz=2.6, node_type="gpu")),
             )
         )
 

@@ -83,6 +83,7 @@ _WIRE_DEFAULTS = {
     "cores_per_task": 1,
     "memory_mb_per_task": 0,
     "need_gpu": False,
+    "node_type": None,
     "priority": 0,
     "timeout_s": None,
     "wallclock_timeout_s": None,

@@ -1,0 +1,34 @@
+"""repro.fleet — elastic, demand-driven cluster capacity.
+
+The paper's cluster is a fixed machine carved into static partitions;
+this package makes the reproduction's grid *elastic*: a
+:class:`ScalingManager` watches the distributor's queue and telemetry,
+evaluates a pluggable :class:`ScalingPolicy`, and grows or shrinks the
+fleet through the grid's dynamic-membership API.  Joins flow through the
+PR 1 capacity observers as ordinary capacity events; scale-in drains
+idle nodes; preemptible "spot" pools deliver reclamation as
+``node_lost`` through the PR 3 retry budget, so no acked job is ever
+lost to an elastic decision.
+
+See DESIGN §15 for the architecture and hysteresis semantics.
+"""
+
+from repro.fleet.manager import NodePool, PendingJoin, ScalingManager
+from repro.fleet.policy import (
+    FleetSample,
+    HysteresisGate,
+    QueueWaitP95Policy,
+    ScalingPolicy,
+    TargetQueueDepthPolicy,
+)
+
+__all__ = [
+    "FleetSample",
+    "HysteresisGate",
+    "NodePool",
+    "PendingJoin",
+    "QueueWaitP95Policy",
+    "ScalingManager",
+    "ScalingPolicy",
+    "TargetQueueDepthPolicy",
+]

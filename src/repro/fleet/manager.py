@@ -1,0 +1,447 @@
+"""The fleet manager: policy decisions turned into membership changes.
+
+:class:`ScalingManager` sits beside a :class:`JobDistributor` and runs a
+periodic *tick*:
+
+1. accrue node-seconds (the cost axis of the bench's frontier);
+2. materialise scale-outs whose warm-up elapsed — the node joins the
+   grid through :meth:`JobDistributor.add_node`, i.e. as an ordinary
+   capacity event the next scheduling round dispatches onto;
+3. sample demand (queue depth, windowed queue-wait p95 from the PR 4
+   histogram) and ask the :class:`~repro.fleet.policy.ScalingPolicy`
+   for a node delta;
+4. execute the delta through the
+   :class:`~repro.fleet.policy.HysteresisGate` — scale-out enters the
+   warm-up queue, scale-in gracefully removes only nodes idle past
+   ``idle_s`` and never below a pool's ``min_nodes``.
+
+Preemptible capacity: a pool marked ``spot=True`` can be *reclaimed* at
+any moment (:meth:`ScalingManager.reclaim`); reclamation is delivered as
+``node_lost`` through :meth:`JobDistributor.remove_node(force=True)` —
+the same retry budget, requeue and journal lineage as any node death, so
+the PR 8 recovery reconciliation sees nothing new.
+
+Timing: on a wall-clock distributor, :meth:`start` self-arms a daemon
+timer.  Under the DES backend, drive :meth:`tick` explicitly from a
+``sim.process`` driver (a self-rearming virtual timer would keep the
+event queue non-empty forever) — ``benchmarks/bench_fleet.py`` shows
+the pattern.
+
+Every decision — executed, rejected by cooldown, or impossible at the
+pool bounds — lands in a bounded decision log the portal serves at
+``GET /debug/fleet``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro._errors import ResourceError
+from repro.cluster.spec import NodeSpec
+from repro.fleet.policy import FleetSample, HysteresisGate, ScalingPolicy
+from repro.telemetry.instruments import FleetTelemetry
+from repro.telemetry.registry import HistogramSnapshot
+
+__all__ = ["NodePool", "PendingJoin", "ScalingManager"]
+
+
+@dataclass(frozen=True)
+class NodePool:
+    """One homogeneous source of elastic capacity."""
+
+    name: str
+    spec: NodeSpec
+    segment: str
+    min_nodes: int = 0
+    max_nodes: int = 8
+    spot: bool = False
+    warmup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 0:
+            raise ValueError(f"min_nodes must be >= 0, got {self.min_nodes}")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError(
+                f"max_nodes ({self.max_nodes}) must be >= min_nodes ({self.min_nodes})"
+            )
+        if self.warmup_s < 0:
+            raise ValueError(f"warmup_s must be >= 0, got {self.warmup_s}")
+
+
+@dataclass
+class PendingJoin:
+    """A scale-out decided but still warming up."""
+
+    pool: str
+    decided_at: float
+    ready_at: float
+
+    def as_dict(self) -> dict:
+        return {
+            "pool": self.pool,
+            "decided_at": self.decided_at,
+            "ready_at": self.ready_at,
+        }
+
+
+class ScalingManager:
+    """Evaluate a scaling policy and apply it to the distributor's grid."""
+
+    def __init__(
+        self,
+        dist,
+        pools: Sequence[NodePool],
+        policy: ScalingPolicy,
+        *,
+        scale_out_cooldown_s: float = 15.0,
+        scale_in_cooldown_s: float = 60.0,
+        idle_s: float = 30.0,
+        log_capacity: int = 256,
+        registry=None,
+    ) -> None:
+        if not pools:
+            raise ValueError("a fleet needs at least one pool")
+        names = [p.name for p in pools]
+        if len(set(names)) != len(names):
+            raise ValueError(f"pool names must be unique, got {names}")
+        self.dist = dist
+        self.pools = tuple(pools)
+        self._pool_by_name = {p.name: p for p in self.pools}
+        self.policy = policy
+        self.gate = HysteresisGate(scale_out_cooldown_s, scale_in_cooldown_s)
+        self.idle_s = idle_s
+        self._lock = threading.RLock()
+        #: managed node name -> pool name (join order preserved; scale-in
+        #: prefers the newest join so long-lived nodes stay warm)
+        self._nodes: dict[str, str] = {}
+        self._pending: list[PendingJoin] = []
+        #: node name -> last instant it was seen busy (or its join time)
+        self._idle_since: dict[str, float] = {}
+        self.node_seconds: dict[str, float] = {p.name: 0.0 for p in self.pools}
+        self._last_accrual: Optional[float] = None
+        self._log: deque = deque(maxlen=log_capacity)
+        self._timer: Optional[threading.Timer] = None
+        self._interval_s: Optional[float] = None
+        self.telemetry = FleetTelemetry(
+            registry if registry is not None else dist.telemetry.registry
+        )
+        self.telemetry.bind_manager(self)
+        # Windowed queue-wait p95: snapshot of the PR 4 histogram at the
+        # previous tick; the delta between snapshots is this window.
+        self._wait_prev: Optional[HistogramSnapshot] = None
+        # Jobs may *request* a pool's node type before any such node has
+        # joined — the fleet can provision it on demand.
+        dist.grid.advertised_types.update(p.spec.node_type for p in self.pools)
+        dist.fleet = self
+        # Floor capacity joins immediately: min_nodes is the capacity the
+        # operator pays for unconditionally, so there is nothing to warm.
+        now = dist.now_fn()
+        self._last_accrual = now
+        for pool in self.pools:
+            for _ in range(pool.min_nodes):
+                self._join(pool, now, decided_at=now)
+
+    # -- introspection -----------------------------------------------------
+    def managed_nodes(self) -> dict[str, str]:
+        """``{node_name: pool_name}`` for every node this manager joined."""
+        with self._lock:
+            return dict(self._nodes)
+
+    def pending(self) -> list[PendingJoin]:
+        """Scale-outs still warming up."""
+        with self._lock:
+            return list(self._pending)
+
+    def pool_sizes(self) -> dict[str, int]:
+        """``{pool_name: joined node count}`` (pending not included)."""
+        with self._lock:
+            sizes = {p.name: 0 for p in self.pools}
+            for pool_name in self._nodes.values():
+                sizes[pool_name] += 1
+            return sizes
+
+    def decision_log(self) -> list[dict]:
+        """The bounded decision history, oldest first (JSON-safe)."""
+        with self._lock:
+            return [dict(entry) for entry in self._log]
+
+    def snapshot(self) -> dict:
+        """JSON-safe fleet state for ``GET /api/fleet`` / ``cluster.fleet``."""
+        with self._lock:
+            sizes = {p.name: 0 for p in self.pools}
+            for pool_name in self._nodes.values():
+                sizes[pool_name] += 1
+            return {
+                "enabled": True,
+                "policy": self.policy.name,
+                "nodes": len(self._nodes),
+                "pending": [p.as_dict() for p in self._pending],
+                "node_seconds": dict(self.node_seconds),
+                "pools": [
+                    {
+                        "name": p.name,
+                        "segment": p.segment,
+                        "node_type": p.spec.node_type,
+                        "cores": p.spec.cores,
+                        "spot": p.spot,
+                        "min_nodes": p.min_nodes,
+                        "max_nodes": p.max_nodes,
+                        "warmup_s": p.warmup_s,
+                        "size": sizes[p.name],
+                    }
+                    for p in self.pools
+                ],
+                "cooldowns": {
+                    "scale_out_s": self.gate.out_cooldown_s,
+                    "scale_in_s": self.gate.in_cooldown_s,
+                    "idle_s": self.idle_s,
+                },
+            }
+
+    # -- the tick ----------------------------------------------------------
+    def tick(self, now: Optional[float] = None) -> Optional[dict]:
+        """One evaluation round; returns the executed decision, if any."""
+        if now is None:
+            now = self.dist.now_fn()
+        with self._lock:
+            self._accrue(now)
+            self._materialise_joins(now)
+            self._track_idle(now)
+            sample = self._sample(now)
+            delta = self.policy.evaluate(sample)
+            if delta > 0:
+                return self._scale_out(delta, now, sample)
+            if delta < 0:
+                return self._scale_in(-delta, now, sample)
+            return None
+
+    def _accrue(self, now: float) -> None:
+        last = self._last_accrual
+        self._last_accrual = now
+        if last is None or now <= last:
+            return
+        dt = now - last
+        counts: dict[str, int] = {}
+        for pool_name in self._nodes.values():
+            counts[pool_name] = counts.get(pool_name, 0) + 1
+        for pool_name, n in counts.items():
+            self.node_seconds[pool_name] += n * dt
+
+    def _materialise_joins(self, now: float) -> None:
+        due = [p for p in self._pending if p.ready_at <= now]
+        if not due:
+            return
+        self._pending = [p for p in self._pending if p.ready_at > now]
+        for pend in due:
+            pool = self._pool_by_name[pend.pool]
+            node = self._join(pool, now, decided_at=pend.decided_at)
+            self.telemetry.joined(now - pend.decided_at)
+            self._record(
+                now, "join", pool=pool.name, node=node.name,
+                lag_s=now - pend.decided_at,
+            )
+
+    def _join(self, pool: NodePool, now: float, decided_at: float):
+        node = self.dist.add_node(pool.segment, pool.spec)
+        self._nodes[node.name] = pool.name
+        self._idle_since[node.name] = now
+        return node
+
+    def _track_idle(self, now: float) -> None:
+        grid = self.dist.grid
+        for name in list(self._nodes):
+            node = grid.get(name)
+            if node is None:
+                # removed behind our back (operator action); forget it
+                self._forget(name)
+            elif node.running_jobs:
+                self._idle_since[name] = now
+
+    def _forget(self, name: str) -> None:
+        self._nodes.pop(name, None)
+        self._idle_since.pop(name, None)
+
+    def _sample(self, now: float) -> FleetSample:
+        dist = self.dist
+        with dist._lock:
+            queue_depth = len(dist.queue) + len(dist._held)
+            running = len(dist._running)
+        snap = dist.telemetry.h_queue_wait.value
+        prev = self._wait_prev
+        self._wait_prev = snap
+        p95 = None
+        if prev is None:
+            p95 = snap.quantile(0.95)
+        elif snap.count > prev.count:
+            window = HistogramSnapshot(
+                snap.bounds,
+                tuple(a - b for a, b in zip(snap.counts, prev.counts)),
+                snap.sum - prev.sum,
+                snap.count - prev.count,
+            )
+            p95 = window.quantile(0.95)
+        return FleetSample(
+            now=now,
+            queue_depth=queue_depth,
+            running=running,
+            cores_free=dist.grid.cores_free,
+            fleet_size=len(self._nodes),
+            pending=len(self._pending),
+            queue_wait_p95=p95,
+        )
+
+    # -- decision execution ------------------------------------------------
+    def _scale_out(self, want: int, now: float, sample: FleetSample) -> Optional[dict]:
+        pending_per_pool: dict[str, int] = {}
+        for p in self._pending:
+            pending_per_pool[p.pool] = pending_per_pool.get(p.pool, 0) + 1
+        sizes = {p.name: 0 for p in self.pools}
+        for pool_name in self._nodes.values():
+            sizes[pool_name] += 1
+        # Fill pools in declaration order up to their max.
+        plan: list[NodePool] = []
+        remaining = want
+        for pool in self.pools:
+            room = pool.max_nodes - sizes[pool.name] - pending_per_pool.get(pool.name, 0)
+            take = min(remaining, max(0, room))
+            plan.extend([pool] * take)
+            remaining -= take
+            if remaining <= 0:
+                break
+        if not plan:
+            return self._reject(now, "out", "all pools at max capacity", sample)
+        if not self.gate.allow(len(plan), now):
+            return self._reject(now, "out", "scale-out cooldown", sample)
+        for pool in plan:
+            self._pending.append(
+                PendingJoin(pool=pool.name, decided_at=now, ready_at=now + pool.warmup_s)
+            )
+        self.telemetry.action("scale_out")
+        entry = self._record(
+            now, "scale_out", count=len(plan),
+            pools=[p.name for p in plan], queue_depth=sample.queue_depth,
+            fleet_size=sample.fleet_size,
+        )
+        # Zero-warm-up pools become capacity in this same tick.
+        self._materialise_joins(now)
+        return entry
+
+    def _scale_in(self, want: int, now: float, sample: FleetSample) -> Optional[dict]:
+        sizes = {p.name: 0 for p in self.pools}
+        for pool_name in self._nodes.values():
+            sizes[pool_name] += 1
+        # Newest-first: the long-lived floor stays warm, elastic capacity
+        # added for a burst goes back first.
+        candidates: list[str] = []
+        for name in reversed(list(self._nodes)):
+            if len(candidates) >= want:
+                break
+            pool = self._pool_by_name[self._nodes[name]]
+            if sizes[pool.name] <= pool.min_nodes:
+                continue
+            node = self.dist.grid.get(name)
+            if node is None or node.running_jobs:
+                continue
+            if now - self._idle_since.get(name, now) < self.idle_s:
+                continue
+            candidates.append(name)
+            sizes[pool.name] -= 1
+        if not candidates:
+            return self._reject(now, "in", "no idle candidates past cooldown", sample)
+        if not self.gate.allow(-len(candidates), now):
+            return self._reject(now, "in", "scale-in cooldown", sample)
+        removed = []
+        for name in candidates:
+            try:
+                self.dist.remove_node(name)
+            except ResourceError:
+                continue  # a job landed between the idle check and removal
+            self._forget(name)
+            removed.append(name)
+        self.telemetry.action("scale_in")
+        return self._record(
+            now, "scale_in", count=len(removed), nodes=removed,
+            queue_depth=sample.queue_depth, fleet_size=len(self._nodes),
+        )
+
+    def _reject(self, now: float, direction: str, reason: str, sample: FleetSample) -> None:
+        self.telemetry.action("rejected")
+        self._record(
+            now, "rejected", direction=direction, reason=reason,
+            queue_depth=sample.queue_depth, fleet_size=sample.fleet_size,
+        )
+        return None
+
+    def _record(self, now: float, kind: str, **fields) -> dict:
+        entry = {"t": now, "kind": kind, **fields}
+        self._log.append(entry)
+        return entry
+
+    # -- spot reclamation --------------------------------------------------
+    def spot_nodes(self) -> list[str]:
+        """Names of joined nodes living in preemptible pools."""
+        with self._lock:
+            return [
+                name for name, pool_name in self._nodes.items()
+                if self._pool_by_name[pool_name].spot
+            ]
+
+    def reclaim(self, node_name: str) -> list:
+        """Preempt a spot node *now*: its running attempts are retired as
+        ``node_lost`` through the normal retry budget and the node leaves
+        the inventory.  Returns the rerouted jobs."""
+        with self._lock:
+            pool_name = self._nodes.get(node_name)
+            if pool_name is None:
+                raise ResourceError(f"node {node_name!r} is not fleet-managed")
+            if not self._pool_by_name[pool_name].spot:
+                raise ResourceError(
+                    f"node {node_name!r} is in on-demand pool {pool_name!r}, "
+                    "not preemptible"
+                )
+            rerouted = self.dist.remove_node(node_name, force=True)
+            self._forget(node_name)
+            self.telemetry.action("reclaim")
+            self._record(
+                self.dist.now_fn(), "reclaim", pool=pool_name, node=node_name,
+                rerouted=len(rerouted),
+            )
+            return rerouted
+
+    # -- wall-clock self-driving ------------------------------------------
+    def start(self, interval_s: float = 5.0) -> None:
+        """Self-arm a recurring wall-clock tick (daemon timer).
+
+        Not for DES runs: a self-rearming timer keeps the simulator's
+        event queue non-empty forever — drive :meth:`tick` from a
+        terminating ``sim.process`` instead.
+        """
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        with self._lock:
+            self._interval_s = interval_s
+            if self._timer is None:
+                self._arm()
+
+    def _arm(self) -> None:
+        t = threading.Timer(self._interval_s, self._fire)
+        t.daemon = True
+        self._timer = t
+        t.start()
+
+    def _fire(self) -> None:
+        self.tick()
+        with self._lock:
+            if self._interval_s is not None:
+                self._arm()
+
+    def stop(self) -> None:
+        """Stop the recurring tick (the fleet keeps its current size)."""
+        with self._lock:
+            self._interval_s = None
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None

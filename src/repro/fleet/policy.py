@@ -1,0 +1,196 @@
+"""Scaling policies: how many nodes the fleet *wants*, given demand.
+
+A policy is a pure demand→delta function: :meth:`ScalingPolicy.evaluate`
+reads one :class:`FleetSample` and returns how many nodes to add
+(positive), remove (negative) or leave alone (zero).  Everything
+stateful about *when* a decision may execute — warm-up, cooldowns,
+idle-only scale-in, pool bounds — lives in the
+:class:`~repro.fleet.manager.ScalingManager`, so policies stay trivially
+testable.
+
+Flapping is prevented twice over:
+
+* every policy keeps a **deadband** between its scale-out and scale-in
+  thresholds (enforced at construction), so a load level sitting on one
+  threshold can never trip both; and
+* the manager's :class:`HysteresisGate` refuses a decision within the
+  direction's cooldown window of the previous action — the property
+  battery in ``tests/test_fleet.py`` hammers exactly this invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "FleetSample",
+    "HysteresisGate",
+    "QueueWaitP95Policy",
+    "ScalingPolicy",
+    "TargetQueueDepthPolicy",
+]
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """One tick's view of demand vs capacity, as policies see it."""
+
+    now: float
+    queue_depth: int          # jobs queued or dependency-held
+    running: int              # jobs currently running
+    cores_free: int           # grid free cores right now
+    fleet_size: int           # nodes currently joined by the manager
+    pending: int              # scale-outs decided but still warming up
+    queue_wait_p95: Optional[float] = None  # windowed p95 queue wait (s)
+
+
+class ScalingPolicy:
+    """Base policy. Subclasses implement :meth:`evaluate`."""
+
+    name = "base"
+
+    def evaluate(self, sample: FleetSample) -> int:
+        """Desired node delta: ``> 0`` scale out, ``< 0`` scale in."""
+        raise NotImplementedError
+
+
+class TargetQueueDepthPolicy(ScalingPolicy):
+    """Hold the queue near a target backlog per node.
+
+    Scale out one ``step`` when the backlog exceeds
+    ``out_depth_per_node × (fleet_size + pending)`` (warming nodes count:
+    capacity already bought must not be bought twice); scale in when the
+    backlog drops to ``in_depth_per_node`` or below *and* nothing is
+    pending.  ``out_depth_per_node > in_depth_per_node`` is the deadband.
+    """
+
+    name = "target-queue-depth"
+
+    def __init__(
+        self,
+        out_depth_per_node: float = 4.0,
+        in_depth_per_node: float = 0.5,
+        step: int = 2,
+    ) -> None:
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        if out_depth_per_node <= in_depth_per_node:
+            raise ValueError(
+                "deadband required: out_depth_per_node "
+                f"({out_depth_per_node}) must exceed in_depth_per_node "
+                f"({in_depth_per_node})"
+            )
+        self.out_depth_per_node = out_depth_per_node
+        self.in_depth_per_node = in_depth_per_node
+        self.step = step
+
+    def evaluate(self, sample: FleetSample) -> int:
+        effective = max(1, sample.fleet_size + sample.pending)
+        if sample.queue_depth > self.out_depth_per_node * effective:
+            return self.step
+        if (
+            sample.pending == 0
+            and sample.fleet_size > 0
+            and sample.queue_depth <= self.in_depth_per_node * effective
+        ):
+            return -self.step
+        return 0
+
+
+class QueueWaitP95Policy(ScalingPolicy):
+    """Hold the p95 queue wait inside a latency band.
+
+    Driven by the PR 4 queue-wait histogram: the manager computes a
+    *windowed* p95 (the delta between consecutive tick snapshots, so old
+    waits never mask current pain) and hands it over in the sample.
+    Out when p95 exceeds ``out_wait_s``; in when the window is quiet —
+    no samples, or p95 at/below ``in_wait_s`` — with an empty queue.
+    """
+
+    name = "queue-wait-p95"
+
+    def __init__(
+        self,
+        out_wait_s: float = 30.0,
+        in_wait_s: float = 2.0,
+        step: int = 2,
+    ) -> None:
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        if out_wait_s <= in_wait_s:
+            raise ValueError(
+                f"deadband required: out_wait_s ({out_wait_s}) must exceed "
+                f"in_wait_s ({in_wait_s})"
+            )
+        self.out_wait_s = out_wait_s
+        self.in_wait_s = in_wait_s
+        self.step = step
+
+    def evaluate(self, sample: FleetSample) -> int:
+        p95 = sample.queue_wait_p95
+        if p95 is not None and p95 > self.out_wait_s:
+            return self.step
+        if sample.queue_depth > 0 and p95 is not None and p95 > self.in_wait_s:
+            return 0  # inside the band: hold
+        quiet = p95 is None or p95 <= self.in_wait_s
+        if (
+            quiet
+            and sample.pending == 0
+            and sample.fleet_size > 0
+            and sample.queue_depth == 0
+        ):
+            return -self.step
+        return 0
+
+
+class HysteresisGate:
+    """Cooldown arbiter between raw policy deltas and executed actions.
+
+    One gate instance serialises the manager's decision stream:
+
+    * a scale-**out** executes only ``out_cooldown_s`` after the previous
+      scale-out (bursts still grow, one step per window, instead of
+      panic-buying the whole pool on one spike);
+    * a scale-**in** executes only ``in_cooldown_s`` after the previous
+      action *in either direction* — capacity just added (or a burst
+      just shed) must prove itself idle for a full window before being
+      given back.
+
+    Consequence (the no-flapping property): between an executed out and
+    an executed in there is always at least ``in_cooldown_s``, and
+    between an in and an out at least... nothing — growth after shrink
+    is intentionally cheap, because queueing pain is user-visible while
+    over-capacity only costs node-seconds.
+    """
+
+    def __init__(self, out_cooldown_s: float, in_cooldown_s: float) -> None:
+        if out_cooldown_s < 0 or in_cooldown_s < 0:
+            raise ValueError("cooldowns must be >= 0")
+        self.out_cooldown_s = out_cooldown_s
+        self.in_cooldown_s = in_cooldown_s
+        self._last_out: Optional[float] = None
+        self._last_in: Optional[float] = None
+
+    def _last_action(self) -> Optional[float]:
+        if self._last_out is None:
+            return self._last_in
+        if self._last_in is None:
+            return self._last_out
+        return max(self._last_out, self._last_in)
+
+    def allow(self, delta: int, now: float) -> bool:
+        """May a ``delta``-direction action execute at ``now``?  Records
+        the action when allowed (call only when committed)."""
+        if delta > 0:
+            if self._last_out is not None and now - self._last_out < self.out_cooldown_s:
+                return False
+            self._last_out = now
+            return True
+        if delta < 0:
+            last = self._last_action()
+            if last is not None and now - last < self.in_cooldown_s:
+                return False
+            self._last_in = now
+            return True
+        return False

@@ -25,10 +25,12 @@ GET         /api/jobs/<job_id>/output?since=N  poll stdout/stderr
 POST        /api/jobs/<job_id>/input           {text} — interactive stdin
 POST        /api/jobs/<job_id>/cancel          cancel
 GET         /api/cluster/status                grid utilisation snapshot
+GET         /api/fleet                         elastic-fleet snapshot (pools, pending)
 GET         /metrics                           Prometheus text format (unauthenticated)
 GET         /debug/trace/<job_id>              job span tree (HTML, or ?format=json)
 GET         /debug/requests                    recent request traces (admin)
 GET         /debug/events                      structured event log (admin)
+GET         /debug/fleet                       fleet scaling-decision log (admin)
 ==========  =================================  ==========================================
 
 HTML pages: ``GET /`` (dashboard), ``GET/POST /login``, ``POST /logout``.
@@ -290,6 +292,7 @@ class PortalApp:
         # --- cluster ---
         r.add("GET", "/api/cluster/status", self._api_cluster_status)
         r.add("GET", "/api/cluster/accounting", self._api_cluster_accounting)
+        r.add("GET", "/api/fleet", self._api_fleet)
         r.add("GET", "/api/quota", self._api_quota)
 
         # --- observability ---
@@ -297,6 +300,7 @@ class PortalApp:
         r.add("GET", "/debug/trace/<job_id>", self._debug_trace)
         r.add("GET", "/debug/requests", self._debug_requests)
         r.add("GET", "/debug/events", self._debug_events)
+        r.add("GET", "/debug/fleet", self._debug_fleet)
 
         # --- HTML pages ---
         r.add("GET", "/", self._page_dashboard)
@@ -587,6 +591,14 @@ class PortalApp:
             }
         )
 
+    def _api_fleet(self, req: Request) -> Response:
+        """Elastic-fleet snapshot: pools, sizes, pending scale, cost."""
+        self._require_user(req)
+        fleet = self.jobsvc.distributor.fleet
+        if fleet is None:
+            return Response.json({"enabled": False})
+        return Response.json(fleet.snapshot())
+
     def _api_quota(self, req: Request) -> Response:
         user = self._require_user(req)
         return Response.json(
@@ -636,6 +648,15 @@ class PortalApp:
             if tracer.get(trace_id) is not None
         ]
         return Response.json({"requests": traces})
+
+    def _debug_fleet(self, req: Request) -> Response:
+        """The fleet manager's scaling-decision log (admin debugging)."""
+        user = self._require_user(req)
+        user.require("view_all_jobs")
+        fleet = self.jobsvc.distributor.fleet
+        if fleet is None:
+            return Response.json({"enabled": False, "decisions": []})
+        return Response.json({"enabled": True, "decisions": fleet.decision_log()})
 
     def _debug_events(self, req: Request) -> Response:
         """The distributor's structured event log (admin debugging)."""

@@ -323,3 +323,11 @@ class PortalClient:
     def quota(self) -> dict:
         """This user's disk usage and quota."""
         return self._call("GET", "/api/quota")
+
+    def fleet(self) -> dict:
+        """Elastic-fleet snapshot (``{"enabled": False}`` when unmanaged)."""
+        return self._call("GET", "/api/fleet")
+
+    def fleet_decisions(self) -> dict:
+        """The fleet manager's scaling-decision log (instructor/admin only)."""
+        return self._call("GET", "/debug/fleet")

@@ -29,6 +29,7 @@ __all__ = [
     "DispatchTelemetry",
     "DurabilityTelemetry",
     "ExploreTelemetry",
+    "FleetTelemetry",
     "PortalTelemetry",
 ]
 
@@ -53,6 +54,8 @@ FAULT_KINDS = (
     "nodes_suspected",
     "nodes_rejoined",
     "nodes_recovered",
+    "nodes_joined",
+    "nodes_removed",
 )
 
 _DISPATCH_HELP = {
@@ -259,6 +262,71 @@ class DurabilityTelemetry:
         """Tally one finished :class:`RecoveryReport`."""
         self.c_recoveries.inc()
         self.g_recovery_s.set(report.duration_s)
+
+
+#: ``ScalingManager`` action kinds exported as labeled counters.
+FLEET_ACTIONS = ("scale_out", "scale_in", "reclaim", "rejected")
+
+
+class FleetTelemetry:
+    """Metrics for the elastic fleet manager.
+
+    Node-seconds are the fleet's cost currency: every manager tick
+    accrues ``(nodes alive in pool) × (seconds since last tick)`` into a
+    per-pool counter, which is exactly what the bench's cost/latency
+    frontier integrates.  The fleet-size and pending-scale gauges read
+    manager state through ``set_fn`` at scrape time, so steady-state
+    ticks do no registry work; the scaling-lag histogram records how
+    long a scale-out decision took to become usable capacity (warm-up
+    included).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.on = registry.enabled
+        self.c_node_seconds = registry.counter(
+            "repro_fleet_node_seconds_total",
+            "node-seconds accrued by fleet pool (the cost axis)",
+            labels=("pool",),
+        )
+        self.c_actions = registry.counter(
+            "repro_fleet_actions_total",
+            "scaling decisions executed, by kind",
+            labels=("kind",),
+        )
+        self._actions = {kind: self.c_actions.labels(kind) for kind in FLEET_ACTIONS}
+        self.g_size = registry.gauge(
+            "repro_fleet_nodes", "nodes currently joined through the fleet manager"
+        )
+        self.g_pending = registry.gauge(
+            "repro_fleet_pending_scale",
+            "scale-outs decided but still warming up (not yet capacity)",
+        )
+        self.h_lag = registry.histogram(
+            "repro_fleet_scaling_lag_seconds",
+            "time from a scale-out decision to the node joining the grid",
+        )
+
+    def bind_manager(self, manager) -> None:
+        """Point gauges and node-seconds at live manager state.
+
+        The manager accrues node-seconds into plain floats on its tick
+        path; the counter children read them through ``set_fn`` at
+        scrape time (the dispatch-counter pattern).
+        """
+        self.g_size.set_fn(lambda: len(manager.managed_nodes()))
+        self.g_pending.set_fn(lambda: len(manager.pending()))
+        for pool in manager.pools:
+            self.c_node_seconds.labels(pool.name).set_fn(
+                lambda p=pool.name: manager.node_seconds[p]
+            )
+
+    def action(self, kind: str) -> None:
+        self._actions[kind].inc()
+
+    def joined(self, lag_s: float) -> None:
+        if self.on:
+            self.h_lag.observe(lag_s)
 
 
 class AnalysisTelemetry:

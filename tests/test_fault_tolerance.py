@@ -267,15 +267,21 @@ class TestReroute:
             assert not node.holds(job.id)
         assert grid.cores_free == grid.cores_total - 2  # only the dead node missing
 
-    def test_double_fail_rejected_and_recover_requires_not_up(self):
+    def test_double_fail_and_double_recover_are_noops(self):
+        # Idempotency contract: a duplicate fault/recovery delivery (spot
+        # reclamation racing a health downing, a replayed RPC) must not
+        # crash, double-requeue, or inflate the counters.
         sim, grid, dist = des_distributor()
-        dist.fail_node("seg-0-n00")
-        with pytest.raises(ResourceError):
-            dist.fail_node("seg-0-n00")
-        dist.recover_node("seg-0-n00")
-        with pytest.raises(ResourceError):
-            dist.recover_node("seg-0-n00")
+        job = dist.submit(JobRequest(name="victim", sim_duration=50.0))
+        dead = next(iter(job.placement))
+        dist.fail_node(dead)
+        assert dist.fail_node(dead) == []           # second fail: no-op
+        assert dist.stats()["faults"]["node_failures"] == 1
+        assert len(job.attempts) == 1               # no double-retirement
+        dist.recover_node(dead)
+        dist.recover_node(dead)                     # second recover: no-op
         assert dist.stats()["faults"]["nodes_recovered"] == 1
+        assert grid.node(dead).state is NodeState.UP
 
     def test_kill_mid_array_never_strands_queued_siblings(self):
         # Regression: FaultInjector used to poke placements/_handles
