@@ -1,0 +1,186 @@
+"""Spec engine benchmark: collect-all validation and diff planning.
+
+Two guarded experiments over a realistic document — 4 segments x 16
+slaves (the paper's UHD shape) plus 3 elastic pools, scheduler queues,
+retry/health/admission/toolchain stanzas:
+
+* **validate**: one full three-pass collect-all validation must stay
+  under **50 ms** — the portal runs it inline on every
+  ``POST /api/cluster/validate`` and before every reconfigure;
+* **diff plan**: ``plan_reconfigure`` across a mixed change set
+  (grow + shrink + retype + knob swaps) must also stay under **50 ms**
+  — it runs on every ``POST /api/cluster/reconfigure``, including
+  plan-only dry runs.
+
+An informational row tracks the invalid path (the kitchen-sink corpus
+fixture), which exercises every pass's error accumulation.
+"""
+
+from __future__ import annotations
+
+import copy
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.spec import plan_reconfigure, validate
+from repro.spec.fixtures import _kitchen_sink
+
+pytestmark = pytest.mark.perf
+
+#: guarded ceiling for one validate() of the reference document (ms).
+VALIDATE_MS_CEIL = 50.0
+#: guarded ceiling for one plan_reconfigure() across the change set (ms).
+PLAN_MS_CEIL = 50.0
+
+REPS = 200
+
+
+def reference_spec() -> dict:
+    """4 segments x 16 slaves, 3 pools, every stanza populated."""
+    return {
+        "cluster": {
+            "name": "bench",
+            "node_types": {
+                "duo": {"cores": 2, "memory_mb": 2048, "cpu_ghz": 2.0},
+                "quad": {"cores": 4, "memory_mb": 4096, "cpu_ghz": 2.6},
+                "quad-gpu": {"cores": 4, "memory_mb": 4096, "cpu_ghz": 2.6,
+                             "has_gpu": True, "node_type": "gpu"},
+            },
+            "segments": [
+                {"name": "seg-a", "slaves": 16, "slave_type": "duo"},
+                {"name": "seg-b", "slaves": 16, "slave_type": "duo"},
+                {"name": "seg-c", "slaves": 16, "slave_type": "quad"},
+                {"name": "seg-d", "slaves": 16, "slave_type": "quad-gpu"},
+            ],
+        },
+        "scheduler": {
+            "policy": "backfill",
+            "queues": [
+                {"name": "interactive", "priority": 10},
+                {"name": "batch", "priority": 0},
+                {"name": "gpuq", "node_type": "quad-gpu", "priority": 5},
+            ],
+        },
+        "retry": {"max_attempts": 3, "retry_on": ["failed", "timeout", "node_lost"]},
+        "health": {"suspect_after": 3, "window_s": 60.0},
+        "fleet": {
+            "pools": [
+                {"name": "base", "segment": "seg-c", "node_type": "quad",
+                 "min_nodes": 2, "max_nodes": 8, "warmup_s": 10.0},
+                {"name": "burst", "segment": "seg-a", "node_type": "duo",
+                 "min_nodes": 0, "max_nodes": 16, "spot": True, "warmup_s": 20.0},
+                {"name": "gpu", "segment": "seg-d", "node_type": "quad-gpu",
+                 "min_nodes": 0, "max_nodes": 4, "warmup_s": 30.0},
+            ],
+            "scaling": {"policy": "queue-wait-p95", "out_wait_s": 30.0,
+                        "in_wait_s": 2.0, "step": 2,
+                        "scale_out_cooldown_s": 15.0,
+                        "scale_in_cooldown_s": 60.0, "idle_s": 30.0},
+        },
+        "admission": {"rate_per_s": 50.0, "burst": 100.0, "max_inflight": 64,
+                      "queue_limit": 128, "max_users": 500},
+        "toolchains": {"prefer_real": True,
+                       "languages": ["c", "cpp", "java", "python"]},
+    }
+
+
+def changed_spec(base: dict) -> dict:
+    """A mixed desired state: grow, shrink, retype, knob swaps."""
+    doc = copy.deepcopy(base)
+    doc["cluster"]["segments"][0]["slaves"] = 24          # grow
+    doc["cluster"]["segments"][1]["slaves"] = 8           # shrink
+    doc["cluster"]["node_types"]["quad"]["cores"] = 8     # retype seg-c
+    doc["scheduler"]["policy"] = "priority"
+    doc["fleet"]["pools"][0]["max_nodes"] = 4             # shrink pool
+    doc["fleet"]["pools"][1]["max_nodes"] = 32            # update pool
+    doc["fleet"]["scaling"]["out_wait_s"] = 20.0
+    doc["admission"]["max_inflight"] = 32
+    return doc
+
+
+def _time_ms(fn, reps: int) -> list[float]:
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - t0) * 1e3)
+    return samples
+
+
+def _collect(reps: int) -> tuple[str, list]:
+    base = reference_spec()
+    desired = changed_spec(base)
+    report = validate(base)
+    assert report.findings == [], [str(f) for f in report.findings]
+    plan = plan_reconfigure(base, desired)
+    assert len(plan.actions) >= 7
+
+    valid_ms = _time_ms(lambda: validate(base), reps)
+    invalid_doc = _kitchen_sink()
+    invalid_ms = _time_ms(lambda: validate(invalid_doc), reps)
+    plan_ms = _time_ms(lambda: plan_reconfigure(base, desired), reps)
+
+    rows = [
+        ("validate (clean)", valid_ms, VALIDATE_MS_CEIL),
+        ("validate (kitchen-sink)", invalid_ms, None),
+        ("plan_reconfigure", plan_ms, PLAN_MS_CEIL),
+    ]
+    lines = [
+        f"Spec engine: 4-segment / 3-pool document, {reps} reps "
+        f"({len(plan.actions)} planned actions across the change set)",
+        f"{'operation':<26} {'median ms':>10} {'p95 ms':>8} {'ceil ms':>8}",
+    ]
+    metrics = []
+    for label, samples, ceil in rows:
+        med = statistics.median(samples)
+        p95 = statistics.quantiles(samples, n=20)[-1]
+        lines.append(
+            f"{label:<26} {med:>10.3f} {p95:>8.3f} "
+            f"{ceil if ceil is not None else '-':>8}"
+        )
+        key = label.replace(" ", "_").replace("(", "").replace(")", "").replace("-", "_")
+        entry = {"metric": f"{key}_median_ms", "value": round(med, 4), "unit": "ms"}
+        if ceil is not None:
+            entry.update({"threshold": ceil, "op": "<="})
+        metrics.append(entry)
+    return "\n".join(lines), metrics
+
+
+# -- pytest entry -------------------------------------------------------------
+
+
+def test_spec_validate_and_plan_guards(guarded_report):
+    text, metrics = _collect(REPS)
+    guarded_report("spec", text, metrics)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ci", action="store_true",
+                        help="smoke slice: fewer repetitions")
+    args = parser.parse_args(argv)
+    text, metrics = _collect(50 if args.ci else REPS)
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import check_guards, write_result
+
+    write_result("spec", text, metrics)
+    print(text)
+    failures = check_guards(metrics)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

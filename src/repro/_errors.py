@@ -24,6 +24,7 @@ __all__ = [
     "RankError",
     "TruncationError",
     "DeadlockError",
+    "SpecError",
     "LabError",
     "GradingError",
 ]
@@ -136,6 +137,22 @@ class RpcRemoteError(BusError):
     def __init__(self, message: str, remote_type: str = "Exception") -> None:
         super().__init__(message)
         self.remote_type = remote_type
+
+
+class SpecError(ReproError):
+    """A declarative cluster spec failed validation or could not be applied.
+
+    Attributes
+    ----------
+    findings:
+        The :class:`repro.spec.Finding` list that justified the refusal,
+        when the error came out of the validator (empty for apply-time
+        refusals such as a reconfigure plan that would strand jobs).
+    """
+
+    def __init__(self, message: str, findings: list | None = None) -> None:
+        super().__init__(message)
+        self.findings = list(findings or [])
 
 
 class LabError(ReproError):

@@ -20,7 +20,13 @@ Modes
     the installed ``repro`` package).  The analyzer must get through
     every file without crashing, and must report **nothing** outside the
     lab directories — findings in ``labs/`` are the teaching corpus and
-    are listed but not fatal.
+    are listed but not fatal.  The gate also sweeps the sources for
+    rule-id literals (``ANL-*``, ``SPC-*``): an id used in code but
+    absent from its catalogue fails the build.
+
+``python -m repro.analysis --list-rules``
+    Print both diagnostic catalogues — the ANL-* lab-code rules and the
+    SPC-* cluster-spec rules.
 """
 
 from __future__ import annotations
@@ -28,11 +34,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
 
 from repro.analysis.analyzer import analyze_file, analyze_paths
 from repro.analysis.corpus import check_corpus, check_dynamic_corpus
-from repro.analysis.model import Severity
+from repro.analysis.model import RULES, Severity
 
 
 def _print_report(report, as_json: bool) -> None:
@@ -91,6 +98,47 @@ def _run_dynamic_corpus(algorithm: str) -> int:
     return 1 if failures else 0
 
 
+_RULE_ID_RE = re.compile(r"\b(?:ANL|SPC)-[A-Z]{0,2}\d{3}\b")
+
+
+def _catalogues() -> dict:
+    """Both rule catalogues, keyed by id (lazy SPC import avoids cycles)."""
+    from repro.spec.model import SPEC_RULES
+
+    return {**RULES, **SPEC_RULES}
+
+
+def _check_catalogues(root: str) -> list[str]:
+    """Rule-id literals used in code but missing from their catalogue."""
+    known = set(_catalogues())
+    used: dict[str, str] = {}
+    for dirpath, dirs, files in os.walk(root):
+        dirs.sort()
+        for fname in sorted(files):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    source = fh.read()
+            except OSError:
+                continue
+            for rule_id in _RULE_ID_RE.findall(source):
+                used.setdefault(rule_id, path)
+    return [
+        f"{rule_id} (first seen in {path}) is not in its catalogue"
+        for rule_id, path in sorted(used.items())
+        if rule_id not in known
+    ]
+
+
+def _run_list_rules() -> int:
+    for rule in _catalogues().values():
+        print(f"{rule.rule_id}  {str(rule.severity):7s} [{rule.concept}] {rule.title}")
+    print(f"{len(RULES)} ANL rule(s), {len(_catalogues()) - len(RULES)} SPC rule(s)")
+    return 0
+
+
 def _run_self_check(root: str) -> int:
     if not os.path.isdir(root):
         print(f"self-check: not a directory: {root}", file=sys.stderr)
@@ -117,17 +165,21 @@ def _run_self_check(root: str) -> int:
             in_labs = f"{os.sep}labs{os.sep}" in path or path.endswith(f"{os.sep}labs")
             for diag in report.diagnostics:
                 (expected if in_labs else unexpected).append(str(diag))
+    undocumented = _check_catalogues(root)
     for line in expected:
         print(f"corpus   {line}")
     for line in unexpected:
         print(f"UNEXPECTED {line}")
     for line in crashes:
         print(f"CRASH    {line}")
+    for line in undocumented:
+        print(f"UNDOCUMENTED {line}")
     print(
         f"self-check: {n_files} file(s), {len(expected)} corpus finding(s), "
-        f"{len(unexpected)} unexpected finding(s), {len(crashes)} crash(es)"
+        f"{len(unexpected)} unexpected finding(s), {len(crashes)} crash(es), "
+        f"{len(undocumented)} undocumented rule id(s)"
     )
-    return 1 if unexpected or crashes else 0
+    return 1 if unexpected or crashes or undocumented else 0
 
 
 def main(argv: list | None = None) -> int:
@@ -154,8 +206,14 @@ def main(argv: list | None = None) -> int:
         "--self-check", nargs="?", const="", metavar="DIR",
         help="lint-gate the codebase under DIR (default: the repro package)",
     )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the ANL-* and SPC-* diagnostic catalogues",
+    )
     args = parser.parse_args(argv)
 
+    if args.list_rules:
+        return _run_list_rules()
     if args.corpus:
         return _run_corpus()
     if args.dynamic_corpus is not None:

@@ -14,6 +14,7 @@ from repro._errors import (
     JobError,
     RpcRemoteError,
     SchedulingError,
+    SpecError,
 )
 from repro.bus.core import MessageBus
 from repro.bus.rpc import RpcClient
@@ -27,6 +28,7 @@ _REMOTE_ERRORS = {
     "JobError": JobError,
     "AuthorizationError": AuthorizationError,
     "SchedulingError": SchedulingError,
+    "SpecError": SpecError,
 }
 
 
@@ -68,6 +70,22 @@ class ClusterProxy:
     def fleet_log(self) -> list[dict]:
         """The fleet manager's bounded scaling-decision log."""
         return self._call("cluster.fleet.log")
+
+    # -- declarative spec ------------------------------------------------------
+    def spec_describe(self) -> dict:
+        """The live deployment as a spec document."""
+        return self._call("cluster.spec.describe")
+
+    def spec_validate(self, doc: dict) -> dict:
+        """Collect-all validation report for ``doc`` (never raises)."""
+        return self._call("cluster.spec.validate", {"spec": doc})
+
+    def spec_reconfigure(self, doc: dict, apply: bool = False, manage: bool = False) -> dict:
+        """Plan (default) or apply ``doc``; ``manage`` asserts the caller's
+        ``manage_cluster`` capability (enforced service-side)."""
+        return self._call(
+            "cluster.spec.reconfigure", {"spec": doc, "apply": apply, "manage": manage}
+        )
 
     # -- jobs -----------------------------------------------------------------
     def submit(self, request: JobRequest) -> dict:

@@ -32,6 +32,7 @@ from repro.bus.core import MessageBus
 from repro.bus.rpc import RpcServer
 from repro.cluster.distributor import JobDistributor
 from repro.cluster.job import Job, JobRequest
+from repro.spec import Reconfigurer, validate as validate_spec
 
 __all__ = ["ClusterBackendService", "DEFAULT_SERVICE_QUEUE"]
 
@@ -53,6 +54,8 @@ class ClusterBackendService:
         self.distributor = distributor
         self.reply_latency_s = reply_latency_s
         self._clock = clock
+        #: declarative-spec management surface (describe / validate / apply)
+        self.reconfigurer = Reconfigurer(distributor)
         self.server = RpcServer(bus, service_queue)
         for method, handler in (
             ("cluster.version", self._h_version),
@@ -61,6 +64,9 @@ class ClusterBackendService:
             ("cluster.durability", self._h_durability),
             ("cluster.fleet", self._h_fleet),
             ("cluster.fleet.log", self._h_fleet_log),
+            ("cluster.spec.describe", self._h_spec_describe),
+            ("cluster.spec.validate", self._h_spec_validate),
+            ("cluster.spec.reconfigure", self._h_spec_reconfigure),
             ("jobs.submit", self._h_submit),
             ("jobs.describe", self._h_describe),
             ("jobs.list", self._h_list),
@@ -163,6 +169,33 @@ class ClusterBackendService:
         if fleet is None:
             return []
         return fleet.decision_log()
+
+    def _h_spec_describe(self, params: dict) -> dict:
+        """The live deployment serialised as a spec document."""
+        return self.reconfigurer.describe()
+
+    def _h_spec_validate(self, params: dict) -> dict:
+        """Collect-all validation of ``params["spec"]`` (never raises)."""
+        doc = params.get("spec")
+        return validate_spec(doc, source="bus").as_dict()
+
+    def _h_spec_reconfigure(self, params: dict) -> dict:
+        """Plan (default) or apply ``params["spec"]`` to the live cluster.
+
+        Capability enforcement happens here, mirroring the job surface:
+        callers must send ``manage: true`` (front-ends set it only for
+        users holding ``manage_cluster``).
+        """
+        if not params.get("manage"):
+            raise AuthorizationError("cluster.spec.reconfigure needs manage_cluster")
+        doc = params.get("spec")
+        if not isinstance(doc, dict):
+            raise BusError("cluster.spec.reconfigure needs a 'spec' object")
+        if not params.get("apply"):
+            plan = self.reconfigurer.plan(doc)
+            return {"applied": False, "plan": plan.as_dict()}
+        result = self.reconfigurer.apply(doc)
+        return {"applied": True, **result}
 
     def _h_submit(self, params: dict) -> dict:
         wire = params.get("request")

@@ -744,6 +744,61 @@ class JobDistributor:
                 "info", "node_removed", node=node_name, forced=forced
             )
 
+    def add_segment(self, spec):
+        """Provision a whole new segment; dispatches onto it immediately.
+
+        The reconfigure path's pure-growth case — a
+        :class:`~repro.cluster.spec.SegmentSpec` becomes live capacity
+        through the same observer chain as :meth:`add_node`.
+        """
+        with self._lock:
+            seg = self.grid.add_segment(spec)
+            self._faults["nodes_joined"] += len(seg.slaves)
+            self._version += 1
+            if self.health is not None:
+                now = self.now_fn()
+                for node in seg.slaves:
+                    self.health.record_up(node.name, now)
+            if self.telemetry.on:
+                self.telemetry.events.emit(
+                    "info", "segment_joined", segment=seg.name, slaves=len(seg.slaves)
+                )
+        self.dispatch()
+        return seg
+
+    def remove_segment(self, name: str):
+        """Retire a whole drained segment (reconfigure destroy path)."""
+        with self._lock:
+            seg = self.grid.remove_segment(name)
+            self._faults["nodes_removed"] += len(seg.slaves)
+            self._version += 1
+            if self.telemetry.on:
+                self.telemetry.events.emit(
+                    "info", "segment_removed", segment=name, slaves=len(seg.slaves)
+                )
+        self.dispatch()
+        return seg
+
+    def replace_master(self, spec, segment: Optional[str] = None):
+        """Rebuild the grid master (or ``segment``'s master) with ``spec``.
+
+        Masters run no compute attempts, so nothing needs rerouting; the
+        reconfigure layer still classifies this destroy-recreate and
+        refuses it while jobs are live.
+        """
+        with self._lock:
+            if segment is None:
+                node = self.grid.replace_master_server(spec)
+            else:
+                node = self.grid.replace_segment_master(segment, spec)
+            self._version += 1
+            if self.telemetry.on:
+                self.telemetry.events.emit(
+                    "info", "master_replaced", node=node.name,
+                    segment=segment or "grid",
+                )
+        return node
+
     def _rejoin_probation(self, now: float) -> None:
         """Return idle SUSPECT nodes whose quiet period elapsed (lock held)."""
         if self.health is None:

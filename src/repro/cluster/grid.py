@@ -7,7 +7,7 @@ from typing import Iterator, Optional
 from repro._errors import ResourceError
 from repro.cluster.node import Node
 from repro.cluster.segment import Segment
-from repro.cluster.spec import ClusterSpec, NodeSpec
+from repro.cluster.spec import ClusterSpec, NodeSpec, SegmentSpec
 
 __all__ = ["Grid"]
 
@@ -100,6 +100,94 @@ class Grid:
             self._max_slave_cores = max(
                 (n.spec.cores for n in self.compute_nodes()), default=0
             )
+        return node
+
+    def add_segment(self, spec: SegmentSpec) -> Segment:
+        """Provision a whole new segment (master + slaves) at runtime.
+
+        The reconfigure path's pure-growth case: the segment wires into
+        the capacity observer chain and ``self.spec`` is re-derived so
+        :func:`repro.spec.describe` reflects the live inventory.
+        """
+        if any(s.name == spec.name for s in self.segments):
+            raise ResourceError(f"segment {spec.name!r} already exists")
+        seg = Segment(spec)
+        self.segments.append(seg)
+        self._by_name[seg.master.name] = seg.master
+        for n in seg.slaves:
+            self._by_name[n.name] = n
+            self._cores_total += n.spec.cores
+            if n.spec.has_gpu:
+                self._gpu_nodes.append(n)
+            if n.spec.cores > self._max_slave_cores:
+                self._max_slave_cores = n.spec.cores
+        seg._observer = self._on_segment_change
+        self._on_segment_change(seg, True)
+        self.spec = ClusterSpec(
+            segments=(*self.spec.segments, spec),
+            master_server_spec=self.spec.master_server_spec,
+        )
+        return seg
+
+    def remove_segment(self, name: str) -> Segment:
+        """Retire a whole segment (master included) from the inventory.
+
+        Refuses while any of its slaves runs work — the reconfigure
+        layer drains first.  The last segment cannot be removed.
+        """
+        seg = self.segment(name)
+        if len(self.segments) == 1:
+            raise ResourceError("cannot remove the last segment")
+        busy = [n.name for n in seg.slaves if n.running_jobs]
+        if busy:
+            raise ResourceError(
+                f"segment {name!r} still runs jobs on {busy}; drain it first"
+            )
+        for n in [*seg.slaves, seg.master]:
+            self._by_name.pop(n.name, None)
+        self._cores_total -= sum(n.spec.cores for n in seg.slaves)
+        self._gpu_nodes = [n for n in self._gpu_nodes if n.segment != name]
+        self.segments.remove(seg)
+        seg._observer = None
+        self._max_slave_cores = max(
+            (n.spec.cores for n in self.compute_nodes()), default=0
+        )
+        self._on_segment_change(seg, True)
+        self.spec = ClusterSpec(
+            segments=tuple(s for s in self.spec.segments if s.name != name),
+            master_server_spec=self.spec.master_server_spec,
+        )
+        return seg
+
+    def replace_master_server(self, spec: NodeSpec) -> Node:
+        """Rebuild the grid master with a new spec (destroy-recreate).
+
+        Masters run no compute jobs, so the swap is a node-object
+        replacement; callers gate it on an idle cluster because every
+        segment logically reconnects.
+        """
+        node = Node(self.master_server.name, spec, segment="grid")
+        self.master_server = node
+        self._by_name[node.name] = node
+        self.spec = ClusterSpec(
+            segments=self.spec.segments, master_server_spec=spec
+        )
+        return node
+
+    def replace_segment_master(self, segment_name: str, spec: NodeSpec) -> Node:
+        """Rebuild one segment's master with a new spec (destroy-recreate)."""
+        seg = self.segment(segment_name)
+        node = Node(seg.master.name, spec, segment=segment_name)
+        seg.master = node
+        self._by_name[node.name] = node
+        self.spec = ClusterSpec(
+            segments=tuple(
+                SegmentSpec(s.name, s.n_slaves, s.slave_spec, spec)
+                if s.name == segment_name else s
+                for s in self.spec.segments
+            ),
+            master_server_spec=self.spec.master_server_spec,
+        )
         return node
 
     def node_types(self) -> dict[str, int]:

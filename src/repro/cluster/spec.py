@@ -4,13 +4,67 @@ The paper's cluster: "four segments, each having sixteen slave nodes and
 a master node. A master server node connects all the clusters together",
 with "duo-core and quad-core machines and a GPU machine".
 :meth:`ClusterSpec.uhd_default` reproduces that shape.
+
+Validation is *collect-all*: the ``*_problems`` checkers return every
+violation as a list of messages, and the dataclass ``__post_init__``
+hooks raise one :class:`ValueError` carrying the whole list — a spec
+with three bad fields reports three problems, not just the first.  The
+same checkers back :mod:`repro.spec`'s document validator, so the
+dataclasses and the declarative spec can never disagree about what a
+legal node or segment is.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["NodeSpec", "SegmentSpec", "ClusterSpec"]
+__all__ = [
+    "NodeSpec",
+    "SegmentSpec",
+    "ClusterSpec",
+    "node_spec_problems",
+    "segment_spec_problems",
+    "cluster_spec_problems",
+]
+
+
+def node_spec_problems(
+    cores: int, memory_mb: int, cpu_ghz: float, node_type: str
+) -> list[str]:
+    """Every violation in one node description (empty list = valid)."""
+    problems = []
+    if cores < 1:
+        problems.append(f"node must have >= 1 core, got {cores}")
+    if memory_mb < 1:
+        problems.append(f"node must have >= 1 MB memory, got {memory_mb}")
+    if cpu_ghz <= 0:
+        problems.append(f"cpu_ghz must be positive, got {cpu_ghz}")
+    if not node_type:
+        problems.append("node_type must be a non-empty tag")
+    return problems
+
+
+def segment_spec_problems(n_slaves: int) -> list[str]:
+    """Every violation in one segment description (empty list = valid)."""
+    problems = []
+    if n_slaves < 1:
+        problems.append(f"segment needs >= 1 slave, got {n_slaves}")
+    return problems
+
+
+def cluster_spec_problems(segment_names: list[str]) -> list[str]:
+    """Every cluster-level violation (empty list = valid)."""
+    problems = []
+    if not segment_names:
+        problems.append("a cluster needs at least one segment")
+    if len(set(segment_names)) != len(segment_names):
+        problems.append(f"segment names must be unique, got {segment_names}")
+    return problems
+
+
+def _raise_all(problems: list[str]) -> None:
+    if problems:
+        raise ValueError("; ".join(problems))
 
 
 @dataclass(frozen=True)
@@ -30,14 +84,9 @@ class NodeSpec:
     node_type: str = "standard"
 
     def __post_init__(self) -> None:
-        if self.cores < 1:
-            raise ValueError(f"node must have >= 1 core, got {self.cores}")
-        if self.memory_mb < 1:
-            raise ValueError(f"node must have >= 1 MB memory, got {self.memory_mb}")
-        if self.cpu_ghz <= 0:
-            raise ValueError(f"cpu_ghz must be positive, got {self.cpu_ghz}")
-        if not self.node_type:
-            raise ValueError("node_type must be a non-empty tag")
+        _raise_all(
+            node_spec_problems(self.cores, self.memory_mb, self.cpu_ghz, self.node_type)
+        )
 
 
 @dataclass(frozen=True)
@@ -50,8 +99,7 @@ class SegmentSpec:
     master_spec: NodeSpec = field(default_factory=lambda: NodeSpec(cores=4, memory_mb=8192))
 
     def __post_init__(self) -> None:
-        if self.n_slaves < 1:
-            raise ValueError(f"segment needs >= 1 slave, got {self.n_slaves}")
+        _raise_all(segment_spec_problems(self.n_slaves))
 
     @property
     def total_slave_cores(self) -> int:
@@ -66,11 +114,7 @@ class ClusterSpec:
     master_server_spec: NodeSpec = field(default_factory=lambda: NodeSpec(cores=8, memory_mb=16384))
 
     def __post_init__(self) -> None:
-        if not self.segments:
-            raise ValueError("a cluster needs at least one segment")
-        names = [s.name for s in self.segments]
-        if len(set(names)) != len(names):
-            raise ValueError(f"segment names must be unique, got {names}")
+        _raise_all(cluster_spec_problems([s.name for s in self.segments]))
 
     @property
     def total_slave_cores(self) -> int:

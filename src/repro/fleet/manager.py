@@ -150,6 +150,16 @@ class ScalingManager:
         with self._lock:
             return dict(self._nodes)
 
+    def forget(self, name: str) -> None:
+        """Drop ``name`` from the managed set (node removed externally).
+
+        The tick loop reconciles this lazily; callers that remove a
+        managed node themselves (the spec reconfigurer's drain path)
+        call this so ``pool_sizes()`` is exact immediately.
+        """
+        with self._lock:
+            self._forget(name)
+
     def pending(self) -> list[PendingJoin]:
         """Scale-outs still warming up."""
         with self._lock:
@@ -200,6 +210,71 @@ class ScalingManager:
                     "idle_s": self.idle_s,
                 },
             }
+
+    # -- reconfiguration ---------------------------------------------------
+    def reconfigure(
+        self,
+        pools: Optional[Sequence[NodePool]] = None,
+        policy: Optional[ScalingPolicy] = None,
+        *,
+        scale_out_cooldown_s: Optional[float] = None,
+        scale_in_cooldown_s: Optional[float] = None,
+        idle_s: Optional[float] = None,
+    ) -> list[str]:
+        """Swap pools/policy/cooldowns on a live manager (spec apply path).
+
+        Returns the *orphans*: names of joined nodes whose pool no
+        longer exists.  They are forgotten here (node-seconds stop
+        accruing) but stay in the grid — the caller owns draining and
+        removing them, which is exactly what the
+        :class:`repro.spec.apply.Reconfigurer` does rolling.
+        """
+        orphans: list[str] = []
+        with self._lock:
+            if pools is not None:
+                names = [p.name for p in pools]
+                if not pools:
+                    raise ValueError("a fleet needs at least one pool")
+                if len(set(names)) != len(names):
+                    raise ValueError(f"pool names must be unique, got {names}")
+                self.pools = tuple(pools)
+                self._pool_by_name = {p.name: p for p in self.pools}
+                for p in self.pools:
+                    self.node_seconds.setdefault(p.name, 0.0)
+                self._pending = [
+                    p for p in self._pending if p.pool in self._pool_by_name
+                ]
+                orphans = [
+                    name for name, pool_name in self._nodes.items()
+                    if pool_name not in self._pool_by_name
+                ]
+                for name in orphans:
+                    self._forget(name)
+                self.dist.grid.advertised_types.update(
+                    p.spec.node_type for p in self.pools
+                )
+                # Honour new floors immediately, as the constructor does.
+                now = self.dist.now_fn()
+                sizes = {p.name: 0 for p in self.pools}
+                for pool_name in self._nodes.values():
+                    sizes[pool_name] += 1
+                for pool in self.pools:
+                    for _ in range(pool.min_nodes - sizes[pool.name]):
+                        self._join(pool, now, decided_at=now)
+            if policy is not None:
+                self.policy = policy
+            if scale_out_cooldown_s is not None:
+                self.gate.out_cooldown_s = scale_out_cooldown_s
+            if scale_in_cooldown_s is not None:
+                self.gate.in_cooldown_s = scale_in_cooldown_s
+            if idle_s is not None:
+                self.idle_s = idle_s
+            self._record(
+                self.dist.now_fn(), "reconfigure",
+                pools=[p.name for p in self.pools],
+                policy=self.policy.name, orphans=list(orphans),
+            )
+        return orphans
 
     # -- the tick ----------------------------------------------------------
     def tick(self, now: Optional[float] = None) -> Optional[dict]:

@@ -40,7 +40,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--queue-limit", type=int, default=128)
     parser.add_argument("--json", dest="json_path", default=None,
                         help="also write the full report as JSON")
+    parser.add_argument("--spec", dest="spec_path", default=None,
+                        help="cluster spec JSON; its admission stanza overrides "
+                             "the per-flag limits (see python -m repro.spec)")
     args = parser.parse_args(argv)
+
+    if args.spec_path:
+        from repro.spec import ensure_valid
+
+        with open(args.spec_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        ensure_valid(doc, source=args.spec_path)
+        stanza = doc.get("admission") or {}
+        args.user_rate = float(stanza.get("rate_per_s", args.user_rate))
+        args.burst = float(stanza.get("burst", args.burst))
+        args.max_inflight = int(stanza.get("max_inflight", args.max_inflight))
+        args.queue_limit = int(stanza.get("queue_limit", args.queue_limit))
+        args.max_users = int(stanza.get("max_users", args.max_users))
 
     report = run_load(
         args.students,

@@ -25,6 +25,9 @@ GET         /api/jobs/<job_id>/output?since=N  poll stdout/stderr
 POST        /api/jobs/<job_id>/input           {text} — interactive stdin
 POST        /api/jobs/<job_id>/cancel          cancel
 GET         /api/cluster/status                grid utilisation snapshot
+GET         /api/cluster/spec                  live config as a spec document
+POST        /api/cluster/validate              collect-all spec validation (always 200)
+POST        /api/cluster/reconfigure           {spec[, apply]} — plan / apply (instructor)
 GET         /api/fleet                         elastic-fleet snapshot (pools, pending)
 GET         /metrics                           Prometheus text format (unauthenticated)
 GET         /debug/trace/<job_id>              job span tree (HTML, or ?format=json)
@@ -51,6 +54,7 @@ from repro._errors import (
     PortalError,
     ReproError,
     SchedulingError,
+    SpecError,
     ToolchainNotFound,
 )
 from repro.cluster.distributor import JobDistributor
@@ -68,6 +72,7 @@ from repro.portal.jobsvc import JobService
 from repro.portal.respcache import ResponseCache, conditional_get
 from repro.portal.routing import Router
 from repro.portal.sessions import SessionStore
+from repro.spec import Reconfigurer, validate as validate_spec
 from repro.telemetry.export import (
     PROMETHEUS_CONTENT_TYPE,
     render_json,
@@ -132,6 +137,10 @@ class PortalApp:
         #: the explicit lint endpoint and the pre-submit pass are tallied.
         self.analysis_telemetry = AnalysisTelemetry(self.registry)
         jobsvc.analysis_telemetry = self.analysis_telemetry
+        #: declarative-spec management: validate / describe / reconfigure
+        self.reconfigurer = Reconfigurer(
+            jobsvc.distributor, admission=admission, jobsvc=jobsvc
+        )
         self.telemetry.bind_router(self.router)
         self.telemetry.bind_sessions(sessions)
         self.cache.bind(self.registry)
@@ -292,6 +301,9 @@ class PortalApp:
         # --- cluster ---
         r.add("GET", "/api/cluster/status", self._api_cluster_status)
         r.add("GET", "/api/cluster/accounting", self._api_cluster_accounting)
+        r.add("GET", "/api/cluster/spec", self._api_cluster_spec)
+        r.add("POST", "/api/cluster/validate", self._api_cluster_validate)
+        r.add("POST", "/api/cluster/reconfigure", self._api_cluster_reconfigure)
         r.add("GET", "/api/fleet", self._api_fleet)
         r.add("GET", "/api/quota", self._api_quota)
 
@@ -590,6 +602,60 @@ class PortalApp:
                 ],
             }
         )
+
+    def _api_cluster_spec(self, req: Request) -> Response:
+        """The live deployment serialised as a spec document."""
+        self._require_user(req)
+        return Response.json({"spec": self.reconfigurer.describe()})
+
+    def _api_cluster_validate(self, req: Request) -> Response:
+        """Collect-all static validation of a posted spec document.
+
+        Accepts the document directly or wrapped as ``{"spec": doc}``.
+        Always 200: the report itself says whether the spec is clean —
+        every violation carries its SPC-* rule id and document path.
+        """
+        self._require_user(req)
+        body = req.json()
+        doc = body.get("spec", body) if isinstance(body, dict) else body
+        return Response.json(validate_spec(doc, source="request").as_dict())
+
+    def _api_cluster_reconfigure(self, req: Request) -> Response:
+        """Plan (default) or apply a reconfiguration to the live cluster.
+
+        Body: ``{"spec": doc, "apply": bool}``.  Plan-only returns the
+        classified action list; ``apply: true`` additionally executes it
+        (400 on an invalid document, 409 when the plan needs
+        destroy-recreate actions while jobs are live).
+        """
+        user = self._require_user(req)
+        user.require("manage_cluster")
+        body = req.json()
+        doc = body.get("spec")
+        if not isinstance(doc, dict):
+            raise HttpError(400, 'body must carry {"spec": {...}}')
+        rc = self.reconfigurer
+        if not body.get("apply", False):
+            try:
+                plan = rc.plan(doc)
+            except SpecError as exc:
+                return Response.json(
+                    {"ok": False, "error": str(exc),
+                     "findings": [f.as_dict() for f in exc.findings]},
+                    status=400,
+                )
+            return Response.json({"ok": True, "applied": False, "plan": plan.as_dict()})
+        try:
+            result = rc.apply(doc)
+        except SpecError as exc:
+            status = 400 if exc.findings else 409
+            return Response.json(
+                {"ok": False, "error": str(exc),
+                 "findings": [f.as_dict() for f in exc.findings]},
+                status=status,
+            )
+        self.cache.invalidate("cluster")
+        return Response.json({"ok": True, "applied": True, **result})
 
     def _api_fleet(self, req: Request) -> Response:
         """Elastic-fleet snapshot: pools, sizes, pending scale, cost."""

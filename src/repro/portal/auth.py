@@ -44,6 +44,7 @@ class User:
         submit_job      everyone
         view_all_jobs   instructor, admin
         manage_users    admin
+        manage_cluster  instructor, admin
         grade           instructor, admin
         ============== =========================================
         """
@@ -51,6 +52,7 @@ class User:
             "submit_job": ROLES,
             "view_all_jobs": ("instructor", "admin"),
             "manage_users": ("admin",),
+            "manage_cluster": ("instructor", "admin"),
             "grade": ("instructor", "admin"),
         }
         allowed = table.get(action)

@@ -331,3 +331,15 @@ class PortalClient:
     def fleet_decisions(self) -> dict:
         """The fleet manager's scaling-decision log (instructor/admin only)."""
         return self._call("GET", "/debug/fleet")
+
+    def cluster_spec(self) -> dict:
+        """The live deployment serialised as a spec document."""
+        return self._call("GET", "/api/cluster/spec")["spec"]
+
+    def validate_spec(self, doc: dict) -> dict:
+        """Collect-all validation report for ``doc`` (always 200)."""
+        return self._call("POST", "/api/cluster/validate", {"spec": doc})
+
+    def reconfigure(self, doc: dict, apply: bool = False) -> dict:
+        """Plan (default) or apply a reconfiguration (instructor/admin)."""
+        return self._call("POST", "/api/cluster/reconfigure", {"spec": doc, "apply": apply})

@@ -1,0 +1,66 @@
+"""Declarative cluster spec: validate, materialise, diff, reconfigure.
+
+One JSON-able document describes the whole deployment — segments and
+node types, scheduler policy and queues, retry/health defaults, fleet
+pools and scaling, admission limits, toolchains.  The package gives it
+the aws-parallelcluster treatment:
+
+* :func:`validate` — three-pass collect-all static validation; every
+  violation is a :class:`Finding` with an ``SPC-*`` rule id, severity
+  and document path (see :data:`SPEC_RULES`).
+* :func:`build_cluster` / :func:`build_distributor` /
+  :func:`build_fleet` / :func:`build_admission` — materialise the
+  validated document into the live subsystems.
+* :func:`plan_reconfigure` — static diff planner classifying each
+  change as in-place / rolling-drain / destroy-recreate.
+* :class:`Reconfigurer` — applies a plan to a live cluster through the
+  health-aware drain path, refusing plans that would strand acked jobs.
+* ``python -m repro.spec`` — ``validate`` / ``diff`` / ``plan`` /
+  ``corpus`` / ``list-rules`` CLI.
+"""
+
+from repro.spec.apply import DrainTask, Reconfigurer
+from repro.spec.build import (
+    build_admission,
+    build_cluster,
+    build_cluster_spec,
+    build_distributor,
+    build_fleet,
+    build_pools,
+    build_retry,
+    build_scheduler,
+    build_toolchains,
+    describe,
+    ensure_valid,
+)
+from repro.spec.diff import PlanAction, ReconfigurePlan, plan_reconfigure, spec_diff
+from repro.spec.fixtures import SPEC_CORPUS, check_spec_corpus, valid_spec
+from repro.spec.model import SPEC_RULES, Finding, ValidationReport
+from repro.spec.validate import validate
+
+__all__ = [
+    "SPEC_RULES",
+    "Finding",
+    "ValidationReport",
+    "validate",
+    "ensure_valid",
+    "build_cluster",
+    "build_cluster_spec",
+    "build_distributor",
+    "build_fleet",
+    "build_pools",
+    "build_retry",
+    "build_scheduler",
+    "build_admission",
+    "build_toolchains",
+    "describe",
+    "PlanAction",
+    "ReconfigurePlan",
+    "plan_reconfigure",
+    "spec_diff",
+    "DrainTask",
+    "Reconfigurer",
+    "SPEC_CORPUS",
+    "check_spec_corpus",
+    "valid_spec",
+]

@@ -1,0 +1,149 @@
+"""CLI: ``python -m repro.spec``.
+
+Modes
+-----
+``python -m repro.spec validate FILE [FILE ...] [--json]``
+    Run the collect-all validator on each spec document; print every
+    finding with its SPC-* rule id; exit 1 on any ERROR finding.
+
+``python -m repro.spec diff CURRENT DESIRED``
+    Print the document paths that differ; exit 1 when the documents
+    are not equivalent.
+
+``python -m repro.spec plan CURRENT DESIRED [--json]``
+    Print the reconfigure plan — every action classified as in-place /
+    rolling-drain / destroy-recreate.
+
+``python -m repro.spec corpus``
+    Run the seeded invalid-fixture corpus; exit 1 on any mismatch
+    between emitted and expected rule-id sets.
+
+``python -m repro.spec list-rules``
+    Print the SPC-* rule catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro._errors import SpecError
+from repro.spec.diff import plan_reconfigure, spec_diff
+from repro.spec.fixtures import SPEC_CORPUS, check_spec_corpus
+from repro.spec.model import SPEC_RULES
+from repro.spec.validate import validate
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _run_validate(paths: list, as_json: bool) -> int:
+    bad = False
+    for path in paths:
+        try:
+            doc = _load(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: cannot read: {exc}", file=sys.stderr)
+            bad = True
+            continue
+        report = validate(doc, source=path)
+        if as_json:
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            for finding in report.findings:
+                print(f"{path}: {finding}")
+            print(report.summary())
+        if not report.ok:
+            bad = True
+    return 1 if bad else 0
+
+
+def _run_diff(current: str, desired: str) -> int:
+    try:
+        paths = spec_diff(_load(current), _load(desired))
+    except SpecError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    for path in paths:
+        print(path)
+    print(f"diff: {len(paths)} changed path(s)")
+    return 1 if paths else 0
+
+
+def _run_plan(current: str, desired: str, as_json: bool) -> int:
+    try:
+        plan = plan_reconfigure(_load(current), _load(desired))
+    except SpecError as exc:
+        print(f"plan: {exc}", file=sys.stderr)
+        for finding in getattr(exc, "findings", []):
+            print(f"  {finding}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(plan.as_dict(), indent=2))
+        return 0
+    for action in plan.actions:
+        print(action)
+    print(plan.summary())
+    return 0
+
+
+def _run_corpus() -> int:
+    problems = check_spec_corpus()
+    for name, (factory, expected) in SPEC_CORPUS.items():
+        report = validate(factory(), source=name)
+        got = ",".join(report.rule_ids()) or "clean"
+        status = "ok" if set(report.rule_ids()) == expected else "FAIL"
+        print(f"{status:4s} {name:<16s} -> {got}")
+    for problem in problems:
+        print(f"     {problem}")
+    print(f"spec corpus: {len(SPEC_CORPUS)} fixtures, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+def _run_list_rules() -> int:
+    for rule in SPEC_RULES.values():
+        print(f"{rule.rule_id}  {str(rule.severity):7s} [{rule.concept}] {rule.title}")
+    print(f"{len(SPEC_RULES)} rule(s)")
+    return 0
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.spec",
+        description="Declarative cluster-spec validator and diff planner.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_val = sub.add_parser("validate", help="collect-all validate spec documents")
+    p_val.add_argument("files", nargs="+", help="spec JSON files")
+    p_val.add_argument("--json", action="store_true", help="emit reports as JSON")
+
+    p_diff = sub.add_parser("diff", help="list document paths that differ")
+    p_diff.add_argument("current", help="current spec JSON")
+    p_diff.add_argument("desired", help="desired spec JSON")
+
+    p_plan = sub.add_parser("plan", help="classify every change by strategy")
+    p_plan.add_argument("current", help="current spec JSON")
+    p_plan.add_argument("desired", help="desired spec JSON")
+    p_plan.add_argument("--json", action="store_true", help="emit the plan as JSON")
+
+    sub.add_parser("corpus", help="run the seeded invalid-fixture corpus")
+    sub.add_parser("list-rules", help="print the SPC-* rule catalogue")
+
+    args = parser.parse_args(argv)
+    if args.command == "validate":
+        return _run_validate(args.files, args.json)
+    if args.command == "diff":
+        return _run_diff(args.current, args.desired)
+    if args.command == "plan":
+        return _run_plan(args.current, args.desired, args.json)
+    if args.command == "corpus":
+        return _run_corpus()
+    return _run_list_rules()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,259 @@
+"""Static diff planner: classify current → desired spec changes.
+
+``plan_reconfigure(current, desired)`` compares two validated spec
+documents and emits one :class:`PlanAction` per difference, classified
+by how disruptive applying it is:
+
+* ``in-place`` — pure knob turns (scheduler/retry/health/admission/
+  scaling parameters, toolchains) and pure growth (new segments, more
+  slaves, new pools, raised pool bounds).  No running job is touched.
+* ``rolling-drain`` — capacity leaves, but through the PR 3
+  health-aware drain path: affected nodes stop accepting work
+  (``NodeState.DRAINING``), finish their running attempts, and are only
+  then removed.  Zero acked-job loss by construction.
+* ``destroy-recreate`` — the change rebuilds a coordinator (grid or
+  segment master) or deletes a whole segment.  The
+  :class:`~repro.spec.apply.Reconfigurer` refuses to apply these while
+  any job is live — a plan that would strand acked work is rejected,
+  not partially executed.
+
+The planner is *static*: it reads only the two documents, never the
+live grid, so ``python -m repro.spec plan`` can run anywhere (CI,
+review) with no cluster at hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spec.build import (
+    build_cluster_spec,
+    build_health_policy,
+    build_retry,
+    ensure_valid,
+)
+
+__all__ = ["PlanAction", "ReconfigurePlan", "spec_diff", "plan_reconfigure"]
+
+IN_PLACE = "in-place"
+ROLLING = "rolling-drain"
+DESTROY = "destroy-recreate"
+
+_STRATEGY_RANK = {IN_PLACE: 1, ROLLING: 2, DESTROY: 3}
+
+
+@dataclass(frozen=True)
+class PlanAction:
+    """One planned change: what, where, and how disruptively."""
+
+    op: str
+    path: str
+    strategy: str
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "path": self.path,
+            "strategy": self.strategy,
+            "reason": self.reason,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.strategy:>16}  {self.op:<16} {self.path}: {self.reason}"
+
+
+@dataclass
+class ReconfigurePlan:
+    """Every action needed to take *current* to *desired*."""
+
+    actions: list[PlanAction] = field(default_factory=list)
+
+    @property
+    def disruption(self) -> str:
+        """The most disruptive strategy present (``"none"`` when empty)."""
+        worst = max(
+            (_STRATEGY_RANK[a.strategy] for a in self.actions), default=0
+        )
+        for name, rank in _STRATEGY_RANK.items():
+            if rank == worst:
+                return name
+        return "none"
+
+    def by_strategy(self, strategy: str) -> list[PlanAction]:
+        return [a for a in self.actions if a.strategy == strategy]
+
+    @property
+    def destructive(self) -> list[PlanAction]:
+        return self.by_strategy(DESTROY)
+
+    def summary(self) -> str:
+        if not self.actions:
+            return "no changes"
+        counts = {s: len(self.by_strategy(s)) for s in _STRATEGY_RANK}
+        return (
+            f"{len(self.actions)} action(s): "
+            f"{counts[IN_PLACE]} in-place, {counts[ROLLING]} rolling-drain, "
+            f"{counts[DESTROY]} destroy-recreate"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "actions": [a.as_dict() for a in self.actions],
+            "disruption": self.disruption,
+            "summary": self.summary(),
+        }
+
+
+def _stanza(doc: dict, name: str) -> dict | None:
+    return doc.get(name)
+
+
+def spec_diff(current: dict, desired: dict) -> list[str]:
+    """Dotted paths of every stanza-level difference (for ``spec diff``)."""
+    return [a.path for a in plan_reconfigure(current, desired).actions]
+
+
+def plan_reconfigure(
+    current: dict, desired: dict, check: bool = True
+) -> ReconfigurePlan:
+    """Classify every change needed to take ``current`` to ``desired``."""
+    if check:
+        ensure_valid(current, source="current")
+        ensure_valid(desired, source="desired")
+    actions: list[PlanAction] = []
+    cur = build_cluster_spec(current, check=False)
+    des = build_cluster_spec(desired, check=False)
+
+    # -- coordinators --------------------------------------------------------
+    if cur.master_server_spec != des.master_server_spec:
+        actions.append(PlanAction(
+            "replace_grid_master", "cluster.master_server", DESTROY,
+            "the grid master server is rebuilt; every segment reconnects",
+        ))
+
+    # -- segments ------------------------------------------------------------
+    cur_segs = {s.name: s for s in cur.segments}
+    des_segs = {s.name: s for s in des.segments}
+    for name, seg in des_segs.items():
+        if name not in cur_segs:
+            actions.append(PlanAction(
+                "add_segment", f"cluster.segments[{name}]", IN_PLACE,
+                f"provision new segment with {seg.n_slaves} slave(s)",
+            ))
+            continue
+        old = cur_segs[name]
+        if old.master_spec != seg.master_spec:
+            actions.append(PlanAction(
+                "replace_segment_master", f"cluster.segments[{name}].master_type",
+                DESTROY, "the segment master is rebuilt; its slaves reconnect",
+            ))
+        if old.slave_spec != seg.slave_spec:
+            actions.append(PlanAction(
+                "retype_segment", f"cluster.segments[{name}].slave_type", ROLLING,
+                "each slave drains, then is replaced one-for-one with the new type",
+            ))
+        if seg.n_slaves > old.n_slaves:
+            actions.append(PlanAction(
+                "grow_segment", f"cluster.segments[{name}].slaves", IN_PLACE,
+                f"join {seg.n_slaves - old.n_slaves} new slave(s)",
+            ))
+        elif seg.n_slaves < old.n_slaves:
+            actions.append(PlanAction(
+                "shrink_segment", f"cluster.segments[{name}].slaves", ROLLING,
+                f"drain and remove {old.n_slaves - seg.n_slaves} slave(s), newest first",
+            ))
+    for name in cur_segs:
+        if name not in des_segs:
+            actions.append(PlanAction(
+                "remove_segment", f"cluster.segments[{name}]", DESTROY,
+                "the whole segment (master included) leaves the inventory",
+            ))
+
+    # -- knob stanzas --------------------------------------------------------
+    cur_sched = _stanza(current, "scheduler") or {"policy": "fifo"}
+    des_sched = _stanza(desired, "scheduler") or {"policy": "fifo"}
+    if (
+        cur_sched.get("policy", "fifo") != des_sched.get("policy", "fifo")
+        or cur_sched.get("aging_rate", 0.0) != des_sched.get("aging_rate", 0.0)
+        or cur_sched.get("queues", []) != des_sched.get("queues", [])
+    ):
+        actions.append(PlanAction(
+            "set_scheduler", "scheduler", IN_PLACE,
+            "policy swap takes effect at the next scheduling round",
+        ))
+
+    if build_retry(current) != build_retry(desired):
+        actions.append(PlanAction(
+            "set_retry", "retry", IN_PLACE,
+            "applies to attempts finishing after the change",
+        ))
+
+    if build_health_policy(current) != build_health_policy(desired):
+        actions.append(PlanAction(
+            "set_health", "health", IN_PLACE,
+            "new thresholds judge subsequent failures",
+        ))
+
+    if _stanza(current, "admission") != _stanza(desired, "admission"):
+        actions.append(PlanAction(
+            "set_admission", "admission", IN_PLACE,
+            "front-door limits change for subsequent requests",
+        ))
+
+    if _stanza(current, "toolchains") != _stanza(desired, "toolchains"):
+        actions.append(PlanAction(
+            "set_toolchains", "toolchains", IN_PLACE,
+            "the registry is rebuilt for subsequent compile requests",
+        ))
+
+    # -- fleet ---------------------------------------------------------------
+    cur_fleet = _stanza(current, "fleet")
+    des_fleet = _stanza(desired, "fleet")
+    cur_pools = {p["name"]: p for p in (cur_fleet or {}).get("pools", [])}
+    des_pools = {p["name"]: p for p in (des_fleet or {}).get("pools", [])}
+    for name, pool in des_pools.items():
+        if name not in cur_pools:
+            actions.append(PlanAction(
+                "add_pool", f"fleet.pools[{name}]", IN_PLACE,
+                "new elastic capacity; nodes join on demand",
+            ))
+            continue
+        old = cur_pools[name]
+        relocated = (
+            old.get("segment") != pool.get("segment")
+            or old.get("node_type") != pool.get("node_type")
+        )
+        shrunk = int(pool.get("max_nodes", 8)) < int(old.get("max_nodes", 8))
+        if relocated:
+            actions.append(PlanAction(
+                "replace_pool", f"fleet.pools[{name}]", ROLLING,
+                "joined nodes of the old shape drain; replacements join on demand",
+            ))
+        elif shrunk:
+            actions.append(PlanAction(
+                "shrink_pool", f"fleet.pools[{name}].max_nodes", ROLLING,
+                f"joined nodes above the new bound "
+                f"({pool.get('max_nodes', 8)}) drain, newest first",
+            ))
+        elif old != pool:
+            actions.append(PlanAction(
+                "update_pool", f"fleet.pools[{name}]", IN_PLACE,
+                "bounds/flags change; current membership stays",
+            ))
+    for name in cur_pools:
+        if name not in des_pools:
+            actions.append(PlanAction(
+                "remove_pool", f"fleet.pools[{name}]", ROLLING,
+                "every node this pool joined drains and leaves",
+            ))
+
+    cur_scaling = (cur_fleet or {}).get("scaling")
+    des_scaling = (des_fleet or {}).get("scaling")
+    if cur_scaling != des_scaling:
+        actions.append(PlanAction(
+            "set_scaling", "fleet.scaling", IN_PLACE,
+            "policy and cooldown knobs swap between ticks",
+        ))
+
+    return ReconfigurePlan(actions=actions)

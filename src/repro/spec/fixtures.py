@@ -1,0 +1,217 @@
+"""Seeded invalid-spec corpus: each fixture asserts an exact rule-id set.
+
+Mirrors the PR 5 lab fixture corpus: every case is a deliberately
+broken document paired with the *exact* set of SPC-* rule ids the
+validator must emit — no more (false positives fail CI), no less
+(missed findings fail CI).  ``python -m repro.spec corpus`` and the
+CI ``spec`` job run :func:`check_spec_corpus`.
+
+The ``kitchen-sink`` case is the collect-all acceptance fixture: twelve
+independent violations across all three passes, all reported by one
+``validate()`` call.
+"""
+
+from __future__ import annotations
+
+from repro.spec.validate import validate
+
+__all__ = ["SPEC_CORPUS", "check_spec_corpus", "valid_spec"]
+
+
+def valid_spec() -> dict:
+    """A small spec that validates clean — the corpus baseline."""
+    return {
+        "cluster": {
+            "name": "baseline",
+            "node_types": {"standard": {"cores": 4, "memory_mb": 4096}},
+            "segments": [
+                {"name": "seg-0", "slaves": 4, "slave_type": "standard"},
+            ],
+        },
+        "scheduler": {"policy": "fifo"},
+    }
+
+
+def _structural_soup() -> dict:
+    return {
+        "clutser": {},                      # SPC-S001 (typo stanza)
+        "cluster": {
+            "name": 7,                      # SPC-S002
+            "node_types": {
+                "standard": {"cores": 0, "memory_mb": 4096},   # SPC-S004
+            },
+            "segments": [
+                {"name": "seg-0", "slaves": 4, "slave_type": "standard"},
+                {"name": "seg-0", "slaves": 4, "slave_type": "standard"},  # SPC-S005
+                {"slaves": 4, "slave_type": "standard"},       # SPC-S003 (no name)
+            ],
+        },
+    }
+
+
+def _dangling_refs() -> dict:
+    return {
+        "cluster": {
+            "node_types": {"standard": {"cores": 4}},
+            "segments": [
+                {"name": "seg-0", "slaves": 4, "slave_type": "turbo"},  # SPC-R001
+            ],
+        },
+        "scheduler": {
+            "policy": "round-robin",                                    # SPC-R005
+            "queues": [{"name": "gpuq", "node_type": "gpu"}],           # SPC-R004
+        },
+        "fleet": {
+            "pools": [
+                {"name": "burst", "segment": "seg-9",                   # SPC-R002
+                 "node_type": "turbo"},                                 # SPC-R003
+            ],
+        },
+        "toolchains": {"languages": ["c", "fortran"]},                  # SPC-R006
+    }
+
+
+def _pool_bounds() -> dict:
+    return {
+        "cluster": {
+            "node_types": {"standard": {"cores": 4}},
+            "segments": [{"name": "seg-0", "slaves": 4, "slave_type": "standard"}],
+        },
+        "fleet": {
+            "pools": [
+                {"name": "burst", "segment": "seg-0", "node_type": "standard",
+                 "min_nodes": 8, "max_nodes": 2},                       # SPC-C001
+            ],
+            "scaling": {
+                "policy": "target-queue-depth",
+                "out_depth_per_node": 2.0, "in_depth_per_node": 2.0,    # SPC-C006
+            },
+        },
+    }
+
+
+def _flappy_fleet() -> dict:
+    return {
+        "cluster": {
+            "node_types": {"standard": {"cores": 4}},
+            "segments": [{"name": "seg-0", "slaves": 4, "slave_type": "standard"}],
+        },
+        "fleet": {
+            "pools": [
+                {"name": "spot", "segment": "seg-0", "node_type": "standard",
+                 "spot": True,                                          # SPC-C003
+                 "warmup_s": 120.0},                                    # SPC-C002
+            ],
+            "scaling": {"policy": "queue-wait-p95", "scale_in_cooldown_s": 30.0},
+        },
+        "retry": {"retry_on": ["failed"]},  # no node_lost budget
+    }
+
+
+def _tight_admission() -> dict:
+    return {
+        "cluster": {
+            "node_types": {"standard": {"cores": 4}},
+            "segments": [{"name": "seg-0", "slaves": 4, "slave_type": "standard"}],
+        },
+        "admission": {"burst": 50.0, "queue_limit": 10},                # SPC-C004
+    }
+
+
+def _ghost_type() -> dict:
+    # "gpu" is *defined* but served by no segment and no pool — jobs
+    # routed to the gpu queue could never be placed.
+    return {
+        "cluster": {
+            "node_types": {
+                "standard": {"cores": 4},
+                "gpu": {"cores": 4, "has_gpu": True, "node_type": "gpu"},
+            },
+            "segments": [{"name": "seg-0", "slaves": 4, "slave_type": "standard"}],
+        },
+        "scheduler": {
+            "policy": "backfill",
+            "queues": [{"name": "gpuq", "node_type": "gpu"}],           # SPC-C005
+        },
+    }
+
+
+def _kitchen_sink() -> dict:
+    """Twelve independent violations, one document, all three passes."""
+    return {
+        "chaos": True,                                                  # SPC-S001
+        "cluster": {
+            "name": 42,                                                 # SPC-S002
+            "node_types": {"standard": {"cores": -1}},                  # SPC-S004
+            "segments": [
+                {"name": "seg-0", "slaves": 4, "slave_type": "standard"},
+                {"name": "seg-0", "slaves": 4, "slave_type": "ghost"},  # SPC-S005 + R001
+                {"slaves": 4, "slave_type": "standard"},                # SPC-S003
+            ],
+        },
+        "scheduler": {
+            "policy": "lottery",                                        # SPC-R005
+            "queues": [{"name": "bigq", "node_type": "huge"}],          # SPC-R004
+        },
+        "fleet": {
+            "pools": [
+                {"name": "burst", "segment": "seg-0", "node_type": "standard",
+                 "min_nodes": 9, "max_nodes": 1,                        # SPC-C001
+                 "spot": True},                                         # SPC-C003
+            ],
+            "scaling": {
+                "policy": "target-queue-depth",
+                "out_depth_per_node": 1.0, "in_depth_per_node": 1.0,    # SPC-C006
+            },
+        },
+        "admission": {"burst": 500.0, "queue_limit": 8},                # SPC-C004
+    }
+
+
+#: name -> (document factory, exact expected rule-id set)
+SPEC_CORPUS: dict = {
+    "structural-soup": (
+        _structural_soup,
+        {"SPC-S001", "SPC-S002", "SPC-S003", "SPC-S004", "SPC-S005"},
+    ),
+    "dangling-refs": (
+        _dangling_refs,
+        {"SPC-R001", "SPC-R002", "SPC-R003", "SPC-R004", "SPC-R005", "SPC-R006"},
+    ),
+    "pool-bounds": (_pool_bounds, {"SPC-C001", "SPC-C006"}),
+    "flappy-fleet": (_flappy_fleet, {"SPC-C002", "SPC-C003"}),
+    "tight-admission": (_tight_admission, {"SPC-C004"}),
+    "ghost-type": (_ghost_type, {"SPC-C005"}),
+    "kitchen-sink": (
+        _kitchen_sink,
+        {
+            "SPC-S001", "SPC-S002", "SPC-S003", "SPC-S004", "SPC-S005",
+            "SPC-R001", "SPC-R004", "SPC-R005",
+            "SPC-C001", "SPC-C003", "SPC-C004", "SPC-C006",
+        },
+    ),
+}
+
+
+def check_spec_corpus() -> list[str]:
+    """Run every fixture; returns human-readable mismatch descriptions.
+
+    Empty list == the validator emits exactly the expected rule-id set
+    for every fixture (and the baseline stays clean).
+    """
+    problems: list[str] = []
+    baseline = validate(valid_spec(), source="baseline")
+    if baseline.findings:
+        problems.append(
+            f"baseline: expected clean, got {baseline.rule_ids()}"
+        )
+    for name, (factory, expected) in SPEC_CORPUS.items():
+        report = validate(factory(), source=name)
+        got = set(report.rule_ids())
+        if got != expected:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            problems.append(
+                f"{name}: missing {missing or '-'}, unexpected {extra or '-'}"
+            )
+    return problems

@@ -1,0 +1,229 @@
+"""Spec diagnostic model: the SPC-* rule catalogue and validation reports.
+
+The declarative cluster spec gets the same treatment PR 5 gave student
+lab code: every violation is a :class:`Finding` tagged with a rule from
+a stable catalogue, findings are value objects with a total order
+(document path, rule id, message), and a report collects *all* of them —
+the validator never stops at the first error.
+
+Rule ids are grouped by validation pass:
+
+* ``SPC-S*`` — pass 1, structural/type checks on the raw document;
+* ``SPC-R*`` — pass 2, reference resolution between stanzas;
+* ``SPC-C*`` — pass 3, cross-stanza semantic rules.
+
+:class:`~repro.analysis.model.Rule` and
+:class:`~repro.analysis.model.Severity` are reused verbatim from the
+static analyzer so the two catalogues render identically in
+``python -m repro.analysis --list-rules`` and share the CI
+completeness gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.model import Rule, Severity, _catalogue
+
+__all__ = [
+    "SPEC_RULES",
+    "Finding",
+    "ValidationReport",
+]
+
+
+#: The spec diagnostic catalogue.  IDs are stable: the fixture corpus,
+#: the CI gate and the portal key on them.
+SPEC_RULES: dict[str, Rule] = _catalogue(
+    # -- pass 1: structure ---------------------------------------------------
+    Rule(
+        "SPC-S001",
+        Severity.ERROR,
+        "document structure (pass 1)",
+        "unknown stanza or field",
+    ),
+    Rule(
+        "SPC-S002",
+        Severity.ERROR,
+        "document structure (pass 1)",
+        "field has the wrong type",
+    ),
+    Rule(
+        "SPC-S003",
+        Severity.ERROR,
+        "document structure (pass 1)",
+        "required field missing",
+    ),
+    Rule(
+        "SPC-S004",
+        Severity.ERROR,
+        "document structure (pass 1)",
+        "field value out of range",
+    ),
+    Rule(
+        "SPC-S005",
+        Severity.ERROR,
+        "document structure (pass 1)",
+        "duplicate name in a collection",
+    ),
+    # -- pass 2: reference resolution ---------------------------------------
+    Rule(
+        "SPC-R001",
+        Severity.ERROR,
+        "reference resolution (pass 2)",
+        "segment references an undefined node type",
+    ),
+    Rule(
+        "SPC-R002",
+        Severity.ERROR,
+        "reference resolution (pass 2)",
+        "fleet pool references an undefined segment",
+    ),
+    Rule(
+        "SPC-R003",
+        Severity.ERROR,
+        "reference resolution (pass 2)",
+        "fleet pool references an undefined node type",
+    ),
+    Rule(
+        "SPC-R004",
+        Severity.ERROR,
+        "reference resolution (pass 2)",
+        "scheduler queue references an undefined node type",
+    ),
+    Rule(
+        "SPC-R005",
+        Severity.ERROR,
+        "reference resolution (pass 2)",
+        "unknown scheduler or scaling policy name",
+    ),
+    Rule(
+        "SPC-R006",
+        Severity.ERROR,
+        "reference resolution (pass 2)",
+        "toolchain stanza names an unknown language",
+    ),
+    # -- pass 3: cross-stanza semantics -------------------------------------
+    Rule(
+        "SPC-C001",
+        Severity.ERROR,
+        "fleet semantics (pass 3)",
+        "pool min_nodes exceeds max_nodes",
+    ),
+    Rule(
+        "SPC-C002",
+        Severity.WARNING,
+        "fleet semantics (pass 3)",
+        "scale-in cooldown shorter than a pool's warm-up lag (flap risk)",
+    ),
+    Rule(
+        "SPC-C003",
+        Severity.WARNING,
+        "fleet semantics (pass 3)",
+        "spot pool without a node_lost retry budget",
+    ),
+    Rule(
+        "SPC-C004",
+        Severity.WARNING,
+        "admission semantics (pass 3)",
+        "admission queue bound below the burst size",
+    ),
+    Rule(
+        "SPC-C005",
+        Severity.ERROR,
+        "capacity semantics (pass 3)",
+        "queue requests a node type no segment or pool can provide",
+    ),
+    Rule(
+        "SPC-C006",
+        Severity.ERROR,
+        "fleet semantics (pass 3)",
+        "scaling policy has no deadband between its thresholds",
+    ),
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One spec violation, anchored to a document path.
+
+    ``path`` uses dotted/indexed notation into the JSON document, e.g.
+    ``fleet.pools[1].min_nodes`` — precise enough for an editor to jump
+    to the offending stanza.
+    """
+
+    path: str
+    rule_id: str
+    message: str
+
+    @property
+    def rule(self) -> Rule:
+        return SPEC_RULES[self.rule_id]
+
+    @property
+    def severity(self) -> Severity:
+        return SPEC_RULES[self.rule_id].severity
+
+    def as_dict(self) -> dict:
+        """JSON-able shape served by ``POST /api/cluster/validate``."""
+        return {
+            "path": self.path,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}: {str(self.severity).upper()} "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+@dataclass
+class ValidationReport:
+    """Every finding from one :func:`repro.spec.validate` call."""
+
+    source: str
+    findings: list[Finding] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.findings = sorted(self.findings)
+
+    @property
+    def ok(self) -> bool:
+        """No ERROR-severity finding (warnings do not block a build)."""
+        return not self.errors
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == Severity.WARNING]
+
+    def rule_ids(self) -> list[str]:
+        """Sorted unique rule ids present — the corpus assertion shape."""
+        return sorted({f.rule_id for f in self.findings})
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings = sorted([*self.findings, *findings])
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        if not self.findings:
+            return f"{self.source}: clean"
+        return (
+            f"{self.source}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "ok": self.ok,
+            "findings": [f.as_dict() for f in self.findings],
+            "rule_ids": self.rule_ids(),
+        }

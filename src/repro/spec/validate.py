@@ -1,0 +1,561 @@
+"""The collect-all, three-pass static validator for cluster specs.
+
+``validate(doc)`` walks a plain dict (usually parsed from JSON) and
+returns a :class:`~repro.spec.model.ValidationReport` carrying *every*
+violation at once:
+
+* **pass 1 — structure**: stanza and field presence, types, ranges,
+  duplicate names.  Range checks on node descriptions delegate to the
+  same ``*_problems`` checkers the ``cluster.spec`` dataclasses raise
+  from, so the document validator and direct construction can never
+  disagree.
+* **pass 2 — references**: every cross-stanza name (segment →
+  node type, pool → segment, queue → node type, policy names, toolchain
+  languages) must resolve.
+* **pass 3 — semantics**: rules that need more than one stanza —
+  pool bound inversions, warm-up vs scale-in cooldown flap windows,
+  spot pools without a ``node_lost`` retry budget, admission queue
+  bounds below the burst size, capacity-infeasible node type requests.
+
+Later passes run on whatever earlier passes could normalise: one broken
+pool stanza does not hide a dangling reference in a healthy one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.spec import (
+    cluster_spec_problems,
+    node_spec_problems,
+    segment_spec_problems,
+)
+from repro.spec.model import Finding, ValidationReport
+
+__all__ = ["validate", "SCHEDULER_POLICIES", "SCALING_POLICIES"]
+
+SCHEDULER_POLICIES = ("fifo", "priority", "backfill")
+SCALING_POLICIES = ("target-queue-depth", "queue-wait-p95")
+
+_NODE_FIELDS = {
+    "cores": ("int", 2),
+    "memory_mb": ("int", 2048),
+    "has_gpu": ("bool", False),
+    "cpu_ghz": ("num", 2.4),
+    "node_type": ("str", "standard"),
+}
+
+_RETRY_CLASSES = ("failed", "timeout", "node_lost")
+
+_known_languages_cache: Optional[set] = None
+
+
+def _known_languages() -> set:
+    """Languages the in-tree toolchain registry can serve (cached)."""
+    global _known_languages_cache
+    if _known_languages_cache is None:
+        from repro.toolchain.registry import ToolchainRegistry
+
+        # "python" ships in-tree (repro.toolchain.python_lang) but is
+        # registered at runtime via the extension hook, so count it too.
+        _known_languages_cache = set(
+            ToolchainRegistry(prefer_real=False).languages()
+        ) | {"python"}
+    return _known_languages_cache
+
+
+def _is_bool(v: Any) -> bool:
+    return isinstance(v, bool)
+
+
+def _is_int(v: Any) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_num(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _is_str(v: Any) -> bool:
+    return isinstance(v, str)
+
+
+_TYPE_CHECKS = {
+    "bool": (_is_bool, "a boolean"),
+    "int": (_is_int, "an integer"),
+    "num": (_is_num, "a number"),
+    "str": (_is_str, "a string"),
+    "list": (lambda v: isinstance(v, list), "a list"),
+    "dict": (lambda v: isinstance(v, dict), "an object"),
+}
+
+
+class _Pass:
+    """Finding accumulator shared by the three passes."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    def add(self, rule_id: str, path: str, message: str) -> None:
+        self.findings.append(Finding(path=path, rule_id=rule_id, message=message))
+
+    # -- structural helpers --------------------------------------------------
+    def known_keys(self, stanza: dict, path: str, known: tuple) -> None:
+        for key in stanza:
+            if key not in known:
+                self.add(
+                    "SPC-S001", f"{path}.{key}" if path else str(key),
+                    f"unknown field {key!r} (known: {', '.join(known)})",
+                )
+
+    def field(
+        self,
+        stanza: dict,
+        path: str,
+        name: str,
+        kind: str,
+        *,
+        required: bool = False,
+        default: Any = None,
+    ) -> Any:
+        """Typed field access: records S003/S002 and falls back to ``default``."""
+        where = f"{path}.{name}" if path else name
+        if name not in stanza:
+            if required:
+                self.add("SPC-S003", where, f"required field {name!r} missing")
+            return default
+        value = stanza[name]
+        check, label = _TYPE_CHECKS[kind]
+        if not check(value):
+            self.add(
+                "SPC-S002", where,
+                f"{name!r} must be {label}, got {type(value).__name__}",
+            )
+            return default
+        return value
+
+
+def _norm_node_fields(chk: _Pass, raw: Any, path: str) -> Optional[dict]:
+    """Normalise one node-description object; ``None`` if unusable."""
+    if not isinstance(raw, dict):
+        chk.add("SPC-S002", path, f"node description must be an object, got {type(raw).__name__}")
+        return None
+    chk.known_keys(raw, path, tuple(_NODE_FIELDS))
+    fields = {}
+    for name, (kind, default) in _NODE_FIELDS.items():
+        fields[name] = chk.field(raw, path, name, kind, default=default)
+    for problem in node_spec_problems(
+        fields["cores"], fields["memory_mb"], fields["cpu_ghz"], fields["node_type"]
+    ):
+        chk.add("SPC-S004", path, problem)
+    return fields
+
+
+def _pass1_cluster(chk: _Pass, doc: dict) -> dict:
+    norm: dict = {"name": "cluster", "node_types": {}, "segments": [], "master_server": None}
+    cluster = chk.field(doc, "", "cluster", "dict", required=True)
+    if cluster is None:
+        return norm
+    chk.known_keys(cluster, "cluster", ("name", "master_server", "node_types", "segments"))
+    norm["name"] = chk.field(cluster, "cluster", "name", "str", default="cluster")
+
+    if "master_server" in cluster:
+        norm["master_server"] = _norm_node_fields(
+            chk, cluster["master_server"], "cluster.master_server"
+        )
+
+    types = chk.field(cluster, "cluster", "node_types", "dict", required=True, default={})
+    for type_name, raw in (types or {}).items():
+        fields = _norm_node_fields(chk, raw, f"cluster.node_types.{type_name}")
+        if fields is not None:
+            norm["node_types"][type_name] = fields
+
+    segments = chk.field(cluster, "cluster", "segments", "list", required=True, default=[])
+    seg_names: list[str] = []
+    for i, raw in enumerate(segments or []):
+        path = f"cluster.segments[{i}]"
+        if not isinstance(raw, dict):
+            chk.add("SPC-S002", path, f"segment must be an object, got {type(raw).__name__}")
+            continue
+        chk.known_keys(raw, path, ("name", "slaves", "slave_type", "master_type"))
+        seg = {
+            "name": chk.field(raw, path, "name", "str", required=True),
+            "slaves": chk.field(raw, path, "slaves", "int", default=16),
+            "slave_type": chk.field(raw, path, "slave_type", "str", required=True),
+            "master_type": chk.field(raw, path, "master_type", "str"),
+        }
+        for problem in segment_spec_problems(seg["slaves"]):
+            chk.add("SPC-S004", f"{path}.slaves", problem)
+        if seg["name"]:
+            seg_names.append(seg["name"])
+        norm["segments"].append(seg)
+    for problem in cluster_spec_problems(seg_names) if "segments" in cluster else []:
+        rule = "SPC-S005" if "unique" in problem else "SPC-S004"
+        chk.add(rule, "cluster.segments", problem)
+    return norm
+
+
+def _pass1_scheduler(chk: _Pass, doc: dict) -> dict:
+    norm = {"policy": "fifo", "aging_rate": 0.0, "queues": []}
+    sched = chk.field(doc, "", "scheduler", "dict")
+    if sched is None:
+        return norm
+    chk.known_keys(sched, "scheduler", ("policy", "aging_rate", "queues"))
+    norm["policy"] = chk.field(sched, "scheduler", "policy", "str", default="fifo")
+    norm["aging_rate"] = chk.field(sched, "scheduler", "aging_rate", "num", default=0.0)
+    if norm["aging_rate"] < 0:
+        chk.add("SPC-S004", "scheduler.aging_rate",
+                f"aging_rate must be >= 0, got {norm['aging_rate']}")
+    queues = chk.field(sched, "scheduler", "queues", "list", default=[])
+    names: list[str] = []
+    for i, raw in enumerate(queues or []):
+        path = f"scheduler.queues[{i}]"
+        if not isinstance(raw, dict):
+            chk.add("SPC-S002", path, f"queue must be an object, got {type(raw).__name__}")
+            continue
+        chk.known_keys(raw, path, ("name", "node_type", "priority"))
+        queue = {
+            "name": chk.field(raw, path, "name", "str", required=True),
+            "node_type": chk.field(raw, path, "node_type", "str"),
+            "priority": chk.field(raw, path, "priority", "int", default=0),
+        }
+        if queue["name"]:
+            if queue["name"] in names:
+                chk.add("SPC-S005", f"{path}.name", f"duplicate queue name {queue['name']!r}")
+            names.append(queue["name"])
+        norm["queues"].append(queue)
+    return norm
+
+
+def _pass1_retry(chk: _Pass, doc: dict) -> Optional[dict]:
+    retry = chk.field(doc, "", "retry", "dict")
+    if retry is None:
+        return None
+    chk.known_keys(retry, "retry", (
+        "max_attempts", "backoff_base_s", "backoff_factor", "backoff_max_s",
+        "jitter", "retry_on",
+    ))
+    norm = {
+        "max_attempts": chk.field(retry, "retry", "max_attempts", "int", default=3),
+        "backoff_base_s": chk.field(retry, "retry", "backoff_base_s", "num", default=0.25),
+        "backoff_factor": chk.field(retry, "retry", "backoff_factor", "num", default=2.0),
+        "backoff_max_s": chk.field(retry, "retry", "backoff_max_s", "num", default=30.0),
+        "jitter": chk.field(retry, "retry", "jitter", "num", default=0.1),
+        "retry_on": chk.field(retry, "retry", "retry_on", "list",
+                              default=list(_RETRY_CLASSES)),
+    }
+    if norm["max_attempts"] < 1:
+        chk.add("SPC-S004", "retry.max_attempts",
+                f"max_attempts must be >= 1, got {norm['max_attempts']}")
+    if norm["backoff_base_s"] < 0 or norm["backoff_max_s"] < 0:
+        chk.add("SPC-S004", "retry.backoff_base_s", "backoff durations must be >= 0")
+    if norm["backoff_factor"] < 1.0:
+        chk.add("SPC-S004", "retry.backoff_factor",
+                f"backoff_factor must be >= 1, got {norm['backoff_factor']}")
+    if not 0 <= norm["jitter"] < 1:
+        chk.add("SPC-S004", "retry.jitter",
+                f"jitter must be in [0, 1), got {norm['jitter']}")
+    classes = []
+    for i, cls in enumerate(norm["retry_on"] or []):
+        if not _is_str(cls) or cls not in _RETRY_CLASSES:
+            chk.add("SPC-S004", f"retry.retry_on[{i}]",
+                    f"unknown retry class {cls!r}; pick from {sorted(_RETRY_CLASSES)}")
+        else:
+            classes.append(cls)
+    norm["retry_on"] = classes
+    return norm
+
+
+def _pass1_health(chk: _Pass, doc: dict) -> Optional[dict]:
+    health = chk.field(doc, "", "health", "dict")
+    if health is None:
+        return None
+    chk.known_keys(health, "health", (
+        "enabled", "suspect_after", "window_s", "probation_s", "degraded_below",
+    ))
+    norm = {
+        "enabled": chk.field(health, "health", "enabled", "bool", default=True),
+        "suspect_after": chk.field(health, "health", "suspect_after", "int", default=3),
+        "window_s": chk.field(health, "health", "window_s", "num", default=60.0),
+        "probation_s": chk.field(health, "health", "probation_s", "num", default=120.0),
+        "degraded_below": chk.field(health, "health", "degraded_below", "num", default=0.5),
+    }
+    if norm["suspect_after"] < 1:
+        chk.add("SPC-S004", "health.suspect_after",
+                f"suspect_after must be >= 1, got {norm['suspect_after']}")
+    if norm["window_s"] <= 0 or norm["probation_s"] < 0:
+        chk.add("SPC-S004", "health.window_s",
+                "window_s must be > 0 and probation_s >= 0")
+    if not 0 <= norm["degraded_below"] <= 1:
+        chk.add("SPC-S004", "health.degraded_below",
+                f"degraded_below must be in [0, 1], got {norm['degraded_below']}")
+    return norm
+
+
+def _pass1_fleet(chk: _Pass, doc: dict) -> Optional[dict]:
+    fleet = chk.field(doc, "", "fleet", "dict")
+    if fleet is None:
+        return None
+    chk.known_keys(fleet, "fleet", ("pools", "scaling"))
+    norm: dict = {"pools": [], "scaling": None}
+    pools = chk.field(fleet, "fleet", "pools", "list", required=True, default=[])
+    if isinstance(fleet.get("pools"), list) and not fleet["pools"]:
+        chk.add("SPC-S004", "fleet.pools", "a fleet needs at least one pool")
+    names: list[str] = []
+    for i, raw in enumerate(pools or []):
+        path = f"fleet.pools[{i}]"
+        if not isinstance(raw, dict):
+            chk.add("SPC-S002", path, f"pool must be an object, got {type(raw).__name__}")
+            continue
+        chk.known_keys(raw, path, (
+            "name", "segment", "node_type", "min_nodes", "max_nodes", "spot", "warmup_s",
+        ))
+        pool = {
+            "name": chk.field(raw, path, "name", "str", required=True),
+            "segment": chk.field(raw, path, "segment", "str", required=True),
+            "node_type": chk.field(raw, path, "node_type", "str", required=True),
+            "min_nodes": chk.field(raw, path, "min_nodes", "int", default=0),
+            "max_nodes": chk.field(raw, path, "max_nodes", "int", default=8),
+            "spot": chk.field(raw, path, "spot", "bool", default=False),
+            "warmup_s": chk.field(raw, path, "warmup_s", "num", default=0.0),
+        }
+        if pool["min_nodes"] < 0:
+            chk.add("SPC-S004", f"{path}.min_nodes",
+                    f"min_nodes must be >= 0, got {pool['min_nodes']}")
+        if pool["max_nodes"] < 0:
+            chk.add("SPC-S004", f"{path}.max_nodes",
+                    f"max_nodes must be >= 0, got {pool['max_nodes']}")
+        if pool["warmup_s"] < 0:
+            chk.add("SPC-S004", f"{path}.warmup_s",
+                    f"warmup_s must be >= 0, got {pool['warmup_s']}")
+        if pool["name"]:
+            if pool["name"] in names:
+                chk.add("SPC-S005", f"{path}.name", f"duplicate pool name {pool['name']!r}")
+            names.append(pool["name"])
+        norm["pools"].append(pool)
+
+    if "scaling" in fleet:
+        scaling = chk.field(fleet, "fleet", "scaling", "dict", default={})
+        if scaling is not None:
+            path = "fleet.scaling"
+            chk.known_keys(scaling, path, (
+                "policy", "step",
+                "out_depth_per_node", "in_depth_per_node",
+                "out_wait_s", "in_wait_s",
+                "scale_out_cooldown_s", "scale_in_cooldown_s", "idle_s",
+            ))
+            norm["scaling"] = {
+                "policy": chk.field(scaling, path, "policy", "str",
+                                    default="target-queue-depth"),
+                "step": chk.field(scaling, path, "step", "int", default=2),
+                "out_depth_per_node": chk.field(
+                    scaling, path, "out_depth_per_node", "num", default=4.0),
+                "in_depth_per_node": chk.field(
+                    scaling, path, "in_depth_per_node", "num", default=0.5),
+                "out_wait_s": chk.field(scaling, path, "out_wait_s", "num", default=30.0),
+                "in_wait_s": chk.field(scaling, path, "in_wait_s", "num", default=2.0),
+                "scale_out_cooldown_s": chk.field(
+                    scaling, path, "scale_out_cooldown_s", "num", default=15.0),
+                "scale_in_cooldown_s": chk.field(
+                    scaling, path, "scale_in_cooldown_s", "num", default=60.0),
+                "idle_s": chk.field(scaling, path, "idle_s", "num", default=30.0),
+            }
+            if norm["scaling"]["step"] < 1:
+                chk.add("SPC-S004", f"{path}.step",
+                        f"step must be >= 1, got {norm['scaling']['step']}")
+            for knob in ("scale_out_cooldown_s", "scale_in_cooldown_s", "idle_s"):
+                if norm["scaling"][knob] < 0:
+                    chk.add("SPC-S004", f"{path}.{knob}",
+                            f"{knob} must be >= 0, got {norm['scaling'][knob]}")
+    return norm
+
+
+def _pass1_admission(chk: _Pass, doc: dict) -> Optional[dict]:
+    adm = chk.field(doc, "", "admission", "dict")
+    if adm is None:
+        return None
+    chk.known_keys(adm, "admission", (
+        "rate_per_s", "burst", "max_inflight", "queue_limit", "max_users",
+        "drain_rate_per_s",
+    ))
+    norm = {
+        "rate_per_s": chk.field(adm, "admission", "rate_per_s", "num", default=50.0),
+        "burst": chk.field(adm, "admission", "burst", "num", default=100.0),
+        "max_inflight": chk.field(adm, "admission", "max_inflight", "int", default=64),
+        "queue_limit": chk.field(adm, "admission", "queue_limit", "int", default=128),
+        "max_users": chk.field(adm, "admission", "max_users", "int", default=100_000),
+        "drain_rate_per_s": chk.field(
+            adm, "admission", "drain_rate_per_s", "num", default=500.0),
+    }
+    if norm["rate_per_s"] < 0 or norm["burst"] < 0:
+        chk.add("SPC-S004", "admission.rate_per_s",
+                "rate_per_s and burst must be >= 0")
+    if norm["max_inflight"] < 1 or norm["queue_limit"] < 0 or norm["max_users"] < 1:
+        chk.add("SPC-S004", "admission.max_inflight",
+                "admission bounds must be positive")
+    return norm
+
+
+def _pass1_toolchains(chk: _Pass, doc: dict) -> Optional[dict]:
+    tc = chk.field(doc, "", "toolchains", "dict")
+    if tc is None:
+        return None
+    chk.known_keys(tc, "toolchains", ("prefer_real", "languages"))
+    norm = {
+        "prefer_real": chk.field(tc, "toolchains", "prefer_real", "bool", default=True),
+        "languages": [],
+    }
+    languages = chk.field(tc, "toolchains", "languages", "list", default=[])
+    for i, lang in enumerate(languages or []):
+        if not _is_str(lang):
+            chk.add("SPC-S002", f"toolchains.languages[{i}]",
+                    f"language must be a string, got {type(lang).__name__}")
+        else:
+            norm["languages"].append((i, lang))
+    return norm
+
+
+_STANZAS = (
+    "cluster", "scheduler", "retry", "health", "fleet", "admission", "toolchains",
+)
+
+
+def _pass2_references(chk: _Pass, norm: dict) -> None:
+    types = set(norm["cluster"]["node_types"])
+    seg_names = {s["name"] for s in norm["cluster"]["segments"] if s["name"]}
+
+    for i, seg in enumerate(norm["cluster"]["segments"]):
+        for key, rule in (("slave_type", "SPC-R001"), ("master_type", "SPC-R001")):
+            ref = seg.get(key)
+            if ref and ref not in types:
+                chk.add(rule, f"cluster.segments[{i}].{key}",
+                        f"undefined node type {ref!r} (defined: {sorted(types)})")
+
+    for i, queue in enumerate(norm["scheduler"]["queues"]):
+        ref = queue.get("node_type")
+        if ref and ref not in types:
+            chk.add("SPC-R004", f"scheduler.queues[{i}].node_type",
+                    f"undefined node type {ref!r} (defined: {sorted(types)})")
+
+    if norm["scheduler"]["policy"] not in SCHEDULER_POLICIES:
+        chk.add("SPC-R005", "scheduler.policy",
+                f"unknown scheduler policy {norm['scheduler']['policy']!r} "
+                f"(one of {', '.join(SCHEDULER_POLICIES)})")
+
+    fleet = norm.get("fleet")
+    if fleet is not None:
+        for i, pool in enumerate(fleet["pools"]):
+            if pool["segment"] and pool["segment"] not in seg_names:
+                chk.add("SPC-R002", f"fleet.pools[{i}].segment",
+                        f"undefined segment {pool['segment']!r} "
+                        f"(defined: {sorted(seg_names)})")
+            if pool["node_type"] and pool["node_type"] not in types:
+                chk.add("SPC-R003", f"fleet.pools[{i}].node_type",
+                        f"undefined node type {pool['node_type']!r} "
+                        f"(defined: {sorted(types)})")
+        scaling = fleet["scaling"]
+        if scaling is not None and scaling["policy"] not in SCALING_POLICIES:
+            chk.add("SPC-R005", "fleet.scaling.policy",
+                    f"unknown scaling policy {scaling['policy']!r} "
+                    f"(one of {', '.join(SCALING_POLICIES)})")
+
+    tc = norm.get("toolchains")
+    if tc is not None:
+        known = _known_languages()
+        for i, lang in tc["languages"]:
+            if lang not in known:
+                chk.add("SPC-R006", f"toolchains.languages[{i}]",
+                        f"unknown language {lang!r} (known: {sorted(known)})")
+
+
+def _pass3_semantics(chk: _Pass, norm: dict) -> None:
+    fleet = norm.get("fleet")
+    retry = norm.get("retry")
+    scaling = fleet["scaling"] if fleet is not None else None
+
+    if fleet is not None:
+        for i, pool in enumerate(fleet["pools"]):
+            path = f"fleet.pools[{i}]"
+            # Only flag the inversion when both bounds are individually
+            # legal — out-of-range values already carry SPC-S004.
+            if 0 <= pool["max_nodes"] < pool["min_nodes"]:
+                chk.add("SPC-C001", f"{path}.min_nodes",
+                        f"min_nodes ({pool['min_nodes']}) exceeds "
+                        f"max_nodes ({pool['max_nodes']})")
+            if scaling is not None and pool["warmup_s"] > scaling["scale_in_cooldown_s"]:
+                chk.add("SPC-C002", f"{path}.warmup_s",
+                        f"warm-up lag ({pool['warmup_s']}s) exceeds the scale-in "
+                        f"cooldown ({scaling['scale_in_cooldown_s']}s): capacity can "
+                        "be given back before it ever serves a job (flapping)")
+            if pool["spot"]:
+                budget = retry is not None and "node_lost" in retry["retry_on"]
+                if not budget:
+                    chk.add("SPC-C003", f"{path}.spot",
+                            "spot pool can be reclaimed mid-attempt but the retry "
+                            "stanza grants no 'node_lost' budget — reclaimed jobs "
+                            "would fail permanently")
+
+    if scaling is not None:
+        if scaling["policy"] == "target-queue-depth":
+            if scaling["out_depth_per_node"] <= scaling["in_depth_per_node"]:
+                chk.add("SPC-C006", "fleet.scaling.out_depth_per_node",
+                        f"deadband required: out_depth_per_node "
+                        f"({scaling['out_depth_per_node']}) must exceed "
+                        f"in_depth_per_node ({scaling['in_depth_per_node']})")
+        elif scaling["policy"] == "queue-wait-p95":
+            if scaling["out_wait_s"] <= scaling["in_wait_s"]:
+                chk.add("SPC-C006", "fleet.scaling.out_wait_s",
+                        f"deadband required: out_wait_s ({scaling['out_wait_s']}) "
+                        f"must exceed in_wait_s ({scaling['in_wait_s']})")
+
+    adm = norm.get("admission")
+    if adm is not None and adm["queue_limit"] < adm["burst"]:
+        chk.add("SPC-C004", "admission.queue_limit",
+                f"queue_limit ({adm['queue_limit']}) is below the per-user burst "
+                f"({adm['burst']}): one user's allowed burst alone overflows the "
+                "backlog into 503s")
+
+    # Capacity feasibility: a queue's node type must be providable by at
+    # least one segment (statically) or one pool (elastically).  The
+    # comparison happens on the *scheduler tag*, which is what placement
+    # matches on.
+    types = norm["cluster"]["node_types"]
+    provided_tags = set()
+    for seg in norm["cluster"]["segments"]:
+        fields = types.get(seg.get("slave_type"))
+        if fields is not None:
+            provided_tags.add(fields["node_type"])
+    if fleet is not None:
+        for pool in fleet["pools"]:
+            fields = types.get(pool["node_type"])
+            if fields is not None:
+                provided_tags.add(fields["node_type"])
+    for i, queue in enumerate(norm["scheduler"]["queues"]):
+        ref = queue.get("node_type")
+        fields = types.get(ref) if ref else None
+        if fields is not None and fields["node_type"] not in provided_tags:
+            chk.add("SPC-C005", f"scheduler.queues[{i}].node_type",
+                    f"node type {ref!r} (tag {fields['node_type']!r}) is served by "
+                    "no segment and no fleet pool — jobs routed to this queue "
+                    "could never be placed")
+
+
+def validate(doc: Any, source: str = "<spec>") -> ValidationReport:
+    """Run all three passes over ``doc``; never raises on bad content."""
+    chk = _Pass()
+    if not isinstance(doc, dict):
+        chk.add("SPC-S002", "", f"spec must be an object, got {type(doc).__name__}")
+        return ValidationReport(source=source, findings=chk.findings)
+    chk.known_keys(doc, "", _STANZAS)
+    norm = {
+        "cluster": _pass1_cluster(chk, doc),
+        "scheduler": _pass1_scheduler(chk, doc),
+        "retry": _pass1_retry(chk, doc),
+        "health": _pass1_health(chk, doc),
+        "fleet": _pass1_fleet(chk, doc),
+        "admission": _pass1_admission(chk, doc),
+        "toolchains": _pass1_toolchains(chk, doc),
+    }
+    _pass2_references(chk, norm)
+    _pass3_semantics(chk, norm)
+    return ValidationReport(source=source, findings=chk.findings)

@@ -668,3 +668,63 @@ class TestFleetSurfaces:
         c = PortalClient(app=portal_app)
         with pytest.raises(PortalError, match="401"):
             c.fleet()
+
+
+class TestConstructorEdgeCases:
+    """Pin the constructor contracts the SPC-* validator mirrors.
+
+    The spec validator (SPC-C001/C002/C006) reports these statically;
+    the constructors are the runtime backstop and must stay strict so
+    a hand-built fleet cannot sneak past the same invariants.
+    """
+
+    def test_depth_policy_zero_deadband_rejected(self):
+        with pytest.raises(ValueError, match="deadband"):
+            TargetQueueDepthPolicy(out_depth_per_node=2.0, in_depth_per_node=2.0)
+        with pytest.raises(ValueError, match="deadband"):
+            TargetQueueDepthPolicy(out_depth_per_node=1.0, in_depth_per_node=3.0)
+
+    def test_wait_policy_zero_deadband_rejected(self):
+        with pytest.raises(ValueError, match="deadband"):
+            QueueWaitP95Policy(out_wait_s=5.0, in_wait_s=5.0)
+        with pytest.raises(ValueError, match="deadband"):
+            QueueWaitP95Policy(out_wait_s=1.0, in_wait_s=30.0)
+
+    def test_pool_min_above_max_rejected(self):
+        with pytest.raises(ValueError, match="max_nodes"):
+            NodePool("p", NodeSpec(), segment="seg-0", min_nodes=5, max_nodes=2)
+
+    def test_pool_min_equal_max_is_a_fixed_pool(self):
+        pool = NodePool("p", NodeSpec(), segment="seg-0", min_nodes=3, max_nodes=3)
+        assert (pool.min_nodes, pool.max_nodes) == (3, 3)
+
+    def test_pool_negative_bounds_rejected(self):
+        with pytest.raises(ValueError, match="min_nodes"):
+            NodePool("p", NodeSpec(), segment="seg-0", min_nodes=-1)
+        with pytest.raises(ValueError, match="warmup_s"):
+            NodePool("p", NodeSpec(), segment="seg-0", warmup_s=-0.1)
+
+    def test_warmup_longer_than_scale_in_cooldown_constructs(self):
+        # Flap-prone but legal at runtime: the gate and pool are
+        # independent knobs.  The *static* validator flags the pairing
+        # as SPC-C002 so the operator hears about it before deploying.
+        from repro.spec import validate
+
+        gate = HysteresisGate(out_cooldown_s=15.0, in_cooldown_s=30.0)
+        pool = NodePool("p", NodeSpec(), segment="seg-0", warmup_s=120.0)
+        assert pool.warmup_s > gate.in_cooldown_s
+        doc = {
+            "cluster": {
+                "node_types": {"standard": {"cores": 4}},
+                "segments": [
+                    {"name": "seg-0", "slaves": 2, "slave_type": "standard"}
+                ],
+            },
+            "fleet": {
+                "pools": [{"name": "p", "segment": "seg-0",
+                           "node_type": "standard", "warmup_s": 120.0}],
+                "scaling": {"policy": "target-queue-depth",
+                            "scale_in_cooldown_s": 30.0},
+            },
+        }
+        assert validate(doc).rule_ids() == ["SPC-C002"]
